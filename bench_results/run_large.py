@@ -1,0 +1,26 @@
+"""Trimmed table1-large: the memory-wall shape at SF 0.1.
+
+All four libraries run all ten queries (the E markers are the point);
+the two embedded engines run a scaling subset (Q1/Q3/Q6) to show
+linear-vs-degraded growth versus the small-scale run.
+"""
+from repro.bench.tables import table1
+from repro.bench.report import render_table1
+from repro.workloads.tpch import QUERIES
+
+lib_results = table1(
+    scale="large", db_systems=[], runs=1, timeout=120, in_process=True,
+)
+print(render_table1(
+    "Table 1 large — libraries (SF 0.1, 48MB budget on data.table/Pandas)",
+    lib_results, list(QUERIES),
+))
+print()
+db_results = table1(
+    scale="large", db_systems=["MonetDBLite", "SQLite"], libraries=[],
+    queries=[1, 3, 6], runs=1, timeout=120, in_process=True,
+)
+print(render_table1(
+    "Table 1 large — embedded engines, scaling subset (SF 0.1)",
+    db_results, [1, 3, 6],
+))

@@ -1,0 +1,44 @@
+"""Ablation: scalar-subquery decorrelation (the TPC-H Q2 pattern).
+
+Compares the grouped-join rewrite against the naive per-outer-row subquery
+evaluation on Q2 itself.  The naive path re-runs the inner 4-relation join
+once per candidate part — decorrelation turns that into one aggregate plus
+one hash join.
+"""
+
+import pytest
+
+from repro.workloads.tpch import QUERIES
+
+
+@pytest.fixture(scope="module")
+def q2_conn():
+    from repro.core.database import Database
+    from repro.workloads.tpch import generate, load
+
+    database = Database(None)
+    connection = database.connect()
+    load(connection, generate(0.02, seed=42))
+    yield connection
+    database.shutdown()
+
+
+def test_q2_with_decorrelation(benchmark, q2_conn):
+    import repro.algebra.binder as binder_module
+
+    binder_module.ENABLE_SCALAR_DECORRELATION = True
+    benchmark(lambda: q2_conn.query(QUERIES[2]).fetchall())
+
+
+def test_q2_naive_correlated(benchmark, q2_conn):
+    import repro.algebra.binder as binder_module
+
+    binder_module.ENABLE_SCALAR_DECORRELATION = False
+    try:
+        benchmark.pedantic(
+            lambda: q2_conn.query(QUERIES[2]).fetchall(),
+            rounds=3,
+            iterations=1,
+        )
+    finally:
+        binder_module.ENABLE_SCALAR_DECORRELATION = True

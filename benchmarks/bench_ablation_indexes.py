@@ -1,0 +1,112 @@
+"""Ablation (paper section 3.1, "Automatic Indexing"): index structures.
+
+Quantifies the three index mechanisms against their no-index baselines:
+imprint-pruned range scans, hash-index-accelerated joins and group-bys,
+and ORDER INDEX point/range lookups and merge joins.
+"""
+
+import numpy as np
+import pytest
+
+ROWS = 2_000_000
+
+
+def _database(**config):
+    from repro.core.database import Database
+
+    return Database(None, **config)
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    """A table whose values correlate with position (imprints shine)."""
+    database = _database()
+    connection = database.connect()
+    connection.execute("CREATE TABLE clustered (v BIGINT)")
+    base = np.sort(np.random.default_rng(2).integers(0, 10**7, ROWS))
+    connection.append("clustered", {"v": base})
+    yield database, connection
+    database.shutdown()
+
+
+RANGE_SQL = "SELECT count(*) FROM clustered WHERE v >= 1000000 AND v < 1100000"
+
+
+def test_range_scan_with_imprints(benchmark, clustered):
+    database, connection = clustered
+    database.config.use_imprints = True
+    database.config.use_order_index = False
+    connection.query(RANGE_SQL)  # warm: builds the imprint
+    benchmark(lambda: connection.query(RANGE_SQL).scalar())
+
+
+def test_range_scan_without_imprints(benchmark, clustered):
+    database, connection = clustered
+    database.config.use_imprints = False
+    benchmark(lambda: connection.query(RANGE_SQL).scalar())
+    database.config.use_imprints = True
+
+
+def test_range_scan_with_order_index(benchmark, clustered):
+    database, connection = clustered
+    database.config.use_order_index = True
+    try:
+        connection.execute("CREATE ORDER INDEX oi_v ON clustered (v)")
+    except Exception:
+        pass  # already created by a previous parametrization
+    benchmark(lambda: connection.query(RANGE_SQL).scalar())
+
+
+@pytest.fixture(scope="module")
+def join_tables():
+    database = _database()
+    connection = database.connect()
+    rng = np.random.default_rng(3)
+    connection.execute("CREATE TABLE fact (k BIGINT)")
+    connection.execute("CREATE TABLE dim (k BIGINT, payload BIGINT)")
+    connection.append("fact", {"k": rng.integers(0, 100_000, ROWS)})
+    connection.append(
+        "dim",
+        {
+            "k": np.arange(100_000, dtype=np.int64),
+            "payload": rng.integers(0, 10, 100_000),
+        },
+    )
+    yield database, connection
+    database.shutdown()
+
+
+JOIN_SQL = (
+    "SELECT sum(payload) FROM fact, dim WHERE fact.k = dim.k"
+)
+
+
+def test_join_with_hash_index(benchmark, join_tables):
+    database, connection = join_tables
+    database.config.use_hash_index = True
+    connection.query(JOIN_SQL)  # warm: builds the hash index on dim.k
+    benchmark(lambda: connection.query(JOIN_SQL).scalar())
+
+
+def test_join_without_hash_index(benchmark, join_tables):
+    database, connection = join_tables
+    database.config.use_hash_index = False
+    benchmark(lambda: connection.query(JOIN_SQL).scalar())
+    database.config.use_hash_index = True
+
+
+GROUP_SQL = "SELECT payload, count(*) FROM dim GROUP BY payload"
+
+
+def test_groupby_with_hash_index(benchmark, join_tables):
+    database, connection = join_tables
+    database.config.use_hash_index = True
+    connection.query(GROUP_SQL)
+    benchmark(lambda: connection.query(GROUP_SQL).fetchall())
+
+
+def test_groupby_without_hash_index(benchmark, join_tables):
+    database, connection = join_tables
+    database.config.use_hash_index = False
+    benchmark(lambda: connection.query(GROUP_SQL).fetchall())
+    database.config.use_hash_index = True

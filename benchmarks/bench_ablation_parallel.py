@@ -1,0 +1,49 @@
+"""Ablation (paper Figure 2 mechanism): chunked parallel execution.
+
+Runs the paper's own example — ``SELECT MEDIAN(SQRT(i * 2)) FROM tbl`` —
+with the mitosis/pack machinery on and off.  On a single-core host the
+chunked path measures pure chunking overhead; on multi-core hosts the
+parallelizable map instructions overlap.  Either way the *answers* are
+identical (asserted by tests/test_mal.py); this bench quantifies the cost.
+"""
+
+import numpy as np
+import pytest
+
+ROWS = 2_000_000
+FIG2_QUERY = "SELECT median(sqrt(i * 2)) FROM tbl"
+
+
+def _database(parallel: bool):
+    from repro.core.database import Database
+
+    database = Database(
+        None, parallel=parallel, min_parallel_rows=1 << 16, max_workers=4
+    )
+    connection = database.connect()
+    connection.execute("CREATE TABLE tbl (i BIGINT)")
+    rng = np.random.default_rng(0)
+    connection.append("tbl", {"i": rng.integers(0, 1_000_000, ROWS)})
+    return database, connection
+
+
+@pytest.mark.parametrize("parallel", [False, True], ids=["sequential", "chunked"])
+def test_fig2_median_sqrt(benchmark, parallel):
+    database, connection = _database(parallel)
+    try:
+        benchmark(lambda: connection.query(FIG2_QUERY).scalar())
+    finally:
+        database.shutdown()
+
+
+@pytest.mark.parametrize("parallel", [False, True], ids=["sequential", "chunked"])
+def test_selective_filter(benchmark, parallel):
+    database, connection = _database(parallel)
+    try:
+        benchmark(
+            lambda: connection.query(
+                "SELECT count(*) FROM tbl WHERE i * 3 > 1500000"
+            ).scalar()
+        )
+    finally:
+        database.shutdown()

@@ -1,0 +1,81 @@
+"""Ablation (paper section 3.1): the duplicate-eliminating string heap.
+
+String predicates evaluate once per *distinct* heap value and gather
+through the offset column; this bench compares a low-cardinality dictionary
+column against a high-cardinality one where the dictionary shortcut cannot
+amortize, plus the LIKE fast paths against the general matcher.
+"""
+
+import numpy as np
+import pytest
+
+ROWS = 500_000
+
+
+@pytest.fixture(scope="module")
+def strings_conn():
+    from repro.core.database import Database
+
+    database = Database(None)
+    connection = database.connect()
+    rng = np.random.default_rng(4)
+    few = np.array(
+        [f"category-{i:02d}" for i in range(50)], dtype=object
+    )[rng.integers(0, 50, ROWS)]
+    many = np.array(
+        [f"unique-value-{i:07d}" for i in range(ROWS)], dtype=object
+    )
+    connection.execute(
+        "CREATE TABLE strs (few VARCHAR(20), many VARCHAR(20))"
+    )
+    connection.append("strs", {"few": few, "many": many})
+    yield connection
+    database.shutdown()
+
+
+def test_equality_on_dictionary_column(benchmark, strings_conn):
+    benchmark(
+        lambda: strings_conn.query(
+            "SELECT count(*) FROM strs WHERE few = 'category-07'"
+        ).scalar()
+    )
+
+
+def test_equality_on_high_cardinality_column(benchmark, strings_conn):
+    benchmark(
+        lambda: strings_conn.query(
+            "SELECT count(*) FROM strs WHERE many = 'unique-value-0000042'"
+        ).scalar()
+    )
+
+
+def test_like_prefix_fast_path(benchmark, strings_conn):
+    benchmark(
+        lambda: strings_conn.query(
+            "SELECT count(*) FROM strs WHERE few LIKE 'category-0%'"
+        ).scalar()
+    )
+
+
+def test_like_general_pattern(benchmark, strings_conn):
+    benchmark(
+        lambda: strings_conn.query(
+            "SELECT count(*) FROM strs WHERE few LIKE 'cat%y-_7'"
+        ).scalar()
+    )
+
+
+def test_like_contains_on_high_cardinality(benchmark, strings_conn):
+    benchmark(
+        lambda: strings_conn.query(
+            "SELECT count(*) FROM strs WHERE many LIKE '%42%'"
+        ).scalar()
+    )
+
+
+def test_group_by_dictionary_column(benchmark, strings_conn):
+    benchmark(
+        lambda: strings_conn.query(
+            "SELECT few, count(*) FROM strs GROUP BY few"
+        ).fetchall()
+    )

@@ -1,0 +1,69 @@
+"""Ablation (paper sections 3.3 / Figures 3-4): result-transfer strategies.
+
+Quantifies the three export paths of the native interface:
+
+* zero-copy — share the storage buffer (O(1), the paper's headline);
+* eager copy — materialize a fresh array (the baseline every socket
+  system must at least pay);
+* lazy — O(1) return; conversion deferred until the column is touched,
+  so untouched columns of a ``SELECT *`` cost nothing.
+"""
+
+import numpy as np
+import pytest
+
+ROWS = 2_000_000
+
+
+@pytest.fixture(scope="module")
+def transfer_conn():
+    from repro.core.database import Database
+
+    database = Database(None)
+    connection = database.connect()
+    connection.execute(
+        "CREATE TABLE wide (a BIGINT, b DOUBLE, c DECIMAL(12,2), d DATE)"
+    )
+    rng = np.random.default_rng(1)
+    connection.append(
+        "wide",
+        {
+            "a": rng.integers(0, 10**9, ROWS),
+            "b": rng.normal(size=ROWS),
+            "c": rng.uniform(0, 1000, ROWS),
+            "d": rng.integers(0, 10_000, ROWS).astype(np.int32),
+        },
+    )
+    yield connection
+    database.shutdown()
+
+
+def test_zero_copy_numeric(benchmark, transfer_conn):
+    result = transfer_conn.query("SELECT a, b FROM wide")
+    benchmark(lambda: (result.to_numpy(0), result.to_numpy(1)))
+
+
+def test_eager_copy_numeric(benchmark, transfer_conn):
+    result = transfer_conn.query("SELECT a, b FROM wide")
+    benchmark(lambda: (result.to_numpy(0, copy=True), result.to_numpy(1, copy=True)))
+
+
+def test_eager_conversion_decimal_date(benchmark, transfer_conn):
+    result = transfer_conn.query("SELECT c, d FROM wide")
+    benchmark(lambda: (result.to_numpy(0), result.to_numpy(1)))
+
+
+def test_lazy_untouched_columns_are_free(benchmark, transfer_conn):
+    result = transfer_conn.query("SELECT c, d FROM wide")
+    # returns proxies without converting either column
+    benchmark(lambda: result.to_dict(lazy=True))
+
+
+def test_lazy_touched_column_pays_once(benchmark, transfer_conn):
+    result = transfer_conn.query("SELECT c, d FROM wide")
+
+    def touch_one():
+        columns = result.to_dict(lazy=True)
+        return columns["c"][0]  # converts c, never d
+
+    benchmark(touch_one)

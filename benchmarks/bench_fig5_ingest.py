@@ -1,0 +1,76 @@
+"""Figure 5: writing the lineitem table from the client into the database.
+
+Paper result shape: the two embedded systems ingest an order of magnitude
+faster than any socket-connected server, because servers receive generated
+INSERT statements with a round trip each.  Socket systems here ingest a
+row-limited slice (see conftest) so the smoke suite stays fast — the
+rows/second ratio is the comparable quantity.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def columnar(tmp_path):
+    from repro.bench.systems import make_adapter
+
+    adapter = make_adapter("MonetDBLite")
+    adapter.setup(str(tmp_path))
+    yield adapter
+    adapter.teardown()
+
+
+@pytest.fixture
+def rowstore(tmp_path):
+    from repro.bench.systems import make_adapter
+
+    adapter = make_adapter("SQLite")
+    adapter.setup(str(tmp_path))
+    yield adapter
+    adapter.teardown()
+
+
+def _ingest(adapter, data, types, ddl):
+    adapter.execute("DROP TABLE IF EXISTS lineitem")
+    adapter.db_write_table("lineitem", data, types, create_sql=ddl)
+
+
+def test_ingest_embedded_columnar(
+    benchmark, columnar, lineitem, lineitem_types, lineitem_ddl
+):
+    benchmark.pedantic(
+        _ingest,
+        args=(columnar, lineitem, lineitem_types, lineitem_ddl),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_ingest_embedded_rowstore(
+    benchmark, rowstore, lineitem, lineitem_types, lineitem_ddl
+):
+    benchmark.pedantic(
+        _ingest,
+        args=(rowstore, lineitem, lineitem_types, lineitem_ddl),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("system", ["MonetDB", "PostgreSQL", "MariaDB"])
+def test_ingest_socket(
+    benchmark, system, tmp_path, lineitem_small, lineitem_types, lineitem_ddl
+):
+    from repro.bench.systems import make_adapter
+
+    adapter = make_adapter(system, in_process=True)
+    adapter.setup(str(tmp_path))
+    try:
+        benchmark.pedantic(
+            _ingest,
+            args=(adapter, lineitem_small, lineitem_types, lineitem_ddl),
+            rounds=2,
+            iterations=1,
+        )
+    finally:
+        adapter.teardown()

@@ -1,0 +1,53 @@
+"""Figure 6: reading the lineitem table from the database into the client.
+
+Paper result shape: the embedded columnar engine exports essentially for
+free (zero-copy); the embedded row store pays row-to-column conversion
+despite being in-process; the socket servers pay text serialization plus
+the client-side pivot, ordered by protocol verbosity.
+"""
+
+import pytest
+
+
+def _loaded_adapter(name, workdir, data, types, ddl, **kwargs):
+    from repro.bench.systems import make_adapter
+
+    adapter = make_adapter(name, **kwargs)
+    adapter.setup(workdir)
+    adapter.db_write_table("lineitem", data, types, create_sql=ddl)
+    return adapter
+
+
+@pytest.mark.parametrize("system", ["MonetDBLite", "SQLite"])
+def test_export_embedded(
+    benchmark, system, tmp_path, lineitem, lineitem_types, lineitem_ddl
+):
+    adapter = _loaded_adapter(
+        system, str(tmp_path), lineitem, lineitem_types, lineitem_ddl
+    )
+    try:
+        benchmark.pedantic(
+            adapter.db_read_table, args=("lineitem",), rounds=5, iterations=1
+        )
+    finally:
+        adapter.teardown()
+
+
+@pytest.mark.parametrize("system", ["MonetDB", "PostgreSQL", "MariaDB"])
+def test_export_socket(
+    benchmark, system, tmp_path, lineitem_small, lineitem_types, lineitem_ddl
+):
+    adapter = _loaded_adapter(
+        system,
+        str(tmp_path),
+        lineitem_small,
+        lineitem_types,
+        lineitem_ddl,
+        in_process=True,
+    )
+    try:
+        benchmark.pedantic(
+            adapter.db_read_table, args=("lineitem",), rounds=3, iterations=1
+        )
+    finally:
+        adapter.teardown()

@@ -1,0 +1,38 @@
+"""Figure 7: loading the ACS microdata (274 columns) into the database.
+
+Paper result shape: the embedded columnar engine wins, but by a modest
+factor — the client-side preprocessing inside the timed region is the same
+for every system.
+"""
+
+import pytest
+
+
+@pytest.mark.parametrize("system", ["MonetDBLite", "SQLite"])
+def test_acs_load_embedded(benchmark, system, tmp_path, acs_data):
+    from repro.bench.systems import make_adapter
+    from repro.workloads.acs import load_phase
+
+    adapter = make_adapter(system)
+    adapter.setup(str(tmp_path))
+    try:
+        benchmark.pedantic(
+            load_phase, args=(adapter, acs_data), rounds=3, iterations=1
+        )
+    finally:
+        adapter.teardown()
+
+
+def test_acs_load_socket_rowstore(benchmark, tmp_path, acs_data):
+    from repro.bench.systems import make_adapter
+    from repro.workloads.acs import load_phase
+
+    small = {name: arr[:500] for name, arr in acs_data.items()}
+    adapter = make_adapter("PostgreSQL", in_process=True)
+    adapter.setup(str(tmp_path))
+    try:
+        benchmark.pedantic(
+            load_phase, args=(adapter, small), rounds=2, iterations=1
+        )
+    finally:
+        adapter.teardown()

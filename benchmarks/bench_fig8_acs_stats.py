@@ -1,0 +1,24 @@
+"""Figure 8: the ACS survey-statistics suite through each database driver.
+
+Paper result shape: all systems within a factor ~2 — client-side weighted
+estimation dominates; the only difference is each system's export cost for
+the narrow column pulls.
+"""
+
+import pytest
+
+
+@pytest.mark.parametrize("system", ["MonetDBLite", "SQLite"])
+def test_acs_statistics(benchmark, system, tmp_path, acs_data):
+    from repro.bench.systems import make_adapter
+    from repro.workloads.acs import load_phase, statistics_phase
+
+    adapter = make_adapter(system)
+    adapter.setup(str(tmp_path))
+    try:
+        load_phase(adapter, acs_data)
+        benchmark.pedantic(
+            statistics_phase, args=(adapter,), rounds=3, iterations=1
+        )
+    finally:
+        adapter.teardown()

@@ -1,0 +1,40 @@
+"""Table 1: TPC-H queries Q1-Q10 on every system class.
+
+Paper result shape: columnar engine ≪ libraries on multi-join queries,
+libraries competitive on single-table Q1/Q6, the Volcano row store orders
+of magnitude slower everywhere.  Run the socket variants and the SF10-style
+out-of-memory configuration via ``python -m repro.bench table1``.
+"""
+
+import pytest
+
+from repro.workloads.tpch import QUERIES
+
+ALL_QUERIES = list(QUERIES)
+#: the row store runs a representative subset here (it is deliberately slow)
+ROWSTORE_QUERIES = [1, 3, 6]
+
+
+@pytest.mark.parametrize("query", ALL_QUERIES)
+def test_tpch_columnar(benchmark, engine_with_tpch, query):
+    sql = QUERIES[query]
+    benchmark(lambda: engine_with_tpch.query(sql).fetchall())
+
+
+@pytest.mark.parametrize("query", ROWSTORE_QUERIES)
+def test_tpch_rowstore(benchmark, rowstore_with_tpch, query):
+    sql = QUERIES[query]
+    benchmark.pedantic(
+        lambda: rowstore_with_tpch.query(sql).fetchall(),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("profile", ["datatable", "dplyr", "pandas", "julia"])
+@pytest.mark.parametrize("query", ALL_QUERIES)
+def test_tpch_frames(benchmark, frames_with_tpch, profile, query):
+    from repro.frames.tpch import run_query
+
+    tables = frames_with_tpch[profile]
+    benchmark(lambda: run_query(query, tables))

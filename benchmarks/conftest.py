@@ -1,0 +1,104 @@
+"""Benchmark fixtures.
+
+These pytest-benchmark files regenerate every figure/table of the paper at
+*smoke scale* so the whole suite runs in minutes; the paper-scale runs with
+the full timing protocol (median of ten hot runs, 5-minute timeout, separate
+server processes) are produced by ``python -m repro.bench <experiment>``.
+
+Scale knobs (environment):
+    REPRO_BENCH_SF        TPC-H scale factor        (default 0.01)
+    REPRO_BENCH_SOCKET_ROWS rows for socket ingest  (default 4000)
+    REPRO_BENCH_ACS_ROWS  ACS person rows           (default 4000)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SF = float(os.environ.get("REPRO_BENCH_SF", "0.01"))
+SOCKET_ROWS = int(os.environ.get("REPRO_BENCH_SOCKET_ROWS", "4000"))
+ACS_ROWS = int(os.environ.get("REPRO_BENCH_ACS_ROWS", "4000"))
+
+
+@pytest.fixture(scope="session")
+def tpch_data():
+    from repro.workloads.tpch import generate
+
+    return generate(SF, seed=42)
+
+
+@pytest.fixture(scope="session")
+def lineitem(tpch_data):
+    return tpch_data["lineitem"]
+
+
+@pytest.fixture(scope="session")
+def lineitem_small(lineitem):
+    """A row-limited slice for the per-INSERT socket paths."""
+    return {name: arr[:SOCKET_ROWS] for name, arr in lineitem.items()}
+
+
+@pytest.fixture(scope="session")
+def lineitem_types():
+    from repro.workloads.tpch.gen import column_type_names
+
+    return column_type_names("lineitem")
+
+
+@pytest.fixture(scope="session")
+def lineitem_ddl():
+    from repro.workloads.tpch import TABLES, schema_statements
+
+    return dict(zip(TABLES, schema_statements()))["lineitem"]
+
+
+@pytest.fixture(scope="session")
+def acs_data():
+    from repro.workloads.acs import generate_acs
+
+    return generate_acs(ACS_ROWS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def engine_with_tpch(tpch_data):
+    """Embedded columnar engine with the TPC-H dataset loaded."""
+    from repro.core.database import Database
+    from repro.workloads.tpch import load
+
+    database = Database(None)
+    connection = database.connect()
+    load(connection, tpch_data)
+    yield connection
+    database.shutdown()
+
+
+@pytest.fixture(scope="session")
+def rowstore_with_tpch(tpch_data):
+    """Embedded row store with the TPC-H dataset loaded."""
+    from repro.rowstore import RowDatabase
+    from repro.workloads.tpch import TABLES, schema_statements
+
+    database = RowDatabase(timeout=120)
+    connection = database.connect()
+    ddl = dict(zip(TABLES, schema_statements()))
+    for table in TABLES:
+        connection.execute(ddl[table])
+        connection.append(table, tpch_data[table])
+    yield connection
+    database.close()
+
+
+@pytest.fixture(scope="session")
+def frames_with_tpch(tpch_data):
+    """{profile: {table: DataFrame}} for the library rows of Table 1."""
+    from repro.frames import PROFILES, DataFrame
+
+    return {
+        profile: {
+            name: DataFrame(cols, profile=profile)
+            for name, cols in tpch_data.items()
+        }
+        for profile in PROFILES
+    }

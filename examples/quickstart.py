@@ -1,0 +1,92 @@
+"""Quickstart: the embedded analytical database in five minutes.
+
+Covers the paper's core workflow (section 3.2): start an in-process
+database (no server, no configuration), create tables, bulk-append NumPy
+data at zero parse cost, run analytical SQL, and get results back as
+native NumPy arrays — zero-copy where the bits allow it.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # 1. start an in-memory database — pass a directory to persist instead
+    db = repro.startup()
+    conn = db.connect()
+
+    # 2. ordinary SQL works as expected
+    conn.execute(
+        """
+        CREATE TABLE sensors (
+            id INTEGER NOT NULL,
+            room VARCHAR(20) NOT NULL,
+            temp DOUBLE,
+            measured DATE
+        )
+        """
+    )
+    conn.execute(
+        """
+        INSERT INTO sensors VALUES
+            (1, 'lab',     21.5, DATE '2018-10-22'),
+            (2, 'lab',     22.1, DATE '2018-10-23'),
+            (3, 'office',  19.8, DATE '2018-10-22'),
+            (4, 'office',  NULL, DATE '2018-10-23')
+        """
+    )
+
+    result = conn.query(
+        """
+        SELECT room, avg(temp) AS avg_temp, count(*) AS n
+        FROM sensors
+        GROUP BY room
+        ORDER BY room
+        """
+    )
+    print("per-room averages:")
+    for row in result.fetchall():
+        print("  ", row)
+
+    # 3. bulk append: columnar NumPy data, no SQL parsing per row
+    #    (the paper's monetdb_append, section 3.2)
+    n = 1_000_000
+    rng = np.random.default_rng(0)
+    conn.execute("CREATE TABLE ticks (series INTEGER, value DOUBLE)")
+    conn.append(
+        "ticks",
+        {
+            "series": rng.integers(0, 100, n).astype(np.int32),
+            "value": rng.normal(100.0, 15.0, n),
+        },
+    )
+    print(f"\nappended {n:,} rows in one call")
+
+    # 4. analytical SQL over a million rows
+    top = conn.query(
+        """
+        SELECT series, avg(value) AS mean_value, count(*) AS n
+        FROM ticks
+        GROUP BY series
+        ORDER BY mean_value DESC
+        LIMIT 5
+        """
+    )
+    print("top series by mean value:")
+    for row in top.fetchall():
+        print(f"   series={row[0]:>3}  mean={row[1]:.3f}  n={row[2]}")
+
+    # 5. zero-copy export: the array below aliases database storage
+    #    (read-only; writing would trigger a private copy — section 3.3)
+    values = conn.query("SELECT value FROM ticks").to_numpy("value")
+    print(f"\nzero-copy column: {len(values):,} float64 values, "
+          f"sum={np.asarray(values).sum():.2f}")
+
+    repro.shutdown()
+
+
+if __name__ == "__main__":
+    main()

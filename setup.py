@@ -1,0 +1,13 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the wheel pkg."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description="MonetDBLite reproduction: an embedded analytical database",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,16 @@
+"""Relational algebra layer: bound expressions, logical plans, optimizer.
+
+The binder turns parsed AST into *typed, slot-addressed* plans; the
+optimizer applies the paper's "high level optimizations [...] performed on
+the relational tree" (section 3.1): filter pushdown, projection pushdown,
+constant folding, subquery decorrelation (EXISTS/IN to semi/anti-join), and
+cardinality-driven join ordering.  The resulting plan is consumed by two
+engines — the column-at-a-time MAL interpreter (:mod:`repro.mal`) and the
+tuple-at-a-time Volcano row store (:mod:`repro.rowstore`).
+"""
+
+from repro.algebra import expr, nodes
+from repro.algebra.binder import Binder, bind_statement
+from repro.algebra.optimizer import optimize
+
+__all__ = ["expr", "nodes", "Binder", "bind_statement", "optimize"]

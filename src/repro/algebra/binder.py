@@ -1,0 +1,1344 @@
+"""Binder: turns parsed AST into typed, slot-addressed logical plans.
+
+Binding performs name resolution against the catalog, type checking and
+coercion, constant folding (so ``date '1998-12-01' - interval '90' day``
+becomes a single constant), aggregate extraction, and subquery handling.
+Correlated ``EXISTS`` and ``IN (SELECT ...)`` predicates whose correlation
+is a conjunction of equalities are *decorrelated* into semi/anti-joins; the
+general case falls back to per-row subquery evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import BindError, ParseError
+from repro.algebra import expr as E
+from repro.algebra import nodes as N
+from repro.algebra.functions import (
+    AGGREGATE_FUNCS,
+    aggregate_result_type,
+    scalar_result_type,
+)
+from repro.sql import ast
+from repro.storage import types as T
+from repro.storage.catalog import ColumnDef, TableSchema
+
+__all__ = ["Binder", "bind_statement", "Scope"]
+
+#: Rewrite ``expr CMP (SELECT agg(..) WHERE k = outer.k)`` into a grouped
+#: join instead of per-row evaluation (toggle used by tests/ablations).
+ENABLE_SCALAR_DECORRELATION = True
+
+
+def bind_statement(statement: ast.Statement, lookup_schema: Callable):
+    """Bind one parsed statement; ``lookup_schema(name) -> TableSchema``."""
+    return Binder(lookup_schema).bind(statement)
+
+
+class Scope:
+    """Name-resolution scope: (alias, column) -> (slot, type).
+
+    ``outer`` chains to the enclosing query's scope for correlated
+    subqueries; resolving through it produces :class:`~repro.algebra.expr.OuterRef`.
+    """
+
+    def __init__(self, outer: Optional["Scope"] = None):
+        self.outer = outer
+        self.entries: list[tuple[str | None, str, T.SQLType]] = []
+
+    def add_relation(self, alias: str | None, columns: list[N.OutputColumn]) -> None:
+        for col in columns:
+            self.entries.append((alias, col.name.lower(), col.type))
+
+    def resolve(self, name: str, table: str | None):
+        """Resolve to (slot, type, is_outer); raises BindError if unknown."""
+        name = name.lower()
+        matches = [
+            (slot, ctype)
+            for slot, (alias, cname, ctype) in enumerate(self.entries)
+            if cname == name and (table is None or alias == table)
+        ]
+        if len(matches) == 1:
+            slot, ctype = matches[0]
+            return slot, ctype, False
+        if len(matches) > 1:
+            raise BindError(f"ambiguous column reference {name!r}")
+        if self.outer is not None:
+            slot, ctype, _ = self.outer.resolve(name, table)
+            return slot, ctype, True
+        qualified = f"{table}.{name}" if table else name
+        raise BindError(f"unknown column {qualified!r}")
+
+    def columns(self) -> list[N.OutputColumn]:
+        return [N.OutputColumn(cname, ctype) for _, cname, ctype in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class Binder:
+    """Stateless binder over a schema-lookup callable."""
+
+    def __init__(self, lookup_schema: Callable):
+        self._lookup_schema = lookup_schema
+
+    # -- statement dispatch ------------------------------------------------------
+
+    def bind(self, statement: ast.Statement):
+        if isinstance(statement, ast.SelectStmt):
+            return self.bind_select(statement, outer=None)
+        if isinstance(statement, ast.SetOpStmt):
+            return self._bind_setop(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._bind_create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            return N.BoundDropTable(statement.name, statement.if_exists)
+        if isinstance(statement, ast.CreateIndex):
+            return N.BoundCreateIndex(
+                statement.name,
+                statement.table,
+                list(statement.columns),
+                statement.ordered,
+            )
+        if isinstance(statement, ast.DropIndex):
+            return N.BoundDropIndex(statement.name)
+        if isinstance(statement, ast.InsertStmt):
+            return self._bind_insert(statement)
+        if isinstance(statement, ast.DeleteStmt):
+            return self._bind_delete(statement)
+        if isinstance(statement, ast.UpdateStmt):
+            return self._bind_update(statement)
+        if isinstance(statement, ast.TransactionStmt):
+            return N.BoundTransaction(statement.action)
+        raise BindError(f"cannot bind statement {type(statement).__name__}")
+
+    # -- SELECT ---------------------------------------------------------------------
+
+    def bind_select(
+        self, stmt: ast.SelectStmt, outer: Scope | None
+    ) -> N.BoundSelect:
+        """Bind a full query block into a plan with a Project on top."""
+        core, scope = self._bind_core(stmt, outer)
+
+        has_aggregates = bool(stmt.group_by) or any(
+            _contains_aggregate(item.expr) for item in stmt.items
+        )
+        if stmt.having is not None and not has_aggregates:
+            raise BindError("HAVING requires aggregation")
+
+        if has_aggregates:
+            plan, names = self._bind_aggregate_query(stmt, core, scope)
+        else:
+            plan, names = self._bind_plain_projection(stmt, core, scope)
+
+        if stmt.distinct:
+            plan = N.Distinct(plan)
+        if stmt.order_by:
+            if (
+                not has_aggregates
+                and not stmt.distinct
+                and isinstance(plan, N.Project)
+            ):
+                # plain queries may ORDER BY columns that are not in the
+                # select list: sort runs beneath the projection
+                plan = self._bind_order_by_plain(stmt, plan, names, scope)
+            else:
+                plan = self._bind_order_by(stmt, plan, names)
+        if stmt.limit is not None or stmt.offset is not None:
+            plan = N.Limit(plan, stmt.limit, stmt.offset or 0)
+        return N.BoundSelect(plan, names)
+
+    def _bind_setop(self, stmt: ast.SetOpStmt) -> N.BoundSelect:
+        left = (
+            self._bind_setop(stmt.left)
+            if isinstance(stmt.left, ast.SetOpStmt)
+            else self.bind_select(stmt.left, outer=None)
+        )
+        right = (
+            self._bind_setop(stmt.right)
+            if isinstance(stmt.right, ast.SetOpStmt)
+            else self.bind_select(stmt.right, outer=None)
+        )
+        lout, rout = left.plan.output, right.plan.output
+        if len(lout) != len(rout):
+            raise BindError(
+                f"set operation arity mismatch: {len(lout)} vs {len(rout)}"
+            )
+        for lcol, rcol in zip(lout, rout):
+            T.common_type(lcol.type, rcol.type)  # raises on incompatibility
+        plan = N.SetOp(stmt.op, left.plan, right.plan, stmt.all)
+        return N.BoundSelect(plan, left.column_names)
+
+    # -- FROM/WHERE core ---------------------------------------------------------------
+
+    def _bind_core(self, stmt: ast.SelectStmt, outer: Scope | None):
+        """Bind FROM and WHERE into a relational core plan plus its scope."""
+        scope = Scope(outer)
+        relations: list[N.LogicalNode] = []
+        for table_ref in stmt.from_tables:
+            relations.append(self._bind_table_ref(table_ref, scope))
+
+        if not relations:
+            # SELECT without FROM: a single-row dummy relation
+            relations.append(_DualScan())
+
+        conjuncts = _split_conjuncts(stmt.where) if stmt.where is not None else []
+
+        simple: list[E.BoundExpr] = []
+        complex_conjuncts: list[ast.Expression] = []
+        for conjunct in conjuncts:
+            if _contains_subquery(conjunct):
+                complex_conjuncts.append(conjunct)
+            else:
+                simple.append(self._coerce_predicate(self._bind_expr(conjunct, scope)))
+
+        core: N.LogicalNode = N.MultiJoin(relations, simple)
+
+        for conjunct in complex_conjuncts:
+            core = self._apply_subquery_conjunct(conjunct, core, scope)
+        return core, scope
+
+    def _bind_table_ref(self, ref: ast.TableRef, scope: Scope) -> N.LogicalNode:
+        if isinstance(ref, ast.BaseTable):
+            schema: TableSchema = self._lookup_schema(ref.name)
+            output = [N.OutputColumn(c.name.lower(), c.type) for c in schema.columns]
+            alias = (ref.alias or ref.name).lower()
+            scope.add_relation(alias, output)
+            return N.Scan(schema.name, list(range(len(output))), output)
+        if isinstance(ref, ast.SubqueryRef):
+            bound = self.bind_select(ref.select, outer=scope.outer)
+            output = [
+                N.OutputColumn(name.lower(), col.type)
+                for name, col in zip(bound.column_names, bound.plan.output)
+            ]
+            plan = bound.plan
+            plan = _RenamedPlan(plan, output) if output != plan.output else plan
+            scope.add_relation(ref.alias.lower(), output)
+            return plan
+        if isinstance(ref, ast.JoinRef):
+            return self._bind_join_ref(ref, scope)
+        raise BindError(f"unsupported FROM item {type(ref).__name__}")
+
+    def _bind_join_ref(self, ref: ast.JoinRef, scope: Scope) -> N.LogicalNode:
+        base = len(scope)
+        left = self._bind_table_ref(ref.left, scope)
+        left_width = len(scope) - base
+        right = self._bind_table_ref(ref.right, scope)
+        if ref.kind == "cross" or ref.condition is None:
+            if ref.kind not in ("cross", "inner"):
+                raise BindError(f"{ref.kind.upper()} JOIN requires ON")
+            return N.Join(left, right, "cross", [], [])
+        # bind the ON condition against the two sides' combined slots,
+        # re-based so slot 0 is the join's first output column.
+        condition = self._bind_expr(ref.condition, scope)
+        condition = E.remap_slots(
+            condition, {i: i - base for i in E.references(condition)}
+        )
+        left_keys, right_keys, residual = _extract_equi_keys(
+            _split_bound_conjuncts(condition), left_width
+        )
+        if ref.kind in ("right", "full"):
+            raise BindError(f"{ref.kind.upper()} JOIN is not supported")
+        return N.Join(left, right, ref.kind, left_keys, right_keys, residual)
+
+    # -- subquery conjuncts ---------------------------------------------------------------
+
+    def _apply_subquery_conjunct(
+        self, conjunct: ast.Expression, core: N.LogicalNode, scope: Scope
+    ) -> N.LogicalNode:
+        """Attach a WHERE conjunct containing a subquery to the core plan."""
+        negated = False
+        inner = conjunct
+        while isinstance(inner, ast.UnaryOp) and inner.op == "not":
+            negated = not negated
+            inner = inner.operand
+
+        if isinstance(inner, ast.Exists):
+            return self._bind_exists(
+                inner.subquery, negated ^ inner.negated, core, scope, extra_pairs=[]
+            )
+        if isinstance(inner, ast.InSubquery):
+            operand = self._bind_expr(inner.operand, scope)
+            item = _single_select_item(inner.subquery)
+            return self._bind_exists(
+                inner.subquery,
+                negated ^ inner.negated,
+                core,
+                scope,
+                extra_pairs=[(operand, item)],
+            )
+        if ENABLE_SCALAR_DECORRELATION and not negated:
+            rewritten = self._try_decorrelate_scalar_agg(inner, core, scope)
+            if rewritten is not None:
+                return rewritten
+        # general case: scalar subquery inside a comparison -> Filter with
+        # per-outer-row evaluation of the subquery plan
+        predicate = self._coerce_predicate(self._bind_expr(conjunct, scope))
+        return N.Filter(core, predicate)
+
+    def _try_decorrelate_scalar_agg(
+        self, conjunct: ast.Expression, core: N.LogicalNode, scope: Scope
+    ):
+        """Rewrite ``expr CMP (SELECT agg(x) ... WHERE k = outer.k ...)``.
+
+        The classic magic-set decorrelation used by TPC-H Q2: the subquery
+        becomes an Aggregate grouped by its correlation keys, joined to the
+        outer plan on those keys, with the comparison as a join residual.
+        Applies to min/max/sum/avg (empty groups yield NULL both before and
+        after the rewrite; count differs, so it is excluded).
+        """
+        if not isinstance(conjunct, ast.BinaryOp):
+            return None
+        if conjunct.op not in ("=", "<>", "<", "<=", ">", ">="):
+            return None
+        if isinstance(conjunct.right, ast.ScalarSubquery):
+            outer_ast, subquery_ast, op = conjunct.left, conjunct.right, conjunct.op
+        elif isinstance(conjunct.left, ast.ScalarSubquery):
+            flip = {"=": "=", "<>": "<>", "<": ">", "<=": ">=",
+                    ">": "<", ">=": "<="}
+            outer_ast, subquery_ast = conjunct.right, conjunct.left
+            op = flip[conjunct.op]
+        else:
+            return None
+        subquery = subquery_ast.subquery
+        if (
+            subquery.group_by
+            or subquery.having is not None
+            or subquery.distinct
+            or subquery.limit is not None
+            or len(subquery.items) != 1
+        ):
+            return None
+        item = subquery.items[0].expr
+        if not (
+            isinstance(item, ast.FunctionCall)
+            and item.name in ("min", "max", "sum", "avg")
+            and len(item.args) == 1
+        ):
+            return None
+        if _contains_subquery(outer_ast) or _contains_subquery(subquery.where or item):
+            return None
+
+        sub_scope = Scope(outer=scope)
+        sub_relations = [
+            self._bind_table_ref(ref, sub_scope) for ref in subquery.from_tables
+        ]
+        conjuncts = (
+            _split_conjuncts(subquery.where) if subquery.where is not None else []
+        )
+        bound_conjuncts = [
+            self._coerce_predicate(self._bind_expr(c, sub_scope)) for c in conjuncts
+        ]
+        outer_keys: list = []
+        inner_keys: list = []
+        inner_filters: list = []
+        for bc in bound_conjuncts:
+            pair = _correlation_equality(bc)
+            if pair is not None:
+                outer_side, inner_side = pair
+                outer_keys.append(_outer_to_slot(outer_side))
+                inner_keys.append(inner_side)
+            elif _has_outer_refs(bc):
+                return None  # non-equality correlation: fall back
+            else:
+                inner_filters.append(bc)
+        if not outer_keys:
+            return None
+        agg_arg = self._bind_expr(item.args[0], sub_scope)
+        if _has_outer_refs(agg_arg):
+            return None
+        spec = E.AggSpec(
+            item.name,
+            agg_arg,
+            aggregate_result_type(item.name, agg_arg.type),
+            item.distinct,
+        )
+        inner_core = N.MultiJoin(sub_relations, inner_filters)
+        agg_output = [
+            N.OutputColumn(f"dk{i}", k.type) for i, k in enumerate(inner_keys)
+        ] + [N.OutputColumn("dagg", spec.type)]
+        agg_node = N.Aggregate(inner_core, list(inner_keys), [spec], agg_output)
+
+        outer_expr = self._bind_expr(outer_ast, scope)
+        core_width = len(core.output)
+        agg_slot = E.SlotRef(core_width + len(inner_keys), spec.type, "dagg")
+        residual = self._make_binary(op, outer_expr, agg_slot)
+        return N.Join(
+            core,
+            agg_node,
+            "inner",
+            list(outer_keys),
+            [E.SlotRef(i, k.type) for i, k in enumerate(inner_keys)],
+            residual=residual,
+        )
+
+    def _bind_exists(
+        self,
+        subquery: ast.SelectStmt,
+        anti: bool,
+        core: N.LogicalNode,
+        scope: Scope,
+        extra_pairs: list,
+    ) -> N.LogicalNode:
+        """Bind [NOT] EXISTS / IN-subquery, decorrelating when possible.
+
+        ``extra_pairs`` carries (outer_bound_expr, inner_select_item) join
+        pairs from IN-subqueries.
+        """
+        sub_scope = Scope(outer=scope)
+        sub_relations: list[N.LogicalNode] = []
+        for table_ref in subquery.from_tables:
+            sub_relations.append(self._bind_table_ref(table_ref, sub_scope))
+        if subquery.group_by or any(
+            _contains_aggregate(item.expr) for item in subquery.items
+        ):
+            # aggregated EXISTS subquery: fall back to per-row evaluation
+            bound = self.bind_select(subquery, outer=scope)
+            return N.Filter(
+                core, E.ExistsSubqueryExpr(bound, negated=anti, correlated=True)
+            )
+
+        conjuncts = (
+            _split_conjuncts(subquery.where) if subquery.where is not None else []
+        )
+        bound_conjuncts = [
+            self._coerce_predicate(self._bind_expr(c, sub_scope)) for c in conjuncts
+        ]
+
+        outer_keys: list[E.BoundExpr] = []
+        inner_keys: list[E.BoundExpr] = []
+        inner_filters: list[E.BoundExpr] = []
+        decorrelated = True
+        for bc in bound_conjuncts:
+            pair = _correlation_equality(bc)
+            if pair is not None:
+                outer_expr, inner_expr = pair
+                outer_keys.append(outer_expr)
+                inner_keys.append(inner_expr)
+            elif _has_outer_refs(bc):
+                decorrelated = False
+                break
+            else:
+                inner_filters.append(bc)
+
+        for outer_expr, inner_item in extra_pairs:
+            inner_expr = self._bind_expr(inner_item, sub_scope)
+            if _has_outer_refs(inner_expr) or _has_outer_refs(outer_expr):
+                decorrelated = decorrelated and not _has_outer_refs(inner_expr)
+            common = T.common_type(outer_expr.type, inner_expr.type)
+            outer_keys.append(self._coerce_to(outer_expr, common))
+            inner_keys.append(self._coerce_to(inner_expr, common))
+
+        if not decorrelated or not outer_keys:
+            bound = self.bind_select(subquery, outer=scope)
+            return N.Filter(
+                core, E.ExistsSubqueryExpr(bound, negated=anti, correlated=True)
+            )
+
+        right = N.MultiJoin(sub_relations, inner_filters)
+        # outer keys reference the outer scope's slots directly (they were
+        # bound as OuterRefs inside the subquery scope); convert to SlotRefs.
+        outer_keys = [_outer_to_slot(k) for k in outer_keys]
+        for left_key, right_key in zip(outer_keys, inner_keys):
+            common = T.common_type(left_key.type, right_key.type)
+        return N.SemiJoin(core, right, outer_keys, inner_keys, anti=anti)
+
+    # -- projections / aggregation -----------------------------------------------------------
+
+    def _bind_plain_projection(self, stmt, core, scope):
+        exprs: list[E.BoundExpr] = []
+        names: list[str] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                for slot, (alias, cname, ctype) in enumerate(scope.entries):
+                    if item.expr.table is None or alias == item.expr.table.lower():
+                        exprs.append(E.SlotRef(slot, ctype, cname))
+                        names.append(cname)
+                if not exprs:
+                    raise BindError(f"unknown table in {item.expr.table}.*")
+                continue
+            bound = self._bind_expr(item.expr, scope)
+            exprs.append(bound)
+            names.append(item.alias or _expression_name(item.expr, len(names)))
+        output = [
+            N.OutputColumn(name.lower(), e.type) for name, e in zip(names, exprs)
+        ]
+        return N.Project(core, exprs, output), [n.lower() for n in names]
+
+    def _bind_aggregate_query(self, stmt, core, scope):
+        aliases = {
+            item.alias.lower(): item.expr for item in stmt.items if item.alias
+        }
+        group_asts: list[ast.Expression] = []
+        for g in stmt.group_by:
+            if (
+                isinstance(g, ast.ColumnRef)
+                and g.table is None
+                and g.name.lower() in aliases
+            ):
+                group_asts.append(aliases[g.name.lower()])
+            else:
+                group_asts.append(g)
+        group_exprs = [self._bind_expr(g, scope) for g in group_asts]
+        aggregates: list[E.AggSpec] = []
+
+        def bind_post(expression: ast.Expression) -> E.BoundExpr:
+            """Bind a post-aggregation expression over [groups..., aggs...]."""
+            for index, g_ast in enumerate(group_asts):
+                if expression == g_ast:
+                    return E.SlotRef(index, group_exprs[index].type)
+            if isinstance(expression, ast.FunctionCall) and (
+                expression.name in AGGREGATE_FUNCS
+            ):
+                spec = self._bind_aggregate(expression, scope)
+                for index, existing in enumerate(aggregates):
+                    if existing == spec:
+                        return E.SlotRef(
+                            len(group_exprs) + index, spec.type
+                        )
+                aggregates.append(spec)
+                return E.SlotRef(len(group_exprs) + len(aggregates) - 1, spec.type)
+            if isinstance(expression, ast.ColumnRef):
+                raise BindError(
+                    f"column {expression.name!r} must appear in GROUP BY "
+                    "or inside an aggregate"
+                )
+            return self._rebind_composite(expression, bind_post)
+
+        exprs: list[E.BoundExpr] = []
+        names: list[str] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                raise BindError("SELECT * is not valid with GROUP BY")
+            exprs.append(self._fold(bind_post(item.expr)))
+            names.append(item.alias or _expression_name(item.expr, len(names)))
+
+        agg_output = [
+            N.OutputColumn(f"g{i}", e.type) for i, e in enumerate(group_exprs)
+        ] + [N.OutputColumn(f"a{i}", a.type) for i, a in enumerate(aggregates)]
+        agg_node = N.Aggregate(core, group_exprs, aggregates, agg_output)
+
+        plan: N.LogicalNode = agg_node
+        if stmt.having is not None:
+            having = self._coerce_predicate(self._fold(bind_post(stmt.having)))
+            plan = N.Filter(plan, having)
+
+        output = [
+            N.OutputColumn(name.lower(), e.type) for name, e in zip(names, exprs)
+        ]
+        return N.Project(plan, exprs, output), [n.lower() for n in names]
+
+    def _bind_aggregate(self, call: ast.FunctionCall, scope: Scope) -> E.AggSpec:
+        func = call.name
+        if func == "count" and (
+            not call.args or isinstance(call.args[0], ast.Star)
+        ):
+            return E.AggSpec("count_star", None, T.BIGINT)
+        if len(call.args) != 1:
+            raise BindError(f"{func}() takes exactly one argument")
+        if _contains_aggregate(call.args[0]):
+            raise BindError("nested aggregates are not allowed")
+        arg = self._bind_expr(call.args[0], scope)
+        if func in ("sum", "avg", "median", "stddev", "var") and (
+            not arg.type.is_numeric
+        ):
+            raise BindError(f"{func}() requires a numeric argument")
+        return E.AggSpec(func, arg, aggregate_result_type(func, arg.type), call.distinct)
+
+    def _rebind_composite(self, expression: ast.Expression, recurse) -> E.BoundExpr:
+        """Bind a composite AST node whose children are bound via ``recurse``."""
+        if isinstance(expression, ast.BinaryOp):
+            return self._make_binary(
+                expression.op, recurse(expression.left), recurse(expression.right)
+            )
+        if isinstance(expression, ast.UnaryOp):
+            if expression.op == "-":
+                operand = recurse(expression.operand)
+                zero = E.Const(
+                    0.0 if operand.type.category == T.TypeCategory.FLOAT else 0,
+                    operand.type,
+                )
+                return self._make_binary("-", zero, operand)
+            return E.NotExpr(self._coerce_predicate(recurse(expression.operand)))
+        if isinstance(expression, ast.CaseExpr):
+            return self._bind_case(expression, recurse)
+        if isinstance(expression, ast.Cast):
+            return self._make_cast(recurse(expression.operand), expression.type_name)
+        if isinstance(expression, ast.Literal):
+            return _bind_literal(expression)
+        if isinstance(expression, ast.FunctionCall):
+            args = [recurse(a) for a in expression.args]
+            return self._make_function(expression.name, args)
+        if isinstance(expression, ast.ExtractExpr):
+            return self._make_function(expression.unit, [recurse(expression.operand)])
+        if isinstance(expression, ast.IsNull):
+            return E.IsNullExpr(recurse(expression.operand), expression.negated)
+        if isinstance(expression, ast.Between):
+            operand = recurse(expression.operand)
+            low = self._make_binary(">=", operand, recurse(expression.low))
+            high = self._make_binary("<=", operand, recurse(expression.high))
+            result = E.BoolOp("and", (low, high))
+            return E.NotExpr(result) if expression.negated else result
+        if isinstance(expression, ast.Like):
+            return self._make_like(expression, recurse)
+        if isinstance(expression, ast.InList):
+            return self._make_in_list(expression, recurse)
+        raise BindError(
+            f"unsupported expression {type(expression).__name__} in this context"
+        )
+
+    # -- ORDER BY ----------------------------------------------------------------------------
+
+    def _bind_order_by(self, stmt, plan: N.LogicalNode, names: list) -> N.LogicalNode:
+        """Sort on top of the projected output.
+
+        Keys resolve by output alias, 1-based ordinal, or structural
+        equality with a select-list expression.
+        """
+        item_by_ast = {item.expr: i for i, item in enumerate(stmt.items)}
+        keys: list[N.SortKey] = []
+        for order in stmt.order_by:
+            slot = None
+            oexpr = order.expr
+            if isinstance(oexpr, ast.Literal) and isinstance(oexpr.value, int):
+                if not 1 <= oexpr.value <= len(names):
+                    raise BindError(f"ORDER BY position {oexpr.value} out of range")
+                slot = oexpr.value - 1
+            elif isinstance(oexpr, ast.ColumnRef) and oexpr.table is None:
+                lowered = oexpr.name.lower()
+                if lowered in names:
+                    slot = names.index(lowered)
+            if slot is None and oexpr in item_by_ast:
+                slot = item_by_ast[oexpr]
+            if slot is None and isinstance(oexpr, ast.ColumnRef):
+                raise BindError(
+                    f"ORDER BY column {oexpr.name!r} not in select list"
+                )
+            if slot is None:
+                # expression over output columns (e.g. ORDER BY a + b)
+                out_scope = Scope()
+                out_scope.add_relation(None, plan.output)
+                bound = self._bind_expr_in_output(oexpr, out_scope, names)
+                keys.append(N.SortKey(bound, order.descending, order.nulls_first))
+                continue
+            keys.append(
+                N.SortKey(
+                    E.SlotRef(slot, plan.output[slot].type),
+                    order.descending,
+                    order.nulls_first,
+                )
+            )
+        return N.Sort(plan, keys)
+
+    def _bind_order_by_plain(
+        self, stmt, project: N.Project, names: list, scope: Scope
+    ) -> N.LogicalNode:
+        """Sort *under* the projection; keys may use any scope column."""
+        item_by_ast = {item.expr: i for i, item in enumerate(stmt.items)}
+        keys: list[N.SortKey] = []
+        for order in stmt.order_by:
+            oexpr = order.expr
+            slot = None
+            if isinstance(oexpr, ast.Literal) and isinstance(oexpr.value, int):
+                if not 1 <= oexpr.value <= len(names):
+                    raise BindError(f"ORDER BY position {oexpr.value} out of range")
+                slot = oexpr.value - 1
+            elif (
+                isinstance(oexpr, ast.ColumnRef)
+                and oexpr.table is None
+                and oexpr.name.lower() in names
+            ):
+                slot = names.index(oexpr.name.lower())
+            elif oexpr in item_by_ast:
+                slot = item_by_ast[oexpr]
+            if slot is not None:
+                key_expr = project.exprs[slot]
+            else:
+                key_expr = self._bind_expr(oexpr, scope)
+            keys.append(N.SortKey(key_expr, order.descending, order.nulls_first))
+        return N.Project(
+            N.Sort(project.child, keys), project.exprs, project.output
+        )
+
+    def _bind_expr_in_output(self, expression, out_scope: Scope, names):
+        def recurse(node):
+            if isinstance(node, ast.ColumnRef) and node.table is None:
+                lowered = node.name.lower()
+                if lowered in names:
+                    index = names.index(lowered)
+                    _, _, ctype = out_scope.entries[index]
+                    return E.SlotRef(index, ctype, lowered)
+                raise BindError(f"unknown ORDER BY column {node.name!r}")
+            return self._rebind_composite(node, recurse)
+
+        return self._fold(recurse(expression))
+
+    # -- expression binding -------------------------------------------------------------------
+
+    def _bind_expr(self, expression: ast.Expression, scope: Scope) -> E.BoundExpr:
+        bound = self._bind_expr_inner(expression, scope)
+        return self._fold(bound)
+
+    def _bind_expr_inner(self, expression: ast.Expression, scope: Scope) -> E.BoundExpr:
+        if isinstance(expression, ast.Literal):
+            return _bind_literal(expression)
+        if isinstance(expression, ast.IntervalLiteral):
+            raise BindError("INTERVAL is only valid in date arithmetic")
+        if isinstance(expression, ast.ColumnRef):
+            table = expression.table.lower() if expression.table else None
+            slot, ctype, is_outer = scope.resolve(expression.name, table)
+            if is_outer:
+                return E.OuterRef(slot, ctype, expression.name)
+            return E.SlotRef(slot, ctype, expression.name)
+        if isinstance(expression, ast.BinaryOp):
+            return self._bind_binary(expression, scope)
+        if isinstance(expression, ast.UnaryOp):
+            if expression.op == "not":
+                return E.NotExpr(
+                    self._coerce_predicate(self._bind_expr(expression.operand, scope))
+                )
+            operand = self._bind_expr(expression.operand, scope)
+            if not operand.type.is_numeric:
+                raise BindError("unary '-' requires a numeric operand")
+            zero = E.Const(
+                0.0 if operand.type.category == T.TypeCategory.FLOAT else 0,
+                operand.type,
+            )
+            return self._make_binary("-", zero, operand)
+        if isinstance(expression, ast.FunctionCall):
+            if expression.name in AGGREGATE_FUNCS:
+                raise BindError(
+                    f"aggregate {expression.name}() not allowed in this context"
+                )
+            args = [self._bind_expr(a, scope) for a in expression.args]
+            return self._make_function(expression.name, args)
+        if isinstance(expression, ast.ExtractExpr):
+            return self._make_function(
+                expression.unit, [self._bind_expr(expression.operand, scope)]
+            )
+        if isinstance(expression, ast.CaseExpr):
+            return self._bind_case(
+                expression, lambda node: self._bind_expr(node, scope)
+            )
+        if isinstance(expression, ast.Cast):
+            return self._make_cast(
+                self._bind_expr(expression.operand, scope), expression.type_name
+            )
+        if isinstance(expression, ast.IsNull):
+            return E.IsNullExpr(
+                self._bind_expr(expression.operand, scope), expression.negated
+            )
+        if isinstance(expression, ast.Like):
+            return self._make_like(
+                expression, lambda node: self._bind_expr(node, scope)
+            )
+        if isinstance(expression, ast.Between):
+            operand = self._bind_expr(expression.operand, scope)
+            low = self._make_binary(">=", operand, self._bind_expr(expression.low, scope))
+            high = self._make_binary(
+                "<=", operand, self._bind_expr(expression.high, scope)
+            )
+            result = E.BoolOp("and", (low, high))
+            return E.NotExpr(result) if expression.negated else result
+        if isinstance(expression, ast.InList):
+            return self._make_in_list(
+                expression, lambda node: self._bind_expr(node, scope)
+            )
+        if isinstance(expression, ast.ScalarSubquery):
+            bound = self.bind_select(expression.subquery, outer=scope)
+            if len(bound.plan.output) != 1:
+                raise BindError("scalar subquery must return a single column")
+            correlated = _plan_has_outer_refs(bound.plan)
+            return E.ScalarSubqueryExpr(
+                bound, bound.plan.output[0].type, correlated
+            )
+        if isinstance(expression, (ast.Exists, ast.InSubquery)):
+            raise BindError(
+                "EXISTS/IN-subquery only supported as a top-level WHERE conjunct"
+            )
+        if isinstance(expression, ast.Star):
+            raise BindError("'*' is only valid in the select list or COUNT(*)")
+        raise BindError(f"cannot bind expression {type(expression).__name__}")
+
+    def _bind_binary(self, expression: ast.BinaryOp, scope: Scope) -> E.BoundExpr:
+        op = expression.op
+        if op in ("and", "or"):
+            left = self._coerce_predicate(self._bind_expr(expression.left, scope))
+            right = self._coerce_predicate(self._bind_expr(expression.right, scope))
+            args: list[E.BoundExpr] = []
+            for part in (left, right):
+                if isinstance(part, E.BoolOp) and part.op == op:
+                    args.extend(part.args)
+                else:
+                    args.append(part)
+            return E.BoolOp(op, tuple(args))
+        # date +/- interval is handled before generic numeric binding
+        if op in ("+", "-") and isinstance(expression.right, ast.IntervalLiteral):
+            operand = self._bind_expr(expression.left, scope)
+            return self._make_date_shift(operand, expression.right, op)
+        if op == "+" and isinstance(expression.left, ast.IntervalLiteral):
+            operand = self._bind_expr(expression.right, scope)
+            return self._make_date_shift(operand, expression.left, "+")
+        left = self._bind_expr(expression.left, scope)
+        right = self._bind_expr(expression.right, scope)
+        return self._make_binary(op, left, right)
+
+    def _make_date_shift(
+        self, operand: E.BoundExpr, interval: ast.IntervalLiteral, op: str
+    ) -> E.BoundExpr:
+        if operand.type.category != T.TypeCategory.DATE:
+            raise BindError("INTERVAL arithmetic requires a DATE operand")
+        amount = interval.amount if op == "+" else -interval.amount
+        if interval.unit == "day":
+            return E.FuncCall(
+                "date_add_days", (operand, E.Const(amount, T.INTEGER)), T.DATE
+            )
+        months = amount * 12 if interval.unit == "year" else amount
+        return E.FuncCall(
+            "date_add_months", (operand, E.Const(months, T.INTEGER)), T.DATE
+        )
+
+    def _make_binary(self, op: str, left: E.BoundExpr, right: E.BoundExpr):
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            left, right = self._coerce_pair(left, right)
+            return E.Compare(op, left, right)
+        if op == "||":
+            if (
+                left.type.category != T.TypeCategory.STRING
+                or right.type.category != T.TypeCategory.STRING
+            ):
+                raise BindError("'||' requires string operands")
+            return E.Arith("||", left, right, T.STRING)
+        if op in ("+", "-", "*", "/", "%"):
+            lcat, rcat = left.type.category, right.type.category
+            if lcat == T.TypeCategory.DATE and rcat == T.TypeCategory.DATE:
+                if op != "-":
+                    raise BindError("only '-' is defined between dates")
+                return E.FuncCall("date_diff_days", (left, right), T.INTEGER)
+            if lcat == T.TypeCategory.DATE and rcat == T.TypeCategory.INTEGER:
+                if op not in ("+", "-"):
+                    raise BindError("dates support only +/- integer days")
+                amount = right
+                if op == "-":
+                    amount = self._make_binary(
+                        "-", E.Const(0, T.INTEGER), right
+                    )
+                return E.FuncCall("date_add_days", (left, amount), T.DATE)
+            if not (lcat.is_numeric and rcat.is_numeric):
+                raise BindError(
+                    f"arithmetic {op!r} undefined for "
+                    f"{left.type.name} and {right.type.name}"
+                )
+            # DECIMAL arithmetic runs in DOUBLE (documented simplification);
+            # '/' always yields DOUBLE.
+            if (
+                op == "/"
+                or lcat == T.TypeCategory.DECIMAL
+                or rcat == T.TypeCategory.DECIMAL
+                or lcat == T.TypeCategory.FLOAT
+                or rcat == T.TypeCategory.FLOAT
+            ):
+                return E.Arith(
+                    op,
+                    self._coerce_to(left, T.DOUBLE),
+                    self._coerce_to(right, T.DOUBLE),
+                    T.DOUBLE,
+                )
+            result = T.common_type(left.type, right.type)
+            return E.Arith(
+                op,
+                self._coerce_to(left, result),
+                self._coerce_to(right, result),
+                result,
+            )
+        raise BindError(f"unknown operator {op!r}")
+
+    def _bind_case(self, expression: ast.CaseExpr, recurse) -> E.BoundExpr:
+        whens = []
+        if expression.operand is not None:
+            operand = recurse(expression.operand)
+            for cond_ast, result_ast in expression.whens:
+                condition = self._make_binary("=", operand, recurse(cond_ast))
+                whens.append((condition, recurse(result_ast)))
+        else:
+            for cond_ast, result_ast in expression.whens:
+                whens.append(
+                    (
+                        self._coerce_predicate(recurse(cond_ast)),
+                        recurse(result_ast),
+                    )
+                )
+        else_result = (
+            recurse(expression.else_result)
+            if expression.else_result is not None
+            else None
+        )
+        result_type = whens[0][1].type
+        for _, result in whens[1:]:
+            result_type = T.common_type(result_type, result.type)
+        if else_result is not None:
+            result_type = T.common_type(result_type, else_result.type)
+        whens = tuple(
+            (cond, self._coerce_to(result, result_type)) for cond, result in whens
+        )
+        if else_result is not None:
+            else_result = self._coerce_to(else_result, result_type)
+        return E.CaseWhen(whens, else_result, result_type)
+
+    def _make_function(self, name: str, args: list) -> E.BoundExpr:
+        arg_types = [a.type for a in args]
+        result = scalar_result_type(name, arg_types)
+        if name in ("sqrt", "ln", "exp", "round", "floor", "ceil", "power"):
+            args = [
+                self._coerce_to(a, T.DOUBLE) if a.type != T.DOUBLE else a
+                for a in args[:1]
+            ] + args[1:]
+        return E.FuncCall(name, tuple(args), result)
+
+    def _make_cast(self, operand: E.BoundExpr, type_name: str) -> E.BoundExpr:
+        target = T.parse_type(type_name)
+        return self._coerce_to(operand, target)
+
+    def _make_like(self, expression: ast.Like, recurse) -> E.BoundExpr:
+        operand = recurse(expression.operand)
+        pattern = recurse(expression.pattern)
+        if not isinstance(pattern, E.Const) or not isinstance(pattern.value, str):
+            raise BindError("LIKE pattern must be a string constant")
+        if operand.type.category != T.TypeCategory.STRING:
+            raise BindError("LIKE requires a string operand")
+        return E.LikeExpr(operand, pattern.value, expression.negated)
+
+    def _make_in_list(self, expression: ast.InList, recurse) -> E.BoundExpr:
+        operand = recurse(expression.operand)
+        values = []
+        for item in expression.items:
+            bound = recurse(item)
+            if not isinstance(bound, E.Const):
+                raise BindError("IN list items must be constants")
+            coerced = self._coerce_pair(operand, bound)[1]
+            if not isinstance(coerced, E.Const):
+                raise BindError("IN list items must be constants")
+            values.append(coerced.value)
+        return E.InListExpr(operand, tuple(values), expression.negated)
+
+    # -- coercion -------------------------------------------------------------------------------
+
+    def _coerce_pair(self, left: E.BoundExpr, right: E.BoundExpr):
+        """Coerce comparison operands to a common storage domain."""
+        lt, rt = left.type, right.type
+        if lt == rt:
+            return left, right
+        lc, rc = lt.category, rt.category
+        # any VARCHAR(n) shares the same heap storage: no cast needed
+        if lc == rc and lt.is_variable:
+            return left, right
+        # untyped NULL adapts to the other side
+        if isinstance(left, E.Const) and left.is_null:
+            return E.Const(None, rt), right
+        if isinstance(right, E.Const) and right.is_null:
+            return left, E.Const(None, lt)
+        # decimal fast path: rescale the other side into the decimal domain
+        if lc == T.TypeCategory.DECIMAL and isinstance(right, E.Const):
+            return left, E.Const(lt.to_storage(right.value), lt)
+        if rc == T.TypeCategory.DECIMAL and isinstance(left, E.Const):
+            return E.Const(rt.to_storage(left.value), rt), right
+        if lc == T.TypeCategory.DECIMAL and rc == T.TypeCategory.DECIMAL:
+            common = T.common_type(lt, rt)
+            return self._coerce_to(left, common), self._coerce_to(right, common)
+        if lc == T.TypeCategory.DATE and rc == T.TypeCategory.STRING and isinstance(
+            right, E.Const
+        ):
+            return left, E.Const(T.DATE.to_storage(right.value), T.DATE)
+        if rc == T.TypeCategory.DATE and lc == T.TypeCategory.STRING and isinstance(
+            left, E.Const
+        ):
+            return E.Const(T.DATE.to_storage(left.value), T.DATE), right
+        common = T.common_type(lt, rt)
+        return self._coerce_to(left, common), self._coerce_to(right, common)
+
+    def _coerce_to(self, operand: E.BoundExpr, target: T.SQLType) -> E.BoundExpr:
+        if operand.type == target:
+            return operand
+        if (
+            operand.type.category == target.category
+            and target.is_variable
+        ):
+            return operand  # VARCHAR length variants share storage
+        if isinstance(operand, E.Const):
+            if operand.is_null:
+                return E.Const(None, target)
+            value = operand.value
+            if operand.type.category == T.TypeCategory.DECIMAL:
+                value = operand.type.from_storage(value)
+            if operand.type.category == T.TypeCategory.DATE and (
+                target.category == T.TypeCategory.DATE
+            ):
+                return E.Const(value, target)
+            return E.Const(target.to_storage(value), target)
+        return E.CastExpr(operand, target)
+
+    def _coerce_predicate(self, expression: E.BoundExpr) -> E.BoundExpr:
+        if expression.type.category != T.TypeCategory.BOOLEAN:
+            raise BindError(
+                f"expected a boolean predicate, got {expression.type.name}"
+            )
+        return expression
+
+    # -- constant folding --------------------------------------------------------------------------
+
+    def _fold(self, expression: E.BoundExpr) -> E.BoundExpr:
+        """Evaluate constant subtrees at bind time (paper: 'constant folding')."""
+        from repro.algebra.fold import fold_expression
+
+        return fold_expression(expression)
+
+    # -- DML / DDL ------------------------------------------------------------------------------------
+
+    def _bind_create_table(self, stmt: ast.CreateTable) -> N.BoundCreateTable:
+        columns = [
+            ColumnDef(spec.name.lower(), T.parse_type(spec.type_name), spec.not_null)
+            for spec in stmt.columns
+        ]
+        return N.BoundCreateTable(
+            TableSchema(stmt.name.lower(), columns), stmt.if_not_exists
+        )
+
+    def _bind_insert(self, stmt: ast.InsertStmt) -> N.BoundInsert:
+        schema: TableSchema = self._lookup_schema(stmt.table)
+        if stmt.columns:
+            indexes = [schema.column_index(c) for c in stmt.columns]
+        else:
+            indexes = list(range(len(schema.columns)))
+        if stmt.select is not None:
+            bound = self.bind_select(stmt.select, outer=None)
+            if len(bound.plan.output) != len(indexes):
+                raise BindError(
+                    f"INSERT expects {len(indexes)} columns, "
+                    f"SELECT provides {len(bound.plan.output)}"
+                )
+            return N.BoundInsert(schema.name, indexes, [], bound)
+        rows = []
+        for row in stmt.rows:
+            if len(row) != len(indexes):
+                raise BindError(
+                    f"INSERT row has {len(row)} values, expected {len(indexes)}"
+                )
+            bound_row = []
+            for value_ast, col_index in zip(row, indexes):
+                target = schema.columns[col_index].type
+                bound = self._fold(self._bind_expr_inner(value_ast, Scope()))
+                if not isinstance(bound, E.Const):
+                    raise BindError("INSERT VALUES must be constants")
+                if bound.is_null:
+                    bound_row.append(None)
+                else:
+                    value = bound.value
+                    if bound.type.category == T.TypeCategory.DECIMAL:
+                        value = bound.type.from_storage(value)
+                    elif bound.type.category == T.TypeCategory.DATE:
+                        value = T.days_to_date(int(value))
+                    bound_row.append(value)
+            rows.append(tuple(bound_row))
+        return N.BoundInsert(schema.name, indexes, rows)
+
+    def _bind_delete(self, stmt: ast.DeleteStmt) -> N.BoundDelete:
+        schema: TableSchema = self._lookup_schema(stmt.table)
+        predicate = None
+        if stmt.where is not None:
+            scope = Scope()
+            scope.add_relation(
+                schema.name.lower(),
+                [N.OutputColumn(c.name.lower(), c.type) for c in schema.columns],
+            )
+            predicate = self._coerce_predicate(self._bind_expr(stmt.where, scope))
+        return N.BoundDelete(schema.name, predicate)
+
+    def _bind_update(self, stmt: ast.UpdateStmt) -> N.BoundUpdate:
+        schema: TableSchema = self._lookup_schema(stmt.table)
+        scope = Scope()
+        scope.add_relation(
+            schema.name.lower(),
+            [N.OutputColumn(c.name.lower(), c.type) for c in schema.columns],
+        )
+        assignments = []
+        for column_name, value_ast in stmt.assignments:
+            index = schema.column_index(column_name)
+            target = schema.columns[index].type
+            bound = self._coerce_to(self._bind_expr(value_ast, scope), target)
+            assignments.append((index, bound))
+        predicate = None
+        if stmt.where is not None:
+            predicate = self._coerce_predicate(self._bind_expr(stmt.where, scope))
+        return N.BoundUpdate(schema.name, assignments, predicate)
+
+
+# -- helpers -----------------------------------------------------------------------
+
+
+class _DualScan(N.LogicalNode):
+    """One-row, zero-column relation for FROM-less SELECTs."""
+
+    table_name = "<dual>"
+    column_indexes: list = []
+    output: list = []
+
+    @property
+    def children(self) -> list:
+        return []
+
+
+class _RenamedPlan(N.LogicalNode):
+    """Wrapper assigning fresh output names to a derived table's plan."""
+
+    def __init__(self, child: N.LogicalNode, output: list):
+        self.child = child
+        self.output = output
+
+    @property
+    def children(self) -> list:
+        return [self.child]
+
+
+def _bind_literal(literal: ast.Literal) -> E.Const:
+    value = literal.value
+    if literal.type_hint == "date":
+        return E.Const(T.DATE.to_storage(value), T.DATE)
+    if literal.type_hint == "timestamp":
+        return E.Const(T.TIMESTAMP.to_storage(value), T.TIMESTAMP)
+    if literal.type_hint == "time":
+        return E.Const(T.TIME.to_storage(value), T.TIME)
+    if value is None:
+        return E.Const(None, T.INTEGER)
+    if isinstance(value, bool):
+        return E.Const(np.int8(1 if value else 0), T.BOOLEAN)
+    if isinstance(value, int):
+        itype = T.INTEGER if -(2**31) < value < 2**31 else T.BIGINT
+        return E.Const(value, itype)
+    if isinstance(value, float):
+        return E.Const(value, T.DOUBLE)
+    if isinstance(value, str):
+        return E.Const(value, T.STRING)
+    raise BindError(f"cannot bind literal {value!r}")
+
+
+def _split_conjuncts(expression: ast.Expression) -> list:
+    if isinstance(expression, ast.BinaryOp) and expression.op == "and":
+        return _split_conjuncts(expression.left) + _split_conjuncts(expression.right)
+    return [expression]
+
+
+def _split_bound_conjuncts(expression: E.BoundExpr) -> list:
+    if isinstance(expression, E.BoolOp) and expression.op == "and":
+        out = []
+        for arg in expression.args:
+            out.extend(_split_bound_conjuncts(arg))
+        return out
+    return [expression]
+
+
+def _contains_aggregate(expression: ast.Expression) -> bool:
+    if isinstance(expression, ast.FunctionCall):
+        if expression.name in AGGREGATE_FUNCS:
+            return True
+        return any(_contains_aggregate(a) for a in expression.args)
+    if isinstance(expression, ast.BinaryOp):
+        return _contains_aggregate(expression.left) or _contains_aggregate(
+            expression.right
+        )
+    if isinstance(expression, ast.UnaryOp):
+        return _contains_aggregate(expression.operand)
+    if isinstance(expression, ast.CaseExpr):
+        parts = list(expression.whens)
+        for cond, result in parts:
+            if _contains_aggregate(cond) or _contains_aggregate(result):
+                return True
+        if expression.else_result is not None:
+            return _contains_aggregate(expression.else_result)
+        return False
+    if isinstance(expression, ast.Cast):
+        return _contains_aggregate(expression.operand)
+    if isinstance(expression, ast.ExtractExpr):
+        return _contains_aggregate(expression.operand)
+    if isinstance(expression, (ast.IsNull, ast.Like)):
+        return _contains_aggregate(expression.operand)
+    if isinstance(expression, ast.Between):
+        return any(
+            _contains_aggregate(e)
+            for e in (expression.operand, expression.low, expression.high)
+        )
+    if isinstance(expression, ast.InList):
+        return _contains_aggregate(expression.operand)
+    return False
+
+
+def _contains_subquery(expression: ast.Expression) -> bool:
+    if isinstance(
+        expression, (ast.Exists, ast.InSubquery, ast.ScalarSubquery)
+    ):
+        return True
+    if isinstance(expression, ast.BinaryOp):
+        return _contains_subquery(expression.left) or _contains_subquery(
+            expression.right
+        )
+    if isinstance(expression, ast.UnaryOp):
+        return _contains_subquery(expression.operand)
+    if isinstance(expression, ast.Between):
+        return any(
+            _contains_subquery(e)
+            for e in (expression.operand, expression.low, expression.high)
+        )
+    if isinstance(expression, (ast.IsNull, ast.Like, ast.InList)):
+        return _contains_subquery(expression.operand)
+    if isinstance(expression, ast.CaseExpr):
+        for cond, result in expression.whens:
+            if _contains_subquery(cond) or _contains_subquery(result):
+                return True
+        if expression.else_result is not None:
+            return _contains_subquery(expression.else_result)
+    return False
+
+
+def _single_select_item(stmt: ast.SelectStmt) -> ast.Expression:
+    if len(stmt.items) != 1 or isinstance(stmt.items[0].expr, ast.Star):
+        raise BindError("IN subquery must select exactly one column")
+    return stmt.items[0].expr
+
+
+def _has_outer_refs(expression: E.BoundExpr) -> bool:
+    return any(isinstance(n, E.OuterRef) for n in E.walk(expression))
+
+
+def _plan_has_outer_refs(plan) -> bool:
+    """Detect correlation anywhere inside a bound plan."""
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, N.BoundSelect):
+            stack.append(node.plan)
+            continue
+        for attr in ("predicate", "residual"):
+            candidate = getattr(node, attr, None)
+            if candidate is not None and _has_outer_refs(candidate):
+                return True
+        for attr in ("exprs", "group_exprs", "left_keys", "right_keys", "predicates"):
+            for candidate in getattr(node, attr, []) or []:
+                if _has_outer_refs(candidate):
+                    return True
+        for agg in getattr(node, "aggregates", []) or []:
+            if agg.arg is not None and _has_outer_refs(agg.arg):
+                return True
+        for key in getattr(node, "keys", []) or []:
+            if _has_outer_refs(key.expr):
+                return True
+        stack.extend(getattr(node, "children", []) or [])
+    return False
+
+
+def _correlation_equality(conjunct: E.BoundExpr):
+    """Match ``outer_expr = inner_expr`` (one side all-outer, other all-inner).
+
+    Returns (outer_side, inner_side) or None.  The outer side must consist
+    exclusively of OuterRefs/constants, the inner side must have no outer
+    references.
+    """
+    if not isinstance(conjunct, E.Compare) or conjunct.op != "=":
+        return None
+
+    def side_kind(expression: E.BoundExpr) -> str:
+        has_outer = has_inner = False
+        for node in E.walk(expression):
+            if isinstance(node, E.OuterRef):
+                has_outer = True
+            elif isinstance(node, E.SlotRef):
+                has_inner = True
+        if has_outer and not has_inner:
+            return "outer"
+        if has_inner and not has_outer:
+            return "inner"
+        return "mixed" if has_outer else "inner"
+
+    left_kind = side_kind(conjunct.left)
+    right_kind = side_kind(conjunct.right)
+    if left_kind == "outer" and right_kind == "inner":
+        return conjunct.left, conjunct.right
+    if right_kind == "outer" and left_kind == "inner":
+        return conjunct.right, conjunct.left
+    return None
+
+
+def _outer_to_slot(expression: E.BoundExpr) -> E.BoundExpr:
+    """Rewrite OuterRefs to SlotRefs (keys move to the outer plan's side)."""
+    if isinstance(expression, E.OuterRef):
+        return E.SlotRef(expression.index, expression.type, expression.name)
+    if isinstance(expression, E.Arith):
+        return E.Arith(
+            expression.op,
+            _outer_to_slot(expression.left),
+            _outer_to_slot(expression.right),
+            expression.type,
+        )
+    if isinstance(expression, E.FuncCall):
+        return E.FuncCall(
+            expression.name,
+            tuple(_outer_to_slot(a) for a in expression.args),
+            expression.type,
+        )
+    if isinstance(expression, E.CastExpr):
+        return E.CastExpr(_outer_to_slot(expression.operand), expression.type)
+    return expression
+
+
+def _extract_equi_keys(conjuncts: list, left_width: int):
+    """Split bound ON conjuncts into equi-key pairs and a residual.
+
+    Slots < ``left_width`` belong to the left side; key expressions are
+    re-based so each side's keys address that side's own output.
+    """
+    left_keys: list[E.BoundExpr] = []
+    right_keys: list[E.BoundExpr] = []
+    residual_parts: list[E.BoundExpr] = []
+    for conjunct in conjuncts:
+        placed = False
+        if isinstance(conjunct, E.Compare) and conjunct.op == "=":
+            lrefs = E.references(conjunct.left)
+            rrefs = E.references(conjunct.right)
+            if lrefs and rrefs:
+                if max(lrefs) < left_width <= min(rrefs):
+                    left_keys.append(conjunct.left)
+                    right_keys.append(
+                        E.remap_slots(
+                            conjunct.right, {i: i - left_width for i in rrefs}
+                        )
+                    )
+                    placed = True
+                elif max(rrefs) < left_width <= min(lrefs):
+                    left_keys.append(conjunct.right)
+                    right_keys.append(
+                        E.remap_slots(
+                            conjunct.left, {i: i - left_width for i in lrefs}
+                        )
+                    )
+                    placed = True
+        if not placed:
+            residual_parts.append(conjunct)
+    residual = None
+    if residual_parts:
+        residual = (
+            residual_parts[0]
+            if len(residual_parts) == 1
+            else E.BoolOp("and", tuple(residual_parts))
+        )
+    return left_keys, right_keys, residual
+
+
+def _expression_name(expression: ast.Expression, position: int) -> str:
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name
+    if isinstance(expression, ast.FunctionCall):
+        return expression.name
+    if isinstance(expression, ast.ExtractExpr):
+        return expression.unit
+    return f"col{position}"

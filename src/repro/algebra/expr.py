@@ -1,0 +1,300 @@
+"""Bound (typed, slot-addressed) expressions.
+
+After binding, column references are :class:`SlotRef` indices into the input
+row of the operator that evaluates them, constants are already converted to
+the *storage domain* of their type (dates are epoch days, decimals scaled
+integers), and every node carries its result :class:`~repro.storage.types.SQLType`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.storage import types as T
+
+__all__ = [
+    "BoundExpr",
+    "SlotRef",
+    "OuterRef",
+    "Const",
+    "Arith",
+    "Compare",
+    "BoolOp",
+    "NotExpr",
+    "IsNullExpr",
+    "CaseWhen",
+    "FuncCall",
+    "LikeExpr",
+    "InListExpr",
+    "CastExpr",
+    "ScalarSubqueryExpr",
+    "ExistsSubqueryExpr",
+    "AggSpec",
+    "walk",
+    "references",
+    "is_const",
+    "remap_slots",
+    "remap_outer",
+]
+
+
+class BoundExpr:
+    """Base class of all bound expressions; ``type`` is the result type."""
+
+    __slots__ = ()
+
+    type: T.SQLType
+
+
+@dataclass(frozen=True)
+class SlotRef(BoundExpr):
+    """Reference to input slot ``index`` of the evaluating operator."""
+
+    index: int
+    type: T.SQLType
+    name: str = ""
+
+    def __str__(self) -> str:
+        return f"${self.index}:{self.name or self.type.name}"
+
+
+@dataclass(frozen=True)
+class OuterRef(BoundExpr):
+    """Reference to slot ``index`` of an *outer* query's row (correlation)."""
+
+    index: int
+    type: T.SQLType
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Const(BoundExpr):
+    """A literal already converted to the storage domain of ``type``.
+
+    Strings stay Python ``str`` (heap insertion happens at evaluation time);
+    NULL is represented by the type's sentinel via ``value=None``.
+    """
+
+    value: object
+    type: T.SQLType
+
+    @property
+    def is_null(self) -> bool:
+        return self.value is None
+
+
+@dataclass(frozen=True)
+class Arith(BoundExpr):
+    """Arithmetic (``+ - * / %``) or string concatenation (``||``)."""
+
+    op: str
+    left: BoundExpr
+    right: BoundExpr
+    type: T.SQLType
+
+
+@dataclass(frozen=True)
+class Compare(BoundExpr):
+    """Comparison; operands are pre-coerced to a common storage domain."""
+
+    op: str  # = <> < <= > >=
+    left: BoundExpr
+    right: BoundExpr
+    type: T.SQLType = T.BOOLEAN
+
+
+@dataclass(frozen=True)
+class BoolOp(BoundExpr):
+    """N-ary AND / OR with Kleene three-valued semantics."""
+
+    op: str  # and | or
+    args: tuple
+    type: T.SQLType = T.BOOLEAN
+
+
+@dataclass(frozen=True)
+class NotExpr(BoundExpr):
+    operand: BoundExpr
+    type: T.SQLType = T.BOOLEAN
+
+
+@dataclass(frozen=True)
+class IsNullExpr(BoundExpr):
+    operand: BoundExpr
+    negated: bool = False
+    type: T.SQLType = T.BOOLEAN
+
+
+@dataclass(frozen=True)
+class CaseWhen(BoundExpr):
+    """Searched CASE; ``whens`` is a tuple of (condition, result) pairs."""
+
+    whens: tuple
+    else_result: Optional[BoundExpr]
+    type: T.SQLType = T.DOUBLE
+
+
+@dataclass(frozen=True)
+class FuncCall(BoundExpr):
+    """Scalar function call (``year``, ``sqrt``, ``substring``, ...)."""
+
+    name: str
+    args: tuple
+    type: T.SQLType
+
+
+@dataclass(frozen=True)
+class LikeExpr(BoundExpr):
+    """LIKE with our own matcher (the paper removed the PCRE dependency)."""
+
+    operand: BoundExpr
+    pattern: str
+    negated: bool = False
+    type: T.SQLType = T.BOOLEAN
+
+
+@dataclass(frozen=True)
+class InListExpr(BoundExpr):
+    """``x IN (c1, ..., cn)`` with constant items (storage domain)."""
+
+    operand: BoundExpr
+    values: tuple
+    negated: bool = False
+    type: T.SQLType = T.BOOLEAN
+
+
+@dataclass(frozen=True)
+class CastExpr(BoundExpr):
+    operand: BoundExpr
+    type: T.SQLType
+
+
+@dataclass(frozen=True)
+class ScalarSubqueryExpr(BoundExpr):
+    """A subquery producing one scalar; may reference outer slots.
+
+    ``plan`` is a bound logical plan whose :class:`OuterRef` nodes address
+    slots of the *evaluating* operator's input row.  ``correlated`` caches
+    whether any outer reference exists (uncorrelated plans are evaluated
+    once and folded to a constant).
+    """
+
+    plan: object
+    type: T.SQLType
+    correlated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsSubqueryExpr(BoundExpr):
+    """Fallback EXISTS evaluation (when decorrelation does not apply)."""
+
+    plan: object
+    negated: bool = False
+    correlated: bool = False
+    type: T.SQLType = T.BOOLEAN
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate computed by an Aggregate node.
+
+    ``func`` in sum/avg/count/count_star/min/max/median; ``arg`` is the
+    bound input expression (None for ``count(*)``), ``distinct`` covers
+    COUNT(DISTINCT x), ``type`` is the result type.
+    """
+
+    func: str
+    arg: Optional[BoundExpr]
+    type: T.SQLType
+    distinct: bool = False
+
+
+# -- tree utilities --------------------------------------------------------------
+
+
+def walk(expression: BoundExpr):
+    """Yield every node of an expression tree, pre-order."""
+    yield expression
+    if isinstance(expression, (Arith, Compare)):
+        yield from walk(expression.left)
+        yield from walk(expression.right)
+    elif isinstance(expression, BoolOp):
+        for arg in expression.args:
+            yield from walk(arg)
+    elif isinstance(expression, (NotExpr,)):
+        yield from walk(expression.operand)
+    elif isinstance(expression, IsNullExpr):
+        yield from walk(expression.operand)
+    elif isinstance(expression, CaseWhen):
+        for cond, result in expression.whens:
+            yield from walk(cond)
+            yield from walk(result)
+        if expression.else_result is not None:
+            yield from walk(expression.else_result)
+    elif isinstance(expression, FuncCall):
+        for arg in expression.args:
+            yield from walk(arg)
+    elif isinstance(expression, (LikeExpr, InListExpr, CastExpr)):
+        yield from walk(expression.operand)
+
+
+def references(expression: BoundExpr) -> set[int]:
+    """Slot indices referenced by an expression (excluding subquery plans)."""
+    return {n.index for n in walk(expression) if isinstance(n, SlotRef)}
+
+
+def is_const(expression: BoundExpr) -> bool:
+    """True when the expression has no slot or outer references."""
+    for node in walk(expression):
+        if isinstance(node, (SlotRef, OuterRef)):
+            return False
+        if isinstance(node, (ScalarSubqueryExpr, ExistsSubqueryExpr)):
+            return False
+    return True
+
+
+def remap_slots(expression: BoundExpr, mapping: dict[int, int]) -> BoundExpr:
+    """Rewrite SlotRef indices through ``mapping`` (identity if missing)."""
+    return _remap(expression, SlotRef, mapping)
+
+
+def remap_outer(expression: BoundExpr, mapping: dict[int, int]) -> BoundExpr:
+    """Rewrite OuterRef indices through ``mapping`` (identity if missing)."""
+    return _remap(expression, OuterRef, mapping)
+
+
+def _remap(expression: BoundExpr, ref_class, mapping: dict[int, int]) -> BoundExpr:
+    def rewrite(node: BoundExpr) -> BoundExpr:
+        if isinstance(node, ref_class):
+            target = mapping.get(node.index, node.index)
+            if target == node.index:
+                return node
+            return ref_class(target, node.type, node.name)
+        if isinstance(node, Arith):
+            return Arith(node.op, rewrite(node.left), rewrite(node.right), node.type)
+        if isinstance(node, Compare):
+            return Compare(node.op, rewrite(node.left), rewrite(node.right))
+        if isinstance(node, BoolOp):
+            return BoolOp(node.op, tuple(rewrite(a) for a in node.args))
+        if isinstance(node, NotExpr):
+            return NotExpr(rewrite(node.operand))
+        if isinstance(node, IsNullExpr):
+            return IsNullExpr(rewrite(node.operand), node.negated)
+        if isinstance(node, CaseWhen):
+            whens = tuple((rewrite(c), rewrite(r)) for c, r in node.whens)
+            else_result = (
+                rewrite(node.else_result) if node.else_result is not None else None
+            )
+            return CaseWhen(whens, else_result, node.type)
+        if isinstance(node, FuncCall):
+            return FuncCall(node.name, tuple(rewrite(a) for a in node.args), node.type)
+        if isinstance(node, LikeExpr):
+            return LikeExpr(rewrite(node.operand), node.pattern, node.negated)
+        if isinstance(node, InListExpr):
+            return InListExpr(rewrite(node.operand), node.values, node.negated)
+        if isinstance(node, CastExpr):
+            return CastExpr(rewrite(node.operand), node.type)
+        return node
+
+    return rewrite(expression)

@@ -1,0 +1,261 @@
+"""Constant folding over bound expressions (paper: bind-time optimization).
+
+Any subtree without slot, outer, or subquery references is evaluated right
+away, so e.g. ``date '1998-12-01' - interval '90' day`` reaches the engines
+as a single :class:`~repro.algebra.expr.Const` in the DATE storage domain.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algebra import expr as E
+from repro.algebra.like import compile_like
+from repro.errors import BindError
+from repro.storage import types as T
+
+__all__ = ["fold_expression", "eval_const"]
+
+
+def fold_expression(expression: E.BoundExpr) -> E.BoundExpr:
+    """Recursively replace constant subtrees with Const nodes."""
+    folded = _fold_children(expression)
+    if isinstance(folded, E.Const):
+        return folded
+    if _is_foldable(folded):
+        value = eval_const(folded)
+        return E.Const(value, folded.type)
+    return folded
+
+
+def _is_foldable(expression: E.BoundExpr) -> bool:
+    if isinstance(expression, (E.ScalarSubqueryExpr, E.ExistsSubqueryExpr)):
+        return False
+    for node in E.walk(expression):
+        if isinstance(node, (E.SlotRef, E.OuterRef)):
+            return False
+        if isinstance(node, (E.ScalarSubqueryExpr, E.ExistsSubqueryExpr)):
+            return False
+    return True
+
+
+def _fold_children(expression: E.BoundExpr) -> E.BoundExpr:
+    if isinstance(expression, E.Arith):
+        return E.Arith(
+            expression.op,
+            fold_expression(expression.left),
+            fold_expression(expression.right),
+            expression.type,
+        )
+    if isinstance(expression, E.Compare):
+        return E.Compare(
+            expression.op,
+            fold_expression(expression.left),
+            fold_expression(expression.right),
+        )
+    if isinstance(expression, E.BoolOp):
+        return E.BoolOp(
+            expression.op, tuple(fold_expression(a) for a in expression.args)
+        )
+    if isinstance(expression, E.NotExpr):
+        return E.NotExpr(fold_expression(expression.operand))
+    if isinstance(expression, E.IsNullExpr):
+        return E.IsNullExpr(fold_expression(expression.operand), expression.negated)
+    if isinstance(expression, E.CaseWhen):
+        whens = tuple(
+            (fold_expression(c), fold_expression(r)) for c, r in expression.whens
+        )
+        else_result = (
+            fold_expression(expression.else_result)
+            if expression.else_result is not None
+            else None
+        )
+        return E.CaseWhen(whens, else_result, expression.type)
+    if isinstance(expression, E.FuncCall):
+        return E.FuncCall(
+            expression.name,
+            tuple(fold_expression(a) for a in expression.args),
+            expression.type,
+        )
+    if isinstance(expression, E.LikeExpr):
+        return E.LikeExpr(
+            fold_expression(expression.operand), expression.pattern, expression.negated
+        )
+    if isinstance(expression, E.InListExpr):
+        return E.InListExpr(
+            fold_expression(expression.operand), expression.values, expression.negated
+        )
+    if isinstance(expression, E.CastExpr):
+        return E.CastExpr(fold_expression(expression.operand), expression.type)
+    return expression
+
+
+def eval_const(expression: E.BoundExpr):
+    """Scalar evaluation of a constant expression (storage-domain result)."""
+    if isinstance(expression, E.Const):
+        return expression.value
+    if isinstance(expression, E.Arith):
+        left = eval_const(expression.left)
+        right = eval_const(expression.right)
+        if left is None or right is None:
+            return None
+        return _scalar_arith(expression.op, left, right)
+    if isinstance(expression, E.Compare):
+        left = eval_const(expression.left)
+        right = eval_const(expression.right)
+        if left is None or right is None:
+            return None
+        return _scalar_compare(expression.op, left, right)
+    if isinstance(expression, E.BoolOp):
+        values = [eval_const(a) for a in expression.args]
+        truths = [bool(v) for v in values if v is not None]
+        if expression.op == "and":
+            if any(v is not None and not v for v in values):
+                return False
+            return None if any(v is None for v in values) else True
+        if any(v is not None and v for v in values):
+            return True
+        return None if any(v is None for v in values) else False
+    if isinstance(expression, E.NotExpr):
+        value = eval_const(expression.operand)
+        return None if value is None else not value
+    if isinstance(expression, E.IsNullExpr):
+        value = eval_const(expression.operand)
+        return (value is None) != expression.negated
+    if isinstance(expression, E.CaseWhen):
+        for condition, result in expression.whens:
+            if eval_const(condition):
+                return eval_const(result)
+        if expression.else_result is not None:
+            return eval_const(expression.else_result)
+        return None
+    if isinstance(expression, E.FuncCall):
+        args = [eval_const(a) for a in expression.args]
+        return _scalar_function(expression.name, args)
+    if isinstance(expression, E.LikeExpr):
+        value = eval_const(expression.operand)
+        return compile_like(expression.pattern, expression.negated)(value)
+    if isinstance(expression, E.InListExpr):
+        value = eval_const(expression.operand)
+        if value is None:
+            return None
+        result = value in expression.values
+        return (not result) if expression.negated else result
+    if isinstance(expression, E.CastExpr):
+        return _scalar_cast(
+            eval_const(expression.operand), expression.operand.type, expression.type
+        )
+    raise BindError(f"cannot fold {type(expression).__name__}")
+
+
+def _scalar_arith(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None
+        return left / right
+    if op == "%":
+        if right == 0:
+            return None
+        return left % right
+    if op == "||":
+        return str(left) + str(right)
+    raise BindError(f"unknown arithmetic operator {op!r}")
+
+
+def _scalar_compare(op: str, left, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise BindError(f"unknown comparison {op!r}")
+
+
+def _scalar_function(name: str, args: list):
+    if name == "coalesce":  # the one function defined ON nulls
+        for arg in args:
+            if arg is not None:
+                return arg
+        return None
+    if any(a is None for a in args):
+        return None
+    if name == "date_add_days":
+        return int(args[0]) + int(args[1])
+    if name == "date_add_months":
+        days = np.asarray([int(args[0])], dtype=np.int32)
+        return int(T.add_months_to_days(days, int(args[1]))[0])
+    if name == "date_diff_days":
+        return int(args[0]) - int(args[1])
+    if name in ("year", "month", "day"):
+        days = np.asarray([int(args[0])], dtype=np.int32)
+        lookup = {
+            "year": T.year_of_days,
+            "month": T.month_of_days,
+            "day": T.day_of_days,
+        }
+        return int(lookup[name](days)[0])
+    if name == "sqrt":
+        return math.sqrt(args[0]) if args[0] >= 0 else None
+    if name == "abs":
+        return abs(args[0])
+    if name == "round":
+        digits = int(args[1]) if len(args) > 1 else 0
+        return round(float(args[0]), digits)
+    if name == "floor":
+        return math.floor(args[0])
+    if name == "ceil":
+        return math.ceil(args[0])
+    if name == "ln":
+        return math.log(args[0]) if args[0] > 0 else None
+    if name == "exp":
+        return math.exp(args[0])
+    if name == "power":
+        return float(args[0]) ** float(args[1])
+    if name == "mod":
+        return args[0] % args[1] if args[1] != 0 else None
+    if name == "upper":
+        return str(args[0]).upper()
+    if name == "lower":
+        return str(args[0]).lower()
+    if name == "trim":
+        return str(args[0]).strip()
+    if name == "length":
+        return len(str(args[0]))
+    if name in ("substring", "substr"):
+        start = int(args[1]) - 1
+        if len(args) > 2:
+            return str(args[0])[start : start + int(args[2])]
+        return str(args[0])[start:]
+    if name == "concat":
+        return "".join(str(a) for a in args)
+    if name == "coalesce":
+        for arg in args:
+            if arg is not None:
+                return arg
+        return None
+    raise BindError(f"cannot evaluate function {name!r}")
+
+
+def _scalar_cast(value, source: T.SQLType, target: T.SQLType):
+    if value is None:
+        return None
+    if source.category == T.TypeCategory.DECIMAL:
+        value = source.from_storage(value)
+    if target.category == T.TypeCategory.STRING:
+        return str(value)
+    return target.to_storage(value)

@@ -1,0 +1,74 @@
+"""Scalar function and aggregate signatures used by the binder."""
+
+from __future__ import annotations
+
+from repro.errors import BindError
+from repro.storage import types as T
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "scalar_result_type",
+    "aggregate_result_type",
+]
+
+#: Aggregates recognized in select lists / HAVING.
+AGGREGATE_FUNCS = frozenset(
+    ["sum", "avg", "count", "min", "max", "median", "stddev", "var"]
+)
+
+_NUMERIC_FUNCS = frozenset(
+    ["sqrt", "abs", "round", "floor", "ceil", "ln", "exp", "power", "mod"]
+)
+_STRING_FUNCS = frozenset(
+    ["upper", "lower", "trim", "substring", "substr", "length", "concat"]
+)
+_DATE_FUNCS = frozenset(["year", "month", "day"])
+
+
+def scalar_result_type(name: str, arg_types: list) -> T.SQLType:
+    """Result type of a scalar function; raises BindError if unknown."""
+    if name in _DATE_FUNCS:
+        if not arg_types or not arg_types[0].category.is_temporal:
+            raise BindError(f"{name}() requires a temporal argument")
+        return T.INTEGER
+    if name in ("abs",):
+        return arg_types[0] if arg_types else T.DOUBLE
+    if name in _NUMERIC_FUNCS:
+        return T.DOUBLE
+    if name == "length":
+        return T.INTEGER
+    if name in _STRING_FUNCS:
+        return T.STRING
+    if name == "coalesce":
+        if not arg_types:
+            raise BindError("coalesce() requires arguments")
+        result = arg_types[0]
+        for other in arg_types[1:]:
+            result = T.common_type(result, other)
+        return result
+    if name == "date_add_days":
+        return T.DATE
+    if name == "date_add_months":
+        return T.DATE
+    if name == "date_diff_days":
+        return T.INTEGER
+    raise BindError(f"unknown function {name!r}")
+
+
+def aggregate_result_type(func: str, arg_type: T.SQLType | None) -> T.SQLType:
+    """Result type of an aggregate over a value of ``arg_type``."""
+    if func in ("count", "count_star"):
+        return T.BIGINT
+    if func in ("avg", "median", "stddev", "var"):
+        return T.DOUBLE
+    if func == "sum":
+        if arg_type is None:
+            raise BindError("sum() requires an argument")
+        if arg_type.category == T.TypeCategory.INTEGER:
+            return T.BIGINT
+        return T.DOUBLE
+    if func in ("min", "max"):
+        if arg_type is None:
+            raise BindError(f"{func}() requires an argument")
+        return arg_type
+    raise BindError(f"unknown aggregate {func!r}")

@@ -1,0 +1,104 @@
+"""Our own LIKE matcher — no regular expression engine.
+
+Paper, section 3.4 ("Dependencies"): *"we made our own implementation of the
+LIKE operator (that previously used regular expressions from the PCRE
+library)"*.  This module mirrors that: SQL LIKE patterns (``%`` = any
+sequence, ``_`` = any single character, ``\\`` escapes) are matched with a
+hand-rolled two-pointer algorithm, and the common shapes ``abc``, ``abc%``,
+``%abc``, ``%abc%`` get dedicated fast paths used by the vectorized kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["like_match", "compile_like"]
+
+
+def like_match(value: str, pattern: str) -> bool:
+    """Match one string against a LIKE pattern (case sensitive).
+
+    Implements the classic greedy-with-backtracking wildcard algorithm:
+    linear in practice, worst case O(len(value) * segments).
+    """
+    v_len, p_len = len(value), len(pattern)
+    v = p = 0
+    star_p = -1  # position in pattern just after the last '%'
+    star_v = 0  # position in value where that '%' match restarts
+
+    while v < v_len:
+        if p < p_len:
+            ch = pattern[p]
+            if ch == "\\" and p + 1 < p_len:
+                if value[v] == pattern[p + 1]:
+                    v += 1
+                    p += 2
+                    continue
+            elif ch == "_":
+                v += 1
+                p += 1
+                continue
+            elif ch == "%":
+                star_p = p + 1
+                star_v = v
+                p += 1
+                continue
+            elif value[v] == ch:
+                v += 1
+                p += 1
+                continue
+        if star_p >= 0:
+            star_v += 1
+            v = star_v
+            p = star_p
+            continue
+        return False
+
+    while p < p_len and pattern[p] == "%":
+        p += 1
+    return p == p_len
+
+
+def _classify(pattern: str):
+    """Detect the fast-path shape of a pattern.
+
+    Returns (kind, payload) with kind in ``exact``/``prefix``/``suffix``/
+    ``contains``/``general``.
+    """
+    if "\\" in pattern or "_" in pattern:
+        return "general", pattern
+    body = pattern.strip("%")
+    if "%" in body:
+        return "general", pattern
+    starts = pattern.startswith("%")
+    ends = pattern.endswith("%")
+    if not starts and not ends:
+        return "exact", pattern
+    if starts and ends:
+        return "contains", body
+    if ends:
+        return "prefix", body
+    return "suffix", body
+
+
+def compile_like(pattern: str, negated: bool = False) -> Callable[[object], bool]:
+    """Compile a pattern into a per-value predicate (None -> False).
+
+    NULL semantics: ``NULL LIKE p`` is unknown, which a WHERE clause treats
+    as false, for both LIKE and NOT LIKE — hence None maps to False always.
+    """
+    kind, payload = _classify(pattern)
+    if kind == "exact":
+        base = lambda s: s == payload  # noqa: E731
+    elif kind == "prefix":
+        base = lambda s: s.startswith(payload)  # noqa: E731
+    elif kind == "suffix":
+        base = lambda s: s.endswith(payload)  # noqa: E731
+    elif kind == "contains":
+        base = lambda s: payload in s  # noqa: E731
+    else:
+        base = lambda s: like_match(s, pattern)  # noqa: E731
+
+    if negated:
+        return lambda s: s is not None and not base(s)
+    return lambda s: s is not None and base(s)

@@ -1,0 +1,318 @@
+"""Logical plan nodes.
+
+Every node exposes ``output``: an ordered list of :class:`OutputColumn`
+(name, type) pairs; expressions inside a node address its *children's*
+concatenated outputs by slot index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.expr import AggSpec, BoundExpr
+from repro.storage.types import SQLType
+
+__all__ = [
+    "OutputColumn",
+    "LogicalNode",
+    "Scan",
+    "Filter",
+    "Project",
+    "Join",
+    "SemiJoin",
+    "Aggregate",
+    "Sort",
+    "SortKey",
+    "Limit",
+    "Distinct",
+    "SetOp",
+    "MultiJoin",
+    "BoundSelect",
+    "BoundInsert",
+    "BoundDelete",
+    "BoundUpdate",
+    "BoundCreateTable",
+    "BoundDropTable",
+    "BoundCreateIndex",
+    "BoundDropIndex",
+    "BoundTransaction",
+]
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One column of a node's output schema."""
+
+    name: str
+    type: SQLType
+
+
+class LogicalNode:
+    """Base class of logical plan nodes."""
+
+    __slots__ = ()
+
+    output: list
+    children: list
+
+
+@dataclass
+class Scan(LogicalNode):
+    """Base-table scan of selected column positions.
+
+    ``table_name`` is resolved against the transaction at execution time so
+    plans never capture a stale snapshot.
+    """
+
+    table_name: str
+    column_indexes: list
+    output: list
+
+    @property
+    def children(self) -> list:
+        return []
+
+
+@dataclass
+class Filter(LogicalNode):
+    """Row selection; predicate slots address the child's output."""
+
+    child: LogicalNode
+    predicate: BoundExpr
+
+    @property
+    def output(self) -> list:
+        return self.child.output
+
+    @property
+    def children(self) -> list:
+        return [self.child]
+
+
+@dataclass
+class Project(LogicalNode):
+    """Expression projection; defines a fresh output schema."""
+
+    child: LogicalNode
+    exprs: list
+    output: list
+
+    @property
+    def children(self) -> list:
+        return [self.child]
+
+
+@dataclass
+class Join(LogicalNode):
+    """Equi-join with optional residual predicate.
+
+    Key expressions address the respective side's output; the residual
+    addresses the concatenation [left.output + right.output].  ``kind`` in
+    inner/left/cross (cross = no keys).
+    """
+
+    left: LogicalNode
+    right: LogicalNode
+    kind: str
+    left_keys: list
+    right_keys: list
+    residual: Optional[BoundExpr] = None
+
+    @property
+    def output(self) -> list:
+        return list(self.left.output) + list(self.right.output)
+
+    @property
+    def children(self) -> list:
+        return [self.left, self.right]
+
+
+@dataclass
+class SemiJoin(LogicalNode):
+    """Semi (EXISTS) or anti (NOT EXISTS) join; output = left side only."""
+
+    left: LogicalNode
+    right: LogicalNode
+    left_keys: list
+    right_keys: list
+    anti: bool = False
+    residual: Optional[BoundExpr] = None  # over [left.output + right.output]
+
+    @property
+    def output(self) -> list:
+        return self.left.output
+
+    @property
+    def children(self) -> list:
+        return [self.left, self.right]
+
+
+@dataclass
+class Aggregate(LogicalNode):
+    """Grouped aggregation; output = group keys then aggregate results."""
+
+    child: LogicalNode
+    group_exprs: list
+    aggregates: list  # of AggSpec
+    output: list
+
+    @property
+    def children(self) -> list:
+        return [self.child]
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One sort key: slot expression + direction + NULL placement."""
+
+    expr: BoundExpr
+    descending: bool = False
+    nulls_first: Optional[bool] = None
+
+
+@dataclass
+class Sort(LogicalNode):
+    child: LogicalNode
+    keys: list  # of SortKey
+
+    @property
+    def output(self) -> list:
+        return self.child.output
+
+    @property
+    def children(self) -> list:
+        return [self.child]
+
+
+@dataclass
+class Limit(LogicalNode):
+    child: LogicalNode
+    limit: Optional[int]
+    offset: int = 0
+
+    @property
+    def output(self) -> list:
+        return self.child.output
+
+    @property
+    def children(self) -> list:
+        return [self.child]
+
+
+@dataclass
+class Distinct(LogicalNode):
+    child: LogicalNode
+
+    @property
+    def output(self) -> list:
+        return self.child.output
+
+    @property
+    def children(self) -> list:
+        return [self.child]
+
+
+@dataclass
+class SetOp(LogicalNode):
+    """UNION / EXCEPT / INTERSECT of two compatible plans."""
+
+    op: str
+    left: LogicalNode
+    right: LogicalNode
+    all: bool = False
+
+    @property
+    def output(self) -> list:
+        return self.left.output
+
+    @property
+    def children(self) -> list:
+        return [self.left, self.right]
+
+
+@dataclass
+class MultiJoin(LogicalNode):
+    """Unordered bag of relations plus conjunctive predicates.
+
+    The binder emits this for comma-style FROM lists; the optimizer's join
+    ordering pass turns it into a left-deep tree of :class:`Join` nodes.
+    Predicates address the concatenation of all children's outputs in the
+    listed order.
+    """
+
+    relations: list
+    predicates: list
+
+    @property
+    def output(self) -> list:
+        out: list = []
+        for rel in self.relations:
+            out.extend(rel.output)
+        return out
+
+    @property
+    def children(self) -> list:
+        return self.relations
+
+
+# -- bound statements -------------------------------------------------------------
+
+
+@dataclass
+class BoundSelect:
+    """A SELECT ready for optimization and execution."""
+
+    plan: LogicalNode
+    column_names: list
+
+
+@dataclass
+class BoundInsert:
+    table_name: str
+    column_indexes: list  # target positions in schema order
+    rows: list  # of tuples of Const (storage-domain values)
+    select: Optional[BoundSelect] = None
+
+
+@dataclass
+class BoundDelete:
+    table_name: str
+    predicate: Optional[BoundExpr]  # over the full table row
+
+
+@dataclass
+class BoundUpdate:
+    table_name: str
+    assignments: list  # of (column_index, BoundExpr over full table row)
+    predicate: Optional[BoundExpr]
+
+
+@dataclass
+class BoundCreateTable:
+    schema: object  # TableSchema
+    if_not_exists: bool = False
+
+
+@dataclass
+class BoundDropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class BoundCreateIndex:
+    name: str
+    table_name: str
+    columns: list
+    ordered: bool = False
+
+
+@dataclass
+class BoundDropIndex:
+    name: str
+
+
+@dataclass
+class BoundTransaction:
+    action: str  # begin | commit | rollback

@@ -1,0 +1,596 @@
+"""Relational-tree optimizations (paper section 3.1, optimization level 1).
+
+Three passes, in order:
+
+1. **Filter pushdown** — conjuncts of a :class:`~repro.algebra.nodes.MultiJoin`
+   that touch a single relation move into a Filter directly above that
+   relation's scan.
+2. **Join ordering** — the remaining equi-join predicates form a join graph;
+   a greedy smallest-relation-first heuristic builds a left-deep tree of
+   hash joins, falling back to cross products only for disconnected
+   components.  Non-equi predicates become residual filters applied as soon
+   as all their inputs are available.
+3. **Projection pushdown (column pruning)** — scans load only the columns
+   any ancestor actually uses; this is what lets a column store touch two
+   columns of a 274-column table (the ACS scenario of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algebra import expr as E
+from repro.algebra import nodes as N
+from repro.errors import BindError
+
+__all__ = ["optimize", "estimate_rows"]
+
+
+def optimize(
+    bound: N.BoundSelect, row_count: Callable[[str], int]
+) -> N.BoundSelect:
+    """Run all optimization passes over a bound SELECT."""
+    plan = _rewrite_multijoins(bound.plan, row_count)
+    plan, _ = _prune(plan, set(range(len(plan.output))))
+    return N.BoundSelect(plan, bound.column_names)
+
+
+# -- pass 1+2: MultiJoin rewriting ------------------------------------------------
+
+
+def _rewrite_multijoins(node: N.LogicalNode, row_count) -> N.LogicalNode:
+    """Bottom-up replacement of MultiJoin nodes by ordered join trees."""
+    # recurse into children first
+    if isinstance(node, N.MultiJoin):
+        relations = [_rewrite_multijoins(r, row_count) for r in node.relations]
+        return _order_multijoin(relations, list(node.predicates), row_count)
+    for attr in ("child", "left", "right"):
+        child = getattr(node, attr, None)
+        if isinstance(child, N.LogicalNode):
+            setattr(node, attr, _rewrite_multijoins(child, row_count))
+    if isinstance(node, N.BoundSelect):  # pragma: no cover - defensive
+        node.plan = _rewrite_multijoins(node.plan, row_count)
+    # rewrite subquery plans hiding inside predicates
+    for attr in ("predicate",):
+        predicate = getattr(node, attr, None)
+        if predicate is not None:
+            _rewrite_subquery_plans(predicate, row_count)
+    if isinstance(node, N.Project):
+        for item in node.exprs:
+            _rewrite_subquery_plans(item, row_count)
+    return node
+
+
+def _rewrite_subquery_plans(expression: E.BoundExpr, row_count) -> None:
+    for sub in E.walk(expression):
+        if isinstance(sub, (E.ScalarSubqueryExpr, E.ExistsSubqueryExpr)):
+            bound = sub.plan
+            bound.plan = _rewrite_multijoins(bound.plan, row_count)
+    # Compare/Arith wrap subqueries without walk() descending into them;
+    # handle the direct members explicitly.
+    if isinstance(expression, (E.Compare, E.Arith)):
+        for side in (expression.left, expression.right):
+            if isinstance(side, (E.ScalarSubqueryExpr, E.ExistsSubqueryExpr)):
+                side.plan.plan = _rewrite_multijoins(side.plan.plan, row_count)
+            else:
+                _rewrite_subquery_plans(side, row_count)
+
+
+def _order_multijoin(
+    relations: list, predicates: list, row_count
+) -> N.LogicalNode:
+    """Push single-relation filters, then greedily order the joins."""
+    if len(relations) == 1 and not predicates:
+        return relations[0]
+
+    offsets: list[int] = []
+    total = 0
+    for relation in relations:
+        offsets.append(total)
+        total += len(relation.output)
+
+    def owner(slot: int) -> int:
+        for index in range(len(relations) - 1, -1, -1):
+            if slot >= offsets[index]:
+                return index
+        raise BindError(f"slot {slot} out of range")
+
+    # -- pass 1: single-relation conjuncts become pushed-down filters
+    remaining: list[tuple[E.BoundExpr, set]] = []
+    pushed: dict[int, list] = {}
+    for predicate in predicates:
+        refs = E.references(predicate)
+        owners = {owner(slot) for slot in refs}
+        if len(owners) == 1:
+            index = owners.pop()
+            local = E.remap_slots(
+                predicate, {slot: slot - offsets[index] for slot in refs}
+            )
+            pushed.setdefault(index, []).append(local)
+        elif not owners:
+            # constant predicate: keep as a residual on the final plan
+            remaining.append((predicate, set()))
+        else:
+            remaining.append((predicate, refs))
+    for index, conjuncts in pushed.items():
+        predicate = (
+            conjuncts[0] if len(conjuncts) == 1 else E.BoolOp("and", tuple(conjuncts))
+        )
+        relations[index] = N.Filter(relations[index], predicate)
+
+    # -- pass 2: greedy join ordering
+    estimates = [
+        estimate_rows(relation, row_count) for relation in relations
+    ]
+    equi: list[dict] = []  # {left_rel, right_rel, left_expr, right_expr}
+    residuals: list[tuple[E.BoundExpr, set]] = []
+    for predicate, refs in remaining:
+        pair = _equi_pair(predicate, refs, owner, offsets)
+        if pair is not None:
+            equi.append(pair)
+        else:
+            residuals.append((predicate, refs))
+
+    joined: set[int] = set()
+    # start from the smallest filtered relation that participates in a join,
+    # or simply the smallest relation.
+    participating = {p["left_rel"] for p in equi} | {p["right_rel"] for p in equi}
+    order_seed = min(
+        range(len(relations)),
+        key=lambda i: (i not in participating, estimates[i]),
+    )
+    tree: N.LogicalNode = relations[order_seed]
+    joined.add(order_seed)
+    # slot_map: global slot -> slot in current tree output
+    slot_map: dict[int, int] = {
+        offsets[order_seed] + i: i for i in range(len(relations[order_seed].output))
+    }
+    used_equi: set[int] = set()
+
+    def connectable() -> list[int]:
+        out = []
+        for pi, pred in enumerate(equi):
+            if pi in used_equi:
+                continue
+            sides = (pred["left_rel"], pred["right_rel"])
+            inside = [s for s in sides if s in joined]
+            outside = [s for s in sides if s not in joined]
+            if len(inside) == 1 and len(outside) == 1:
+                out.append(outside[0])
+        return out
+
+    while len(joined) < len(relations):
+        candidates = connectable()
+        if candidates:
+            nxt = min(candidates, key=lambda i: estimates[i])
+        else:
+            nxt = min(
+                (i for i in range(len(relations)) if i not in joined),
+                key=lambda i: estimates[i],
+            )
+        left_keys: list[E.BoundExpr] = []
+        right_keys: list[E.BoundExpr] = []
+        for pi, pred in enumerate(equi):
+            if pi in used_equi:
+                continue
+            sides = {pred["left_rel"], pred["right_rel"]}
+            if not (sides <= joined | {nxt}) or nxt not in sides:
+                continue
+            if len(sides) == 1:
+                continue  # self-pair inside nxt: handled as residual below
+            if pred["left_rel"] == nxt:
+                inner_expr = pred["left_expr"]
+                outer_global = pred["original"].right
+                outer_refs_global = pred["right_refs"]
+            else:
+                inner_expr = pred["right_expr"]
+                outer_global = pred["original"].left
+                outer_refs_global = pred["left_refs"]
+            if not all(slot in slot_map for slot in outer_refs_global):
+                continue
+            left_keys.append(
+                E.remap_slots(
+                    outer_global, {s: slot_map[s] for s in outer_refs_global}
+                )
+            )
+            right_keys.append(inner_expr)
+            used_equi.add(pi)
+        kind = "inner" if left_keys else "cross"
+        width_before = len(tree.output)
+        tree = N.Join(tree, relations[nxt], kind, left_keys, right_keys)
+        for i in range(len(relations[nxt].output)):
+            slot_map[offsets[nxt] + i] = width_before + i
+        joined.add(nxt)
+
+        # apply residual predicates as soon as their inputs are available
+        ready = [
+            (predicate, refs)
+            for predicate, refs in residuals
+            if all(slot in slot_map for slot in refs)
+        ]
+        if ready:
+            residuals = [entry for entry in residuals if entry not in ready]
+            conjuncts = [
+                E.remap_slots(predicate, {s: slot_map[s] for s in refs})
+                for predicate, refs in ready
+            ]
+            predicate = (
+                conjuncts[0]
+                if len(conjuncts) == 1
+                else E.BoolOp("and", tuple(conjuncts))
+            )
+            tree = N.Filter(tree, predicate)
+
+    for predicate, refs in residuals:
+        conjunct = E.remap_slots(predicate, {s: slot_map[s] for s in refs})
+        tree = N.Filter(tree, conjunct)
+
+    # equi predicates closing a cycle in the join graph (both sides already
+    # joined before the predicate could serve as a key) become filters.
+    leftover = [
+        E.remap_slots(
+            equi[pi]["original"], {s: slot_map[s] for s in equi[pi]["refs"]}
+        )
+        for pi in range(len(equi))
+        if pi not in used_equi
+    ]
+    if leftover:
+        predicate = (
+            leftover[0] if len(leftover) == 1 else E.BoolOp("and", tuple(leftover))
+        )
+        tree = N.Filter(tree, predicate)
+
+    if len(relations) == 1:
+        return tree
+    # restore the original MultiJoin column order expected by the parent
+    exprs = []
+    output = []
+    for global_slot in range(total):
+        tree_slot = slot_map[global_slot]
+        column = tree.output[tree_slot]
+        exprs.append(E.SlotRef(tree_slot, column.type, column.name))
+        output.append(column)
+    identity = all(e.index == i for i, e in enumerate(exprs))
+    return tree if identity else N.Project(tree, exprs, output)
+
+
+def _equi_pair(predicate, refs, owner, offsets):
+    """Recognize ``exprL = exprR`` spanning exactly two relations."""
+    if not isinstance(predicate, E.Compare) or predicate.op != "=":
+        return None
+    lrefs = E.references(predicate.left)
+    rrefs = E.references(predicate.right)
+    if not lrefs or not rrefs:
+        return None
+    lowners = {owner(s) for s in lrefs}
+    rowners = {owner(s) for s in rrefs}
+    if len(lowners) != 1 or len(rowners) != 1 or lowners == rowners:
+        return None
+    left_rel, right_rel = lowners.pop(), rowners.pop()
+    return {
+        "original": predicate,
+        "refs": set(lrefs) | set(rrefs),
+        "left_rel": left_rel,
+        "right_rel": right_rel,
+        # keys stay in two forms: the side being *added* to the tree keeps
+        # relation-local slots; the side already in the tree is remapped at
+        # join construction time via the global refs recorded here.
+        "left_expr": E.remap_slots(
+            predicate.left, {s: s - offsets[left_rel] for s in lrefs}
+        ),
+        "right_expr": E.remap_slots(
+            predicate.right, {s: s - offsets[right_rel] for s in rrefs}
+        ),
+        "left_refs": set(lrefs),
+        "right_refs": set(rrefs),
+    }
+
+
+# -- cardinality estimation ---------------------------------------------------------
+
+
+def estimate_rows(node: N.LogicalNode, row_count) -> float:
+    """Crude cardinality estimate used by the greedy join order."""
+    if isinstance(node, N.Scan):
+        return max(1.0, float(row_count(node.table_name)))
+    if isinstance(node, N.Filter):
+        return max(
+            1.0,
+            estimate_rows(node.child, row_count)
+            * _selectivity(node.predicate),
+        )
+    if isinstance(node, N.Join):
+        left = estimate_rows(node.left, row_count)
+        right = estimate_rows(node.right, row_count)
+        if node.kind == "cross" and not node.left_keys:
+            return left * right
+        return max(left, right)
+    if isinstance(node, N.SemiJoin):
+        return estimate_rows(node.left, row_count) * 0.5
+    if isinstance(node, N.Aggregate):
+        return max(1.0, estimate_rows(node.child, row_count) * 0.1)
+    if isinstance(node, N.Limit) and node.limit is not None:
+        return float(node.limit)
+    children = getattr(node, "children", [])
+    if children:
+        return estimate_rows(children[0], row_count)
+    return 1.0
+
+
+def _selectivity(predicate: E.BoundExpr) -> float:
+    if isinstance(predicate, E.BoolOp):
+        result = 1.0
+        if predicate.op == "and":
+            for arg in predicate.args:
+                result *= _selectivity(arg)
+            return result
+        return min(1.0, sum(_selectivity(a) for a in predicate.args))
+    if isinstance(predicate, E.Compare):
+        return 0.05 if predicate.op == "=" else 0.3
+    if isinstance(predicate, E.LikeExpr):
+        return 0.1
+    if isinstance(predicate, E.InListExpr):
+        return min(1.0, 0.05 * max(1, len(predicate.values)))
+    if isinstance(predicate, E.NotExpr):
+        return 1.0 - _selectivity(predicate.operand)
+    return 0.5
+
+
+# -- pass 3: projection pushdown -----------------------------------------------------
+
+
+def _prune(node: N.LogicalNode, needed: set):
+    """Prune unneeded output columns; returns (node, old->new slot map).
+
+    ``needed`` is the set of the node's output slots any ancestor uses.
+    """
+    if isinstance(node, N.Scan):
+        keep = sorted(needed) if needed else [0] if node.output else []
+        if not node.output:
+            return node, {}
+        if keep == list(range(len(node.output))):
+            return node, {i: i for i in keep}
+        new_node = N.Scan(
+            node.table_name,
+            [node.column_indexes[i] for i in keep],
+            [node.output[i] for i in keep],
+        )
+        return new_node, {old: new for new, old in enumerate(keep)}
+
+    if isinstance(node, N.Filter):
+        child_needed = (
+            set(needed)
+            | E.references(node.predicate)
+            | _subquery_outer_needs(node.predicate)
+        )
+        _prune_nested_subqueries(node.predicate)
+        child, mapping = _prune(node.child, child_needed)
+        node.child = child
+        node.predicate = E.remap_slots(node.predicate, mapping)
+        _remap_subquery_outer(node.predicate, mapping)
+        return node, {old: mapping[old] for old in needed}
+
+    if isinstance(node, N.Project):
+        keep = sorted(needed) if needed else ([0] if node.exprs else [])
+        child_needed: set = set()
+        for index in keep:
+            child_needed |= E.references(node.exprs[index])
+            child_needed |= _subquery_outer_needs(node.exprs[index])
+            _prune_nested_subqueries(node.exprs[index])
+        child, mapping = _prune(node.child, child_needed)
+        node.child = child
+        node.exprs = [E.remap_slots(node.exprs[i], mapping) for i in keep]
+        for expression in node.exprs:
+            _remap_subquery_outer(expression, mapping)
+        node.output = [node.output[i] for i in keep]
+        return node, {old: new for new, old in enumerate(keep)}
+
+    if isinstance(node, N.Join):
+        left_width = len(node.left.output)
+        left_needed = {s for s in needed if s < left_width}
+        right_needed = {s - left_width for s in needed if s >= left_width}
+        for key in node.left_keys:
+            left_needed |= E.references(key)
+        for key in node.right_keys:
+            right_needed |= E.references(key)
+        if node.residual is not None:
+            for slot in E.references(node.residual):
+                if slot < left_width:
+                    left_needed.add(slot)
+                else:
+                    right_needed.add(slot - left_width)
+        left, lmap = _prune(node.left, left_needed)
+        right, rmap = _prune(node.right, right_needed)
+        new_left_width = len(left.output)
+        node.left, node.right = left, right
+        node.left_keys = [E.remap_slots(k, lmap) for k in node.left_keys]
+        node.right_keys = [E.remap_slots(k, rmap) for k in node.right_keys]
+        combined = dict(lmap)
+        for old, new in rmap.items():
+            combined[old + left_width] = new + new_left_width
+        if node.residual is not None:
+            node.residual = E.remap_slots(node.residual, combined)
+        return node, {old: combined[old] for old in needed}
+
+    if isinstance(node, N.SemiJoin):
+        left_needed = set(needed)
+        for key in node.left_keys:
+            left_needed |= E.references(key)
+        right_needed: set = set()
+        for key in node.right_keys:
+            right_needed |= E.references(key)
+        left, lmap = _prune(node.left, left_needed)
+        right, rmap = _prune(node.right, right_needed)
+        node.left, node.right = left, right
+        node.left_keys = [E.remap_slots(k, lmap) for k in node.left_keys]
+        node.right_keys = [E.remap_slots(k, rmap) for k in node.right_keys]
+        return node, {old: lmap[old] for old in needed}
+
+    if isinstance(node, N.Aggregate):
+        child_needed: set = set()
+        for expression in node.group_exprs:
+            child_needed |= E.references(expression)
+        for agg in node.aggregates:
+            if agg.arg is not None:
+                child_needed |= E.references(agg.arg)
+        child, mapping = _prune(node.child, child_needed)
+        node.child = child
+        node.group_exprs = [E.remap_slots(g, mapping) for g in node.group_exprs]
+        node.aggregates = [
+            E.AggSpec(
+                a.func,
+                E.remap_slots(a.arg, mapping) if a.arg is not None else None,
+                a.type,
+                a.distinct,
+            )
+            for a in node.aggregates
+        ]
+        return node, {i: i for i in range(len(node.output))}
+
+    if isinstance(node, N.Sort):
+        child_needed = set(needed)
+        for key in node.keys:
+            child_needed |= E.references(key.expr)
+        child, mapping = _prune(node.child, child_needed)
+        node.child = child
+        node.keys = [
+            N.SortKey(E.remap_slots(k.expr, mapping), k.descending, k.nulls_first)
+            for k in node.keys
+        ]
+        return node, {old: mapping[old] for old in needed}
+
+    if isinstance(node, (N.Limit, N.Distinct)):
+        # Distinct semantics depend on the full row: keep all columns.
+        full = set(range(len(node.child.output)))
+        child_needed = full if isinstance(node, N.Distinct) else set(needed)
+        child, mapping = _prune(node.child, child_needed)
+        node.child = child
+        return node, {old: mapping[old] for old in needed}
+
+    if isinstance(node, N.SetOp):
+        full = set(range(len(node.left.output)))
+        left, _ = _prune(node.left, full)
+        right, _ = _prune(node.right, set(range(len(node.right.output))))
+        node.left, node.right = left, right
+        return node, {i: i for i in range(len(node.output))}
+
+    # unknown wrappers (e.g. _RenamedPlan): prune child conservatively
+    child = getattr(node, "child", None)
+    if isinstance(child, N.LogicalNode):
+        pruned, _ = _prune(child, set(range(len(child.output))))
+        node.child = pruned
+    return node, {i: i for i in needed}
+
+
+def _iter_subquery_exprs(expression: E.BoundExpr):
+    """Yield every ScalarSubqueryExpr / ExistsSubqueryExpr node, any depth."""
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (E.ScalarSubqueryExpr, E.ExistsSubqueryExpr)):
+            yield node
+            continue
+        if isinstance(node, (E.Compare, E.Arith)):
+            stack.extend([node.left, node.right])
+        elif isinstance(node, E.BoolOp):
+            stack.extend(node.args)
+        elif isinstance(node, E.NotExpr):
+            stack.append(node.operand)
+        elif isinstance(node, E.CaseWhen):
+            for cond, result in node.whens:
+                stack.extend([cond, result])
+            if node.else_result is not None:
+                stack.append(node.else_result)
+        elif isinstance(node, E.FuncCall):
+            stack.extend(node.args)
+        elif isinstance(node, (E.LikeExpr, E.InListExpr, E.CastExpr, E.IsNullExpr)):
+            stack.append(node.operand)
+
+
+def _plan_expr_attrs(node: N.LogicalNode):
+    """Yield (container, key, expression) for every expression in a node."""
+    predicate = getattr(node, "predicate", None)
+    if predicate is not None:
+        yield node, "predicate", predicate
+    residual = getattr(node, "residual", None)
+    if residual is not None:
+        yield node, "residual", residual
+    for attr in ("exprs", "group_exprs", "left_keys", "right_keys", "predicates"):
+        seq = getattr(node, attr, None)
+        if seq:
+            for index, expression in enumerate(seq):
+                yield seq, index, expression
+    for agg in getattr(node, "aggregates", []) or []:
+        if agg.arg is not None:
+            yield None, None, agg.arg
+    for key in getattr(node, "keys", []) or []:
+        yield None, None, key.expr
+
+
+def _plan_outer_refs(plan: N.LogicalNode) -> set:
+    """All OuterRef slot indices used anywhere inside a plan."""
+    refs: set = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        for _, _, expression in _plan_expr_attrs(node):
+            for sub in E.walk(expression):
+                if isinstance(sub, E.OuterRef):
+                    refs.add(sub.index)
+        stack.extend(getattr(node, "children", []) or [])
+    return refs
+
+
+def _remap_plan_outer(plan: N.LogicalNode, mapping: dict) -> None:
+    """Rewrite OuterRef indices inside a plan, in place."""
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        predicate = getattr(node, "predicate", None)
+        if predicate is not None:
+            node.predicate = E.remap_outer(predicate, mapping)
+        residual = getattr(node, "residual", None)
+        if residual is not None:
+            node.residual = E.remap_outer(residual, mapping)
+        for attr in ("exprs", "group_exprs", "left_keys", "right_keys", "predicates"):
+            seq = getattr(node, attr, None)
+            if seq:
+                for index, expression in enumerate(seq):
+                    seq[index] = E.remap_outer(expression, mapping)
+        if getattr(node, "aggregates", None):
+            node.aggregates = [
+                E.AggSpec(
+                    a.func,
+                    E.remap_outer(a.arg, mapping) if a.arg is not None else None,
+                    a.type,
+                    a.distinct,
+                )
+                for a in node.aggregates
+            ]
+        if getattr(node, "keys", None) and isinstance(node, N.Sort):
+            node.keys = [
+                N.SortKey(E.remap_outer(k.expr, mapping), k.descending, k.nulls_first)
+                for k in node.keys
+            ]
+        stack.extend(getattr(node, "children", []) or [])
+
+
+def _subquery_outer_needs(expression: E.BoundExpr) -> set:
+    """Outer slots that subqueries inside ``expression`` depend on."""
+    needs: set = set()
+    for sub in _iter_subquery_exprs(expression):
+        needs |= _plan_outer_refs(sub.plan.plan)
+    return needs
+
+
+def _remap_subquery_outer(expression: E.BoundExpr, mapping: dict) -> None:
+    for sub in _iter_subquery_exprs(expression):
+        _remap_plan_outer(sub.plan.plan, mapping)
+
+
+def _prune_nested_subqueries(expression: E.BoundExpr) -> None:
+    """Column-prune the plans nested inside subquery expressions."""
+    for sub in _iter_subquery_exprs(expression):
+        bound = sub.plan
+        plan, _ = _prune(bound.plan, set(range(len(bound.plan.output))))
+        bound.plan = plan

@@ -1,0 +1,16 @@
+"""Benchmark harness reproducing the paper's evaluation (section 4).
+
+* :mod:`repro.bench.systems` — adapters exposing one DBI-like surface
+  (execute / dbWriteTable / dbReadTable / columnar pulls) over every
+  system configuration of the paper;
+* :mod:`repro.bench.runner` — the paper's timing protocol: median of N hot
+  runs, cold run discarded, wall-clock timeout, ``T``/``E`` markers;
+* :mod:`repro.bench.figures` and :mod:`repro.bench.tables` — one runner per
+  figure/table of the paper;
+* ``python -m repro.bench <experiment>`` regenerates any of them.
+"""
+
+from repro.bench.runner import BenchResult, measure
+from repro.bench.systems import SYSTEMS, make_adapter
+
+__all__ = ["BenchResult", "measure", "SYSTEMS", "make_adapter"]

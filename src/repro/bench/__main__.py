@@ -1,0 +1,106 @@
+"""Benchmark CLI: ``python -m repro.bench <experiment> [options]``.
+
+Experiments: ``fig5`` ``fig6`` ``fig7`` ``fig8`` ``table1`` ``all``.
+``--quick`` shrinks scale factors and run counts for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import figures, tables
+from repro.bench.report import render_figure, render_table1
+from repro.workloads.tpch import QUERIES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="repro benchmark harness")
+    parser.add_argument(
+        "experiment",
+        choices=["fig5", "fig6", "fig7", "fig8", "table1", "all"],
+    )
+    parser.add_argument("--sf", type=float, default=None,
+                        help="TPC-H scale factor override")
+    parser.add_argument("--scale", choices=["small", "large"], default="small",
+                        help="table1 configuration")
+    parser.add_argument("--acs-rows", type=int, default=None)
+    parser.add_argument("--runs", type=int, default=None)
+    parser.add_argument("--timeout", type=float, default=None)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny scale, few runs, in-process servers")
+    parser.add_argument("--in-process", action="store_true",
+                        help="run socket servers as threads, not processes")
+    parser.add_argument("--systems", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    quick = args.quick
+    in_process = args.in_process or quick
+    runs = args.runs if args.runs is not None else (2 if quick else 3)
+    timeout = args.timeout if args.timeout is not None else (
+        60.0 if quick else 300.0
+    )
+    sf = args.sf if args.sf is not None else (0.01 if quick else 0.05)
+    acs_rows = args.acs_rows if args.acs_rows is not None else (
+        2000 if quick else 20000
+    )
+
+    experiments = (
+        ["fig5", "fig6", "table1", "fig7", "fig8"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for experiment in experiments:
+        if experiment == "fig5":
+            results = figures.fig5_ingest(
+                scale_factor=sf, systems=args.systems, runs=runs,
+                timeout=timeout, in_process=in_process,
+            )
+            print(render_figure(
+                f"Figure 5: lineitem ingest (dbWriteTable), SF={sf}", results
+            ))
+        elif experiment == "fig6":
+            results = figures.fig6_export(
+                scale_factor=sf, systems=args.systems, runs=runs,
+                timeout=timeout, in_process=in_process,
+            )
+            print(render_figure(
+                f"Figure 6: lineitem export (dbReadTable), SF={sf}", results
+            ))
+        elif experiment == "fig7":
+            results = figures.fig7_acs_load(
+                nrows=acs_rows, systems=args.systems, runs=runs,
+                timeout=timeout, in_process=in_process,
+            )
+            print(render_figure(
+                f"Figure 7: ACS load ({acs_rows} persons, 274 cols)", results
+            ))
+        elif experiment == "fig8":
+            results = figures.fig8_acs_stats(
+                nrows=acs_rows, systems=args.systems, runs=runs,
+                timeout=timeout, in_process=in_process,
+            )
+            print(render_figure(
+                f"Figure 8: ACS statistics ({acs_rows} persons)", results
+            ))
+        elif experiment == "table1":
+            scale_kw = {}
+            if args.sf is not None or quick:
+                scale_kw["scale_factor"] = sf
+            results = tables.table1(
+                scale=args.scale, runs=runs, timeout=timeout,
+                in_process=in_process,
+                db_systems=args.systems, **scale_kw,
+            )
+            print(render_table1(
+                f"Table 1: TPC-H Q1-Q10 ({args.scale}, SF used: "
+                f"{scale_kw.get('scale_factor', tables.SCALES[args.scale]['scale_factor'])})",
+                results,
+                list(QUERIES),
+            ))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

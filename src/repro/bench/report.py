@@ -1,0 +1,49 @@
+"""Plain-text rendering of benchmark results (paper-style rows/series)."""
+
+from __future__ import annotations
+
+from repro.bench.runner import BenchResult
+
+__all__ = ["render_figure", "render_table1"]
+
+
+def render_figure(title: str, results: dict, unit: str = "s") -> str:
+    """Bar-style text rendering of one figure's {system: BenchResult}."""
+    lines = [title, "-" * len(title)]
+    numeric = [r.median for r in results.values() if r.ok]
+    top = max(numeric) if numeric else 1.0
+    width = max(len(name) for name in results) if results else 10
+    for name, result in results.items():
+        if result.ok:
+            bar = "#" * max(1, int(40 * result.median / top)) if top else ""
+            lines.append(f"{name:<{width}}  {result.median:>10.2f}{unit}  {bar}")
+        else:
+            detail = f" ({result.detail})" if result.detail else ""
+            lines.append(f"{name:<{width}}  {result.status:>10}{detail}")
+    return "\n".join(lines)
+
+
+def render_table1(title: str, results: dict, queries: list) -> str:
+    """The paper's Table 1 grid: one row per system, Q1..Q10 + Total."""
+    from repro.bench.tables import total_row
+
+    header = ["System"] + [f"Q{q}" for q in queries] + ["Total"]
+    rows = [header]
+    for system, per_query in results.items():
+        cells = [system]
+        for q in queries:
+            result = per_query.get(q)
+            cells.append(result.cell() if result else "-")
+        total = total_row(per_query)
+        if total.status == "T":
+            cells.append(total.detail)
+        else:
+            cells.append(total.cell())
+        rows.append(cells)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [title, "-" * len(title)]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Timing protocol of the paper's evaluation.
+
+Section 4.1: *"Reported timings are the median of ten hot runs. The
+initial cold run is always ignored. A timeout of 5 minutes is used for the
+queries."*  :func:`measure` implements exactly that, plus ``E`` status for
+out-of-memory failures (Table 1's library entries at SF10).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemoryError, QueryTimeoutError
+
+__all__ = ["BenchResult", "measure", "DEFAULT_RUNS", "DEFAULT_TIMEOUT"]
+
+DEFAULT_RUNS = 10
+DEFAULT_TIMEOUT = 300.0
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one measurement: a time, a timeout, or a crash."""
+
+    name: str
+    status: str  # "ok" | "T" (timeout) | "E" (out of memory) | "X" (error)
+    median: float | None = None
+    times: list = field(default_factory=list)
+    detail: str = ""
+
+    def cell(self, digits: int = 2) -> str:
+        """Table-cell rendering: a number, or the paper's T/E markers."""
+        if self.status == "ok":
+            return f"{self.median:.{digits}f}"
+        return self.status
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def measure(
+    name: str,
+    fn,
+    runs: int = DEFAULT_RUNS,
+    timeout: float = DEFAULT_TIMEOUT,
+    cold_run: bool = True,
+) -> BenchResult:
+    """Run ``fn`` repeatedly under the paper's protocol.
+
+    The first (cold) run is executed and discarded; afterwards up to
+    ``runs`` hot runs are timed and the median reported.  A run exceeding
+    ``timeout`` wall-clock seconds marks the whole cell ``T`` (matching the
+    paper: timed-out queries appear as ``T``, not as a number);
+    :class:`~repro.errors.OutOfMemoryError` (or a real ``MemoryError``)
+    marks it ``E``.
+    """
+    times: list = []
+    total_runs = runs + (1 if cold_run else 0)
+    for i in range(total_runs):
+        start = time.perf_counter()
+        try:
+            fn()
+        except (OutOfMemoryError, MemoryError) as exc:
+            return BenchResult(name, "E", detail=str(exc))
+        except QueryTimeoutError as exc:
+            return BenchResult(name, "T", detail=str(exc))
+        except Exception as exc:  # surface real failures distinctly
+            return BenchResult(name, "X", detail=f"{type(exc).__name__}: {exc}")
+        elapsed = time.perf_counter() - start
+        if elapsed > timeout:
+            return BenchResult(name, "T", detail=f"run took {elapsed:.1f}s")
+        if cold_run and i == 0:
+            continue
+        times.append(elapsed)
+        # long benchmarks: do not insist on all hot runs once the budget
+        # is clearly dominated by one run
+        if sum(times) > timeout:
+            break
+    return BenchResult(name, "ok", statistics.median(times), times)

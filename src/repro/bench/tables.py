@@ -1,0 +1,123 @@
+"""Experiment runner for the paper's Table 1 (TPC-H Q1-Q10).
+
+Runs the ten queries on every database system *and* every library profile,
+producing the per-query grid with totals and the paper's ``T``/``E``
+markers.  The "SF10" configuration is modeled by a larger scale factor
+plus a memory budget on the libraries sized so that multi-join
+intermediates exceed it — reproducing the out-of-memory column of the
+paper without a 10 GB dataset.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import BenchResult, measure
+from repro.bench.systems import LIBRARIES, make_adapter
+from repro.frames import DataFrame, MemoryLimiter
+from repro.frames.tpch import run_query
+from repro.workloads.tpch import QUERIES, generate, schema_statements, TABLES
+from repro.workloads.tpch.gen import column_type_names
+
+__all__ = ["table1", "SCALES"]
+
+#: named scale configurations; "large" adds the library memory budget.
+SCALES = {
+    "small": {"scale_factor": 0.05, "library_budget": None},
+    "large": {"scale_factor": 0.1, "library_budget": 48 * 1024 * 1024},
+}
+
+DB_SYSTEMS = ["MonetDBLite", "MonetDB", "SQLite", "PostgreSQL", "MariaDB"]
+
+#: which libraries hit the memory wall in the paper's SF10 run (Table 1:
+#: data.table and Pandas crash with E; dplyr and Julia finish, degraded).
+LIBRARY_HITS_MEMORY_WALL = {
+    "data.table": True,
+    "Pandas": True,
+    "dplyr": False,
+    "Julia": False,
+}
+
+
+def table1(
+    scale: str = "small",
+    scale_factor: float | None = None,
+    library_budget: int | None = None,
+    db_systems: list | None = None,
+    libraries: list | None = None,
+    queries: list | None = None,
+    runs: int = 3,
+    timeout: float = 300.0,
+    in_process: bool = False,
+    seed: int = 42,
+) -> dict:
+    """Run the Table 1 grid; returns {system: {query: BenchResult}}."""
+    config = SCALES[scale]
+    sf = scale_factor if scale_factor is not None else config["scale_factor"]
+    budget = (
+        library_budget if library_budget is not None else config["library_budget"]
+    )
+    query_ids = queries or list(QUERIES)
+    data = generate(sf, seed=seed)
+    results: dict = {}
+
+    ddl = dict(zip(TABLES, schema_statements()))
+    for name in db_systems if db_systems is not None else DB_SYSTEMS:
+        adapter = make_adapter(name, timeout=timeout, in_process=in_process)
+        adapter.setup()
+        try:
+            # load once, untimed (Table 1 measures query execution only);
+            # socket setups use batched INSERTs to keep setup time sane
+            setup_batch = None if adapter.is_embedded else 500
+            for table in TABLES:
+                adapter.db_write_table(
+                    table,
+                    data[table],
+                    column_type_names(table),
+                    create_sql=ddl[table],
+                    rows_per_insert=setup_batch,
+                )
+            results[name] = {}
+            for qn in query_ids:
+                results[name][qn] = measure(
+                    f"{name}-Q{qn}",
+                    lambda sql=QUERIES[qn]: adapter.query_rows(sql),
+                    runs=runs,
+                    timeout=timeout,
+                )
+        finally:
+            adapter.teardown()
+
+    lib_names = libraries if libraries is not None else list(LIBRARIES)
+    for lib in lib_names:
+        profile = LIBRARIES[lib]
+        lib_budget = budget if LIBRARY_HITS_MEMORY_WALL.get(lib, True) else None
+        limiter = MemoryLimiter(lib_budget)
+        tables = {
+            name: DataFrame(cols, profile=profile, limiter=limiter)
+            for name, cols in data.items()
+        }
+        results[lib] = {}
+        for qn in query_ids:
+            limiter.reset()
+            results[lib][qn] = measure(
+                f"{lib}-Q{qn}",
+                lambda q=qn: run_query(q, tables),
+                runs=runs,
+                timeout=timeout,
+            )
+    return results
+
+
+def total_row(per_query: dict) -> BenchResult:
+    """Aggregate one system's row into the paper's "Total" column.
+
+    Following the paper's convention, timeouts render as ``T+<sum of the
+    finished queries>`` and any out-of-memory makes the total ``E``.
+    """
+    if any(r.status == "E" for r in per_query.values()):
+        return BenchResult("total", "E")
+    finished = [r.median for r in per_query.values() if r.ok]
+    if any(r.status in ("T", "X") for r in per_query.values()):
+        result = BenchResult("total", "T")
+        result.detail = f"T+{sum(finished):.2f}"
+        return result
+    return BenchResult("total", "ok", sum(finished), finished)

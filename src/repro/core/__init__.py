@@ -1,0 +1,13 @@
+"""The embedded analytical database: startup, connections, results.
+
+This is the paper's primary contribution layer (sections 3.2-3.4): an
+in-process database with no server, no external dependencies, an in-memory
+or persistent mode, multiple isolated connections, bulk append, and errors
+reported as exceptions rather than process exits.
+"""
+
+from repro.core.database import Database, shutdown, startup
+from repro.core.connection import Connection
+from repro.core.result import Result
+
+__all__ = ["Database", "Connection", "Result", "startup", "shutdown"]

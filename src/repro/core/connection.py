@@ -1,0 +1,334 @@
+"""Connections: dummy clients holding a query context (paper section 3.2).
+
+*"In MonetDBLite [...] these connections are dummy clients that only hold a
+query context and can be used to query the database. Multiple connections
+can be created for a single database instance [for] inter-query parallelism
+[...] and they provide transaction isolation between them."*
+
+A connection runs in autocommit mode until ``BEGIN``; each autocommit
+statement gets its own transaction.  ``monetdb_append`` maps to
+:meth:`Connection.append`, the zero-parsing bulk-insert path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra import nodes as N
+from repro.algebra.binder import bind_statement
+from repro.algebra.optimizer import optimize
+from repro.errors import CatalogError, InterfaceError, TransactionError
+from repro.core.result import Result
+from repro.mal.codegen import compile_select
+from repro.mal.interpreter import ExecutionContext, Interpreter
+from repro.mal.vector_eval import eval_pred, eval_value
+from repro.mal.vectors import vec_from_column, vec_to_column
+from repro.sql.parser import parse
+from repro.storage.column import Column
+from repro.txn.transaction import Transaction
+
+__all__ = ["Connection"]
+
+
+class Connection:
+    """One isolated query context over the embedded database."""
+
+    def __init__(self, database):
+        self._database = database
+        self._txn: Transaction | None = None
+        self._open = True
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Disconnect; an open transaction is rolled back."""
+        if self._txn is not None and self._txn.active:
+            self._database.txn_manager.rollback(self._txn)
+        self._txn = None
+        self._open = False
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise InterfaceError("connection is closed")
+
+    # -- transaction control ------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.active
+
+    def begin(self) -> None:
+        self._check_open()
+        if self.in_transaction:
+            raise TransactionError("transaction already in progress")
+        self._txn = self._database.txn_manager.begin()
+
+    def commit(self) -> None:
+        self._check_open()
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        try:
+            self._database.txn_manager.commit(self._txn)
+        finally:
+            self._txn = None
+
+    def rollback(self) -> None:
+        self._check_open()
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        self._database.txn_manager.rollback(self._txn)
+        self._txn = None
+
+    def _statement_txn(self):
+        """(transaction, is_autocommit) for one statement."""
+        if self.in_transaction:
+            return self._txn, False
+        return self._database.txn_manager.begin(), True
+
+    # -- query execution ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> Result | None:
+        """Run SQL (``monetdb_query``); returns the last statement's result."""
+        self._check_open()
+        result: Result | None = None
+        for statement in parse(sql):
+            result = self._execute_statement(statement)
+        return result
+
+    def query(self, sql: str) -> Result:
+        """Like :meth:`execute` but requires a result-producing statement."""
+        result = self.execute(sql)
+        if result is None:
+            raise InterfaceError("statement produced no result")
+        return result
+
+    def _execute_statement(self, statement) -> Result | None:
+        from repro.sql import ast
+
+        if isinstance(statement, ast.TransactionStmt):
+            action = statement.action
+            if action == "begin":
+                self.begin()
+            elif action == "commit":
+                self.commit()
+            else:
+                self.rollback()
+            return None
+
+        txn, autocommit = self._statement_txn()
+        try:
+            bound = bind_statement(
+                statement, lambda name: txn.resolve_table(name).schema
+            )
+            result = self._dispatch(bound, txn)
+            if autocommit:
+                self._database.txn_manager.commit(txn)
+            return result
+        except Exception:
+            if autocommit:
+                self._database.txn_manager.rollback(txn)
+            else:
+                # an error inside an explicit transaction aborts it
+                self._database.txn_manager.rollback(txn)
+                self._txn = None
+            raise
+
+    def _dispatch(self, bound, txn) -> Result | None:
+        if isinstance(bound, N.BoundSelect):
+            return Result(self._run_select(bound, txn))
+        if isinstance(bound, N.BoundInsert):
+            self._run_insert(bound, txn)
+            return None
+        if isinstance(bound, N.BoundDelete):
+            self._run_delete(bound, txn)
+            return None
+        if isinstance(bound, N.BoundUpdate):
+            self._run_update(bound, txn)
+            return None
+        if isinstance(bound, N.BoundCreateTable):
+            txn.create_table(bound.schema, bound.if_not_exists)
+            return None
+        if isinstance(bound, N.BoundDropTable):
+            txn.drop_table(bound.name, bound.if_exists)
+            return None
+        if isinstance(bound, N.BoundCreateIndex):
+            self._run_create_index(bound, txn)
+            return None
+        if isinstance(bound, N.BoundDropIndex):
+            self._database.index_manager.drop_order_index(bound.name)
+            return None
+        raise InterfaceError(f"cannot execute {type(bound).__name__}")
+
+    def _run_select(self, bound: N.BoundSelect, txn):
+        optimized = optimize(
+            bound, lambda name: txn.resolve_table(name).current.nrows
+        )
+        program = compile_select(optimized)
+        ctx = ExecutionContext(self._database, txn, self._database.config)
+        return Interpreter(ctx).run(program)
+
+    def explain(self, sql: str) -> str:
+        """The compiled MAL program listing for a SELECT (debugging aid)."""
+        self._check_open()
+        statements = parse(sql)
+        if len(statements) != 1:
+            raise InterfaceError("EXPLAIN takes exactly one statement")
+        txn, autocommit = self._statement_txn()
+        try:
+            bound = bind_statement(
+                statements[0], lambda name: txn.resolve_table(name).schema
+            )
+            if not isinstance(bound, N.BoundSelect):
+                raise InterfaceError("EXPLAIN only supports SELECT")
+            optimized = optimize(
+                bound, lambda name: txn.resolve_table(name).current.nrows
+            )
+            return compile_select(optimized).render()
+        finally:
+            if autocommit:
+                self._database.txn_manager.rollback(txn)
+
+    # -- DML ----------------------------------------------------------------------------------
+
+    def _run_insert(self, bound: N.BoundInsert, txn) -> int:
+        table = txn.resolve_table(bound.table_name)
+        schema = table.schema
+        if bound.select is not None:
+            materialized = self._run_select(bound.select, txn)
+            source = {
+                idx: materialized.columns[i]
+                for i, idx in enumerate(bound.column_indexes)
+            }
+            nrows = materialized.nrows
+        else:
+            source = {}
+            nrows = len(bound.rows)
+            for pos, idx in enumerate(bound.column_indexes):
+                coldef = schema.columns[idx]
+                values = [row[pos] for row in bound.rows]
+                source[idx] = Column.from_values(coldef.type, values)
+        bundle = []
+        for idx, coldef in enumerate(schema.columns):
+            if idx in source:
+                column = source[idx]
+                same_string = (
+                    column.type.category == coldef.type.category
+                    and column.type.is_variable
+                )
+                if column.type != coldef.type and not same_string:
+                    column = _convert_column(column, coldef.type, nrows)
+                bundle.append(column)
+            else:
+                bundle.append(Column.from_values(coldef.type, [None] * nrows))
+        txn.append(table, bundle)
+        return nrows
+
+    def _run_delete(self, bound: N.BoundDelete, txn) -> int:
+        table = txn.resolve_table(bound.table_name)
+        view = txn.read_version(table)
+        if bound.predicate is None:
+            ids = np.arange(view.nrows, dtype=np.int64)
+        else:
+            ctx = ExecutionContext(self._database, txn, self._database.config)
+            inputs = [vec_from_column(c) for c in view.columns]
+            mask = eval_pred(bound.predicate, inputs, ctx).definite()
+            ids = np.flatnonzero(mask)
+        if len(ids):
+            txn.delete_rows(table, ids)
+        return len(ids)
+
+    def _run_update(self, bound: N.BoundUpdate, txn) -> int:
+        table = txn.resolve_table(bound.table_name)
+        view = txn.read_version(table)
+        ctx = ExecutionContext(self._database, txn, self._database.config)
+        inputs = [vec_from_column(c) for c in view.columns]
+        if bound.predicate is None:
+            ids = np.arange(view.nrows, dtype=np.int64)
+        else:
+            mask = eval_pred(bound.predicate, inputs, ctx).definite()
+            ids = np.flatnonzero(mask)
+        if not len(ids):
+            return 0
+        matched = [vec.take(ids) for vec in inputs]
+        assigned = dict(bound.assignments)
+        bundle = []
+        for idx, coldef in enumerate(table.schema.columns):
+            if idx in assigned:
+                value = eval_value(assigned[idx], matched, ctx)
+                bundle.append(vec_to_column(value, len(ids)))
+            else:
+                column = view.columns[idx]
+                bundle.append(column.take(ids))
+        txn.delete_rows(table, ids)
+        txn.append(table, bundle)
+        return len(ids)
+
+    def _run_create_index(self, bound: N.BoundCreateIndex, txn) -> None:
+        table = txn.resolve_table(bound.table_name)
+        if len(bound.columns) != 1:
+            raise CatalogError("indexes cover exactly one column")
+        colpos = table.schema.column_index(bound.columns[0])
+        manager = self._database.index_manager
+        if bound.ordered:
+            manager.create_order_index(bound.name, table, table.current, colpos)
+        else:
+            manager.hash_for(table, table.current, colpos)
+
+    # -- bulk append (``monetdb_append``) ----------------------------------------------------------
+
+    def append(self, table_name: str, data) -> int:
+        """Bulk-append columnar data, bypassing SQL parsing entirely.
+
+        Paper section 3.2: *"there is significant overhead involved in
+        parsing individual INSERT INTO statements, which becomes a
+        bottleneck when the user wants to insert a large amount of data."*
+
+        ``data`` is a mapping of column name to NumPy array (or list); all
+        schema columns must be present.  Arrays whose dtype already matches
+        the storage dtype are adopted without conversion or copy.
+        """
+        self._check_open()
+        txn, autocommit = self._statement_txn()
+        try:
+            table = txn.resolve_table(table_name)
+            schema = table.schema
+            lowered = {str(k).lower(): v for k, v in data.items()}
+            bundle = []
+            nrows = None
+            for coldef in schema.columns:
+                if coldef.name.lower() not in lowered:
+                    raise CatalogError(
+                        f"append to {table_name}: missing column {coldef.name!r}"
+                    )
+                raw = lowered[coldef.name.lower()]
+                if isinstance(raw, np.ndarray):
+                    column = Column.from_numpy(coldef.type, raw)
+                else:
+                    column = Column.from_values(coldef.type, raw)
+                if nrows is None:
+                    nrows = len(column)
+                elif len(column) != nrows:
+                    raise CatalogError("append columns have differing lengths")
+                bundle.append(column)
+            txn.append(table, bundle)
+            if autocommit:
+                self._database.txn_manager.commit(txn)
+            return nrows or 0
+        except Exception:
+            if autocommit:
+                self._database.txn_manager.rollback(txn)
+            raise
+
+
+def _convert_column(column: Column, target, nrows: int) -> Column:
+    """Cast a result column into the target column type for INSERT-SELECT."""
+    from repro.mal.vector_eval import _cast_vec
+
+    vec = _cast_vec(vec_from_column(column), target, nrows)
+    return vec_to_column(vec, nrows)

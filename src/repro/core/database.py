@@ -1,0 +1,231 @@
+"""Database lifecycle: startup, the single-instance guard, shutdown.
+
+Paper section 3.2: *"The database can be initialized using the
+monetdb_startup function [taking] as optional parameter a reference to a
+directory in which it can persistently store any data. If no directory is
+provided, MonetDBLite will be launched in an in-memory only mode."*
+
+Paper section 3.4 documents that global state makes it *impossible to run
+MonetDBLite twice in the same process*; we reproduce that limitation (and
+its error behavior) deliberately with a module-level instance guard, and we
+reproduce the "Garbage Collection" requirement by making
+:meth:`Database.shutdown` release every piece of state so a fresh database
+can be started afterwards in the same process.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatabaseLockedError, StartupError
+from repro.index import IndexManager
+from repro.mal.interpreter import ExecutionConfig
+from repro.storage.catalog import Catalog, ColumnDef, TableSchema
+from repro.storage.column import Column
+from repro.storage.persist import (
+    checkpoint_database,
+    database_exists,
+    load_database,
+)
+from repro.storage.table import Table
+from repro.storage.types import parse_type
+from repro.storage.wal import WriteAheadLog
+from repro.txn import TransactionManager
+
+__all__ = ["Database", "startup", "shutdown", "active_database"]
+
+_instance_lock = threading.RLock()
+_active: "Database | None" = None
+
+#: Checkpoint once the WAL grows past this size (bytes).
+WAL_CHECKPOINT_BYTES = 64 * 1024 * 1024
+
+
+def startup(directory: str | None = None, **config_kwargs) -> "Database":
+    """Start the process-wide database instance (``monetdb_startup``).
+
+    Raises :class:`~repro.errors.DatabaseLockedError` if an instance is
+    already running in this process — the paper's single-instance
+    limitation, reproduced.
+    """
+    global _active
+    with _instance_lock:
+        if _active is not None:
+            raise DatabaseLockedError(
+                "database locked: a database is already running in this "
+                "process; shut it down first (MonetDBLite limitation, "
+                "paper section 5.1)"
+            )
+        database = Database(directory, **config_kwargs)
+        _active = database
+        return database
+
+
+def shutdown() -> None:
+    """Shut down the active instance, releasing all global state."""
+    global _active
+    with _instance_lock:
+        if _active is not None:
+            _active.shutdown()
+            _active = None
+
+
+def active_database() -> "Database | None":
+    return _active
+
+
+class Database:
+    """One embedded database instance (in-memory or persistent)."""
+
+    def __init__(self, directory: str | None = None, **config_kwargs):
+        self.directory = Path(directory) if directory else None
+        self.in_memory = directory is None
+        self.catalog = Catalog()
+        self.txn_manager = TransactionManager(self)
+        self.index_manager = IndexManager()
+        self.config = ExecutionConfig(**config_kwargs)
+        self.wal: WriteAheadLog | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._open = True
+
+        if self.directory is not None:
+            self._open_persistent()
+
+    # -- persistence -----------------------------------------------------------------
+
+    def _open_persistent(self) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StartupError(f"cannot create database directory: {exc}") from exc
+        max_commit = 0
+        if database_exists(self.directory):
+            max_commit = load_database(self.directory, self.catalog)
+            for name in self.catalog.list_tables():
+                self.index_manager.attach_table(self.catalog.get(name))
+        self.wal = WriteAheadLog(self.directory / "wal.log")
+        max_commit = max(max_commit, self._replay_wal())
+        self.txn_manager.set_commit_counter(max_commit)
+
+    def _replay_wal(self) -> int:
+        records = WriteAheadLog.replay(self.directory / "wal.log")
+        max_commit = 0
+        for record in records:
+            max_commit = max(max_commit, record["commit_id"])
+            for op in record["ops"]:
+                self._replay_op(op, record["commit_id"])
+        return max_commit
+
+    def _replay_op(self, op: dict, commit_id: int) -> None:
+        kind = op["op"]
+        if kind == "create_table":
+            if self.catalog.exists(op["name"]):
+                return
+            columns = [
+                ColumnDef(c["name"], parse_type(c["type"]), c["not_null"])
+                for c in op["columns"]
+            ]
+            table = Table(TableSchema(op["name"], columns, schema=op["schema"]))
+            self.on_table_created(table)
+            return
+        if kind == "drop_table":
+            self.on_table_dropped(op["name"])
+            self.catalog.drop(op["name"], if_exists=True)
+            return
+        if kind == "modify":
+            if not self.catalog.exists(op["name"]):
+                return
+            table: Table = self.catalog.get(op["name"])
+            current = table.current
+            columns = list(current.columns)
+            if op.get("deleted"):
+                keep = np.ones(current.nrows, dtype=bool)
+                doomed = [r for r in op["deleted"] if r < current.nrows]
+                keep[np.asarray(doomed, dtype=np.int64)] = False
+                columns = [col.filter(keep) for col in columns]
+            for bundle in op.get("appends", []):
+                extras = []
+                for coldef, colmeta in zip(table.schema.columns, bundle):
+                    if colmeta["kind"] == "values":
+                        extras.append(
+                            Column.from_values(coldef.type, colmeta["values"])
+                        )
+                    else:
+                        data = np.frombuffer(
+                            colmeta["bytes"], dtype=np.dtype(colmeta["dtype"])
+                        ).copy()
+                        extras.append(Column(coldef.type, data))
+                columns = [col.append(extra) for col, extra in zip(columns, extras)]
+            change = "delete" if op.get("deleted") else "append"
+            table.install_version(columns, commit_id, change)
+
+    def checkpoint(self) -> None:
+        """Write all tables to disk and truncate the WAL."""
+        if self.directory is None:
+            return
+        checkpoint_database(self.directory, self.catalog)
+        if self.wal is not None:
+            self.wal.truncate()
+
+    # -- commit hooks -------------------------------------------------------------------
+
+    def on_table_created(self, table: Table) -> None:
+        """Catalog registration plus index lifecycle attachment."""
+        self.catalog.register(table)
+        self.index_manager.attach_table(table)
+
+    def on_table_dropped(self, name: str) -> None:
+        self.index_manager.detach_table(name)
+
+    def after_commit(self, commit_id: int) -> None:
+        """Post-commit maintenance: checkpoint when the WAL grows large."""
+        if self.wal is not None and self.wal.size > WAL_CHECKPOINT_BYTES:
+            self.checkpoint()
+
+    # -- resources ----------------------------------------------------------------------
+
+    @property
+    def thread_pool(self) -> ThreadPoolExecutor:
+        """Lazily created worker pool for chunked parallel execution."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.max_workers,
+                thread_name_prefix="repro-mal",
+            )
+        return self._pool
+
+    def connect(self):
+        """Create a new dummy-client connection (``monetdb_connect``)."""
+        from repro.core.connection import Connection
+
+        if not self._open:
+            raise StartupError("database has been shut down")
+        return Connection(self)
+
+    def shutdown(self) -> None:
+        """In-process shutdown: persist, then free *everything*.
+
+        The paper (section 3.4, "Garbage Collection") stresses that an
+        embedded database cannot rely on process exit for cleanup; all
+        state must be reset so the process can start a fresh database.
+        """
+        global _active
+        if not self._open:
+            return
+        if self.directory is not None:
+            self.checkpoint()
+            if self.wal is not None:
+                self.wal.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        self.index_manager.clear()
+        self.catalog.clear()
+        self._open = False
+        with _instance_lock:
+            if _active is self:
+                _active = None

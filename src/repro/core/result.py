@@ -1,0 +1,144 @@
+"""Query results: the semi-opaque ``monetdb_result`` of the paper.
+
+Listing 1 of the paper exposes ``nrows``, ``ncols``, ``type`` and ``id``;
+columns are fetched individually with ``monetdb_result_fetch`` at one of
+two levels:
+
+* **low level** — the engine's packed storage array is returned directly,
+  zero-copy, protected against writes (see :mod:`repro.interface.zerocopy`);
+* **high level** — a :class:`MonetdbColumn` record mirroring Listing 2:
+  raw data plus ``null_value``, ``scale`` and an ``is_null`` callable, so a
+  client needs no knowledge of the engine internals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InterfaceError
+from repro.mal.interpreter import MaterializedResult
+from repro.storage import types as T
+
+__all__ = ["Result", "MonetdbColumn"]
+
+_result_ids = itertools.count(1)
+
+
+@dataclass
+class MonetdbColumn:
+    """High-level column view (paper Listing 2)."""
+
+    type: str
+    data: np.ndarray
+    count: int
+    null_value: object
+    scale: float
+    is_null: Callable[[object], bool]
+
+
+class Result:
+    """A materialized query result with columnar access."""
+
+    def __init__(self, materialized: MaterializedResult):
+        self._materialized = materialized
+        self.nrows = materialized.nrows
+        self.ncols = len(materialized.columns)
+        self.type = "table"
+        self.id = next(_result_ids)
+        self._closed = False
+
+    @property
+    def names(self) -> list:
+        return list(self._materialized.names)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("result has been cleaned up")
+
+    def _column(self, index: int):
+        self._check_open()
+        if not 0 <= index < self.ncols:
+            raise InterfaceError(f"column index {index} out of range")
+        return self._materialized.columns[index]
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._materialized.names.index(name.lower())
+        except ValueError:
+            raise InterfaceError(f"no result column named {name!r}") from None
+
+    # -- the two fetch levels (paper section 3.2) ---------------------------------
+
+    def fetch_low_level(self, index: int) -> np.ndarray:
+        """Zero-copy view of the packed storage array (read-only)."""
+        column = self._column(index)
+        view = column.data.view()
+        view.flags.writeable = False
+        return view
+
+    def fetch_high_level(self, index: int) -> MonetdbColumn:
+        """Self-describing column record (Listing 2)."""
+        column = self._column(index)
+        ctype = column.type
+        return MonetdbColumn(
+            type=ctype.name,
+            data=self.fetch_low_level(index),
+            count=len(column),
+            null_value=ctype.null_value,
+            scale=float(10**ctype.scale) if ctype.scale else 1.0,
+            is_null=ctype.is_null_scalar,
+        )
+
+    # -- client-friendly conversions ------------------------------------------------
+
+    def to_numpy(self, column, lazy: bool = False, copy: bool = False):
+        """Native NumPy export of a column (zero-copy when bit-compatible).
+
+        See :mod:`repro.interface.zerocopy` for the exact transfer strategy
+        per type.  ``column`` may be a name or a position.
+        """
+        from repro.interface.zerocopy import export_column
+
+        if isinstance(column, str):
+            column = self.column_index(column)
+        return export_column(self._column(column), lazy=lazy, copy=copy)
+
+    def to_dict(self, lazy: bool = False) -> dict:
+        """All columns as {name: array} — the dbReadTable shape."""
+        return {
+            name: self.to_numpy(i, lazy=lazy)
+            for i, name in enumerate(self._materialized.names)
+        }
+
+    def column_values(self, index: int) -> list:
+        """One column as a list of Python values (NULL -> None)."""
+        return self._column(index).to_python()
+
+    def fetchall(self) -> list:
+        """All rows as tuples of Python values (row-wise convenience)."""
+        self._check_open()
+        columns = [col.to_python() for col in self._materialized.columns]
+        return list(zip(*columns)) if columns else []
+
+    def fetchone(self):
+        rows = self.fetchall()
+        return rows[0] if rows else None
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if self.nrows != 1 or self.ncols != 1:
+            raise InterfaceError(
+                f"scalar() on a {self.nrows}x{self.ncols} result"
+            )
+        return self._column(0).value(0)
+
+    def close(self) -> None:
+        """Release the result (``monetdb_cleanup_result``)."""
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Result(id={self.id}, {self.nrows}x{self.ncols})"

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the embedded database.
+
+The paper (section 3.4, "Error Handling") stresses that an embedded database
+must report errors as return values / exceptions to the host process instead
+of writing to an output stream or calling ``exit``.  Every error raised by
+this package derives from :class:`DatabaseError`, so embedding code can catch
+a single type; nothing in the package ever terminates the process.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DatabaseError",
+    "StartupError",
+    "DatabaseLockedError",
+    "ParseError",
+    "BindError",
+    "CatalogError",
+    "TypeMismatchError",
+    "ConstraintError",
+    "TransactionError",
+    "ConflictError",
+    "ConversionError",
+    "InterfaceError",
+    "ProtocolError",
+    "QueryTimeoutError",
+    "OutOfMemoryError",
+]
+
+
+class DatabaseError(Exception):
+    """Base class for every error raised by the repro database."""
+
+
+class StartupError(DatabaseError):
+    """The database could not be initialized (bad directory, corruption...)."""
+
+
+class DatabaseLockedError(StartupError):
+    """A second database instance was requested in the same process.
+
+    Reproduces the "database locked" limitation described in section 5.1 of
+    the paper: the engine keeps global state, so only one database can be
+    open per process.
+    """
+
+
+class ParseError(DatabaseError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class BindError(DatabaseError):
+    """Name resolution or semantic analysis of a query failed."""
+
+
+class CatalogError(DatabaseError):
+    """A schema object is missing, duplicated, or malformed."""
+
+
+class TypeMismatchError(BindError):
+    """An expression combines incompatible types."""
+
+
+class ConstraintError(DatabaseError):
+    """A NOT NULL or type-domain constraint was violated by a write."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (commit without begin, ...)."""
+
+
+class ConflictError(TransactionError):
+    """Optimistic concurrency control detected a write-write conflict.
+
+    MonetDB(Lite) uses optimistic concurrency control: transactions run on a
+    snapshot and validation happens at commit.  A losing transaction aborts
+    with this error and can simply be retried.
+    """
+
+
+class ConversionError(DatabaseError):
+    """A value could not be converted between client and storage types."""
+
+
+class InterfaceError(DatabaseError):
+    """Misuse of the embedding API (closed connection, freed result, ...)."""
+
+
+class ProtocolError(DatabaseError):
+    """Malformed message on the client-server wire protocol."""
+
+
+class QueryTimeoutError(DatabaseError):
+    """A query exceeded the configured execution timeout."""
+
+
+class OutOfMemoryError(DatabaseError):
+    """A memory budget was exhausted (used by the frames library substrate)."""

@@ -1,0 +1,22 @@
+"""Eager in-memory dataframe library (the paper's "RDBMS alternatives").
+
+Models the data.table / dplyr / Pandas / Julia-DataFrames class of tools
+(paper section 2): relational operations executed eagerly on in-memory
+columnar containers, with *no* persistent storage, *no* out-of-core
+execution, and full materialization of every intermediate.  The
+:class:`~repro.frames.memory.MemoryLimiter` makes the last property
+measurable: when the working set of an operation exceeds the budget the
+library raises :class:`~repro.errors.OutOfMemoryError` — reproducing the
+``E`` entries of the paper's Table 1 at SF10 without needing 16 GB of data.
+
+Four tuning profiles differ in real implementation choices (factorization
+caching, copy-per-operation semantics, string handling, JIT-style warmup),
+yielding the paper's observed ~2x spread between the best and worst
+library.
+"""
+
+from repro.frames.frame import DataFrame
+from repro.frames.memory import MemoryLimiter
+from repro.frames.profiles import PROFILES, Profile
+
+__all__ = ["DataFrame", "MemoryLimiter", "Profile", "PROFILES"]

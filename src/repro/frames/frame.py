@@ -1,0 +1,344 @@
+"""The eager columnar DataFrame container and its relational operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatabaseError
+from repro.frames.memory import MemoryLimiter
+from repro.frames.profiles import PROFILES, Profile
+
+__all__ = ["DataFrame"]
+
+#: JIT-warmup registry: (profile_name, op_kind) pairs already "compiled".
+_warmed: set = set()
+
+
+class DataFrame:
+    """An ordered bag of equal-length named columns (NumPy arrays).
+
+    Every operation materializes its full result eagerly and charges the
+    working set to the limiter; there is no laziness, no spilling, and no
+    persistent storage — by design, this is the baseline class of tools
+    the paper compares the embedded database against.
+    """
+
+    def __init__(
+        self,
+        columns: dict,
+        profile: Profile | str | None = None,
+        limiter: MemoryLimiter | None = None,
+    ):
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        self.profile = profile or PROFILES["datatable"]
+        self.limiter = limiter or MemoryLimiter(None)
+        self._columns: dict = {}
+        length = None
+        for name, array in columns.items():
+            array = np.asarray(array)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise DatabaseError(
+                    f"column {name!r} has length {len(array)}, expected {length}"
+                )
+            self._columns[name] = array
+        self._nrows = length or 0
+        self._codes_cache: dict = {}
+
+    # -- basics ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    @property
+    def columns(self) -> list:
+        return list(self._columns)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._columns[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for array in self._columns.values():
+            if array.dtype == object:
+                # approximate: pointer plus an average small string payload
+                total += array.nbytes + 24 * len(array)
+            else:
+                total += array.nbytes
+        return total
+
+    def _derive(self, columns: dict) -> "DataFrame":
+        out = DataFrame(columns, profile=self.profile, limiter=self.limiter)
+        self.limiter.charge(self.nbytes + out.nbytes, "materialize")
+        return out
+
+    def _result_columns(self, columns: dict) -> dict:
+        if not self.profile.copy_per_op:
+            return columns
+        return {
+            name: array.copy() for name, array in columns.items()
+        }
+
+    def _warmup(self, kind: str, kernel) -> None:
+        """JIT-style warmup: compile-run the kernel once on a tiny sample."""
+        if not self.profile.jit_warmup:
+            return
+        key = (self.profile.name, kind)
+        if key in _warmed:
+            return
+        _warmed.add(key)
+        kernel()
+
+    # -- factorization ------------------------------------------------------------------
+
+    def _codes(self, name: str) -> np.ndarray:
+        """Dense int codes for one column (order-preserving)."""
+        array = self._columns[name]
+        cache_key = (name, id(array))
+        if self.profile.cache_factorization:
+            cached = self._codes_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        if array.dtype == object:
+            cleaned = np.where(
+                np.frompyfunc(lambda v: v is None, 1, 1)(array).astype(bool),
+                "",
+                array,
+            )
+            if self.profile.object_strings:
+                _, codes = np.unique(cleaned, return_inverse=True)
+            else:
+                _, codes = np.unique(cleaned.astype("U64"), return_inverse=True)
+        else:
+            data = array
+            if data.dtype.kind == "f":
+                data = np.where(np.isnan(data), -np.inf, data)
+            _, codes = np.unique(data, return_inverse=True)
+        codes = codes.astype(np.int64)
+        if self.profile.cache_factorization:
+            self._codes_cache[cache_key] = codes
+        return codes
+
+    def _combined_codes(self, names: list) -> np.ndarray:
+        combined = self._codes(names[0])
+        for name in names[1:]:
+            codes = self._codes(name)
+            width = int(codes.max(initial=0)) + 1
+            combined = combined * width + codes
+            _, combined = np.unique(combined, return_inverse=True)
+            combined = combined.astype(np.int64)
+        return combined
+
+    # -- relational operations -----------------------------------------------------------
+
+    def select(self, names: list) -> "DataFrame":
+        """Projection to a subset of columns."""
+        columns = {name: self._columns[name] for name in names}
+        return self._derive(self._result_columns(columns))
+
+    def rename(self, mapping: dict) -> "DataFrame":
+        columns = {
+            mapping.get(name, name): array
+            for name, array in self._columns.items()
+        }
+        return self._derive(columns)
+
+    def filter(self, mask: np.ndarray) -> "DataFrame":
+        """Row selection by boolean mask."""
+        self._warmup("filter", lambda: {
+            name: array[:8][mask[:8]] for name, array in self._columns.items()
+        })
+        columns = {name: array[mask] for name, array in self._columns.items()}
+        return self._derive(columns)
+
+    def assign(self, **new_columns) -> "DataFrame":
+        """Add or replace columns (mutate-style, returns a new frame)."""
+        columns = dict(self._columns)
+        for name, array in new_columns.items():
+            columns[name] = np.asarray(array)
+        return self._derive(self._result_columns(columns))
+
+    def head(self, n: int) -> "DataFrame":
+        return self._derive(
+            {name: array[:n] for name, array in self._columns.items()}
+        )
+
+    def take(self, indices: np.ndarray) -> "DataFrame":
+        return self._derive(
+            {name: array[indices] for name, array in self._columns.items()}
+        )
+
+    def join(
+        self,
+        other: "DataFrame",
+        left_on: list,
+        right_on: list,
+        suffix: str = "_r",
+    ) -> "DataFrame":
+        """Inner equi-join (hash-join behavior via sorted probing)."""
+        self._warmup("join", lambda: None)
+        left_codes, right_codes = _shared_codes(
+            self, left_on, other, right_on
+        )
+        order = np.argsort(right_codes, kind="stable")
+        sorted_codes = right_codes[order]
+        lo = np.searchsorted(sorted_codes, left_codes, "left")
+        hi = np.searchsorted(sorted_codes, left_codes, "right")
+        counts = hi - lo
+        lidx = np.repeat(np.arange(len(left_codes), dtype=np.int64), counts)
+        total = int(counts.sum())
+        starts = np.repeat(lo, counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        ridx = order[starts + offsets]
+        columns = {
+            name: array[lidx] for name, array in self._columns.items()
+        }
+        for name, array in other._columns.items():
+            out_name = name if name not in columns else name + suffix
+            columns[out_name] = array[ridx]
+        out = DataFrame(columns, profile=self.profile, limiter=self.limiter)
+        self.limiter.charge(
+            self.nbytes + other.nbytes + out.nbytes, "join"
+        )
+        return out
+
+    def semijoin(
+        self, other: "DataFrame", left_on: list, right_on: list, anti: bool = False
+    ) -> "DataFrame":
+        """Rows of self with (without, if anti) a key match in other."""
+        left_codes, right_codes = _shared_codes(self, left_on, other, right_on)
+        member = np.isin(left_codes, right_codes)
+        if anti:
+            member = ~member
+        return self.filter(member)
+
+    def groupby_agg(self, keys: list, aggs: dict) -> "DataFrame":
+        """Grouped aggregation.
+
+        ``aggs`` maps output name to (column, func) with func in
+        sum/mean/count/min/max/median/first.
+        """
+        self._warmup("groupby", lambda: None)
+        codes = self._combined_codes(keys)
+        uniques, reps, gids = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        ngroups = len(uniques)
+        columns = {key: self._columns[key][reps] for key in keys}
+        for out_name, (col, func) in aggs.items():
+            columns[out_name] = _group_reduce(
+                self._columns[col] if col is not None else None,
+                func,
+                gids,
+                ngroups,
+                reps,
+            )
+        out = DataFrame(columns, profile=self.profile, limiter=self.limiter)
+        self.limiter.charge(self.nbytes + out.nbytes, "groupby")
+        return out
+
+    def sort_values(self, by: list, ascending: list | None = None) -> "DataFrame":
+        """Stable multi-key sort."""
+        self._warmup("sort", lambda: None)
+        if ascending is None:
+            ascending = [True] * len(by)
+        keys = []
+        for name, asc in zip(by, ascending):
+            array = self._columns[name]
+            if array.dtype == object:
+                codes = self._codes(name).astype(np.float64)
+            else:
+                codes = array.astype(np.float64)
+                if array.dtype.kind == "f":
+                    codes = np.where(np.isnan(codes), -np.inf, codes)
+            keys.append(codes if asc else -codes)
+        order = np.lexsort(keys[::-1])
+        return self.take(order)
+
+    def distinct(self, subset: list | None = None) -> "DataFrame":
+        codes = self._combined_codes(subset or self.columns)
+        _, first = np.unique(codes, return_index=True)
+        return self.take(np.sort(first))
+
+    def to_dict(self) -> dict:
+        return dict(self._columns)
+
+
+def _shared_codes(left: DataFrame, left_on: list, right: DataFrame, right_on: list):
+    """Factorize both sides' keys in one shared code space."""
+    left_parts, right_parts = [], []
+    for lname, rname in zip(left_on, right_on):
+        la, ra = left[lname], right[rname]
+        if la.dtype == object or ra.dtype == object:
+            conv = (
+                (lambda a: a)
+                if left.profile.object_strings
+                else (lambda a: a.astype("U64"))
+            )
+            both = np.concatenate([conv(la), conv(ra)])
+        else:
+            both = np.concatenate(
+                [la.astype(np.float64), ra.astype(np.float64)]
+            )
+            both = np.where(np.isnan(both), -np.inf, both)
+        _, inverse = np.unique(both, return_inverse=True)
+        left_parts.append(inverse[: len(la)].astype(np.int64))
+        right_parts.append(inverse[len(la):].astype(np.int64))
+    lc, rc = left_parts[0], right_parts[0]
+    for lp, rp in zip(left_parts[1:], right_parts[1:]):
+        width = int(max(lp.max(initial=0), rp.max(initial=0))) + 1
+        lc = lc * width + lp
+        rc = rc * width + rp
+    return lc, rc
+
+
+def _group_reduce(array, func: str, gids, ngroups: int, reps):
+    if func == "count":
+        return np.bincount(gids, minlength=ngroups).astype(np.int64)
+    if array is None:
+        raise DatabaseError(f"aggregate {func} requires a column")
+    if func == "first":
+        return array[reps]
+    if array.dtype == object:
+        if func in ("min", "max"):
+            best = [None] * ngroups
+            comparator = (lambda a, b: a < b) if func == "min" else (lambda a, b: a > b)
+            for gid, value in zip(gids, array):
+                if value is None:
+                    continue
+                if best[gid] is None or comparator(value, best[gid]):
+                    best[gid] = value
+            return np.array(best, dtype=object)
+        raise DatabaseError(f"aggregate {func} not defined for strings")
+    values = array.astype(np.float64, copy=False)
+    if func == "sum":
+        return np.bincount(gids, weights=values, minlength=ngroups)
+    if func == "mean":
+        sums = np.bincount(gids, weights=values, minlength=ngroups)
+        counts = np.bincount(gids, minlength=ngroups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+    if func in ("min", "max"):
+        init = np.inf if func == "min" else -np.inf
+        out = np.full(ngroups, init)
+        (np.minimum if func == "min" else np.maximum).at(out, gids, values)
+        return out
+    if func == "median":
+        order = np.argsort(values, kind="stable")
+        order = order[np.argsort(gids[order], kind="stable")]
+        svals = values[order]
+        counts = np.bincount(gids, minlength=ngroups)
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        lo = np.minimum(offsets + (counts - 1) // 2, max(0, len(svals) - 1))
+        hi = np.minimum(offsets + counts // 2, max(0, len(svals) - 1))
+        out = (svals[lo] + svals[hi]) / 2.0
+        return np.where(counts > 0, out, np.nan)
+    raise DatabaseError(f"unknown aggregate {func!r}")

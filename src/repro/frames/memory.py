@@ -1,0 +1,44 @@
+"""Working-set accounting for the eager dataframe library.
+
+The paper (section 4.2, TPC-H SF10): *"these libraries require not only
+the entire dataset to fit in memory, but also require any intermediates
+created while processing to fit in memory. When the intermediates exceed
+the available memory of the machine the program crashes with an
+out-of-memory exception."*
+
+The limiter charges every operation with its instantaneous working set —
+the input frames plus the freshly materialized output — against a budget.
+This reproduces the crash behavior at benchmark scale without physically
+exhausting RAM.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfMemoryError
+
+__all__ = ["MemoryLimiter"]
+
+
+class MemoryLimiter:
+    """Budgeted working-set accounting (``budget=None`` disables checks)."""
+
+    def __init__(self, budget_bytes: int | None = None):
+        self.budget = budget_bytes
+        self.peak = 0
+        self.charges = 0
+
+    def charge(self, working_set_bytes: int, operation: str = "") -> None:
+        """Record one operation's working set; raise if over budget."""
+        self.charges += 1
+        if working_set_bytes > self.peak:
+            self.peak = working_set_bytes
+        if self.budget is not None and working_set_bytes > self.budget:
+            raise OutOfMemoryError(
+                f"out of memory in {operation or 'operation'}: working set "
+                f"{working_set_bytes / 1e6:.0f} MB exceeds budget "
+                f"{self.budget / 1e6:.0f} MB"
+            )
+
+    def reset(self) -> None:
+        self.peak = 0
+        self.charges = 0

@@ -1,0 +1,43 @@
+"""Library tuning profiles.
+
+Each profile is a bundle of *real* implementation choices reflecting how
+the corresponding library behaves; nothing here sleeps or pads — the
+differences come from extra copies, missing caches, or slower code paths.
+
+* ``datatable`` — caches per-column factorizations (data.table's keys) and
+  never copies untouched columns: the fastest profile.
+* ``dplyr`` — copy-per-operation value semantics (R), no factorization
+  cache.
+* ``pandas`` — copy-per-operation plus object-dtype string handling on
+  every string operation (no dictionary shortcut).
+* ``julia`` — no copies (arrays are mutable bindings) and no cache, but a
+  JIT-style warmup: the first use of each operator kind per session runs
+  the kernel once on a small sample (the "compilation" run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Profile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Implementation-behavior knobs of one library profile."""
+
+    name: str
+    copy_per_op: bool = False  # materialize a fresh copy of every column
+    cache_factorization: bool = False  # keep per-column group codes
+    object_strings: bool = False  # no dictionary shortcut for strings
+    jit_warmup: bool = False  # first use of an op kind runs a warmup pass
+
+
+PROFILES = {
+    "datatable": Profile(
+        "datatable", copy_per_op=False, cache_factorization=True
+    ),
+    "dplyr": Profile("dplyr", copy_per_op=True),
+    "pandas": Profile("pandas", copy_per_op=True, object_strings=True),
+    "julia": Profile("julia", jit_warmup=True),
+}

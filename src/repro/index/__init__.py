@@ -1,0 +1,24 @@
+"""Automatic and manual secondary indexes (paper section 3.1).
+
+Three structures, with MonetDB's lifecycle rules:
+
+* :class:`~repro.index.imprints.Imprint` — a per-block bitmap over value
+  ranges, built *automatically* the first time a range query hits a
+  persistent column, destroyed by any modification of the column.
+* :class:`~repro.index.hashindex.HashIndex` — built automatically when a
+  column is used as a grouping or equi-join key; survives appends (it is
+  refreshed), destroyed by updates or deletes.
+* :class:`~repro.index.orderindex.OrderIndex` — only built on explicit
+  ``CREATE ORDER INDEX``; answers point/range queries by binary search and
+  feeds merge joins.
+
+The :class:`~repro.index.manager.IndexManager` owns all instances and
+enforces the invalidation rules via table-modification listeners.
+"""
+
+from repro.index.imprints import Imprint
+from repro.index.hashindex import HashIndex
+from repro.index.orderindex import OrderIndex
+from repro.index.manager import IndexManager
+
+__all__ = ["Imprint", "HashIndex", "OrderIndex", "IndexManager"]

@@ -1,0 +1,91 @@
+"""Hash index over a column, built automatically for join/group keys.
+
+Physically a CSR layout over the *sorted distinct values* of the column:
+``values`` (sorted unique), ``starts`` (group offsets), and ``rowids``
+(row numbers ordered by value).  Probing vectorizes to one
+``np.searchsorted`` per probe array — behaviorally a bulk hash lookup,
+which is what MonetDB's hash BATs provide to joins and group-bys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HashIndex"]
+
+
+class HashIndex:
+    """CSR-shaped value -> rowids index over one storage array."""
+
+    __slots__ = ("values", "starts", "rowids", "nrows")
+
+    def __init__(self, data: np.ndarray):
+        order = np.argsort(data, kind="stable")
+        sorted_values = data[order]
+        boundaries = np.empty(len(data), dtype=bool)
+        if len(data):
+            boundaries[0] = True
+            np.not_equal(sorted_values[1:], sorted_values[:-1], out=boundaries[1:])
+        self.values = sorted_values[boundaries]
+        self.starts = np.flatnonzero(boundaries)
+        self.rowids = order.astype(np.int64)
+        self.nrows = len(data)
+
+    def group_count(self) -> int:
+        """Number of distinct values."""
+        return len(self.values)
+
+    def group_ids(self) -> np.ndarray:
+        """Per-row dense group id (rows sharing a value share an id)."""
+        gids = np.empty(self.nrows, dtype=np.int64)
+        sizes = np.diff(np.append(self.starts, self.nrows))
+        gids[self.rowids] = np.repeat(np.arange(len(self.values)), sizes)
+        return gids
+
+    def representatives(self) -> np.ndarray:
+        """One row id per distinct value (the first in value order)."""
+        return self.rowids[self.starts]
+
+    def probe(self, probes: np.ndarray):
+        """Bulk lookup: returns (probe_idx, row_idx) match pairs.
+
+        For every probe value, every row holding that value is paired with
+        the probe's position — the building block of a hash join where this
+        column is the build side.
+        """
+        positions = np.searchsorted(self.values, probes)
+        positions = np.clip(positions, 0, max(0, len(self.values) - 1))
+        hit = np.zeros(len(probes), dtype=bool)
+        if len(self.values):
+            hit = self.values[positions] == probes
+        probe_idx_parts = []
+        row_idx_parts = []
+        hit_positions = np.flatnonzero(hit)
+        if len(hit_positions) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        group = positions[hit_positions]
+        ends = np.append(self.starts, self.nrows)
+        counts = ends[group + 1] - ends[group]
+        probe_idx = np.repeat(hit_positions, counts)
+        # gather rowids per matched group: offsets within each group
+        total = int(counts.sum())
+        # build flat index: for each match, rowids[start : start+count]
+        starts = ends[group]
+        offsets = np.arange(total) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        row_idx = self.rowids[np.repeat(starts, counts) + offsets]
+        return probe_idx, row_idx
+
+    def contains(self, probes: np.ndarray) -> np.ndarray:
+        """Vectorized membership test (semi-join support)."""
+        if not len(self.values):
+            return np.zeros(len(probes), dtype=bool)
+        positions = np.searchsorted(self.values, probes)
+        positions = np.clip(positions, 0, len(self.values) - 1)
+        return self.values[positions] == probes
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes + self.starts.nbytes + self.rowids.nbytes

@@ -1,0 +1,89 @@
+"""Column imprints: a per-block range-bitmap secondary index.
+
+Modeled on Sidirourgos & Kersten, "Column Imprints: A Secondary Index
+Structure" (SIGMOD 2013), which MonetDB builds automatically for persistent
+columns on the first range query (paper section 3.1).  For every block of
+``BLOCK`` consecutive values we keep a 64-bit mask with one bit per
+equi-width histogram bin; a range predicate turns into a bin mask, blocks
+whose imprint does not intersect it are skipped wholesale, and only
+candidate blocks are scanned exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Imprint", "BLOCK", "BINS"]
+
+BLOCK = 64
+BINS = 64
+
+
+class Imprint:
+    """Imprint over one numeric storage array."""
+
+    __slots__ = ("lo", "hi", "scale", "masks", "nrows", "nblocks")
+
+    def __init__(self, data: np.ndarray):
+        values = data.astype(np.float64, copy=False)
+        self.nrows = len(values)
+        self.nblocks = (self.nrows + BLOCK - 1) // BLOCK
+        if self.nrows == 0:
+            self.lo = 0.0
+            self.hi = 1.0
+        else:
+            self.lo = float(np.min(values))
+            self.hi = float(np.max(values))
+        span = self.hi - self.lo
+        self.scale = (BINS - 1) / span if span > 0 else 0.0
+        bins = self._bin_of(values)
+        bits = np.left_shift(np.uint64(1), bins.astype(np.uint64))
+        masks = np.zeros(self.nblocks, dtype=np.uint64)
+        full, rem = divmod(self.nrows, BLOCK)
+        if full:
+            np.bitwise_or.reduce(
+                bits[: full * BLOCK].reshape(full, BLOCK), axis=1, out=masks[:full]
+            )
+        if rem:
+            masks[full] = np.bitwise_or.reduce(bits[full * BLOCK :])
+        self.masks = masks
+
+    def _bin_of(self, values: np.ndarray) -> np.ndarray:
+        bins = ((values - self.lo) * self.scale).astype(np.int64)
+        return np.clip(bins, 0, BINS - 1)
+
+    def _range_mask(self, lo: float | None, hi: float | None) -> np.uint64:
+        """Bin mask covering [lo, hi] (None = open end)."""
+        lo_bin = 0 if lo is None else int(self._bin_of(np.array([lo]))[0])
+        hi_bin = BINS - 1 if hi is None else int(self._bin_of(np.array([hi]))[0])
+        if hi_bin < lo_bin:
+            return np.uint64(0)
+        width = hi_bin - lo_bin + 1
+        if width >= 64:
+            return np.uint64(0xFFFFFFFFFFFFFFFF)
+        return np.uint64(((1 << width) - 1) << lo_bin)
+
+    def candidate_blocks(self, lo: float | None, hi: float | None) -> np.ndarray:
+        """Boolean mask of blocks that may contain values in [lo, hi]."""
+        if (hi is not None and hi < self.lo) or (lo is not None and lo > self.hi):
+            return np.zeros(self.nblocks, dtype=bool)  # outside column range
+        mask = self._range_mask(lo, hi)
+        return (self.masks & mask) != 0
+
+    def candidate_rows(self, lo: float | None, hi: float | None) -> np.ndarray:
+        """Boolean mask over rows covering every candidate block."""
+        blocks = self.candidate_blocks(lo, hi)
+        rows = np.repeat(blocks, BLOCK)[: self.nrows]
+        return rows
+
+    def pruned_fraction(self, lo: float | None, hi: float | None) -> float:
+        """Fraction of blocks that a [lo, hi] scan can skip (for stats)."""
+        blocks = self.candidate_blocks(lo, hi)
+        if not len(blocks):
+            return 0.0
+        return 1.0 - float(blocks.sum()) / len(blocks)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate index size."""
+        return self.masks.nbytes + 48

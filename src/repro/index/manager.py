@@ -1,0 +1,186 @@
+"""Index lifecycle management with MonetDB's invalidation rules.
+
+Paper section 3.1:
+
+* imprints: auto-created on the first range query over a persistent column,
+  persisted, **destroyed when the column is modified** (any change).
+* hash tables: auto-created when a column is used for grouping or as an
+  equi-join key; **destroyed on updates/deletes, maintained on appends**.
+* order indexes: only via ``CREATE ORDER INDEX``; invalidated like imprints.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.index.hashindex import HashIndex
+from repro.index.imprints import Imprint
+from repro.index.orderindex import OrderIndex
+from repro.storage.table import Table, TableVersion
+
+__all__ = ["IndexManager", "IndexStats"]
+
+
+class IndexStats:
+    """Counters exposed for tests and the ablation benchmarks."""
+
+    __slots__ = (
+        "imprints_built",
+        "imprint_hits",
+        "hashes_built",
+        "hash_hits",
+        "hash_refreshes",
+        "order_hits",
+        "invalidations",
+    )
+
+    def __init__(self):
+        self.imprints_built = 0
+        self.imprint_hits = 0
+        self.hashes_built = 0
+        self.hash_hits = 0
+        self.hash_refreshes = 0
+        self.order_hits = 0
+        self.invalidations = 0
+
+
+class IndexManager:
+    """Owns all secondary indexes of one database instance."""
+
+    def __init__(self, auto_imprints: bool = True, auto_hash: bool = True):
+        self._lock = threading.RLock()
+        self.auto_imprints = auto_imprints
+        self.auto_hash = auto_hash
+        # (table_lower, colpos) -> (index, table_version)
+        self._imprints: dict = {}
+        self._hashes: dict = {}
+        self._orders: dict = {}
+        self._order_names: dict = {}  # index name -> (table, colpos)
+        self.stats = IndexStats()
+
+    # -- lifecycle hooks -------------------------------------------------------
+
+    def attach_table(self, table: Table) -> None:
+        """Register invalidation listeners on a table."""
+        table.add_modification_listener(self._on_modification)
+
+    def detach_table(self, table_name: str) -> None:
+        """Drop every index belonging to a dropped table."""
+        key_prefix = table_name.lower()
+        with self._lock:
+            for store in (self._imprints, self._hashes, self._orders):
+                for key in [k for k in store if k[0] == key_prefix]:
+                    del store[key]
+            for name in [
+                n for n, (t, _) in self._order_names.items() if t == key_prefix
+            ]:
+                del self._order_names[name]
+
+    def _on_modification(self, change_kind: str, table: Table) -> None:
+        name = table.schema.name.lower()
+        with self._lock:
+            # imprints and order indexes die on ANY modification
+            for store in (self._imprints, self._orders):
+                doomed = [k for k in store if k[0] == name]
+                for key in doomed:
+                    del store[key]
+                    self.stats.invalidations += 1
+            hash_keys = [k for k in self._hashes if k[0] == name]
+            if change_kind in ("update", "delete", "overwrite"):
+                for key in hash_keys:
+                    del self._hashes[key]
+                    self.stats.invalidations += 1
+            # appends: hash indexes are refreshed lazily on next use;
+            # mark them stale by remembering the version they were built at.
+
+    # -- imprints ----------------------------------------------------------------
+
+    def imprint_for(
+        self, table: Table, version: TableVersion, colpos: int
+    ) -> Imprint | None:
+        """Fetch (or auto-build) the imprint of a column, if applicable."""
+        if not self.auto_imprints:
+            return None
+        column = version.columns[colpos]
+        if column.type.is_variable or len(column) < 2 * 64:
+            return None
+        key = (table.schema.name.lower(), colpos)
+        with self._lock:
+            entry = self._imprints.get(key)
+            if entry is not None and entry[1] == version.version:
+                self.stats.imprint_hits += 1
+                return entry[0]
+            imprint = Imprint(column.data)
+            self._imprints[key] = (imprint, version.version)
+            self.stats.imprints_built += 1
+            return imprint
+
+    # -- hash indexes ----------------------------------------------------------------
+
+    def hash_for(
+        self, table: Table, version: TableVersion, colpos: int
+    ) -> HashIndex | None:
+        """Fetch (or auto-build/refresh) the hash index of a join/group key."""
+        if not self.auto_hash:
+            return None
+        column = version.columns[colpos]
+        if column.type.is_variable or len(column) < 64:
+            return None
+        key = (table.schema.name.lower(), colpos)
+        with self._lock:
+            entry = self._hashes.get(key)
+            if entry is not None:
+                if entry[1] == version.version:
+                    self.stats.hash_hits += 1
+                    return entry[0]
+                # stale after an append: refresh (paper: maintained on append)
+                self.stats.hash_refreshes += 1
+            else:
+                self.stats.hashes_built += 1
+            index = HashIndex(column.data)
+            self._hashes[key] = (index, version.version)
+            return index
+
+    # -- order indexes --------------------------------------------------------------
+
+    def create_order_index(
+        self, name: str, table: Table, version: TableVersion, colpos: int
+    ) -> OrderIndex:
+        """Explicit CREATE ORDER INDEX."""
+        key = (table.schema.name.lower(), colpos)
+        with self._lock:
+            if name.lower() in self._order_names:
+                raise CatalogError(f"index {name!r} already exists")
+            index = OrderIndex(np.asarray(version.columns[colpos].data))
+            self._orders[key] = (index, version.version)
+            self._order_names[name.lower()] = key
+            return index
+
+    def drop_order_index(self, name: str) -> None:
+        with self._lock:
+            key = self._order_names.pop(name.lower(), None)
+            if key is None:
+                raise CatalogError(f"no such index: {name!r}")
+            self._orders.pop(key, None)
+
+    def order_for(
+        self, table: Table, version: TableVersion, colpos: int
+    ) -> OrderIndex | None:
+        key = (table.schema.name.lower(), colpos)
+        with self._lock:
+            entry = self._orders.get(key)
+            if entry is None or entry[1] != version.version:
+                return None
+            self.stats.order_hits += 1
+            return entry[0]
+
+    def clear(self) -> None:
+        """Drop all indexes (in-process shutdown)."""
+        with self._lock:
+            self._imprints.clear()
+            self._hashes.clear()
+            self._orders.clear()
+            self._order_names.clear()

@@ -1,0 +1,90 @@
+"""Order index: explicit sorted-rowid index (``CREATE ORDER INDEX``).
+
+Paper section 3.1: *"the order index is an array of row numbers in the sort
+order specified by the user. The order index is used to speed up point and
+range queries, as well as equi-joins and range-joins. Point and range
+queries are answered by using a binary search on the order index. For
+joins, the order index is used for a merge join."*
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OrderIndex"]
+
+
+class OrderIndex:
+    """Sorted row-number array over one storage array."""
+
+    __slots__ = ("order", "sorted_values", "nrows")
+
+    def __init__(self, data: np.ndarray):
+        self.order = np.argsort(data, kind="stable").astype(np.int64)
+        self.sorted_values = data[self.order]
+        self.nrows = len(data)
+
+    def point_rows(self, value) -> np.ndarray:
+        """Row ids holding exactly ``value`` (binary search, O(log n))."""
+        lo = np.searchsorted(self.sorted_values, value, side="left")
+        hi = np.searchsorted(self.sorted_values, value, side="right")
+        return np.sort(self.order[lo:hi])
+
+    def range_rows(
+        self,
+        lo=None,
+        hi=None,
+        lo_open: bool = False,
+        hi_open: bool = False,
+    ) -> np.ndarray:
+        """Row ids with values in the interval [lo, hi] (None = open end)."""
+        start = 0
+        stop = self.nrows
+        if lo is not None:
+            start = np.searchsorted(
+                self.sorted_values, lo, side="right" if lo_open else "left"
+            )
+        if hi is not None:
+            stop = np.searchsorted(
+                self.sorted_values, hi, side="left" if hi_open else "right"
+            )
+        return np.sort(self.order[start:stop])
+
+    def range_mask(self, lo=None, hi=None, lo_open=False, hi_open=False) -> np.ndarray:
+        """Boolean row mask version of :meth:`range_rows`."""
+        mask = np.zeros(self.nrows, dtype=bool)
+        mask[self.range_rows(lo, hi, lo_open, hi_open)] = True
+        return mask
+
+    def merge_join(self, other: "OrderIndex"):
+        """Equi-join two order-indexed columns by merging sort orders.
+
+        Returns (left_rows, right_rows) match pairs.
+        """
+        left_vals, right_vals = self.sorted_values, other.sorted_values
+        li = ri = 0
+        left_out: list[np.ndarray] = []
+        right_out: list[np.ndarray] = []
+        nl, nr = len(left_vals), len(right_vals)
+        while li < nl and ri < nr:
+            lv, rv = left_vals[li], right_vals[ri]
+            if lv < rv:
+                li = int(np.searchsorted(left_vals, rv, side="left"))
+            elif rv < lv:
+                ri = int(np.searchsorted(right_vals, lv, side="left"))
+            else:
+                le = int(np.searchsorted(left_vals, lv, side="right"))
+                re = int(np.searchsorted(right_vals, rv, side="right"))
+                lrows = self.order[li:le]
+                rrows = other.order[ri:re]
+                left_out.append(np.repeat(lrows, len(rrows)))
+                right_out.append(np.tile(rrows, len(lrows)))
+                li, ri = le, re
+        if not left_out:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(left_out), np.concatenate(right_out)
+
+    @property
+    def nbytes(self) -> int:
+        return self.order.nbytes + self.sorted_values.nbytes

@@ -1,0 +1,34 @@
+"""Native language interface: zero-copy export, CoW, lazy conversion, C-API.
+
+Implements section 3.3 of the paper for the NumPy ecosystem: query results
+are exposed as *native* NumPy arrays so any third-party code works on them;
+bit-compatible columns are shared zero-copy with copy-on-write protection;
+columns needing conversion can be converted lazily on first touch.
+"""
+
+from repro.interface.zerocopy import COWArray, export_column
+from repro.interface.lazy import LazyColumn
+from repro.interface import capi
+from repro.interface.capi import (
+    monetdb_append,
+    monetdb_connect,
+    monetdb_disconnect,
+    monetdb_query,
+    monetdb_result_fetch,
+    monetdb_shutdown,
+    monetdb_startup,
+)
+
+__all__ = [
+    "COWArray",
+    "LazyColumn",
+    "export_column",
+    "capi",
+    "monetdb_startup",
+    "monetdb_shutdown",
+    "monetdb_connect",
+    "monetdb_disconnect",
+    "monetdb_query",
+    "monetdb_append",
+    "monetdb_result_fetch",
+]

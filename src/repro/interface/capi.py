@@ -1,0 +1,81 @@
+"""The C-style embedding API of the paper, section 3.2.
+
+Thin functional wrappers mirroring the C interface::
+
+    db   = monetdb_startup("/path/to/db")      # or None for in-memory
+    conn = monetdb_connect(db)
+    res  = monetdb_query(conn, "SELECT ...")
+    col  = monetdb_result_fetch(res, 0, level="high")
+    monetdb_append(conn, "tbl", {"a": array, ...})
+    monetdb_disconnect(conn)
+    monetdb_shutdown()
+
+The object-oriented API (:mod:`repro.core`) is the idiomatic entry point;
+this module exists so code written against the paper's Listings 1-2 maps
+one-to-one.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import Database, shutdown as _shutdown, startup as _startup
+from repro.core.connection import Connection
+from repro.core.result import MonetdbColumn, Result
+from repro.errors import InterfaceError
+
+__all__ = [
+    "monetdb_startup",
+    "monetdb_shutdown",
+    "monetdb_connect",
+    "monetdb_disconnect",
+    "monetdb_query",
+    "monetdb_append",
+    "monetdb_result_fetch",
+    "monetdb_cleanup_result",
+]
+
+
+def monetdb_startup(directory: str | None = None, **config) -> Database:
+    """Initialize the database; ``directory=None`` = in-memory mode."""
+    return _startup(directory, **config)
+
+
+def monetdb_shutdown() -> None:
+    """Shut the active database down and release all global state."""
+    _shutdown()
+
+
+def monetdb_connect(database: Database) -> Connection:
+    """Create a dummy-client connection to a running database."""
+    return database.connect()
+
+
+def monetdb_disconnect(connection: Connection) -> None:
+    connection.close()
+
+
+def monetdb_query(connection: Connection, sql: str) -> Result | None:
+    """Issue SQL; returns a columnar result object (or None for DML/DDL)."""
+    return connection.execute(sql)
+
+
+def monetdb_append(connection: Connection, table: str, data) -> int:
+    """Bulk-append columnar data without SQL parsing overhead."""
+    return connection.append(table, data)
+
+
+def monetdb_result_fetch(result: Result, column: int, level: str = "high"):
+    """Fetch one column of a result.
+
+    ``level="low"`` returns the engine's packed array zero-copy (requires
+    knowledge of the internals: sentinels, heap offsets); ``level="high"``
+    returns a self-describing :class:`~repro.core.result.MonetdbColumn`.
+    """
+    if level == "low":
+        return result.fetch_low_level(column)
+    if level == "high":
+        return result.fetch_high_level(column)
+    raise InterfaceError(f"unknown fetch level {level!r}")
+
+
+def monetdb_cleanup_result(result: Result) -> None:
+    result.close()

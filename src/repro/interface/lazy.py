@@ -1,0 +1,62 @@
+"""Lazy result conversion (paper section 3.3, Figure 4).
+
+The engine returned "dummy arrays" of uninitialized memory protected with
+``mprotect(PROT_NONE)``; the first touch raised a segfault whose handler
+converted the data and unprotected the pages.  The Python analog is a proxy
+object holding the unconverted column: returning it costs O(1), and the
+conversion (linear in the column size) runs exactly once, on first access.
+``SELECT * FROM t`` followed by touching two of 274 columns converts two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LazyColumn"]
+
+
+class LazyColumn:
+    """A column proxy that converts on first access."""
+
+    __slots__ = ("_column", "_converter", "_converted")
+
+    def __init__(self, column, converter):
+        self._column = column
+        self._converter = converter
+        self._converted: np.ndarray | None = None
+
+    @property
+    def is_converted(self) -> bool:
+        """Whether the conversion has been triggered yet."""
+        return self._converted is not None
+
+    def _materialize(self) -> np.ndarray:
+        if self._converted is None:
+            self._converted = self._converter(self._column)
+        return self._converted
+
+    # any read access triggers the conversion, like the segfault handler did
+
+    def __array__(self, dtype=None, copy=None):
+        data = self._materialize()
+        if dtype is not None and dtype != data.dtype:
+            return data.astype(dtype)
+        return data
+
+    def __getitem__(self, item):
+        return self._materialize()[item]
+
+    def __len__(self) -> int:
+        # length is header metadata: it does NOT trigger conversion
+        return len(self._column)
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    @property
+    def dtype(self):
+        return self._materialize().dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "converted" if self.is_converted else "pending"
+        return f"LazyColumn({state}, n={len(self._column)})"

@@ -1,0 +1,23 @@
+"""MAL-style column-at-a-time execution engine.
+
+SQL is parsed into a relational tree, optimized, and translated into a
+linear program of MAL-like instructions (paper section 3.1: "SQL is first
+parsed into a relational algebra tree and then translated into an
+intermediate language called MAL").  Each instruction processes *whole
+columns* before the next instruction runs; intermediates are materialized
+in memory, common sub-expressions are eliminated during code generation,
+and tactical decisions (hash vs. merge join, imprint-accelerated selects)
+are made at execution time — the paper's three optimization levels.
+"""
+
+from repro.mal.program import Instruction, MALProgram
+from repro.mal.codegen import compile_select
+from repro.mal.interpreter import ExecutionConfig, Interpreter
+
+__all__ = [
+    "Instruction",
+    "MALProgram",
+    "compile_select",
+    "ExecutionConfig",
+    "Interpreter",
+]

@@ -1,0 +1,231 @@
+"""Logical plan -> MAL program translation with CSE.
+
+Every logical operator compiles to a handful of column-at-a-time
+instructions; a node's result is simply the list of variables holding its
+output columns.  Pure instructions are deduplicated on emission (the
+paper's MAL-level "common sub-expression elimination"): binding the same
+column twice, or projecting the same expression twice, reuses the first
+variable.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expr as E
+from repro.algebra import nodes as N
+from repro.errors import DatabaseError
+from repro.mal.program import Instruction, MALProgram
+from repro.mal.vector_eval import expr_has_subquery
+
+__all__ = ["compile_select", "CodeGen"]
+
+#: Instructions safe to deduplicate (no side effects, deterministic).
+_PURE_OPS = frozenset(
+    [
+        "bind",
+        "map",
+        "pred",
+        "ids",
+        "take",
+        "join",
+        "pair_left",
+        "pair_right",
+        "semijoin",
+        "groupby",
+        "gb_ids",
+        "gb_reps",
+        "agg",
+        "sort",
+        "head",
+        "distinct",
+        "concat",
+        "setop_ids",
+        "dual",
+    ]
+)
+
+
+def compile_select(bound: N.BoundSelect) -> MALProgram:
+    """Compile an optimized BoundSelect into a MAL program."""
+    return CodeGen().compile(bound)
+
+
+class CodeGen:
+    def __init__(self):
+        self._program = MALProgram()
+        self._cse: dict = {}
+
+    def compile(self, bound: N.BoundSelect) -> MALProgram:
+        columns = self._compile_node(bound.plan)
+        names = tuple(bound.column_names)
+        types = tuple(col.type for col in bound.plan.output)
+        self._emit("result", tuple(columns), names, types)
+        self._program.column_names = list(names)
+        return self._program
+
+    # -- emission ----------------------------------------------------------------
+
+    def _emit(self, op: str, *args, parallelizable: bool = False) -> int:
+        key = None
+        if op in _PURE_OPS:
+            key = (op, tuple(self._arg_key(a) for a in args))
+            cached = self._cse.get(key)
+            if cached is not None:
+                return cached
+        var = self._program.nvars
+        self._program.nvars += 1
+        self._program.instructions.append(
+            Instruction(var, op, args, parallelizable)
+        )
+        if key is not None:
+            self._cse[key] = var
+        return var
+
+    @staticmethod
+    def _arg_key(arg):
+        try:
+            hash(arg)
+            return arg
+        except TypeError:
+            return id(arg)
+
+    # -- node dispatch ---------------------------------------------------------------
+
+    def _compile_node(self, node: N.LogicalNode) -> list:
+        if isinstance(node, N.Scan):
+            return [
+                self._emit("bind", node.table_name, colpos)
+                for colpos in node.column_indexes
+            ]
+        if isinstance(node, N.Filter):
+            return self._compile_filter(node)
+        if isinstance(node, N.Project):
+            return self._compile_project(node)
+        if isinstance(node, N.Join):
+            return self._compile_join(node)
+        if isinstance(node, N.SemiJoin):
+            return self._compile_semijoin(node)
+        if isinstance(node, N.Aggregate):
+            return self._compile_aggregate(node)
+        if isinstance(node, N.Sort):
+            return self._compile_sort(node)
+        if isinstance(node, N.Limit):
+            child = self._compile_node(node.child)
+            start = node.offset
+            stop = None if node.limit is None else node.offset + node.limit
+            return [self._emit("head", var, start, stop) for var in child]
+        if isinstance(node, N.Distinct):
+            child = self._compile_node(node.child)
+            ids = self._emit("distinct", tuple(child))
+            return [self._emit("take", var, ids, parallelizable=True) for var in child]
+        if isinstance(node, N.SetOp):
+            return self._compile_setop(node)
+        if type(node).__name__ == "_DualScan":
+            return []
+        if type(node).__name__ == "_RenamedPlan":
+            return self._compile_node(node.child)
+        raise DatabaseError(f"cannot compile node {type(node).__name__}")
+
+    def _expr_var(self, expression: E.BoundExpr, child_vars: list) -> int:
+        """Variable holding an expression's value (SlotRefs are free)."""
+        if isinstance(expression, E.SlotRef):
+            return child_vars[expression.index]
+        return self._emit(
+            "map",
+            expression,
+            tuple(child_vars),
+            parallelizable=not expr_has_subquery(expression),
+        )
+
+    def _compile_filter(self, node: N.Filter) -> list:
+        child = self._compile_node(node.child)
+        predicate = self._emit(
+            "pred",
+            node.predicate,
+            tuple(child),
+            parallelizable=not expr_has_subquery(node.predicate),
+        )
+        ids = self._emit("ids", predicate)
+        return [self._emit("take", var, ids, parallelizable=True) for var in child]
+
+    def _compile_project(self, node: N.Project) -> list:
+        child = self._compile_node(node.child)
+        return [self._expr_var(expression, child) for expression in node.exprs]
+
+    def _compile_join(self, node: N.Join) -> list:
+        left = self._compile_node(node.left)
+        right = self._compile_node(node.right)
+        left_keys = tuple(self._expr_var(k, left) for k in node.left_keys)
+        right_keys = tuple(self._expr_var(k, right) for k in node.right_keys)
+        anchors = (left[0] if left else None, right[0] if right else None)
+        pair = self._emit("join", left_keys, right_keys, node.kind, anchors)
+        lidx = self._emit("pair_left", pair)
+        ridx = self._emit("pair_right", pair)
+        out = [self._emit("take", var, lidx, parallelizable=True) for var in left]
+        out += [self._emit("take", var, ridx, parallelizable=True) for var in right]
+        if node.residual is not None:
+            predicate = self._emit(
+                "pred",
+                node.residual,
+                tuple(out),
+                parallelizable=not expr_has_subquery(node.residual),
+            )
+            ids = self._emit("ids", predicate)
+            out = [self._emit("take", var, ids, parallelizable=True) for var in out]
+        return out
+
+    def _compile_semijoin(self, node: N.SemiJoin) -> list:
+        left = self._compile_node(node.left)
+        right = self._compile_node(node.right)
+        left_keys = tuple(self._expr_var(k, left) for k in node.left_keys)
+        right_keys = tuple(self._expr_var(k, right) for k in node.right_keys)
+        ids = self._emit("semijoin", left_keys, right_keys, node.anti)
+        return [self._emit("take", var, ids, parallelizable=True) for var in left]
+
+    def _compile_aggregate(self, node: N.Aggregate) -> list:
+        child = self._compile_node(node.child)
+        out: list = []
+        if node.group_exprs:
+            keys = tuple(self._expr_var(g, child) for g in node.group_exprs)
+            group = self._emit("groupby", keys)
+            gids = self._emit("gb_ids", group)
+            reps = self._emit("gb_reps", group)
+            out = [self._emit("take", key, reps, parallelizable=True) for key in keys]
+        else:
+            group = gids = None
+        for agg in node.aggregates:
+            arg = (
+                self._expr_var(agg.arg, child) if agg.arg is not None else None
+            )
+            anchor = child[0] if child else None
+            out.append(
+                self._emit(
+                    "agg", agg.func, arg, gids, group, agg.distinct, anchor, agg.type
+                )
+            )
+        return out
+
+    def _compile_sort(self, node: N.Sort) -> list:
+        child = self._compile_node(node.child)
+        keys = tuple(self._expr_var(k.expr, child) for k in node.keys)
+        descending = tuple(k.descending for k in node.keys)
+        nulls_first = tuple(k.nulls_first for k in node.keys)
+        ids = self._emit("sort", keys, descending, nulls_first)
+        return [self._emit("take", var, ids, parallelizable=True) for var in child]
+
+    def _compile_setop(self, node: N.SetOp) -> list:
+        left = self._compile_node(node.left)
+        right = self._compile_node(node.right)
+        types = tuple(col.type for col in node.left.output)
+        if node.op == "union":
+            merged = [
+                self._emit("concat", lv, rv, types[i])
+                for i, (lv, rv) in enumerate(zip(left, right))
+            ]
+            if node.all:
+                return merged
+            ids = self._emit("distinct", tuple(merged))
+            return [
+                self._emit("take", var, ids, parallelizable=True) for var in merged
+            ]
+        ids = self._emit("setop_ids", node.op, node.all, tuple(left), tuple(right))
+        return [self._emit("take", var, ids, parallelizable=True) for var in left]

@@ -1,0 +1,679 @@
+"""MAL program interpreter: column-at-a-time execution with tactical choices.
+
+The interpreter walks the straight-line program, holding every intermediate
+as a whole column in memory (paper section 3.1).  Tactical, execution-time
+decisions (the paper's third optimization level) happen here:
+
+* simple range/point conjuncts over persistent columns consult the index
+  manager — an exact ORDER INDEX lookup if one exists, otherwise an
+  automatically built imprint that prunes blocks before the predicate is
+  verified;
+* equi-joins probe an automatically built (and append-maintained) hash
+  index when the build side is a bare persistent column, use a merge join
+  when both sides carry order indexes, and otherwise fall back to the
+  vectorized sort-merge kernel;
+* group-bys reuse the hash index's precomputed group ids when grouping a
+  bare persistent column.
+
+Instructions marked parallelizable are executed chunked over a thread pool
+when they exceed the chunking threshold — the "mitosis" of paper Figure 2.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algebra import expr as E
+from repro.errors import DatabaseError, QueryTimeoutError
+from repro.mal import operators as ops
+from repro.mal.codegen import compile_select
+from repro.mal.program import MALProgram
+from repro.mal.vector_eval import eval_pred, eval_value
+from repro.mal.vectors import BoolVec, V, vec_from_column, vec_to_column
+from repro.storage import types as T
+from repro.storage.column import Column
+
+__all__ = ["ExecutionConfig", "ExecutionContext", "Interpreter", "MaterializedResult"]
+
+
+@dataclass
+class ExecutionConfig:
+    """Tuning knobs of the execution engine."""
+
+    parallel: bool = False
+    max_workers: int = 4
+    min_parallel_rows: int = 1 << 16
+    use_imprints: bool = True
+    use_hash_index: bool = True
+    use_order_index: bool = True
+    timeout: float | None = None
+
+
+@dataclass
+class MaterializedResult:
+    """A fully materialized query result (columnar)."""
+
+    names: list
+    columns: list  # of storage Columns
+    nrows: int = field(init=False)
+
+    def __post_init__(self):
+        self.nrows = len(self.columns[0]) if self.columns else 0
+
+
+class ExecutionContext:
+    """Shared state of one query execution (txn, config, subquery stack)."""
+
+    def __init__(self, database, txn, config: ExecutionConfig):
+        self.database = database
+        self.txn = txn
+        self.config = config
+        self.deadline = (
+            time.monotonic() + config.timeout if config.timeout else None
+        )
+        self.outer_stack: list = []
+        self._subplan_cache: dict = {}
+
+    def check_deadline(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeoutError("query exceeded its execution timeout")
+
+    # -- correlation -------------------------------------------------------------
+
+    def outer_value(self, index: int):
+        """(storage value, type) of slot ``index`` in the nearest outer row."""
+        if not self.outer_stack:
+            raise DatabaseError("outer reference outside a correlated subquery")
+        values, types = self.outer_stack[-1]
+        return values[index], types[index]
+
+    def _subplan_program(self, bound) -> MALProgram:
+        key = id(bound)
+        program = self._subplan_cache.get(key)
+        if program is None:
+            program = compile_select(bound)
+            self._subplan_cache[key] = program
+        return program
+
+    def _run_subplan(self, bound) -> MaterializedResult:
+        program = self._subplan_program(bound)
+        return Interpreter(self).run(program)
+
+    @staticmethod
+    def _row_frame(inputs: list, row: int):
+        """Extract one outer row (storage-domain values) from input vectors."""
+        values = []
+        types = []
+        for vec in inputs:
+            types.append(vec.type)
+            if vec.is_scalar:
+                values.append(vec.data)
+            elif vec.type.is_variable:
+                values.append(
+                    vec.heap.get(int(vec.data[row]))
+                    if vec.heap is not None
+                    else vec.data[row]
+                )
+            else:
+                raw = vec.data[row]
+                values.append(None if vec.type.is_null_scalar(raw) else raw)
+        return values, types
+
+    def eval_scalar_subquery(self, expression: E.ScalarSubqueryExpr, inputs: list):
+        bound = expression.plan
+        rtype = expression.type
+        if not expression.correlated:
+            result = self._run_subplan(bound)
+            return V(rtype, self._scalar_from(result, rtype))
+        n = self._input_length(inputs)
+        out: list = []
+        for row in range(n):
+            if row % 1024 == 0:
+                self.check_deadline()
+            self.outer_stack.append(self._row_frame(inputs, row))
+            try:
+                result = self._run_subplan(bound)
+            finally:
+                self.outer_stack.pop()
+            out.append(self._scalar_from(result, rtype))
+        if rtype.is_variable:
+            return V(rtype, np.array(out, dtype=object))
+        data = np.array(
+            [rtype.null_value if v is None else v for v in out], dtype=rtype.dtype
+        )
+        return V(rtype, data)
+
+    def eval_exists_subquery(self, expression: E.ExistsSubqueryExpr, inputs: list):
+        bound = expression.plan
+        if not expression.correlated:
+            result = self._run_subplan(bound)
+            n = self._input_length(inputs)
+            hit = result.nrows > 0
+            truth = np.full(n, hit != expression.negated)
+            return BoolVec(truth)
+        n = self._input_length(inputs)
+        truth = np.empty(n, dtype=bool)
+        for row in range(n):
+            if row % 1024 == 0:
+                self.check_deadline()
+            self.outer_stack.append(self._row_frame(inputs, row))
+            try:
+                result = self._run_subplan(bound)
+            finally:
+                self.outer_stack.pop()
+            truth[row] = (result.nrows > 0) != expression.negated
+        return BoolVec(truth)
+
+    @staticmethod
+    def _input_length(inputs: list) -> int:
+        for vec in inputs:
+            if isinstance(vec, V) and not vec.is_scalar:
+                return len(vec.data)
+        return 1
+
+    @staticmethod
+    def _scalar_from(result: MaterializedResult, rtype: T.SQLType):
+        if result.nrows == 0:
+            return None
+        if result.nrows > 1:
+            raise DatabaseError("scalar subquery returned more than one row")
+        column = result.columns[0]
+        if column.type.is_variable:
+            return column.heap.get(int(column.data[0]))
+        raw = column.data[0]
+        return None if column.type.is_null_scalar(raw) else raw
+
+
+class Interpreter:
+    """Executes one MAL program against an execution context."""
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+        self._values: dict = {}
+        self._prov: dict = {}  # var -> (table, version, colpos)
+        self._result: MaterializedResult | None = None
+
+    # -- driver ---------------------------------------------------------------------
+
+    def run(self, program: MALProgram) -> MaterializedResult:
+        for instruction in program.instructions:
+            self.ctx.check_deadline()
+            handler = getattr(self, f"_op_{instruction.op}", None)
+            if handler is None:
+                raise DatabaseError(f"unknown MAL op {instruction.op!r}")
+            self._values[instruction.var] = handler(instruction)
+        if self._result is None:
+            raise DatabaseError("program produced no result")
+        return self._result
+
+    def _get(self, var: int):
+        return self._values[var]
+
+    # -- data access -------------------------------------------------------------------
+
+    def _op_bind(self, instr):
+        table_name, colpos = instr.args
+        table = self.ctx.txn.resolve_table(table_name)
+        version = self.ctx.txn.read_version(table)
+        snapshot = self.ctx.txn.snapshot_version(table)
+        vec = vec_from_column(version.columns[colpos])
+        if version is snapshot:
+            self._prov[instr.var] = (table, version, colpos)
+        return vec
+
+    def _op_dual(self, instr):
+        return V(T.INTEGER, np.zeros(1, dtype=np.int32))
+
+    # -- expression evaluation ------------------------------------------------------------
+
+    def _op_map(self, instr):
+        expression, input_vars = instr.args
+        inputs = [self._get(v) for v in input_vars]
+        result = self._run_maybe_chunked(
+            instr,
+            lambda chunk_inputs: eval_value(expression, chunk_inputs, self.ctx),
+            inputs,
+        )
+        n = ExecutionContext._input_length(inputs)
+        if isinstance(result, V) and result.is_scalar and n > 1:
+            column = vec_to_column(result, n)
+            return vec_from_column(column)
+        return result
+
+    def _op_pred(self, instr):
+        expression, input_vars = instr.args
+        inputs = [self._get(v) for v in input_vars]
+        accelerated = self._try_index_select(expression, input_vars, inputs)
+        if accelerated is not None:
+            return accelerated
+        return self._run_maybe_chunked(
+            instr,
+            lambda chunk_inputs: eval_pred(expression, chunk_inputs, self.ctx),
+            inputs,
+        )
+
+    def _op_ids(self, instr):
+        predicate: BoolVec = self._get(instr.args[0])
+        return np.flatnonzero(predicate.definite()).astype(np.int64)
+
+    def _op_take(self, instr):
+        var, ids_var = instr.args
+        vec: V = self._get(var)
+        ids = self._get(ids_var)
+        return vec.take(ids)
+
+    def _op_head(self, instr):
+        var, start, stop = instr.args
+        vec: V = self._get(var)
+        if vec.is_scalar:
+            return vec
+        return V(vec.type, vec.data[start:stop], vec.heap)
+
+    def _op_concat(self, instr):
+        lvar, rvar, ctype = instr.args
+        left: V = self._get(lvar)
+        right: V = self._get(rvar)
+        if ctype.is_variable:
+            data = np.concatenate([left.objects(), right.objects()])
+            return V(ctype, data)
+        return V(ctype, np.concatenate([left.data, right.data]))
+
+    # -- joins -----------------------------------------------------------------------------
+
+    def _op_join(self, instr):
+        left_vars, right_vars, kind, anchors = instr.args
+        left = [self._get(v) for v in left_vars]
+        right = [self._get(v) for v in right_vars]
+        if kind == "cross" or not left_vars:
+            left_anchor = (
+                self._get(anchors[0]) if anchors[0] is not None else None
+            )
+            right_anchor = (
+                self._get(anchors[1]) if anchors[1] is not None else None
+            )
+            nl = (
+                ExecutionContext._input_length([left_anchor])
+                if left_anchor is not None
+                else 1
+            )
+            nr = (
+                ExecutionContext._input_length([right_anchor])
+                if right_anchor is not None
+                else 1
+            )
+            lidx = np.repeat(np.arange(nl, dtype=np.int64), nr)
+            ridx = np.tile(np.arange(nr, dtype=np.int64), nl)
+            return lidx, ridx
+
+        # tactical choice 1: merge join over two order indexes
+        if self.ctx.config.use_order_index and len(left_vars) == 1:
+            merged = self._try_merge_join(left_vars[0], right_vars[0])
+            if merged is not None:
+                return merged
+        # tactical choice 2: probe an automatic hash index on the right side
+        if self.ctx.config.use_hash_index and len(right_vars) == 1:
+            probed = self._try_hash_join(left[0], right_vars[0], right[0])
+            if probed is not None:
+                return probed
+        return ops.join_pairs(left, right)
+
+    def _try_merge_join(self, left_var: int, right_var: int):
+        lprov = self._prov.get(left_var)
+        rprov = self._prov.get(right_var)
+        if lprov is None or rprov is None:
+            return None
+        manager = self.ctx.database.index_manager
+        left_index = manager.order_for(lprov[0], lprov[1], lprov[2])
+        right_index = manager.order_for(rprov[0], rprov[1], rprov[2])
+        if left_index is None or right_index is None:
+            return None
+        return left_index.merge_join(right_index)
+
+    def _try_hash_join(self, left_key: V, right_var: int, right_key: V):
+        prov = self._prov.get(right_var)
+        if prov is None or left_key.type.is_variable or left_key.is_scalar:
+            return None
+        index = self.ctx.database.index_manager.hash_for(prov[0], prov[1], prov[2])
+        if index is None:
+            return None
+        lidx, ridx = index.probe(left_key.data)
+        lnull = left_key.null_mask(len(left_key.data))
+        rnull = right_key.null_mask(len(right_key.data))
+        if lnull is not None or rnull is not None:
+            keep = np.ones(len(lidx), dtype=bool)
+            if lnull is not None:
+                keep &= ~lnull[lidx]
+            if rnull is not None:
+                keep &= ~rnull[ridx]
+            lidx, ridx = lidx[keep], ridx[keep]
+        return lidx, ridx
+
+    def _op_pair_left(self, instr):
+        return self._get(instr.args[0])[0]
+
+    def _op_pair_right(self, instr):
+        return self._get(instr.args[0])[1]
+
+    def _op_semijoin(self, instr):
+        left_vars, right_vars, anti = instr.args
+        left = [self._get(v) for v in left_vars]
+        right = [self._get(v) for v in right_vars]
+        if (
+            self.ctx.config.use_hash_index
+            and len(right_vars) == 1
+            and not left[0].type.is_variable
+            and not left[0].is_scalar
+        ):
+            prov = self._prov.get(right_vars[0])
+            if prov is not None:
+                index = self.ctx.database.index_manager.hash_for(
+                    prov[0], prov[1], prov[2]
+                )
+                if index is not None:
+                    member = index.contains(left[0].data)
+                    nulls = left[0].null_mask(len(left[0].data))
+                    if nulls is not None:
+                        member &= ~nulls
+                    if anti:
+                        member = ~member
+                    return np.flatnonzero(member).astype(np.int64)
+        return ops.semijoin_rows(left, right, anti)
+
+    # -- grouping ---------------------------------------------------------------------------
+
+    def _op_groupby(self, instr):
+        key_vars = instr.args[0]
+        keys = [self._get(v) for v in key_vars]
+        if self.ctx.config.use_hash_index and len(key_vars) == 1:
+            prov = self._prov.get(key_vars[0])
+            if prov is not None:
+                index = self.ctx.database.index_manager.hash_for(
+                    prov[0], prov[1], prov[2]
+                )
+                if index is not None:
+                    return (
+                        index.group_ids(),
+                        index.representatives(),
+                        index.group_count(),
+                    )
+        return ops.group_by(keys)
+
+    def _op_gb_ids(self, instr):
+        return self._get(instr.args[0])[0]
+
+    def _op_gb_reps(self, instr):
+        return self._get(instr.args[0])[1]
+
+    def _op_agg(self, instr):
+        func, arg_var, gids_var, group_var, distinct, anchor_var, rtype = instr.args
+        arg = self._get(arg_var) if arg_var is not None else None
+        if group_var is not None:
+            gids = self._get(gids_var)
+            ngroups = self._get(group_var)[2]
+        else:
+            gids = None
+            ngroups = 1
+            if arg is None:
+                anchor = self._get(anchor_var) if anchor_var is not None else None
+                n = (
+                    len(anchor.data)
+                    if anchor is not None and not anchor.is_scalar
+                    else (0 if anchor is None else 1)
+                )
+                return V(
+                    T.BIGINT, np.array([n], dtype=np.int64)
+                )  # count(*) without groups
+            if arg.is_scalar:
+                anchor = self._get(anchor_var) if anchor_var is not None else None
+                n = (
+                    len(anchor.data)
+                    if anchor is not None and not anchor.is_scalar
+                    else 1
+                )
+                arg = V(arg.type, np.repeat(np.asarray([arg.data]), n), arg.heap)
+        values, null_mask = ops.aggregate(func, arg, gids, ngroups, distinct)
+        return self._wrap_agg(values, null_mask, rtype)
+
+    @staticmethod
+    def _wrap_agg(values: np.ndarray, null_mask, rtype: T.SQLType) -> V:
+        if values.dtype == object:
+            return V(rtype, values)
+        if rtype.category == T.TypeCategory.FLOAT:
+            out = values.astype(np.float64)
+            if null_mask is not None and null_mask.any():
+                out[null_mask] = np.nan
+            return V(rtype, out)
+        out = values.astype(rtype.dtype)
+        if null_mask is not None and null_mask.any():
+            out = out.copy()
+            out[null_mask] = rtype.null_value
+        return V(rtype, out)
+
+    # -- ordering / distinct / set ops -----------------------------------------------------------
+
+    def _op_sort(self, instr):
+        key_vars, descending, nulls_first = instr.args
+        keys = [self._materialized(self._get(v)) for v in key_vars]
+        return ops.sort_rows(keys, list(descending), list(nulls_first))
+
+    def _op_distinct(self, instr):
+        vars_ = instr.args[0]
+        vecs = [self._materialized(self._get(v)) for v in vars_]
+        return ops.distinct_rows(vecs)
+
+    def _op_setop_ids(self, instr):
+        op, all_flag, left_vars, right_vars = instr.args
+        left = [self._materialized(self._get(v)) for v in left_vars]
+        right = [self._materialized(self._get(v)) for v in right_vars]
+        member_rows = ops.semijoin_rows(left, right, anti=(op == "except"))
+        if all_flag:
+            return member_rows
+        # set semantics: keep the first occurrence of each distinct row
+        keep = np.zeros(len(left[0].data), dtype=bool)
+        keep[member_rows] = True
+        firsts = ops.distinct_rows(left)
+        return np.array([r for r in firsts if keep[r]], dtype=np.int64)
+
+    def _materialized(self, vec: V) -> V:
+        """Broadcast scalar vectors to full columns for bulk kernels."""
+        if not vec.is_scalar:
+            return vec
+        n = self._current_length()
+        column = vec_to_column(vec, n)
+        return vec_from_column(column)
+
+    def _current_length(self) -> int:
+        for value in reversed(list(self._values.values())):
+            if isinstance(value, V) and not value.is_scalar:
+                return len(value.data)
+        return 1
+
+    # -- result ----------------------------------------------------------------------------------
+
+    def _op_result(self, instr):
+        vars_, names, types = instr.args
+        vecs = [self._get(v) for v in vars_]
+        n = 1
+        for vec in vecs:
+            if isinstance(vec, V) and not vec.is_scalar:
+                n = len(vec.data)
+                break
+        columns = [
+            vec_to_column(vec, n) for vec in vecs
+        ]
+        self._result = MaterializedResult(list(names), columns)
+        return None
+
+    # -- chunked (parallel) execution ----------------------------------------------------------------
+
+    def _run_maybe_chunked(self, instr, kernel, inputs: list):
+        config = self.ctx.config
+        n = ExecutionContext._input_length(inputs)
+        if (
+            not config.parallel
+            or not instr.parallelizable
+            or n < config.min_parallel_rows
+        ):
+            return kernel(inputs)
+        workers = max(1, config.max_workers)
+        chunk = max(config.min_parallel_rows // 2, -(-n // workers))
+        bounds = [(s, min(s + chunk, n)) for s in range(0, n, chunk)]
+        if len(bounds) <= 1:
+            return kernel(inputs)
+
+        def run_chunk(bound):
+            start, stop = bound
+            chunk_inputs = [
+                vec
+                if not isinstance(vec, V) or vec.is_scalar
+                else V(vec.type, vec.data[start:stop], vec.heap)
+                for vec in inputs
+            ]
+            return kernel(chunk_inputs)
+
+        pool = self.ctx.database.thread_pool
+        results = list(pool.map(run_chunk, bounds))
+        return _pack_chunks(results, n)
+
+    # -- index-accelerated selection -------------------------------------------------------------------
+
+    def _try_index_select(self, expression, input_vars, inputs):
+        """Answer simple conjunctive range predicates through indexes.
+
+        Returns a BoolVec or None when no index applies.  Conjuncts that an
+        ORDER INDEX answers exactly are dropped; imprint hits only *narrow*
+        the candidate set and the full predicate is verified on candidates.
+        """
+        config = self.ctx.config
+        if not (config.use_imprints or config.use_order_index):
+            return None
+        n = ExecutionContext._input_length(inputs)
+        if n < 2 * 64:
+            return None
+        conjuncts = (
+            list(expression.args)
+            if isinstance(expression, E.BoolOp) and expression.op == "and"
+            else [expression]
+        )
+        manager = self.ctx.database.index_manager
+        candidates = None
+        remaining: list = []
+        used_index = False
+        for conjunct in conjuncts:
+            simple = _simple_range(conjunct)
+            handled = False
+            if simple is not None:
+                slot, lo, hi, lo_open, hi_open = simple
+                vec = inputs[slot]
+                prov = self._prov.get(input_vars[slot])
+                if prov is not None and not vec.type.is_variable:
+                    table, version, colpos = prov
+                    if config.use_order_index and vec.type.category in (
+                        T.TypeCategory.INTEGER,
+                        T.TypeCategory.DECIMAL,
+                        T.TypeCategory.DATE,
+                    ):
+                        order = manager.order_for(table, version, colpos)
+                        if order is not None:
+                            exact_lo, exact_lo_open = lo, lo_open
+                            if exact_lo is None:
+                                exact_lo = vec.type.null_value
+                                exact_lo_open = True
+                            mask = order.range_mask(
+                                exact_lo, hi, exact_lo_open, hi_open
+                            )
+                            candidates = (
+                                mask if candidates is None else candidates & mask
+                            )
+                            handled = True  # exact: conjunct fully answered
+                            used_index = True
+                    if not handled and config.use_imprints:
+                        imprint = manager.imprint_for(table, version, colpos)
+                        if imprint is not None:
+                            mask = imprint.candidate_rows(
+                                None if lo is None else float(lo),
+                                None if hi is None else float(hi),
+                            )
+                            candidates = (
+                                mask if candidates is None else candidates & mask
+                            )
+                            used_index = True
+                            # imprints are approximate: verify below
+            if not handled:
+                remaining.append(conjunct)
+        if not used_index or candidates is None:
+            return None
+        if not remaining:
+            return BoolVec(candidates)
+        rows = np.flatnonzero(candidates)
+        if len(rows) == n:
+            return None  # index did not prune anything; use the normal path
+        sub_inputs = [
+            vec if not isinstance(vec, V) or vec.is_scalar else vec.take(rows)
+            for vec in inputs
+        ]
+        predicate = (
+            remaining[0]
+            if len(remaining) == 1
+            else E.BoolOp("and", tuple(remaining))
+        )
+        sub = eval_pred(predicate, sub_inputs, self.ctx)
+        truth = np.zeros(n, dtype=bool)
+        truth[rows] = sub.definite()
+        return BoolVec(truth)
+
+
+def _simple_range(conjunct):
+    """Match ``SlotRef op Const``; returns (slot, lo, hi, lo_open, hi_open)."""
+    if not isinstance(conjunct, E.Compare):
+        return None
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    if isinstance(right, E.SlotRef) and isinstance(left, E.Const):
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+        if op not in flip:
+            return None
+        left, right, op = right, left, flip[op]
+    if not (isinstance(left, E.SlotRef) and isinstance(right, E.Const)):
+        return None
+    if right.value is None:
+        return None
+    value = right.value
+    if op == "=":
+        return left.index, value, value, False, False
+    if op == "<":
+        return left.index, None, value, False, True
+    if op == "<=":
+        return left.index, None, value, False, False
+    if op == ">":
+        return left.index, value, None, True, False
+    if op == ">=":
+        return left.index, value, None, False, False
+    return None
+
+
+def _pack_chunks(results: list, n: int):
+    """Concatenate chunked kernel outputs (the "pack" of paper Figure 2)."""
+    first = results[0]
+    if isinstance(first, BoolVec):
+        truth = np.concatenate([r.truth for r in results])
+        if any(r.valid is not None for r in results):
+            valid = np.concatenate(
+                [
+                    r.valid
+                    if r.valid is not None
+                    else np.ones(len(r.truth), dtype=bool)
+                    for r in results
+                ]
+            )
+            return BoolVec(truth, valid)
+        return BoolVec(truth)
+    if isinstance(first, V):
+        if first.is_scalar:
+            return first
+        datas = [r.data for r in results]
+        return V(first.type, np.concatenate(datas), first.heap)
+    return np.concatenate(results)

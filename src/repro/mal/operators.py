@@ -1,0 +1,373 @@
+"""Bulk relational operator kernels (grouping, joins, sorting, distinct).
+
+All kernels are "blocking" MAL operators in the paper's terminology: they
+consume whole columns and produce whole columns.  Composite keys are
+factorized into dense integer codes first, so every algorithm runs on plain
+int64 arrays regardless of the original key types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatabaseError
+from repro.mal.vectors import V
+from repro.storage import types as T
+
+__all__ = [
+    "key_codes",
+    "group_by",
+    "aggregate",
+    "join_pairs",
+    "semijoin_rows",
+    "sort_rows",
+    "distinct_rows",
+]
+
+
+def key_codes(vec: V) -> np.ndarray:
+    """Dense int64 codes for one key vector (equal values, equal codes).
+
+    Codes are *order-preserving* (produced by np.unique), which lets the
+    same encoding drive group-by, hash joins, sorting, and distinct.
+    """
+    if vec.type.is_variable:
+        if vec.heap is not None and vec.heap.dedup_active:
+            # offsets are already value-unique: cheap path
+            _, inverse = np.unique(vec.data, return_inverse=True)
+            # offset order is not value order; re-rank via the heap values
+            distinct_offsets = np.unique(vec.data)
+            values = vec.heap.values_array()[distinct_offsets]
+            rank = np.argsort(
+                np.argsort(np.asarray([v if v is not None else "" for v in values]))
+            )
+            return rank[inverse].astype(np.int64)
+        objects = vec.objects()
+        keys = np.asarray([s if s is not None else "" for s in objects])
+        _, inverse = np.unique(keys, return_inverse=True)
+        return inverse.astype(np.int64)
+    data = vec.data
+    if data.dtype.kind == "f":
+        # NaN (NULL) values: unify them into one code
+        data = np.where(np.isnan(data), -np.inf, data)
+    _, inverse = np.unique(data, return_inverse=True)
+    return inverse.astype(np.int64)
+
+
+def combine_codes(code_arrays: list) -> np.ndarray:
+    """Combine several dense code arrays into one (row-identity) code."""
+    combined = code_arrays[0]
+    for codes in code_arrays[1:]:
+        width = int(codes.max()) + 1 if len(codes) else 1
+        combined = combined * width + codes
+        # re-densify to keep values small
+        _, combined = np.unique(combined, return_inverse=True)
+        combined = combined.astype(np.int64)
+    return combined
+
+
+def group_by(key_vecs: list) -> tuple:
+    """Group rows by key vectors; returns (gids, reps, ngroups).
+
+    ``gids`` assigns each row its dense group id, ``reps`` holds the first
+    row of each group (for materializing group-key output columns).
+    """
+    if not key_vecs:
+        raise DatabaseError("group_by requires at least one key")
+    codes = combine_codes([key_codes(vec) for vec in key_vecs])
+    uniques, reps, gids = np.unique(codes, return_index=True, return_inverse=True)
+    return gids.astype(np.int64), reps.astype(np.int64), len(uniques)
+
+
+def aggregate(func: str, arg: V | None, gids, ngroups: int, distinct: bool = False):
+    """Compute one aggregate per group; returns (values, null_mask).
+
+    ``gids=None`` (with ngroups=1) means a full-column aggregate.
+    """
+    if gids is None:
+        gids = np.zeros(len(arg.data) if arg is not None else 0, dtype=np.int64)
+
+    if func == "count_star":
+        counts = np.bincount(gids, minlength=ngroups).astype(np.int64)
+        return counts, None
+
+    if arg is None:
+        raise DatabaseError(f"aggregate {func} requires an argument")
+
+    data = arg.data
+    n = len(data) if isinstance(data, np.ndarray) else len(gids)
+    if not isinstance(data, np.ndarray):  # broadcast scalar argument
+        if arg.type.is_variable:
+            data = np.full(n, 0, dtype=np.int64)
+        else:
+            fill = arg.type.null_value if arg.data is None else arg.data
+            data = np.full(n, fill, dtype=arg.type.dtype)
+        arg = V(arg.type, data, arg.heap)
+
+    nulls = arg.null_mask(n)
+    present = ~nulls if nulls is not None else np.ones(n, dtype=bool)
+
+    if distinct:
+        codes = key_codes(arg)
+        pair = combine_codes([gids[present], codes[present]])
+        _, first = np.unique(pair, return_index=True)
+        keep = np.flatnonzero(present)[first]
+        gids = gids[keep]
+        data = data[keep]
+        arg = V(arg.type, data, arg.heap)
+        present = np.ones(len(keep), dtype=bool)
+        nulls = None
+
+    if func == "count":
+        counts = np.bincount(gids[present], minlength=ngroups).astype(np.int64)
+        return counts, None
+
+    if arg.type.is_variable:
+        return _string_minmax(func, arg, gids, ngroups)
+
+    floats = _as_float(arg, data, nulls)
+
+    if func == "sum":
+        sums = np.bincount(gids[present], weights=floats[present], minlength=ngroups)
+        counts = np.bincount(gids[present], minlength=ngroups)
+        if arg.type.category == T.TypeCategory.INTEGER:
+            out = np.zeros(ngroups, dtype=np.int64)
+            np.add.at(out, gids[present], data[present].astype(np.int64))
+            return out, counts == 0
+        return sums, counts == 0
+    if func == "avg":
+        sums = np.bincount(gids[present], weights=floats[present], minlength=ngroups)
+        counts = np.bincount(gids[present], minlength=ngroups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = sums / counts
+        return out, counts == 0
+    if func in ("min", "max"):
+        init = np.inf if func == "min" else -np.inf
+        out = np.full(ngroups, init, dtype=np.float64)
+        ufunc = np.minimum if func == "min" else np.maximum
+        ufunc.at(out, gids[present], floats[present])
+        counts = np.bincount(gids[present], minlength=ngroups)
+        empty = counts == 0
+        if arg.type.category == T.TypeCategory.FLOAT:
+            return out, empty
+        # map back into the storage domain of the argument type
+        if arg.type.category == T.TypeCategory.DECIMAL:
+            raw = np.round(out * 10**arg.type.scale)
+        else:
+            raw = out
+        raw = np.where(empty, 0, raw).astype(arg.type.dtype)
+        return raw, empty
+    if func == "median":
+        return _median(floats, present, gids, ngroups)
+    if func in ("stddev", "var"):
+        counts = np.bincount(gids[present], minlength=ngroups)
+        sums = np.bincount(gids[present], weights=floats[present], minlength=ngroups)
+        squares = np.bincount(
+            gids[present], weights=floats[present] ** 2, minlength=ngroups
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = sums / counts
+            variance = squares / counts - mean**2
+            variance = np.where(counts > 1, variance * counts / (counts - 1), np.nan)
+        if func == "var":
+            return variance, counts <= 1
+        return np.sqrt(np.maximum(variance, 0)), counts <= 1
+    raise DatabaseError(f"unknown aggregate {func!r}")
+
+
+def _as_float(arg: V, data: np.ndarray, nulls) -> np.ndarray:
+    if arg.type.category == T.TypeCategory.FLOAT:
+        return data.astype(np.float64, copy=False)
+    if arg.type.category == T.TypeCategory.DECIMAL:
+        out = data.astype(np.float64) / 10**arg.type.scale
+    else:
+        out = data.astype(np.float64)
+    if nulls is not None and nulls.any():
+        out = out.copy()
+        out[nulls] = np.nan
+    return out
+
+
+def _median(floats, present, gids, ngroups):
+    """Per-group median via one value sort plus a stable group sort."""
+    idx = np.flatnonzero(present)
+    values = floats[idx]
+    groups = gids[idx]
+    order = np.argsort(values, kind="stable")
+    order = order[np.argsort(groups[order], kind="stable")]
+    sorted_values = values[order]
+    counts = np.bincount(groups, minlength=ngroups)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    out = np.full(ngroups, np.nan)
+    nonempty = counts > 0
+    lo = offsets + (counts - 1) // 2
+    hi = offsets + counts // 2
+    lo_vals = np.where(nonempty, sorted_values[np.minimum(lo, len(sorted_values) - 1)], np.nan)
+    hi_vals = np.where(nonempty, sorted_values[np.minimum(hi, len(sorted_values) - 1)], np.nan)
+    out = (lo_vals + hi_vals) / 2.0
+    return out, counts == 0
+
+
+def _string_minmax(func: str, arg: V, gids, ngroups):
+    objects = arg.objects()
+    best: list = [None] * ngroups
+    if func == "min":
+        for gid, value in zip(gids, objects):
+            if value is None:
+                continue
+            current = best[gid]
+            if current is None or value < current:
+                best[gid] = value
+    elif func == "max":
+        for gid, value in zip(gids, objects):
+            if value is None:
+                continue
+            current = best[gid]
+            if current is None or value > current:
+                best[gid] = value
+    else:
+        raise DatabaseError(f"aggregate {func} not defined for strings")
+    return np.array(best, dtype=object), np.array([b is None for b in best])
+
+
+# -- joins -----------------------------------------------------------------------------------
+
+
+def _shared_codes(left_vecs: list, right_vecs: list):
+    """Factorize both sides' composite keys into one shared code space.
+
+    NULL keys receive code -1 and never match.
+    """
+    left_parts = []
+    right_parts = []
+    nl = len(left_vecs[0].data) if left_vecs else 0
+    nr = len(right_vecs[0].data) if right_vecs else 0
+    left_null = np.zeros(nl, dtype=bool)
+    right_null = np.zeros(nr, dtype=bool)
+    for lv, rv in zip(left_vecs, right_vecs):
+        lnull = lv.null_mask(nl)
+        rnull = rv.null_mask(nr)
+        if lnull is not None:
+            left_null |= lnull
+        if rnull is not None:
+            right_null |= rnull
+        if lv.type.is_variable or rv.type.is_variable:
+            lobj = lv.objects()
+            robj = rv.objects()
+            both = np.concatenate(
+                [
+                    np.asarray([s if s is not None else "" for s in lobj]),
+                    np.asarray([s if s is not None else "" for s in robj]),
+                ]
+            )
+            _, inverse = np.unique(both, return_inverse=True)
+        else:
+            ldata = lv.data.astype(np.float64, copy=False)
+            rdata = rv.data.astype(np.float64, copy=False)
+            both = np.concatenate([ldata, rdata])
+            both = np.where(np.isnan(both), -np.inf, both)
+            _, inverse = np.unique(both, return_inverse=True)
+        left_parts.append(inverse[:nl].astype(np.int64))
+        right_parts.append(inverse[nl:].astype(np.int64))
+    left_codes, right_codes = combine_joint(left_parts, right_parts)
+    left_codes = left_codes.copy()
+    right_codes = right_codes.copy()
+    left_codes[left_null] = -1
+    right_codes[right_null] = -1
+    return left_codes, right_codes
+
+
+def combine_joint(left_parts: list, right_parts: list):
+    """Combine per-key codes of both sides consistently."""
+    left = left_parts[0]
+    right = right_parts[0]
+    for lp, rp in zip(left_parts[1:], right_parts[1:]):
+        width = int(max(lp.max(initial=0), rp.max(initial=0))) + 1
+        left = left * width + lp
+        right = right * width + rp
+    return left, right
+
+
+def join_pairs(left_vecs: list, right_vecs: list):
+    """All matching (left_row, right_row) pairs of an equi-join.
+
+    Sort-merge style: the right side is ordered by key code once, the left
+    side probes with two binary searches per distinct code — the behavior of
+    a bulk hash join, implemented on sorted arrays.
+    """
+    left_codes, right_codes = _shared_codes(left_vecs, right_vecs)
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    lo = np.searchsorted(sorted_codes, left_codes, side="left")
+    hi = np.searchsorted(sorted_codes, left_codes, side="right")
+    counts = hi - lo
+    valid = left_codes >= 0
+    counts = np.where(valid, counts, 0)
+    lidx = np.repeat(np.arange(len(left_codes), dtype=np.int64), counts)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    starts = np.repeat(lo, counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    ridx = order[starts + offsets]
+    return lidx, ridx
+
+
+def semijoin_rows(left_vecs: list, right_vecs: list, anti: bool = False) -> np.ndarray:
+    """Left row ids with (or without, for anti) a match on the right."""
+    left_codes, right_codes = _shared_codes(left_vecs, right_vecs)
+    member = np.isin(left_codes, right_codes[right_codes >= 0])
+    member &= left_codes >= 0
+    if anti:
+        member = ~member
+    return np.flatnonzero(member).astype(np.int64)
+
+
+# -- sorting / distinct -------------------------------------------------------------------------
+
+
+def sort_rows(key_vecs: list, descending: list, nulls_first: list) -> np.ndarray:
+    """Stable multi-key sort; returns the row order.
+
+    Default NULL placement follows MonetDB's sentinel encoding: NULLs sort
+    as the smallest value unless ``nulls_first`` overrides it.
+    """
+    sort_keys = []
+    n = len(key_vecs[0].data)
+    for vec, desc, nf in zip(key_vecs, descending, nulls_first):
+        codes = _sortable_codes(vec, n, nf, desc)
+        if desc:
+            codes = -codes
+        sort_keys.append(codes)
+    # np.lexsort sorts by the LAST key first
+    return np.lexsort(sort_keys[::-1]).astype(np.int64)
+
+
+def _sortable_codes(vec: V, n: int, nulls_first, descending: bool) -> np.ndarray:
+    """Per-key numeric codes whose ascending order is the key's order."""
+    if vec.type.is_variable:
+        codes = key_codes(vec).astype(np.float64)
+    else:
+        codes = vec.data.astype(np.float64, copy=True)
+        if vec.data.dtype.kind == "f":
+            codes = np.where(np.isnan(codes), -np.inf, codes)
+    nulls = vec.null_mask(n)
+    if nulls is not None and nulls.any():
+        # default: NULLs first on ascending order (sentinel = minimum)
+        first = nulls_first if nulls_first is not None else True
+        extreme = -np.inf if first != descending else np.inf
+        codes = codes.copy()
+        codes[nulls] = extreme
+    return codes
+
+
+def distinct_rows(vecs: list) -> np.ndarray:
+    """Row ids of the first occurrence of each distinct full row."""
+    if not vecs:
+        return np.zeros(1, dtype=np.int64)
+    codes = combine_codes([key_codes(vec) for vec in vecs])
+    _, first = np.unique(codes, return_index=True)
+    return np.sort(first).astype(np.int64)

@@ -1,0 +1,686 @@
+"""Vectorized (column-at-a-time) evaluation of bound expressions.
+
+This is the kernel layer of the engine: every operator below runs as one or
+a few NumPy array operations over whole columns — the Python interpreter
+only dispatches per *expression node*, never per value, mirroring how
+MonetDB's MAL operators amortize interpretation over full BATs.
+
+NULL discipline follows the storage design: sentinels inside the domain.
+Value kernels propagate sentinels explicitly (floats ride on NaN);
+predicate kernels produce Kleene (truth, valid) pairs so ``NOT``/``AND``/
+``OR`` over NULL comparisons behave per SQL three-valued logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra import expr as E
+from repro.algebra.like import compile_like
+from repro.errors import DatabaseError
+from repro.mal.vectors import BoolVec, V, broadcast_length
+from repro.storage import types as T
+
+__all__ = ["evaluate", "eval_value", "eval_pred", "expr_has_subquery"]
+
+
+def evaluate(expression: E.BoundExpr, inputs: list, ctx):
+    """Evaluate an expression over input vectors; V or BoolVec result."""
+    if isinstance(expression, E.SlotRef):
+        return inputs[expression.index]
+    if isinstance(expression, E.OuterRef):
+        value, vtype = ctx.outer_value(expression.index)
+        return V(vtype, value)
+    if isinstance(expression, E.Const):
+        return V(expression.type, expression.value)
+    if isinstance(expression, E.Arith):
+        return _eval_arith(expression, inputs, ctx)
+    if isinstance(expression, E.Compare):
+        return _eval_compare(expression, inputs, ctx)
+    if isinstance(expression, E.BoolOp):
+        parts = [eval_pred(a, inputs, ctx) for a in expression.args]
+        combine = BoolVec.and_ if expression.op == "and" else BoolVec.or_
+        result = parts[0]
+        for part in parts[1:]:
+            result = combine(result, part)
+        return result
+    if isinstance(expression, E.NotExpr):
+        return eval_pred(expression.operand, inputs, ctx).negate()
+    if isinstance(expression, E.IsNullExpr):
+        operand = eval_value(expression.operand, inputs, ctx)
+        n = broadcast_length(operand, *inputs)
+        mask = operand.null_mask(n)
+        if mask is None:
+            mask = np.zeros(n, dtype=bool)
+        elif len(mask) != n:  # scalar operand broadcast
+            mask = np.full(n, bool(mask[0]))
+        return BoolVec(~mask if expression.negated else mask)
+    if isinstance(expression, E.CaseWhen):
+        return _eval_case(expression, inputs, ctx)
+    if isinstance(expression, E.FuncCall):
+        return _eval_function(expression, inputs, ctx)
+    if isinstance(expression, E.LikeExpr):
+        operand = eval_value(expression.operand, inputs, ctx)
+        matcher = compile_like(expression.pattern)
+        truth = _map_string_bool(operand, matcher)
+        nulls = operand.null_mask(len(truth))
+        result = BoolVec(truth, None if nulls is None else ~nulls)
+        return result.negate() if expression.negated else result
+    if isinstance(expression, E.InListExpr):
+        return _eval_in_list(expression, inputs, ctx)
+    if isinstance(expression, E.CastExpr):
+        return _eval_cast(expression, inputs, ctx)
+    if isinstance(expression, E.ScalarSubqueryExpr):
+        return ctx.eval_scalar_subquery(expression, inputs)
+    if isinstance(expression, E.ExistsSubqueryExpr):
+        return ctx.eval_exists_subquery(expression, inputs)
+    raise DatabaseError(f"cannot evaluate {type(expression).__name__}")
+
+
+def eval_value(expression: E.BoundExpr, inputs: list, ctx) -> V:
+    """Evaluate to a value vector (booleans become int8 0/1 with NULLs)."""
+    result = evaluate(expression, inputs, ctx)
+    if isinstance(result, BoolVec):
+        data = result.truth.astype(np.int8)
+        if result.valid is not None:
+            data[~result.valid] = T.BOOLEAN.null_value
+        return V(T.BOOLEAN, data)
+    return result
+
+
+def eval_pred(expression: E.BoundExpr, inputs: list, ctx) -> BoolVec:
+    """Evaluate to a predicate (value booleans are re-interpreted)."""
+    result = evaluate(expression, inputs, ctx)
+    if isinstance(result, BoolVec):
+        return result
+    # a BOOLEAN-typed value vector (e.g. boolean column)
+    n = broadcast_length(result, *inputs)
+    if result.is_scalar:
+        if result.data is None:
+            return BoolVec(np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
+        return BoolVec(np.full(n, bool(result.data)))
+    nulls = result.null_mask(n)
+    truth = result.data.astype(bool)
+    return BoolVec(truth, None if nulls is None else ~nulls)
+
+
+def expr_has_subquery(expression: E.BoundExpr) -> bool:
+    """Whether an expression needs per-row subquery evaluation."""
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (E.ScalarSubqueryExpr, E.ExistsSubqueryExpr)):
+            return True
+        if isinstance(node, (E.Compare, E.Arith)):
+            stack.extend([node.left, node.right])
+        elif isinstance(node, E.BoolOp):
+            stack.extend(node.args)
+        elif isinstance(node, E.NotExpr):
+            stack.append(node.operand)
+        elif isinstance(node, E.CaseWhen):
+            for cond, result in node.whens:
+                stack.extend([cond, result])
+            if node.else_result is not None:
+                stack.append(node.else_result)
+        elif isinstance(node, E.FuncCall):
+            stack.extend(node.args)
+        elif isinstance(node, (E.LikeExpr, E.InListExpr, E.CastExpr, E.IsNullExpr)):
+            stack.append(node.operand)
+    return False
+
+
+# -- arithmetic --------------------------------------------------------------------
+
+
+def _eval_arith(expression: E.Arith, inputs: list, ctx) -> V:
+    left = eval_value(expression.left, inputs, ctx)
+    right = eval_value(expression.right, inputs, ctx)
+    op = expression.op
+    rtype = expression.type
+
+    if op == "||":
+        return _concat_strings(left, right, rtype)
+
+    n = broadcast_length(left, right, *inputs)
+    a = _numeric_array(left)
+    b = _numeric_array(right)
+    if a is None or b is None:  # NULL scalar operand
+        return V(rtype, None)
+
+    if rtype.category == T.TypeCategory.FLOAT:
+        a = _to_float(left, a)
+        b = _to_float(right, b)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if op == "+":
+                out = a + b
+            elif op == "-":
+                out = a - b
+            elif op == "*":
+                out = a * b
+            elif op == "/":
+                out = np.divide(a, b)
+                out = np.where(b == 0, np.nan, out)
+            elif op == "%":
+                out = np.where(b == 0, np.nan, np.mod(a, b))
+            else:
+                raise DatabaseError(f"unknown arithmetic {op!r}")
+        return V(rtype, out if isinstance(out, np.ndarray) else rtype.dtype.type(out))
+
+    # integer arithmetic with sentinel-NULL propagation
+    nulls = _combined_nulls(left, right, n)
+    with np.errstate(over="ignore"):
+        if op == "+":
+            out = a + b
+        elif op == "-":
+            out = a - b
+        elif op == "*":
+            out = a * b
+        elif op == "%":
+            safe_b = np.where(b == 0, 1, b) if isinstance(b, np.ndarray) else (b or 1)
+            out = np.mod(a, safe_b)
+            zero = b == 0
+            if np.any(zero):
+                nulls = zero | (nulls if nulls is not None else False)
+        else:
+            raise DatabaseError(f"unknown integer arithmetic {op!r}")
+    out = np.asarray(out, dtype=rtype.dtype)
+    if out.ndim == 0:
+        out = np.full(n, out, dtype=rtype.dtype) if nulls is not None else out
+    if nulls is not None and isinstance(out, np.ndarray) and out.ndim:
+        out = out.copy() if not out.flags.writeable else out
+        out[nulls] = rtype.null_value
+    return V(rtype, out)
+
+
+def _numeric_array(vec: V):
+    """Raw numeric data (array or scalar); None when a NULL scalar."""
+    if vec.is_scalar:
+        if vec.data is None:
+            return None
+        return vec.data
+    return vec.data
+
+
+def _to_float(vec: V, raw):
+    """Bring a numeric operand into float64 with NaN NULLs."""
+    if vec.type.category == T.TypeCategory.FLOAT:
+        return raw
+    if vec.type.category == T.TypeCategory.DECIMAL:
+        scale = 10.0**vec.type.scale
+        if isinstance(raw, np.ndarray):
+            out = raw.astype(np.float64) / scale
+            out[vec.type.is_null_array(raw)] = np.nan
+            return out
+        return float(raw) / scale
+    if isinstance(raw, np.ndarray):
+        out = raw.astype(np.float64)
+        nulls = vec.type.is_null_array(raw)
+        if nulls.any():
+            out[nulls] = np.nan
+        return out
+    return float(raw)
+
+
+def _combined_nulls(left: V, right: V, n: int):
+    lm = left.null_mask(n)
+    rm = right.null_mask(n)
+    if lm is None:
+        return rm
+    if rm is None:
+        return lm
+    return lm | rm
+
+
+def _concat_strings(left: V, right: V, rtype) -> V:
+    a = left.objects()
+    b = right.objects()
+    func = np.frompyfunc(
+        lambda x, y: None if x is None or y is None else str(x) + str(y), 2, 1
+    )
+    out = func(a, b)
+    if not isinstance(out, np.ndarray):
+        return V(rtype, out)
+    return V(rtype, out.astype(object))
+
+
+# -- comparison ---------------------------------------------------------------------
+
+
+def _eval_compare(expression: E.Compare, inputs: list, ctx) -> BoolVec:
+    left = eval_value(expression.left, inputs, ctx)
+    right = eval_value(expression.right, inputs, ctx)
+    n = broadcast_length(left, right, *inputs)
+    op = expression.op
+
+    if left.type.is_variable or right.type.is_variable:
+        return _compare_strings(op, left, right, n)
+
+    a = _numeric_array(left)
+    b = _numeric_array(right)
+    if a is None or b is None:
+        return BoolVec(np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
+
+    truth = _apply_compare(op, a, b)
+    if not isinstance(truth, np.ndarray) or truth.ndim == 0:
+        truth = np.full(n, bool(truth))
+    nulls = _combined_nulls(left, right, n)
+    return BoolVec(truth, None if nulls is None else ~nulls)
+
+
+def _apply_compare(op: str, a, b):
+    if op == "=":
+        return a == b
+    if op == "<>":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise DatabaseError(f"unknown comparison {op!r}")
+
+
+def _compare_strings(op: str, left: V, right: V, n: int) -> BoolVec:
+    # fast path: dictionary-encoded column vs. string constant
+    if (
+        left.heap is not None
+        and not left.is_scalar
+        and right.is_scalar
+        and isinstance(right.data, str)
+    ):
+        distinct = left.heap.values_array()
+        hits = np.fromiter(
+            (
+                value is not None and _apply_compare(op, value, right.data)
+                for value in distinct
+            ),
+            dtype=bool,
+            count=len(distinct),
+        )
+        truth = hits[left.data]
+        nulls = left.null_mask(n)
+        return BoolVec(truth, None if nulls is None else ~nulls)
+
+    a = left.objects()
+    b = right.objects()
+    if left.is_scalar and left.data is None or right.is_scalar and right.data is None:
+        return BoolVec(np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
+    func = np.frompyfunc(
+        lambda x, y: (
+            None if x is None or y is None else bool(_apply_compare(op, x, y))
+        ),
+        2,
+        1,
+    )
+    raw = func(a, b)
+    raw = np.asarray(raw, dtype=object)
+    if raw.ndim == 0:
+        raw = raw.reshape(1)
+    if len(raw) != n:
+        raw = np.repeat(raw, n)
+    valid = np.frompyfunc(lambda x: x is not None, 1, 1)(raw).astype(bool)
+    truth = np.where(valid, raw, False).astype(bool)
+    return BoolVec(truth, None if valid.all() else valid)
+
+
+# -- CASE --------------------------------------------------------------------------------
+
+
+def _eval_case(expression: E.CaseWhen, inputs: list, ctx) -> V:
+    conditions = [eval_pred(cond, inputs, ctx) for cond, _ in expression.whens]
+    results = [eval_value(result, inputs, ctx) for _, result in expression.whens]
+    n = max(broadcast_length(*inputs), max(len(c) for c in conditions))
+    rtype = expression.type
+
+    if rtype.is_variable:
+        choices = [r.objects() for r in results]
+        choices = [np.repeat(c, n) if len(c) == 1 else c for c in choices]
+        if expression.else_result is not None:
+            default_vec = eval_value(expression.else_result, inputs, ctx)
+            default = default_vec.objects()
+            default = np.repeat(default, n) if len(default) == 1 else default
+        else:
+            default = np.full(n, None, dtype=object)
+        out = default.copy()
+        taken = np.zeros(n, dtype=bool)
+        for condition, choice in zip(conditions, choices):
+            pick = condition.definite() & ~taken
+            out[pick] = choice[pick]
+            taken |= pick
+        return V(rtype, out)
+
+    arrays = []
+    for result in results:
+        arrays.append(_value_array(result, rtype, n))
+    if expression.else_result is not None:
+        default = _value_array(
+            eval_value(expression.else_result, inputs, ctx), rtype, n
+        )
+    else:
+        default = np.full(n, rtype.null_value, dtype=rtype.dtype)
+    out = np.select([c.definite() for c in conditions], arrays, default=default)
+    return V(rtype, np.asarray(out, dtype=rtype.dtype))
+
+
+def _value_array(vec: V, rtype, n: int) -> np.ndarray:
+    """Materialize a (possibly scalar) vector to a length-n storage array."""
+    if vec.is_scalar:
+        if vec.data is None:
+            return np.full(n, rtype.null_value, dtype=rtype.dtype)
+        return np.full(n, vec.data, dtype=rtype.dtype)
+    return np.asarray(vec.data, dtype=rtype.dtype)
+
+
+# -- functions ----------------------------------------------------------------------------
+
+
+def _eval_function(expression: E.FuncCall, inputs: list, ctx) -> V:
+    name = expression.name
+    args = [eval_value(a, inputs, ctx) for a in expression.args]
+    rtype = expression.type
+
+    if name in ("year", "month", "day"):
+        vec = args[0]
+        lookup = {
+            "year": T.year_of_days,
+            "month": T.month_of_days,
+            "day": T.day_of_days,
+        }
+        if vec.is_scalar:
+            if vec.data is None:
+                return V(rtype, None)
+            return V(rtype, int(lookup[name](np.asarray([vec.data]))[0]))
+        out = lookup[name](vec.data).astype(np.int32)
+        nulls = vec.null_mask(len(out))
+        if nulls is not None and nulls.any():
+            out[nulls] = T.INTEGER.null_value
+        return V(T.INTEGER, out)
+
+    if name == "date_add_days":
+        base, days = args
+        if base.is_scalar and base.data is None:
+            return V(rtype, None)
+        shift = days.data
+        if base.is_scalar:
+            return V(T.DATE, np.int32(int(base.data) + int(shift)))
+        out = (base.data + np.int32(shift)).astype(np.int32)
+        nulls = base.null_mask(len(out))
+        if nulls is not None and nulls.any():
+            out[nulls] = T.DATE.null_value
+        return V(T.DATE, out)
+
+    if name == "date_add_months":
+        base, months = args
+        if base.is_scalar:
+            if base.data is None:
+                return V(rtype, None)
+            shifted = T.add_months_to_days(
+                np.asarray([base.data], dtype=np.int32), int(months.data)
+            )
+            return V(T.DATE, np.int32(shifted[0]))
+        out = T.add_months_to_days(base.data, int(months.data)).astype(np.int32)
+        nulls = base.null_mask(len(out))
+        if nulls is not None and nulls.any():
+            out[nulls] = T.DATE.null_value
+        return V(T.DATE, out)
+
+    if name == "date_diff_days":
+        a, b = args
+        av = _numeric_array(a)
+        bv = _numeric_array(b)
+        if av is None or bv is None:
+            return V(rtype, None)
+        out = np.asarray(av, dtype=np.int64) - np.asarray(bv, dtype=np.int64)
+        return V(T.INTEGER, out.astype(np.int32))
+
+    if name in ("sqrt", "ln", "exp", "floor", "ceil", "abs", "round", "power"):
+        return _numeric_function(name, args, rtype)
+
+    if name in ("upper", "lower", "trim", "length", "substring", "substr", "concat"):
+        return _string_function(name, args, rtype)
+
+    if name == "coalesce":
+        return _coalesce(args, rtype, inputs)
+
+    if name == "mod":
+        a = _to_float(args[0], _numeric_array(args[0]))
+        b = _to_float(args[1], _numeric_array(args[1]))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(b == 0, np.nan, np.mod(a, b))
+        return V(T.DOUBLE, out)
+
+    raise DatabaseError(f"no vector kernel for function {name!r}")
+
+
+def _numeric_function(name: str, args: list, rtype) -> V:
+    raw = _numeric_array(args[0])
+    if raw is None:
+        return V(rtype, None)
+    a = _to_float(args[0], raw)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        if name == "sqrt":
+            out = np.sqrt(a)
+        elif name == "ln":
+            out = np.log(a)
+        elif name == "exp":
+            out = np.exp(a)
+        elif name == "floor":
+            out = np.floor(a)
+        elif name == "ceil":
+            out = np.ceil(a)
+        elif name == "abs":
+            out = np.abs(a)
+        elif name == "round":
+            digits = int(args[1].data) if len(args) > 1 else 0
+            out = np.round(a, digits)
+        elif name == "power":
+            out = np.power(a, _to_float(args[1], _numeric_array(args[1])))
+        else:  # pragma: no cover - guarded by caller
+            raise DatabaseError(name)
+    if rtype.category == T.TypeCategory.FLOAT:
+        return V(rtype, out)
+    if isinstance(out, np.ndarray):
+        result = out.astype(rtype.dtype)
+        result[np.isnan(out)] = rtype.null_value
+        return V(rtype, result)
+    return V(rtype, None if np.isnan(out) else rtype.dtype.type(out))
+
+
+def _string_function(name: str, args: list, rtype) -> V:
+    vec = args[0]
+    if name == "length":
+        out = _map_strings(vec, len)
+        data = np.array(
+            [T.INTEGER.null_value if v is None else v for v in out], dtype=np.int32
+        )
+        return V(T.INTEGER, data)
+    if name in ("upper", "lower", "trim"):
+        func = {"upper": str.upper, "lower": str.lower, "trim": str.strip}[name]
+        return V(rtype, _map_strings(vec, func))
+    if name in ("substring", "substr"):
+        start = int(args[1].data) - 1
+        if len(args) > 2:
+            count = int(args[2].data)
+            func = lambda s: s[start : start + count]  # noqa: E731
+        else:
+            func = lambda s: s[start:]  # noqa: E731
+        return V(rtype, _map_strings(vec, func))
+    if name == "concat":
+        result = args[0]
+        for other in args[1:]:
+            result = _concat_strings(result, other, rtype)
+        return result
+    raise DatabaseError(f"unknown string function {name!r}")
+
+
+def _map_strings(vec: V, func) -> np.ndarray:
+    """Apply a per-string function, once per *distinct* heap value."""
+    if vec.is_scalar:
+        value = None if vec.data is None else func(vec.data)
+        return np.array([value], dtype=object)
+    if vec.heap is not None:
+        distinct = vec.heap.values_array()
+        transformed = np.array(
+            [None if s is None else func(s) for s in distinct], dtype=object
+        )
+        return transformed[vec.data]
+    return np.array(
+        [None if s is None else func(s) for s in vec.data], dtype=object
+    )
+
+
+def _map_string_bool(vec: V, predicate) -> np.ndarray:
+    """Per-string boolean predicate with the dictionary shortcut."""
+    if vec.is_scalar:
+        return np.array([predicate(vec.data)], dtype=bool)
+    if vec.heap is not None:
+        distinct = vec.heap.values_array()
+        hits = np.fromiter(
+            (predicate(s) for s in distinct), dtype=bool, count=len(distinct)
+        )
+        return hits[vec.data]
+    return np.fromiter(
+        (predicate(s) for s in vec.data), dtype=bool, count=len(vec.data)
+    )
+
+
+def _coalesce(args: list, rtype, inputs: list) -> V:
+    n = broadcast_length(*args, *inputs)
+    if rtype.is_variable:
+        out = np.full(n, None, dtype=object)
+        filled = np.zeros(n, dtype=bool)
+        for arg in args:
+            values = arg.objects()
+            values = np.repeat(values, n) if len(values) == 1 else values
+            take = ~filled & np.frompyfunc(lambda s: s is not None, 1, 1)(
+                values
+            ).astype(bool)
+            out[take] = values[take]
+            filled |= take
+        return V(rtype, out)
+    out = np.full(n, rtype.null_value, dtype=rtype.dtype)
+    filled = np.zeros(n, dtype=bool)
+    for arg in args:
+        coerced = _cast_vec(arg, rtype, n)
+        values = _value_array(coerced, rtype, n)
+        nulls = coerced.null_mask(n)
+        present = np.ones(n, dtype=bool) if nulls is None else ~nulls
+        take = ~filled & present
+        out[take] = values[take]
+        filled |= take
+    return V(rtype, out)
+
+
+# -- IN list ------------------------------------------------------------------------------
+
+
+def _eval_in_list(expression: E.InListExpr, inputs: list, ctx) -> BoolVec:
+    operand = eval_value(expression.operand, inputs, ctx)
+    n = broadcast_length(operand, *inputs)
+    if operand.type.is_variable:
+        wanted = frozenset(v for v in expression.values if v is not None)
+        truth = _map_string_bool(operand, lambda s: s is not None and s in wanted)
+        nulls = operand.null_mask(n)
+    else:
+        if operand.is_scalar:
+            if operand.data is None:
+                return BoolVec(np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
+            hit = operand.data in expression.values
+            return BoolVec(np.full(n, hit))
+        values = np.asarray(
+            [v for v in expression.values if v is not None],
+            dtype=operand.type.dtype,
+        )
+        truth = np.isin(operand.data, values)
+        nulls = operand.null_mask(n)
+    result = BoolVec(truth, None if nulls is None else ~nulls)
+    return result.negate() if expression.negated else result
+
+
+# -- CAST ----------------------------------------------------------------------------------
+
+
+def _eval_cast(expression: E.CastExpr, inputs: list, ctx) -> V:
+    operand = eval_value(expression.operand, inputs, ctx)
+    n = broadcast_length(operand, *inputs)
+    return _cast_vec(operand, expression.type, n)
+
+
+def _cast_vec(vec: V, target: T.SQLType, n: int) -> V:
+    source = vec.type
+    if source == target:
+        return vec
+    if source.category == target.category and target.is_variable:
+        return V(target, vec.data, vec.heap)  # VARCHAR length variants
+    if vec.is_scalar:
+        if vec.data is None:
+            return V(target, None)
+        value = vec.data
+        if source.category == T.TypeCategory.DECIMAL:
+            value = source.from_storage(value)
+        if target.category == T.TypeCategory.STRING:
+            return V(target, str(value))
+        return V(target, target.to_storage(value))
+
+    cat_s, cat_t = source.category, target.category
+    data = vec.data
+    nulls = vec.null_mask(n)
+
+    if cat_t == T.TypeCategory.FLOAT:
+        if cat_s == T.TypeCategory.DECIMAL:
+            out = data.astype(np.float64) / 10**source.scale
+        else:
+            out = data.astype(np.float64)
+        if nulls is not None and nulls.any():
+            out = out.copy()
+            out[nulls] = np.nan
+        return V(target, out.astype(target.dtype, copy=False))
+    if cat_t == T.TypeCategory.DECIMAL:
+        if cat_s == T.TypeCategory.DECIMAL:
+            if source.scale == target.scale:
+                out = data.astype(np.int64)
+            elif source.scale < target.scale:
+                out = data.astype(np.int64) * 10 ** (target.scale - source.scale)
+            else:
+                out = data.astype(np.int64) // 10 ** (source.scale - target.scale)
+        elif cat_s == T.TypeCategory.FLOAT:
+            out = np.round(data * 10**target.scale).astype(np.int64)
+        else:
+            out = data.astype(np.int64) * 10**target.scale
+        if nulls is not None and nulls.any():
+            out[nulls] = target.null_value
+        return V(target, out)
+    if cat_t == T.TypeCategory.INTEGER:
+        if cat_s == T.TypeCategory.FLOAT:
+            safe = np.where(np.isnan(data), 0, data)
+            out = safe.astype(target.dtype)
+        elif cat_s == T.TypeCategory.DECIMAL:
+            out = (data // 10**source.scale).astype(target.dtype)
+        else:
+            out = data.astype(target.dtype)
+        if nulls is not None and nulls.any():
+            out[nulls] = target.null_value
+        return V(target, out)
+    if cat_t == T.TypeCategory.STRING:
+        from_storage = source.from_storage
+        out = np.array(
+            [None if is_null else str(from_storage(v)) for v, is_null in zip(
+                data, nulls if nulls is not None else np.zeros(n, dtype=bool)
+            )],
+            dtype=object,
+        )
+        return V(target, out)
+    if cat_t == T.TypeCategory.DATE and cat_s == T.TypeCategory.STRING:
+        objects = vec.objects()
+        out = np.array(
+            [
+                T.DATE.null_value if s is None else T.date_to_days(s)
+                for s in objects
+            ],
+            dtype=np.int32,
+        )
+        return V(target, out)
+    raise DatabaseError(f"unsupported cast {source.name} -> {target.name}")

@@ -1,0 +1,153 @@
+"""Runtime vector values flowing between MAL instructions.
+
+A :class:`V` is one column-shaped value: a packed NumPy array in the storage
+domain of its SQL type, plus the string heap for dictionary-encoded string
+columns.  Computed string values may instead carry a plain object array
+(``heap is None``).  Predicates evaluate to :class:`BoolVec` — Kleene
+three-valued logic carried as (truth, valid) mask pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage import types as T
+from repro.storage.column import Column
+from repro.storage.stringheap import StringHeap
+
+__all__ = ["V", "BoolVec", "vec_from_column", "vec_to_column", "broadcast_length"]
+
+
+class V:
+    """One vector (or broadcastable scalar) with SQL-type interpretation."""
+
+    __slots__ = ("type", "data", "heap")
+
+    def __init__(self, vtype: T.SQLType, data, heap: StringHeap | None = None):
+        self.type = vtype
+        self.data = data
+        self.heap = heap
+
+    @property
+    def is_scalar(self) -> bool:
+        return not isinstance(self.data, np.ndarray) or self.data.ndim == 0
+
+    def __len__(self) -> int:
+        if self.is_scalar:
+            return 1
+        return len(self.data)
+
+    def null_mask(self, n: int) -> np.ndarray | None:
+        """Boolean NULL mask of length n, or None when provably non-null."""
+        if self.is_scalar:
+            if self.data is None:
+                return np.ones(n, dtype=bool)
+            return None
+        if self.type.is_variable and self.heap is None:
+            # object array: NULLs are None entries
+            return np.frompyfunc(lambda s: s is None, 1, 1)(self.data).astype(bool)
+        return self.type.is_null_array(self.data)
+
+    def objects(self) -> np.ndarray:
+        """String values as an object array (NULL -> None).
+
+        Dictionary-encoded vectors gather through the heap's distinct-value
+        array — one vectorized take.
+        """
+        if self.is_scalar:
+            return np.array([self.data], dtype=object)
+        if self.heap is not None:
+            return self.heap.values_array()[self.data]
+        return self.data
+
+    def take(self, ids: np.ndarray) -> "V":
+        if self.is_scalar:
+            return self
+        return V(self.type, self.data[ids], self.heap)
+
+
+class BoolVec:
+    """Kleene predicate result: ``truth`` where known-true, ``valid`` =
+    not-unknown.  ``valid is None`` means fully valid."""
+
+    __slots__ = ("truth", "valid")
+
+    def __init__(self, truth: np.ndarray, valid: np.ndarray | None = None):
+        self.truth = truth
+        self.valid = valid
+
+    def __len__(self) -> int:
+        return len(self.truth)
+
+    def definite(self) -> np.ndarray:
+        """True exactly where the predicate is definitely TRUE (WHERE rule)."""
+        if self.valid is None:
+            return self.truth
+        return self.truth & self.valid
+
+    def negate(self) -> "BoolVec":
+        return BoolVec(~self.truth, self.valid)
+
+    @staticmethod
+    def all_true(n: int) -> "BoolVec":
+        return BoolVec(np.ones(n, dtype=bool))
+
+    @staticmethod
+    def and_(a: "BoolVec", b: "BoolVec") -> "BoolVec":
+        truth = a.truth & b.truth
+        if a.valid is None and b.valid is None:
+            return BoolVec(truth)
+        av = a.valid if a.valid is not None else np.ones(len(a), dtype=bool)
+        bv = b.valid if b.valid is not None else np.ones(len(b), dtype=bool)
+        # unknown AND false = false (valid); unknown AND true = unknown
+        valid = (av & bv) | (av & ~a.truth) | (bv & ~b.truth)
+        return BoolVec(truth, valid)
+
+    @staticmethod
+    def or_(a: "BoolVec", b: "BoolVec") -> "BoolVec":
+        truth = a.truth | b.truth
+        if a.valid is None and b.valid is None:
+            return BoolVec(truth)
+        av = a.valid if a.valid is not None else np.ones(len(a), dtype=bool)
+        bv = b.valid if b.valid is not None else np.ones(len(b), dtype=bool)
+        valid = (av & bv) | (av & a.truth) | (bv & b.truth)
+        return BoolVec(truth, valid)
+
+
+def vec_from_column(column: Column) -> V:
+    """Zero-copy wrap of a storage column."""
+    return V(column.type, column.data, column.heap)
+
+
+def vec_to_column(vec: V, n: int) -> Column:
+    """Materialize a vector into a storage Column of length n."""
+    data = vec.data
+    if vec.is_scalar:
+        if vec.type.is_variable:
+            heap = StringHeap()
+            offset = heap.add(vec.data)
+            return Column(vec.type, np.full(n, offset, dtype=np.int64), heap)
+        if data is None:
+            storage = vec.type.null_value
+        elif isinstance(data, np.generic):
+            storage = data
+        else:
+            storage = vec.type.to_storage(data)
+        return Column(vec.type, np.full(n, storage, dtype=vec.type.dtype))
+    if vec.type.is_variable and vec.heap is None:
+        heap = StringHeap()
+        offsets = heap.add_many(data.tolist())
+        return Column(vec.type, offsets, heap)
+    if vec.type.is_variable:
+        return Column(vec.type, data, vec.heap)
+    return Column(vec.type, data)
+
+
+def broadcast_length(*vecs) -> int:
+    """Common length of a set of vectors (scalars broadcast)."""
+    for vec in vecs:
+        if isinstance(vec, V) and not vec.is_scalar:
+            return len(vec.data)
+        if isinstance(vec, BoolVec):
+            return len(vec.truth)
+    return 1

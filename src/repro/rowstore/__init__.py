@@ -1,0 +1,18 @@
+"""Embedded row-store engine (the SQLite/PostgreSQL/MariaDB substrate).
+
+A deliberately *traditional* engine, built the way the paper's comparison
+systems are built:
+
+* rows are encoded into self-describing records (:mod:`repro.rowstore.record`)
+  and stored in a B+tree keyed by rowid (:mod:`repro.rowstore.btree`),
+  persisted in 4 KiB pages (:mod:`repro.rowstore.pager`) — a row-major
+  layout, so every scan decodes entire rows even when one column is needed;
+* queries reuse the shared SQL front-end and optimizer but execute on a
+  Volcano iterator engine (:mod:`repro.rowstore.volcano`) that processes one
+  tuple at a time — the paper's explanation for why traditional systems are
+  orders of magnitude slower on analytical queries.
+"""
+
+from repro.rowstore.engine import RowConnection, RowDatabase
+
+__all__ = ["RowDatabase", "RowConnection"]

@@ -1,0 +1,166 @@
+"""B+tree keyed by rowid, holding encoded row records.
+
+The shape of SQLite's table storage: every table is a B+tree whose keys
+are rowids and whose leaves hold the row records.  Appends with monotonic
+rowids fill rightmost leaves; scans walk the leaf chain in key order.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatabaseError
+
+__all__ = ["BPlusTree", "LEAF_CAPACITY"]
+
+LEAF_CAPACITY = 64
+INNER_CAPACITY = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: list = []
+        self.values: list = []
+        self.next: "_Leaf | None" = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        self.keys: list = []  # separator keys: child[i] holds keys < keys[i]
+        self.children: list = []
+
+
+class BPlusTree:
+    """A B+tree mapping integer rowids to byte records."""
+
+    def __init__(self):
+        self._root = _Leaf()
+        self._first = self._root
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insertion -------------------------------------------------------------------
+
+    def insert(self, key: int, value: bytes) -> None:
+        """Insert one entry; duplicate keys are rejected."""
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Inner()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert_into(self, node, key: int, value: bytes):
+        if isinstance(node, _Leaf):
+            idx = _bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                raise DatabaseError(f"duplicate rowid {key}")
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            if len(node.keys) > LEAF_CAPACITY:
+                return self._split_leaf(node)
+            return None
+        idx = _bisect(node.keys, key)
+        child_idx = idx if idx < len(node.keys) and key < node.keys[idx] else idx
+        child_idx = min(idx, len(node.children) - 1)
+        split = self._insert_into(node.children[child_idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(child_idx, sep)
+        node.children.insert(child_idx + 1, right)
+        if len(node.children) > INNER_CAPACITY:
+            return self._split_inner(node)
+        return None
+
+    @staticmethod
+    def _split_leaf(leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next = right
+        return right.keys[0], right
+
+    @staticmethod
+    def _split_inner(inner: _Inner):
+        mid = len(inner.children) // 2
+        right = _Inner()
+        sep = inner.keys[mid - 1]
+        right.keys = inner.keys[mid:]
+        right.children = inner.children[mid:]
+        inner.keys = inner.keys[: mid - 1]
+        inner.children = inner.children[:mid]
+        return sep, right
+
+    # -- lookup / iteration -------------------------------------------------------------
+
+    def get(self, key: int) -> bytes | None:
+        node = self._root
+        while isinstance(node, _Inner):
+            idx = _bisect_right(node.keys, key)
+            node = node.children[idx]
+        idx = _bisect(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return node.values[idx]
+        return None
+
+    def delete(self, key: int) -> bool:
+        """Remove one entry (leaves may underflow; rebalancing is lazy)."""
+        node = self._root
+        while isinstance(node, _Inner):
+            idx = _bisect_right(node.keys, key)
+            node = node.children[idx]
+        idx = _bisect(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.keys.pop(idx)
+            node.values.pop(idx)
+            self._size -= 1
+            return True
+        return False
+
+    def scan(self):
+        """Yield (rowid, record) pairs in key order — the leaf chain walk."""
+        node = self._first
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    def depth(self) -> int:
+        depth = 1
+        node = self._root
+        while isinstance(node, _Inner):
+            depth += 1
+            node = node.children[0]
+        return depth
+
+
+def _bisect(keys: list, key: int) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right(keys: list, key: int) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < keys[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

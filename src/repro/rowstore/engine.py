@@ -1,0 +1,454 @@
+"""The embedded row-store database: tables, connections, DML.
+
+Shares the SQL front-end, binder and optimizer with the columnar engine;
+storage is B+trees of encoded records, execution is Volcano.  The public
+surface mirrors :class:`repro.core.connection.Connection` so the benchmark
+harness drives both engines through one adapter.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.algebra import nodes as N
+from repro.algebra.binder import bind_statement
+from repro.algebra.optimizer import optimize
+from repro.core.result import Result
+from repro.errors import CatalogError, InterfaceError
+from repro.mal.interpreter import MaterializedResult
+from repro.rowstore.btree import BPlusTree
+from repro.rowstore.pager import PageFile
+from repro.rowstore.record import decode_record, encode_record
+from repro.rowstore.row_eval import eval_row
+from repro.rowstore.volcano import VolcanoContext, open_plan
+from repro.sql.parser import parse
+from repro.storage import types as T
+from repro.storage.catalog import ColumnDef, TableSchema
+from repro.storage.column import Column
+from repro.storage.types import parse_type
+
+__all__ = ["RowDatabase", "RowConnection", "RowTable"]
+
+
+class RowTable:
+    """One table: schema plus a rowid-keyed B+tree of encoded records."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.tree = BPlusTree()
+        self.next_rowid = 1
+
+    @property
+    def nrows(self) -> int:
+        return len(self.tree)
+
+    def insert_row(self, values: tuple) -> bytes:
+        record = encode_record(values)
+        self.insert_encoded(record)
+        return record
+
+    def insert_encoded(self, record: bytes) -> int:
+        rowid = self.next_rowid
+        self.next_rowid += 1
+        self.tree.insert(rowid, record)
+        return rowid
+
+    def rows(self):
+        """Decode and yield every row in rowid order (full-row decode:
+        the row-major layout cannot skip unused columns)."""
+        for _, record in self.tree.scan():
+            yield decode_record(record)
+
+    def rows_with_ids(self):
+        for rowid, record in self.tree.scan():
+            yield rowid, decode_record(record)
+
+
+class RowDatabase:
+    """An embedded row-store instance (in-memory or single-file)."""
+
+    def __init__(self, path: str | Path | None = None, timeout: float | None = None):
+        self.path = Path(path) if path else None
+        self.timeout = timeout
+        self._tables: dict = {}
+        self._lock = threading.RLock()
+        self._journal = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if PageFile(self.path).exists():
+                self._load()
+            from repro.storage.wal import WriteAheadLog
+
+            journal_path = self.path.with_suffix(".journal")
+            self._replay_journal(journal_path)
+            self._journal = WriteAheadLog(journal_path)
+
+    # -- persistence -----------------------------------------------------------------
+    #
+    # Commit durability comes from an append-only journal (the analog of
+    # SQLite's WAL mode): each committed statement appends its effects and
+    # fsyncs.  checkpoint() folds the journal into the page image.
+
+    def _load(self) -> None:
+        content = PageFile(self.path).read()
+        for name, entry in content.items():
+            columns = [
+                ColumnDef(c["name"], parse_type(c["type"]), c["not_null"])
+                for c in entry["schema"]
+            ]
+            table = RowTable(TableSchema(name, columns))
+            for record in entry["records"]:
+                table.insert_encoded(record)
+            self._tables[name.lower()] = table
+
+    def _replay_journal(self, journal_path: Path) -> None:
+        from repro.storage.wal import WriteAheadLog
+
+        for entry in WriteAheadLog.replay(journal_path):
+            op = entry["op"]
+            if op == "create_table":
+                columns = [
+                    ColumnDef(c["name"], parse_type(c["type"]), c["not_null"])
+                    for c in entry["schema"]
+                ]
+                self._tables[entry["name"].lower()] = RowTable(
+                    TableSchema(entry["name"], columns)
+                )
+            elif op == "drop_table":
+                self._tables.pop(entry["name"].lower(), None)
+            elif op == "insert":
+                table = self._tables.get(entry["table"].lower())
+                if table is not None:
+                    for record in entry["records"]:
+                        table.insert_encoded(record)
+            elif op == "delete":
+                table = self._tables.get(entry["table"].lower())
+                if table is not None:
+                    for rowid in entry["rowids"]:
+                        table.tree.delete(rowid)
+            elif op == "update":
+                table = self._tables.get(entry["table"].lower())
+                if table is not None:
+                    for rowid, record in entry["rows"]:
+                        table.tree.delete(rowid)
+                        table.tree.insert(rowid, record)
+
+    def log(self, record: dict) -> None:
+        """Durably journal one committed statement's effects."""
+        if self._journal is not None:
+            self._journal.append(record)
+
+    def commit(self) -> None:
+        """Kept for API symmetry: durability is provided per-statement by
+        the journal; an explicit COMMIT is a no-op in autocommit mode."""
+
+    def checkpoint(self) -> None:
+        """Fold the journal into the page image and truncate it."""
+        if self.path is None:
+            return
+        content = {}
+        for name, table in self._tables.items():
+            content[name] = {
+                "schema": [
+                    {"name": c.name, "type": c.type.name, "not_null": c.not_null}
+                    for c in table.schema.columns
+                ],
+                "records": [record for _, record in table.tree.scan()],
+            }
+        PageFile(self.path).write(content)
+        if self._journal is not None:
+            self._journal.truncate()
+
+    # -- catalog ---------------------------------------------------------------------
+
+    def table(self, name: str) -> RowTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False):
+        with self._lock:
+            key = schema.name.lower()
+            if key in self._tables:
+                if if_not_exists:
+                    return self._tables[key]
+                raise CatalogError(f"table {schema.name!r} already exists")
+            table = RowTable(schema)
+            self._tables[key] = table
+            self.log(
+                {
+                    "op": "create_table",
+                    "name": schema.name,
+                    "schema": [
+                        {
+                            "name": c.name,
+                            "type": c.type.name,
+                            "not_null": c.not_null,
+                        }
+                        for c in schema.columns
+                    ],
+                }
+            )
+            return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        with self._lock:
+            if name.lower() not in self._tables:
+                if if_exists:
+                    return
+                raise CatalogError(f"no such table: {name!r}")
+            del self._tables[name.lower()]
+            self.log({"op": "drop_table", "name": name})
+
+    def list_tables(self) -> list:
+        return sorted(self._tables)
+
+    def connect(self) -> "RowConnection":
+        return RowConnection(self)
+
+    def close(self) -> None:
+        self.checkpoint()
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        self._tables.clear()
+
+
+class RowConnection:
+    """Query interface over a :class:`RowDatabase` (autocommit)."""
+
+    def __init__(self, database: RowDatabase):
+        self._database = database
+        self._open = True
+
+    def close(self) -> None:
+        self._open = False
+
+    def __enter__(self) -> "RowConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def execute(self, sql: str) -> Result | None:
+        if not self._open:
+            raise InterfaceError("connection is closed")
+        result = None
+        for statement in parse(sql):
+            result = self._execute_statement(statement)
+        return result
+
+    def query(self, sql: str) -> Result:
+        result = self.execute(sql)
+        if result is None:
+            raise InterfaceError("statement produced no result")
+        return result
+
+    def _execute_statement(self, statement) -> Result | None:
+        db = self._database
+        bound = bind_statement(statement, lambda name: db.table(name).schema)
+        if isinstance(bound, N.BoundSelect):
+            return self._run_select(bound)
+        if isinstance(bound, N.BoundCreateTable):
+            db.create_table(bound.schema, bound.if_not_exists)
+            return None
+        if isinstance(bound, N.BoundDropTable):
+            db.drop_table(bound.name, bound.if_exists)
+            return None
+        if isinstance(bound, N.BoundInsert):
+            self._run_insert(bound)
+            return None
+        if isinstance(bound, N.BoundDelete):
+            self._run_delete(bound)
+            return None
+        if isinstance(bound, N.BoundUpdate):
+            self._run_update(bound)
+            return None
+        if isinstance(bound, N.BoundTransaction):
+            if bound.action == "commit":
+                db.commit()
+            return None  # begin/rollback: autocommit engine, no-ops
+        raise InterfaceError(f"row store cannot execute {type(bound).__name__}")
+
+    def _run_select(self, bound: N.BoundSelect) -> Result:
+        db = self._database
+        optimized = optimize(bound, lambda name: db.table(name).nrows)
+        ctx = VolcanoContext(db, timeout=db.timeout)
+        rows = list(open_plan(optimized.plan, ctx))
+        types = [col.type for col in optimized.plan.output]
+        columns = []
+        for index, ctype in enumerate(types):
+            columns.append(
+                Column.from_storage_values(
+                    ctype, [row[index] for row in rows]
+                )
+            )
+        return Result(
+            MaterializedResult(list(optimized.column_names), columns)
+        )
+
+    def _run_insert(self, bound: N.BoundInsert) -> int:
+        table = self._database.table(bound.table_name)
+        schema = table.schema
+        if bound.select is not None:
+            result = self._run_select(bound.select)
+            source_rows = []
+            raw_columns = [
+                result._materialized.columns[i]
+                for i in range(len(bound.column_indexes))
+            ]
+            storage_rows = list(
+                zip(*[_column_storage_values(c) for c in raw_columns])
+            ) if raw_columns else []
+            source_rows = storage_rows
+        else:
+            source_rows = [
+                tuple(
+                    _to_storage_scalar(
+                        schema.columns[idx].type, value
+                    )
+                    for value, idx in zip(row, bound.column_indexes)
+                )
+                for row in bound.rows
+            ]
+        position = {idx: pos for pos, idx in enumerate(bound.column_indexes)}
+        inserted = []
+        for row in source_rows:
+            full = tuple(
+                row[position[i]] if i in position else None
+                for i in range(len(schema.columns))
+            )
+            self._check_not_null(schema, full)
+            inserted.append(table.insert_row(full))
+        if inserted:
+            self._database.log(
+                {"op": "insert", "table": bound.table_name, "records": inserted}
+            )
+        return len(source_rows)
+
+    @staticmethod
+    def _check_not_null(schema: TableSchema, row: tuple) -> None:
+        for coldef, value in zip(schema.columns, row):
+            if coldef.not_null and value is None:
+                raise CatalogError(
+                    f"NOT NULL constraint violated on "
+                    f"{schema.name}.{coldef.name}"
+                )
+
+    def _run_delete(self, bound: N.BoundDelete) -> int:
+        table = self._database.table(bound.table_name)
+        ctx = VolcanoContext(self._database, timeout=self._database.timeout)
+        doomed = []
+        for rowid, row in table.rows_with_ids():
+            if bound.predicate is None or eval_row(bound.predicate, row, ctx):
+                doomed.append(rowid)
+        for rowid in doomed:
+            table.tree.delete(rowid)
+        if doomed:
+            self._database.log(
+                {"op": "delete", "table": bound.table_name, "rowids": doomed}
+            )
+        return len(doomed)
+
+    def _run_update(self, bound: N.BoundUpdate) -> int:
+        table = self._database.table(bound.table_name)
+        ctx = VolcanoContext(self._database, timeout=self._database.timeout)
+        updates = []
+        for rowid, row in table.rows_with_ids():
+            if bound.predicate is None or eval_row(bound.predicate, row, ctx):
+                new_row = list(row)
+                for index, expr in bound.assignments:
+                    new_row[index] = eval_row(expr, row, ctx)
+                updates.append((rowid, tuple(new_row)))
+        logged = []
+        for rowid, new_row in updates:
+            self._check_not_null(table.schema, new_row)
+            record = encode_record(new_row)
+            table.tree.delete(rowid)
+            table.tree.insert(rowid, record)
+            logged.append((rowid, record))
+        if logged:
+            self._database.log(
+                {"op": "update", "table": bound.table_name, "rows": logged}
+            )
+        return len(updates)
+
+    # -- bulk append (dbWriteTable path) ---------------------------------------------------
+
+    def append(self, table_name: str, data) -> int:
+        """Row-by-row bulk insert of columnar client data.
+
+        The per-row encode+insert loop *is* the cost model of a row store's
+        bulk path (SQLite's prepared-statement loop); the write lands on
+        disk in one commit at the end.
+        """
+        table = self._database.table(table_name)
+        schema = table.schema
+        lowered = {str(k).lower(): v for k, v in data.items()}
+        arrays = []
+        for coldef in schema.columns:
+            if coldef.name.lower() not in lowered:
+                raise CatalogError(
+                    f"append to {table_name}: missing column {coldef.name!r}"
+                )
+            arrays.append(
+                _storage_domain_list(coldef.type, lowered[coldef.name.lower()])
+            )
+        inserted = []
+        for row in zip(*arrays):
+            inserted.append(table.insert_row(row))
+        if inserted:
+            self._database.log(
+                {"op": "insert", "table": table_name, "records": inserted}
+            )
+        return len(inserted)
+
+
+def _to_storage_scalar(ctype: T.SQLType, value):
+    """Client value -> storage-domain Python scalar."""
+    if value is None:
+        return None
+    if ctype.is_variable:
+        return str(value) if not isinstance(value, bytes) else value
+    stored = ctype.to_storage(value)
+    if ctype.category == T.TypeCategory.FLOAT:
+        return float(stored)
+    return int(stored)
+
+
+def _column_storage_values(column: Column) -> list:
+    """Storage Column -> list of storage-domain scalars (None = NULL)."""
+    if column.type.is_variable:
+        return column.heap.get_many(column.data)
+    nulls = column.is_null()
+    if column.type.category == T.TypeCategory.FLOAT:
+        return [
+            None if is_null else float(v)
+            for v, is_null in zip(column.data, nulls)
+        ]
+    return [
+        None if is_null else int(v) for v, is_null in zip(column.data, nulls)
+    ]
+
+
+def _storage_domain_list(ctype: T.SQLType, array) -> list:
+    """Client array -> storage-domain value list (vectorized where cheap)."""
+    array = np.asarray(array)
+    if ctype.is_variable:
+        return [None if v is None else str(v) for v in array.tolist()]
+    if ctype.category == T.TypeCategory.DECIMAL:
+        if array.dtype.kind == "f":
+            scaled = np.round(array * 10**ctype.scale)
+            return [
+                None if np.isnan(v) else int(s)
+                for v, s in zip(array, scaled)
+            ]
+        return [int(v) * 10**ctype.scale for v in array.tolist()]
+    if ctype.category == T.TypeCategory.FLOAT:
+        return [None if np.isnan(v) else float(v) for v in array.tolist()]
+    # integers / dates / times already in the storage domain
+    return [int(v) for v in array.tolist()]

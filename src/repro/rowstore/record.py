@@ -1,0 +1,83 @@
+"""Self-describing row record encoding (SQLite-style serial types).
+
+A record is a header of per-column type tags followed by the value
+payloads.  Values are kept in the *storage domain* shared with the bound
+expression layer: dates as epoch days, decimals as scaled integers, so the
+Volcano evaluator can compare them directly against bound constants.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import DatabaseError
+
+__all__ = ["encode_record", "decode_record"]
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_TEXT = 3
+_TAG_BLOB = 4
+
+_INT_STRUCT = struct.Struct("<q")
+_FLOAT_STRUCT = struct.Struct("<d")
+_LEN_STRUCT = struct.Struct("<I")
+
+
+def encode_record(row: tuple) -> bytes:
+    """Serialize one row (storage-domain Python values) to bytes."""
+    tags = bytearray()
+    payload = bytearray()
+    for value in row:
+        if value is None:
+            tags.append(_TAG_NULL)
+        elif isinstance(value, bool):
+            tags.append(_TAG_INT)
+            payload += _INT_STRUCT.pack(int(value))
+        elif isinstance(value, int):
+            tags.append(_TAG_INT)
+            payload += _INT_STRUCT.pack(value)
+        elif isinstance(value, float):
+            tags.append(_TAG_FLOAT)
+            payload += _FLOAT_STRUCT.pack(value)
+        elif isinstance(value, str):
+            tags.append(_TAG_TEXT)
+            raw = value.encode("utf-8")
+            payload += _LEN_STRUCT.pack(len(raw)) + raw
+        elif isinstance(value, (bytes, bytearray)):
+            tags.append(_TAG_BLOB)
+            payload += _LEN_STRUCT.pack(len(value)) + bytes(value)
+        else:
+            raise DatabaseError(f"cannot encode value of type {type(value).__name__}")
+    return bytes(len(tags).to_bytes(2, "little") + tags + payload)
+
+
+def decode_record(raw: bytes) -> tuple:
+    """Deserialize a record produced by :func:`encode_record`."""
+    ncols = int.from_bytes(raw[:2], "little")
+    tags = raw[2 : 2 + ncols]
+    pos = 2 + ncols
+    out = []
+    for tag in tags:
+        if tag == _TAG_NULL:
+            out.append(None)
+        elif tag == _TAG_INT:
+            out.append(_INT_STRUCT.unpack_from(raw, pos)[0])
+            pos += 8
+        elif tag == _TAG_FLOAT:
+            out.append(_FLOAT_STRUCT.unpack_from(raw, pos)[0])
+            pos += 8
+        elif tag == _TAG_TEXT:
+            length = _LEN_STRUCT.unpack_from(raw, pos)[0]
+            pos += 4
+            out.append(raw[pos : pos + length].decode("utf-8"))
+            pos += length
+        elif tag == _TAG_BLOB:
+            length = _LEN_STRUCT.unpack_from(raw, pos)[0]
+            pos += 4
+            out.append(bytes(raw[pos : pos + length]))
+            pos += length
+        else:
+            raise DatabaseError(f"corrupt record: unknown tag {tag}")
+    return tuple(out)

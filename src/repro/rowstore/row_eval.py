@@ -1,0 +1,142 @@
+"""Scalar (one-row-at-a-time) evaluation of bound expressions.
+
+The row-store analog of :mod:`repro.mal.vector_eval`: the same bound
+expression trees, evaluated per tuple with Python-level dispatch per value —
+deliberately embodying the "tuple-at-a-time volcano processing model
+[invoking] a lot of overhead for each tuple" (paper section 4.2).
+
+Values live in the storage domain shared with bound constants (dates =
+epoch days, decimals = scaled ints); NULL is ``None``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra import expr as E
+from repro.algebra.fold import _scalar_arith, _scalar_compare, _scalar_function
+from repro.algebra.like import compile_like
+from repro.errors import DatabaseError
+from repro.storage import types as T
+
+__all__ = ["eval_row"]
+
+_like_cache: dict = {}
+
+
+def eval_row(expression: E.BoundExpr, row: tuple, ctx):
+    """Evaluate one bound expression against one row tuple.
+
+    Predicates return True/False/None (SQL three-valued logic); values
+    return storage-domain scalars or None.
+    """
+    if isinstance(expression, E.SlotRef):
+        return row[expression.index]
+    if isinstance(expression, E.Const):
+        return expression.value
+    if isinstance(expression, E.OuterRef):
+        return ctx.outer_row()[expression.index]
+    if isinstance(expression, E.Arith):
+        left = eval_row(expression.left, row, ctx)
+        right = eval_row(expression.right, row, ctx)
+        if left is None or right is None:
+            return None
+        return _scalar_arith(expression.op, left, right)
+    if isinstance(expression, E.Compare):
+        left = eval_row(expression.left, row, ctx)
+        right = eval_row(expression.right, row, ctx)
+        if left is None or right is None:
+            return None
+        return _scalar_compare(expression.op, left, right)
+    if isinstance(expression, E.BoolOp):
+        saw_null = False
+        if expression.op == "and":
+            for arg in expression.args:
+                value = eval_row(arg, row, ctx)
+                if value is None:
+                    saw_null = True
+                elif not value:
+                    return False
+            return None if saw_null else True
+        for arg in expression.args:
+            value = eval_row(arg, row, ctx)
+            if value is None:
+                saw_null = True
+            elif value:
+                return True
+        return None if saw_null else False
+    if isinstance(expression, E.NotExpr):
+        value = eval_row(expression.operand, row, ctx)
+        return None if value is None else not value
+    if isinstance(expression, E.IsNullExpr):
+        value = eval_row(expression.operand, row, ctx)
+        return (value is None) != expression.negated
+    if isinstance(expression, E.CaseWhen):
+        for condition, result in expression.whens:
+            if eval_row(condition, row, ctx):
+                return eval_row(result, row, ctx)
+        if expression.else_result is not None:
+            return eval_row(expression.else_result, row, ctx)
+        return None
+    if isinstance(expression, E.FuncCall):
+        args = [eval_row(a, row, ctx) for a in expression.args]
+        return _scalar_function(expression.name, args)
+    if isinstance(expression, E.LikeExpr):
+        value = eval_row(expression.operand, row, ctx)
+        if value is None:
+            return None
+        key = (expression.pattern, expression.negated)
+        matcher = _like_cache.get(key)
+        if matcher is None:
+            matcher = compile_like(expression.pattern, expression.negated)
+            _like_cache[key] = matcher
+        return matcher(value)
+    if isinstance(expression, E.InListExpr):
+        value = eval_row(expression.operand, row, ctx)
+        if value is None:
+            return None
+        hit = value in expression.values
+        return (not hit) if expression.negated else hit
+    if isinstance(expression, E.CastExpr):
+        value = eval_row(expression.operand, row, ctx)
+        return _cast_scalar(value, expression.operand.type, expression.type)
+    if isinstance(expression, E.ScalarSubqueryExpr):
+        return ctx.scalar_subquery(expression, row)
+    if isinstance(expression, E.ExistsSubqueryExpr):
+        return ctx.exists_subquery(expression, row)
+    raise DatabaseError(f"cannot evaluate {type(expression).__name__} per row")
+
+
+def _cast_scalar(value, source: T.SQLType, target: T.SQLType):
+    if value is None:
+        return None
+    if source.category == target.category and target.is_variable:
+        return value
+    cat_s, cat_t = source.category, target.category
+    if cat_t == T.TypeCategory.FLOAT:
+        if cat_s == T.TypeCategory.DECIMAL:
+            return float(value) / 10**source.scale
+        return float(value)
+    if cat_t == T.TypeCategory.DECIMAL:
+        if cat_s == T.TypeCategory.DECIMAL:
+            if target.scale >= source.scale:
+                return int(value) * 10 ** (target.scale - source.scale)
+            return int(value) // 10 ** (source.scale - target.scale)
+        if cat_s == T.TypeCategory.FLOAT:
+            return round(float(value) * 10**target.scale)
+        return int(value) * 10**target.scale
+    if cat_t == T.TypeCategory.INTEGER:
+        if cat_s == T.TypeCategory.DECIMAL:
+            return int(value) // 10**source.scale
+        if isinstance(value, float) and np.isnan(value):
+            return None
+        return int(value)
+    if cat_t == T.TypeCategory.STRING:
+        if cat_s == T.TypeCategory.DECIMAL:
+            return str(source.from_storage(value))
+        if cat_s == T.TypeCategory.DATE:
+            return T.days_to_date(int(value)).isoformat()
+        return str(value)
+    if cat_t == T.TypeCategory.DATE and cat_s == T.TypeCategory.STRING:
+        return T.date_to_days(value)
+    raise DatabaseError(f"unsupported cast {source.name} -> {target.name}")

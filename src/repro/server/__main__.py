@@ -1,0 +1,52 @@
+"""CLI entry point: ``python -m repro.server --engine columnar --port 0``."""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from repro.server.server import Server
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="repro database server")
+    parser.add_argument("--engine", choices=["columnar", "rowstore"],
+                        default="columnar")
+    parser.add_argument("--protocol", default="pg",
+                        choices=["pg", "mysql", "monetdb"])
+    parser.add_argument("--directory", default=None)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    server = Server(
+        engine=args.engine,
+        protocol=args.protocol,
+        directory=args.directory,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+    )
+    server.start()
+    print(f"READY {server.port}", flush=True)
+
+    stop = {"flag": False}
+
+    def handle(signum, frame):
+        stop["flag"] = True
+
+    signal.signal(signal.SIGTERM, handle)
+    signal.signal(signal.SIGINT, handle)
+    try:
+        while not stop["flag"]:
+            signal.pause()
+    except KeyboardInterrupt:
+        pass
+    server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

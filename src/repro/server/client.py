@@ -1,0 +1,231 @@
+"""DBI-style client for the socket servers (dbWriteTable / dbReadTable).
+
+This is the analytical tool's side of Figure 1(a): results arrive
+row-by-row as text and must be parsed and pivoted into columnar native
+arrays; bulk loads degenerate into generated INSERT statements with one
+round trip per statement — the two costs the paper's Figures 5 and 6
+measure.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import socket
+
+import numpy as np
+
+from repro.errors import DatabaseError, ProtocolError
+from repro.server.protocol import (
+    PROTOCOLS,
+    ProtocolConfig,
+    decode_rows,
+    read_message,
+    sql_literal,
+    write_message,
+)
+from repro.storage.types import days_to_date
+
+__all__ = ["RemoteConnection", "RemoteResult"]
+
+
+class RemoteResult:
+    """A fetched result: names, declared types, typed row tuples."""
+
+    def __init__(self, names: list, type_names: list, rows: list):
+        self.names = names
+        self.type_names = type_names
+        self.rows = rows
+        self.nrows = len(rows)
+        self.ncols = len(names)
+
+    def fetchall(self) -> list:
+        return self.rows
+
+    def scalar(self):
+        if self.nrows != 1 or self.ncols != 1:
+            raise DatabaseError(f"scalar() on {self.nrows}x{self.ncols} result")
+        return self.rows[0][0]
+
+    def to_columns(self) -> dict:
+        """Pivot row-major fetch results into native columnar arrays.
+
+        This client-side row-to-column conversion is precisely the cost an
+        embedded zero-copy interface avoids.
+        """
+        out: dict = {}
+        for index, (name, type_name) in enumerate(
+            zip(self.names, self.type_names)
+        ):
+            values = [row[index] for row in self.rows]
+            base = type_name.split("(")[0].upper()
+            if base in ("INTEGER", "INT", "BIGINT", "SMALLINT", "TINYINT",
+                        "HUGEINT"):
+                out[name] = np.asarray(
+                    [np.nan if v is None else v for v in values], dtype=np.float64
+                ) if any(v is None for v in values) else np.asarray(
+                    values, dtype=np.int64
+                )
+            elif base in ("DOUBLE", "REAL", "FLOAT", "DECIMAL", "NUMERIC"):
+                out[name] = np.asarray(
+                    [np.nan if v is None else v for v in values], dtype=np.float64
+                )
+            elif base == "DATE":
+                out[name] = np.asarray(values, dtype="datetime64[D]")
+            else:
+                out[name] = np.asarray(values, dtype=object)
+        return out
+
+
+class RemoteConnection:
+    """Client connection over the wire protocol."""
+
+    def __init__(self, host: str, port: int, protocol: str | ProtocolConfig = "pg"):
+        self.protocol = (
+            protocol if isinstance(protocol, ProtocolConfig) else PROTOCOLS[protocol]
+        )
+        self._sock = socket.create_connection((host, port))
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._await_ready()
+
+    def close(self) -> None:
+        try:
+            write_message(self._wfile, b"X", b"")
+            self._wfile.flush()
+        except (OSError, ValueError):
+            pass
+        self._rfile.close()
+        self._wfile.close()
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _await_ready(self) -> None:
+        mtype, payload = read_message(self._rfile)
+        if mtype != b"Z":
+            raise ProtocolError(f"expected ready message, got {mtype!r}")
+
+    # -- query path -----------------------------------------------------------------
+
+    def execute(self, sql: str) -> RemoteResult | None:
+        """Send one query; parse the streamed row messages."""
+        write_message(self._wfile, b"Q", sql.encode("utf-8"))
+        self._wfile.flush()
+        names: list = []
+        type_names: list = []
+        raw_rows: list = []
+        error: str | None = None
+        saw_description = False
+        while True:
+            mtype, payload = read_message(self._rfile)
+            if mtype is None:
+                raise ProtocolError("server closed the connection")
+            if mtype == b"D":
+                saw_description = True
+                for part in payload.decode("utf-8").split("\t"):
+                    name, _, type_name = part.rpartition(":")
+                    names.append(name)
+                    type_names.append(type_name)
+            elif mtype == b"R":
+                raw_rows.extend(decode_rows(payload, self.protocol))
+            elif mtype == b"E":
+                error = payload.decode("utf-8")
+            elif mtype == b"C":
+                continue
+            elif mtype == b"Z":
+                break
+            else:
+                raise ProtocolError(f"unexpected message {mtype!r}")
+        if error is not None:
+            raise DatabaseError(f"server error: {error}")
+        if not saw_description:
+            return None
+        rows = [self._type_row(row, type_names) for row in raw_rows]
+        return RemoteResult(names, type_names, rows)
+
+    def query(self, sql: str) -> RemoteResult:
+        result = self.execute(sql)
+        if result is None:
+            raise DatabaseError("statement produced no result")
+        return result
+
+    @staticmethod
+    def _type_row(row: tuple, type_names: list) -> tuple:
+        out = []
+        for text, type_name in zip(row, type_names):
+            if text is None:
+                out.append(None)
+                continue
+            base = type_name.split("(")[0].upper()
+            if base in ("INTEGER", "INT", "BIGINT", "SMALLINT", "TINYINT",
+                        "HUGEINT"):
+                out.append(int(text))
+            elif base in ("DOUBLE", "REAL", "FLOAT", "DECIMAL", "NUMERIC"):
+                out.append(float(text))
+            elif base == "DATE":
+                out.append(_dt.date.fromisoformat(text))
+            elif base == "BOOLEAN":
+                out.append(text in ("t", "true", "True", "1"))
+            else:
+                out.append(text)
+        return tuple(out)
+
+    # -- DBI-style bulk paths ----------------------------------------------------------
+
+    def db_write_table(
+        self,
+        table: str,
+        data: dict,
+        type_names: list,
+        create_sql: str | None = None,
+        rows_per_insert: int | None = None,
+    ) -> int:
+        """``dbWriteTable``: ship a client-side frame via INSERT statements.
+
+        ``type_names`` gives the SQL type per column (schema order) so
+        epoch-day integers become DATE literals etc.  One INSERT statement
+        per ``rows_per_insert`` rows, one round trip per statement — the
+        paper's explanation for the socket systems' ingest collapse.
+        """
+        if create_sql is not None:
+            self.execute(create_sql)
+        columns = list(data)
+        converted = [
+            _client_values(np.asarray(data[c]), t)
+            for c, t in zip(columns, type_names)
+        ]
+        nrows = len(converted[0]) if converted else 0
+        batch = rows_per_insert or self.protocol.rows_per_insert
+        prefix = f"INSERT INTO {table} ({', '.join(columns)}) VALUES "
+        for start in range(0, nrows, batch):
+            stop = min(start + batch, nrows)
+            tuples = []
+            for i in range(start, stop):
+                tuples.append(
+                    "(" + ", ".join(
+                        sql_literal(col[i]) for col in converted
+                    ) + ")"
+                )
+            self.execute(prefix + ", ".join(tuples))
+        return nrows
+
+    def db_read_table(self, table: str) -> dict:
+        """``dbReadTable``: SELECT * and pivot into native columnar arrays."""
+        return self.query(f"SELECT * FROM {table}").to_columns()
+
+
+def _client_values(array: np.ndarray, type_name: str) -> list:
+    """Columnar client data -> python values ready for literal rendering."""
+    base = type_name.split("(")[0].upper()
+    if base == "DATE" and array.dtype.kind in "iu":
+        return [days_to_date(int(v)) for v in array]
+    if array.dtype.kind == "f":
+        return [None if np.isnan(v) else float(v) for v in array]
+    if array.dtype.kind in "iu":
+        return [int(v) for v in array]
+    return list(array)

@@ -1,0 +1,178 @@
+"""Wire protocol: framed messages with text-serialized rows.
+
+Message frame: 1 type byte + 4-byte little-endian payload length + payload.
+
+====  ====================  =========================================
+type  direction             payload
+====  ====================  =========================================
+``Q``  client -> server     SQL text (UTF-8)
+``A``  client -> server     bulk append: table name (append uses SQL
+                            INSERTs by default; ``A`` exists only for
+                            the "what if servers had a bulk path"
+                            ablation)
+``D``  server -> client     row description: ``name:type`` per column
+``R``  server -> client     one *batch* of rows, text-serialized
+``C``  server -> client     command complete (+row count)
+``E``  server -> client     error message
+``Z``  server -> client     ready for query
+====  ====================  =========================================
+
+Rows are serialized like PostgreSQL's COPY text format: fields separated
+by tabs, rows by newlines, NULL as ``\\N``, with backslash escaping.  A
+:class:`ProtocolConfig` sets how many rows share one ``R`` message (1 =
+pg/mysql behavior; MonetDB's block protocol ships batches) and how many
+rows a generated INSERT statement carries during ``dbWriteTable``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "ProtocolConfig",
+    "PROTOCOLS",
+    "read_message",
+    "write_message",
+    "encode_rows",
+    "decode_rows",
+    "format_field",
+    "parse_field",
+    "sql_literal",
+]
+
+_HEADER = struct.Struct("<cI")
+
+#: Upper bound on a single message payload (guards corrupt frames).
+MAX_PAYLOAD = 1 << 28
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Behavioral knobs distinguishing the emulated server systems."""
+
+    name: str
+    rows_per_message: int = 1  # result rows batched into one 'R' frame
+    rows_per_insert: int = 1  # rows per generated INSERT during ingest
+    length_prefixed_fields: bool = False  # mysql-style per-field prefixes
+
+
+PROTOCOLS = {
+    # PostgreSQL-like: row-per-message, single-row INSERTs
+    "pg": ProtocolConfig("pg", rows_per_message=1, rows_per_insert=1),
+    # MariaDB/MySQL-like: row-per-message with per-field length prefixes
+    "mysql": ProtocolConfig(
+        "mysql", rows_per_message=1, rows_per_insert=1, length_prefixed_fields=True
+    ),
+    # MonetDB server: block-based result transfer, still per-row INSERTs
+    "monetdb": ProtocolConfig("monetdb", rows_per_message=100, rows_per_insert=1),
+}
+
+
+def write_message(stream, mtype: bytes, payload: bytes) -> None:
+    """Frame and write one message (no flush)."""
+    stream.write(_HEADER.pack(mtype, len(payload)))
+    stream.write(payload)
+
+
+def read_message(stream):
+    """Read one framed message; returns (type, payload) or (None, b"") on EOF."""
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None, b""
+    if len(header) < _HEADER.size:
+        raise ProtocolError("truncated message header")
+    mtype, length = _HEADER.unpack(header)
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized message ({length} bytes)")
+    payload = stream.read(length)
+    if len(payload) < length:
+        raise ProtocolError("truncated message payload")
+    return mtype, payload
+
+
+# -- row text codec -----------------------------------------------------------------
+
+
+def format_field(value) -> str:
+    """One value as protocol text (``\\N`` = NULL, COPY-style escapes)."""
+    if value is None:
+        return "\\N"
+    if isinstance(value, bool):
+        return "t" if value else "f"
+    if isinstance(value, (_dt.date, _dt.datetime, _dt.time)):
+        return value.isoformat()
+    text = str(value)
+    if "\\" in text or "\t" in text or "\n" in text:
+        text = (
+            text.replace("\\", "\\\\").replace("\t", "\\t").replace("\n", "\\n")
+        )
+    return text
+
+
+def parse_field(text: str):
+    """Inverse of :func:`format_field` (typing happens at a higher layer)."""
+    if text == "\\N":
+        return None
+    if "\\" in text:
+        text = (
+            text.replace("\\t", "\t").replace("\\n", "\n").replace("\\\\", "\\")
+        )
+    return text
+
+
+def encode_rows(rows: list, config: ProtocolConfig) -> bytes:
+    """Serialize a batch of row tuples into one 'R' payload."""
+    if config.length_prefixed_fields:
+        parts = []
+        for row in rows:
+            for value in row:
+                field = format_field(value).encode("utf-8")
+                parts.append(len(field).to_bytes(4, "little"))
+                parts.append(field)
+            parts.append(b"\xff\xff\xff\xff")  # row terminator
+        return b"".join(parts)
+    lines = ["\t".join(format_field(v) for v in row) for row in rows]
+    return "\n".join(lines).encode("utf-8")
+
+
+def decode_rows(payload: bytes, config: ProtocolConfig) -> list:
+    """Deserialize an 'R' payload into row tuples of (str | None)."""
+    if config.length_prefixed_fields:
+        rows = []
+        row: list = []
+        pos = 0
+        while pos < len(payload):
+            marker = payload[pos : pos + 4]
+            pos += 4
+            if marker == b"\xff\xff\xff\xff":
+                rows.append(tuple(row))
+                row = []
+                continue
+            length = int.from_bytes(marker, "little")
+            row.append(parse_field(payload[pos : pos + length].decode("utf-8")))
+            pos += length
+        return rows
+    if not payload:
+        return []
+    return [
+        tuple(parse_field(f) for f in line.split("\t"))
+        for line in payload.decode("utf-8").split("\n")
+    ]
+
+
+def sql_literal(value) -> str:
+    """Render a Python value as a SQL literal for generated INSERTs."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, (_dt.date, _dt.datetime)):
+        return f"DATE '{value.isoformat()}'"
+    text = str(value).replace("'", "''")
+    return f"'{text}'"

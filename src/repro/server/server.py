@@ -1,0 +1,226 @@
+"""TCP server hosting either engine behind the wire protocol."""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import subprocess
+import sys
+import threading
+import time
+
+from repro.errors import DatabaseError, ProtocolError
+from repro.server.protocol import (
+    PROTOCOLS,
+    ProtocolConfig,
+    encode_rows,
+    read_message,
+    write_message,
+)
+
+__all__ = ["Server", "spawn_server_process"]
+
+
+class Server:
+    """A threaded localhost database server.
+
+    ``engine`` selects the hosted engine: ``"columnar"`` (the MonetDB-server
+    configuration: same engine as MonetDBLite, but behind a socket) or
+    ``"rowstore"`` (the PostgreSQL/MariaDB-shaped configuration).  The
+    server creates its own engine instance directly — a server process is
+    its own deployment, so the embedded single-instance guard does not
+    apply to it.
+    """
+
+    def __init__(
+        self,
+        engine: str = "columnar",
+        protocol: str | ProtocolConfig = "pg",
+        directory: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float | None = None,
+    ):
+        self.engine_kind = engine
+        self.protocol = (
+            protocol if isinstance(protocol, ProtocolConfig) else PROTOCOLS[protocol]
+        )
+        self.directory = directory
+        self.host = host
+        self._requested_port = port
+        self._timeout = timeout
+        self._tcp: socketserver.ThreadingTCPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._database = None
+
+    # -- engine plumbing -----------------------------------------------------------
+
+    def _open_engine(self):
+        if self.engine_kind == "columnar":
+            from repro.core.database import Database
+
+            self._database = Database(self.directory, timeout=self._timeout)
+            return
+        if self.engine_kind == "rowstore":
+            from repro.rowstore import RowDatabase
+
+            path = None
+            if self.directory is not None:
+                path = f"{self.directory}/rowstore.db"
+            self._database = RowDatabase(path, timeout=self._timeout)
+            return
+        raise DatabaseError(f"unknown server engine {self.engine_kind!r}")
+
+    def _connect_engine(self):
+        return self._database.connect()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._tcp is None:
+            raise DatabaseError("server not started")
+        return self._tcp.server_address[1]
+
+    def start(self) -> "Server":
+        """Bind and serve in a daemon thread; returns self."""
+        self._open_engine()
+        server = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def setup(self):
+                self.request.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+                super().setup()
+
+            def handle(self):
+                server._serve_connection(self.rfile, self.wfile)
+
+        class TCP(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._tcp = TCP((self.host, self._requested_port), Handler)
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, daemon=True, name="repro-server"
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._tcp is not None:
+            self._tcp.shutdown()
+            self._tcp.server_close()
+            self._tcp = None
+        if self._database is not None:
+            shutdown = getattr(self._database, "shutdown", None) or getattr(
+                self._database, "close", None
+            )
+            if shutdown is not None:
+                shutdown()
+            self._database = None
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- per-connection protocol loop --------------------------------------------------
+
+    def _serve_connection(self, rfile, wfile) -> None:
+        conn = self._connect_engine()
+        config = self.protocol
+        try:
+            write_message(wfile, b"Z", b"")
+            wfile.flush()
+            while True:
+                mtype, payload = read_message(rfile)
+                if mtype is None or mtype == b"X":
+                    return
+                if mtype != b"Q":
+                    write_message(
+                        wfile, b"E", f"unexpected message {mtype!r}".encode()
+                    )
+                    write_message(wfile, b"Z", b"")
+                    wfile.flush()
+                    continue
+                self._handle_query(conn, payload.decode("utf-8"), wfile, config)
+        except (ConnectionError, ProtocolError):
+            return
+        finally:
+            close = getattr(conn, "close", None)
+            if close is not None:
+                close()
+
+    def _handle_query(self, conn, sql: str, wfile, config: ProtocolConfig) -> None:
+        try:
+            result = conn.execute(sql)
+        except Exception as exc:  # errors travel the wire, never kill the server
+            write_message(wfile, b"E", str(exc).encode("utf-8"))
+            write_message(wfile, b"Z", b"")
+            wfile.flush()
+            return
+        if result is None:
+            write_message(wfile, b"C", b"0")
+        else:
+            names = result.names
+            types = [
+                result._materialized.columns[i].type.name
+                for i in range(result.ncols)
+            ]
+            description = "\t".join(
+                f"{name}:{type_}" for name, type_ in zip(names, types)
+            )
+            write_message(wfile, b"D", description.encode("utf-8"))
+            rows = result.fetchall()
+            batch = config.rows_per_message
+            for start in range(0, len(rows), batch):
+                write_message(
+                    wfile, b"R", encode_rows(rows[start : start + batch], config)
+                )
+            write_message(wfile, b"C", str(len(rows)).encode("utf-8"))
+        write_message(wfile, b"Z", b"")
+        wfile.flush()
+
+
+def spawn_server_process(
+    engine: str = "columnar",
+    protocol: str = "pg",
+    directory: str | None = None,
+    timeout: float | None = None,
+    startup_wait: float = 15.0,
+):
+    """Start a server in a separate Python process; returns (process, port).
+
+    The separate process gives the socket configurations their own memory
+    space and interpreter, as in the paper's client/server measurements.
+    """
+    args = [
+        sys.executable,
+        "-m",
+        "repro.server",
+        "--engine",
+        engine,
+        "--protocol",
+        protocol,
+        "--port",
+        "0",
+    ]
+    if directory:
+        args += ["--directory", directory]
+    if timeout:
+        args += ["--timeout", str(timeout)]
+    process = subprocess.Popen(
+        args, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True
+    )
+    deadline = time.monotonic() + startup_wait
+    line = process.stdout.readline()
+    while not line.startswith("READY"):
+        if time.monotonic() > deadline or process.poll() is not None:
+            process.kill()
+            raise DatabaseError("server process failed to start")
+        line = process.stdout.readline()
+    port = int(line.split()[1])
+    return process, port

@@ -1,0 +1,22 @@
+"""SQL front-end: lexer, AST, and recursive-descent parser.
+
+Covers the surface needed for the paper's workloads: full SELECT queries
+(expressions, CASE, EXTRACT, LIKE, IN, EXISTS, scalar and correlated
+subqueries, BETWEEN, date/interval arithmetic, GROUP BY / HAVING / ORDER BY /
+LIMIT, explicit and comma joins, derived tables), DDL (CREATE/DROP TABLE,
+CREATE [ORDER] INDEX), DML (INSERT/DELETE/UPDATE) and transaction control.
+"""
+
+from repro.sql.lexer import Lexer, Token, TokenType
+from repro.sql.parser import Parser, parse, parse_expression
+from repro.sql import ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "Parser",
+    "parse",
+    "parse_expression",
+    "ast",
+]

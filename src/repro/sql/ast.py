@@ -1,0 +1,352 @@
+"""Abstract syntax tree node definitions for the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "BinaryOp",
+    "UnaryOp",
+    "FunctionCall",
+    "CaseExpr",
+    "Cast",
+    "IsNull",
+    "Like",
+    "InList",
+    "InSubquery",
+    "Exists",
+    "ScalarSubquery",
+    "Between",
+    "ExtractExpr",
+    "IntervalLiteral",
+    "SelectItem",
+    "OrderItem",
+    "TableRef",
+    "BaseTable",
+    "JoinRef",
+    "SubqueryRef",
+    "SelectStmt",
+    "SetOpStmt",
+    "CreateTable",
+    "ColumnSpec",
+    "DropTable",
+    "CreateIndex",
+    "DropIndex",
+    "InsertStmt",
+    "DeleteStmt",
+    "UpdateStmt",
+    "TransactionStmt",
+    "Statement",
+]
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, boolean, NULL, or a typed literal.
+
+    ``type_hint`` distinguishes e.g. ``DATE '1994-01-01'`` from a plain
+    string; it holds the keyword (``"date"``/``"timestamp"``) or ``None``.
+    """
+
+    value: object
+    type_hint: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A possibly qualified column reference ``[table.]name``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``table.*`` in a select list or ``COUNT(*)``."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operator: arithmetic, comparison, AND/OR, ``||``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary ``-`` or ``NOT``."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Function or aggregate invocation. ``distinct`` covers COUNT(DISTINCT x)."""
+
+    name: str
+    args: tuple
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expression):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    operand: Optional[Expression]
+    whens: tuple  # of (condition, result) pairs
+    else_result: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class Cast(Expression):
+    """``CAST(expr AS type)``; ``type_name`` is the raw DDL spelling."""
+
+    operand: Expression
+    type_name: str
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` (pattern restricted to an expression)."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (item, ...)``."""
+
+    operand: Expression
+    items: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    operand: Expression
+    subquery: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expression):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    """A subquery used as a scalar value (possibly correlated)."""
+
+    subquery: "SelectStmt"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExtractExpr(Expression):
+    """``EXTRACT(field FROM expr)`` — field in year/month/day."""
+
+    unit: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expression):
+    """``INTERVAL 'n' unit`` — unit in day/month/year."""
+
+    amount: int
+    unit: str
+
+
+# -- query structure -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of the select list (expression plus optional alias)."""
+
+    expr: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expression
+    descending: bool = False
+    nulls_first: Optional[bool] = None
+
+
+class TableRef:
+    """Base class of FROM-clause items."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BaseTable(TableRef):
+    """A named table with optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class JoinRef(TableRef):
+    """Explicit JOIN between two table references."""
+
+    left: TableRef
+    right: TableRef
+    kind: str  # inner | left | right | full | cross
+    condition: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class SubqueryRef(TableRef):
+    """Derived table ``(SELECT ...) alias``."""
+
+    select: "SelectStmt"
+    alias: str
+
+
+class Statement:
+    """Base class of all statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SelectStmt(Statement):
+    """A full SELECT query block."""
+
+    items: tuple  # of SelectItem
+    from_tables: tuple = ()  # of TableRef (comma list)
+    where: Optional[Expression] = None
+    group_by: tuple = ()
+    having: Optional[Expression] = None
+    order_by: tuple = ()  # of OrderItem
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SetOpStmt(Statement):
+    """``UNION [ALL] / EXCEPT / INTERSECT`` of two query blocks."""
+
+    op: str
+    left: Union[SelectStmt, "SetOpStmt"]
+    right: Union[SelectStmt, "SetOpStmt"]
+    all: bool = False
+    order_by: tuple = ()
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Column clause of CREATE TABLE."""
+
+    name: str
+    type_name: str
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: tuple  # of ColumnSpec
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    """``CREATE [ORDER] INDEX name ON table (columns)``."""
+
+    name: str
+    table: str
+    columns: tuple
+    ordered: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndex(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class InsertStmt(Statement):
+    """INSERT INTO ... VALUES rows, or INSERT INTO ... SELECT."""
+
+    table: str
+    columns: tuple = ()  # empty = all columns in schema order
+    rows: tuple = ()  # of tuples of Expression
+    select: Optional[SelectStmt] = None
+
+
+@dataclass(frozen=True)
+class DeleteStmt(Statement):
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class UpdateStmt(Statement):
+    table: str
+    assignments: tuple  # of (column_name, Expression)
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class TransactionStmt(Statement):
+    """BEGIN / COMMIT / ROLLBACK."""
+
+    action: str

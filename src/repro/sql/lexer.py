@@ -1,0 +1,182 @@
+"""Hand-written SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = ["TokenType", "Token", "Lexer", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words recognized by the parser (case-insensitive).
+KEYWORDS = frozenset(
+    """
+    select from where group by having order limit offset distinct all as
+    and or not in is null like between exists case when then else end
+    cast extract interval date time timestamp
+    join inner left right full outer cross on using
+    create drop table index if
+    insert into values delete update set
+    begin start transaction commit rollback work
+    asc desc nulls first last
+    true false
+    primary key unique
+    union except intersect
+    """.split()
+)
+
+_TWO_CHAR_OPS = ("<>", "<=", ">=", "!=", "||")
+_ONE_CHAR_OPS = "+-*/%=<>"
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    type: TokenType
+    value: str | int | float
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+class Lexer:
+    """Tokenizes SQL text; comments (``--`` and ``/* */``) are skipped."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the entire input, ending with an EOF token."""
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.type == TokenType.EOF:
+                return out
+
+    def _skip_whitespace_and_comments(self) -> None:
+        text, length = self.text, self.length
+        while self.pos < length:
+            ch = text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif ch == "-" and text[self.pos : self.pos + 2] == "--":
+                end = text.find("\n", self.pos)
+                self.pos = length if end < 0 else end + 1
+            elif ch == "/" and text[self.pos : self.pos + 2] == "/*":
+                end = text.find("*/", self.pos + 2)
+                if end < 0:
+                    raise ParseError("unterminated block comment", self.pos)
+                self.pos = end + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.pos >= self.length:
+            return Token(TokenType.EOF, "", self.pos)
+        start = self.pos
+        ch = self.text[start]
+
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(start)
+        if ch.isdigit() or (
+            ch == "." and start + 1 < self.length and self.text[start + 1].isdigit()
+        ):
+            return self._lex_number(start)
+        if ch == "'":
+            return self._lex_string(start)
+        if ch == '"':
+            return self._lex_quoted_ident(start)
+        two = self.text[start : start + 2]
+        if two in _TWO_CHAR_OPS:
+            self.pos += 2
+            return Token(TokenType.OPERATOR, two, start)
+        if ch in _ONE_CHAR_OPS:
+            self.pos += 1
+            return Token(TokenType.OPERATOR, ch, start)
+        if ch in _PUNCT:
+            self.pos += 1
+            return Token(TokenType.PUNCT, ch, start)
+        raise ParseError(f"unexpected character {ch!r}", start)
+
+    def _lex_word(self, start: int) -> Token:
+        pos = start
+        text = self.text
+        while pos < self.length and (text[pos].isalnum() or text[pos] == "_"):
+            pos += 1
+        self.pos = pos
+        word = text[start:pos]
+        lowered = word.lower()
+        if lowered in KEYWORDS:
+            return Token(TokenType.KEYWORD, lowered, start)
+        return Token(TokenType.IDENT, lowered, start)
+
+    def _lex_quoted_ident(self, start: int) -> Token:
+        end = self.text.find('"', start + 1)
+        if end < 0:
+            raise ParseError("unterminated quoted identifier", start)
+        self.pos = end + 1
+        return Token(TokenType.IDENT, self.text[start + 1 : end], start)
+
+    def _lex_number(self, start: int) -> Token:
+        pos = start
+        text, length = self.text, self.length
+        seen_dot = seen_exp = False
+        while pos < length:
+            ch = text[pos]
+            if ch.isdigit():
+                pos += 1
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                pos += 1
+            elif ch in "eE" and not seen_exp and pos > start:
+                nxt = text[pos + 1 : pos + 2]
+                if nxt.isdigit() or nxt in "+-":
+                    seen_exp = True
+                    pos += 2 if nxt in "+-" else 1
+                else:
+                    break
+            else:
+                break
+        self.pos = pos
+        literal = text[start:pos]
+        value = float(literal) if (seen_dot or seen_exp) else int(literal)
+        return Token(TokenType.NUMBER, value, start)
+
+    def _lex_string(self, start: int) -> Token:
+        pos = start + 1
+        text, length = self.text, self.length
+        chunks: list[str] = []
+        while pos < length:
+            ch = text[pos]
+            if ch == "'":
+                if text[pos + 1 : pos + 2] == "'":  # escaped quote
+                    chunks.append("'")
+                    pos += 2
+                    continue
+                self.pos = pos + 1
+                return Token(TokenType.STRING, "".join(chunks), start)
+            chunks.append(ch)
+            pos += 1
+        raise ParseError("unterminated string literal", start)

@@ -1,0 +1,723 @@
+"""Recursive-descent SQL parser producing :mod:`repro.sql.ast` trees."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import Lexer, Token, TokenType
+
+__all__ = ["Parser", "parse", "parse_one", "parse_expression"]
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_INTERVAL_UNITS = {"day", "month", "year"}
+_EXTRACT_UNITS = {"year", "month", "day"}
+
+
+def parse(text: str) -> list[ast.Statement]:
+    """Parse SQL text into a list of statements (``;`` separated)."""
+    return Parser(text).parse_statements()
+
+
+def parse_one(text: str) -> ast.Statement:
+    """Parse exactly one statement."""
+    statements = parse(text)
+    if len(statements) != 1:
+        raise ParseError(f"expected a single statement, got {len(statements)}")
+    return statements[0]
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a standalone expression (used by tests and index DDL)."""
+    parser = Parser(text)
+    expr = parser._expression()
+    parser._expect_eof()
+    return expr
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, text: str):
+        self._tokens = Lexer(text).tokens()
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, ahead: int = 1) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _accept_keyword(self, *words: str) -> bool:
+        token = self._current
+        if token.type == TokenType.KEYWORD and token.value in words:
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise ParseError(
+                f"expected {word.upper()!r}, found {self._current.value!r}",
+                self._current.position,
+            )
+
+    def _accept_punct(self, ch: str) -> bool:
+        token = self._current
+        if token.type == TokenType.PUNCT and token.value == ch:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, ch: str) -> None:
+        if not self._accept_punct(ch):
+            raise ParseError(
+                f"expected {ch!r}, found {self._current.value!r}",
+                self._current.position,
+            )
+
+    def _accept_operator(self, *ops: str) -> str | None:
+        token = self._current
+        if token.type == TokenType.OPERATOR and token.value in ops:
+            self._advance()
+            return token.value
+        return None
+
+    def _expect_ident(self) -> str:
+        token = self._current
+        if token.type != TokenType.IDENT:
+            raise ParseError(
+                f"expected identifier, found {token.value!r}", token.position
+            )
+        self._advance()
+        return str(token.value)
+
+    def _expect_eof(self) -> None:
+        if self._current.type != TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input {self._current.value!r}",
+                self._current.position,
+            )
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_statements(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while True:
+            while self._accept_punct(";"):
+                pass
+            if self._current.type == TokenType.EOF:
+                break
+            statements.append(self._statement())
+            if self._current.type != TokenType.EOF:
+                self._expect_punct(";")
+        if not statements:
+            raise ParseError("empty statement")
+        return statements
+
+    def _statement(self) -> ast.Statement:
+        token = self._current
+        if token.type != TokenType.KEYWORD:
+            raise ParseError(
+                f"expected a statement, found {token.value!r}", token.position
+            )
+        word = token.value
+        if word == "select" or (word == "(" and False):
+            return self._query_statement()
+        if word == "create":
+            return self._create_statement()
+        if word == "drop":
+            return self._drop_statement()
+        if word == "insert":
+            return self._insert_statement()
+        if word == "delete":
+            return self._delete_statement()
+        if word == "update":
+            return self._update_statement()
+        if word in ("begin", "start"):
+            self._advance()
+            self._accept_keyword("transaction", "work")
+            return ast.TransactionStmt("begin")
+        if word == "commit":
+            self._advance()
+            self._accept_keyword("transaction", "work")
+            return ast.TransactionStmt("commit")
+        if word == "rollback":
+            self._advance()
+            self._accept_keyword("transaction", "work")
+            return ast.TransactionStmt("rollback")
+        raise ParseError(f"unsupported statement {word!r}", token.position)
+
+    # -- SELECT / set operations -----------------------------------------------------
+
+    def _query_statement(self) -> ast.Statement:
+        """A query possibly combined with UNION/EXCEPT/INTERSECT."""
+        left: ast.Statement = self._select_block()
+        while self._current.type == TokenType.KEYWORD and self._current.value in (
+            "union",
+            "except",
+            "intersect",
+        ):
+            op = str(self._advance().value)
+            all_flag = self._accept_keyword("all")
+            right = self._select_block()
+            left = ast.SetOpStmt(op, left, right, all=all_flag)
+        if isinstance(left, ast.SetOpStmt):
+            order_by, limit, _ = self._trailing_order_limit()
+            if order_by or limit is not None:
+                left = ast.SetOpStmt(
+                    left.op, left.left, left.right, left.all, tuple(order_by), limit
+                )
+        return left
+
+    def _select_block(self) -> ast.SelectStmt:
+        self._expect_keyword("select")
+        distinct = False
+        if self._accept_keyword("distinct"):
+            distinct = True
+        else:
+            self._accept_keyword("all")
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+
+        from_tables: list[ast.TableRef] = []
+        where = having = None
+        group_by: list[ast.Expression] = []
+        if self._accept_keyword("from"):
+            from_tables.append(self._table_ref())
+            while self._accept_punct(","):
+                from_tables.append(self._table_ref())
+        if self._accept_keyword("where"):
+            where = self._expression()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._expression())
+            while self._accept_punct(","):
+                group_by.append(self._expression())
+        if self._accept_keyword("having"):
+            having = self._expression()
+        order_by, limit, offset = self._trailing_order_limit()
+        return ast.SelectStmt(
+            items=tuple(items),
+            from_tables=tuple(from_tables),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _trailing_order_limit(self):
+        order_by: list[ast.OrderItem] = []
+        limit = offset = None
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._order_item())
+            while self._accept_punct(","):
+                order_by.append(self._order_item())
+        if self._accept_keyword("limit"):
+            limit = self._int_literal("LIMIT")
+        if self._accept_keyword("offset"):
+            offset = self._int_literal("OFFSET")
+        return order_by, limit, offset
+
+    def _int_literal(self, clause: str) -> int:
+        token = self._current
+        if token.type != TokenType.NUMBER or not isinstance(token.value, int):
+            raise ParseError(f"{clause} requires an integer", token.position)
+        self._advance()
+        return token.value
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._current.type == TokenType.OPERATOR and self._current.value == "*":
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        expr = self._expression()
+        alias = self._optional_alias()
+        return ast.SelectItem(expr, alias)
+
+    def _optional_alias(self) -> str | None:
+        if self._accept_keyword("as"):
+            return self._expect_ident()
+        if self._current.type == TokenType.IDENT:
+            return self._expect_ident()
+        return None
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._expression()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        nulls_first = None
+        if self._accept_keyword("nulls"):
+            if self._accept_keyword("first"):
+                nulls_first = True
+            else:
+                self._expect_keyword("last")
+                nulls_first = False
+        return ast.OrderItem(expr, descending, nulls_first)
+
+    # -- FROM clause ---------------------------------------------------------------
+
+    def _table_ref(self) -> ast.TableRef:
+        left = self._table_primary()
+        while True:
+            kind = self._join_kind()
+            if kind is None:
+                return left
+            right = self._table_primary()
+            condition = None
+            if kind != "cross" and self._accept_keyword("on"):
+                condition = self._expression()
+            left = ast.JoinRef(left, right, kind, condition)
+
+    def _join_kind(self) -> str | None:
+        token = self._current
+        if token.type != TokenType.KEYWORD:
+            return None
+        if token.value == "join":
+            self._advance()
+            return "inner"
+        if token.value == "inner":
+            self._advance()
+            self._expect_keyword("join")
+            return "inner"
+        if token.value in ("left", "right", "full"):
+            kind = str(token.value)
+            self._advance()
+            self._accept_keyword("outer")
+            self._expect_keyword("join")
+            return kind
+        if token.value == "cross":
+            self._advance()
+            self._expect_keyword("join")
+            return "cross"
+        return None
+
+    def _table_primary(self) -> ast.TableRef:
+        if self._accept_punct("("):
+            select = self._query_statement()
+            self._expect_punct(")")
+            if not isinstance(select, ast.SelectStmt):
+                raise ParseError("set operations not supported as derived tables")
+            self._accept_keyword("as")
+            alias = self._expect_ident()
+            return ast.SubqueryRef(select, alias)
+        name = self._expect_ident()
+        alias = self._optional_alias()
+        return ast.BaseTable(name, alias)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _expression(self) -> ast.Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expression:
+        left = self._and_expr()
+        while self._accept_keyword("or"):
+            left = ast.BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expression:
+        left = self._not_expr()
+        while self._accept_keyword("and"):
+            left = ast.BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expression:
+        if self._accept_keyword("not"):
+            return ast.UnaryOp("not", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> ast.Expression:
+        left = self._additive()
+        while True:
+            op = self._accept_operator(*_COMPARISON_OPS)
+            if op is not None:
+                op = "<>" if op == "!=" else op
+                left = ast.BinaryOp(op, left, self._additive())
+                continue
+            token = self._current
+            if token.type != TokenType.KEYWORD:
+                return left
+            if token.value == "is":
+                self._advance()
+                negated = self._accept_keyword("not")
+                self._expect_keyword("null")
+                left = ast.IsNull(left, negated)
+                continue
+            negated = False
+            if token.value == "not" and self._peek().type == TokenType.KEYWORD:
+                follower = self._peek().value
+                if follower in ("like", "in", "between"):
+                    self._advance()
+                    negated = True
+                    token = self._current
+            if token.value == "like":
+                self._advance()
+                left = ast.Like(left, self._additive(), negated)
+                continue
+            if token.value == "between":
+                self._advance()
+                low = self._additive()
+                self._expect_keyword("and")
+                high = self._additive()
+                left = ast.Between(left, low, high, negated)
+                continue
+            if token.value == "in":
+                self._advance()
+                self._expect_punct("(")
+                if self._current.is_keyword("select"):
+                    subquery = self._select_block()
+                    self._expect_punct(")")
+                    left = ast.InSubquery(left, subquery, negated)
+                else:
+                    items = [self._expression()]
+                    while self._accept_punct(","):
+                        items.append(self._expression())
+                    self._expect_punct(")")
+                    left = ast.InList(left, tuple(items), negated)
+                continue
+            return left
+
+    def _additive(self) -> ast.Expression:
+        left = self._multiplicative()
+        while True:
+            op = self._accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> ast.Expression:
+        left = self._unary()
+        while True:
+            op = self._accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._unary())
+
+    def _unary(self) -> ast.Expression:
+        if self._accept_operator("-"):
+            return ast.UnaryOp("-", self._unary())
+        if self._accept_operator("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expression:
+        token = self._current
+
+        if token.type == TokenType.NUMBER:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type == TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+
+        if token.type == TokenType.KEYWORD:
+            return self._keyword_primary(token)
+
+        if token.type == TokenType.PUNCT and token.value == "(":
+            self._advance()
+            if self._current.is_keyword("select"):
+                subquery = self._select_block()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(subquery)
+            expr = self._expression()
+            self._expect_punct(")")
+            return expr
+
+        if token.type == TokenType.IDENT:
+            return self._ident_primary()
+
+        raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+    def _keyword_primary(self, token: Token) -> ast.Expression:
+        word = token.value
+        if word == "null":
+            self._advance()
+            return ast.Literal(None)
+        if word in ("true", "false"):
+            self._advance()
+            return ast.Literal(word == "true")
+        if word in ("date", "time", "timestamp"):
+            if self._peek().type == TokenType.STRING:
+                self._advance()
+                literal = self._advance()
+                return ast.Literal(literal.value, type_hint=str(word))
+            raise ParseError(f"expected string after {word.upper()}", token.position)
+        if word == "interval":
+            self._advance()
+            amount_token = self._advance()
+            if amount_token.type == TokenType.STRING:
+                amount = int(str(amount_token.value))
+            elif amount_token.type == TokenType.NUMBER and isinstance(
+                amount_token.value, int
+            ):
+                amount = amount_token.value
+            else:
+                raise ParseError("INTERVAL requires an integer amount", token.position)
+            unit_token = self._advance()
+            unit = str(unit_token.value).lower()
+            if unit not in _INTERVAL_UNITS:
+                raise ParseError(f"unknown interval unit {unit!r}", unit_token.position)
+            return ast.IntervalLiteral(amount, unit)
+        if word == "case":
+            return self._case_expression()
+        if word == "cast":
+            self._advance()
+            self._expect_punct("(")
+            operand = self._expression()
+            self._expect_keyword("as")
+            type_name = self._type_name()
+            self._expect_punct(")")
+            return ast.Cast(operand, type_name)
+        if word == "extract":
+            self._advance()
+            self._expect_punct("(")
+            unit_token = self._advance()
+            unit = str(unit_token.value).lower()
+            if unit not in _EXTRACT_UNITS:
+                raise ParseError(f"unknown EXTRACT field {unit!r}", unit_token.position)
+            self._expect_keyword("from")
+            operand = self._expression()
+            self._expect_punct(")")
+            return ast.ExtractExpr(unit, operand)
+        if word == "exists":
+            self._advance()
+            self._expect_punct("(")
+            subquery = self._select_block()
+            self._expect_punct(")")
+            return ast.Exists(subquery)
+        if word == "not":
+            self._advance()
+            return ast.UnaryOp("not", self._not_expr())
+        raise ParseError(f"unexpected keyword {word!r}", token.position)
+
+    def _case_expression(self) -> ast.Expression:
+        self._expect_keyword("case")
+        operand = None
+        if not self._current.is_keyword("when"):
+            operand = self._expression()
+        whens = []
+        while self._accept_keyword("when"):
+            condition = self._expression()
+            self._expect_keyword("then")
+            result = self._expression()
+            whens.append((condition, result))
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN", self._current.position)
+        else_result = None
+        if self._accept_keyword("else"):
+            else_result = self._expression()
+        self._expect_keyword("end")
+        return ast.CaseExpr(operand, tuple(whens), else_result)
+
+    def _ident_primary(self) -> ast.Expression:
+        name = self._expect_ident()
+        # function call?
+        if self._current.type == TokenType.PUNCT and self._current.value == "(":
+            self._advance()
+            distinct = self._accept_keyword("distinct")
+            args: list[ast.Expression] = []
+            if not (
+                self._current.type == TokenType.PUNCT and self._current.value == ")"
+            ):
+                if (
+                    self._current.type == TokenType.OPERATOR
+                    and self._current.value == "*"
+                ):
+                    self._advance()
+                    args.append(ast.Star())
+                else:
+                    args.append(self._expression())
+                    while self._accept_punct(","):
+                        args.append(self._expression())
+            self._expect_punct(")")
+            return ast.FunctionCall(name, tuple(args), distinct)
+        # qualified column or table.*
+        if self._current.type == TokenType.PUNCT and self._current.value == ".":
+            self._advance()
+            if self._current.type == TokenType.OPERATOR and self._current.value == "*":
+                self._advance()
+                return ast.Star(table=name)
+            column = self._expect_ident()
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+    def _type_name(self) -> str:
+        """Parse a type spelling for CAST/DDL, e.g. ``decimal(15, 2)``."""
+        token = self._advance()
+        if token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+            raise ParseError(f"expected a type name, found {token.value!r}")
+        name = str(token.value)
+        if name.lower() == "double" and self._current.type == TokenType.IDENT:
+            if self._current.value == "precision":
+                self._advance()
+        if self._current.type == TokenType.PUNCT and self._current.value == "(":
+            self._advance()
+            parts = [str(self._advance().value)]
+            while self._accept_punct(","):
+                parts.append(str(self._advance().value))
+            self._expect_punct(")")
+            name = f"{name}({','.join(parts)})"
+        return name
+
+    # -- DDL -------------------------------------------------------------------------
+
+    def _create_statement(self) -> ast.Statement:
+        self._expect_keyword("create")
+        if self._accept_keyword("table"):
+            return self._create_table()
+        ordered = self._accept_keyword("order")
+        if self._accept_keyword("index") or (
+            self._current.type == TokenType.IDENT and self._current.value == "index"
+        ):
+            return self._create_index(ordered)
+        raise ParseError(
+            f"unsupported CREATE {self._current.value!r}", self._current.position
+        )
+
+    def _create_table(self) -> ast.CreateTable:
+        if_not_exists = False
+        if self._accept_keyword("if"):
+            self._expect_keyword("not")
+            self._expect_keyword("exists")
+            if_not_exists = True
+        name = self._expect_ident()
+        self._expect_punct("(")
+        columns: list[ast.ColumnSpec] = []
+        while True:
+            if self._accept_keyword("primary"):
+                self._expect_keyword("key")
+                self._expect_punct("(")
+                while not self._accept_punct(")"):
+                    self._advance()
+            elif self._accept_keyword("unique"):
+                self._expect_punct("(")
+                while not self._accept_punct(")"):
+                    self._advance()
+            else:
+                colname = self._expect_ident()
+                type_name = self._type_name()
+                not_null = False
+                while True:
+                    if self._accept_keyword("not"):
+                        self._expect_keyword("null")
+                        not_null = True
+                    elif self._accept_keyword("primary"):
+                        self._expect_keyword("key")
+                        not_null = True
+                    elif self._accept_keyword("null"):
+                        pass
+                    else:
+                        break
+                columns.append(ast.ColumnSpec(colname, type_name, not_null))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return ast.CreateTable(name, tuple(columns), if_not_exists)
+
+    def _create_index(self, ordered: bool) -> ast.CreateIndex:
+        name = self._expect_ident()
+        if not self._accept_keyword("on"):
+            raise ParseError(
+                "expected ON in CREATE INDEX", self._current.position
+            )
+        table = self._expect_ident()
+        self._expect_punct("(")
+        columns = [self._expect_ident()]
+        while self._accept_punct(","):
+            columns.append(self._expect_ident())
+        self._expect_punct(")")
+        return ast.CreateIndex(name, table, tuple(columns), ordered)
+
+    def _drop_statement(self) -> ast.Statement:
+        self._expect_keyword("drop")
+        if self._accept_keyword("table"):
+            if_exists = False
+            if self._accept_keyword("if"):
+                self._expect_keyword("exists")
+                if_exists = True
+            return ast.DropTable(self._expect_ident(), if_exists)
+        if self._accept_keyword("index") or (
+            self._current.type == TokenType.IDENT and self._current.value == "index"
+        ):
+            if self._current.value == "index":
+                self._advance()
+            return ast.DropIndex(self._expect_ident())
+        raise ParseError(
+            f"unsupported DROP {self._current.value!r}", self._current.position
+        )
+
+    # -- DML -------------------------------------------------------------------------
+
+    def _insert_statement(self) -> ast.InsertStmt:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident()
+        columns: list[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_ident())
+            while self._accept_punct(","):
+                columns.append(self._expect_ident())
+            self._expect_punct(")")
+        if self._accept_keyword("values"):
+            rows = [self._value_row()]
+            while self._accept_punct(","):
+                rows.append(self._value_row())
+            return ast.InsertStmt(table, tuple(columns), tuple(rows))
+        if self._current.is_keyword("select"):
+            select = self._select_block()
+            return ast.InsertStmt(table, tuple(columns), select=select)
+        raise ParseError(
+            "expected VALUES or SELECT in INSERT", self._current.position
+        )
+
+    def _value_row(self) -> tuple:
+        self._expect_punct("(")
+        values = [self._expression()]
+        while self._accept_punct(","):
+            values.append(self._expression())
+        self._expect_punct(")")
+        return tuple(values)
+
+    def _delete_statement(self) -> ast.DeleteStmt:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_ident()
+        where = None
+        if self._accept_keyword("where"):
+            where = self._expression()
+        return ast.DeleteStmt(table, where)
+
+    def _update_statement(self) -> ast.UpdateStmt:
+        self._expect_keyword("update")
+        table = self._expect_ident()
+        self._expect_keyword("set")
+        assignments = [self._assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._assignment())
+        where = None
+        if self._accept_keyword("where"):
+            where = self._expression()
+        return ast.UpdateStmt(table, tuple(assignments), where)
+
+    def _assignment(self) -> tuple:
+        column = self._expect_ident()
+        if self._accept_operator("=") is None:
+            raise ParseError("expected '=' in UPDATE assignment")
+        return (column, self._expression())

@@ -1,0 +1,63 @@
+"""Columnar storage substrate: types, columns, string heaps, tables, WAL.
+
+This package is the Python analog of MonetDB's BAT (Binary Association
+Table) layer as described in section 3.1 of the paper: every column is a
+tightly packed array, row numbers are implicit positions, missing values are
+in-domain sentinels, and variable-length values live in a separate heap with
+duplicate elimination.
+"""
+
+from repro.storage.types import (
+    BLOB,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    HUGEINT,
+    INTEGER,
+    BIGINT,
+    REAL,
+    SMALLINT,
+    STRING,
+    TIME,
+    TIMESTAMP,
+    TINYINT,
+    SQLType,
+    TypeCategory,
+    common_type,
+    decimal,
+    parse_type,
+    varchar,
+)
+from repro.storage.column import Column
+from repro.storage.stringheap import StringHeap
+from repro.storage.table import Table, TableVersion
+from repro.storage.catalog import Catalog, TableSchema, ColumnDef
+
+__all__ = [
+    "BLOB",
+    "BOOLEAN",
+    "DATE",
+    "DOUBLE",
+    "HUGEINT",
+    "INTEGER",
+    "BIGINT",
+    "REAL",
+    "SMALLINT",
+    "STRING",
+    "TIME",
+    "TIMESTAMP",
+    "TINYINT",
+    "SQLType",
+    "TypeCategory",
+    "common_type",
+    "decimal",
+    "parse_type",
+    "varchar",
+    "Column",
+    "StringHeap",
+    "Table",
+    "TableVersion",
+    "Catalog",
+    "TableSchema",
+    "ColumnDef",
+]

@@ -1,0 +1,119 @@
+"""System catalog: schemas, table definitions, and lookup.
+
+MonetDBLite keeps its catalog in global state inside the process (paper
+section 3.4); here the :class:`Catalog` object is owned by the single
+:class:`~repro.core.database.Database` instance.  The default schema is
+``sys``, as in MonetDB.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+from repro.storage.types import SQLType
+
+__all__ = ["ColumnDef", "TableSchema", "Catalog", "DEFAULT_SCHEMA"]
+
+DEFAULT_SCHEMA = "sys"
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column of a table definition."""
+
+    name: str
+    type: SQLType
+    not_null: bool = False
+
+
+@dataclass
+class TableSchema:
+    """A table definition: qualified name plus ordered column definitions."""
+
+    name: str
+    columns: list[ColumnDef]
+    schema: str = DEFAULT_SCHEMA
+    _positions: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        lowered = [c.name.lower() for c in self.columns]
+        if len(set(lowered)) != len(lowered):
+            raise CatalogError(f"duplicate column name in table {self.name}")
+        self._positions = {name: i for i, name in enumerate(lowered)}
+
+    def column_index(self, name: str) -> int:
+        """Position of a column by case-insensitive name."""
+        try:
+            return self._positions[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._positions
+
+    def column(self, name: str) -> ColumnDef:
+        return self.columns[self.column_index(name)]
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+
+class Catalog:
+    """Thread-safe registry of tables, keyed by (schema, table) name."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._tables: dict[tuple[str, str], object] = {}
+
+    @staticmethod
+    def _key(name: str, schema: str | None) -> tuple[str, str]:
+        return ((schema or DEFAULT_SCHEMA).lower(), name.lower())
+
+    def register(self, table, if_not_exists: bool = False):
+        """Add a :class:`~repro.storage.table.Table` to the catalog."""
+        key = self._key(table.schema.name, table.schema.schema)
+        with self._lock:
+            if key in self._tables:
+                if if_not_exists:
+                    return self._tables[key]
+                raise CatalogError(f"table {table.schema.name!r} already exists")
+            self._tables[key] = table
+            return table
+
+    def get(self, name: str, schema: str | None = None):
+        """Look up a table; raises :class:`~repro.errors.CatalogError`."""
+        key = self._key(name, schema)
+        with self._lock:
+            try:
+                return self._tables[key]
+            except KeyError:
+                raise CatalogError(f"no such table: {name!r}") from None
+
+    def exists(self, name: str, schema: str | None = None) -> bool:
+        with self._lock:
+            return self._key(name, schema) in self._tables
+
+    def drop(self, name: str, schema: str | None = None, if_exists: bool = False):
+        """Remove a table from the catalog."""
+        key = self._key(name, schema)
+        with self._lock:
+            if key not in self._tables:
+                if if_exists:
+                    return None
+                raise CatalogError(f"no such table: {name!r}")
+            return self._tables.pop(key)
+
+    def list_tables(self) -> list[str]:
+        """Sorted table names across all schemas."""
+        with self._lock:
+            return sorted(name for _, name in self._tables)
+
+    def clear(self) -> None:
+        """Drop everything (used by in-process shutdown, paper section 3.4)."""
+        with self._lock:
+            self._tables.clear()

@@ -1,0 +1,217 @@
+"""Tightly packed typed columns (the BAT tail of MonetDB).
+
+A :class:`Column` is a NumPy array in the storage domain of its
+:class:`~repro.storage.types.SQLType` plus, for variable-length types, a
+reference to the :class:`~repro.storage.stringheap.StringHeap` holding the
+actual values.  Row numbers are implicit array positions (paper section 3.1);
+NULLs are in-domain sentinel values, so there is no separate validity mask.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConversionError
+from repro.storage.stringheap import StringHeap
+from repro.storage.types import SQLType, TypeCategory
+
+__all__ = ["Column"]
+
+
+class Column:
+    """A typed, tightly packed column of values.
+
+    Attributes:
+        type: the SQL type of the column.
+        data: the packed storage array (dtype = ``type.dtype``).
+        heap: the value heap for STRING/BLOB columns, else ``None``.
+    """
+
+    __slots__ = ("type", "data", "heap")
+
+    def __init__(self, ctype: SQLType, data: np.ndarray, heap: StringHeap | None = None):
+        if data.dtype != ctype.dtype:
+            data = data.astype(ctype.dtype)
+        if ctype.is_variable and heap is None:
+            raise ConversionError(f"{ctype.name} column requires a heap")
+        self.type = ctype
+        self.data = data
+        self.heap = heap
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({self.type.name}, n={len(self.data)})"
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls, ctype: SQLType, heap: StringHeap | None = None) -> "Column":
+        """An empty column; STRING/BLOB columns get a fresh heap by default."""
+        if ctype.is_variable and heap is None:
+            heap = StringHeap()
+        return cls(ctype, np.empty(0, dtype=ctype.dtype), heap)
+
+    @classmethod
+    def from_values(cls, ctype: SQLType, values: Iterable) -> "Column":
+        """Build a column from Python values (``None`` becomes NULL)."""
+        values = list(values)
+        if ctype.is_variable:
+            heap = StringHeap()
+            data = heap.add_many(values)
+            return cls(ctype, data, heap)
+        data = np.empty(len(values), dtype=ctype.dtype)
+        for i, value in enumerate(values):
+            data[i] = ctype.to_storage(value)
+        return cls(ctype, data)
+
+    @classmethod
+    def from_storage_values(cls, ctype: SQLType, values: Sequence) -> "Column":
+        """Build a column from *storage-domain* values (None = NULL).
+
+        Unlike :meth:`from_values`, no client conversion happens: dates are
+        already epoch days, decimals already scaled integers.
+        """
+        if ctype.is_variable:
+            heap = StringHeap()
+            data = heap.add_many(values)
+            return cls(ctype, data, heap)
+        data = np.empty(len(values), dtype=ctype.dtype)
+        null = ctype.null_value
+        for i, value in enumerate(values):
+            data[i] = null if value is None else value
+        return cls(ctype, data)
+
+    @classmethod
+    def from_numpy(
+        cls,
+        ctype: SQLType,
+        values: np.ndarray,
+        heap: StringHeap | None = None,
+    ) -> "Column":
+        """Wrap an existing NumPy array already in the storage domain.
+
+        This is the zero-conversion bulk path used by ``monetdb_append``:
+        numeric arrays whose dtype matches the storage dtype are adopted
+        without copying; object arrays of strings are pushed into a heap.
+        """
+        if ctype.is_variable:
+            if values.dtype == np.int64 and heap is not None:
+                return cls(ctype, values, heap)
+            heap = StringHeap()
+            data = heap.add_many(values.tolist())
+            return cls(ctype, data, heap)
+        if values.dtype == ctype.dtype:
+            return cls(ctype, values)
+        if ctype.category == TypeCategory.DECIMAL and values.dtype.kind == "f":
+            nulls = np.isnan(values)
+            safe = np.where(nulls, 0.0, values)
+            scaled = np.round(safe * 10**ctype.scale).astype(np.int64)
+            scaled[nulls] = ctype.null_value
+            return cls(ctype, scaled)
+        return cls(ctype, values.astype(ctype.dtype))
+
+    # -- inspection -----------------------------------------------------------
+
+    def is_null(self) -> np.ndarray:
+        """Boolean mask of NULL positions."""
+        return self.type.is_null_array(self.data)
+
+    def null_count(self) -> int:
+        """Number of NULL values in the column."""
+        return int(self.is_null().sum())
+
+    def value(self, row: int):
+        """Fetch one row as a Python value (NULL -> ``None``)."""
+        raw = self.data[row]
+        if self.type.is_variable:
+            return self.heap.get(int(raw))
+        return self.type.from_storage(raw)
+
+    def to_python(self) -> list:
+        """Convert the whole column to a list of Python values."""
+        if self.type.is_variable:
+            return self.heap.get_many(self.data)
+        from_storage = self.type.from_storage
+        return [from_storage(v) for v in self.data]
+
+    def string_values(self) -> np.ndarray:
+        """Object array of string values (NULLs as None) for string kernels.
+
+        Evaluated by gathering through the heap's distinct-value array so
+        the heap lookup is a single vectorized ``take``.
+        """
+        if not self.type.is_variable:
+            raise ConversionError(f"{self.type.name} column has no string values")
+        return self.heap.values_array()[self.data]
+
+    # -- transformations -------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Positional gather; shares the heap (offsets stay valid)."""
+        return Column(self.type, self.data[indices], self.heap)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Boolean selection; shares the heap."""
+        return Column(self.type, self.data[mask], self.heap)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """Contiguous slice view (no copy of the storage array)."""
+        return Column(self.type, self.data[start:stop], self.heap)
+
+    def copy(self) -> "Column":
+        """Deep copy of the packed array (heap shared; it is append-only)."""
+        return Column(self.type, self.data.copy(), self.heap)
+
+    def append(self, other: "Column", in_place_slack: bool = False) -> "Column":
+        """Concatenate another column of the same type onto this one.
+
+        For heap-backed types the incoming offsets are remapped into this
+        column's heap.
+
+        With ``in_place_slack=True`` (only safe under the global commit
+        lock, where version history is linear), the storage buffer grows
+        geometrically and appends write into its spare capacity — existing
+        snapshots keep seeing their shorter prefix views, and a sequence of
+        small committed appends costs amortized O(1) per row instead of
+        O(table) — the behavior of MonetDB's growable BAT heaps.
+        """
+        if other.type.category != self.type.category:
+            raise ConversionError(
+                f"cannot append {other.type.name} column to {self.type.name}"
+            )
+        if self.type.is_variable:
+            incoming = self.heap.merge_from(other.heap, other.data)
+        else:
+            incoming = other.data
+            if incoming.dtype != self.type.dtype:
+                incoming = incoming.astype(self.type.dtype)
+        if in_place_slack:
+            data = self._grow_into_slack(incoming)
+        else:
+            data = np.concatenate([self.data, incoming])
+        return Column(self.type, data, self.heap)
+
+    def _grow_into_slack(self, incoming: np.ndarray) -> np.ndarray:
+        """Write ``incoming`` after this column's prefix, reusing capacity."""
+        n, m = len(self.data), len(incoming)
+        base = self.data.base
+        if (
+            isinstance(base, np.ndarray)
+            and base.ndim == 1
+            and base.dtype == self.data.dtype
+            and base.ctypes.data == self.data.ctypes.data  # prefix view
+            and len(base) >= n + m
+            and base.flags.writeable
+        ):
+            base[n : n + m] = incoming
+            return base[: n + m]
+        capacity = max(64, n + m)
+        capacity = 1 << (capacity - 1).bit_length()  # next power of two
+        buffer = np.empty(capacity, dtype=self.data.dtype)
+        buffer[:n] = self.data
+        buffer[n : n + m] = incoming
+        return buffer[: n + m]

@@ -1,0 +1,163 @@
+"""On-disk layout: one memory-mapped file per column.
+
+Paper, section 3.1 ("Memory Management"): *"MonetDB does not use a
+traditional buffer pool [...] it relies on the operating system to take care
+of this by using memory-mapped files to store columns persistently on disk."*
+
+The layout of a persistent database directory is::
+
+    <dbdir>/
+      catalog.json             # table schemas + committed version ids
+      wal.log                  # write-ahead log since the last checkpoint
+      tables/<table>/<col>.bin # packed column data, mmap-loadable
+      tables/<table>/<col>.heap# string heap (variable-length values)
+
+Column files are raw dumps of the packed storage arrays; on load they are
+wrapped in ``np.memmap`` objects so the OS pages hot columns in and evicts
+cold ones — the exact mechanism the paper relies on for out-of-core
+execution.  Checkpoint writes go to a temporary file followed by an atomic
+rename, so a crash mid-checkpoint leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StartupError
+from repro.storage.catalog import Catalog, ColumnDef, TableSchema
+from repro.storage.column import Column
+from repro.storage.stringheap import StringHeap
+from repro.storage.table import Table
+from repro.storage.types import parse_type
+
+__all__ = [
+    "FORMAT_VERSION",
+    "checkpoint_database",
+    "load_database",
+    "database_exists",
+]
+
+FORMAT_VERSION = 1
+_CATALOG_FILE = "catalog.json"
+_TABLES_DIR = "tables"
+
+
+def database_exists(dbdir: str | Path) -> bool:
+    """Whether ``dbdir`` holds a previously checkpointed database."""
+    return (Path(dbdir) / _CATALOG_FILE).exists()
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def checkpoint_database(dbdir: str | Path, catalog: Catalog) -> None:
+    """Write every table to disk and publish a new catalog atomically."""
+    dbdir = Path(dbdir)
+    tables_dir = dbdir / _TABLES_DIR
+    tables_dir.mkdir(parents=True, exist_ok=True)
+
+    manifest = {"format": FORMAT_VERSION, "tables": []}
+    live_dirs = set()
+    for name in catalog.list_tables():
+        table: Table = catalog.get(name)
+        table_dir = tables_dir / name
+        table_dir.mkdir(exist_ok=True)
+        live_dirs.add(name)
+        version = table.current
+        columns_meta = []
+        for coldef, column in zip(table.schema.columns, version.columns):
+            colfile = table_dir / f"{coldef.name.lower()}.bin"
+            _atomic_write_bytes(colfile, np.ascontiguousarray(column.data).tobytes())
+            if column.heap is not None:
+                _atomic_write_bytes(
+                    table_dir / f"{coldef.name.lower()}.heap", column.heap.dump()
+                )
+            columns_meta.append(
+                {
+                    "name": coldef.name,
+                    "type": coldef.type.name,
+                    "not_null": coldef.not_null,
+                }
+            )
+        manifest["tables"].append(
+            {
+                "name": table.schema.name,
+                "schema": table.schema.schema,
+                "version": version.version,
+                "nrows": version.nrows,
+                "columns": columns_meta,
+            }
+        )
+
+    # drop directories of tables that no longer exist
+    for stale in tables_dir.iterdir():
+        if stale.is_dir() and stale.name not in live_dirs:
+            shutil.rmtree(stale)
+
+    _atomic_write_bytes(
+        dbdir / _CATALOG_FILE, json.dumps(manifest, indent=1).encode("utf-8")
+    )
+
+
+def load_database(dbdir: str | Path, catalog: Catalog) -> int:
+    """Populate ``catalog`` from a checkpoint; returns the max commit id.
+
+    Columns come back as read-only ``np.memmap`` views, so loading a large
+    database is O(metadata): actual pages fault in on first touch.
+    """
+    dbdir = Path(dbdir)
+    manifest_path = dbdir / _CATALOG_FILE
+    try:
+        manifest = json.loads(manifest_path.read_text("utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StartupError(f"corrupt database catalog in {dbdir}: {exc}") from exc
+    if manifest.get("format") != FORMAT_VERSION:
+        raise StartupError(
+            f"database format {manifest.get('format')} not supported "
+            f"(expected {FORMAT_VERSION}); run an upgrade first"
+        )
+
+    max_commit = 0
+    for tmeta in manifest["tables"]:
+        coldefs = [
+            ColumnDef(c["name"], parse_type(c["type"]), c["not_null"])
+            for c in tmeta["columns"]
+        ]
+        schema = TableSchema(tmeta["name"], coldefs, schema=tmeta["schema"])
+        table = Table(schema)
+        table_dir = dbdir / _TABLES_DIR / tmeta["name"]
+        nrows = int(tmeta["nrows"])
+        columns = []
+        for coldef in coldefs:
+            colfile = table_dir / f"{coldef.name.lower()}.bin"
+            try:
+                if nrows:
+                    data = np.memmap(
+                        colfile, dtype=coldef.type.dtype, mode="r", shape=(nrows,)
+                    )
+                else:
+                    data = np.empty(0, dtype=coldef.type.dtype)
+            except (OSError, ValueError) as exc:
+                raise StartupError(
+                    f"corrupt column file {colfile}: {exc}"
+                ) from exc
+            heap = None
+            if coldef.type.is_variable:
+                heap_file = table_dir / f"{coldef.name.lower()}.heap"
+                heap = StringHeap.load(heap_file.read_bytes())
+            columns.append(Column(coldef.type, np.asarray(data), heap))
+        table.install_version(columns, int(tmeta["version"]), "overwrite")
+        catalog.register(table)
+        max_commit = max(max_commit, int(tmeta["version"]))
+    return max_commit

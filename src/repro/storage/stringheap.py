@@ -1,0 +1,159 @@
+"""Variable-sized value heap with duplicate elimination.
+
+Paper, section 3.1: *"Columns that store variable-length fields, such as
+CLOBs or BLOBs, are stored using a variable-sized heap. [...] The main column
+is a tightly packed array of offsets into that heap. These heaps also perform
+duplicate elimination if the amount of distinct values is below a threshold;
+if two fields share the same value it will only appear once in the heap."*
+
+The heap assigns integer slots; slot 0 is reserved for NULL (the offset 0 is
+the in-domain NULL sentinel of string columns, see
+:data:`repro.storage.types.STRING_NULL_OFFSET`).  While the number of
+distinct values stays below :attr:`StringHeap.dedup_threshold`, a reverse
+index maps values to existing slots so duplicates share storage; past the
+threshold the index is dropped and values are appended blindly, exactly like
+MonetDB's heaps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["StringHeap", "DEFAULT_DEDUP_THRESHOLD"]
+
+#: Stop duplicate elimination once a heap holds this many distinct values.
+DEFAULT_DEDUP_THRESHOLD = 1 << 16
+
+
+class StringHeap:
+    """Append-only heap of variable-length values addressed by slot offset."""
+
+    __slots__ = ("_values", "_index", "dedup_threshold", "_cache_version", "_cache")
+
+    def __init__(self, dedup_threshold: int = DEFAULT_DEDUP_THRESHOLD):
+        self._values: list = [None]  # slot 0 = NULL
+        self._index: dict | None = {}
+        self.dedup_threshold = dedup_threshold
+        self._cache_version = -1
+        self._cache: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def dedup_active(self) -> bool:
+        """Whether duplicate elimination is still running for this heap."""
+        return self._index is not None
+
+    def add(self, value) -> int:
+        """Insert one value (or ``None``) and return its slot offset."""
+        if value is None:
+            return 0
+        if self._index is not None:
+            slot = self._index.get(value)
+            if slot is not None:
+                return slot
+        self._values.append(value)
+        slot = len(self._values) - 1
+        if self._index is not None:
+            self._index[value] = slot
+            if len(self._index) >= self.dedup_threshold:
+                self._index = None
+        return slot
+
+    def add_many(self, values: Iterable) -> np.ndarray:
+        """Bulk insert; returns an ``int64`` offset array, one per value."""
+        add = self.add
+        return np.fromiter((add(v) for v in values), dtype=np.int64)
+
+    def get(self, offset: int):
+        """Fetch the value stored at ``offset`` (slot 0 yields ``None``)."""
+        return self._values[int(offset)]
+
+    def get_many(self, offsets: np.ndarray) -> list:
+        """Fetch a list of values for an offset array (NULLs become None)."""
+        values = self._values
+        return [values[int(o)] for o in offsets]
+
+    def values_array(self) -> np.ndarray:
+        """All heap slots as an object array (slot 0 is ``None``).
+
+        Cached between calls while the heap is unchanged; vectorized string
+        kernels evaluate predicates once per *distinct* slot and then gather
+        through the offset column — the payoff of duplicate elimination.
+        """
+        if self._cache_version != len(self._values):
+            self._cache = np.array(self._values, dtype=object)
+            self._cache_version = len(self._values)
+        return self._cache
+
+    def distinct_count(self) -> int:
+        """Number of distinct slots currently in the heap (excluding NULL)."""
+        return len(self._values) - 1
+
+    # -- persistence ----------------------------------------------------------
+
+    def dump(self) -> bytes:
+        """Serialize the heap to bytes (UTF-8, length-prefixed records)."""
+        chunks = [len(self._values).to_bytes(8, "little")]
+        for value in self._values:
+            if value is None:
+                chunks.append((0xFFFFFFFF).to_bytes(4, "little"))
+            else:
+                if isinstance(value, bytes):
+                    data = b"\x01" + value
+                else:
+                    data = b"\x00" + str(value).encode("utf-8")
+                chunks.append(len(data).to_bytes(4, "little"))
+                chunks.append(data)
+        return b"".join(chunks)
+
+    @classmethod
+    def load(cls, raw: bytes, dedup_threshold: int = DEFAULT_DEDUP_THRESHOLD):
+        """Deserialize a heap produced by :meth:`dump`."""
+        heap = cls(dedup_threshold=dedup_threshold)
+        count = int.from_bytes(raw[:8], "little")
+        pos = 8
+        values: list = []
+        for _ in range(count):
+            size = int.from_bytes(raw[pos : pos + 4], "little")
+            pos += 4
+            if size == 0xFFFFFFFF:
+                values.append(None)
+                continue
+            data = raw[pos : pos + size]
+            pos += size
+            if data[:1] == b"\x01":
+                values.append(data[1:])
+            else:
+                values.append(data[1:].decode("utf-8"))
+        heap._values = values
+        index: dict = {}
+        for slot, value in enumerate(values):
+            if value is not None and value not in index:
+                index[value] = slot
+        heap._index = index if len(index) < dedup_threshold else None
+        return heap
+
+    def copy(self) -> "StringHeap":
+        """Shallow structural copy (used when a table version is forked)."""
+        clone = StringHeap(self.dedup_threshold)
+        clone._values = list(self._values)
+        clone._index = dict(self._index) if self._index is not None else None
+        return clone
+
+    def merge_from(self, other: "StringHeap", offsets: np.ndarray) -> np.ndarray:
+        """Import values referenced by ``offsets`` from another heap.
+
+        Returns the remapped offsets valid in *this* heap.  Used when a
+        column built against a transient heap is appended to a table column.
+        """
+        if other is self:
+            return offsets
+        unique, inverse = np.unique(offsets, return_inverse=True)
+        remapped = np.empty(len(unique), dtype=np.int64)
+        for i, slot in enumerate(unique):
+            remapped[i] = self.add(other.get(int(slot)))
+        return remapped[inverse]

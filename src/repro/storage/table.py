@@ -1,0 +1,135 @@
+"""Tables as versioned bundles of columns (snapshot MVCC).
+
+MonetDB's optimistic concurrency control (paper section 3.1) lets every
+transaction operate on a *snapshot* of the database.  Here a snapshot of a
+table is a :class:`TableVersion`: an immutable bundle of packed columns.
+Writers buffer their changes in transaction-local deltas (see
+:mod:`repro.txn`) and committing installs a brand-new version; readers that
+started earlier keep using the version they pinned, untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError, ConstraintError
+from repro.storage.column import Column
+from repro.storage.catalog import TableSchema
+
+__all__ = ["Table", "TableVersion"]
+
+
+class TableVersion:
+    """An immutable snapshot of a table's contents.
+
+    Attributes:
+        version: monotonically increasing commit id that produced it.
+        columns: packed columns, one per schema column, equal length.
+    """
+
+    __slots__ = ("version", "columns", "nrows")
+
+    def __init__(self, version: int, columns: Sequence[Column]):
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise CatalogError(f"ragged table version: column lengths {lengths}")
+        self.version = version
+        self.columns = list(columns)
+        self.nrows = lengths.pop() if lengths else 0
+
+    def column(self, index: int) -> Column:
+        """Column by position."""
+        return self.columns[index]
+
+
+class Table:
+    """A named table: schema plus the latest committed :class:`TableVersion`.
+
+    Mutation never happens in place — :meth:`install_version` swaps the
+    current version under the table lock, which is what makes concurrently
+    running readers safe without latching individual columns.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._lock = threading.Lock()
+        columns = [Column.empty(col.type) for col in schema.columns]
+        self._current = TableVersion(0, columns)
+        self._modification_listeners: list[Callable[[str, "Table"], None]] = []
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def current(self) -> TableVersion:
+        """The latest committed snapshot (safe to read without the lock:
+        installing a version is a single reference swap)."""
+        return self._current
+
+    @property
+    def nrows(self) -> int:
+        return self._current.nrows
+
+    def column_index(self, name: str) -> int:
+        """Resolve a column name to its position."""
+        return self.schema.column_index(name)
+
+    def install_version(
+        self, columns: Sequence[Column], commit_id: int, change_kind: str
+    ) -> TableVersion:
+        """Atomically publish a new committed snapshot.
+
+        ``change_kind`` is one of ``"append"``, ``"update"``, ``"delete"``,
+        ``"overwrite"`` and is forwarded to modification listeners so the
+        index manager can apply the paper's invalidation rules (imprints die
+        on any modification; hash tables survive appends only).
+        """
+        version = TableVersion(commit_id, columns)
+        if change_kind in ("overwrite", "update"):
+            # appends validate their bundle at buffering time (O(delta));
+            # deletes cannot introduce NULLs — only full rewrites rescan.
+            self._validate_not_null(version)
+        with self._lock:
+            self._current = version
+        for listener in self._modification_listeners:
+            listener(change_kind, self)
+        return version
+
+    def add_modification_listener(
+        self, listener: Callable[[str, "Table"], None]
+    ) -> None:
+        """Register a callback fired after each committed modification."""
+        self._modification_listeners.append(listener)
+
+    def _validate_not_null(self, version: TableVersion) -> None:
+        for coldef, column in zip(self.schema.columns, version.columns):
+            if coldef.not_null and version.nrows and column.is_null().any():
+                raise ConstraintError(
+                    f"NOT NULL constraint violated on "
+                    f"{self.schema.name}.{coldef.name}"
+                )
+
+    # -- convenience used by tests and the append fast-path -------------------
+
+    def append_columns(
+        self, new_columns: Sequence[Column], commit_id: int
+    ) -> TableVersion:
+        """Append pre-built columns to the current version (bulk append)."""
+        if len(new_columns) != len(self.schema.columns):
+            raise CatalogError(
+                f"append to {self.name}: expected "
+                f"{len(self.schema.columns)} columns, got {len(new_columns)}"
+            )
+        current = self._current
+        merged = [
+            base.append(extra) for base, extra in zip(current.columns, new_columns)
+        ]
+        return self.install_version(merged, commit_id, "append")
+
+    def row(self, index: int) -> tuple:
+        """Fetch one row as Python values (testing/debug convenience)."""
+        return tuple(col.value(index) for col in self._current.columns)

@@ -1,0 +1,450 @@
+"""SQL type system with NULL-as-domain-sentinel storage.
+
+MonetDB(Lite) stores missing values as "special" values *within* the domain
+of the type (paper section 3.1): the NULL of an ``INTEGER`` column is the
+value ``-2**31``, floats use NaN, and strings point at a reserved heap slot.
+This module defines the SQL types, their NumPy storage dtypes, their NULL
+sentinels, and the promotion rules used by the binder.
+
+Dates are stored as ``int32`` days since the Unix epoch, timestamps as
+``int64`` microseconds since the epoch, and ``DECIMAL(p, s)`` values as
+``int64`` integers scaled by ``10**s`` — all matching MonetDB's tightly
+packed fixed-width layout.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConversionError, TypeMismatchError
+
+__all__ = [
+    "TypeCategory",
+    "SQLType",
+    "BOOLEAN",
+    "TINYINT",
+    "SMALLINT",
+    "INTEGER",
+    "BIGINT",
+    "HUGEINT",
+    "REAL",
+    "DOUBLE",
+    "DATE",
+    "TIME",
+    "TIMESTAMP",
+    "STRING",
+    "BLOB",
+    "decimal",
+    "varchar",
+    "parse_type",
+    "common_type",
+    "date_to_days",
+    "days_to_date",
+    "timestamp_to_micros",
+    "micros_to_timestamp",
+    "EPOCH_ORDINAL",
+]
+
+EPOCH_ORDINAL = _dt.date(1970, 1, 1).toordinal()
+
+#: Heap offset reserved for the NULL string (see :mod:`repro.storage.stringheap`).
+STRING_NULL_OFFSET = 0
+
+
+class TypeCategory(enum.Enum):
+    """Coarse family of a SQL type, used for promotion and kernel dispatch."""
+
+    BOOLEAN = "boolean"
+    INTEGER = "integer"
+    FLOAT = "float"
+    DECIMAL = "decimal"
+    DATE = "date"
+    TIME = "time"
+    TIMESTAMP = "timestamp"
+    STRING = "string"
+    BLOB = "blob"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (
+            TypeCategory.INTEGER,
+            TypeCategory.FLOAT,
+            TypeCategory.DECIMAL,
+        )
+
+    @property
+    def is_temporal(self) -> bool:
+        return self in (TypeCategory.DATE, TypeCategory.TIME, TypeCategory.TIMESTAMP)
+
+
+@dataclass(frozen=True)
+class SQLType:
+    """A SQL type together with its physical storage description.
+
+    Attributes:
+        name: SQL spelling, e.g. ``"INTEGER"`` or ``"DECIMAL(15,2)"``.
+        category: the :class:`TypeCategory` family.
+        dtype: NumPy dtype of the packed storage array.
+        null_value: the in-domain sentinel representing NULL.
+        scale: number of fractional digits (DECIMAL only).
+        precision: total digits (DECIMAL only).
+        length: maximum length (VARCHAR only; 0 = unbounded).
+    """
+
+    name: str
+    category: TypeCategory
+    dtype: np.dtype = field(compare=False)
+    null_value: object = field(compare=False)
+    scale: int = 0
+    precision: int = 0
+    length: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SQLType({self.name})"
+
+    @property
+    def is_variable(self) -> bool:
+        """True when values live in a heap and the column stores offsets."""
+        return self.category in (TypeCategory.STRING, TypeCategory.BLOB)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.category.is_numeric
+
+    def is_null_scalar(self, value) -> bool:
+        """Check a single *storage-domain* value for NULL-ness."""
+        if self.category == TypeCategory.FLOAT:
+            return bool(np.isnan(value))
+        return value == self.null_value
+
+    def is_null_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized NULL test over a packed storage array."""
+        if self.category == TypeCategory.FLOAT:
+            return np.isnan(values)
+        return values == self.null_value
+
+    # -- scalar conversion --------------------------------------------------
+
+    def to_storage(self, value):
+        """Convert a Python value to the packed storage representation.
+
+        ``None`` maps to the NULL sentinel.  Raises
+        :class:`~repro.errors.ConversionError` for values outside the domain.
+        """
+        if value is None:
+            return self.null_value
+        try:
+            if self.category == TypeCategory.BOOLEAN:
+                return np.int8(1 if value else 0)
+            if self.category == TypeCategory.INTEGER:
+                ivalue = int(value)
+                info = np.iinfo(self.dtype)
+                if not info.min < ivalue <= info.max:
+                    raise ConversionError(
+                        f"value {ivalue} out of range for {self.name}"
+                    )
+                return self.dtype.type(ivalue)
+            if self.category == TypeCategory.FLOAT:
+                return self.dtype.type(value)
+            if self.category == TypeCategory.DECIMAL:
+                scaled = round(float(value) * 10**self.scale)
+                return np.int64(scaled)
+            if self.category == TypeCategory.DATE:
+                return np.int32(date_to_days(value))
+            if self.category == TypeCategory.TIME:
+                return np.int32(time_to_seconds(value))
+            if self.category == TypeCategory.TIMESTAMP:
+                return np.int64(timestamp_to_micros(value))
+        except ConversionError:
+            raise
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise ConversionError(f"cannot convert {value!r} to {self.name}") from exc
+        raise ConversionError(f"no storage conversion for {self.name}")
+
+    def from_storage(self, value):
+        """Convert a packed storage value back to a Python value.
+
+        The NULL sentinel maps to ``None``; DECIMALs come back as floats
+        (divided by the scale, mirroring the ``double scale`` field of the
+        paper's ``monetdb_column``), DATEs as :class:`datetime.date`.
+        """
+        if self.is_null_scalar(value):
+            return None
+        if self.category == TypeCategory.BOOLEAN:
+            return bool(value)
+        if self.category == TypeCategory.INTEGER:
+            return int(value)
+        if self.category == TypeCategory.FLOAT:
+            return float(value)
+        if self.category == TypeCategory.DECIMAL:
+            return int(value) / 10**self.scale
+        if self.category == TypeCategory.DATE:
+            return days_to_date(int(value))
+        if self.category == TypeCategory.TIME:
+            return seconds_to_time(int(value))
+        if self.category == TypeCategory.TIMESTAMP:
+            return micros_to_timestamp(int(value))
+        raise ConversionError(f"no client conversion for {self.name}")
+
+
+def _make(name, category, dtype, null_value, **kw) -> SQLType:
+    return SQLType(name, category, np.dtype(dtype), null_value, **kw)
+
+
+BOOLEAN = _make("BOOLEAN", TypeCategory.BOOLEAN, np.int8, np.int8(-128))
+TINYINT = _make("TINYINT", TypeCategory.INTEGER, np.int8, np.int8(-128))
+SMALLINT = _make("SMALLINT", TypeCategory.INTEGER, np.int16, np.int16(-(2**15)))
+INTEGER = _make("INTEGER", TypeCategory.INTEGER, np.int32, np.int32(-(2**31)))
+BIGINT = _make("BIGINT", TypeCategory.INTEGER, np.int64, np.int64(-(2**63)))
+#: MonetDB's 128-bit integer; backed by int64 here (documented simplification).
+HUGEINT = _make("HUGEINT", TypeCategory.INTEGER, np.int64, np.int64(-(2**63)))
+REAL = _make("REAL", TypeCategory.FLOAT, np.float32, np.float32(np.nan))
+DOUBLE = _make("DOUBLE", TypeCategory.FLOAT, np.float64, np.float64(np.nan))
+DATE = _make("DATE", TypeCategory.DATE, np.int32, np.int32(-(2**31)))
+TIME = _make("TIME", TypeCategory.TIME, np.int32, np.int32(-(2**31)))
+TIMESTAMP = _make("TIMESTAMP", TypeCategory.TIMESTAMP, np.int64, np.int64(-(2**63)))
+#: Unbounded string; the storage array holds int64 offsets into a StringHeap.
+STRING = _make(
+    "VARCHAR", TypeCategory.STRING, np.int64, np.int64(STRING_NULL_OFFSET)
+)
+BLOB = _make("BLOB", TypeCategory.BLOB, np.int64, np.int64(STRING_NULL_OFFSET))
+
+
+def decimal(precision: int, scale: int) -> SQLType:
+    """Create a ``DECIMAL(precision, scale)`` type (int64 scaled storage)."""
+    if not 0 <= scale <= precision <= 18:
+        raise ConversionError(
+            f"unsupported DECIMAL({precision},{scale}): need 0 <= s <= p <= 18"
+        )
+    return _make(
+        f"DECIMAL({precision},{scale})",
+        TypeCategory.DECIMAL,
+        np.int64,
+        np.int64(-(2**63)),
+        scale=scale,
+        precision=precision,
+    )
+
+
+def varchar(length: int = 0) -> SQLType:
+    """Create a ``VARCHAR(length)`` type (length 0 = unbounded)."""
+    name = f"VARCHAR({length})" if length else "VARCHAR"
+    return _make(
+        name,
+        TypeCategory.STRING,
+        np.int64,
+        np.int64(STRING_NULL_OFFSET),
+        length=length,
+    )
+
+
+_SIMPLE_TYPES = {
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+    "TINYINT": TINYINT,
+    "SMALLINT": SMALLINT,
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "BIGINT": BIGINT,
+    "HUGEINT": HUGEINT,
+    "REAL": REAL,
+    "FLOAT": DOUBLE,
+    "DOUBLE": DOUBLE,
+    "DOUBLE PRECISION": DOUBLE,
+    "DATE": DATE,
+    "TIME": TIME,
+    "TIMESTAMP": TIMESTAMP,
+    "VARCHAR": STRING,
+    "CHAR": STRING,
+    "TEXT": STRING,
+    "STRING": STRING,
+    "CLOB": STRING,
+    "BLOB": BLOB,
+}
+
+
+def parse_type(text: str) -> SQLType:
+    """Parse a DDL type spelling such as ``"DECIMAL(15,2)"`` or ``"INT"``."""
+    spec = text.strip().upper()
+    if "(" in spec:
+        base, _, args = spec.partition("(")
+        base = base.strip()
+        args = args.rstrip(")").strip()
+        parts = [p.strip() for p in args.split(",") if p.strip()]
+        if base in ("DECIMAL", "NUMERIC"):
+            precision = int(parts[0])
+            scale = int(parts[1]) if len(parts) > 1 else 0
+            return decimal(precision, scale)
+        if base in ("VARCHAR", "CHAR", "CHARACTER"):
+            return varchar(int(parts[0]))
+        raise ConversionError(f"unknown parameterized type {text!r}")
+    if spec in _SIMPLE_TYPES:
+        return _SIMPLE_TYPES[spec]
+    raise ConversionError(f"unknown type {text!r}")
+
+
+_INT_ORDER = [TINYINT, SMALLINT, INTEGER, BIGINT]
+
+
+def common_type(left: SQLType, right: SQLType) -> SQLType:
+    """Return the promotion of two types for arithmetic or comparison.
+
+    Integer widths widen, integer+decimal keeps the wider scale, anything
+    numeric mixed with a float becomes ``DOUBLE``.  Temporal and string types
+    only combine with themselves.
+    """
+    if left == right:
+        return left
+    lc, rc = left.category, right.category
+    if lc == rc:
+        if lc == TypeCategory.INTEGER:
+            rank = {t.dtype.itemsize: t for t in _INT_ORDER}
+            return rank[max(left.dtype.itemsize, right.dtype.itemsize)]
+        if lc == TypeCategory.FLOAT:
+            return DOUBLE
+        if lc == TypeCategory.DECIMAL:
+            scale = max(left.scale, right.scale)
+            precision = max(left.precision, right.precision)
+            return decimal(precision, scale)
+        if lc == TypeCategory.STRING:
+            return STRING
+    if {lc, rc} <= {TypeCategory.INTEGER, TypeCategory.DECIMAL}:
+        dec = left if lc == TypeCategory.DECIMAL else right
+        return dec
+    if TypeCategory.FLOAT in (lc, rc) and lc.is_numeric and rc.is_numeric:
+        return DOUBLE
+    if lc == TypeCategory.BOOLEAN and rc == TypeCategory.INTEGER:
+        return right
+    if rc == TypeCategory.BOOLEAN and lc == TypeCategory.INTEGER:
+        return left
+    raise TypeMismatchError(f"cannot combine {left.name} and {right.name}")
+
+
+# -- temporal helpers --------------------------------------------------------
+
+
+def date_to_days(value) -> int:
+    """Convert a date (``datetime.date`` or ``"YYYY-MM-DD"``) to epoch days."""
+    if isinstance(value, _dt.datetime):
+        value = value.date()
+    if isinstance(value, _dt.date):
+        return value.toordinal() - EPOCH_ORDINAL
+    if isinstance(value, str):
+        return _dt.date.fromisoformat(value).toordinal() - EPOCH_ORDINAL
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    raise ConversionError(f"cannot interpret {value!r} as a DATE")
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Inverse of :func:`date_to_days`."""
+    return _dt.date.fromordinal(int(days) + EPOCH_ORDINAL)
+
+
+def time_to_seconds(value) -> int:
+    """Convert a time (``datetime.time`` or ``"HH:MM:SS"``) to seconds."""
+    if isinstance(value, _dt.time):
+        return value.hour * 3600 + value.minute * 60 + value.second
+    if isinstance(value, str):
+        t = _dt.time.fromisoformat(value)
+        return t.hour * 3600 + t.minute * 60 + t.second
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    raise ConversionError(f"cannot interpret {value!r} as a TIME")
+
+
+def seconds_to_time(seconds: int) -> _dt.time:
+    """Inverse of :func:`time_to_seconds`."""
+    seconds = int(seconds)
+    return _dt.time(seconds // 3600, seconds % 3600 // 60, seconds % 60)
+
+
+def timestamp_to_micros(value) -> int:
+    """Convert a timestamp to microseconds since the Unix epoch."""
+    if isinstance(value, _dt.datetime):
+        delta = value - _dt.datetime(1970, 1, 1)
+        return delta // _dt.timedelta(microseconds=1)
+    if isinstance(value, _dt.date):
+        return (value.toordinal() - EPOCH_ORDINAL) * 86_400_000_000
+    if isinstance(value, str):
+        return timestamp_to_micros(_dt.datetime.fromisoformat(value))
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    raise ConversionError(f"cannot interpret {value!r} as a TIMESTAMP")
+
+
+def micros_to_timestamp(micros: int) -> _dt.datetime:
+    """Inverse of :func:`timestamp_to_micros`."""
+    return _dt.datetime(1970, 1, 1) + _dt.timedelta(microseconds=int(micros))
+
+
+def year_of_days(days: np.ndarray) -> np.ndarray:
+    """Vectorized ``EXTRACT(YEAR FROM date)`` over epoch-day arrays.
+
+    Uses the civil-from-days algorithm (Howard Hinnant) which is exact for
+    the proleptic Gregorian calendar and fully vectorizable.
+    """
+    z = days.astype(np.int64) + 719_468
+    era = np.where(z >= 0, z, z - 146_096) // 146_097
+    doe = z - era * 146_097
+    yoe = (doe - doe // 1460 + doe // 36_524 - doe // 146_096) // 365
+    y = yoe + era * 400
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)
+    mp = (5 * doy + 2) // 153
+    m = np.where(mp < 10, mp + 3, mp - 9)
+    return (y + (m <= 2)).astype(np.int32)
+
+
+def month_of_days(days: np.ndarray) -> np.ndarray:
+    """Vectorized ``EXTRACT(MONTH FROM date)`` over epoch-day arrays."""
+    z = days.astype(np.int64) + 719_468
+    era = np.where(z >= 0, z, z - 146_096) // 146_097
+    doe = z - era * 146_097
+    yoe = (doe - doe // 1460 + doe // 36_524 - doe // 146_096) // 365
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)
+    mp = (5 * doy + 2) // 153
+    return np.where(mp < 10, mp + 3, mp - 9).astype(np.int32)
+
+
+def day_of_days(days: np.ndarray) -> np.ndarray:
+    """Vectorized ``EXTRACT(DAY FROM date)`` over epoch-day arrays."""
+    z = days.astype(np.int64) + 719_468
+    era = np.where(z >= 0, z, z - 146_096) // 146_097
+    doe = z - era * 146_097
+    yoe = (doe - doe // 1460 + doe // 36_524 - doe // 146_096) // 365
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)
+    mp = (5 * doy + 2) // 153
+    return (doy - (153 * mp + 2) // 5 + 1).astype(np.int32)
+
+
+def add_months_to_days(days: np.ndarray, months: int) -> np.ndarray:
+    """Vectorized ``date + INTERVAL 'n' MONTH`` (day-of-month clamped)."""
+    y = year_of_days(days).astype(np.int64)
+    m = month_of_days(days).astype(np.int64)
+    d = day_of_days(days).astype(np.int64)
+    total = y * 12 + (m - 1) + months
+    ny, nm = total // 12, total % 12 + 1
+    leap = (ny % 4 == 0) & ((ny % 100 != 0) | (ny % 400 == 0))
+    month_days = np.array([31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31])
+    max_d = month_days[nm - 1] + ((nm == 2) & leap)
+    nd = np.minimum(d, max_d)
+    return days_from_civil(ny, nm, nd)
+
+
+def days_from_civil(
+    y: np.ndarray, m: np.ndarray, d: np.ndarray
+) -> np.ndarray:
+    """Vectorized (year, month, day) -> epoch days (Hinnant's algorithm)."""
+    y = np.asarray(y, dtype=np.int64) - (np.asarray(m) <= 2)
+    m = np.asarray(m, dtype=np.int64)
+    d = np.asarray(d, dtype=np.int64)
+    era = np.where(y >= 0, y, y - 399) // 400
+    yoe = y - era * 400
+    mp = np.where(m > 2, m - 3, m + 9)
+    doy = (153 * mp + 2) // 5 + d - 1
+    doe = yoe * 365 + yoe // 4 - yoe // 100 + doy
+    return (era * 146_097 + doe - 719_468).astype(np.int32)

@@ -1,0 +1,19 @@
+"""Optimistic concurrency control (paper section 3.1).
+
+*"MonetDB uses an optimistic concurrency control model. Individual
+transactions operate on a snapshot of the database. When attempting to
+commit a transaction, it will either commit successfully or abort when
+potential write conflicts are detected."*
+
+:class:`~repro.txn.transaction.Transaction` pins table snapshots on first
+access and buffers writes in per-table deltas;
+:class:`~repro.txn.manager.TransactionManager` validates at commit time that
+no other transaction has committed to a written table since the snapshot was
+pinned (first-committer-wins), then atomically installs the new versions and
+logs the commit to the WAL.
+"""
+
+from repro.txn.transaction import TableDelta, Transaction
+from repro.txn.manager import TransactionManager
+
+__all__ = ["Transaction", "TableDelta", "TransactionManager"]

@@ -1,0 +1,154 @@
+"""Commit-time validation and installation of transactions."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import ConflictError, TransactionError
+from repro.txn.transaction import Transaction
+
+__all__ = ["TransactionManager"]
+
+
+class TransactionManager:
+    """Validates and applies transactions under a global commit lock.
+
+    Validation is first-committer-wins at table granularity: if any table in
+    the write set has advanced past the version the transaction pinned, the
+    commit aborts with :class:`~repro.errors.ConflictError`.  This matches
+    MonetDB's optimistic model, which detects "potential write conflicts"
+    rather than tracking row-level overlap.
+    """
+
+    def __init__(self, database):
+        self._database = database
+        self._commit_lock = threading.Lock()
+        self._commit_counter = 0
+
+    def set_commit_counter(self, value: int) -> None:
+        """Fast-forward the counter after loading a persistent database."""
+        self._commit_counter = max(self._commit_counter, value)
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        return Transaction(self._database)
+
+    def commit(self, txn: Transaction) -> int:
+        """Validate and atomically apply a transaction.
+
+        Returns the commit id (0 for read-only transactions, which need no
+        validation: their snapshot is consistent by construction).
+        """
+        if not txn.active:
+            raise TransactionError("cannot commit: transaction no longer active")
+        if txn.read_only:
+            txn.active = False
+            return 0
+
+        with self._commit_lock:
+            written = txn.written_tables()
+            for key in written:
+                if key in txn._created:
+                    continue  # a table born in this txn cannot conflict
+                table = txn.pinned_table(key)
+                if table.current.version != txn.pinned_version(key).version:
+                    txn.active = False
+                    raise ConflictError(
+                        f"write-write conflict on table {table.schema.name!r}: "
+                        f"committed version {table.current.version} != snapshot "
+                        f"{txn.pinned_version(key).version}"
+                    )
+            self._commit_counter += 1
+            commit_id = self._commit_counter
+
+            wal_record = self._build_wal_record(txn, commit_id)
+            if self._database.wal is not None:
+                self._database.wal.append(wal_record)
+
+            # install DDL first so deltas on created tables can resolve
+            for key, table in txn._created.items():
+                self._database.on_table_created(table)
+            for key in txn._dropped:
+                self._database.on_table_dropped(key)
+                self._database.catalog.drop(key)
+
+            for key in written:
+                if key in txn._dropped:
+                    continue
+                table = (
+                    txn._created.get(key)
+                    or self._database.catalog.get(key)
+                )
+                delta = txn._deltas[key]
+                base = (
+                    table.current
+                    if key in txn._created
+                    else txn.pinned_version(key)
+                )
+                columns = delta.apply_to(base, in_place_slack=True)
+                change_kind = "delete" if delta.deleted_rows else "append"
+                table.install_version(columns, commit_id, change_kind)
+
+            txn.active = False
+            self._database.after_commit(commit_id)
+            return commit_id
+
+    def rollback(self, txn: Transaction) -> None:
+        """Discard a transaction's buffered changes."""
+        txn.active = False
+        txn._deltas.clear()
+        txn._created.clear()
+        txn._dropped.clear()
+
+    # -- WAL logging ---------------------------------------------------------------
+
+    @staticmethod
+    def _build_wal_record(txn: Transaction, commit_id: int) -> dict:
+        """Logical description of the commit, replayable after a crash."""
+        record: dict = {"commit_id": commit_id, "ops": []}
+        for key, table in txn._created.items():
+            schema = table.schema
+            record["ops"].append(
+                {
+                    "op": "create_table",
+                    "name": schema.name,
+                    "schema": schema.schema,
+                    "columns": [
+                        {"name": c.name, "type": c.type.name, "not_null": c.not_null}
+                        for c in schema.columns
+                    ],
+                }
+            )
+        for key in txn._dropped:
+            record["ops"].append({"op": "drop_table", "name": key})
+        for key, delta in txn._deltas.items():
+            if delta.empty:
+                continue
+            op: dict = {"op": "modify", "name": key}
+            if delta.deleted_rows:
+                op["deleted"] = sorted(delta.deleted_rows)
+            if delta.appends:
+                bundles = []
+                for bundle in delta.appends:
+                    cols = []
+                    for column in bundle:
+                        if column.type.is_variable:
+                            cols.append(
+                                {"kind": "values", "values": column.to_python()}
+                            )
+                        else:
+                            cols.append(
+                                {
+                                    "kind": "raw",
+                                    "dtype": column.data.dtype.str,
+                                    "bytes": np.ascontiguousarray(
+                                        column.data
+                                    ).tobytes(),
+                                }
+                            )
+                    bundles.append(cols)
+                op["appends"] = bundles
+            record["ops"].append(op)
+        return record

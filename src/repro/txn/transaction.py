@@ -1,0 +1,261 @@
+"""Transactions: pinned snapshots plus buffered write deltas."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CatalogError, TransactionError
+from repro.storage.catalog import TableSchema
+from repro.storage.column import Column
+from repro.storage.table import Table, TableVersion
+
+__all__ = ["Transaction", "TableDelta"]
+
+
+class TableDelta:
+    """Buffered, uncommitted changes of one transaction to one table."""
+
+    __slots__ = ("appends", "deleted_rows", "_cache", "_cache_revision", "revision")
+
+    def __init__(self):
+        self.appends: list[list[Column]] = []
+        self.deleted_rows: set[int] = set()
+        self.revision = 0
+        self._cache: TableVersion | None = None
+        self._cache_revision = -1
+
+    @property
+    def empty(self) -> bool:
+        return not self.appends and not self.deleted_rows
+
+    def add_append(self, columns: list[Column]) -> None:
+        self.appends.append(columns)
+        self.revision += 1
+
+    def add_deletes(self, row_ids) -> None:
+        self.deleted_rows.update(int(r) for r in row_ids)
+        self.revision += 1
+
+    def appended_rows(self) -> int:
+        return sum(len(bundle[0]) for bundle in self.appends if bundle)
+
+    def apply_to(
+        self, base: TableVersion, in_place_slack: bool = False
+    ) -> list[Column]:
+        """Materialize base snapshot + this delta into fresh columns.
+
+        ``in_place_slack`` may only be True on the commit path (under the
+        global commit lock): appends then reuse the storage buffers' spare
+        capacity, making a stream of small committed appends amortized O(1)
+        per row.
+        """
+        columns = list(base.columns)
+        if self.deleted_rows:
+            keep = np.ones(base.nrows, dtype=bool)
+            in_base = [r for r in self.deleted_rows if r < base.nrows]
+            keep[np.fromiter(in_base, dtype=np.int64, count=len(in_base))] = False
+            columns = [col.filter(keep) for col in columns]
+            in_place_slack = False  # fresh arrays already; no shared buffer
+        for bundle in self.appends:
+            columns = [
+                col.append(extra, in_place_slack=in_place_slack)
+                for col, extra in zip(columns, bundle)
+            ]
+        return columns
+
+    def effective_version(self, base: TableVersion) -> TableVersion:
+        """Snapshot-plus-delta view, cached until the delta changes.
+
+        This is how a transaction reads its own uncommitted writes.
+        """
+        if self.empty:
+            return base
+        if self._cache_revision != self.revision or self._cache is None:
+            self._cache = TableVersion(base.version, self.apply_to(base))
+            self._cache_revision = self.revision
+        return self._cache
+
+
+class Transaction:
+    """One unit of isolation: a snapshot of table versions plus write buffers.
+
+    The snapshot is pinned lazily, table by table, on first access — the
+    version object captured is immutable, so later commits by other
+    transactions are invisible to this one.
+    """
+
+    _next_id = 1
+
+    def __init__(self, database):
+        self._database = database
+        self.id = Transaction._next_id
+        Transaction._next_id += 1
+        self.active = True
+        self._snapshots: dict[str, TableVersion] = {}
+        self._snapshot_tables: dict[str, Table] = {}
+        self._deltas: dict[str, TableDelta] = {}
+        self._created: dict[str, Table] = {}
+        self._dropped: set[str] = set()
+
+    # -- state checks ----------------------------------------------------------
+
+    def _check_active(self) -> None:
+        if not self.active:
+            raise TransactionError("transaction is no longer active")
+
+    @property
+    def read_only(self) -> bool:
+        return (
+            not self._created
+            and not self._dropped
+            and all(d.empty for d in self._deltas.values())
+        )
+
+    # -- table resolution --------------------------------------------------------
+
+    def resolve_table(self, name: str) -> Table:
+        """Find a table visible to this transaction (own DDL included)."""
+        self._check_active()
+        key = name.lower()
+        if key in self._dropped:
+            raise CatalogError(f"no such table: {name!r}")
+        if key in self._created:
+            return self._created[key]
+        table = self._database.catalog.get(name)
+        return table
+
+    def snapshot_version(self, table: Table) -> TableVersion:
+        """Pin (on first use) and return this txn's snapshot of a table."""
+        key = table.schema.name.lower()
+        if key in self._created:
+            return table.current
+        if key not in self._snapshots:
+            self._snapshots[key] = table.current
+            self._snapshot_tables[key] = table
+        return self._snapshots[key]
+
+    def read_version(self, table: Table) -> TableVersion:
+        """The view this transaction reads: snapshot plus its own delta."""
+        base = self.snapshot_version(table)
+        delta = self._deltas.get(table.schema.name.lower())
+        if delta is None:
+            return base
+        return delta.effective_version(base)
+
+    # -- writes ----------------------------------------------------------------
+
+    def delta_for(self, table: Table) -> TableDelta:
+        key = table.schema.name.lower()
+        self.snapshot_version(table)
+        if key not in self._deltas:
+            self._deltas[key] = TableDelta()
+        return self._deltas[key]
+
+    def append(self, table: Table, columns: list[Column]) -> None:
+        """Buffer a bulk append of pre-built columns.
+
+        NOT NULL constraints are validated here, over the appended bundle
+        only — commit-time installation stays O(1) in the table size.
+        """
+        self._check_active()
+        if len(columns) != len(table.schema.columns):
+            raise CatalogError(
+                f"append to {table.schema.name}: expected "
+                f"{len(table.schema.columns)} columns, got {len(columns)}"
+            )
+        from repro.errors import ConstraintError
+
+        for coldef, column in zip(table.schema.columns, columns):
+            if coldef.not_null and len(column) and column.is_null().any():
+                raise ConstraintError(
+                    f"NOT NULL constraint violated on "
+                    f"{table.schema.name}.{coldef.name}"
+                )
+        self.delta_for(table).add_append(columns)
+
+    def delete_rows(self, table: Table, row_ids) -> None:
+        """Buffer deletion of rows identified by position in the txn view.
+
+        Row ids refer to positions in :meth:`read_version`; positions beyond
+        the base snapshot fall into this transaction's own appends and are
+        resolved by rebuilding the delta.
+        """
+        self._check_active()
+        delta = self.delta_for(table)
+        base_rows = self.snapshot_version(table).nrows
+        base_ids = [r for r in row_ids if r < base_rows]
+        own_ids = sorted(int(r) - base_rows for r in row_ids if r >= base_rows)
+        if own_ids:
+            self._delete_from_own_appends(delta, own_ids)
+        if base_ids:
+            # positions in the txn view shift once earlier deletes exist;
+            # translate view positions back to base positions.
+            if delta.deleted_rows:
+                alive = sorted(set(range(base_rows)) - delta.deleted_rows)
+                base_ids = [alive[r] for r in base_ids]
+            delta.add_deletes(base_ids)
+
+    @staticmethod
+    def _delete_from_own_appends(delta: TableDelta, positions: list[int]) -> None:
+        """Remove rows that only exist in this txn's append buffers."""
+        doomed = set(positions)
+        offset = 0
+        new_bundles = []
+        for bundle in delta.appends:
+            size = len(bundle[0]) if bundle else 0
+            local = [p - offset for p in doomed if offset <= p < offset + size]
+            if local:
+                keep = np.ones(size, dtype=bool)
+                keep[np.asarray(local, dtype=np.int64)] = False
+                bundle = [col.filter(keep) for col in bundle]
+            if bundle and len(bundle[0]):
+                new_bundles.append(bundle)
+            offset += size
+        delta.appends = new_bundles
+        delta.revision += 1
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False) -> Table:
+        """Create a table, visible to this transaction immediately."""
+        self._check_active()
+        key = schema.name.lower()
+        exists = (
+            key in self._created
+            or (self._database.catalog.exists(schema.name) and key not in self._dropped)
+        )
+        if exists:
+            if if_not_exists:
+                return self.resolve_table(schema.name)
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._created[key] = table
+        self._dropped.discard(key)
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Drop a table (buffered until commit for catalog tables)."""
+        self._check_active()
+        key = name.lower()
+        if key in self._created:
+            del self._created[key]
+            self._deltas.pop(key, None)
+            return
+        if not self._database.catalog.exists(name):
+            if if_exists:
+                return
+            raise CatalogError(f"no such table: {name!r}")
+        self._dropped.add(key)
+        self._deltas.pop(key, None)
+
+    # -- introspection used by the manager ----------------------------------------
+
+    def written_tables(self) -> list[str]:
+        """Names of catalog tables this transaction wants to modify."""
+        return [key for key, delta in self._deltas.items() if not delta.empty]
+
+    def pinned_version(self, key: str) -> TableVersion:
+        return self._snapshots[key]
+
+    def pinned_table(self, key: str) -> Table:
+        return self._snapshot_tables[key]

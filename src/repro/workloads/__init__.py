@@ -1,0 +1,1 @@
+"""Benchmark workloads: TPC-H (dbgen clone + Q1-Q10) and the ACS survey."""

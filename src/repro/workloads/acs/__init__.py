@@ -1,0 +1,28 @@
+"""American Community Survey workload (paper section 4.3).
+
+The paper runs Anthony Damico's ACS analysis scripts: census microdata is
+preprocessed client-side, stored persistently through a database driver,
+and analyzed with the R ``survey`` package (weighted estimates with
+successive-difference-replication standard errors).  Real PUMS files are
+access-gated and large; :mod:`repro.workloads.acs.gen` synthesizes
+person-level microdata with the same *shape* — 274 columns dominated by
+the 2x80 replicate-weight columns plus categorical recodes — and
+:mod:`repro.workloads.acs.analysis` reimplements the survey-package
+estimation pipeline on top of any database adapter.
+"""
+
+from repro.workloads.acs.gen import ACS_COLUMNS, generate_acs, acs_schema_sql
+from repro.workloads.acs.analysis import (
+    load_phase,
+    statistics_phase,
+    preprocess,
+)
+
+__all__ = [
+    "ACS_COLUMNS",
+    "generate_acs",
+    "acs_schema_sql",
+    "preprocess",
+    "load_phase",
+    "statistics_phase",
+]

@@ -1,0 +1,156 @@
+"""Synthetic ACS person-level microdata generator.
+
+Matches the structural properties the paper's benchmark depends on:
+
+* **274 columns** — ids, demographics, income/labor variables, the person
+  weight ``pwgtp`` plus 80 replicate weights ``pwgtp1..pwgtp80``, the
+  household weight ``wgtp`` plus its 80 replicates, and ~100 allocation
+  flags (real PUMS files are mostly flags and weights too);
+* five states' worth of rows (the paper subsets five states of 2016);
+* integer-coded categoricals, so a column store scans only what a
+  statistic touches while a row store must decode 274 fields per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ACS_COLUMNS", "generate_acs", "acs_schema_sql", "STATES"]
+
+#: FIPS-like codes of the five benchmark states.
+STATES = [6, 36, 48, 12, 17]  # CA, NY, TX, FL, IL
+
+_DEMOGRAPHICS = [
+    ("agep", "INTEGER"),  # age
+    ("sex", "TINYINT"),
+    ("rac1p", "TINYINT"),  # race recode
+    ("hisp", "TINYINT"),
+    ("schl", "TINYINT"),  # education attainment
+    ("esr", "TINYINT"),  # employment status
+    ("mar", "TINYINT"),  # marital status
+    ("cit", "TINYINT"),  # citizenship
+    ("dis", "TINYINT"),  # disability
+    ("cow", "TINYINT"),  # class of worker
+    ("wkhp", "INTEGER"),  # hours worked
+    ("jwmnp", "INTEGER"),  # commute minutes
+]
+
+_INCOME = [
+    ("wagp", "INTEGER"),  # wages
+    ("pincp", "INTEGER"),  # total person income
+    ("semp", "INTEGER"),  # self-employment
+    ("intp", "INTEGER"),  # interest
+    ("retp", "INTEGER"),  # retirement
+    ("ssip", "INTEGER"),  # SSI
+    ("pap", "INTEGER"),  # public assistance
+    ("oip", "INTEGER"),  # other income
+]
+
+_N_REPLICATES = 80
+
+
+def _column_spec() -> list:
+    columns = [
+        ("serialno", "VARCHAR(13)"),
+        ("sporder", "TINYINT"),
+        ("st", "TINYINT"),
+        ("puma", "INTEGER"),
+    ]
+    columns += _DEMOGRAPHICS + _INCOME
+    columns.append(("pwgtp", "INTEGER"))
+    columns += [(f"pwgtp{i}", "INTEGER") for i in range(1, _N_REPLICATES + 1)]
+    columns.append(("wgtp", "INTEGER"))
+    columns += [(f"wgtp{i}", "INTEGER") for i in range(1, _N_REPLICATES + 1)]
+    flags_needed = 274 - len(columns)
+    columns += [(f"f{i:03d}p", "TINYINT") for i in range(1, flags_needed + 1)]
+    return columns
+
+
+#: (name, sql_type) for all 274 columns.
+ACS_COLUMNS = _column_spec()
+assert len(ACS_COLUMNS) == 274
+
+
+def generate_acs(nrows: int = 20_000, seed: int = 7) -> dict:
+    """Generate ``nrows`` synthetic person records as {column: array}."""
+    rng = np.random.default_rng(seed)
+    data: dict = {}
+    data["serialno"] = np.char.add(
+        "2016", np.char.zfill(rng.integers(0, 10**8, nrows).astype("U9"), 9)
+    ).astype(object)
+    data["sporder"] = rng.integers(1, 7, nrows).astype(np.int8)
+    data["st"] = np.asarray(STATES, dtype=np.int8)[
+        rng.integers(0, len(STATES), nrows)
+    ]
+    data["puma"] = rng.integers(100, 5000, nrows).astype(np.int32)
+
+    age = rng.integers(0, 95, nrows)
+    data["agep"] = age.astype(np.int32)
+    data["sex"] = rng.integers(1, 3, nrows).astype(np.int8)
+    data["rac1p"] = rng.integers(1, 10, nrows).astype(np.int8)
+    data["hisp"] = rng.integers(1, 25, nrows).astype(np.int8)
+    data["schl"] = np.minimum(24, 1 + (age // 4)).astype(np.int8)
+    working_age = (age >= 16) & (age < 70)
+    employed = working_age & (rng.random(nrows) < 0.62)
+    data["esr"] = np.where(
+        employed, 1, np.where(working_age, rng.integers(2, 7, nrows), 6)
+    ).astype(np.int8)
+    data["mar"] = rng.integers(1, 6, nrows).astype(np.int8)
+    data["cit"] = rng.integers(1, 6, nrows).astype(np.int8)
+    data["dis"] = (rng.random(nrows) < 0.13).astype(np.int8) + 1
+    data["cow"] = np.where(employed, rng.integers(1, 9, nrows), 0).astype(np.int8)
+    data["wkhp"] = np.where(employed, rng.integers(5, 70, nrows), 0).astype(
+        np.int32
+    )
+    data["jwmnp"] = np.where(employed, rng.integers(1, 120, nrows), 0).astype(
+        np.int32
+    )
+
+    wages = np.where(
+        employed, np.round(np.exp(rng.normal(10.4, 0.8, nrows))), 0
+    )
+    data["wagp"] = np.minimum(wages, 500_000).astype(np.int32)
+    other = {
+        "semp": 0.08, "intp": 0.25, "retp": 0.15, "ssip": 0.05,
+        "pap": 0.03, "oip": 0.10,
+    }
+    total = data["wagp"].astype(np.int64).copy()
+    for name, rate in other.items():
+        has = rng.random(nrows) < rate
+        amount = np.where(
+            has, np.round(np.exp(rng.normal(8.5, 1.0, nrows))), 0
+        ).astype(np.int64)
+        data[name] = np.minimum(amount, 200_000).astype(np.int32)
+        total += data[name]
+    data["pincp"] = np.minimum(total, 800_000).astype(np.int32)
+
+    # person weight ~ lognormal around 100, replicates jittered around it
+    # (successive difference replication: replicates scatter around the
+    # full-sample weight)
+    pwgtp = np.maximum(1, np.round(np.exp(rng.normal(4.6, 0.35, nrows))))
+    data["pwgtp"] = pwgtp.astype(np.int32)
+    for i in range(1, _N_REPLICATES + 1):
+        factor = rng.choice([0.55, 1.45], nrows)
+        data[f"pwgtp{i}"] = np.maximum(
+            0, np.round(pwgtp * factor * rng.normal(1.0, 0.05, nrows))
+        ).astype(np.int32)
+    wgtp = np.maximum(0, np.round(pwgtp * rng.normal(0.8, 0.2, nrows)))
+    data["wgtp"] = wgtp.astype(np.int32)
+    for i in range(1, _N_REPLICATES + 1):
+        factor = rng.choice([0.55, 1.45], nrows)
+        data[f"wgtp{i}"] = np.maximum(
+            0, np.round(wgtp * factor * rng.normal(1.0, 0.05, nrows))
+        ).astype(np.int32)
+
+    for name, _ in ACS_COLUMNS:
+        if name.startswith("f") and name.endswith("p") and name[1:4].isdigit():
+            data[name] = (rng.random(nrows) < 0.07).astype(np.int8)
+
+    assert len(data) == 274
+    return data
+
+
+def acs_schema_sql(table: str = "acs_persons") -> str:
+    """CREATE TABLE statement for the 274-column person table."""
+    columns = ",\n  ".join(f"{name} {sql_type}" for name, sql_type in ACS_COLUMNS)
+    return f"CREATE TABLE {table} (\n  {columns}\n)"

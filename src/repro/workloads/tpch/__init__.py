@@ -1,0 +1,13 @@
+"""TPC-H workload: deterministic dbgen clone, schema DDL, queries Q1-Q10."""
+
+from repro.workloads.tpch.gen import TABLES, generate, load, schema_statements
+from repro.workloads.tpch.queries import QUERIES, query
+
+__all__ = [
+    "TABLES",
+    "generate",
+    "load",
+    "schema_statements",
+    "QUERIES",
+    "query",
+]

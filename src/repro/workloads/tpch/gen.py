@@ -1,0 +1,374 @@
+"""Deterministic pure-Python/NumPy clone of TPC-H dbgen.
+
+Generates all eight tables with the official schema, key structure,
+cardinality ratios and value distributions (TPC-H specification v2.17);
+text fields use compact word-soup comments so memory stays proportional to
+the scale factor.  The scale factor has the standard meaning: SF 1 is
+~6 M lineitem rows; the benchmarks here default to fractional SFs.
+
+Dates are epoch-day ``int32`` arrays, decimals ``float64`` (converted to
+scaled-int storage by the append path), keys ``int32`` — so the bulk-append
+fast path adopts most columns without conversion.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.storage.types import date_to_days
+
+__all__ = ["TABLES", "generate", "load", "schema_statements", "table_row_counts"]
+
+TABLES = [
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+]
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_CONTAINERS = [
+    f"{size} {kind}"
+    for size in ("SM", "LG", "MED", "JUMBO", "WRAP")
+    for kind in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+]
+_TYPE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_P_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium",
+]
+_COMMENT_WORDS = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+    "requests", "packages", "accounts", "instructions", "theodolites",
+    "pinto", "beans", "foxes", "ideas", "dependencies", "platelets",
+    "excuses", "asymptotes", "courts", "dolphins", "multipliers", "sauternes",
+    "warthogs", "frets", "dinos", "attainments", "somas", "braids",
+]
+
+_DATE_LO = date_to_days(_dt.date(1992, 1, 1))
+_DATE_HI = date_to_days(_dt.date(1998, 8, 2))
+_CURRENT = date_to_days(_dt.date(1995, 6, 17))
+
+
+def _comments(rng: np.random.Generator, n: int, words: int = 3) -> np.ndarray:
+    """Word-soup text column, as an object array."""
+    pool = np.asarray(_COMMENT_WORDS)
+    parts = [pool[rng.integers(0, len(pool), n)] for _ in range(words)]
+    out = parts[0]
+    for part in parts[1:]:
+        out = np.char.add(np.char.add(out, " "), part)
+    return out.astype(object)
+
+
+def _numbered(prefix: str, keys: np.ndarray) -> np.ndarray:
+    """'Prefix#000000001'-style name columns."""
+    return np.char.add(
+        f"{prefix}#", np.char.zfill(keys.astype("U9"), 9)
+    ).astype(object)
+
+
+def _phones(rng: np.random.Generator, nation_keys: np.ndarray) -> np.ndarray:
+    country = np.char.zfill(((nation_keys + 10) % 35).astype("U2"), 2)
+    local = rng.integers(100, 999, (3, len(nation_keys))).astype("U3")
+    out = np.char.add(country, "-")
+    for part in local:
+        out = np.char.add(np.char.add(out, part), "-")
+    return np.char.rstrip(out, "-").astype(object)
+
+
+def table_row_counts(scale_factor: float) -> dict:
+    """Row counts per table at a given scale factor (lineitem is ~value)."""
+    sf = scale_factor
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": max(1, round(10_000 * sf)),
+        "customer": max(1, round(150_000 * sf)),
+        "part": max(1, round(200_000 * sf)),
+        "partsupp": max(4, round(200_000 * sf) * 4),
+        "orders": max(1, round(1_500_000 * sf)),
+        "lineitem": None,  # 1-7 lines per order
+    }
+
+
+def generate(scale_factor: float = 0.01, seed: int = 42) -> dict:
+    """All eight TPC-H tables as {table: {column: np.ndarray}}."""
+    rng = np.random.default_rng(seed)
+    counts = table_row_counts(scale_factor)
+    data: dict = {}
+
+    region_keys = np.arange(5, dtype=np.int32)
+    data["region"] = {
+        "r_regionkey": region_keys,
+        "r_name": np.asarray(_REGIONS, dtype=object),
+        "r_comment": _comments(rng, 5),
+    }
+
+    nation_keys = np.arange(25, dtype=np.int32)
+    data["nation"] = {
+        "n_nationkey": nation_keys,
+        "n_name": np.asarray([n for n, _ in _NATIONS], dtype=object),
+        "n_regionkey": np.asarray([r for _, r in _NATIONS], dtype=np.int32),
+        "n_comment": _comments(rng, 25),
+    }
+
+    n_supp = counts["supplier"]
+    supp_keys = np.arange(1, n_supp + 1, dtype=np.int32)
+    supp_nations = rng.integers(0, 25, n_supp).astype(np.int32)
+    data["supplier"] = {
+        "s_suppkey": supp_keys,
+        "s_name": _numbered("Supplier", supp_keys),
+        "s_address": _comments(rng, n_supp, words=2),
+        "s_nationkey": supp_nations,
+        "s_phone": _phones(rng, supp_nations),
+        "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_supp), 2),
+        "s_comment": _comments(rng, n_supp),
+    }
+
+    n_cust = counts["customer"]
+    cust_keys = np.arange(1, n_cust + 1, dtype=np.int32)
+    cust_nations = rng.integers(0, 25, n_cust).astype(np.int32)
+    data["customer"] = {
+        "c_custkey": cust_keys,
+        "c_name": _numbered("Customer", cust_keys),
+        "c_address": _comments(rng, n_cust, words=2),
+        "c_nationkey": cust_nations,
+        "c_phone": _phones(rng, cust_nations),
+        "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_cust), 2),
+        "c_mktsegment": np.asarray(_SEGMENTS, dtype=object)[
+            rng.integers(0, len(_SEGMENTS), n_cust)
+        ],
+        "c_comment": _comments(rng, n_cust),
+    }
+
+    n_part = counts["part"]
+    part_keys = np.arange(1, n_part + 1, dtype=np.int32)
+    name_pool = np.asarray(_P_NAME_WORDS)
+    p_name = name_pool[rng.integers(0, len(name_pool), n_part)]
+    for _ in range(4):
+        p_name = np.char.add(
+            np.char.add(p_name, " "),
+            name_pool[rng.integers(0, len(name_pool), n_part)],
+        )
+    mfgr = rng.integers(1, 6, n_part)
+    brand = mfgr * 10 + rng.integers(1, 6, n_part)
+    p_type = np.char.add(
+        np.char.add(
+            np.asarray(_TYPE_1)[rng.integers(0, len(_TYPE_1), n_part)], " "
+        ),
+        np.char.add(
+            np.char.add(
+                np.asarray(_TYPE_2)[rng.integers(0, len(_TYPE_2), n_part)], " "
+            ),
+            np.asarray(_TYPE_3)[rng.integers(0, len(_TYPE_3), n_part)],
+        ),
+    )
+    retail_price = np.round(
+        90000 + (part_keys % 200001) / 10.0 + 100.0 * (part_keys % 1000), 2
+    ) / 100.0
+    data["part"] = {
+        "p_partkey": part_keys,
+        "p_name": p_name.astype(object),
+        "p_mfgr": np.char.add("Manufacturer#", mfgr.astype("U1")).astype(object),
+        "p_brand": np.char.add("Brand#", brand.astype("U2")).astype(object),
+        "p_type": p_type.astype(object),
+        "p_size": rng.integers(1, 51, n_part).astype(np.int32),
+        "p_container": np.asarray(_CONTAINERS, dtype=object)[
+            rng.integers(0, len(_CONTAINERS), n_part)
+        ],
+        "p_retailprice": retail_price,
+        "p_comment": _comments(rng, n_part, words=2),
+    }
+
+    # partsupp: 4 suppliers per part, spec's supplier spreading formula
+    ps_partkey = np.repeat(part_keys, 4)
+    i = np.tile(np.arange(4), n_part)
+    ps_suppkey = (
+        (ps_partkey + i * (n_supp // 4 + (ps_partkey - 1) // n_supp)) % n_supp
+    ) + 1
+    data["partsupp"] = {
+        "ps_partkey": ps_partkey.astype(np.int32),
+        "ps_suppkey": ps_suppkey.astype(np.int32),
+        "ps_availqty": rng.integers(1, 10_000, len(ps_partkey)).astype(np.int32),
+        "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, len(ps_partkey)), 2),
+        "ps_comment": _comments(rng, len(ps_partkey)),
+    }
+
+    n_orders = counts["orders"]
+    order_keys = np.arange(1, n_orders + 1, dtype=np.int32) * 4 - 3
+    # only two thirds of customers have orders (spec: odd custkeys skipped)
+    o_custkey = rng.integers(1, n_cust + 1, n_orders).astype(np.int32)
+    o_orderdate = rng.integers(_DATE_LO, _DATE_HI - 151, n_orders).astype(np.int32)
+    data["orders"] = {
+        "o_orderkey": order_keys,
+        "o_custkey": o_custkey,
+        "o_orderstatus": np.full(n_orders, "O", dtype=object),  # fixed below
+        "o_totalprice": np.zeros(n_orders),  # filled from lineitem below
+        "o_orderdate": o_orderdate,
+        "o_orderpriority": np.asarray(_PRIORITIES, dtype=object)[
+            rng.integers(0, len(_PRIORITIES), n_orders)
+        ],
+        "o_clerk": _numbered("Clerk", rng.integers(1, max(2, n_supp), n_orders)),
+        "o_shippriority": np.zeros(n_orders, dtype=np.int32),
+        "o_comment": _comments(rng, n_orders),
+    }
+
+    # lineitem: 1-7 lines per order
+    lines_per_order = rng.integers(1, 8, n_orders)
+    n_lines = int(lines_per_order.sum())
+    l_orderkey = np.repeat(order_keys, lines_per_order)
+    order_index = np.repeat(np.arange(n_orders), lines_per_order)
+    starts = np.cumsum(lines_per_order) - lines_per_order
+    l_linenumber = (np.arange(n_lines) - starts[order_index] + 1).astype(np.int32)
+    l_partkey = rng.integers(1, n_part + 1, n_lines).astype(np.int32)
+    supp_spread = rng.integers(0, 4, n_lines)
+    l_suppkey = (
+        (l_partkey + supp_spread * (n_supp // 4 + (l_partkey - 1) // n_supp))
+        % n_supp
+    ).astype(np.int32) + 1
+    l_quantity = rng.integers(1, 51, n_lines).astype(np.float64)
+    l_extendedprice = np.round(l_quantity * retail_price[l_partkey - 1], 2)
+    l_discount = rng.integers(0, 11, n_lines) / 100.0
+    l_tax = rng.integers(0, 9, n_lines) / 100.0
+    l_shipdate = (
+        data["orders"]["o_orderdate"][order_index]
+        + rng.integers(1, 122, n_lines)
+    ).astype(np.int32)
+    l_commitdate = (
+        data["orders"]["o_orderdate"][order_index]
+        + rng.integers(30, 91, n_lines)
+    ).astype(np.int32)
+    l_receiptdate = (l_shipdate + rng.integers(1, 31, n_lines)).astype(np.int32)
+    returned = l_receiptdate <= _CURRENT
+    l_returnflag = np.where(
+        returned, np.where(rng.random(n_lines) < 0.5, "R", "A"), "N"
+    ).astype(object)
+    l_linestatus = np.where(l_shipdate > _CURRENT, "O", "F").astype(object)
+    data["lineitem"] = {
+        "l_orderkey": l_orderkey,
+        "l_partkey": l_partkey,
+        "l_suppkey": l_suppkey,
+        "l_linenumber": l_linenumber,
+        "l_quantity": l_quantity,
+        "l_extendedprice": l_extendedprice,
+        "l_discount": l_discount,
+        "l_tax": l_tax,
+        "l_returnflag": l_returnflag,
+        "l_linestatus": l_linestatus,
+        "l_shipdate": l_shipdate,
+        "l_commitdate": l_commitdate,
+        "l_receiptdate": l_receiptdate,
+        "l_shipinstruct": np.asarray(_INSTRUCTS, dtype=object)[
+            rng.integers(0, len(_INSTRUCTS), n_lines)
+        ],
+        "l_shipmode": np.asarray(_MODES, dtype=object)[
+            rng.integers(0, len(_MODES), n_lines)
+        ],
+        "l_comment": _comments(rng, n_lines, words=2),
+    }
+
+    # consistent o_totalprice and o_orderstatus from the generated lines
+    revenue = l_extendedprice * (1 - l_discount) * (1 + l_tax)
+    totals = np.zeros(n_orders)
+    np.add.at(totals, order_index, revenue)
+    data["orders"]["o_totalprice"] = np.round(totals, 2)
+    open_lines = np.zeros(n_orders, dtype=np.int64)
+    np.add.at(open_lines, order_index, (l_linestatus == "O").astype(np.int64))
+    all_open = open_lines == lines_per_order
+    none_open = open_lines == 0
+    data["orders"]["o_orderstatus"] = np.where(
+        all_open, "O", np.where(none_open, "F", "P")
+    ).astype(object)
+    return data
+
+
+def schema_statements() -> list:
+    """CREATE TABLE DDL for all eight tables (TPC-H spec types)."""
+    return [
+        """CREATE TABLE region (
+            r_regionkey INTEGER NOT NULL, r_name VARCHAR(25) NOT NULL,
+            r_comment VARCHAR(152))""",
+        """CREATE TABLE nation (
+            n_nationkey INTEGER NOT NULL, n_name VARCHAR(25) NOT NULL,
+            n_regionkey INTEGER NOT NULL, n_comment VARCHAR(152))""",
+        """CREATE TABLE supplier (
+            s_suppkey INTEGER NOT NULL, s_name VARCHAR(25) NOT NULL,
+            s_address VARCHAR(40) NOT NULL, s_nationkey INTEGER NOT NULL,
+            s_phone VARCHAR(15) NOT NULL, s_acctbal DECIMAL(15,2) NOT NULL,
+            s_comment VARCHAR(101) NOT NULL)""",
+        """CREATE TABLE customer (
+            c_custkey INTEGER NOT NULL, c_name VARCHAR(25) NOT NULL,
+            c_address VARCHAR(40) NOT NULL, c_nationkey INTEGER NOT NULL,
+            c_phone VARCHAR(15) NOT NULL, c_acctbal DECIMAL(15,2) NOT NULL,
+            c_mktsegment VARCHAR(10) NOT NULL, c_comment VARCHAR(117) NOT NULL)""",
+        """CREATE TABLE part (
+            p_partkey INTEGER NOT NULL, p_name VARCHAR(55) NOT NULL,
+            p_mfgr VARCHAR(25) NOT NULL, p_brand VARCHAR(10) NOT NULL,
+            p_type VARCHAR(25) NOT NULL, p_size INTEGER NOT NULL,
+            p_container VARCHAR(10) NOT NULL,
+            p_retailprice DECIMAL(15,2) NOT NULL, p_comment VARCHAR(23) NOT NULL)""",
+        """CREATE TABLE partsupp (
+            ps_partkey INTEGER NOT NULL, ps_suppkey INTEGER NOT NULL,
+            ps_availqty INTEGER NOT NULL, ps_supplycost DECIMAL(15,2) NOT NULL,
+            ps_comment VARCHAR(199) NOT NULL)""",
+        """CREATE TABLE orders (
+            o_orderkey INTEGER NOT NULL, o_custkey INTEGER NOT NULL,
+            o_orderstatus VARCHAR(1) NOT NULL, o_totalprice DECIMAL(15,2) NOT NULL,
+            o_orderdate DATE NOT NULL, o_orderpriority VARCHAR(15) NOT NULL,
+            o_clerk VARCHAR(15) NOT NULL, o_shippriority INTEGER NOT NULL,
+            o_comment VARCHAR(79) NOT NULL)""",
+        """CREATE TABLE lineitem (
+            l_orderkey INTEGER NOT NULL, l_partkey INTEGER NOT NULL,
+            l_suppkey INTEGER NOT NULL, l_linenumber INTEGER NOT NULL,
+            l_quantity DECIMAL(15,2) NOT NULL,
+            l_extendedprice DECIMAL(15,2) NOT NULL,
+            l_discount DECIMAL(15,2) NOT NULL, l_tax DECIMAL(15,2) NOT NULL,
+            l_returnflag VARCHAR(1) NOT NULL, l_linestatus VARCHAR(1) NOT NULL,
+            l_shipdate DATE NOT NULL, l_commitdate DATE NOT NULL,
+            l_receiptdate DATE NOT NULL, l_shipinstruct VARCHAR(25) NOT NULL,
+            l_shipmode VARCHAR(10) NOT NULL, l_comment VARCHAR(44) NOT NULL)""",
+    ]
+
+
+def column_type_names(table: str) -> list:
+    """SQL type per column of a TPC-H table (schema order)."""
+    from repro.sql.parser import parse_one
+
+    ddl = dict(zip(TABLES, schema_statements()))[table]
+    statement = parse_one(ddl)
+    return [spec.type_name for spec in statement.columns]
+
+
+def load(conn, data: dict, tables: list | None = None) -> None:
+    """Create the schema and bulk-append generated data via the fast path."""
+    ddl = dict(zip(TABLES, schema_statements()))
+    for table in tables or TABLES:
+        conn.execute(f"DROP TABLE IF EXISTS {table}")
+        conn.execute(ddl[table])
+        conn.append(table, data[table])

@@ -1,0 +1,59 @@
+"""Shared fixtures: fresh embedded databases, tiny TPC-H data, adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.database import Database
+
+
+@pytest.fixture
+def db():
+    """A fresh in-memory embedded database (direct instance, no singleton)."""
+    database = Database(None)
+    yield database
+    database.shutdown()
+
+
+@pytest.fixture
+def conn(db):
+    """A connection to the fresh in-memory database."""
+    connection = db.connect()
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def persistent_db(tmp_path):
+    """A fresh persistent database in a temp directory."""
+    database = Database(str(tmp_path / "db"))
+    yield database
+    database.shutdown()
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny():
+    """Deterministic tiny TPC-H dataset shared across the session."""
+    from repro.workloads.tpch import generate
+
+    return generate(0.002, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tpch_small():
+    """Slightly larger TPC-H dataset for integration/correctness tests."""
+    from repro.workloads.tpch import generate
+
+    return generate(0.01, seed=42)
+
+
+@pytest.fixture
+def tpch_conn(db, tpch_tiny):
+    """Connection with the tiny TPC-H dataset loaded."""
+    from repro.workloads.tpch import load
+
+    connection = db.connect()
+    load(connection, tpch_tiny)
+    yield connection
+    connection.close()

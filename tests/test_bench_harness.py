@@ -1,0 +1,190 @@
+"""Tests for the benchmark harness: timing protocol, adapters, runners."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import BenchResult, measure
+from repro.bench.report import render_figure, render_table1
+from repro.bench.systems import LIBRARIES, SYSTEMS, make_adapter
+from repro.errors import DatabaseError, OutOfMemoryError, QueryTimeoutError
+
+
+class TestMeasure:
+    def test_median_of_hot_runs(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        result = measure("x", fn, runs=5, timeout=60)
+        assert result.ok
+        assert len(calls) == 6  # one cold + five hot
+        assert len(result.times) == 5
+
+    def test_cold_run_discarded(self):
+        durations = iter([0.05, 0.001, 0.001, 0.001])
+
+        def fn():
+            time.sleep(next(durations))
+
+        result = measure("x", fn, runs=3, timeout=60)
+        assert result.median < 0.02  # the slow cold run did not count
+
+    def test_timeout_marks_t(self):
+        def fn():
+            time.sleep(0.05)
+
+        result = measure("x", fn, runs=3, timeout=0.01)
+        assert result.status == "T"
+        assert result.cell() == "T"
+
+    def test_query_timeout_exception_marks_t(self):
+        def fn():
+            raise QueryTimeoutError("too slow")
+
+        assert measure("x", fn, runs=2, timeout=60).status == "T"
+
+    def test_oom_marks_e(self):
+        def fn():
+            raise OutOfMemoryError("boom")
+
+        result = measure("x", fn, runs=2, timeout=60)
+        assert result.status == "E"
+        assert result.cell() == "E"
+
+    def test_other_errors_mark_x(self):
+        def fn():
+            raise ValueError("bug")
+
+        result = measure("x", fn, runs=2, timeout=60)
+        assert result.status == "X"
+        assert "ValueError" in result.detail
+
+
+class TestReport:
+    def test_render_figure(self):
+        results = {
+            "A": BenchResult("A", "ok", 1.0, [1.0]),
+            "B": BenchResult("B", "T"),
+        }
+        text = render_figure("Figure X", results)
+        assert "1.00s" in text and "T" in text
+
+    def test_render_table1(self):
+        results = {
+            "Sys": {1: BenchResult("q1", "ok", 0.5, [0.5]),
+                    2: BenchResult("q2", "T")},
+            "Lib": {1: BenchResult("q1", "E"),
+                    2: BenchResult("q2", "E")},
+        }
+        text = render_table1("Table 1", results, [1, 2])
+        assert "T+0.50" in text  # the paper's T+<partial sum> convention
+        assert "E" in text
+
+
+class TestAdapters:
+    def test_registry_covers_the_paper(self):
+        assert set(SYSTEMS) == {
+            "MonetDBLite", "MonetDB", "SQLite", "PostgreSQL", "MariaDB",
+        }
+        assert set(LIBRARIES) == {"data.table", "dplyr", "Pandas", "Julia"}
+
+    def test_unknown_system(self):
+        with pytest.raises(DatabaseError):
+            make_adapter("Oracle")
+
+    @pytest.mark.parametrize("name", ["MonetDBLite", "SQLite"])
+    def test_embedded_adapter_full_surface(self, name, tmp_path):
+        adapter = make_adapter(name)
+        adapter.setup(str(tmp_path))
+        try:
+            adapter.db_write_table(
+                "t",
+                {"a": np.arange(10, dtype=np.int32)},
+                ["INTEGER"],
+                create_sql="CREATE TABLE t (a INTEGER)",
+            )
+            assert adapter.query_rows("SELECT count(*) FROM t") == [(10,)]
+            columns = adapter.query_columns("SELECT a FROM t WHERE a < 3")
+            assert np.asarray(columns["a"]).tolist() == [0, 1, 2]
+            full = adapter.db_read_table("t")
+            assert len(np.asarray(full["a"])) == 10
+        finally:
+            adapter.teardown()
+
+    def test_socket_adapter_in_process(self, tmp_path):
+        adapter = make_adapter("PostgreSQL", in_process=True)
+        adapter.setup(str(tmp_path))
+        try:
+            adapter.db_write_table(
+                "t",
+                {"a": np.arange(5, dtype=np.int32)},
+                ["INTEGER"],
+                create_sql="CREATE TABLE t (a INTEGER)",
+            )
+            assert adapter.query_rows("SELECT sum(a) FROM t") == [(10,)]
+        finally:
+            adapter.teardown()
+
+
+class TestExperimentRunnersQuick:
+    """Smoke runs of every figure/table runner at minimum scale."""
+
+    def test_fig5_and_fig6(self):
+        from repro.bench.figures import fig5_ingest, fig6_export
+
+        systems = ["MonetDBLite", "SQLite"]
+        ingest = fig5_ingest(
+            scale_factor=0.001, systems=systems, runs=1, timeout=120
+        )
+        assert set(ingest) == set(systems)
+        assert all(r.ok for r in ingest.values())
+        export = fig6_export(
+            scale_factor=0.001, systems=systems, runs=1, timeout=120
+        )
+        assert all(r.ok for r in export.values())
+        # the headline claim: embedded columnar exports faster than the
+        # row store even though both are in-process
+        assert export["MonetDBLite"].median < export["SQLite"].median
+
+    def test_table1_grid(self):
+        from repro.bench.tables import table1, total_row
+
+        results = table1(
+            scale_factor=0.001,
+            db_systems=["MonetDBLite"],
+            libraries=["data.table"],
+            queries=[1, 6],
+            runs=1,
+            timeout=120,
+        )
+        assert set(results) == {"MonetDBLite", "data.table"}
+        for system, per_query in results.items():
+            assert set(per_query) == {1, 6}
+            assert all(r.ok for r in per_query.values())
+            assert total_row(per_query).ok
+
+    def test_table1_large_scale_oom_markers(self):
+        from repro.bench.tables import table1
+
+        results = table1(
+            scale_factor=0.002,
+            library_budget=100_000,  # absurdly small: forces E
+            db_systems=[],
+            libraries=["Pandas"],
+            queries=[3],
+            runs=1,
+            timeout=120,
+        )
+        assert results["Pandas"][3].status == "E"
+
+    def test_fig7_fig8_acs(self):
+        from repro.bench.figures import fig7_acs_load, fig8_acs_stats
+
+        systems = ["MonetDBLite"]
+        load = fig7_acs_load(nrows=300, systems=systems, runs=1, timeout=120)
+        assert load["MonetDBLite"].ok
+        stats = fig8_acs_stats(nrows=300, systems=systems, runs=1, timeout=120)
+        assert stats["MonetDBLite"].ok

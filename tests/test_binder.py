@@ -1,0 +1,313 @@
+"""Unit tests for binding: name resolution, coercion, aggregation, errors."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra import nodes as N
+from repro.algebra.binder import bind_statement
+from repro.errors import BindError
+from repro.sql.parser import parse_one
+from repro.storage import types as T
+from repro.storage.catalog import ColumnDef, TableSchema
+
+
+def make_lookup():
+    schemas = {
+        "t": TableSchema(
+            "t",
+            [
+                ColumnDef("a", T.INTEGER),
+                ColumnDef("b", T.STRING),
+                ColumnDef("c", T.decimal(10, 2)),
+                ColumnDef("d", T.DATE),
+                ColumnDef("e", T.DOUBLE),
+            ],
+        ),
+        "u": TableSchema(
+            "u", [ColumnDef("a", T.INTEGER), ColumnDef("x", T.BIGINT)]
+        ),
+    }
+    return lambda name: schemas[name.lower()]
+
+
+def bind(sql):
+    return bind_statement(parse_one(sql), make_lookup())
+
+
+class TestNameResolution:
+    def test_unqualified(self):
+        bound = bind("select a from t")
+        assert bound.column_names == ["a"]
+
+    def test_qualified_and_alias(self):
+        bound = bind("select x.a from t x")
+        assert isinstance(bound.plan, N.Project)
+
+    def test_unknown_column(self):
+        with pytest.raises(BindError, match="unknown column"):
+            bind("select nope from t")
+
+    def test_ambiguous_column(self):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind("select a from t, u")
+
+    def test_qualified_disambiguates(self):
+        bound = bind("select t.a, u.a from t, u")
+        assert bound.column_names == ["a", "a"]
+
+    def test_star_expansion(self):
+        bound = bind("select * from t")
+        assert bound.column_names == ["a", "b", "c", "d", "e"]
+
+    def test_table_star(self):
+        bound = bind("select u.* from t, u")
+        assert bound.column_names == ["a", "x"]
+
+
+class TestCoercion:
+    def _projected(self, sql):
+        return bind(sql).plan.exprs[0]
+
+    def test_decimal_compare_rescales_constant(self):
+        bound = bind("select a from t where c < 24")
+        predicate = _find_filter_predicate(bound.plan)
+        assert isinstance(predicate.right, E.Const)
+        assert predicate.right.value == 2400  # 24 in scale-2 storage
+
+    def test_date_literal_folds_to_days(self):
+        bound = bind("select a from t where d <= date '1970-01-03'")
+        predicate = _find_filter_predicate(bound.plan)
+        assert predicate.right.value == 2
+
+    def test_date_interval_folds(self):
+        bound = bind(
+            "select a from t where d <= date '1970-02-01' - interval '31' day"
+        )
+        predicate = _find_filter_predicate(bound.plan)
+        assert predicate.right.value == 0
+
+    def test_interval_month_fold(self):
+        bound = bind(
+            "select a from t where d < date '1993-07-01' + interval '3' month"
+        )
+        predicate = _find_filter_predicate(bound.plan)
+        assert predicate.right.value == T.DATE.to_storage("1993-10-01")
+
+    def test_division_is_double(self):
+        expr = self._projected("select a / 2 from t")
+        assert expr.type == T.DOUBLE
+
+    def test_decimal_arith_is_double(self):
+        expr = self._projected("select c * 2 from t")
+        assert expr.type == T.DOUBLE
+
+    def test_int_arith_widens(self):
+        lookup = make_lookup()
+        bound = bind_statement(parse_one("select a + x from u"), lookup)
+        assert bound.plan.exprs[0].type == T.BIGINT
+
+    def test_varchar_lengths_do_not_cast(self):
+        bound = bind("select a from t where b = 'x'")
+        predicate = _find_filter_predicate(bound.plan)
+        assert isinstance(predicate.left, E.SlotRef)  # no CastExpr wrapper
+
+    def test_string_arith_rejected(self):
+        with pytest.raises(BindError):
+            bind("select b + 1 from t")
+
+    def test_date_minus_date_is_days(self):
+        expr = self._projected("select d - d from t")
+        assert expr.type == T.INTEGER
+
+
+class TestAggregation:
+    def test_group_by_with_aggregates(self):
+        bound = bind("select b, sum(a) as s, count(*) from t group by b")
+        aggregate = _find_node(bound.plan, N.Aggregate)
+        assert len(aggregate.group_exprs) == 1
+        assert [a.func for a in aggregate.aggregates] == ["sum", "count_star"]
+
+    def test_group_by_alias(self):
+        bound = bind("select a + 1 as k, count(*) from t group by k")
+        aggregate = _find_node(bound.plan, N.Aggregate)
+        assert isinstance(aggregate.group_exprs[0], E.Arith)
+
+    def test_duplicate_aggregates_shared(self):
+        bound = bind("select sum(a) / sum(a) from t")
+        aggregate = _find_node(bound.plan, N.Aggregate)
+        assert len(aggregate.aggregates) == 1
+
+    def test_bare_column_outside_group_rejected(self):
+        with pytest.raises(BindError, match="GROUP BY"):
+            bind("select a, count(*) from t group by b")
+
+    def test_nested_aggregate_rejected(self):
+        with pytest.raises(BindError, match="nested"):
+            bind("select sum(count(*)) from t")
+
+    def test_having_without_aggregates_rejected(self):
+        with pytest.raises(BindError, match="HAVING"):
+            bind("select a from t having a > 1")
+
+    def test_sum_of_string_rejected(self):
+        with pytest.raises(BindError):
+            bind("select sum(b) from t")
+
+    def test_aggregate_result_types(self):
+        bound = bind(
+            "select sum(a), avg(a), count(*), min(b), sum(c) from t"
+        )
+        types = [e.type for e in bound.plan.exprs]
+        assert types[0] == T.BIGINT  # sum int
+        assert types[1] == T.DOUBLE  # avg
+        assert types[2] == T.BIGINT  # count
+        assert types[3].category == T.TypeCategory.STRING  # min string
+        assert types[4] == T.DOUBLE  # sum decimal
+
+
+class TestOrderBy:
+    def test_by_alias(self):
+        bound = bind("select a as k from t order by k desc")
+        sort = _find_node(bound.plan, N.Sort)
+        assert sort.keys[0].descending
+
+    def test_by_ordinal(self):
+        bound = bind("select a, b from t order by 2")
+        sort = _find_node(bound.plan, N.Sort)
+        assert sort.keys[0].expr.index == 1
+
+    def test_ordinal_out_of_range(self):
+        with pytest.raises(BindError):
+            bind("select a from t order by 3")
+
+    def test_unknown_order_column(self):
+        with pytest.raises(BindError):
+            bind("select a from t order by zz")
+
+
+class TestSubqueries:
+    def test_exists_decorrelates_to_semijoin(self):
+        bound = bind(
+            "select a from t where exists "
+            "(select 1 from u where u.a = t.a and u.x > 5)"
+        )
+        semi = _find_node(bound.plan, N.SemiJoin)
+        assert semi is not None and not semi.anti
+
+    def test_not_exists_is_antijoin(self):
+        bound = bind(
+            "select a from t where not exists (select 1 from u where u.a = t.a)"
+        )
+        assert _find_node(bound.plan, N.SemiJoin).anti
+
+    def test_in_subquery_decorrelates(self):
+        bound = bind("select a from t where a in (select a from u)")
+        assert _find_node(bound.plan, N.SemiJoin) is not None
+
+    def test_correlated_scalar_agg_decorrelates(self):
+        bound = bind(
+            "select a from t where c = "
+            "(select min(x) from u where u.a = t.a)"
+        )
+        join = _find_node(bound.plan, N.Join)
+        aggregate = _find_node(bound.plan, N.Aggregate)
+        assert join is not None and aggregate is not None
+        assert join.residual is not None  # the c = min(x) comparison
+        assert aggregate.aggregates[0].func == "min"
+
+    def test_count_subquery_not_decorrelated(self):
+        # count over an empty group is 0, not NULL: the rewrite is unsound
+        bound = bind(
+            "select a from t where a = "
+            "(select count(x) from u where u.a = t.a)"
+        )
+        predicate = _find_filter_predicate(bound.plan, unwrap_compare=False)
+        assert any(
+            isinstance(node, E.ScalarSubqueryExpr)
+            for node in _compare_sides(predicate)
+        )
+
+    def test_non_equality_correlation_falls_back(self):
+        bound = bind(
+            "select a from t where c = "
+            "(select min(x) from u where u.a > t.a)"
+        )
+        predicate = _find_filter_predicate(bound.plan, unwrap_compare=False)
+        assert any(
+            isinstance(node, E.ScalarSubqueryExpr)
+            for node in _compare_sides(predicate)
+        )
+
+    def test_decorrelation_toggle(self, monkeypatch):
+        import repro.algebra.binder as binder_module
+
+        monkeypatch.setattr(binder_module, "ENABLE_SCALAR_DECORRELATION", False)
+        bound = bind(
+            "select a from t where c = "
+            "(select min(x) from u where u.a = t.a)"
+        )
+        assert _find_node(bound.plan, N.Aggregate) is None
+
+    def test_scalar_subquery_multi_column_rejected(self):
+        with pytest.raises(BindError):
+            bind("select (select a, x from u) from t")
+
+    def test_aggregated_exists_falls_back(self):
+        bound = bind(
+            "select a from t where exists "
+            "(select count(*) from u where u.a = t.a)"
+        )
+        predicate = _find_filter_predicate(bound.plan, unwrap_compare=False)
+        assert isinstance(predicate, E.ExistsSubqueryExpr)
+
+
+class TestDML:
+    def test_insert_binding(self):
+        bound = bind("insert into t (a, c, d) values (1, 2.5, date '1970-01-02')")
+        assert bound.rows[0][0] == 1
+        assert bound.rows[0][1] == 2.5
+        assert bound.rows[0][2].isoformat() == "1970-01-02"
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(BindError):
+            bind("insert into t (a, b) values (1)")
+
+    def test_insert_non_constant_rejected(self):
+        with pytest.raises(BindError):
+            bind("insert into t (a) values (a + 1)")
+
+    def test_update_assignment_coerced(self):
+        bound = bind("update t set c = 5 where a = 1")
+        index, expr = bound.assignments[0]
+        assert index == 2
+        assert expr.type.category == T.TypeCategory.DECIMAL
+
+    def test_delete_predicate_bound(self):
+        bound = bind("delete from t where a > 10")
+        assert isinstance(bound.predicate, E.Compare)
+
+
+def _find_node(plan, node_type):
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, node_type):
+            return node
+        stack.extend(getattr(node, "children", []) or [])
+    return None
+
+
+def _compare_sides(predicate):
+    """Sides of a comparison with CastExpr wrappers peeled (or [pred])."""
+    if not isinstance(predicate, E.Compare):
+        return [predicate]
+    sides = [predicate.left, predicate.right]
+    return [s.operand if isinstance(s, E.CastExpr) else s for s in sides]
+
+
+def _find_filter_predicate(plan, unwrap_compare=True):
+    node = _find_node(plan, N.Filter)
+    if node is None:
+        multi = _find_node(plan, N.MultiJoin)
+        return multi.predicates[0]
+    return node.predicate

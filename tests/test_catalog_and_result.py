@@ -1,0 +1,164 @@
+"""Tests for the catalog, the Result API, and connection conveniences."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, InterfaceError
+from repro.storage import types as T
+from repro.storage.catalog import Catalog, ColumnDef, TableSchema
+from repro.storage.table import Table
+
+
+class TestCatalog:
+    def make(self, name="t"):
+        return Table(TableSchema(name, [ColumnDef("a", T.INTEGER)]))
+
+    def test_register_and_get_case_insensitive(self):
+        catalog = Catalog()
+        catalog.register(self.make("MiXeD"))
+        assert catalog.get("mixed") is catalog.get("MIXED")
+
+    def test_duplicate_register(self):
+        catalog = Catalog()
+        catalog.register(self.make())
+        with pytest.raises(CatalogError):
+            catalog.register(self.make())
+        # if_not_exists returns the existing one
+        existing = catalog.register(self.make(), if_not_exists=True)
+        assert existing is catalog.get("t")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.register(self.make())
+        catalog.drop("t")
+        assert not catalog.exists("t")
+        with pytest.raises(CatalogError):
+            catalog.drop("t")
+        catalog.drop("t", if_exists=True)  # no raise
+
+    def test_list_and_clear(self):
+        catalog = Catalog()
+        catalog.register(self.make("b"))
+        catalog.register(self.make("a"))
+        assert catalog.list_tables() == ["a", "b"]
+        catalog.clear()
+        assert catalog.list_tables() == []
+
+    def test_schema_duplicate_column(self):
+        with pytest.raises(CatalogError):
+            TableSchema("x", [ColumnDef("a", T.INTEGER),
+                              ColumnDef("A", T.DOUBLE)])
+
+    def test_column_index(self):
+        schema = TableSchema(
+            "x", [ColumnDef("a", T.INTEGER), ColumnDef("b", T.DOUBLE)]
+        )
+        assert schema.column_index("B") == 1
+        assert schema.has_column("a") and not schema.has_column("zz")
+        with pytest.raises(CatalogError):
+            schema.column_index("zz")
+
+
+class TestResultAPI:
+    @pytest.fixture
+    def result(self, conn):
+        conn.execute("CREATE TABLE r (a INTEGER, b VARCHAR(5), c DOUBLE)")
+        conn.execute(
+            "INSERT INTO r VALUES (1, 'x', 0.5), (2, 'y', NULL), (3, NULL, 2.5)"
+        )
+        return conn.query("SELECT a, b, c FROM r ORDER BY a")
+
+    def test_names_and_shape(self, result):
+        assert result.names == ["a", "b", "c"]
+        assert (result.nrows, result.ncols) == (3, 3)
+
+    def test_fetchone_and_fetchall(self, result):
+        assert result.fetchone() == (1, "x", 0.5)
+        assert len(result.fetchall()) == 3
+
+    def test_column_values(self, result):
+        assert result.column_values(1) == ["x", "y", None]
+
+    def test_column_index_lookup(self, result):
+        assert result.column_index("c") == 2
+        with pytest.raises(InterfaceError):
+            result.column_index("nope")
+
+    def test_to_dict(self, result):
+        columns = result.to_dict()
+        assert set(columns) == {"a", "b", "c"}
+        assert np.asarray(columns["a"]).tolist() == [1, 2, 3]
+
+    def test_scalar_shape_guard(self, result):
+        with pytest.raises(InterfaceError):
+            result.scalar()
+
+    def test_out_of_range_column(self, result):
+        with pytest.raises(InterfaceError):
+            result.fetch_low_level(9)
+
+    def test_empty_result(self, conn):
+        conn.execute("CREATE TABLE empty (a INTEGER)")
+        result = conn.query("SELECT a FROM empty")
+        assert result.nrows == 0
+        assert result.fetchall() == []
+        assert result.fetchone() is None
+
+
+class TestConnectionMisc:
+    def test_multiple_statements_return_last_result(self, conn):
+        result = conn.execute(
+            "CREATE TABLE ms (a INTEGER); "
+            "INSERT INTO ms VALUES (1); "
+            "SELECT a FROM ms;"
+        )
+        assert result.fetchall() == [(1,)]
+
+    def test_context_manager_closes(self, db):
+        with db.connect() as connection:
+            connection.execute("CREATE TABLE cm (a INTEGER)")
+        with pytest.raises(InterfaceError):
+            connection.execute("SELECT 1")
+
+    def test_explain_rejects_dml(self, conn):
+        conn.execute("CREATE TABLE ex (a INTEGER)")
+        with pytest.raises(InterfaceError):
+            conn.explain("INSERT INTO ex VALUES (1)")
+
+    def test_interquery_parallelism_two_connections(self, db):
+        """Paper 3.2: multiple dummy-client connections on one instance."""
+        first = db.connect()
+        second = db.connect()
+        first.execute("CREATE TABLE shared (v INTEGER)")
+        first.append("shared", {"v": np.arange(100, dtype=np.int32)})
+        import threading
+
+        answers = {}
+
+        def worker(name, connection, sql):
+            answers[name] = connection.query(sql).scalar()
+
+        threads = [
+            threading.Thread(
+                target=worker,
+                args=("sum", first, "SELECT sum(v) FROM shared"),
+            ),
+            threading.Thread(
+                target=worker,
+                args=("count", second, "SELECT count(*) FROM shared"),
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert answers == {"sum": 4950, "count": 100}
+        first.close()
+        second.close()
+
+    def test_append_validates_columns(self, conn):
+        conn.execute("CREATE TABLE av (a INTEGER, b INTEGER)")
+        with pytest.raises(CatalogError, match="missing column"):
+            conn.append("av", {"a": np.arange(3)})
+        with pytest.raises(CatalogError, match="differing lengths"):
+            conn.append("av", {"a": np.arange(3), "b": np.arange(4)})

@@ -1,0 +1,139 @@
+"""Unit tests for packed columns (construction, nulls, append, slack)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConversionError
+from repro.storage import types as T
+from repro.storage.column import Column
+
+
+class TestConstruction:
+    def test_from_values_integers_with_null(self):
+        col = Column.from_values(T.INTEGER, [1, None, 3])
+        assert col.to_python() == [1, None, 3]
+        assert col.null_count() == 1
+
+    def test_from_values_strings(self):
+        col = Column.from_values(T.STRING, ["a", None, "a"])
+        assert col.to_python() == ["a", None, "a"]
+        assert col.data[0] == col.data[2]  # shared heap slot
+
+    def test_from_values_decimal(self):
+        dec = T.decimal(10, 2)
+        col = Column.from_values(dec, [1.25, None])
+        assert col.data[0] == 125
+        assert col.to_python() == [1.25, None]
+
+    def test_from_numpy_matching_dtype_is_zero_copy(self):
+        arr = np.array([1, 2, 3], dtype=np.int32)
+        col = Column.from_numpy(T.INTEGER, arr)
+        assert col.data is arr
+
+    def test_from_numpy_decimal_scales_floats(self):
+        col = Column.from_numpy(T.decimal(10, 2), np.array([1.5, np.nan]))
+        assert col.data[0] == 150
+        assert col.type.is_null_scalar(col.data[1])
+
+    def test_from_storage_values(self):
+        col = Column.from_storage_values(T.DATE, [0, None, 1])
+        assert col.to_python()[0].isoformat() == "1970-01-01"
+        assert col.to_python()[1] is None
+
+    def test_string_requires_heap(self):
+        with pytest.raises(ConversionError):
+            Column(T.STRING, np.zeros(2, dtype=np.int64), heap=None)
+
+    def test_empty(self):
+        col = Column.empty(T.DOUBLE)
+        assert len(col) == 0 and col.to_python() == []
+
+
+class TestAccess:
+    def test_value_and_string_values(self):
+        col = Column.from_values(T.STRING, ["x", "y", None])
+        assert col.value(1) == "y"
+        assert col.string_values().tolist() == ["x", "y", None]
+
+    def test_string_values_rejected_for_numeric(self):
+        with pytest.raises(ConversionError):
+            Column.from_values(T.INTEGER, [1]).string_values()
+
+    def test_take_filter_slice_share_heap(self):
+        col = Column.from_values(T.STRING, ["a", "b", "c", "a"])
+        taken = col.take(np.array([3, 0]))
+        assert taken.to_python() == ["a", "a"]
+        filtered = col.filter(np.array([True, False, True, False]))
+        assert filtered.to_python() == ["a", "c"]
+        assert col.slice(1, 3).to_python() == ["b", "c"]
+        assert taken.heap is col.heap
+
+
+class TestAppend:
+    def test_append_numeric(self):
+        a = Column.from_values(T.INTEGER, [1, 2])
+        b = Column.from_values(T.INTEGER, [3, None])
+        assert a.append(b).to_python() == [1, 2, 3, None]
+
+    def test_append_strings_remaps_heap(self):
+        a = Column.from_values(T.STRING, ["x", "y"])
+        b = Column.from_values(T.STRING, ["y", "z"])
+        merged = a.append(b)
+        assert merged.to_python() == ["x", "y", "y", "z"]
+        assert merged.heap is a.heap
+
+    def test_append_category_mismatch(self):
+        a = Column.from_values(T.INTEGER, [1])
+        b = Column.from_values(T.STRING, ["x"])
+        with pytest.raises(ConversionError):
+            a.append(b)
+
+    def test_append_widening_dtype(self):
+        a = Column.from_values(T.BIGINT, [1])
+        b = Column.from_values(T.BIGINT, [2])
+        b.data = b.data.astype(np.int64)
+        assert a.append(b).to_python() == [1, 2]
+
+
+class TestSlackGrowth:
+    """Amortized in-place appends used on the commit path."""
+
+    def test_slack_appends_preserve_older_prefix_views(self):
+        col = Column.from_values(T.INTEGER, [1, 2])
+        grown = col.append(
+            Column.from_values(T.INTEGER, [3]), in_place_slack=True
+        )
+        # the older column still sees exactly its two rows
+        assert col.to_python() == [1, 2]
+        assert grown.to_python() == [1, 2, 3]
+
+    def test_slack_reuses_buffer_capacity(self):
+        col = Column.from_values(T.INTEGER, [1])
+        one = Column.from_values(T.INTEGER, [9])
+        grown = col.append(one, in_place_slack=True)
+        buffer_before = grown.data.base
+        grown2 = grown.append(one, in_place_slack=True)
+        # second append fits in the same power-of-two buffer
+        assert grown2.data.base is buffer_before
+
+    def test_many_small_slack_appends_correct(self):
+        col = Column.from_values(T.INTEGER, [])
+        one_by_one = []
+        for i in range(200):
+            col = col.append(
+                Column.from_values(T.INTEGER, [i]), in_place_slack=True
+            )
+            one_by_one.append(i)
+        assert col.to_python() == one_by_one
+
+    @given(st.lists(st.lists(st.one_of(st.none(), st.integers(-1000, 1000)),
+                             max_size=5), max_size=20))
+    def test_slack_equals_plain_append(self, bundles):
+        plain = Column.from_values(T.INTEGER, [])
+        slack = Column.from_values(T.INTEGER, [])
+        for bundle in bundles:
+            extra = Column.from_values(T.INTEGER, bundle)
+            plain = plain.append(extra)
+            slack = slack.append(extra, in_place_slack=True)
+        assert plain.to_python() == slack.to_python()

@@ -1,0 +1,139 @@
+"""End-to-end tests for the less-traveled execution paths."""
+
+import numpy as np
+import pytest
+
+import repro.algebra.binder as binder_module
+
+
+class TestMergeJoinViaOrderIndexes:
+    def test_tactical_merge_join_used_and_correct(self, db):
+        conn = db.connect()
+        rng = np.random.default_rng(5)
+        left_keys = rng.integers(0, 5000, 20_000).astype(np.int32)
+        right_keys = np.arange(5000, dtype=np.int32)
+        conn.execute("CREATE TABLE ml (k INTEGER)")
+        conn.execute("CREATE TABLE mr (k INTEGER, v INTEGER)")
+        conn.append("ml", {"k": left_keys})
+        conn.append(
+            "mr", {"k": right_keys, "v": right_keys * 2}
+        )
+        sql = "SELECT sum(v) FROM ml, mr WHERE ml.k = mr.k"
+        plain = conn.query(sql).scalar()
+        conn.execute("CREATE ORDER INDEX oml ON ml (k)")
+        conn.execute("CREATE ORDER INDEX omr ON mr (k)")
+        hits_before = db.index_manager.stats.order_hits
+        merged = conn.query(sql).scalar()
+        assert merged == plain
+        assert db.index_manager.stats.order_hits > hits_before
+        assert plain == int((left_keys.astype(np.int64) * 2).sum())
+
+
+class TestNaiveCorrelatedPaths:
+    """Exercise the per-row subquery fallbacks that decorrelation skips."""
+
+    @pytest.fixture
+    def pair(self, conn):
+        conn.execute("CREATE TABLE o (id INTEGER, v INTEGER)")
+        conn.execute("CREATE TABLE i (ref INTEGER, w INTEGER)")
+        conn.execute("INSERT INTO o VALUES (1, 10), (2, 20), (3, 30)")
+        conn.execute(
+            "INSERT INTO i VALUES (1, 5), (1, 6), (2, 25), (3, 29), (3, 31)"
+        )
+        return conn
+
+    def test_count_subquery_runs_per_row(self, pair):
+        # count() is excluded from decorrelation: naive path
+        rows = pair.query(
+            "SELECT id FROM o WHERE 2 = "
+            "(SELECT count(w) FROM i WHERE i.ref = o.id) ORDER BY id"
+        ).fetchall()
+        assert rows == [(1,), (3,)]
+
+    def test_non_equality_correlation(self, pair):
+        rows = pair.query(
+            "SELECT id FROM o WHERE v < "
+            "(SELECT max(w) FROM i WHERE i.w > o.v) ORDER BY id"
+        ).fetchall()
+        assert [r[0] for r in rows] == [1, 2, 3]
+
+    def test_aggregated_exists_fallback(self, pair):
+        rows = pair.query(
+            "SELECT id FROM o WHERE EXISTS "
+            "(SELECT count(*) FROM i WHERE i.ref = o.id) ORDER BY id"
+        ).fetchall()
+        # an aggregate subquery always yields one row: EXISTS is true
+        assert [r[0] for r in rows] == [1, 2, 3]
+
+    def test_uncorrelated_scalar_subquery_evaluated_once(self, pair):
+        rows = pair.query(
+            "SELECT id FROM o WHERE v > (SELECT avg(w) FROM i) ORDER BY id"
+        ).fetchall()
+        # avg(w) = 19.2
+        assert [r[0] for r in rows] == [2, 3]
+
+    def test_empty_scalar_subquery_is_null(self, pair):
+        rows = pair.query(
+            "SELECT id FROM o WHERE v = "
+            "(SELECT max(w) FROM i WHERE i.ref = 99)"
+        ).fetchall()
+        assert rows == []  # NULL comparison: no row qualifies
+
+    def test_scalar_subquery_in_select_list(self, pair):
+        rows = pair.query(
+            "SELECT id, (SELECT max(w) FROM i WHERE i.ref = o.id) FROM o "
+            "ORDER BY id"
+        ).fetchall()
+        assert rows == [(1, 6), (2, 25), (3, 31)]
+
+    def test_decorrelated_equals_naive(self, pair, monkeypatch):
+        sql = (
+            "SELECT id FROM o WHERE v > "
+            "(SELECT min(w) FROM i WHERE i.ref = o.id) ORDER BY id"
+        )
+        fast = pair.query(sql).fetchall()
+        monkeypatch.setattr(
+            binder_module, "ENABLE_SCALAR_DECORRELATION", False
+        )
+        naive = pair.query(sql).fetchall()
+        assert fast == naive == [(1,), (3,)]
+
+
+class TestWideTables:
+    def test_hundreds_of_columns(self, conn):
+        names = [f"c{i:03d}" for i in range(250)]
+        ddl = ", ".join(f"{n} INTEGER" for n in names)
+        conn.execute(f"CREATE TABLE wide ({ddl})")
+        conn.append(
+            "wide",
+            {n: np.full(50, i, dtype=np.int32) for i, n in enumerate(names)},
+        )
+        # touching two of 250 columns binds exactly two (pruning)
+        program = conn.explain("SELECT c000, c249 FROM wide WHERE c100 > 10")
+        assert program.count("bind(") == 3
+        rows = conn.query(
+            "SELECT sum(c249) FROM wide WHERE c100 = 100"
+        ).scalar()
+        assert rows == 249 * 50
+
+
+class TestUpdateDeleteInteractions:
+    def test_update_then_query_in_txn(self, conn):
+        conn.execute("CREATE TABLE ud (a INTEGER)")
+        conn.execute("INSERT INTO ud VALUES (1), (2), (3)")
+        conn.execute("BEGIN")
+        conn.execute("UPDATE ud SET a = a + 100 WHERE a >= 2")
+        assert conn.query(
+            "SELECT sum(a) FROM ud"
+        ).scalar() == 1 + 102 + 103
+        conn.execute("ROLLBACK")
+        assert conn.query("SELECT sum(a) FROM ud").scalar() == 6
+
+    def test_delete_then_insert_same_txn(self, conn):
+        conn.execute("CREATE TABLE di (a INTEGER)")
+        conn.execute("INSERT INTO di VALUES (1), (2)")
+        conn.execute("BEGIN")
+        conn.execute("DELETE FROM di")
+        conn.execute("INSERT INTO di VALUES (9)")
+        conn.execute("COMMIT")
+        assert conn.query("SELECT a FROM di").fetchall() == [(9,)]

@@ -1,0 +1,119 @@
+"""Tests for bind-time constant folding and scalar evaluation."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra.fold import eval_const, fold_expression
+from repro.storage import types as T
+
+
+def const(value, ctype=T.INTEGER):
+    return E.Const(value, ctype)
+
+
+class TestFolding:
+    def test_arithmetic_folds(self):
+        expr = E.Arith("+", const(1), E.Arith("*", const(2), const(3), T.INTEGER),
+                       T.INTEGER)
+        folded = fold_expression(expr)
+        assert isinstance(folded, E.Const) and folded.value == 7
+
+    def test_slotref_blocks_folding(self):
+        expr = E.Arith("+", E.SlotRef(0, T.INTEGER), const(1), T.INTEGER)
+        folded = fold_expression(expr)
+        assert isinstance(folded, E.Arith)
+
+    def test_partial_subtree_folds(self):
+        inner = E.Arith("-", const(10), const(4), T.INTEGER)
+        expr = E.Arith("+", E.SlotRef(0, T.INTEGER), inner, T.INTEGER)
+        folded = fold_expression(expr)
+        assert isinstance(folded.right, E.Const) and folded.right.value == 6
+
+    def test_subquery_never_folds(self):
+        sub = E.ScalarSubqueryExpr(object(), T.INTEGER, correlated=False)
+        assert fold_expression(sub) is sub
+
+    def test_comparison_folds_to_bool(self):
+        folded = fold_expression(E.Compare("<", const(1), const(2)))
+        assert folded.value is True
+
+    def test_case_folds(self):
+        expr = E.CaseWhen(
+            ((E.Compare("=", const(1), const(1)), const(10)),),
+            const(20),
+            T.INTEGER,
+        )
+        assert fold_expression(expr).value == 10
+
+
+class TestNullPropagation:
+    def test_arith_with_null(self):
+        assert eval_const(
+            E.Arith("+", const(None), const(1), T.INTEGER)
+        ) is None
+
+    def test_division_by_zero_is_null(self):
+        assert eval_const(E.Arith("/", const(1), const(0), T.DOUBLE)) is None
+        assert eval_const(E.Arith("%", const(1), const(0), T.INTEGER)) is None
+
+    def test_comparison_with_null_is_unknown(self):
+        assert eval_const(E.Compare("=", const(None), const(1))) is None
+
+    def test_three_valued_and_or(self):
+        unknown = E.Compare("=", const(None), const(1))
+        false = E.Compare("=", const(0), const(1))
+        true = E.Compare("=", const(1), const(1))
+        assert eval_const(E.BoolOp("and", (unknown, false))) is False
+        assert eval_const(E.BoolOp("and", (unknown, true))) is None
+        assert eval_const(E.BoolOp("or", (unknown, true))) is True
+        assert eval_const(E.BoolOp("or", (unknown, false))) is None
+
+    def test_not_unknown_is_unknown(self):
+        unknown = E.Compare("=", const(None), const(1))
+        assert eval_const(E.NotExpr(unknown)) is None
+
+    def test_is_null(self):
+        assert eval_const(E.IsNullExpr(const(None))) is True
+        assert eval_const(E.IsNullExpr(const(1), negated=True)) is True
+
+    def test_coalesce(self):
+        expr = E.FuncCall("coalesce", (const(None), const(5)), T.INTEGER)
+        assert eval_const(expr) == 5
+
+    def test_in_list_with_null_operand(self):
+        expr = E.InListExpr(const(None), (1, 2), False)
+        assert eval_const(expr) is None
+
+
+class TestScalarFunctions:
+    def test_date_functions(self):
+        day = const(T.DATE.to_storage("2000-03-15"), T.DATE)
+        assert eval_const(E.FuncCall("year", (day,), T.INTEGER)) == 2000
+        assert eval_const(E.FuncCall("month", (day,), T.INTEGER)) == 3
+        assert eval_const(
+            E.FuncCall("date_add_days", (day, const(10)), T.DATE)
+        ) == T.DATE.to_storage("2000-03-25")
+        assert eval_const(
+            E.FuncCall("date_add_months", (day, const(11)), T.DATE)
+        ) == T.DATE.to_storage("2001-02-15")
+
+    def test_sqrt_negative_is_null(self):
+        assert eval_const(
+            E.FuncCall("sqrt", (const(-1.0, T.DOUBLE),), T.DOUBLE)
+        ) is None
+
+    def test_string_functions(self):
+        s = const("Hello", T.STRING)
+        assert eval_const(E.FuncCall("upper", (s,), T.STRING)) == "HELLO"
+        assert eval_const(E.FuncCall("length", (s,), T.INTEGER)) == 5
+        assert eval_const(
+            E.FuncCall("substring", (s, const(2), const(3)), T.STRING)
+        ) == "ell"
+
+    def test_concat_operator(self):
+        expr = E.Arith("||", const("a", T.STRING), const("b", T.STRING), T.STRING)
+        assert eval_const(expr) == "ab"
+
+    def test_like_fold(self):
+        expr = E.LikeExpr(const("hello", T.STRING), "h%", False)
+        assert eval_const(expr) is True

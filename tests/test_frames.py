@@ -1,0 +1,208 @@
+"""Tests for the frames library: operations, profiles, memory budget."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DatabaseError, OutOfMemoryError
+from repro.frames import PROFILES, DataFrame, MemoryLimiter
+
+
+def frame(**columns):
+    return DataFrame({k: np.asarray(v) for k, v in columns.items()})
+
+
+class TestBasics:
+    def test_length_and_columns(self):
+        df = frame(a=[1, 2, 3], b=["x", "y", "z"])
+        assert len(df) == 3
+        assert df.columns == ["a", "b"]
+        assert "a" in df and "c" not in df
+
+    def test_ragged_rejected(self):
+        with pytest.raises(DatabaseError):
+            frame(a=[1, 2], b=[1])
+
+    def test_select_and_rename(self):
+        df = frame(a=[1], b=[2]).select(["b"]).rename({"b": "c"})
+        assert df.columns == ["c"]
+
+    def test_filter(self):
+        df = frame(a=[1, 2, 3, 4])
+        assert df.filter(df["a"] % 2 == 0)["a"].tolist() == [2, 4]
+
+    def test_assign(self):
+        df = frame(a=[1, 2]).assign(double=np.array([2, 4]))
+        assert df["double"].tolist() == [2, 4]
+
+    def test_head_take_distinct(self):
+        df = frame(a=[3, 1, 3, 2])
+        assert df.head(2)["a"].tolist() == [3, 1]
+        assert df.take(np.array([1, 0]))["a"].tolist() == [1, 3]
+        assert df.distinct()["a"].tolist() == [3, 1, 2]
+
+
+class TestJoin:
+    def test_inner_join_pairs(self):
+        left = frame(k=[1, 2, 2, 3], lv=[10, 20, 21, 30])
+        right = frame(k=[2, 3, 4], rv=["b", "c", "d"])
+        joined = left.join(right, ["k"], ["k"])
+        assert sorted(zip(joined["lv"], joined["rv"])) == [
+            (20, "b"), (21, "b"), (30, "c"),
+        ]
+
+    def test_name_collision_suffix(self):
+        left = frame(k=[1], v=[1])
+        right = frame(k=[1], v=[2])
+        joined = left.join(right, ["k"], ["k"])
+        assert "v_r" in joined.columns
+
+    def test_composite_keys(self):
+        left = frame(a=[1, 1, 2], b=[1, 2, 1], v=[10, 11, 12])
+        right = frame(a=[1, 2], b=[2, 1], w=[100, 200])
+        joined = left.join(right, ["a", "b"], ["a", "b"])
+        assert sorted(zip(joined["v"], joined["w"])) == [(11, 100), (12, 200)]
+
+    def test_semijoin_and_anti(self):
+        left = frame(k=[1, 2, 3])
+        right = frame(k=[2])
+        assert left.semijoin(right, ["k"], ["k"])["k"].tolist() == [2]
+        assert left.semijoin(right, ["k"], ["k"], anti=True)["k"].tolist() == [1, 3]
+
+    def test_string_keys(self):
+        left = frame(k=np.array(["a", "b"], dtype=object), v=[1, 2])
+        right = frame(k=np.array(["b"], dtype=object), w=[9])
+        joined = left.join(right, ["k"], ["k"])
+        assert joined["v"].tolist() == [2]
+
+
+class TestGroupBy:
+    def test_all_aggregates(self):
+        df = frame(k=[1, 1, 2], v=[1.0, 3.0, 10.0])
+        out = df.groupby_agg(
+            ["k"],
+            {
+                "s": ("v", "sum"),
+                "m": ("v", "mean"),
+                "n": (None, "count"),
+                "lo": ("v", "min"),
+                "hi": ("v", "max"),
+                "med": ("v", "median"),
+            },
+        )
+        out = out.sort_values(["k"])
+        assert out["s"].tolist() == [4.0, 10.0]
+        assert out["m"].tolist() == [2.0, 10.0]
+        assert out["n"].tolist() == [2, 1]
+        assert out["med"].tolist() == [2.0, 10.0]
+
+    def test_string_min_max(self):
+        df = frame(k=[1, 1], s=np.array(["b", "a"], dtype=object))
+        out = df.groupby_agg(["k"], {"lo": ("s", "min"), "hi": ("s", "max")})
+        assert out["lo"].tolist() == ["a"] and out["hi"].tolist() == ["b"]
+
+    def test_multi_key_grouping(self):
+        df = frame(a=[1, 1, 2], b=["x", "x", "x"], v=[1, 2, 3])
+        out = df.groupby_agg(["a", "b"], {"s": ("v", "sum")})
+        assert len(out) == 2
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=100),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_sum_matches_bruteforce(self, keys, values):
+        n = min(len(keys), len(values))
+        keys, values = keys[:n], values[:n]
+        df = frame(k=keys, v=values)
+        out = df.groupby_agg(["k"], {"s": ("v", "sum")}).sort_values(["k"])
+        expected = {}
+        for key, value in zip(keys, values):
+            expected[key] = expected.get(key, 0.0) + value
+        assert out["k"].tolist() == sorted(expected)
+        for key, total in zip(out["k"], out["s"]):
+            assert total == pytest.approx(expected[key])
+
+
+class TestSort:
+    def test_multi_key_mixed_direction(self):
+        df = frame(a=[1, 2, 1, 2], b=[9, 8, 7, 6])
+        out = df.sort_values(["a", "b"], ascending=[True, False])
+        assert list(zip(out["a"], out["b"])) == [(1, 9), (1, 7), (2, 8), (2, 6)]
+
+    def test_string_sort(self):
+        df = frame(s=np.array(["b", "a", "c"], dtype=object))
+        assert df.sort_values(["s"])["s"].tolist() == ["a", "b", "c"]
+
+    def test_nan_sorts_first(self):
+        df = frame(v=[2.0, np.nan, 1.0])
+        out = df.sort_values(["v"])
+        assert np.isnan(out["v"][0])
+
+
+class TestMemoryLimiter:
+    def test_charges_and_peak(self):
+        limiter = MemoryLimiter(None)
+        limiter.charge(100)
+        limiter.charge(50)
+        assert limiter.peak == 100 and limiter.charges == 2
+
+    def test_budget_exceeded_raises(self):
+        limiter = MemoryLimiter(1000)
+        with pytest.raises(OutOfMemoryError, match="out of memory"):
+            limiter.charge(2000, "join")
+
+    def test_frame_operations_charge_working_set(self):
+        limiter = MemoryLimiter(None)
+        df = DataFrame({"a": np.arange(1000)}, limiter=limiter)
+        df.filter(df["a"] > 500)
+        assert limiter.charges >= 1
+        assert limiter.peak >= df.nbytes
+
+    def test_join_oom_under_budget(self):
+        limiter = MemoryLimiter(50_000)
+        left = DataFrame({"k": np.zeros(2000, dtype=np.int64)}, limiter=limiter)
+        right = DataFrame({"k": np.zeros(200, dtype=np.int64)}, limiter=limiter)
+        with pytest.raises(OutOfMemoryError):
+            left.join(right, ["k"], ["k"])  # 400k-row blowup exceeds budget
+
+    def test_generous_budget_passes(self):
+        limiter = MemoryLimiter(10**9)
+        df = DataFrame({"a": np.arange(100)}, limiter=limiter)
+        df.groupby_agg_result = df.groupby_agg(["a"], {"n": (None, "count")})
+
+
+class TestProfiles:
+    def test_all_profiles_give_same_answers(self):
+        data = {
+            "k": np.array([1, 2, 1, 3, 2], dtype=np.int64),
+            "v": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+            "s": np.array(["a", "b", "a", "c", "b"], dtype=object),
+        }
+        reference = None
+        for name in PROFILES:
+            df = DataFrame(dict(data), profile=name)
+            out = df.groupby_agg(["s"], {"t": ("v", "sum")}).sort_values(["s"])
+            result = list(zip(out["s"], out["t"]))
+            if reference is None:
+                reference = result
+            else:
+                assert result == reference
+
+    def test_copy_per_op_actually_copies(self):
+        base = np.arange(5)
+        df = DataFrame({"a": base}, profile="dplyr")
+        selected = df.select(["a"])
+        assert not np.shares_memory(selected["a"], base)
+
+    def test_datatable_shares(self):
+        base = np.arange(5)
+        df = DataFrame({"a": base}, profile="datatable")
+        assert np.shares_memory(df.select(["a"])["a"], base)
+
+    def test_factorization_cache(self):
+        df = DataFrame({"k": np.array([1, 2, 1])}, profile="datatable")
+        first = df._codes("k")
+        assert df._codes("k") is first
+        uncached = DataFrame({"k": np.array([1, 2, 1])}, profile="dplyr")
+        assert uncached._codes("k") is not uncached._codes("k")

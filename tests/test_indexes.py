@@ -1,0 +1,271 @@
+"""Tests for imprints, hash indexes, order indexes and their lifecycle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CatalogError
+from repro.index import HashIndex, Imprint, IndexManager, OrderIndex
+from repro.storage import types as T
+from repro.storage.catalog import ColumnDef, TableSchema
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+class TestImprint:
+    def test_candidates_are_superset_of_matches(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 1000, 2048).astype(np.int32)
+        imprint = Imprint(data)
+        lo, hi = 100, 150
+        candidates = imprint.candidate_rows(lo, hi)
+        actual = (data >= lo) & (data <= hi)
+        assert np.all(candidates[actual])  # no false negatives
+
+    def test_sorted_data_prunes_most_blocks(self):
+        data = np.arange(64 * 100, dtype=np.int64)
+        imprint = Imprint(data)
+        assert imprint.pruned_fraction(0, 63) > 0.9
+
+    def test_constant_column(self):
+        data = np.full(512, 7, dtype=np.int32)
+        imprint = Imprint(data)
+        assert imprint.candidate_rows(7, 7).all()
+        assert not imprint.candidate_rows(8, 9).any()
+
+    def test_open_ended_ranges(self):
+        data = np.arange(1024, dtype=np.int64)
+        imprint = Imprint(data)
+        assert imprint.candidate_rows(None, 10).sum() <= 128
+        assert imprint.candidate_rows(1000, None).sum() <= 128
+
+    def test_empty(self):
+        imprint = Imprint(np.empty(0, dtype=np.int32))
+        assert len(imprint.candidate_rows(0, 1)) == 0
+
+    @given(
+        st.lists(st.integers(-10_000, 10_000), min_size=1, max_size=500),
+        st.integers(-10_000, 10_000),
+        st.integers(0, 2000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_false_negatives_property(self, values, lo, width):
+        data = np.asarray(values, dtype=np.int64)
+        imprint = Imprint(data)
+        hi = lo + width
+        candidates = imprint.candidate_rows(float(lo), float(hi))
+        actual = (data >= lo) & (data <= hi)
+        assert np.all(candidates[actual])
+
+
+class TestHashIndex:
+    def test_group_ids_match_values(self):
+        data = np.array([5, 3, 5, 7, 3], dtype=np.int64)
+        index = HashIndex(data)
+        gids = index.group_ids()
+        assert gids[0] == gids[2] and gids[1] == gids[4]
+        assert index.group_count() == 3
+
+    def test_probe_returns_all_pairs(self):
+        data = np.array([1, 2, 1, 3], dtype=np.int64)
+        index = HashIndex(data)
+        probe_idx, row_idx = index.probe(np.array([1, 9, 2]))
+        pairs = sorted(zip(probe_idx.tolist(), row_idx.tolist()))
+        assert pairs == [(0, 0), (0, 2), (2, 1)]
+
+    def test_contains(self):
+        index = HashIndex(np.array([10, 20], dtype=np.int64))
+        assert index.contains(np.array([10, 15, 20])).tolist() == [
+            True, False, True,
+        ]
+
+    def test_empty_index(self):
+        index = HashIndex(np.empty(0, dtype=np.int64))
+        probe_idx, row_idx = index.probe(np.array([1, 2]))
+        assert len(probe_idx) == 0
+
+    @given(st.lists(st.integers(0, 50), max_size=80),
+           st.lists(st.integers(0, 50), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_probe_matches_bruteforce(self, build, probes):
+        data = np.asarray(build, dtype=np.int64)
+        index = HashIndex(data)
+        probe_idx, row_idx = index.probe(np.asarray(probes, dtype=np.int64))
+        got = sorted(zip(probe_idx.tolist(), row_idx.tolist()))
+        expected = sorted(
+            (pi, ri)
+            for pi, p in enumerate(probes)
+            for ri, b in enumerate(build)
+            if p == b
+        )
+        assert got == expected
+
+
+class TestOrderIndex:
+    def test_point_and_range(self):
+        data = np.array([30, 10, 20, 10], dtype=np.int64)
+        index = OrderIndex(data)
+        assert index.point_rows(10).tolist() == [1, 3]
+        assert index.range_rows(10, 20).tolist() == [1, 2, 3]
+        assert index.range_rows(15, None).tolist() == [0, 2]
+
+    def test_open_bounds(self):
+        data = np.array([5, 1, 3], dtype=np.int64)
+        index = OrderIndex(data)
+        assert index.range_rows(1, 5, lo_open=True, hi_open=True).tolist() == [2]
+
+    def test_merge_join(self):
+        left = OrderIndex(np.array([1, 2, 2, 5], dtype=np.int64))
+        right = OrderIndex(np.array([2, 5, 7], dtype=np.int64))
+        lrows, rrows = left.merge_join(right)
+        pairs = sorted(zip(lrows.tolist(), rrows.tolist()))
+        assert pairs == [(1, 0), (2, 0), (3, 1)]
+
+    @given(st.lists(st.integers(0, 30), max_size=60),
+           st.lists(st.integers(0, 30), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_join_matches_bruteforce(self, left_vals, right_vals):
+        left = OrderIndex(np.asarray(left_vals, dtype=np.int64))
+        right = OrderIndex(np.asarray(right_vals, dtype=np.int64))
+        lrows, rrows = left.merge_join(right)
+        got = sorted(zip(lrows.tolist(), rrows.tolist()))
+        expected = sorted(
+            (li, ri)
+            for li, lv in enumerate(left_vals)
+            for ri, rv in enumerate(right_vals)
+            if lv == rv
+        )
+        assert got == expected
+
+
+def _table_with_rows(n=256):
+    schema = TableSchema("idx", [ColumnDef("a", T.INTEGER)])
+    table = Table(schema)
+    table.install_version(
+        [Column.from_numpy(T.INTEGER, np.arange(n, dtype=np.int32))], 1, "append"
+    )
+    return table
+
+
+class TestIndexManagerLifecycle:
+    def test_imprint_auto_built_and_cached(self):
+        manager = IndexManager()
+        table = _table_with_rows()
+        manager.attach_table(table)
+        first = manager.imprint_for(table, table.current, 0)
+        assert first is not None
+        assert manager.stats.imprints_built == 1
+        again = manager.imprint_for(table, table.current, 0)
+        assert again is first
+        assert manager.stats.imprint_hits == 1
+
+    def test_imprint_destroyed_on_any_modification(self):
+        manager = IndexManager()
+        table = _table_with_rows()
+        manager.attach_table(table)
+        manager.imprint_for(table, table.current, 0)
+        extra = Column.from_numpy(T.INTEGER, np.array([999], dtype=np.int32))
+        table.append_columns([extra], 2)
+        assert manager.stats.invalidations >= 1
+        rebuilt = manager.imprint_for(table, table.current, 0)
+        assert rebuilt.nrows == 257
+
+    def test_hash_survives_append_via_refresh(self):
+        manager = IndexManager()
+        table = _table_with_rows()
+        manager.attach_table(table)
+        manager.hash_for(table, table.current, 0)
+        assert manager.stats.hashes_built == 1
+        extra = Column.from_numpy(T.INTEGER, np.array([5], dtype=np.int32))
+        table.append_columns([extra], 2)
+        manager.hash_for(table, table.current, 0)
+        assert manager.stats.hash_refreshes == 1  # refreshed, not rebuilt
+
+    def test_hash_destroyed_on_delete(self):
+        manager = IndexManager()
+        table = _table_with_rows()
+        manager.attach_table(table)
+        manager.hash_for(table, table.current, 0)
+        keep = np.ones(table.nrows, dtype=bool)
+        keep[0] = False
+        shrunk = [table.current.columns[0].filter(keep)]
+        table.install_version(shrunk, 2, "delete")
+        before = manager.stats.hashes_built
+        manager.hash_for(table, table.current, 0)
+        assert manager.stats.hashes_built == before + 1  # full rebuild
+
+    def test_order_index_requires_explicit_create(self):
+        manager = IndexManager()
+        table = _table_with_rows()
+        manager.attach_table(table)
+        assert manager.order_for(table, table.current, 0) is None
+        manager.create_order_index("oi", table, table.current, 0)
+        assert manager.order_for(table, table.current, 0) is not None
+
+    def test_order_index_duplicate_name(self):
+        manager = IndexManager()
+        table = _table_with_rows()
+        manager.create_order_index("oi", table, table.current, 0)
+        with pytest.raises(CatalogError):
+            manager.create_order_index("oi", table, table.current, 0)
+
+    def test_drop_order_index(self):
+        manager = IndexManager()
+        table = _table_with_rows()
+        manager.create_order_index("oi", table, table.current, 0)
+        manager.drop_order_index("oi")
+        assert manager.order_for(table, table.current, 0) is None
+        with pytest.raises(CatalogError):
+            manager.drop_order_index("oi")
+
+    def test_small_columns_not_indexed(self):
+        manager = IndexManager()
+        table = _table_with_rows(8)
+        assert manager.imprint_for(table, table.current, 0) is None
+        assert manager.hash_for(table, table.current, 0) is None
+
+    def test_detach_drops_everything(self):
+        manager = IndexManager()
+        table = _table_with_rows()
+        manager.hash_for(table, table.current, 0)
+        manager.create_order_index("oi", table, table.current, 0)
+        manager.detach_table("idx")
+        assert manager.order_for(table, table.current, 0) is None
+
+
+class TestEngineIndexIntegration:
+    def test_create_order_index_sql_and_usage(self, conn):
+        conn.execute("CREATE TABLE big (v INTEGER)")
+        conn.append("big", {"v": np.arange(10_000, dtype=np.int32)})
+        conn.execute("CREATE ORDER INDEX big_v ON big (v)")
+        result = conn.query("SELECT count(*) FROM big WHERE v BETWEEN 10 AND 20")
+        assert result.scalar() == 11
+        stats = conn._database.index_manager.stats
+        assert stats.order_hits >= 1
+
+    def test_imprint_accelerated_scan_is_correct(self, conn):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 100_000, 50_000).astype(np.int32)
+        conn.execute("CREATE TABLE imp (v INTEGER)")
+        conn.append("imp", {"v": values})
+        got = conn.query(
+            "SELECT count(*) FROM imp WHERE v >= 500 AND v < 900"
+        ).scalar()
+        assert got == int(((values >= 500) & (values < 900)).sum())
+        stats = conn._database.index_manager.stats
+        assert stats.imprints_built >= 1
+
+    def test_disabling_indexes_gives_same_answers(self, db):
+        conn = db.connect()
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 1000, 20_000).astype(np.int32)
+        conn.execute("CREATE TABLE t2 (v INTEGER)")
+        conn.append("t2", {"v": values})
+        sql = "SELECT count(*) FROM t2 WHERE v > 400 AND v <= 600"
+        with_idx = conn.query(sql).scalar()
+        db.config.use_imprints = False
+        db.config.use_hash_index = False
+        without = conn.query(sql).scalar()
+        assert with_idx == without
+        db.config.use_imprints = True
+        db.config.use_hash_index = True

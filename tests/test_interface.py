@@ -1,0 +1,189 @@
+"""Tests for the native language interface: zero-copy, CoW, lazy, C-API."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DatabaseLockedError, InterfaceError
+from repro.interface import (
+    COWArray,
+    LazyColumn,
+    monetdb_append,
+    monetdb_connect,
+    monetdb_disconnect,
+    monetdb_query,
+    monetdb_result_fetch,
+    monetdb_shutdown,
+    monetdb_startup,
+)
+from repro.interface.zerocopy import export_column, is_zero_copy_type
+from repro.storage import types as T
+from repro.storage.column import Column
+
+
+class TestZeroCopy:
+    def test_numeric_export_shares_memory(self, conn):
+        conn.execute("CREATE TABLE z (v INTEGER)")
+        conn.append("z", {"v": np.arange(1000, dtype=np.int32)})
+        result = conn.query("SELECT v FROM z")
+        exported = result.to_numpy(0)
+        assert isinstance(exported, COWArray)
+        raw = result.fetch_low_level(0)
+        assert np.shares_memory(np.asarray(exported), raw)
+
+    def test_low_level_view_is_read_only(self, conn):
+        conn.execute("CREATE TABLE z2 (v INTEGER)")
+        conn.execute("INSERT INTO z2 VALUES (1)")
+        view = conn.query("SELECT v FROM z2").fetch_low_level(0)
+        with pytest.raises(ValueError):
+            view[0] = 99
+
+    def test_zero_copy_types(self):
+        assert is_zero_copy_type(T.INTEGER)
+        assert is_zero_copy_type(T.DOUBLE)
+        assert not is_zero_copy_type(T.decimal(10, 2))
+        assert not is_zero_copy_type(T.DATE)
+        assert not is_zero_copy_type(T.STRING)
+
+    def test_decimal_converts_with_scale(self):
+        col = Column.from_values(T.decimal(10, 2), [1.25, None])
+        exported = export_column(col)
+        assert exported[0] == 1.25 and np.isnan(exported[1])
+
+    def test_date_converts_to_datetime64(self):
+        col = Column.from_values(T.DATE, [datetime.date(2000, 1, 1), None])
+        exported = export_column(col)
+        assert exported.dtype == np.dtype("datetime64[D]")
+        assert np.isnat(exported[1])
+
+    def test_string_export(self):
+        col = Column.from_values(T.STRING, ["a", None, "b"])
+        assert export_column(col).tolist() == ["a", None, "b"]
+
+
+class TestCopyOnWrite:
+    def test_reads_do_not_copy(self):
+        shared = np.arange(10, dtype=np.int64)
+        cow = COWArray(shared)
+        assert cow.sum() == 45
+        assert cow[3] == 3
+        assert not cow.is_copied
+
+    def test_write_triggers_private_copy(self):
+        shared = np.arange(10, dtype=np.int64)
+        cow = COWArray(shared)
+        cow[0] = 100
+        assert cow.is_copied
+        assert cow[0] == 100
+        assert shared[0] == 0  # database buffer untouched
+
+    def test_fill_copies(self):
+        shared = np.zeros(4, dtype=np.float64)
+        cow = COWArray(shared)
+        cow.fill(7.0)
+        assert shared[0] == 0.0 and cow[0] == 7.0
+
+    def test_numpy_interop(self):
+        cow = COWArray(np.arange(5, dtype=np.int64))
+        assert np.dot(np.asarray(cow), np.ones(5)) == 10.0
+        assert (cow + 1)[0] == 1
+
+    def test_database_column_protected_end_to_end(self, conn):
+        conn.execute("CREATE TABLE prot (v BIGINT)")
+        conn.append("prot", {"v": np.arange(100, dtype=np.int64)})
+        exported = conn.query("SELECT v FROM prot").to_numpy(0)
+        exported[0] = -1  # client writes: private copy
+        again = conn.query("SELECT v FROM prot").to_numpy(0)
+        assert again[0] == 0  # stored data unchanged
+
+
+class TestLazyConversion:
+    def test_conversion_deferred_until_access(self):
+        col = Column.from_values(T.decimal(10, 2), [1.5, 2.5])
+        calls = []
+
+        def converter(column):
+            calls.append(1)
+            return np.array([1.5, 2.5])
+
+        lazy = LazyColumn(col, converter)
+        assert len(lazy) == 2  # metadata access: no conversion
+        assert not lazy.is_converted
+        assert lazy[0] == 1.5  # first touch converts
+        assert lazy.is_converted
+        np.asarray(lazy)
+        assert calls == [1]  # converted exactly once
+
+    def test_result_lazy_mode(self, conn):
+        conn.execute(
+            "CREATE TABLE lz (a INTEGER, b DECIMAL(10,2), c VARCHAR(5))"
+        )
+        conn.execute("INSERT INTO lz VALUES (1, 2.5, 'x')")
+        result = conn.query("SELECT * FROM lz")
+        columns = result.to_dict(lazy=True)
+        assert isinstance(columns["b"], LazyColumn)
+        assert isinstance(columns["c"], LazyColumn)
+        assert not columns["b"].is_converted
+        assert columns["b"][0] == 2.5
+        assert columns["c"][0] == "x"
+
+
+class TestCAPI:
+    def test_full_capi_flow(self):
+        database = monetdb_startup()  # in-memory mode
+        try:
+            connection = monetdb_connect(database)
+            monetdb_query(connection, "CREATE TABLE c (a INTEGER, b DOUBLE)")
+            monetdb_append(
+                connection,
+                "c",
+                {"a": np.array([1, 2], dtype=np.int32),
+                 "b": np.array([0.5, 1.5])},
+            )
+            result = monetdb_query(connection, "SELECT a, b FROM c ORDER BY a")
+            assert result.nrows == 2 and result.ncols == 2
+            high = monetdb_result_fetch(result, 0, level="high")
+            assert high.type == "INTEGER"
+            assert high.count == 2
+            assert high.is_null(high.null_value)
+            low = monetdb_result_fetch(result, 1, level="low")
+            assert low.tolist() == [0.5, 1.5]
+            with pytest.raises(InterfaceError):
+                monetdb_result_fetch(result, 0, level="medium")
+            monetdb_disconnect(connection)
+        finally:
+            monetdb_shutdown()
+
+    def test_single_instance_guard(self):
+        monetdb_startup()
+        try:
+            with pytest.raises(DatabaseLockedError, match="database locked"):
+                monetdb_startup()
+        finally:
+            monetdb_shutdown()
+
+    def test_shutdown_allows_fresh_start(self):
+        monetdb_startup()
+        monetdb_shutdown()
+        database = monetdb_startup()  # must not raise
+        monetdb_shutdown()
+
+    def test_result_close(self, conn):
+        conn.execute("CREATE TABLE rc (a INTEGER)")
+        conn.execute("INSERT INTO rc VALUES (1)")
+        result = conn.query("SELECT a FROM rc")
+        result.close()
+        with pytest.raises(InterfaceError):
+            result.fetchall()
+
+    def test_result_metadata_shape(self, conn):
+        conn.execute("CREATE TABLE meta (a INTEGER, b VARCHAR(5))")
+        conn.execute("INSERT INTO meta VALUES (1, 'x')")
+        result = conn.query("SELECT a, b FROM meta")
+        # the semi-opaque header of paper Listing 1
+        assert result.nrows == 1
+        assert result.ncols == 2
+        assert result.type == "table"
+        assert isinstance(result.id, int)

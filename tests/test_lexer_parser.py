@@ -1,0 +1,235 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse
+from repro.sql.lexer import Lexer, TokenType
+from repro.sql.parser import parse_expression, parse_one
+
+
+class TestLexer:
+    def lex(self, text):
+        return [(t.type, t.value) for t in Lexer(text).tokens()[:-1]]
+
+    def test_keywords_and_identifiers(self):
+        tokens = self.lex("SELECT foo FROM Bar")
+        assert tokens == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.IDENT, "foo"),
+            (TokenType.KEYWORD, "from"),
+            (TokenType.IDENT, "bar"),
+        ]
+
+    def test_numbers(self):
+        tokens = self.lex("1 2.5 .5 1e3 2.5E-2")
+        values = [v for _, v in tokens]
+        assert values == [1, 2.5, 0.5, 1000.0, 0.025]
+        assert isinstance(values[0], int)
+
+    def test_string_with_escaped_quote(self):
+        tokens = self.lex("'it''s'")
+        assert tokens == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            self.lex("'oops")
+
+    def test_comments_skipped(self):
+        tokens = self.lex("select -- line comment\n 1 /* block */ + 2")
+        assert [v for _, v in tokens] == ["select", 1, "+", 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            self.lex("/* never ends")
+
+    def test_two_char_operators(self):
+        tokens = self.lex("a <> b <= c || d != e")
+        ops = [v for t, v in tokens if t == TokenType.OPERATOR]
+        assert ops == ["<>", "<=", "||", "!="]
+
+    def test_quoted_identifier(self):
+        tokens = self.lex('"Mixed Case"')
+        assert tokens == [(TokenType.IDENT, "Mixed Case")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            self.lex("select @foo")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a or b and c")
+        assert expr.op == "or"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "and"
+
+    def test_not_like_between(self):
+        expr = parse_expression("x not like 'a%'")
+        assert isinstance(expr, ast.Like) and expr.negated
+        expr = parse_expression("x not between 1 and 2")
+        assert isinstance(expr, ast.Between) and expr.negated
+
+    def test_case_forms(self):
+        searched = parse_expression("case when a then 1 else 2 end")
+        assert isinstance(searched, ast.CaseExpr) and searched.operand is None
+        simple = parse_expression("case x when 1 then 'a' end")
+        assert simple.operand is not None
+
+    def test_case_without_when_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("case else 1 end")
+
+    def test_typed_literals(self):
+        expr = parse_expression("date '1994-01-01'")
+        assert expr == ast.Literal("1994-01-01", type_hint="date")
+        interval = parse_expression("interval '3' month")
+        assert interval == ast.IntervalLiteral(3, "month")
+
+    def test_interval_bad_unit(self):
+        with pytest.raises(ParseError):
+            parse_expression("interval '3' fortnight")
+
+    def test_extract(self):
+        expr = parse_expression("extract(year from d)")
+        assert isinstance(expr, ast.ExtractExpr) and expr.unit == "year"
+
+    def test_cast(self):
+        expr = parse_expression("cast(x as decimal(10, 2))")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "decimal(10,2)"
+
+    def test_function_call_with_distinct(self):
+        expr = parse_expression("count(distinct x)")
+        assert isinstance(expr, ast.FunctionCall) and expr.distinct
+
+    def test_count_star(self):
+        expr = parse_expression("count(*)")
+        assert expr.args == (ast.Star(),)
+
+    def test_qualified_column_and_star(self):
+        assert parse_expression("t.a") == ast.ColumnRef("a", table="t")
+        assert parse_expression("t.*") == ast.Star(table="t")
+
+    def test_in_list_and_subquery(self):
+        in_list = parse_expression("x in (1, 2, 3)")
+        assert isinstance(in_list, ast.InList) and len(in_list.items) == 3
+        sub = parse_expression("x in (select a from t)")
+        assert isinstance(sub, ast.InSubquery)
+
+    def test_concat_operator(self):
+        expr = parse_expression("a || b")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "||"
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse_one("select 1")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert stmt.from_tables == ()
+
+    def test_full_clause_order(self):
+        stmt = parse_one(
+            "select a, sum(b) as s from t where c > 0 group by a "
+            "having sum(b) > 10 order by s desc limit 5 offset 2"
+        )
+        assert stmt.where is not None
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_distinct(self):
+        assert parse_one("select distinct a from t").distinct
+
+    def test_joins(self):
+        stmt = parse_one(
+            "select * from a join b on a.x = b.x left join c on b.y = c.y"
+        )
+        join = stmt.from_tables[0]
+        assert isinstance(join, ast.JoinRef) and join.kind == "left"
+        assert join.left.kind == "inner"
+
+    def test_cross_join(self):
+        stmt = parse_one("select * from a cross join b")
+        assert stmt.from_tables[0].kind == "cross"
+
+    def test_derived_table(self):
+        stmt = parse_one("select x from (select a as x from t) as sub")
+        sub = stmt.from_tables[0]
+        assert isinstance(sub, ast.SubqueryRef) and sub.alias == "sub"
+
+    def test_comma_join_with_aliases(self):
+        stmt = parse_one("select * from t1 a, t2 b")
+        assert [r.alias for r in stmt.from_tables] == ["a", "b"]
+
+    def test_order_by_nulls(self):
+        stmt = parse_one("select a from t order by a asc nulls last")
+        assert stmt.order_by[0].nulls_first is False
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_one("select a from t limit 1.5")
+
+    def test_union(self):
+        stmt = parse_one("select a from t union all select b from u")
+        assert isinstance(stmt, ast.SetOpStmt) and stmt.all
+
+    def test_exists(self):
+        stmt = parse_one(
+            "select 1 from t where exists (select 1 from u where u.a = t.a)"
+        )
+        assert isinstance(stmt.where, ast.Exists)
+
+
+class TestOtherStatements:
+    def test_create_table_constraints(self):
+        stmt = parse_one(
+            "create table t (a int not null primary key, b varchar(10), "
+            "primary key (a), unique (b))"
+        )
+        assert stmt.columns[0].not_null
+        assert len(stmt.columns) == 2
+
+    def test_create_table_if_not_exists(self):
+        assert parse_one("create table if not exists t (a int)").if_not_exists
+
+    def test_drop_table(self):
+        assert parse_one("drop table if exists t").if_exists
+
+    def test_insert_forms(self):
+        stmt = parse_one("insert into t (a, b) values (1, 'x'), (2, 'y')")
+        assert stmt.columns == ("a", "b") and len(stmt.rows) == 2
+        stmt = parse_one("insert into t select a, b from u")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse_one("update t set a = 1, b = b + 1 where c = 2")
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        assert parse_one("delete from t").where is None
+
+    def test_create_order_index(self):
+        stmt = parse_one("create order index oi on t (a)")
+        assert stmt.ordered and stmt.columns == ("a",)
+
+    def test_transactions(self):
+        assert parse_one("begin transaction").action == "begin"
+        assert parse_one("commit").action == "commit"
+        assert parse_one("rollback work").action == "rollback"
+
+    def test_multiple_statements(self):
+        statements = parse("create table t (a int); insert into t values (1);")
+        assert len(statements) == 2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse("   ;;  ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("frobnicate the database")

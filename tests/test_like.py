@@ -1,0 +1,89 @@
+"""Tests for the hand-rolled LIKE matcher (no regex engine, per paper 3.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra.like import compile_like, like_match, _classify
+
+
+class TestLikeMatch:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%o", True),
+            ("hello", "%ell%", True),
+            ("hello", "h_llo", True),
+            ("hello", "h_lo", False),
+            ("hello", "", False),
+            ("", "", True),
+            ("", "%", True),
+            ("abc", "%%", True),
+            ("abc", "a%b%c", True),
+            ("axbyc", "a%b%c", True),
+            ("acb", "a%b%c", False),
+            ("STANDARD BRASS", "%BRASS", True),
+            ("STANDARD BRASSY", "%BRASS", False),
+            ("forest green metal", "%green%", True),
+            ("a_b", "a\\_b", True),
+            ("axb", "a\\_b", False),
+            ("50%", "50\\%", True),
+            ("aaa", "a%a", True),
+            ("ab", "a%b%", True),
+        ],
+    )
+    def test_cases(self, value, pattern, expected):
+        assert like_match(value, pattern) is expected
+
+    def test_backtracking_stress(self):
+        # patterns that defeat naive greedy matching
+        assert like_match("a" * 30 + "b", "%a%a%a%b")
+        assert not like_match("a" * 30, "%b%")
+
+    @given(st.text(alphabet="ab", max_size=12), st.text(alphabet="ab%_", max_size=8))
+    def test_agrees_with_regex_oracle(self, value, pattern):
+        import re
+
+        regex = "^" + "".join(
+            ".*" if c == "%" else "." if c == "_" else re.escape(c)
+            for c in pattern
+        ) + "$"
+        expected = re.match(regex, value, re.DOTALL) is not None
+        assert like_match(value, pattern) is expected
+
+
+class TestFastPaths:
+    @pytest.mark.parametrize(
+        "pattern,kind",
+        [
+            ("abc", "exact"),
+            ("abc%", "prefix"),
+            ("%abc", "suffix"),
+            ("%abc%", "contains"),
+            ("a%c", "general"),
+            ("a_c", "general"),
+            ("a\\%c", "general"),
+        ],
+    )
+    def test_classification(self, pattern, kind):
+        assert _classify(pattern)[0] == kind
+
+    @given(
+        st.text(alphabet="abcx", max_size=10),
+        st.sampled_from(["abc", "abc%", "%abc", "%abc%", "%b%", "a%c"]),
+    )
+    def test_fast_paths_agree_with_general(self, value, pattern):
+        fast = compile_like(pattern)(value)
+        assert fast is like_match(value, pattern)
+
+
+class TestCompileLike:
+    def test_none_is_never_a_match(self):
+        assert compile_like("%")(None) is False
+        assert compile_like("%", negated=True)(None) is False
+
+    def test_negation(self):
+        matcher = compile_like("h%", negated=True)
+        assert matcher("hello") is False
+        assert matcher("world") is True

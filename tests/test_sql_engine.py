@@ -1,0 +1,380 @@
+"""End-to-end SQL tests against the embedded columnar engine."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BindError,
+    CatalogError,
+    ConstraintError,
+    InterfaceError,
+    ParseError,
+)
+
+
+@pytest.fixture
+def loaded(conn):
+    conn.execute(
+        """
+        CREATE TABLE items (
+            id INTEGER NOT NULL,
+            name VARCHAR(20),
+            price DECIMAL(10,2),
+            qty INTEGER,
+            day DATE
+        )
+        """
+    )
+    conn.execute(
+        """
+        INSERT INTO items VALUES
+            (1, 'apple',  1.50, 10, DATE '2020-01-01'),
+            (2, 'banana', 0.75, 20, DATE '2020-02-01'),
+            (3, 'cherry', 5.00,  5, DATE '2020-03-01'),
+            (4, 'date',   3.25, NULL, DATE '2020-04-01'),
+            (5, NULL,     NULL, 7,  NULL)
+        """
+    )
+    return conn
+
+
+class TestSelect:
+    def test_projection_and_arithmetic(self, loaded):
+        rows = loaded.query(
+            "SELECT id, price * qty FROM items WHERE id <= 2 ORDER BY id"
+        ).fetchall()
+        assert rows == [(1, 15.0), (2, 15.0)]
+
+    def test_where_with_nulls_excluded(self, loaded):
+        rows = loaded.query("SELECT id FROM items WHERE qty > 0").fetchall()
+        assert [r[0] for r in rows] == [1, 2, 3, 5]
+
+    def test_is_null(self, loaded):
+        assert loaded.query(
+            "SELECT id FROM items WHERE price IS NULL"
+        ).fetchall() == [(5,)]
+        assert loaded.query(
+            "SELECT count(*) FROM items WHERE name IS NOT NULL"
+        ).scalar() == 4
+
+    def test_three_valued_not(self, loaded):
+        # NOT (qty > 100) is UNKNOWN for the NULL qty row -> excluded
+        rows = loaded.query(
+            "SELECT id FROM items WHERE NOT (qty > 100)"
+        ).fetchall()
+        assert [r[0] for r in rows] == [1, 2, 3, 5]
+
+    def test_between_and_in(self, loaded):
+        assert loaded.query(
+            "SELECT count(*) FROM items WHERE price BETWEEN 1 AND 4"
+        ).scalar() == 2
+        assert loaded.query(
+            "SELECT count(*) FROM items WHERE name IN ('apple', 'cherry')"
+        ).scalar() == 2
+
+    def test_like(self, loaded):
+        assert loaded.query(
+            "SELECT name FROM items WHERE name LIKE '%a%' ORDER BY name"
+        ).fetchall() == [("apple",), ("banana",), ("date",)]
+
+    def test_case(self, loaded):
+        rows = loaded.query(
+            """
+            SELECT id, CASE WHEN qty >= 10 THEN 'bulk'
+                            WHEN qty IS NULL THEN 'unknown'
+                            ELSE 'small' END
+            FROM items ORDER BY id
+            """
+        ).fetchall()
+        assert [r[1] for r in rows] == [
+            "bulk", "bulk", "small", "unknown", "small"
+        ]
+
+    def test_distinct(self, conn):
+        conn.execute("CREATE TABLE d (v INTEGER)")
+        conn.execute("INSERT INTO d VALUES (1), (2), (1), (NULL), (NULL)")
+        rows = conn.query("SELECT DISTINCT v FROM d ORDER BY v").fetchall()
+        assert rows == [(None,), (1,), (2,)]
+
+    def test_limit_offset(self, loaded):
+        rows = loaded.query(
+            "SELECT id FROM items ORDER BY id LIMIT 2 OFFSET 1"
+        ).fetchall()
+        assert rows == [(2,), (3,)]
+
+    def test_order_by_desc_nulls(self, loaded):
+        rows = loaded.query(
+            "SELECT id FROM items ORDER BY price DESC NULLS LAST"
+        ).fetchall()
+        assert [r[0] for r in rows] == [3, 4, 1, 2, 5]
+
+    def test_scalar_functions(self, loaded):
+        row = loaded.query(
+            "SELECT upper(name), length(name), substring(name, 1, 3) "
+            "FROM items WHERE id = 2"
+        ).fetchone()
+        assert row == ("BANANA", 6, "ban")
+
+    def test_sqrt_and_round(self, conn):
+        conn.execute("CREATE TABLE n (x DOUBLE)")
+        conn.execute("INSERT INTO n VALUES (2.0)")
+        row = conn.query("SELECT round(sqrt(x * 2), 3) FROM n").fetchone()
+        assert row == (2.0,)
+
+    def test_extract_year(self, loaded):
+        rows = loaded.query(
+            "SELECT extract(year FROM day) FROM items WHERE id = 1"
+        ).fetchall()
+        assert rows == [(2020,)]
+
+    def test_coalesce(self, loaded):
+        rows = loaded.query(
+            "SELECT coalesce(qty, 0) FROM items ORDER BY id"
+        ).fetchall()
+        assert [r[0] for r in rows] == [10, 20, 5, 0, 7]
+
+    def test_select_without_from(self, conn):
+        assert conn.query("SELECT 1 + 2").scalar() == 3
+
+    def test_string_concat(self, loaded):
+        row = loaded.query(
+            "SELECT name || '!' FROM items WHERE id = 1"
+        ).fetchone()
+        assert row == ("apple!",)
+
+
+class TestAggregation:
+    def test_global_aggregates(self, loaded):
+        row = loaded.query(
+            "SELECT count(*), count(price), sum(qty), avg(price), "
+            "min(price), max(price) FROM items"
+        ).fetchone()
+        assert row[0] == 5 and row[1] == 4
+        assert row[2] == 42
+        assert row[3] == pytest.approx(2.625)
+        assert row[4] == 0.75 and row[5] == 5.0
+
+    def test_aggregate_over_empty_table(self, conn):
+        conn.execute("CREATE TABLE e (x INTEGER)")
+        row = conn.query("SELECT count(*), sum(x), min(x) FROM e").fetchone()
+        assert row == (0, None, None)
+
+    def test_group_by_with_nulls_grouped_together(self, conn):
+        conn.execute("CREATE TABLE g (k VARCHAR(5), v INTEGER)")
+        conn.execute(
+            "INSERT INTO g VALUES ('a', 1), (NULL, 2), ('a', 3), (NULL, 4)"
+        )
+        rows = conn.query(
+            "SELECT k, sum(v) FROM g GROUP BY k ORDER BY k NULLS FIRST"
+        ).fetchall()
+        assert rows == [(None, 6), ("a", 4)]
+
+    def test_count_distinct(self, conn):
+        conn.execute("CREATE TABLE cd (k INTEGER, v INTEGER)")
+        conn.execute(
+            "INSERT INTO cd VALUES (1, 5), (1, 5), (1, 6), (2, 7), (2, NULL)"
+        )
+        rows = conn.query(
+            "SELECT k, count(DISTINCT v) FROM cd GROUP BY k ORDER BY k"
+        ).fetchall()
+        assert rows == [(1, 2), (2, 1)]
+
+    def test_median(self, conn):
+        conn.execute("CREATE TABLE m (v DOUBLE)")
+        conn.execute("INSERT INTO m VALUES (1.0), (2.0), (10.0)")
+        assert conn.query("SELECT median(v) FROM m").scalar() == 2.0
+        conn.execute("INSERT INTO m VALUES (3.0)")
+        assert conn.query("SELECT median(v) FROM m").scalar() == 2.5
+
+    def test_having(self, conn):
+        conn.execute("CREATE TABLE h (k INTEGER, v INTEGER)")
+        conn.execute(
+            "INSERT INTO h VALUES (1, 10), (1, 20), (2, 1), (2, 2)"
+        )
+        rows = conn.query(
+            "SELECT k, sum(v) AS s FROM h GROUP BY k HAVING sum(v) > 5"
+        ).fetchall()
+        assert rows == [(1, 30)]
+
+    def test_string_min_max(self, loaded):
+        row = loaded.query("SELECT min(name), max(name) FROM items").fetchone()
+        assert row == ("apple", "date")
+
+
+class TestJoins:
+    @pytest.fixture
+    def pair(self, conn):
+        conn.execute("CREATE TABLE l (id INTEGER, ref INTEGER)")
+        conn.execute("CREATE TABLE r (id INTEGER, tag VARCHAR(5))")
+        conn.execute(
+            "INSERT INTO l VALUES (1, 10), (2, 20), (3, 10), (4, NULL)"
+        )
+        conn.execute("INSERT INTO r VALUES (10, 'a'), (20, 'b'), (30, 'c')")
+        return conn
+
+    def test_inner_join_explicit(self, pair):
+        rows = pair.query(
+            "SELECT l.id, r.tag FROM l JOIN r ON l.ref = r.id ORDER BY l.id"
+        ).fetchall()
+        assert rows == [(1, "a"), (2, "b"), (3, "a")]
+
+    def test_comma_join_with_where(self, pair):
+        rows = pair.query(
+            "SELECT l.id, tag FROM l, r WHERE ref = r.id ORDER BY l.id"
+        ).fetchall()
+        assert [r[0] for r in rows] == [1, 2, 3]
+
+    def test_null_keys_never_match(self, pair):
+        assert pair.query(
+            "SELECT count(*) FROM l, r WHERE ref = r.id"
+        ).scalar() == 3
+
+    def test_cross_join(self, pair):
+        assert pair.query(
+            "SELECT count(*) FROM l CROSS JOIN r"
+        ).scalar() == 12
+
+    def test_join_with_residual(self, pair):
+        rows = pair.query(
+            "SELECT l.id FROM l JOIN r ON l.ref = r.id AND l.id < 2"
+        ).fetchall()
+        assert rows == [(1,)]
+
+    def test_self_join(self, pair):
+        rows = pair.query(
+            "SELECT a.id, b.id FROM l a, l b "
+            "WHERE a.ref = b.ref AND a.id < b.id"
+        ).fetchall()
+        assert rows == [(1, 3)]
+
+    def test_semijoin_via_in(self, pair):
+        rows = pair.query(
+            "SELECT id FROM r WHERE id IN (SELECT ref FROM l) ORDER BY id"
+        ).fetchall()
+        assert rows == [(10,), (20,)]
+
+    def test_antijoin_via_not_exists(self, pair):
+        rows = pair.query(
+            "SELECT r.id FROM r WHERE NOT EXISTS "
+            "(SELECT 1 FROM l WHERE l.ref = r.id)"
+        ).fetchall()
+        assert rows == [(30,)]
+
+
+class TestDML:
+    def test_insert_partial_columns_fills_null(self, loaded):
+        loaded.execute("INSERT INTO items (id, name) VALUES (6, 'fig')")
+        row = loaded.query("SELECT * FROM items WHERE id = 6").fetchone()
+        assert row == (6, "fig", None, None, None)
+
+    def test_insert_select(self, loaded):
+        loaded.execute("CREATE TABLE copy (id INTEGER, name VARCHAR(20))")
+        loaded.execute(
+            "INSERT INTO copy SELECT id, name FROM items WHERE id <= 2"
+        )
+        assert loaded.query("SELECT count(*) FROM copy").scalar() == 2
+
+    def test_not_null_violation(self, loaded):
+        with pytest.raises(ConstraintError):
+            loaded.execute("INSERT INTO items (id) VALUES (NULL)")
+
+    def test_update(self, loaded):
+        loaded.execute("UPDATE items SET qty = qty * 2 WHERE id = 1")
+        assert loaded.query(
+            "SELECT qty FROM items WHERE id = 1"
+        ).scalar() == 20
+
+    def test_delete(self, loaded):
+        loaded.execute("DELETE FROM items WHERE price IS NULL")
+        assert loaded.query("SELECT count(*) FROM items").scalar() == 4
+
+    def test_delete_all(self, loaded):
+        loaded.execute("DELETE FROM items")
+        assert loaded.query("SELECT count(*) FROM items").scalar() == 0
+
+
+class TestTransactionsSQL:
+    def test_rollback_undoes(self, loaded):
+        loaded.execute("BEGIN")
+        loaded.execute("DELETE FROM items")
+        loaded.execute("ROLLBACK")
+        assert loaded.query("SELECT count(*) FROM items").scalar() == 5
+
+    def test_commit_persists(self, loaded):
+        loaded.execute("BEGIN")
+        loaded.execute("DELETE FROM items WHERE id = 1")
+        loaded.execute("COMMIT")
+        assert loaded.query("SELECT count(*) FROM items").scalar() == 4
+
+    def test_isolation_between_connections(self, db, loaded):
+        other = db.connect()
+        loaded.execute("BEGIN")
+        loaded.execute("INSERT INTO items (id) VALUES (99)")
+        assert other.query("SELECT count(*) FROM items").scalar() == 5
+        loaded.execute("COMMIT")
+        assert other.query("SELECT count(*) FROM items").scalar() == 6
+        other.close()
+
+    def test_error_aborts_transaction(self, loaded):
+        loaded.execute("BEGIN")
+        with pytest.raises(CatalogError):
+            loaded.execute("SELECT * FROM no_such_table")
+        assert not loaded.in_transaction
+
+
+class TestErrors:
+    def test_unknown_table(self, conn):
+        with pytest.raises(CatalogError):
+            conn.execute("SELECT * FROM ghosts")
+
+    def test_parse_error(self, conn):
+        with pytest.raises(ParseError):
+            conn.execute("SELEC broken")
+
+    def test_bind_error(self, loaded):
+        with pytest.raises(BindError):
+            loaded.execute("SELECT wrong_column FROM items")
+
+    def test_query_requires_result(self, conn):
+        conn.execute("CREATE TABLE q (a INTEGER)")
+        with pytest.raises(InterfaceError):
+            conn.query("INSERT INTO q VALUES (1)")
+
+    def test_closed_connection(self, conn):
+        conn.close()
+        with pytest.raises(InterfaceError):
+            conn.execute("SELECT 1")
+
+
+class TestSetOperations:
+    def test_union_distinct(self, conn):
+        conn.execute("CREATE TABLE s1 (v INTEGER)")
+        conn.execute("CREATE TABLE s2 (v INTEGER)")
+        conn.execute("INSERT INTO s1 VALUES (1), (2)")
+        conn.execute("INSERT INTO s2 VALUES (2), (3)")
+        rows = conn.query(
+            "SELECT v FROM s1 UNION SELECT v FROM s2"
+        ).fetchall()
+        assert sorted(r[0] for r in rows) == [1, 2, 3]
+
+    def test_union_all(self, conn):
+        conn.execute("CREATE TABLE s3 (v INTEGER)")
+        conn.execute("INSERT INTO s3 VALUES (1), (1)")
+        rows = conn.query(
+            "SELECT v FROM s3 UNION ALL SELECT v FROM s3"
+        ).fetchall()
+        assert len(rows) == 4
+
+    def test_except_and_intersect(self, conn):
+        conn.execute("CREATE TABLE s4 (v INTEGER)")
+        conn.execute("CREATE TABLE s5 (v INTEGER)")
+        conn.execute("INSERT INTO s4 VALUES (1), (2), (3)")
+        conn.execute("INSERT INTO s5 VALUES (2)")
+        assert conn.query(
+            "SELECT v FROM s4 EXCEPT SELECT v FROM s5"
+        ).nrows == 2
+        assert conn.query(
+            "SELECT v FROM s4 INTERSECT SELECT v FROM s5"
+        ).fetchall() == [(2,)]

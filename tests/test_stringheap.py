@@ -1,0 +1,119 @@
+"""Unit + property tests for the duplicate-eliminating string heap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.stringheap import StringHeap
+
+
+class TestBasics:
+    def test_slot_zero_is_null(self):
+        heap = StringHeap()
+        assert heap.add(None) == 0
+        assert heap.get(0) is None
+
+    def test_duplicate_elimination(self):
+        heap = StringHeap()
+        a = heap.add("hello")
+        b = heap.add("hello")
+        assert a == b
+        assert heap.distinct_count() == 1
+
+    def test_distinct_values_get_distinct_slots(self):
+        heap = StringHeap()
+        assert heap.add("a") != heap.add("b")
+
+    def test_add_many_round_trip(self):
+        heap = StringHeap()
+        values = ["x", None, "y", "x", None]
+        offsets = heap.add_many(values)
+        assert heap.get_many(offsets) == values
+        assert offsets[0] == offsets[3]  # dedup
+        assert offsets[1] == 0 and offsets[4] == 0
+
+    def test_bytes_values(self):
+        heap = StringHeap()
+        slot = heap.add(b"\x00\x01binary")
+        assert heap.get(slot) == b"\x00\x01binary"
+
+
+class TestDedupThreshold:
+    def test_dedup_stops_past_threshold(self):
+        heap = StringHeap(dedup_threshold=4)
+        for i in range(4):
+            heap.add(f"v{i}")
+        assert not heap.dedup_active
+        first = heap.add("dup")
+        second = heap.add("dup")
+        assert first != second  # paper: dedup only below the threshold
+
+    def test_dedup_active_below_threshold(self):
+        heap = StringHeap(dedup_threshold=100)
+        heap.add("a")
+        assert heap.dedup_active
+
+
+class TestValuesArrayCache:
+    def test_cache_invalidated_on_growth(self):
+        heap = StringHeap()
+        heap.add("a")
+        first = heap.values_array()
+        heap.add("b")
+        second = heap.values_array()
+        assert len(second) == len(first) + 1
+
+    def test_gather_through_offsets(self):
+        heap = StringHeap()
+        offsets = heap.add_many(["r", "g", "r", None])
+        gathered = heap.values_array()[offsets]
+        assert gathered.tolist() == ["r", "g", "r", None]
+
+
+class TestPersistence:
+    def test_dump_load_round_trip(self):
+        heap = StringHeap()
+        values = ["alpha", None, "beta", "alpha", b"blob\x00data"]
+        offsets = heap.add_many(values)
+        loaded = StringHeap.load(heap.dump())
+        assert loaded.get_many(offsets) == values
+
+    def test_loaded_heap_keeps_deduplicating(self):
+        heap = StringHeap()
+        slot = heap.add("shared")
+        loaded = StringHeap.load(heap.dump())
+        assert loaded.add("shared") == slot
+
+    @given(st.lists(st.one_of(st.none(), st.text(max_size=40)), max_size=60))
+    def test_round_trip_property(self, values):
+        heap = StringHeap()
+        offsets = heap.add_many(values)
+        loaded = StringHeap.load(heap.dump())
+        assert loaded.get_many(offsets) == list(values)
+
+
+class TestMergeFrom:
+    def test_merge_remaps_offsets(self):
+        target = StringHeap()
+        target.add_many(["a", "b"])
+        source = StringHeap()
+        src_offsets = source.add_many(["b", "c", None, "b"])
+        remapped = target.merge_from(source, src_offsets)
+        assert target.get_many(remapped) == ["b", "c", None, "b"]
+
+    def test_merge_same_heap_is_identity(self):
+        heap = StringHeap()
+        offsets = heap.add_many(["x", "y"])
+        assert heap.merge_from(heap, offsets) is offsets
+
+    @given(
+        st.lists(st.one_of(st.none(), st.text(max_size=10)), max_size=30),
+        st.lists(st.one_of(st.none(), st.text(max_size=10)), max_size=30),
+    )
+    def test_merge_property(self, base_values, incoming):
+        target = StringHeap()
+        target.add_many(base_values)
+        source = StringHeap()
+        offsets = source.add_many(incoming)
+        remapped = target.merge_from(source, offsets)
+        assert target.get_many(remapped) == list(incoming)

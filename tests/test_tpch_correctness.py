@@ -1,0 +1,142 @@
+"""Integration: TPC-H Q1-Q10 answers agree across all four executors.
+
+The embedded columnar engine is checked against the Python stdlib's real
+SQLite (an independent oracle); the Volcano row store and the hand-optimized
+frames implementations are then checked against the engine.  Everything
+runs at a tiny scale factor so the whole matrix stays fast.
+"""
+
+import datetime
+import re
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.frames import DataFrame
+from repro.frames.tpch import run_query
+from repro.rowstore import RowDatabase
+from repro.storage.types import days_to_date
+from repro.workloads.tpch import QUERIES, TABLES, load, schema_statements
+
+
+def _norm_rows(rows):
+    out = []
+    for row in rows:
+        normed = []
+        for value in row:
+            if isinstance(value, float):
+                normed.append(round(value, 1))
+            elif isinstance(value, datetime.date):
+                normed.append(value.isoformat())
+            else:
+                normed.append(value)
+        out.append(tuple(normed))
+    return out
+
+
+def _sqlite_sql(sql: str) -> str:
+    s = sql
+    s = s.replace(
+        "extract(year from o_orderdate)",
+        "CAST(strftime('%Y', o_orderdate) AS INTEGER)",
+    )
+    s = s.replace(
+        "extract(year from l_shipdate)",
+        "CAST(strftime('%Y', l_shipdate) AS INTEGER)",
+    )
+    s = s.replace(
+        "date '1998-12-01' - interval '90' day", "date('1998-12-01', '-90 days')"
+    )
+    s = s.replace(
+        "date '1993-07-01' + interval '3' month", "date('1993-07-01', '+3 months')"
+    )
+    s = s.replace(
+        "date '1994-01-01' + interval '1' year", "date('1994-01-01', '+1 year')"
+    )
+    s = s.replace(
+        "date '1993-10-01' + interval '3' month", "date('1993-10-01', '+3 months')"
+    )
+    return re.sub(r"date '(\d{4}-\d{2}-\d{2})'", r"'\1'", s)
+
+
+@pytest.fixture(scope="module")
+def sqlite_oracle(tpch_tiny):
+    connection = sqlite3.connect(":memory:")
+    for table, columns in tpch_tiny.items():
+        names = list(columns)
+        connection.execute(f"CREATE TABLE {table} ({', '.join(names)})")
+        arrays = []
+        for name, arr in columns.items():
+            if arr.dtype == np.int32 and "date" in name:
+                arrays.append(
+                    [days_to_date(int(v)).isoformat() for v in arr]
+                )
+            else:
+                arrays.append(arr.tolist())
+        connection.executemany(
+            f"INSERT INTO {table} VALUES ({','.join('?' * len(names))})",
+            list(zip(*arrays)),
+        )
+    connection.commit()
+    yield connection
+    connection.close()
+
+
+@pytest.fixture(scope="module")
+def engine_conn(tpch_tiny):
+    from repro.core.database import Database
+
+    database = Database(None)
+    connection = database.connect()
+    load(connection, tpch_tiny)
+    yield connection
+    database.shutdown()
+
+
+@pytest.mark.parametrize("number", list(QUERIES))
+def test_engine_matches_sqlite(number, engine_conn, sqlite_oracle):
+    mine = _norm_rows(engine_conn.query(QUERIES[number]).fetchall())
+    oracle = _norm_rows(
+        sqlite_oracle.execute(_sqlite_sql(QUERIES[number])).fetchall()
+    )
+    assert mine == oracle
+
+
+@pytest.mark.parametrize("number", list(QUERIES))
+def test_rowstore_matches_engine(number, engine_conn, tpch_tiny):
+    rowdb = RowDatabase()
+    rowconn = rowdb.connect()
+    ddl = dict(zip(TABLES, schema_statements()))
+    for table in TABLES:
+        rowconn.execute(ddl[table])
+        rowconn.append(table, tpch_tiny[table])
+    mine = _norm_rows(engine_conn.query(QUERIES[number]).fetchall())
+    rows = _norm_rows(rowconn.query(QUERIES[number]).fetchall())
+    assert rows == mine
+
+
+@pytest.mark.parametrize("number", list(QUERIES))
+@pytest.mark.parametrize("profile", ["datatable", "pandas"])
+def test_frames_match_engine(number, profile, engine_conn, tpch_tiny):
+    tables = {
+        name: DataFrame(cols, profile=profile)
+        for name, cols in tpch_tiny.items()
+    }
+    frame = run_query(number, tables)
+    frame_rows = []
+    for row in zip(*[frame[c] for c in frame.columns]):
+        normed = []
+        for col, value in zip(frame.columns, row):
+            if isinstance(value, (np.floating, float)):
+                normed.append(round(float(value), 1))
+            elif isinstance(value, np.integer):
+                if "date" in col:
+                    normed.append(days_to_date(int(value)).isoformat())
+                else:
+                    normed.append(int(value))
+            else:
+                normed.append(value)
+        frame_rows.append(tuple(normed))
+    mine = _norm_rows(engine_conn.query(QUERIES[number]).fetchall())
+    assert frame_rows == mine

@@ -1,0 +1,188 @@
+"""Tests for optimistic concurrency control (snapshots, conflicts, DDL)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, ConflictError, ConstraintError, TransactionError
+from repro.storage import types as T
+from repro.storage.catalog import ColumnDef, TableSchema
+from repro.storage.column import Column
+
+
+def make_table(db, name="t", rows=()):
+    txn = db.txn_manager.begin()
+    schema = TableSchema(
+        name, [ColumnDef("a", T.INTEGER), ColumnDef("b", T.STRING)]
+    )
+    table = txn.create_table(schema)
+    if rows:
+        txn.append(
+            table,
+            [
+                Column.from_values(T.INTEGER, [r[0] for r in rows]),
+                Column.from_values(T.STRING, [r[1] for r in rows]),
+            ],
+        )
+    db.txn_manager.commit(txn)
+    return db.catalog.get(name)
+
+
+class TestSnapshots:
+    def test_reader_does_not_see_later_commit(self, db):
+        table = make_table(db, rows=[(1, "x")])
+        reader = db.txn_manager.begin()
+        snapshot = reader.read_version(table)
+
+        writer = db.txn_manager.begin()
+        writer.append(
+            writer.resolve_table("t"),
+            [Column.from_values(T.INTEGER, [2]),
+             Column.from_values(T.STRING, ["y"])],
+        )
+        db.txn_manager.commit(writer)
+
+        assert snapshot.nrows == 1
+        assert reader.read_version(table).nrows == 1  # still pinned
+        assert table.current.nrows == 2
+
+    def test_read_your_own_writes(self, db):
+        table = make_table(db, rows=[(1, "x")])
+        txn = db.txn_manager.begin()
+        txn.append(
+            table,
+            [Column.from_values(T.INTEGER, [2]),
+             Column.from_values(T.STRING, ["y"])],
+        )
+        assert txn.read_version(table).nrows == 2
+        assert table.current.nrows == 1  # not yet committed
+
+    def test_own_deletes_visible(self, db):
+        table = make_table(db, rows=[(1, "x"), (2, "y"), (3, "z")])
+        txn = db.txn_manager.begin()
+        txn.delete_rows(table, [1])
+        view = txn.read_version(table)
+        assert view.nrows == 2
+        assert view.columns[0].to_python() == [1, 3]
+
+    def test_delete_from_own_append(self, db):
+        table = make_table(db, rows=[(1, "x")])
+        txn = db.txn_manager.begin()
+        txn.append(
+            table,
+            [Column.from_values(T.INTEGER, [2, 3]),
+             Column.from_values(T.STRING, ["y", "z"])],
+        )
+        txn.delete_rows(table, [1])  # row 1 of the view = appended row 2
+        view = txn.read_version(table)
+        assert view.columns[0].to_python() == [1, 3]
+
+    def test_view_position_deletes_after_earlier_deletes(self, db):
+        table = make_table(db, rows=[(1, "a"), (2, "b"), (3, "c"), (4, "d")])
+        txn = db.txn_manager.begin()
+        txn.delete_rows(table, [0])  # remove 1 -> view [2, 3, 4]
+        txn.delete_rows(table, [1])  # remove view position 1 -> value 3
+        assert txn.read_version(table).columns[0].to_python() == [2, 4]
+
+
+class TestConflicts:
+    def test_first_committer_wins(self, db):
+        table = make_table(db, rows=[(1, "x")])
+        txn_a = db.txn_manager.begin()
+        txn_b = db.txn_manager.begin()
+        bundle = [
+            Column.from_values(T.INTEGER, [2]),
+            Column.from_values(T.STRING, ["y"]),
+        ]
+        txn_a.append(txn_a.resolve_table("t"), bundle)
+        txn_b.append(txn_b.resolve_table("t"), bundle)
+        db.txn_manager.commit(txn_a)
+        with pytest.raises(ConflictError):
+            db.txn_manager.commit(txn_b)
+
+    def test_readers_never_conflict(self, db):
+        table = make_table(db, rows=[(1, "x")])
+        reader = db.txn_manager.begin()
+        reader.read_version(table)
+        writer = db.txn_manager.begin()
+        writer.delete_rows(writer.resolve_table("t"), [0])
+        db.txn_manager.commit(writer)
+        assert db.txn_manager.commit(reader) == 0  # read-only: no commit id
+
+    def test_disjoint_tables_do_not_conflict(self, db):
+        make_table(db, "t1", rows=[(1, "x")])
+        make_table(db, "t2", rows=[(1, "x")])
+        txn_a = db.txn_manager.begin()
+        txn_b = db.txn_manager.begin()
+        bundle = [
+            Column.from_values(T.INTEGER, [9]),
+            Column.from_values(T.STRING, ["q"]),
+        ]
+        txn_a.append(txn_a.resolve_table("t1"), bundle)
+        txn_b.append(txn_b.resolve_table("t2"), bundle)
+        db.txn_manager.commit(txn_a)
+        db.txn_manager.commit(txn_b)  # must not raise
+
+    def test_aborted_txn_cannot_commit(self, db):
+        table = make_table(db)
+        txn = db.txn_manager.begin()
+        db.txn_manager.rollback(txn)
+        with pytest.raises(TransactionError):
+            db.txn_manager.commit(txn)
+
+
+class TestRollbackAndDDL:
+    def test_rollback_discards_appends(self, db):
+        table = make_table(db, rows=[(1, "x")])
+        txn = db.txn_manager.begin()
+        txn.append(
+            table,
+            [Column.from_values(T.INTEGER, [2]),
+             Column.from_values(T.STRING, ["y"])],
+        )
+        db.txn_manager.rollback(txn)
+        assert table.current.nrows == 1
+
+    def test_created_table_visible_only_inside_txn(self, db):
+        txn = db.txn_manager.begin()
+        schema = TableSchema("fresh", [ColumnDef("a", T.INTEGER)])
+        txn.create_table(schema)
+        assert txn.resolve_table("fresh") is not None
+        assert not db.catalog.exists("fresh")
+        db.txn_manager.commit(txn)
+        assert db.catalog.exists("fresh")
+
+    def test_create_duplicate_rejected(self, db):
+        make_table(db)
+        txn = db.txn_manager.begin()
+        with pytest.raises(CatalogError):
+            txn.create_table(
+                TableSchema("t", [ColumnDef("a", T.INTEGER)])
+            )
+
+    def test_drop_buffered_until_commit(self, db):
+        make_table(db)
+        txn = db.txn_manager.begin()
+        txn.drop_table("t")
+        with pytest.raises(CatalogError):
+            txn.resolve_table("t")
+        assert db.catalog.exists("t")
+        db.txn_manager.commit(txn)
+        assert not db.catalog.exists("t")
+
+    def test_create_then_drop_in_same_txn(self, db):
+        txn = db.txn_manager.begin()
+        txn.create_table(TableSchema("temp", [ColumnDef("a", T.INTEGER)]))
+        txn.drop_table("temp")
+        db.txn_manager.commit(txn)
+        assert not db.catalog.exists("temp")
+
+
+class TestConstraints:
+    def test_not_null_enforced_on_append(self, db):
+        txn = db.txn_manager.begin()
+        schema = TableSchema(
+            "nn", [ColumnDef("a", T.INTEGER, not_null=True)]
+        )
+        table = txn.create_table(schema)
+        with pytest.raises(ConstraintError):
+            txn.append(table, [Column.from_values(T.INTEGER, [1, None])])

@@ -1,0 +1,175 @@
+"""Unit tests for the SQL type system and its NULL-sentinel discipline."""
+
+import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConversionError, TypeMismatchError
+from repro.storage import types as T
+
+
+class TestNullSentinels:
+    def test_integer_null_is_domain_minimum(self):
+        assert T.INTEGER.null_value == -(2**31)
+        assert T.BIGINT.null_value == -(2**63)
+        assert T.SMALLINT.null_value == -(2**15)
+        assert T.TINYINT.null_value == -128
+
+    def test_float_null_is_nan(self):
+        assert np.isnan(T.DOUBLE.null_value)
+        assert np.isnan(T.REAL.null_value)
+
+    def test_none_round_trips_through_storage(self):
+        for ctype in (T.INTEGER, T.DOUBLE, T.DATE, T.BOOLEAN, T.decimal(10, 2)):
+            stored = ctype.to_storage(None)
+            assert ctype.is_null_scalar(stored)
+            assert ctype.from_storage(stored) is None
+
+    def test_is_null_array_integer(self):
+        arr = np.array([1, T.INTEGER.null_value, 3], dtype=np.int32)
+        assert T.INTEGER.is_null_array(arr).tolist() == [False, True, False]
+
+    def test_is_null_array_float_nan(self):
+        arr = np.array([1.0, np.nan, 3.0])
+        assert T.DOUBLE.is_null_array(arr).tolist() == [False, True, False]
+
+
+class TestConversions:
+    def test_integer_round_trip(self):
+        assert T.INTEGER.from_storage(T.INTEGER.to_storage(42)) == 42
+        assert T.INTEGER.from_storage(T.INTEGER.to_storage(-42)) == -42
+
+    def test_integer_out_of_range(self):
+        with pytest.raises(ConversionError):
+            T.INTEGER.to_storage(2**31)
+        with pytest.raises(ConversionError):
+            T.TINYINT.to_storage(-128)  # the sentinel itself is out of domain
+
+    def test_decimal_scaling(self):
+        dec = T.decimal(10, 2)
+        assert dec.to_storage(12.34) == 1234
+        assert dec.from_storage(1234) == 12.34
+
+    def test_decimal_bad_spec(self):
+        with pytest.raises(ConversionError):
+            T.decimal(40, 2)
+        with pytest.raises(ConversionError):
+            T.decimal(5, 8)
+
+    def test_date_round_trip(self):
+        day = datetime.date(1998, 12, 1)
+        stored = T.DATE.to_storage(day)
+        assert T.DATE.from_storage(stored) == day
+
+    def test_date_from_string(self):
+        assert T.DATE.to_storage("1970-01-02") == 1
+        assert T.DATE.to_storage("1969-12-31") == -1
+
+    def test_boolean(self):
+        assert T.BOOLEAN.to_storage(True) == 1
+        assert T.BOOLEAN.from_storage(np.int8(0)) is False
+
+    def test_timestamp_round_trip(self):
+        ts = datetime.datetime(2001, 2, 3, 4, 5, 6, 789)
+        assert T.TIMESTAMP.from_storage(T.TIMESTAMP.to_storage(ts)) == ts
+
+    def test_time_round_trip(self):
+        t = datetime.time(13, 45, 12)
+        assert T.TIME.from_storage(T.TIME.to_storage(t)) == t
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("INT", T.INTEGER),
+            ("integer", T.INTEGER),
+            ("BIGINT", T.BIGINT),
+            ("double", T.DOUBLE),
+            ("text", T.STRING),
+            ("date", T.DATE),
+        ],
+    )
+    def test_simple(self, text, expected):
+        assert T.parse_type(text) == expected
+
+    def test_parameterized(self):
+        assert T.parse_type("DECIMAL(15, 2)").scale == 2
+        assert T.parse_type("decimal(15,2)").precision == 15
+        assert T.parse_type("VARCHAR(25)").length == 25
+
+    def test_unknown(self):
+        with pytest.raises(ConversionError):
+            T.parse_type("geometry")
+
+
+class TestCommonType:
+    def test_integer_widening(self):
+        assert T.common_type(T.TINYINT, T.INTEGER) == T.INTEGER
+        assert T.common_type(T.INTEGER, T.BIGINT) == T.BIGINT
+
+    def test_numeric_with_float_is_double(self):
+        assert T.common_type(T.INTEGER, T.DOUBLE) == T.DOUBLE
+        assert T.common_type(T.decimal(10, 2), T.REAL) == T.DOUBLE
+
+    def test_decimal_with_integer_keeps_decimal(self):
+        dec = T.decimal(10, 2)
+        assert T.common_type(dec, T.INTEGER) == dec
+
+    def test_decimal_pair_takes_wider_scale(self):
+        merged = T.common_type(T.decimal(10, 2), T.decimal(12, 4))
+        assert merged.scale == 4 and merged.precision == 12
+
+    def test_incompatible(self):
+        with pytest.raises(TypeMismatchError):
+            T.common_type(T.DATE, T.STRING)
+
+
+class TestVectorizedDateKernels:
+    def test_year_month_day_known_dates(self):
+        days = np.array(
+            [
+                T.date_to_days("1992-01-01"),
+                T.date_to_days("1998-08-02"),
+                T.date_to_days("2000-02-29"),
+                T.date_to_days("1970-01-01"),
+            ],
+            dtype=np.int32,
+        )
+        assert T.year_of_days(days).tolist() == [1992, 1998, 2000, 1970]
+        assert T.month_of_days(days).tolist() == [1, 8, 2, 1]
+        assert T.day_of_days(days).tolist() == [1, 2, 29, 1]
+
+    @given(st.dates(min_value=datetime.date(1900, 1, 1),
+                    max_value=datetime.date(2100, 12, 31)))
+    def test_civil_round_trip_matches_python(self, day):
+        days = np.array([T.date_to_days(day)], dtype=np.int32)
+        assert int(T.year_of_days(days)[0]) == day.year
+        assert int(T.month_of_days(days)[0]) == day.month
+        assert int(T.day_of_days(days)[0]) == day.day
+
+    @given(
+        st.dates(min_value=datetime.date(1950, 1, 1),
+                 max_value=datetime.date(2050, 12, 31)),
+        st.integers(min_value=-60, max_value=60),
+    )
+    def test_add_months_clamps_and_matches_manual(self, day, months):
+        days = np.array([T.date_to_days(day)], dtype=np.int32)
+        shifted = T.days_to_date(int(T.add_months_to_days(days, months)[0]))
+        total = day.year * 12 + day.month - 1 + months
+        year, month = divmod(total, 12)
+        month += 1
+        last_day = (
+            datetime.date(year + (month == 12), month % 12 + 1, 1)
+            - datetime.timedelta(days=1)
+        ).day
+        expected = datetime.date(year, month, min(day.day, last_day))
+        assert shifted == expected
+
+    def test_interval_month_end_clamp(self):
+        jan31 = np.array([T.date_to_days("2001-01-31")], dtype=np.int32)
+        assert T.days_to_date(
+            int(T.add_months_to_days(jan31, 1)[0])
+        ) == datetime.date(2001, 2, 28)

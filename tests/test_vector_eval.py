@@ -1,0 +1,247 @@
+"""Unit tests for the vectorized kernels, including NULL edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import expr as E
+from repro.mal.vector_eval import eval_pred, eval_value
+from repro.mal.vectors import V
+from repro.storage import types as T
+from repro.storage.column import Column
+from repro.mal.vectors import vec_from_column
+
+
+class _Ctx:
+    """Minimal evaluation context (no subqueries, no correlation)."""
+
+    def outer_value(self, index):  # pragma: no cover - not used here
+        raise AssertionError
+
+
+CTX = _Ctx()
+
+
+def int_vec(values):
+    return vec_from_column(Column.from_values(T.INTEGER, values))
+
+
+def str_vec(values):
+    return vec_from_column(Column.from_values(T.STRING, values))
+
+
+def dbl_vec(values):
+    return vec_from_column(Column.from_values(T.DOUBLE, values))
+
+
+def slot(i, ctype=T.INTEGER):
+    return E.SlotRef(i, ctype)
+
+
+class TestArithmetic:
+    def test_integer_nulls_propagate_via_sentinel(self):
+        out = eval_value(
+            E.Arith("+", slot(0), E.Const(1, T.INTEGER), T.INTEGER),
+            [int_vec([1, None, 3])],
+            CTX,
+        )
+        assert out.type.is_null_array(out.data).tolist() == [False, True, False]
+        assert out.data[0] == 2
+
+    def test_division_by_zero_yields_null(self):
+        out = eval_value(
+            E.Arith(
+                "/",
+                E.CastExpr(slot(0), T.DOUBLE),
+                E.Const(0.0, T.DOUBLE),
+                T.DOUBLE,
+            ),
+            [int_vec([4])],
+            CTX,
+        )
+        assert np.isnan(out.data[0])
+
+    def test_float_nan_rides_through(self):
+        out = eval_value(
+            E.Arith("*", slot(0, T.DOUBLE), E.Const(2.0, T.DOUBLE), T.DOUBLE),
+            [dbl_vec([1.5, None])],
+            CTX,
+        )
+        assert out.data[0] == 3.0 and np.isnan(out.data[1])
+
+    def test_string_concat_with_null(self):
+        out = eval_value(
+            E.Arith("||", slot(0, T.STRING), E.Const("!", T.STRING), T.STRING),
+            [str_vec(["a", None])],
+            CTX,
+        )
+        assert out.objects().tolist() == ["a!", None]
+
+
+class TestComparisons:
+    def test_null_compare_is_unknown(self):
+        pred = eval_pred(
+            E.Compare("<", slot(0), E.Const(5, T.INTEGER)),
+            [int_vec([1, None, 10])],
+            CTX,
+        )
+        assert pred.definite().tolist() == [True, False, False]
+        assert pred.valid.tolist() == [True, False, True]
+
+    def test_dictionary_string_equality(self):
+        pred = eval_pred(
+            E.Compare("=", slot(0, T.STRING), E.Const("x", T.STRING)),
+            [str_vec(["x", "y", "x", None])],
+            CTX,
+        )
+        assert pred.definite().tolist() == [True, False, True, False]
+
+    def test_string_ordering(self):
+        pred = eval_pred(
+            E.Compare("<", slot(0, T.STRING), E.Const("m", T.STRING)),
+            [str_vec(["a", "z"])],
+            CTX,
+        )
+        assert pred.definite().tolist() == [True, False]
+
+    def test_column_vs_column(self):
+        pred = eval_pred(
+            E.Compare(">", slot(0), slot(1)),
+            [int_vec([1, 5]), int_vec([3, 3])],
+            CTX,
+        )
+        assert pred.definite().tolist() == [False, True]
+
+
+class TestCase:
+    def test_numeric_case_with_null_else(self):
+        expr = E.CaseWhen(
+            ((E.Compare(">", slot(0), E.Const(1, T.INTEGER)),
+              E.Const(100, T.INTEGER)),),
+            None,
+            T.INTEGER,
+        )
+        out = eval_value(expr, [int_vec([0, 5])], CTX)
+        assert out.type.is_null_scalar(out.data[0])
+        assert out.data[1] == 100
+
+    def test_string_case(self):
+        expr = E.CaseWhen(
+            ((E.Compare("=", slot(0), E.Const(1, T.INTEGER)),
+              E.Const("one", T.STRING)),),
+            E.Const("other", T.STRING),
+            T.STRING,
+        )
+        out = eval_value(expr, [int_vec([1, 2])], CTX)
+        assert out.objects().tolist() == ["one", "other"]
+
+    def test_first_matching_when_wins(self):
+        expr = E.CaseWhen(
+            (
+                (E.Compare(">", slot(0), E.Const(0, T.INTEGER)),
+                 E.Const(1, T.INTEGER)),
+                (E.Compare(">", slot(0), E.Const(5, T.INTEGER)),
+                 E.Const(2, T.INTEGER)),
+            ),
+            E.Const(0, T.INTEGER),
+            T.INTEGER,
+        )
+        out = eval_value(expr, [int_vec([10])], CTX)
+        assert out.data[0] == 1
+
+
+class TestFunctions:
+    def test_year_with_null_dates(self):
+        col = Column.from_values(T.DATE, ["2001-05-06", None])
+        out = eval_value(
+            E.FuncCall("year", (slot(0, T.DATE),), T.INTEGER),
+            [vec_from_column(col)],
+            CTX,
+        )
+        assert out.data[0] == 2001
+        assert T.INTEGER.is_null_scalar(out.data[1])
+
+    def test_sqrt_negative_nan(self):
+        out = eval_value(
+            E.FuncCall("sqrt", (slot(0, T.DOUBLE),), T.DOUBLE),
+            [dbl_vec([-4.0, 9.0])],
+            CTX,
+        )
+        assert np.isnan(out.data[0]) and out.data[1] == 3.0
+
+    def test_upper_uses_dictionary(self):
+        out = eval_value(
+            E.FuncCall("upper", (slot(0, T.STRING),), T.STRING),
+            [str_vec(["ab", "ab", None])],
+            CTX,
+        )
+        assert out.objects().tolist() == ["AB", "AB", None]
+
+    def test_coalesce_vectorized(self):
+        expr = E.FuncCall(
+            "coalesce", (slot(0), E.Const(0, T.INTEGER)), T.INTEGER
+        )
+        out = eval_value(expr, [int_vec([None, 7])], CTX)
+        assert out.data.tolist() == [0, 7]
+
+
+class TestInList:
+    def test_membership_and_negation(self):
+        expr = E.InListExpr(slot(0), (1, 3), False)
+        pred = eval_pred(expr, [int_vec([1, 2, None])], CTX)
+        assert pred.definite().tolist() == [True, False, False]
+        negated = E.InListExpr(slot(0), (1, 3), True)
+        pred = eval_pred(negated, [int_vec([1, 2, None])], CTX)
+        # NULL NOT IN (...) is still unknown -> excluded
+        assert pred.definite().tolist() == [False, True, False]
+
+    def test_string_in_list(self):
+        expr = E.InListExpr(slot(0, T.STRING), ("a", "c"), False)
+        pred = eval_pred(expr, [str_vec(["a", "b", "c"])], CTX)
+        assert pred.definite().tolist() == [True, False, True]
+
+
+class TestCasts:
+    def test_decimal_to_double(self):
+        col = Column.from_values(T.decimal(10, 2), [1.25, None])
+        out = eval_value(
+            E.CastExpr(slot(0, T.decimal(10, 2)), T.DOUBLE),
+            [vec_from_column(col)],
+            CTX,
+        )
+        assert out.data[0] == 1.25 and np.isnan(out.data[1])
+
+    def test_int_widening_remaps_sentinel(self):
+        out = eval_value(
+            E.CastExpr(slot(0), T.BIGINT),
+            [int_vec([1, None])],
+            CTX,
+        )
+        assert out.data[0] == 1
+        assert out.data[1] == T.BIGINT.null_value
+
+    def test_decimal_rescale(self):
+        col = Column.from_values(T.decimal(10, 2), [1.25])
+        out = eval_value(
+            E.CastExpr(slot(0, T.decimal(10, 2)), T.decimal(12, 4)),
+            [vec_from_column(col)],
+            CTX,
+        )
+        assert out.data[0] == 12500
+
+    def test_number_to_string(self):
+        out = eval_value(
+            E.CastExpr(slot(0), T.STRING), [int_vec([42, None])], CTX
+        )
+        assert out.objects().tolist() == ["42", None]
+
+
+class TestLike:
+    def test_like_with_nulls(self):
+        expr = E.LikeExpr(slot(0, T.STRING), "a%", False)
+        pred = eval_pred(expr, [str_vec(["abc", None, "xyz"])], CTX)
+        assert pred.definite().tolist() == [True, False, False]
+
+    def test_not_like_excludes_nulls(self):
+        expr = E.LikeExpr(slot(0, T.STRING), "a%", True)
+        pred = eval_pred(expr, [str_vec(["abc", None, "xyz"])], CTX)
+        assert pred.definite().tolist() == [False, False, True]

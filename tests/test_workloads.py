@@ -1,0 +1,187 @@
+"""Tests for the workload generators (TPC-H dbgen clone, ACS synth)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.types import date_to_days
+from repro.workloads.acs import ACS_COLUMNS, acs_schema_sql, generate_acs
+from repro.workloads.acs.analysis import preprocess, sdr_standard_error
+from repro.workloads.tpch import TABLES, generate
+from repro.workloads.tpch.gen import column_type_names, table_row_counts
+
+
+class TestTPCHGenerator:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate(0.005, seed=11)
+
+    def test_all_tables_present(self, data):
+        assert set(data) == set(TABLES)
+
+    def test_cardinality_ratios(self, data):
+        counts = table_row_counts(0.005)
+        assert len(data["region"]["r_regionkey"]) == 5
+        assert len(data["nation"]["n_nationkey"]) == 25
+        assert len(data["supplier"]["s_suppkey"]) == counts["supplier"]
+        assert len(data["partsupp"]["ps_partkey"]) == 4 * counts["part"]
+        lines = len(data["lineitem"]["l_orderkey"])
+        orders = counts["orders"]
+        assert orders <= lines <= 7 * orders
+
+    def test_deterministic(self):
+        first = generate(0.002, seed=3)
+        second = generate(0.002, seed=3)
+        assert np.array_equal(
+            first["lineitem"]["l_extendedprice"],
+            second["lineitem"]["l_extendedprice"],
+        )
+        third = generate(0.002, seed=4)
+        assert not np.array_equal(
+            first["lineitem"]["l_partkey"], third["lineitem"]["l_partkey"]
+        )
+
+    def test_referential_integrity(self, data):
+        n_part = len(data["part"]["p_partkey"])
+        n_supp = len(data["supplier"]["s_suppkey"])
+        assert data["lineitem"]["l_partkey"].min() >= 1
+        assert data["lineitem"]["l_partkey"].max() <= n_part
+        assert data["lineitem"]["l_suppkey"].max() <= n_supp
+        assert data["partsupp"]["ps_suppkey"].max() <= n_supp
+        assert set(np.unique(data["nation"]["n_regionkey"])) <= set(range(5))
+        order_keys = set(data["orders"]["o_orderkey"].tolist())
+        assert set(np.unique(data["lineitem"]["l_orderkey"])) <= order_keys
+
+    def test_date_invariants(self, data):
+        li = data["lineitem"]
+        assert (li["l_receiptdate"] > li["l_shipdate"]).all()
+        lo = date_to_days("1992-01-01")
+        hi = date_to_days("1998-12-31")
+        assert li["l_shipdate"].min() >= lo
+        assert li["l_shipdate"].max() <= hi + 130
+
+    def test_value_domains(self, data):
+        li = data["lineitem"]
+        assert li["l_quantity"].min() >= 1 and li["l_quantity"].max() <= 50
+        assert li["l_discount"].min() >= 0 and li["l_discount"].max() <= 0.10
+        assert li["l_tax"].max() <= 0.08
+        assert set(np.unique(li["l_returnflag"])) <= {"A", "N", "R"}
+        assert set(np.unique(li["l_linestatus"])) == {"F", "O"}
+        assert data["part"]["p_size"].min() >= 1
+        assert data["part"]["p_size"].max() <= 50
+
+    def test_extendedprice_consistent_with_part_price(self, data):
+        li = data["lineitem"]
+        prices = data["part"]["p_retailprice"][li["l_partkey"] - 1]
+        assert np.allclose(
+            li["l_extendedprice"], np.round(li["l_quantity"] * prices, 2)
+        )
+
+    def test_type_names_match_ddl(self):
+        names = column_type_names("lineitem")
+        assert len(names) == 16
+        assert names[4] == "decimal(15,2)"
+        assert names[10] == "date"
+
+    def test_brass_parts_exist(self, data):
+        brass = [t for t in data["part"]["p_type"] if t.endswith("BRASS")]
+        assert brass  # Q2's filter must select something
+
+
+class TestACSGenerator:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_acs(3000, seed=5)
+
+    def test_274_columns(self, data):
+        assert len(data) == 274
+        assert len(ACS_COLUMNS) == 274
+        assert set(data) == {name for name, _ in ACS_COLUMNS}
+
+    def test_replicate_weights_present(self, data):
+        for i in (1, 40, 80):
+            assert f"pwgtp{i}" in data
+            assert f"wgtp{i}" in data
+
+    def test_weights_positive(self, data):
+        assert data["pwgtp"].min() >= 1
+        assert data["pwgtp1"].min() >= 0
+
+    def test_five_states(self, data):
+        assert len(np.unique(data["st"])) == 5
+
+    def test_employment_consistency(self, data):
+        employed = data["esr"] == 1
+        assert (data["wkhp"][employed] > 0).all()
+        assert (data["wkhp"][~employed] == 0).all()
+
+    def test_income_total_at_least_wages(self, data):
+        assert (data["pincp"] >= np.minimum(data["wagp"], 800_000)).all()
+
+    def test_schema_sql_parses(self):
+        from repro.sql.parser import parse_one
+
+        statement = parse_one(acs_schema_sql())
+        assert len(statement.columns) == 274
+
+    def test_preprocess_keeps_column_count(self, data):
+        prepared = preprocess(data)
+        assert len(prepared) == 274
+        assert prepared["f002p"].dtype == np.int8
+
+
+class TestSDRVariance:
+    def test_zero_when_replicates_equal_theta(self):
+        assert sdr_standard_error(10.0, np.full(80, 10.0)) == 0.0
+
+    def test_known_value(self):
+        replicates = np.full(80, 11.0)  # each deviates by 1
+        se = sdr_standard_error(10.0, replicates)
+        assert se == pytest.approx(np.sqrt(4.0 / 80 * 80))
+
+    def test_scales_with_deviation(self):
+        small = sdr_standard_error(0.0, np.full(80, 1.0))
+        large = sdr_standard_error(0.0, np.full(80, 2.0))
+        assert large == pytest.approx(2 * small)
+
+
+class TestACSAnalysisEndToEnd:
+    def test_statistics_through_embedded_adapter(self):
+        from repro.bench.systems import make_adapter
+        from repro.workloads.acs import load_phase, statistics_phase
+
+        data = generate_acs(1500, seed=9)
+        adapter = make_adapter("MonetDBLite")
+        adapter.setup()
+        try:
+            nrows = load_phase(adapter, data)
+            assert nrows == 1500
+            stats = statistics_phase(adapter)
+            assert stats["population_total"] == float(data["pwgtp"].sum())
+            assert stats["population_total_se"] > 0
+            assert 0 < stats["mean_age"] < 95
+            assert len(stats["population_by_state"]) == 5
+            assert len(stats["income_deciles"]) == 9
+            assert stats["income_deciles"] == sorted(stats["income_deciles"])
+            assert set(stats["mean_wage_by_sex"]) == {1, 2}
+        finally:
+            adapter.teardown()
+
+    def test_statistics_identical_across_engines(self):
+        from repro.bench.systems import make_adapter
+        from repro.workloads.acs import load_phase, statistics_phase
+
+        data = generate_acs(800, seed=10)
+        results = {}
+        for system in ("MonetDBLite", "SQLite"):
+            adapter = make_adapter(system)
+            adapter.setup()
+            try:
+                load_phase(adapter, data)
+                results[system] = statistics_phase(adapter)
+            finally:
+                adapter.teardown()
+        a, b = results["MonetDBLite"], results["SQLite"]
+        assert a["population_total"] == b["population_total"]
+        assert a["mean_age"] == pytest.approx(b["mean_age"])
+        assert a["median_income_adults"] == b["median_income_adults"]
+        assert a["population_by_state"] == b["population_by_state"]
