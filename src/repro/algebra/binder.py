@@ -10,6 +10,7 @@ general case falls back to per-row subquery evaluation.
 
 from __future__ import annotations
 
+import decimal
 from typing import Callable, Optional
 
 import numpy as np
@@ -832,21 +833,25 @@ class Binder:
                     f"arithmetic {op!r} undefined for "
                     f"{left.type.name} and {right.type.name}"
                 )
-            # DECIMAL arithmetic runs in DOUBLE (documented simplification);
-            # '/' always yields DOUBLE.
-            if (
-                op == "/"
-                or lcat == T.TypeCategory.DECIMAL
-                or rcat == T.TypeCategory.DECIMAL
-                or lcat == T.TypeCategory.FLOAT
-                or rcat == T.TypeCategory.FLOAT
-            ):
+            has_float = T.TypeCategory.FLOAT in (lcat, rcat)
+            has_decimal = T.TypeCategory.DECIMAL in (lcat, rcat)
+            if not has_float and has_decimal and op in ("+", "-", "*"):
+                # exact scaled-int64 DECIMAL arithmetic; falls back to
+                # DOUBLE when the result would exceed 18 digits
+                bound = self._decimal_arith(op, left, right)
+                if bound is not None:
+                    return bound
+            if has_float or has_decimal:
+                # '/' and '%' over DECIMALs run in DOUBLE, as does anything
+                # mixed with a float
                 return E.Arith(
                     op,
                     self._coerce_to(left, T.DOUBLE),
                     self._coerce_to(right, T.DOUBLE),
                     T.DOUBLE,
                 )
+            # pure integer arithmetic — including '/', which truncates
+            # toward zero rather than widening to DOUBLE
             result = T.common_type(left.type, right.type)
             return E.Arith(
                 op,
@@ -855,6 +860,33 @@ class Binder:
                 result,
             )
         raise BindError(f"unknown operator {op!r}")
+
+    def _decimal_arith(self, op: str, left: E.BoundExpr, right: E.BoundExpr):
+        """Type exact DECIMAL +/-/* (None = result does not fit 18 digits).
+
+        Result-scale rules follow SQL: add/sub keep ``max(s1, s2)``,
+        multiply yields ``s1 + s2`` — the raw int64 product of the
+        unrescaled operands already carries that scale, so no cast is
+        needed on the multiply path.
+        """
+        lp, ls = _decimal_spec(left.type)
+        rp, rs = _decimal_spec(right.type)
+        if op in ("+", "-"):
+            scale = max(ls, rs)
+            integer_digits = max(lp - ls, rp - rs) + 1
+            precision = min(18, max(scale, integer_digits + scale))
+            result = T.decimal(precision, scale)
+            return E.Arith(
+                op,
+                self._coerce_to(left, result),
+                self._coerce_to(right, result),
+                result,
+            )
+        scale = ls + rs
+        if scale > 18:
+            return None
+        precision = min(18, max(scale, lp + rp))
+        return E.Arith(op, left, right, T.decimal(precision, scale))
 
     def _bind_case(self, expression: ast.CaseExpr, recurse) -> E.BoundExpr:
         whens = []
@@ -909,7 +941,21 @@ class Binder:
             raise BindError("LIKE pattern must be a string constant")
         if operand.type.category != T.TypeCategory.STRING:
             raise BindError("LIKE requires a string operand")
-        return E.LikeExpr(operand, pattern.value, expression.negated)
+        escape = "\\"
+        if expression.escape is not None:
+            bound_escape = recurse(expression.escape)
+            if (
+                not isinstance(bound_escape, E.Const)
+                or not isinstance(bound_escape.value, str)
+                or len(bound_escape.value) != 1
+            ):
+                raise BindError(
+                    "LIKE ESCAPE must be a single-character string constant"
+                )
+            escape = bound_escape.value
+        return E.LikeExpr(
+            operand, pattern.value, expression.negated, escape=escape
+        )
 
     def _make_in_list(self, expression: ast.InList, recurse) -> E.BoundExpr:
         operand = recurse(expression.operand)
@@ -942,9 +988,9 @@ class Binder:
             return left, E.Const(None, lt)
         # decimal fast path: rescale the other side into the decimal domain
         if lc == T.TypeCategory.DECIMAL and isinstance(right, E.Const):
-            return left, E.Const(lt.to_storage(right.value), lt)
+            return left, self._coerce_to(right, lt)
         if rc == T.TypeCategory.DECIMAL and isinstance(left, E.Const):
-            return E.Const(rt.to_storage(left.value), rt), right
+            return self._coerce_to(left, rt), right
         if lc == T.TypeCategory.DECIMAL and rc == T.TypeCategory.DECIMAL:
             common = T.common_type(lt, rt)
             return self._coerce_to(left, common), self._coerce_to(right, common)
@@ -972,6 +1018,13 @@ class Binder:
                 return E.Const(None, target)
             value = operand.value
             if operand.type.category == T.TypeCategory.DECIMAL:
+                if target.category == T.TypeCategory.DECIMAL:
+                    # exact raw rescale — a float round-trip would lose
+                    # digits beyond 2**53
+                    delta = target.scale - operand.type.scale
+                    raw = int(value)
+                    raw = raw * 10**delta if delta >= 0 else raw // 10**-delta
+                    return E.Const(np.int64(raw), target)
                 value = operand.type.from_storage(value)
             if operand.type.category == T.TypeCategory.DATE and (
                 target.category == T.TypeCategory.DATE
@@ -1102,6 +1155,17 @@ class _RenamedPlan(N.LogicalNode):
         return [self.child]
 
 
+#: decimal digits an integer of the given byte width can hold
+_INT_DIGITS = {1: 3, 2: 5, 4: 10, 8: 18}
+
+
+def _decimal_spec(sqltype: T.SQLType) -> tuple:
+    """(precision, scale) of a numeric operand for decimal typing rules."""
+    if sqltype.category == T.TypeCategory.DECIMAL:
+        return sqltype.precision, sqltype.scale
+    return _INT_DIGITS[sqltype.dtype.itemsize], 0
+
+
 def _bind_literal(literal: ast.Literal) -> E.Const:
     value = literal.value
     if literal.type_hint == "date":
@@ -1117,6 +1181,16 @@ def _bind_literal(literal: ast.Literal) -> E.Const:
     if isinstance(value, int):
         itype = T.INTEGER if -(2**31) < value < 2**31 else T.BIGINT
         return E.Const(value, itype)
+    if isinstance(value, decimal.Decimal):
+        # fractional literal: capture exactly as DECIMAL(p,s) so that
+        # 0.1 + 0.2 evaluates in scaled integers, not binary floats
+        scale = max(0, -value.as_tuple().exponent)
+        if scale <= 18:
+            scaled = int(value.scaleb(scale))
+            precision = max(len(str(abs(scaled))), scale)
+            if precision <= 18:
+                return E.Const(np.int64(scaled), T.decimal(precision, scale))
+        return E.Const(float(value), T.DOUBLE)  # too wide for int64 storage
     if isinstance(value, float):
         return E.Const(value, T.DOUBLE)
     if isinstance(value, str):

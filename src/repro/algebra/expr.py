@@ -152,6 +152,7 @@ class LikeExpr(BoundExpr):
     pattern: str
     negated: bool = False
     type: T.SQLType = T.BOOLEAN
+    escape: str = "\\"
 
 
 @dataclass(frozen=True)
@@ -290,7 +291,13 @@ def _remap(expression: BoundExpr, ref_class, mapping: dict[int, int]) -> BoundEx
         if isinstance(node, FuncCall):
             return FuncCall(node.name, tuple(rewrite(a) for a in node.args), node.type)
         if isinstance(node, LikeExpr):
-            return LikeExpr(rewrite(node.operand), node.pattern, node.negated)
+            return LikeExpr(
+                rewrite(node.operand),
+                node.pattern,
+                node.negated,
+                node.type,
+                node.escape,
+            )
         if isinstance(node, InListExpr):
             return InListExpr(rewrite(node.operand), node.values, node.negated)
         if isinstance(node, CastExpr):

@@ -81,7 +81,11 @@ def _fold_children(expression: E.BoundExpr) -> E.BoundExpr:
         )
     if isinstance(expression, E.LikeExpr):
         return E.LikeExpr(
-            fold_expression(expression.operand), expression.pattern, expression.negated
+            fold_expression(expression.operand),
+            expression.pattern,
+            expression.negated,
+            expression.type,
+            expression.escape,
         )
     if isinstance(expression, E.InListExpr):
         return E.InListExpr(
@@ -101,7 +105,7 @@ def eval_const(expression: E.BoundExpr):
         right = eval_const(expression.right)
         if left is None or right is None:
             return None
-        return _scalar_arith(expression.op, left, right)
+        return _scalar_arith(expression.op, left, right, expression.type)
     if isinstance(expression, E.Compare):
         left = eval_const(expression.left)
         right = eval_const(expression.right)
@@ -136,7 +140,9 @@ def eval_const(expression: E.BoundExpr):
         return _scalar_function(expression.name, args)
     if isinstance(expression, E.LikeExpr):
         value = eval_const(expression.operand)
-        return compile_like(expression.pattern, expression.negated)(value)
+        return compile_like(expression.pattern, expression.negated, expression.escape)(
+            value
+        )
     if isinstance(expression, E.InListExpr):
         value = eval_const(expression.operand)
         if value is None:
@@ -150,7 +156,16 @@ def eval_const(expression: E.BoundExpr):
     raise BindError(f"cannot fold {type(expression).__name__}")
 
 
-def _scalar_arith(op: str, left, right):
+def _trunc_div(left: int, right: int) -> int:
+    """Integer division truncating toward zero (SQL), not floor (Python)."""
+    quotient = left // right
+    if quotient < 0 and quotient * right != left:
+        quotient += 1
+    return quotient
+
+
+def _scalar_arith(op: str, left, right, rtype: T.SQLType = T.DOUBLE):
+    integral = rtype.category in (T.TypeCategory.INTEGER, T.TypeCategory.DECIMAL)
     if op == "+":
         return left + right
     if op == "-":
@@ -160,11 +175,18 @@ def _scalar_arith(op: str, left, right):
     if op == "/":
         if right == 0:
             return None
+        if integral:
+            return _trunc_div(int(left), int(right))
         return left / right
     if op == "%":
         if right == 0:
             return None
-        return left % right
+        # Remainder takes the sign of the dividend (SQL / C semantics),
+        # not the divisor as Python's % would give.
+        if integral:
+            quotient = _trunc_div(int(left), int(right))
+            return int(left) - quotient * int(right)
+        return math.fmod(left, right)
     if op == "||":
         return str(left) + str(right)
     raise BindError(f"unknown arithmetic operator {op!r}")
@@ -227,7 +249,11 @@ def _scalar_function(name: str, args: list):
     if name == "power":
         return float(args[0]) ** float(args[1])
     if name == "mod":
-        return args[0] % args[1] if args[1] != 0 else None
+        if args[1] == 0:
+            return None
+        if isinstance(args[0], int) and isinstance(args[1], int):
+            return args[0] - _trunc_div(args[0], args[1]) * args[1]
+        return math.fmod(args[0], args[1])
     if name == "upper":
         return str(args[0]).upper()
     if name == "lower":

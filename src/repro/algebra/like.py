@@ -3,9 +3,10 @@
 Paper, section 3.4 ("Dependencies"): *"we made our own implementation of the
 LIKE operator (that previously used regular expressions from the PCRE
 library)"*.  This module mirrors that: SQL LIKE patterns (``%`` = any
-sequence, ``_`` = any single character, ``\\`` escapes) are matched with a
-hand-rolled two-pointer algorithm, and the common shapes ``abc``, ``abc%``,
-``%abc``, ``%abc%`` get dedicated fast paths used by the vectorized kernel.
+sequence, ``_`` = any single character, escape char defaulting to ``\\``,
+overridable via ``LIKE ... ESCAPE 'x'``) are matched with a hand-rolled
+two-pointer algorithm, and the common shapes ``abc``, ``abc%``, ``%abc``,
+``%abc%`` get dedicated fast paths used by the vectorized kernel.
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ from typing import Callable
 __all__ = ["like_match", "compile_like"]
 
 
-def like_match(value: str, pattern: str) -> bool:
+def like_match(value: str, pattern: str, escape: str = "\\") -> bool:
     """Match one string against a LIKE pattern (case sensitive).
 
     Implements the classic greedy-with-backtracking wildcard algorithm:
@@ -29,7 +30,7 @@ def like_match(value: str, pattern: str) -> bool:
     while v < v_len:
         if p < p_len:
             ch = pattern[p]
-            if ch == "\\" and p + 1 < p_len:
+            if ch == escape and p + 1 < p_len:
                 if value[v] == pattern[p + 1]:
                     v += 1
                     p += 2
@@ -59,13 +60,13 @@ def like_match(value: str, pattern: str) -> bool:
     return p == p_len
 
 
-def _classify(pattern: str):
+def _classify(pattern: str, escape: str = "\\"):
     """Detect the fast-path shape of a pattern.
 
     Returns (kind, payload) with kind in ``exact``/``prefix``/``suffix``/
     ``contains``/``general``.
     """
-    if "\\" in pattern or "_" in pattern:
+    if escape in pattern or "_" in pattern:
         return "general", pattern
     body = pattern.strip("%")
     if "%" in body:
@@ -81,13 +82,15 @@ def _classify(pattern: str):
     return "suffix", body
 
 
-def compile_like(pattern: str, negated: bool = False) -> Callable[[object], bool]:
+def compile_like(
+    pattern: str, negated: bool = False, escape: str = "\\"
+) -> Callable[[object], bool]:
     """Compile a pattern into a per-value predicate (None -> False).
 
     NULL semantics: ``NULL LIKE p`` is unknown, which a WHERE clause treats
     as false, for both LIKE and NOT LIKE — hence None maps to False always.
     """
-    kind, payload = _classify(pattern)
+    kind, payload = _classify(pattern, escape)
     if kind == "exact":
         base = lambda s: s == payload  # noqa: E731
     elif kind == "prefix":
@@ -97,7 +100,7 @@ def compile_like(pattern: str, negated: bool = False) -> Callable[[object], bool
     elif kind == "contains":
         base = lambda s: payload in s  # noqa: E731
     else:
-        base = lambda s: like_match(s, pattern)  # noqa: E731
+        base = lambda s: like_match(s, pattern, escape)  # noqa: E731
 
     if negated:
         return lambda s: s is not None and not base(s)

@@ -1,0 +1,74 @@
+"""Human-readable rendering of bound logical plans (EXPLAIN output)."""
+
+from __future__ import annotations
+
+from repro.algebra import nodes as N
+
+__all__ = ["render_plan"]
+
+
+def render_plan(node: N.LogicalNode) -> str:
+    """Indented one-node-per-line tree rendering of a logical plan."""
+    lines: list = []
+    _render(node, 0, lines)
+    return "\n".join(lines)
+
+
+def _render(node: N.LogicalNode, depth: int, lines: list) -> None:
+    pad = "  " * depth
+    lines.append(pad + _describe(node))
+    for child in node.children:
+        _render(child, depth + 1, lines)
+
+
+def _describe(node: N.LogicalNode) -> str:
+    if isinstance(node, N.Scan):
+        columns = ", ".join(col.name for col in node.output)
+        return f"Scan {node.table_name} [{_clip(columns)}]"
+    if isinstance(node, N.Filter):
+        return f"Filter [{_clip(str(node.predicate))}]"
+    if isinstance(node, N.Project):
+        exprs = ", ".join(str(e) for e in node.exprs)
+        return f"Project [{_clip(exprs)}]"
+    if isinstance(node, N.Join):
+        keys = ", ".join(
+            f"{l} = {r}" for l, r in zip(node.left_keys, node.right_keys)
+        )
+        residual = (
+            f" residual [{_clip(str(node.residual))}]"
+            if node.residual is not None
+            else ""
+        )
+        return f"Join {node.kind} [{_clip(keys)}]{residual}"
+    if isinstance(node, N.SemiJoin):
+        kind = "AntiJoin" if node.anti else "SemiJoin"
+        keys = ", ".join(
+            f"{l} = {r}" for l, r in zip(node.left_keys, node.right_keys)
+        )
+        return f"{kind} [{_clip(keys)}]"
+    if isinstance(node, N.Aggregate):
+        groups = ", ".join(str(g) for g in node.group_exprs)
+        aggs = ", ".join(
+            f"{a.func}({a.arg if a.arg is not None else '*'})"
+            for a in node.aggregates
+        )
+        by = f" by [{_clip(groups)}]" if node.group_exprs else ""
+        return f"Aggregate [{_clip(aggs)}]{by}"
+    if isinstance(node, N.Sort):
+        keys = ", ".join(
+            f"{k.expr}{' desc' if k.descending else ''}" for k in node.keys
+        )
+        return f"Sort [{_clip(keys)}]"
+    if isinstance(node, N.Limit):
+        return f"Limit {node.limit} offset {node.offset}"
+    if isinstance(node, N.Distinct):
+        return "Distinct"
+    if isinstance(node, N.SetOp):
+        return f"SetOp {node.op}{' all' if node.all else ''}"
+    if isinstance(node, N.MultiJoin):
+        return f"MultiJoin over {len(node.relations)} relations"
+    return type(node).__name__.lstrip("_")
+
+
+def _clip(text: str, limit: int = 120) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."

@@ -18,8 +18,14 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="repro benchmark harness")
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=["fig5", "fig6", "fig7", "fig8", "table1", "all"],
     )
+    parser.add_argument("--trace", action="store_true",
+                        help="print per-query TPC-H trace summaries "
+                             "(EXPLAIN ANALYZE instrumentation)")
+    parser.add_argument("--queries", type=int, nargs="*", default=None,
+                        help="TPC-H query numbers for --trace (default: all)")
     parser.add_argument("--sf", type=float, default=None,
                         help="TPC-H scale factor override")
     parser.add_argument("--scale", choices=["small", "large"], default="small",
@@ -33,6 +39,21 @@ def main(argv=None) -> int:
                         help="run socket servers as threads, not processes")
     parser.add_argument("--systems", nargs="*", default=None)
     args = parser.parse_args(argv)
+
+    if args.trace:
+        from repro.bench.trace import trace_report
+
+        if args.queries:
+            bad = sorted(set(args.queries) - set(QUERIES))
+            if bad:
+                parser.error(
+                    f"unknown TPC-H queries {bad}; available: {sorted(QUERIES)}"
+                )
+        sf = args.sf if args.sf is not None else 0.01
+        print(trace_report(scale_factor=sf, queries=args.queries))
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment is required unless --trace is given")
 
     quick = args.quick
     in_process = args.in_process or quick

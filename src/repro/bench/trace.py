@@ -1,0 +1,64 @@
+"""``python -m repro.bench --trace``: per-query TPC-H trace summaries.
+
+Loads TPC-H into a fresh in-memory embedded database and runs each query
+with the :mod:`repro.obs` tracer attached, printing a compact summary per
+query (instruction count, wall time, result size, hottest instructions
+with their tactical choices).  This is the profiling loop MonetDB exposes
+via ``TRACE``: the same query plan annotated with what the engine
+actually did.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.tpch import QUERIES, generate, load, query, schema_statements
+
+__all__ = ["trace_report", "run_traced_queries"]
+
+
+def run_traced_queries(
+    scale_factor: float = 0.01,
+    queries: list | None = None,
+    seed: int = 42,
+) -> dict:
+    """Run TPC-H queries traced; returns ``{name: (Result, QueryTrace)}``."""
+    from repro.core.database import Database
+
+    names = list(queries) if queries else list(QUERIES)
+    database = Database(None)
+    try:
+        conn = database.connect()
+        for ddl in schema_statements():
+            conn.execute(ddl)
+        load(conn, generate(scale_factor, seed=seed))
+        out = {}
+        for name in names:
+            out[name] = conn.trace_query(query(name))
+        return out
+    finally:
+        database.shutdown()
+
+
+def trace_report(
+    scale_factor: float = 0.01,
+    queries: list | None = None,
+    seed: int = 42,
+    top: int = 3,
+) -> str:
+    """Human-readable trace summaries for the selected TPC-H queries."""
+    traced = run_traced_queries(scale_factor, queries=queries, seed=seed)
+    lines = [f"TPC-H trace summaries (SF={scale_factor})", ""]
+    for name, (result, trace) in traced.items():
+        summary = trace.summary()
+        lines.append(
+            f"Q{name}: {summary['instructions']} instructions, "
+            f"{summary['total_us']:.0f} us, {result.nrows} rows"
+        )
+        for profile in trace.top_instructions(top):
+            tactic = f" [{profile.tactic}]" if profile.tactic else ""
+            lines.append(
+                f"    #{profile.index:<3} {profile.wall_ns / 1000:9.1f} us  "
+                f"{profile.op:<10}{tactic}  "
+                f"rows {profile.rows_in} -> {profile.rows_out}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

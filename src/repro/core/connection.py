@@ -17,13 +17,16 @@ import numpy as np
 from repro.algebra import nodes as N
 from repro.algebra.binder import bind_statement
 from repro.algebra.optimizer import optimize
+from repro.algebra.render import render_plan
 from repro.errors import CatalogError, InterfaceError, TransactionError
 from repro.core.result import Result
 from repro.mal.codegen import compile_select
-from repro.mal.interpreter import ExecutionContext, Interpreter
+from repro.mal.interpreter import ExecutionContext, Interpreter, MaterializedResult
 from repro.mal.vector_eval import eval_pred, eval_value
 from repro.mal.vectors import vec_from_column, vec_to_column
+from repro.obs import QueryTrace
 from repro.sql.parser import parse
+from repro.storage import types as T
 from repro.storage.column import Column
 from repro.txn.transaction import Transaction
 
@@ -111,6 +114,7 @@ class Connection:
     def _execute_statement(self, statement) -> Result | None:
         from repro.sql import ast
 
+        self._stats_incr("statements")
         if isinstance(statement, ast.TransactionStmt):
             action = statement.action
             if action == "begin":
@@ -120,6 +124,8 @@ class Connection:
             else:
                 self.rollback()
             return None
+        if isinstance(statement, ast.ExplainStmt):
+            return self._execute_explain(statement)
 
         txn, autocommit = self._statement_txn()
         try:
@@ -139,9 +145,17 @@ class Connection:
                 self._txn = None
             raise
 
+    def _stats(self):
+        return getattr(self._database, "_stats", None)
+
+    def _stats_incr(self, name: str, amount: int = 1) -> None:
+        stats = self._stats()
+        if stats is not None:
+            stats.incr(name, amount)
+
     def _dispatch(self, bound, txn) -> Result | None:
         if isinstance(bound, N.BoundSelect):
-            return Result(self._run_select(bound, txn))
+            return Result(self._run_select(bound, txn), self._stats())
         if isinstance(bound, N.BoundInsert):
             self._run_insert(bound, txn)
             return None
@@ -165,13 +179,58 @@ class Connection:
             return None
         raise InterfaceError(f"cannot execute {type(bound).__name__}")
 
-    def _run_select(self, bound: N.BoundSelect, txn):
+    def _run_select(self, bound: N.BoundSelect, txn, trace=None):
         optimized = optimize(
             bound, lambda name: txn.resolve_table(name).current.nrows
         )
         program = compile_select(optimized)
-        ctx = ExecutionContext(self._database, txn, self._database.config)
-        return Interpreter(ctx).run(program)
+        ctx = ExecutionContext(
+            self._database, txn, self._database.config, trace=trace
+        )
+        result = Interpreter(ctx).run(program)
+        self._stats_incr("queries")
+        self._stats_incr("rows_returned", result.nrows)
+        return result
+
+    # -- EXPLAIN [ANALYZE] ------------------------------------------------------------
+
+    def _execute_explain(self, statement) -> Result:
+        """Run ``EXPLAIN [ANALYZE] <select>``; one-column text result."""
+        inner = statement.statement
+        txn, autocommit = self._statement_txn()
+        try:
+            bound = bind_statement(
+                inner, lambda name: txn.resolve_table(name).schema
+            )
+            if not isinstance(bound, N.BoundSelect):
+                raise InterfaceError("EXPLAIN only supports SELECT statements")
+            optimized = optimize(
+                bound, lambda name: txn.resolve_table(name).current.nrows
+            )
+            program = compile_select(optimized)
+            if statement.analyze:
+                trace = QueryTrace()
+                ctx = ExecutionContext(
+                    self._database, txn, self._database.config, trace=trace
+                )
+                Interpreter(ctx).run(program)
+                self._stats_incr("traced_queries")
+                lines = trace.render().split("\n")
+            else:
+                lines = render_plan(optimized.plan).split("\n")
+                lines.append("")
+                lines.extend(program.render().split("\n"))
+            if autocommit:
+                self._database.txn_manager.commit(txn)
+        except Exception:
+            self._database.txn_manager.rollback(txn)
+            if not autocommit:
+                self._txn = None
+            raise
+        column = Column.from_values(T.STRING, lines)
+        return Result(
+            MaterializedResult(["explain"], [column]), self._stats()
+        )
 
     def explain(self, sql: str) -> str:
         """The compiled MAL program listing for a SELECT (debugging aid)."""
@@ -193,6 +252,38 @@ class Connection:
         finally:
             if autocommit:
                 self._database.txn_manager.rollback(txn)
+
+    def trace_query(self, sql: str):
+        """Execute one SELECT with tracing on; returns ``(Result, QueryTrace)``.
+
+        The programmatic face of ``EXPLAIN ANALYZE``: same instrumentation,
+        but the caller gets both the materialized result and the structured
+        :class:`~repro.obs.QueryTrace` instead of a rendered text table.
+        """
+        self._check_open()
+        statements = parse(sql)
+        if len(statements) != 1:
+            raise InterfaceError("trace_query takes exactly one statement")
+        txn, autocommit = self._statement_txn()
+        try:
+            bound = bind_statement(
+                statements[0], lambda name: txn.resolve_table(name).schema
+            )
+            if not isinstance(bound, N.BoundSelect):
+                raise InterfaceError("trace_query only supports SELECT")
+            trace = QueryTrace(sql=sql)
+            materialized = self._run_select(bound, txn, trace=trace)
+            self._stats_incr("traced_queries")
+            if autocommit:
+                self._database.txn_manager.commit(txn)
+            return Result(materialized, self._stats()), trace
+        except Exception:
+            if autocommit:
+                self._database.txn_manager.rollback(txn)
+            else:
+                self._database.txn_manager.rollback(txn)
+                self._txn = None
+            raise
 
     # -- DML ----------------------------------------------------------------------------------
 
@@ -227,6 +318,7 @@ class Connection:
             else:
                 bundle.append(Column.from_values(coldef.type, [None] * nrows))
         txn.append(table, bundle)
+        self._stats_incr("rows_appended", nrows)
         return nrows
 
     def _run_delete(self, bound: N.BoundDelete, txn) -> int:
@@ -319,6 +411,7 @@ class Connection:
             txn.append(table, bundle)
             if autocommit:
                 self._database.txn_manager.commit(txn)
+            self._stats_incr("rows_appended", nrows or 0)
             return nrows or 0
         except Exception:
             if autocommit:

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import DatabaseLockedError, StartupError
 from repro.index import IndexManager
 from repro.mal.interpreter import ExecutionConfig
+from repro.obs import EngineStats
 from repro.storage.catalog import Catalog, ColumnDef, TableSchema
 from repro.storage.column import Column
 from repro.storage.persist import (
@@ -88,6 +89,7 @@ class Database:
         self.txn_manager = TransactionManager(self)
         self.index_manager = IndexManager()
         self.config = ExecutionConfig(**config_kwargs)
+        self._stats = EngineStats()
         self.wal: WriteAheadLog | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._open = True
@@ -185,6 +187,16 @@ class Database:
         """Post-commit maintenance: checkpoint when the WAL grows large."""
         if self.wal is not None and self.wal.size > WAL_CHECKPOINT_BYTES:
             self.checkpoint()
+
+    # -- observability ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Point-in-time snapshot of engine-wide counters.
+
+        Counts queries served, rows appended/returned/exported, bytes on
+        the wire (server mode), and transaction commit/abort totals.
+        """
+        return self._stats.snapshot()
 
     # -- resources ----------------------------------------------------------------------
 

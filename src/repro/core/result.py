@@ -43,13 +43,18 @@ class MonetdbColumn:
 class Result:
     """A materialized query result with columnar access."""
 
-    def __init__(self, materialized: MaterializedResult):
+    def __init__(self, materialized: MaterializedResult, stats=None):
         self._materialized = materialized
+        self._stats = stats  # engine EngineStats; counts exported rows
         self.nrows = materialized.nrows
         self.ncols = len(materialized.columns)
         self.type = "table"
         self.id = next(_result_ids)
         self._closed = False
+
+    def _count_exported(self, nrows: int) -> None:
+        if self._stats is not None:
+            self._stats.incr("rows_exported", nrows)
 
     @property
     def names(self) -> list:
@@ -105,6 +110,7 @@ class Result:
 
         if isinstance(column, str):
             column = self.column_index(column)
+        self._count_exported(self.nrows)
         return export_column(self._column(column), lazy=lazy, copy=copy)
 
     def to_dict(self, lazy: bool = False) -> dict:
@@ -121,6 +127,7 @@ class Result:
     def fetchall(self) -> list:
         """All rows as tuples of Python values (row-wise convenience)."""
         self._check_open()
+        self._count_exported(self.nrows)
         columns = [col.to_python() for col in self._materialized.columns]
         return list(zip(*columns)) if columns else []
 

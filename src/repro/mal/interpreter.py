@@ -34,6 +34,7 @@ from repro.mal.codegen import compile_select
 from repro.mal.program import MALProgram
 from repro.mal.vector_eval import eval_pred, eval_value
 from repro.mal.vectors import BoolVec, V, vec_from_column, vec_to_column
+from repro.obs.trace import cardinality, instruction_inputs
 from repro.storage import types as T
 from repro.storage.column import Column
 
@@ -68,10 +69,12 @@ class MaterializedResult:
 class ExecutionContext:
     """Shared state of one query execution (txn, config, subquery stack)."""
 
-    def __init__(self, database, txn, config: ExecutionConfig):
+    def __init__(self, database, txn, config: ExecutionConfig, trace=None):
         self.database = database
         self.txn = txn
         self.config = config
+        #: optional repro.obs.QueryTrace; None keeps the hot loop untraced
+        self.trace = trace
         self.deadline = (
             time.monotonic() + config.timeout if config.timeout else None
         )
@@ -196,10 +199,13 @@ class Interpreter:
         self._values: dict = {}
         self._prov: dict = {}  # var -> (table, version, colpos)
         self._result: MaterializedResult | None = None
+        self._tactic: str | None = None  # set by handlers, read when tracing
 
     # -- driver ---------------------------------------------------------------------
 
     def run(self, program: MALProgram) -> MaterializedResult:
+        if self.ctx.trace is not None:
+            return self._run_traced(program, self.ctx.trace)
         for instruction in program.instructions:
             self.ctx.check_deadline()
             handler = getattr(self, f"_op_{instruction.op}", None)
@@ -208,6 +214,37 @@ class Interpreter:
             self._values[instruction.var] = handler(instruction)
         if self._result is None:
             raise DatabaseError("program produced no result")
+        return self._result
+
+    def _run_traced(self, program: MALProgram, trace) -> MaterializedResult:
+        """Same execution as :meth:`run`, recording one profile per
+        instruction.  A separate loop keeps the untraced hot path free of
+        per-instruction bookkeeping."""
+        started = time.perf_counter_ns()
+        for index, instruction in enumerate(program.instructions):
+            self.ctx.check_deadline()
+            handler = getattr(self, f"_op_{instruction.op}", None)
+            if handler is None:
+                raise DatabaseError(f"unknown MAL op {instruction.op!r}")
+            rows_in = 0
+            for var in instruction_inputs(instruction):
+                rows_in = max(rows_in, cardinality(self._values.get(var)))
+            self._tactic = None
+            t0 = time.perf_counter_ns()
+            value = handler(instruction)
+            elapsed = time.perf_counter_ns() - t0
+            self._values[instruction.var] = value
+            if instruction.op == "result" and self._result is not None:
+                rows_out = self._result.nrows
+            else:
+                rows_out = cardinality(value)
+            trace.record(
+                index, instruction, rows_in, rows_out, self._tactic, elapsed
+            )
+        if self._result is None:
+            raise DatabaseError("program produced no result")
+        trace.total_ns += time.perf_counter_ns() - started
+        trace.result_rows = self._result.nrows
         return self._result
 
     def _get(self, var: int):
@@ -289,6 +326,7 @@ class Interpreter:
         left = [self._get(v) for v in left_vars]
         right = [self._get(v) for v in right_vars]
         if kind == "cross" or not left_vars:
+            self._tactic = "cross"
             left_anchor = (
                 self._get(anchors[0]) if anchors[0] is not None else None
             )
@@ -313,12 +351,15 @@ class Interpreter:
         if self.ctx.config.use_order_index and len(left_vars) == 1:
             merged = self._try_merge_join(left_vars[0], right_vars[0])
             if merged is not None:
+                self._tactic = "merge_join"
                 return merged
         # tactical choice 2: probe an automatic hash index on the right side
         if self.ctx.config.use_hash_index and len(right_vars) == 1:
             probed = self._try_hash_join(left[0], right_vars[0], right[0])
             if probed is not None:
+                self._tactic = "hash_join"
                 return probed
+        self._tactic = "sort_merge"
         return ops.join_pairs(left, right)
 
     def _try_merge_join(self, left_var: int, right_var: int):
@@ -374,6 +415,7 @@ class Interpreter:
                     prov[0], prov[1], prov[2]
                 )
                 if index is not None:
+                    self._tactic = "hash_index"
                     member = index.contains(left[0].data)
                     nulls = left[0].null_mask(len(left[0].data))
                     if nulls is not None:
@@ -381,6 +423,7 @@ class Interpreter:
                     if anti:
                         member = ~member
                     return np.flatnonzero(member).astype(np.int64)
+        self._tactic = "sort_merge"
         return ops.semijoin_rows(left, right, anti)
 
     # -- grouping ---------------------------------------------------------------------------
@@ -395,11 +438,13 @@ class Interpreter:
                     prov[0], prov[1], prov[2]
                 )
                 if index is not None:
+                    self._tactic = "hash_index"
                     return (
                         index.group_ids(),
                         index.representatives(),
                         index.group_count(),
                     )
+        self._tactic = "hash_group"
         return ops.group_by(keys)
 
     def _op_gb_ids(self, instr):
@@ -536,6 +581,7 @@ class Interpreter:
             return kernel(chunk_inputs)
 
         pool = self.ctx.database.thread_pool
+        self._tactic = f"chunked:{len(bounds)}"
         results = list(pool.map(run_chunk, bounds))
         return _pack_chunks(results, n)
 
@@ -563,6 +609,7 @@ class Interpreter:
         candidates = None
         remaining: list = []
         used_index = False
+        used_order = used_imprint = False
         for conjunct in conjuncts:
             simple = _simple_range(conjunct)
             handled = False
@@ -590,7 +637,7 @@ class Interpreter:
                                 mask if candidates is None else candidates & mask
                             )
                             handled = True  # exact: conjunct fully answered
-                            used_index = True
+                            used_index = used_order = True
                     if not handled and config.use_imprints:
                         imprint = manager.imprint_for(table, version, colpos)
                         if imprint is not None:
@@ -601,13 +648,19 @@ class Interpreter:
                             candidates = (
                                 mask if candidates is None else candidates & mask
                             )
-                            used_index = True
+                            used_index = used_imprint = True
                             # imprints are approximate: verify below
             if not handled:
                 remaining.append(conjunct)
         if not used_index or candidates is None:
             return None
+        tactic = "+".join(
+            name
+            for name, hit in (("order_index", used_order), ("imprint", used_imprint))
+            if hit
+        )
         if not remaining:
+            self._tactic = tactic
             return BoolVec(candidates)
         rows = np.flatnonzero(candidates)
         if len(rows) == n:
@@ -624,6 +677,7 @@ class Interpreter:
         sub = eval_pred(predicate, sub_inputs, self.ctx)
         truth = np.zeros(n, dtype=bool)
         truth[rows] = sub.definite()
+        self._tactic = tactic
         return BoolVec(truth)
 
 

@@ -61,7 +61,7 @@ def evaluate(expression: E.BoundExpr, inputs: list, ctx):
         return _eval_function(expression, inputs, ctx)
     if isinstance(expression, E.LikeExpr):
         operand = eval_value(expression.operand, inputs, ctx)
-        matcher = compile_like(expression.pattern)
+        matcher = compile_like(expression.pattern, escape=expression.escape)
         truth = _map_string_bool(operand, matcher)
         nulls = operand.null_mask(len(truth))
         result = BoolVec(truth, None if nulls is None else ~nulls)
@@ -161,7 +161,8 @@ def _eval_arith(expression: E.Arith, inputs: list, ctx) -> V:
                 out = np.divide(a, b)
                 out = np.where(b == 0, np.nan, out)
             elif op == "%":
-                out = np.where(b == 0, np.nan, np.mod(a, b))
+                # fmod, not np.mod: the remainder takes the dividend's sign.
+                out = np.where(b == 0, np.nan, np.fmod(a, b))
             else:
                 raise DatabaseError(f"unknown arithmetic {op!r}")
         return V(rtype, out if isinstance(out, np.ndarray) else rtype.dtype.type(out))
@@ -175,9 +176,18 @@ def _eval_arith(expression: E.Arith, inputs: list, ctx) -> V:
             out = a - b
         elif op == "*":
             out = a * b
-        elif op == "%":
+        elif op in ("/", "%"):
             safe_b = np.where(b == 0, 1, b) if isinstance(b, np.ndarray) else (b or 1)
-            out = np.mod(a, safe_b)
+            quotient = a // safe_b
+            remainder = a - quotient * safe_b
+            # numpy floor-divides; SQL truncates toward zero, so bump the
+            # quotient where the signs differ and the division is inexact.
+            adjust = (remainder != 0) & ((a < 0) != (safe_b < 0))
+            if op == "/":
+                out = quotient + adjust
+            else:
+                # remainder keeps the dividend's sign (fmod semantics)
+                out = remainder - safe_b * adjust
             zero = b == 0
             if np.any(zero):
                 nulls = zero | (nulls if nulls is not None else False)
@@ -449,7 +459,7 @@ def _eval_function(expression: E.FuncCall, inputs: list, ctx) -> V:
         a = _to_float(args[0], _numeric_array(args[0]))
         b = _to_float(args[1], _numeric_array(args[1]))
         with np.errstate(divide="ignore", invalid="ignore"):
-            out = np.where(b == 0, np.nan, np.mod(a, b))
+            out = np.where(b == 0, np.nan, np.fmod(a, b))
         return V(T.DOUBLE, out)
 
     raise DatabaseError(f"no vector kernel for function {name!r}")

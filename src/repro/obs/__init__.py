@@ -1,0 +1,28 @@
+"""Engine observability: query traces and engine-wide counters.
+
+Modeled on MonetDB's ``TRACE`` facility (and the stethoscope tooling built
+on it): every executed MAL instruction can be profiled — operator, input
+and output cardinalities, the tactical choice the interpreter made, and
+wall time — and the engine keeps lightweight global counters (queries
+served, rows appended/exported, bytes on the wire, transaction aborts)
+that :meth:`repro.core.database.Database.stats` exposes.
+
+Tracing is strictly opt-in: the interpreter's hot loop checks a single
+``trace is None`` guard and does no per-row work when tracing is off.
+"""
+
+from repro.obs.stats import EngineStats
+from repro.obs.trace import (
+    InstructionProfile,
+    QueryTrace,
+    cardinality,
+    instruction_inputs,
+)
+
+__all__ = [
+    "EngineStats",
+    "InstructionProfile",
+    "QueryTrace",
+    "cardinality",
+    "instruction_inputs",
+]

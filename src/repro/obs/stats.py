@@ -1,0 +1,54 @@
+"""Engine-wide counters (queries, rows moved, wire bytes, txn outcomes).
+
+One :class:`EngineStats` lives on each
+:class:`~repro.core.database.Database`; hot paths bump counters with a
+single locked integer add — cheap enough to stay always-on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["EngineStats"]
+
+#: Counters every snapshot reports, even when still zero.
+_COUNTERS = (
+    "queries",
+    "statements",
+    "rows_returned",
+    "rows_appended",
+    "rows_exported",
+    "bytes_sent",
+    "bytes_received",
+    "txn_commits",
+    "txn_aborts",
+    "traced_queries",
+)
+
+
+class EngineStats:
+    """Thread-safe monotonically increasing engine counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {name: 0 for name in _COUNTERS}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        if name not in self._counters:
+            raise KeyError(f"unknown counter {name!r}")
+        with self._lock:
+            self._counters[name] += int(amount)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy of all counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in self._counters:
+                self._counters[name] = 0

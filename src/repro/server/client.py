@@ -87,6 +87,9 @@ class RemoteConnection:
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
+        #: Stats from the last command-complete message: row count and
+        #: server-side execution time (None until the first query).
+        self.last_status: dict | None = None
         self._await_ready()
 
     def close(self) -> None:
@@ -136,7 +139,7 @@ class RemoteConnection:
             elif mtype == b"E":
                 error = payload.decode("utf-8")
             elif mtype == b"C":
-                continue
+                self.last_status = self._parse_complete(payload)
             elif mtype == b"Z":
                 break
             else:
@@ -153,6 +156,20 @@ class RemoteConnection:
         if result is None:
             raise DatabaseError("statement produced no result")
         return result
+
+    @staticmethod
+    def _parse_complete(payload: bytes) -> dict:
+        """Decode a ``C`` payload: ``<rows>`` optionally ``time_us=<n>``."""
+        status: dict = {"rows": 0, "time_us": None}
+        for part in payload.decode("utf-8").split():
+            if part.isdigit():
+                status["rows"] = int(part)
+            elif part.startswith("time_us="):
+                try:
+                    status["time_us"] = int(part[len("time_us="):])
+                except ValueError:
+                    pass
+        return status
 
     @staticmethod
     def _type_row(row: tuple, type_names: list) -> tuple:

@@ -35,6 +35,7 @@ from repro.errors import ProtocolError
 __all__ = [
     "ProtocolConfig",
     "PROTOCOLS",
+    "HEADER_BYTES",
     "read_message",
     "write_message",
     "encode_rows",
@@ -45,6 +46,10 @@ __all__ = [
 ]
 
 _HEADER = struct.Struct("<cI")
+
+#: Frame overhead per message (type byte + length word) — used for
+#: bytes-on-the-wire accounting in the server stats.
+HEADER_BYTES = _HEADER.size
 
 #: Upper bound on a single message payload (guards corrupt frames).
 MAX_PAYLOAD = 1 << 28
@@ -113,15 +118,35 @@ def format_field(value) -> str:
     return text
 
 
+_UNESCAPES = {"t": "\t", "n": "\n", "\\": "\\"}
+
+
 def parse_field(text: str):
-    """Inverse of :func:`format_field` (typing happens at a higher layer)."""
+    """Inverse of :func:`format_field` (typing happens at a higher layer).
+
+    Decoded in a single left-to-right scan: chained ``str.replace`` calls
+    would corrupt sequences like ``\\\\t`` (an escaped backslash followed
+    by a literal ``t``) by re-interpreting the output of earlier passes.
+    """
     if text == "\\N":
         return None
-    if "\\" in text:
-        text = (
-            text.replace("\\t", "\t").replace("\\n", "\n").replace("\\\\", "\\")
-        )
-    return text
+    if "\\" not in text:
+        return text
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = text[i + 1]
+            decoded = _UNESCAPES.get(nxt)
+            if decoded is not None:
+                out.append(decoded)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def encode_rows(rows: list, config: ProtocolConfig) -> bytes:

@@ -11,6 +11,7 @@ import time
 
 from repro.errors import DatabaseError, ProtocolError
 from repro.server.protocol import (
+    HEADER_BYTES,
     PROTOCOLS,
     ProtocolConfig,
     encode_rows,
@@ -74,6 +75,16 @@ class Server:
     def _connect_engine(self):
         return self._database.connect()
 
+    def _stats_incr(self, name: str, amount: int = 1) -> None:
+        # RowDatabase has no stats object; the columnar engine does.
+        stats = getattr(self._database, "_stats", None)
+        if stats is not None:
+            stats.incr(name, amount)
+
+    def _send(self, wfile, mtype: bytes, payload: bytes) -> None:
+        write_message(wfile, mtype, payload)
+        self._stats_incr("bytes_sent", HEADER_BYTES + len(payload))
+
     # -- lifecycle -----------------------------------------------------------------
 
     @property
@@ -133,17 +144,20 @@ class Server:
         conn = self._connect_engine()
         config = self.protocol
         try:
-            write_message(wfile, b"Z", b"")
+            self._send(wfile, b"Z", b"")
             wfile.flush()
             while True:
                 mtype, payload = read_message(rfile)
-                if mtype is None or mtype == b"X":
+                if mtype is None:
+                    return
+                self._stats_incr("bytes_received", HEADER_BYTES + len(payload))
+                if mtype == b"X":
                     return
                 if mtype != b"Q":
-                    write_message(
+                    self._send(
                         wfile, b"E", f"unexpected message {mtype!r}".encode()
                     )
-                    write_message(wfile, b"Z", b"")
+                    self._send(wfile, b"Z", b"")
                     wfile.flush()
                     continue
                 self._handle_query(conn, payload.decode("utf-8"), wfile, config)
@@ -155,15 +169,16 @@ class Server:
                 close()
 
     def _handle_query(self, conn, sql: str, wfile, config: ProtocolConfig) -> None:
+        started = time.perf_counter()
         try:
             result = conn.execute(sql)
         except Exception as exc:  # errors travel the wire, never kill the server
-            write_message(wfile, b"E", str(exc).encode("utf-8"))
-            write_message(wfile, b"Z", b"")
+            self._send(wfile, b"E", str(exc).encode("utf-8"))
+            self._send(wfile, b"Z", b"")
             wfile.flush()
             return
         if result is None:
-            write_message(wfile, b"C", b"0")
+            nrows = 0
         else:
             names = result.names
             types = [
@@ -173,15 +188,19 @@ class Server:
             description = "\t".join(
                 f"{name}:{type_}" for name, type_ in zip(names, types)
             )
-            write_message(wfile, b"D", description.encode("utf-8"))
+            self._send(wfile, b"D", description.encode("utf-8"))
             rows = result.fetchall()
             batch = config.rows_per_message
             for start in range(0, len(rows), batch):
-                write_message(
+                self._send(
                     wfile, b"R", encode_rows(rows[start : start + batch], config)
                 )
-            write_message(wfile, b"C", str(len(rows)).encode("utf-8"))
-        write_message(wfile, b"Z", b"")
+            nrows = len(rows)
+        elapsed_us = int((time.perf_counter() - started) * 1e6)
+        # "C" payload: row count plus server-side execution time, so clients
+        # can surface per-query stats without a second round trip.
+        self._send(wfile, b"C", f"{nrows} time_us={elapsed_us}".encode("utf-8"))
+        self._send(wfile, b"Z", b"")
         wfile.flush()
 
 

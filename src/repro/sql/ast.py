@@ -41,6 +41,7 @@ __all__ = [
     "DeleteStmt",
     "UpdateStmt",
     "TransactionStmt",
+    "ExplainStmt",
     "Statement",
 ]
 
@@ -139,6 +140,7 @@ class Like(Expression):
     operand: Expression
     pattern: Expression
     negated: bool = False
+    escape: Optional[Expression] = None
 
 
 @dataclass(frozen=True)
@@ -350,3 +352,16 @@ class TransactionStmt(Statement):
     """BEGIN / COMMIT / ROLLBACK."""
 
     action: str
+
+
+@dataclass(frozen=True)
+class ExplainStmt(Statement):
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    Plain EXPLAIN renders the bound plan and MAL program without running
+    the query; EXPLAIN ANALYZE executes it with tracing on and renders the
+    annotated instruction profile.
+    """
+
+    statement: Statement
+    analyze: bool = False

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import decimal
 import enum
 from dataclasses import dataclass
 
@@ -31,6 +32,7 @@ KEYWORDS = frozenset(
     insert into values delete update set
     begin start transaction commit rollback work
     asc desc nulls first last
+    escape explain analyze
     true false
     primary key unique
     union except intersect
@@ -47,7 +49,7 @@ class Token:
     """One lexical token with its source offset (for error messages)."""
 
     type: TokenType
-    value: str | int | float
+    value: str | int | float | decimal.Decimal
     position: int
 
     def is_keyword(self, word: str) -> bool:
@@ -161,7 +163,14 @@ class Lexer:
                 break
         self.pos = pos
         literal = text[start:pos]
-        value = float(literal) if (seen_dot or seen_exp) else int(literal)
+        if seen_exp:
+            value = float(literal)
+        elif seen_dot:
+            # Fractional literals stay exact so the binder can type them as
+            # DECIMAL; 0.1 must not become the nearest binary double.
+            value = decimal.Decimal(literal)
+        else:
+            value = int(literal)
         return Token(TokenType.NUMBER, value, start)
 
     def _lex_string(self, start: int) -> Token:

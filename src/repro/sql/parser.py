@@ -143,6 +143,10 @@ class Parser:
             return self._delete_statement()
         if word == "update":
             return self._update_statement()
+        if word == "explain":
+            self._advance()
+            analyze = self._accept_keyword("analyze")
+            return ast.ExplainStmt(self._statement(), analyze=analyze)
         if word in ("begin", "start"):
             self._advance()
             self._accept_keyword("transaction", "work")
@@ -369,7 +373,11 @@ class Parser:
                     token = self._current
             if token.value == "like":
                 self._advance()
-                left = ast.Like(left, self._additive(), negated)
+                pattern = self._additive()
+                escape = None
+                if self._accept_keyword("escape"):
+                    escape = self._additive()
+                left = ast.Like(left, pattern, negated, escape)
                 continue
             if token.value == "between":
                 self._advance()

@@ -27,6 +27,11 @@ class TransactionManager:
         self._commit_lock = threading.Lock()
         self._commit_counter = 0
 
+    def _count(self, name: str) -> None:
+        stats = getattr(self._database, "_stats", None)
+        if stats is not None:
+            stats.incr(name)
+
     def set_commit_counter(self, value: int) -> None:
         """Fast-forward the counter after loading a persistent database."""
         self._commit_counter = max(self._commit_counter, value)
@@ -55,6 +60,7 @@ class TransactionManager:
                 table = txn.pinned_table(key)
                 if table.current.version != txn.pinned_version(key).version:
                     txn.active = False
+                    self._count("txn_aborts")
                     raise ConflictError(
                         f"write-write conflict on table {table.schema.name!r}: "
                         f"committed version {table.current.version} != snapshot "
@@ -92,6 +98,7 @@ class TransactionManager:
                 table.install_version(columns, commit_id, change_kind)
 
             txn.active = False
+            self._count("txn_commits")
             self._database.after_commit(commit_id)
             return commit_id
 

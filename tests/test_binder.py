@@ -93,13 +93,38 @@ class TestCoercion:
         predicate = _find_filter_predicate(bound.plan)
         assert predicate.right.value == T.DATE.to_storage("1993-10-01")
 
-    def test_division_is_double(self):
+    def test_integer_division_stays_integer(self):
         expr = self._projected("select a / 2 from t")
+        assert expr.type == T.INTEGER
+
+    def test_float_division_is_double(self):
+        expr = self._projected("select e / 2 from t")
         assert expr.type == T.DOUBLE
 
-    def test_decimal_arith_is_double(self):
-        expr = self._projected("select c * 2 from t")
+    def test_decimal_division_is_double(self):
+        expr = self._projected("select c / 2 from t")
         assert expr.type == T.DOUBLE
+
+    def test_decimal_multiply_adds_scales(self):
+        expr = self._projected("select c * c from t")
+        assert expr.type.category == T.TypeCategory.DECIMAL
+        assert expr.type.scale == 4
+
+    def test_decimal_int_multiply_keeps_scale(self):
+        expr = self._projected("select c * 2 from t")
+        assert expr.type.category == T.TypeCategory.DECIMAL
+        assert expr.type.scale == 2
+
+    def test_decimal_add_keeps_max_scale(self):
+        expr = self._projected("select c + 1 from t")
+        assert expr.type.category == T.TypeCategory.DECIMAL
+        assert expr.type.scale == 2
+
+    def test_decimal_literal_binds_exact(self):
+        expr = self._projected("select 0.1 from t")
+        assert expr.type.category == T.TypeCategory.DECIMAL
+        assert expr.type.scale == 1
+        assert expr.value == 1  # raw scaled storage
 
     def test_int_arith_widens(self):
         lookup = make_lookup()

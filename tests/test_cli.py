@@ -53,6 +53,30 @@ class TestBenchCLI:
         )
         assert completed.returncode != 0
 
+    def test_no_experiment_without_trace_rejected(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.bench"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode != 0
+
+    def test_trace_summaries(self):
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.bench", "--trace",
+                "--sf", "0.002", "--queries", "1", "6",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "TPC-H trace summaries" in completed.stdout
+        assert "Q1:" in completed.stdout and "Q6:" in completed.stdout
+        assert "instructions" in completed.stdout
+
 
 class TestServerCLI:
     def test_spawned_server_process_round_trip(self, tmp_path):

@@ -4,6 +4,7 @@ import datetime
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import DatabaseError
 from repro.server import PROTOCOLS, RemoteConnection, Server
@@ -37,6 +38,49 @@ class TestFieldCodec:
 
     def test_null_round_trip(self):
         assert parse_field(format_field(None)) is None
+
+    def test_escaped_backslash_before_t_is_not_a_tab(self):
+        # regression: chained str.replace decoded "\\" then re-scanned the
+        # output, turning backslash+'t' payloads into tab characters
+        assert parse_field("\\\\t") == "\\t"
+        assert parse_field("\\\\n") == "\\n"
+        assert parse_field("\\\\\\\\") == "\\\\"
+
+    @pytest.mark.parametrize(
+        "nasty",
+        [
+            "\\t",          # literal backslash then 't'
+            "\\n",          # literal backslash then 'n'
+            "\\N",          # literal backslash then 'N' (not NULL!)
+            "a\\\tb",       # backslash adjacent to a real tab
+            "\\\\",         # two literal backslashes
+            "ends with \\", # trailing backslash
+            "\t\n\\",       # all specials at once
+        ],
+    )
+    def test_nasty_values_round_trip(self, nasty):
+        assert parse_field(format_field(nasty)) == nasty
+
+    @given(st.text(alphabet=st.sampled_from(["\\", "\t", "\n", "t", "n", "N", "a"]),
+                   max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_field_round_trip_property(self, text):
+        assert parse_field(format_field(text)) == text
+
+    @given(st.lists(
+        st.tuples(
+            st.one_of(st.none(),
+                      st.text(alphabet=st.sampled_from(
+                          ["\\", "\t", "\n", "t", "n", "N", "x"]), max_size=8)),
+            st.text(max_size=8).filter(lambda s: "\x00" not in s),
+        ),
+        min_size=1, max_size=5,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_rows_round_trip_property(self, rows):
+        for name in ("pg", "mysql", "monetdb"):
+            config = PROTOCOLS[name]
+            assert decode_rows(encode_rows(rows, config), config) == rows
 
     @pytest.mark.parametrize("name", ["pg", "mysql", "monetdb"])
     def test_rows_round_trip(self, name):

@@ -1,0 +1,153 @@
+"""Regression tests for the SQL semantics fixes.
+
+Pins the behavior of: truncating integer division, dividend-signed
+modulo, exact DECIMAL literal arithmetic, and ``LIKE ... ESCAPE``.
+Each case is exercised both through constant folding (literal operands)
+and through the vectorized column path, which take different code routes.
+"""
+
+import pytest
+
+from repro.errors import BindError
+
+
+class TestIntegerDivision:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT 7 / 2", 3),
+            ("SELECT -7 / 2", -3),
+            ("SELECT 7 / -2", -3),
+            ("SELECT -7 / -2", 3),
+            ("SELECT 6 / 2", 3),
+            ("SELECT 0 / 5", 0),
+        ],
+    )
+    def test_constant_folding_truncates_toward_zero(self, conn, sql, expected):
+        value = conn.query(sql).scalar()
+        assert value == expected
+        assert isinstance(value, int) and not isinstance(value, bool)
+
+    def test_column_path_truncates_toward_zero(self, conn):
+        conn.execute("CREATE TABLE d (a INTEGER, b INTEGER)")
+        conn.execute(
+            "INSERT INTO d VALUES (7, 2), (-7, 2), (7, -2), (-7, -2), (5, 0)"
+        )
+        rows = conn.query("SELECT a / b FROM d").fetchall()
+        assert [r[0] for r in rows] == [3, -3, -3, 3, None]
+
+    def test_float_division_still_exact(self, conn):
+        assert conn.query("SELECT 7.0e0 / 2").scalar() == 3.5
+        assert conn.query("SELECT 7 / 2.0e0").scalar() == 3.5
+
+
+class TestModulo:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT 7 % 2", 1),
+            ("SELECT 7 % -2", 1),    # sign of the dividend
+            ("SELECT -7 % 2", -1),
+            ("SELECT -7 % -2", -1),
+        ],
+    )
+    def test_constant_folding_sign_of_dividend(self, conn, sql, expected):
+        assert conn.query(sql).scalar() == expected
+
+    def test_column_path_sign_of_dividend(self, conn):
+        conn.execute("CREATE TABLE m (a INTEGER, b INTEGER)")
+        conn.execute(
+            "INSERT INTO m VALUES (7, 2), (7, -2), (-7, 2), (-7, -2), (3, 0)"
+        )
+        rows = conn.query("SELECT a % b FROM m").fetchall()
+        assert [r[0] for r in rows] == [1, 1, -1, -1, None]
+
+    def test_mod_function_matches_operator(self, conn):
+        assert conn.query("SELECT mod(7, -2)").scalar() == 1
+        assert conn.query("SELECT mod(-7, 2)").scalar() == -1
+
+    def test_identity_holds(self, conn):
+        # (a/b)*b + a%b == a must hold under truncating semantics
+        conn.execute("CREATE TABLE i (a INTEGER, b INTEGER)")
+        cases = [(7, 2), (-7, 2), (7, -2), (-7, -2), (9, 4), (-9, -4)]
+        conn.execute(
+            "INSERT INTO i VALUES "
+            + ", ".join(f"({a}, {b})" for a, b in cases)
+        )
+        rows = conn.query("SELECT (a / b) * b + a % b, a FROM i").fetchall()
+        for reconstructed, a in rows:
+            assert reconstructed == a
+
+
+class TestDecimalLiterals:
+    def test_point_one_plus_point_two(self, conn):
+        # the canonical float trap: exact under scaled-integer DECIMALs
+        assert conn.query("SELECT 0.1 + 0.2").scalar() == pytest.approx(0.3)
+        assert conn.query("SELECT 0.1 + 0.2 = 0.3").scalar() is True
+
+    def test_multiplication_adds_scales(self, conn):
+        assert conn.query("SELECT 0.1 * 0.2").scalar() == pytest.approx(0.02)
+        assert conn.query("SELECT 1.5 * 1.5").scalar() == pytest.approx(2.25)
+
+    def test_subtraction_exact(self, conn):
+        assert conn.query("SELECT 0.3 - 0.1 = 0.2").scalar() is True
+
+    def test_mixed_scale_addition(self, conn):
+        assert conn.query("SELECT 1.05 + 2.5").scalar() == pytest.approx(3.55)
+
+    def test_decimal_column_arithmetic(self, conn):
+        conn.execute("CREATE TABLE dc (v DECIMAL(10,2))")
+        conn.execute("INSERT INTO dc VALUES (0.10), (0.20)")
+        assert conn.query("SELECT sum(v) FROM dc").scalar() == pytest.approx(0.3)
+        assert conn.query(
+            "SELECT count(*) FROM dc WHERE v + 0.1 = 0.2"
+        ).scalar() == 1
+
+    def test_exponent_literals_stay_float(self, conn):
+        value = conn.query("SELECT 1e2").scalar()
+        assert value == 100.0 and isinstance(value, float)
+
+
+class TestLikeEscape:
+    def test_escape_makes_percent_literal(self, conn):
+        conn.execute("CREATE TABLE le (s VARCHAR(20))")
+        conn.execute(
+            "INSERT INTO le VALUES ('10%'), ('100'), ('10x'), (NULL)"
+        )
+        rows = conn.query(
+            "SELECT s FROM le WHERE s LIKE '10x%' ESCAPE 'x'"
+        ).fetchall()
+        assert rows == [("10%",)]
+
+    def test_escape_makes_underscore_literal(self, conn):
+        conn.execute("CREATE TABLE lu (s VARCHAR(20))")
+        conn.execute("INSERT INTO lu VALUES ('a_b'), ('axb'), ('ab')")
+        rows = conn.query(
+            "SELECT s FROM lu WHERE s LIKE 'a!_b' ESCAPE '!'"
+        ).fetchall()
+        assert rows == [("a_b",)]
+
+    def test_not_like_with_escape(self, conn):
+        conn.execute("CREATE TABLE ln (s VARCHAR(20))")
+        conn.execute("INSERT INTO ln VALUES ('5%'), ('55')")
+        rows = conn.query(
+            "SELECT s FROM ln WHERE s NOT LIKE '5!%' ESCAPE '!'"
+        ).fetchall()
+        assert rows == [("55",)]
+
+    def test_default_backslash_escape_unchanged(self, conn):
+        conn.execute("CREATE TABLE lb (s VARCHAR(20))")
+        conn.execute("INSERT INTO lb VALUES ('x_y'), ('xzy')")
+        rows = conn.query(
+            "SELECT s FROM lb WHERE s LIKE 'x\\_y'"
+        ).fetchall()
+        assert rows == [("x_y",)]
+
+    def test_escape_folds_on_constants(self, conn):
+        assert conn.query("SELECT '10%' LIKE '10x%' ESCAPE 'x'").scalar() is True
+        assert conn.query("SELECT '105' LIKE '10x%' ESCAPE 'x'").scalar() is False
+
+    def test_multichar_escape_rejected(self, conn):
+        conn.execute("CREATE TABLE lm (s VARCHAR(5))")
+        with pytest.raises(BindError, match="single-character"):
+            conn.query("SELECT s FROM lm WHERE s LIKE 'a%' ESCAPE 'xy'")
