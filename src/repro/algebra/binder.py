@@ -206,7 +206,9 @@ class Binder:
         if isinstance(ref, ast.BaseTable):
             schema: TableSchema = self._lookup_schema(ref.name)
             output = [N.OutputColumn(c.name.lower(), c.type) for c in schema.columns]
-            alias = (ref.alias or ref.name).lower()
+            # a qualified name (sys.queries) is addressable by its last
+            # component, like any other table without an explicit alias
+            alias = (ref.alias or ref.name.rpartition(".")[2]).lower()
             scope.add_relation(alias, output)
             return N.Scan(schema.name, list(range(len(output))), output)
         if isinstance(ref, ast.SubqueryRef):

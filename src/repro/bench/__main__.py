@@ -24,8 +24,12 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="print per-query TPC-H trace summaries "
                              "(EXPLAIN ANALYZE instrumentation)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="run TPC-H and print the engine metrics summary "
+                             "(counters, latency histogram, sys.* views)")
     parser.add_argument("--queries", type=int, nargs="*", default=None,
-                        help="TPC-H query numbers for --trace (default: all)")
+                        help="TPC-H query numbers for --trace/--metrics "
+                             "(default: all)")
     parser.add_argument("--sf", type=float, default=None,
                         help="TPC-H scale factor override")
     parser.add_argument("--scale", choices=["small", "large"], default="small",
@@ -40,9 +44,7 @@ def main(argv=None) -> int:
     parser.add_argument("--systems", nargs="*", default=None)
     args = parser.parse_args(argv)
 
-    if args.trace:
-        from repro.bench.trace import trace_report
-
+    if args.trace or args.metrics:
         if args.queries:
             bad = sorted(set(args.queries) - set(QUERIES))
             if bad:
@@ -50,10 +52,19 @@ def main(argv=None) -> int:
                     f"unknown TPC-H queries {bad}; available: {sorted(QUERIES)}"
                 )
         sf = args.sf if args.sf is not None else 0.01
-        print(trace_report(scale_factor=sf, queries=args.queries))
+        if args.trace:
+            from repro.bench.trace import trace_report
+
+            print(trace_report(scale_factor=sf, queries=args.queries))
+        if args.metrics:
+            from repro.bench.metrics_report import metrics_report
+
+            print(metrics_report(scale_factor=sf, queries=args.queries))
         return 0
     if args.experiment is None:
-        parser.error("an experiment is required unless --trace is given")
+        parser.error(
+            "an experiment is required unless --trace or --metrics is given"
+        )
 
     quick = args.quick
     in_process = args.in_process or quick

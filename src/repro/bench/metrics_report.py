@@ -1,0 +1,79 @@
+"""``python -m repro.bench --metrics``: a TPC-H run through the metrics lens.
+
+Loads TPC-H into a fresh in-memory embedded database, runs the selected
+queries untraced, and then reports what the observability layer saw:
+engine counters, the query-latency histogram (p50/p95/p99), the slowest
+entries of the query log, and the ``sys.storage`` footprint — all read
+back through the same SQL interface users have (``SELECT * FROM sys.*``).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.tpch import QUERIES, generate, load, query
+
+__all__ = ["metrics_report"]
+
+
+def metrics_report(
+    scale_factor: float = 0.01,
+    queries: list | None = None,
+    seed: int = 42,
+    slow_query_us: float = 10_000.0,
+    top: int = 5,
+) -> str:
+    """Run TPC-H and render the engine's metrics/sys.* summary."""
+    from repro.core.database import Database
+
+    names = list(queries) if queries else list(QUERIES)
+    database = Database(None, slow_query_us=slow_query_us)
+    try:
+        conn = database.connect()
+        load(conn, generate(scale_factor, seed=seed))
+        for name in names:
+            conn.execute(query(name))
+
+        lines = [f"TPC-H metrics summary (SF={scale_factor})", ""]
+
+        snap = database.metrics.snapshot()
+        lines.append("counters:")
+        for cname, value in snap["counters"].items():
+            if value:
+                lines.append(f"    {cname:<16} {value}")
+
+        histogram = database.metrics.histogram("query_seconds")
+        if histogram is not None:
+            lines.append("")
+            lines.append(
+                f"query latency ({histogram['count']} statements): "
+                f"p50 {histogram['p50'] * 1e3:.2f} ms, "
+                f"p95 {histogram['p95'] * 1e3:.2f} ms, "
+                f"p99 {histogram['p99'] * 1e3:.2f} ms"
+            )
+
+        slow = conn.query(
+            "SELECT sql, total_us, execute_us FROM sys.queries "
+            f"ORDER BY total_us DESC LIMIT {top}"
+        )
+        lines.append("")
+        lines.append(f"slowest statements (threshold {slow_query_us:.0f} us):")
+        for sql, total_us, execute_us in slow.fetchall():
+            head = " ".join(sql.split())[:60]
+            lines.append(
+                f"    {total_us / 1000:9.2f} ms total "
+                f"({execute_us / 1000:8.2f} ms execute)  {head}"
+            )
+
+        storage = conn.query(
+            "SELECT table_name, SUM(row_count), SUM(total_bytes) "
+            "FROM sys.storage GROUP BY table_name ORDER BY table_name"
+        )
+        lines.append("")
+        lines.append("storage (sys.storage):")
+        for table_name, row_count, nbytes in storage.fetchall():
+            lines.append(
+                f"    {table_name:<12} {int(row_count):>10} cells  "
+                f"{int(nbytes) / (1 << 20):8.2f} MiB"
+            )
+        return "\n".join(lines) + "\n"
+    finally:
+        database.shutdown()

@@ -12,6 +12,8 @@ statement gets its own transaction.  ``monetdb_append`` maps to
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.algebra import nodes as N
@@ -40,6 +42,13 @@ class Connection:
         self._database = database
         self._txn: Transaction | None = None
         self._open = True
+        # -- session identity and counters (surfaced by sys.sessions) --
+        self.client = "embedded"
+        self.session_started = time.time()
+        self.session_queries = 0
+        self.session_rows = 0
+        self.last_sql: str | None = None
+        self.session_id = database.register_session(self)
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -48,6 +57,8 @@ class Connection:
         if self._txn is not None and self._txn.active:
             self._database.txn_manager.rollback(self._txn)
         self._txn = None
+        if self._open:
+            self._database.unregister_session(self.session_id)
         self._open = False
 
     def __enter__(self) -> "Connection":
@@ -91,8 +102,12 @@ class Connection:
     def _statement_txn(self):
         """(transaction, is_autocommit) for one statement."""
         if self.in_transaction:
-            return self._txn, False
-        return self._database.txn_manager.begin(), True
+            txn = self._txn
+        else:
+            txn = self._database.txn_manager.begin()
+        # invalidate the txn's per-statement cache of virtual sys.* tables
+        txn.statement_seq += 1
+        return txn, txn is not self._txn
 
     # -- query execution ------------------------------------------------------------------
 
@@ -100,8 +115,12 @@ class Connection:
         """Run SQL (``monetdb_query``); returns the last statement's result."""
         self._check_open()
         result: Result | None = None
-        for statement in parse(sql):
-            result = self._execute_statement(statement)
+        parse_start = time.perf_counter_ns()
+        statements = parse(sql)
+        parse_ns = time.perf_counter_ns() - parse_start
+        for statement in statements:
+            result = self._execute_statement(statement, sql, parse_ns)
+            parse_ns = 0  # the batch's parse cost is charged to its first statement
         return result
 
     def query(self, sql: str) -> Result:
@@ -111,7 +130,9 @@ class Connection:
             raise InterfaceError("statement produced no result")
         return result
 
-    def _execute_statement(self, statement) -> Result | None:
+    def _execute_statement(
+        self, statement, sql: str = "", parse_ns: int = 0
+    ) -> Result | None:
         from repro.sql import ast
 
         self._stats_incr("statements")
@@ -127,23 +148,61 @@ class Connection:
         if isinstance(statement, ast.ExplainStmt):
             return self._execute_explain(statement)
 
+        phases = {"parse": parse_ns} if parse_ns else {}
+        started_wall = time.time()
+        # back-date so total_us covers the parse phase charged to us
+        started = time.perf_counter_ns() - parse_ns
         txn, autocommit = self._statement_txn()
         try:
+            bind_start = time.perf_counter_ns()
             bound = bind_statement(
                 statement, lambda name: txn.resolve_table(name).schema
             )
-            result = self._dispatch(bound, txn)
+            phases["bind"] = time.perf_counter_ns() - bind_start
+            result = self._dispatch(bound, txn, phases)
             if autocommit:
                 self._database.txn_manager.commit(txn)
+            self._log_statement(sql, "ok", None, result, started_wall,
+                                started, phases)
             return result
-        except Exception:
+        except Exception as exc:
             if autocommit:
                 self._database.txn_manager.rollback(txn)
             else:
                 # an error inside an explicit transaction aborts it
                 self._database.txn_manager.rollback(txn)
                 self._txn = None
+            self._stats_incr("query_errors")
+            self._log_statement(sql, "error", str(exc), None, started_wall,
+                                started, phases)
             raise
+
+    def _log_statement(
+        self, sql, status, error, result, started_wall, started_ns, phases
+    ) -> None:
+        """Record one statement in the query log, histogram, and session."""
+        total_ns = time.perf_counter_ns() - started_ns
+        rows = result.nrows if result is not None else 0
+        self.session_queries += 1
+        self.session_rows += rows
+        self.last_sql = sql or None
+        database = self._database
+        log = getattr(database, "query_log", None)
+        if log is None:
+            return
+        entry = log.record(
+            session=self.session_id,
+            sql=sql,
+            status=status,
+            error=error,
+            rows=rows,
+            started=started_wall,
+            total_us=total_ns / 1000.0,
+            phases_us={name: ns / 1000.0 for name, ns in phases.items()},
+        )
+        if entry.is_slow:
+            self._stats_incr("slow_queries")
+        database.metrics.observe("query_seconds", total_ns * 1e-9)
 
     def _stats(self):
         return getattr(self._database, "_stats", None)
@@ -153,9 +212,11 @@ class Connection:
         if stats is not None:
             stats.incr(name, amount)
 
-    def _dispatch(self, bound, txn) -> Result | None:
+    def _dispatch(self, bound, txn, phases=None) -> Result | None:
         if isinstance(bound, N.BoundSelect):
-            return Result(self._run_select(bound, txn), self._stats())
+            return Result(
+                self._run_select(bound, txn, phases=phases), self._stats()
+            )
         if isinstance(bound, N.BoundInsert):
             self._run_insert(bound, txn)
             return None
@@ -179,18 +240,31 @@ class Connection:
             return None
         raise InterfaceError(f"cannot execute {type(bound).__name__}")
 
-    def _run_select(self, bound: N.BoundSelect, txn, trace=None):
-        optimized = optimize(
-            bound, lambda name: txn.resolve_table(name).current.nrows
-        )
+    def _run_select(self, bound: N.BoundSelect, txn, trace=None, phases=None):
+        optimize_start = time.perf_counter_ns()
+        optimized = optimize(bound, self._nrows_estimator(txn))
+        compile_start = time.perf_counter_ns()
         program = compile_select(optimized)
+        if phases is not None:
+            done = time.perf_counter_ns()
+            phases["optimize"] = (
+                phases.get("optimize", 0) + compile_start - optimize_start
+            )
+            phases["compile"] = phases.get("compile", 0) + done - compile_start
         ctx = ExecutionContext(
-            self._database, txn, self._database.config, trace=trace
+            self._database, txn, self._database.config, trace=trace,
+            phases=phases,
         )
         result = Interpreter(ctx).run(program)
         self._stats_incr("queries")
         self._stats_incr("rows_returned", result.nrows)
         return result
+
+    @staticmethod
+    def _nrows_estimator(txn):
+        """Cardinality source for the optimizer: the txn's pinned snapshot
+        (which also statement-caches virtual sys.* materializations)."""
+        return lambda name: txn.snapshot_version(txn.resolve_table(name)).nrows
 
     # -- EXPLAIN [ANALYZE] ------------------------------------------------------------
 
@@ -204,9 +278,7 @@ class Connection:
             )
             if not isinstance(bound, N.BoundSelect):
                 raise InterfaceError("EXPLAIN only supports SELECT statements")
-            optimized = optimize(
-                bound, lambda name: txn.resolve_table(name).current.nrows
-            )
+            optimized = optimize(bound, self._nrows_estimator(txn))
             program = compile_select(optimized)
             if statement.analyze:
                 trace = QueryTrace()
@@ -245,9 +317,7 @@ class Connection:
             )
             if not isinstance(bound, N.BoundSelect):
                 raise InterfaceError("EXPLAIN only supports SELECT")
-            optimized = optimize(
-                bound, lambda name: txn.resolve_table(name).current.nrows
-            )
+            optimized = optimize(bound, self._nrows_estimator(txn))
             return compile_select(optimized).render()
         finally:
             if autocommit:
@@ -363,6 +433,11 @@ class Connection:
 
     def _run_create_index(self, bound: N.BoundCreateIndex, txn) -> None:
         table = txn.resolve_table(bound.table_name)
+        if getattr(table, "is_virtual", False):
+            raise CatalogError(
+                f"cannot index {bound.table_name!r}: system views are "
+                f"regenerated on every scan"
+            )
         if len(bound.columns) != 1:
             raise CatalogError("indexes cover exactly one column")
         colpos = table.schema.column_index(bound.columns[0])

@@ -15,6 +15,7 @@ can be started afterwards in the same process.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -24,7 +25,8 @@ import numpy as np
 from repro.errors import DatabaseLockedError, StartupError
 from repro.index import IndexManager
 from repro.mal.interpreter import ExecutionConfig
-from repro.obs import EngineStats
+from repro.obs import MetricsRegistry, QueryLog
+from repro.obs.systables import register_sys_tables, storage_rows
 from repro.storage.catalog import Catalog, ColumnDef, TableSchema
 from repro.storage.column import Column
 from repro.storage.persist import (
@@ -89,10 +91,19 @@ class Database:
         self.txn_manager = TransactionManager(self)
         self.index_manager = IndexManager()
         self.config = ExecutionConfig(**config_kwargs)
-        self._stats = EngineStats()
+        self.metrics = MetricsRegistry()
+        self._stats = self.metrics.counters  # legacy stats() face
+        self.query_log = QueryLog(
+            size=self.config.query_log_size,
+            slow_query_us=self.config.slow_query_us,
+        )
+        self._session_lock = threading.Lock()
+        self._sessions: dict = {}
+        self._session_seq = itertools.count(1)
         self.wal: WriteAheadLog | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._open = True
+        register_sys_tables(self)
 
         if self.directory is not None:
             self._open_persistent()
@@ -198,6 +209,39 @@ class Database:
         """
         return self._stats.snapshot()
 
+    def metrics_text(self) -> str:
+        """All engine metrics in Prometheus text exposition format.
+
+        Mirrors the server's ``METRICS`` wire command for the embedded
+        case; storage totals and session counts are computed on demand.
+        """
+        return self.metrics.prometheus_text(
+            prefix="repro",
+            extra_gauges={
+                "open_sessions": len(self._sessions),
+                "tables": len(self.catalog.list_tables()),
+                "storage_bytes": sum(row[7] for row in storage_rows(self)),
+            },
+        )
+
+    # -- sessions (sys.sessions) --------------------------------------------------------
+
+    def register_session(self, connection) -> int:
+        """Assign a session id to a new connection and track it."""
+        with self._session_lock:
+            session_id = next(self._session_seq)
+            self._sessions[session_id] = connection
+            return session_id
+
+    def unregister_session(self, session_id: int) -> None:
+        with self._session_lock:
+            self._sessions.pop(session_id, None)
+
+    def sessions(self) -> list:
+        """The currently open connections, in session-id order."""
+        with self._session_lock:
+            return [self._sessions[sid] for sid in sorted(self._sessions)]
+
     # -- resources ----------------------------------------------------------------------
 
     @property
@@ -237,6 +281,9 @@ class Database:
             self._pool = None
         self.index_manager.clear()
         self.catalog.clear()
+        self.query_log.clear()
+        with self._session_lock:
+            self._sessions.clear()
         self._open = False
         with _instance_lock:
             if _active is self:

@@ -7,6 +7,7 @@ import numpy as np
 from repro.errors import DatabaseError
 from repro.frames.memory import MemoryLimiter
 from repro.frames.profiles import PROFILES, Profile
+from repro.storage.memcost import object_array_nbytes
 
 __all__ = ["DataFrame"]
 
@@ -67,8 +68,9 @@ class DataFrame:
         total = 0
         for array in self._columns.values():
             if array.dtype == object:
-                # approximate: pointer plus an average small string payload
-                total += array.nbytes + 24 * len(array)
+                # pointers (array.nbytes) plus the sampled payload estimate
+                # shared with sys.storage, so the two cost models agree
+                total += array.nbytes + object_array_nbytes(array)
             else:
                 total += array.nbytes
         return total

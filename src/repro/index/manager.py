@@ -177,6 +177,19 @@ class IndexManager:
             self.stats.order_hits += 1
             return entry[0]
 
+    # -- introspection (sys.storage) ---------------------------------------------
+
+    def bytes_for(self, table_name: str, colpos: int) -> int:
+        """Total in-memory bytes of every index over one column."""
+        key = (table_name.lower(), colpos)
+        total = 0
+        with self._lock:
+            for store in (self._imprints, self._hashes, self._orders):
+                entry = store.get(key)
+                if entry is not None:
+                    total += entry[0].nbytes
+        return total
+
     def clear(self) -> None:
         """Drop all indexes (in-process shutdown)."""
         with self._lock:

@@ -52,6 +52,11 @@ class ExecutionConfig:
     use_hash_index: bool = True
     use_order_index: bool = True
     timeout: float | None = None
+    #: ring-buffer capacity of the per-database query log (sys.queries)
+    query_log_size: int = 256
+    #: statements at/above this total wall time (microseconds) are copied
+    #: into the slow-query log; None disables slow-query capture
+    slow_query_us: float | None = None
 
 
 @dataclass
@@ -69,12 +74,16 @@ class MaterializedResult:
 class ExecutionContext:
     """Shared state of one query execution (txn, config, subquery stack)."""
 
-    def __init__(self, database, txn, config: ExecutionConfig, trace=None):
+    def __init__(self, database, txn, config: ExecutionConfig, trace=None,
+                 phases=None):
         self.database = database
         self.txn = txn
         self.config = config
         #: optional repro.obs.QueryTrace; None keeps the hot loop untraced
         self.trace = trace
+        #: optional dict of plan-phase timings (ns) for the query log; the
+        #: top-level Interpreter.run adds its "execute" share on exit
+        self.phases = phases
         self.deadline = (
             time.monotonic() + config.timeout if config.timeout else None
         )
@@ -204,6 +213,22 @@ class Interpreter:
     # -- driver ---------------------------------------------------------------------
 
     def run(self, program: MALProgram) -> MaterializedResult:
+        phases = self.ctx.phases
+        if phases is None:
+            return self._run_program(program)
+        # pop the dict for the duration of the run so nested subplan
+        # interpreters (which share this ctx) fold into one "execute" figure
+        self.ctx.phases = None
+        started = time.perf_counter_ns()
+        try:
+            return self._run_program(program)
+        finally:
+            phases["execute"] = (
+                phases.get("execute", 0) + time.perf_counter_ns() - started
+            )
+            self.ctx.phases = phases
+
+    def _run_program(self, program: MALProgram) -> MaterializedResult:
         if self.ctx.trace is not None:
             return self._run_traced(program, self.ctx.trace)
         for instruction in program.instructions:
@@ -258,7 +283,9 @@ class Interpreter:
         version = self.ctx.txn.read_version(table)
         snapshot = self.ctx.txn.snapshot_version(table)
         vec = vec_from_column(version.columns[colpos])
-        if version is snapshot:
+        if version is snapshot and not getattr(table, "is_virtual", False):
+            # virtual system views are regenerated per statement; never
+            # treat them as persistent columns eligible for auto-indexing
             self._prov[instr.var] = (table, version, colpos)
         return vec
 

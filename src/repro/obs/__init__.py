@@ -1,4 +1,4 @@
-"""Engine observability: query traces and engine-wide counters.
+"""Engine observability: traces, counters, metrics, and the sys schema.
 
 Modeled on MonetDB's ``TRACE`` facility (and the stethoscope tooling built
 on it): every executed MAL instruction can be profiled — operator, input
@@ -7,10 +7,17 @@ wall time — and the engine keeps lightweight global counters (queries
 served, rows appended/exported, bytes on the wire, transaction aborts)
 that :meth:`repro.core.database.Database.stats` exposes.
 
+On top of the counters sit a :class:`MetricsRegistry` (gauges and latency
+histograms, rendered as Prometheus text by ``Database.metrics_text()``), a
+ring-buffer :class:`QueryLog`, and the ``sys.*`` virtual tables
+(:mod:`repro.obs.systables`) that expose all of it through plain SQL.
+
 Tracing is strictly opt-in: the interpreter's hot loop checks a single
 ``trace is None`` guard and does no per-row work when tracing is off.
 """
 
+from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.querylog import QueryLog, QueryLogEntry
 from repro.obs.stats import EngineStats
 from repro.obs.trace import (
     InstructionProfile,
@@ -20,8 +27,13 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
     "EngineStats",
+    "Histogram",
     "InstructionProfile",
+    "MetricsRegistry",
+    "QueryLog",
+    "QueryLogEntry",
     "QueryTrace",
     "cardinality",
     "instruction_inputs",

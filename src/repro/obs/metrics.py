@@ -1,0 +1,221 @@
+"""Metrics registry: dynamic counters, gauges, and latency histograms.
+
+The registry generalizes :class:`~repro.obs.stats.EngineStats` (which it
+absorbs as its counter store) with two more instrument kinds:
+
+* **gauges** — last-write-wins floats for point-in-time levels
+  (open sessions, storage bytes);
+* **histograms** — fixed-bucket distributions with exponential bucket
+  bounds, the standard shape for latency tracking.  Observations are two
+  locked integer adds; percentiles (p50/p95/p99) are derived from the
+  bucket counts on demand, with linear interpolation inside the bucket.
+
+The whole registry renders as a Prometheus text exposition
+(:meth:`MetricsRegistry.prometheus_text`), which is what the server's
+``METRICS`` wire command and :meth:`repro.core.database.Database.metrics_text`
+return.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+
+from repro.obs.stats import EngineStats
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Exponential bucket upper bounds for latency histograms, in seconds:
+#: 1us, 2us, 4us, ... ~2.1s (22 buckets), plus an implicit +Inf overflow.
+DEFAULT_LATENCY_BOUNDS = tuple(1e-6 * (2.0**i) for i in range(22))
+
+
+class Histogram:
+    """A fixed-bucket histogram with cumulative-percentile estimation.
+
+    ``bounds`` are the inclusive upper bounds of each bucket, strictly
+    increasing; one extra overflow bucket catches everything above the
+    last bound.  Not thread-safe on its own — the owning registry
+    serializes observations under its lock.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds=DEFAULT_LATENCY_BOUNDS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = overflow (+Inf)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, float(value))] += 1
+        self.count += 1
+        self.sum += float(value)
+
+    def percentile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` (0..1) from the bucket counts.
+
+        Linear interpolation inside the chosen bucket; the overflow bucket
+        reports the last finite bound (the histogram cannot see further).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if i >= len(self.bounds):  # overflow bucket
+                    return self.bounds[-1]
+                lo = 0.0 if i == 0 else self.bounds[i - 1]
+                hi = self.bounds[i]
+                fraction = (rank - cumulative) / bucket_count
+                return lo + (hi - lo) * min(1.0, max(0.0, fraction))
+            cumulative += bucket_count
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict:
+        """Buckets (cumulative, Prometheus-style), count, sum, percentiles."""
+        cumulative = 0
+        buckets = []
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            buckets.append((bound, cumulative))
+        return {
+            "buckets": buckets,
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges, and histograms.
+
+    All instruments register dynamically on first touch; names are free-form
+    (they are sanitized only when rendered for Prometheus).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: monotonically increasing engine counters (shared with the
+        #: database's legacy ``stats()`` face).
+        self.counters = EngineStats()
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    # -- counters (delegated) --------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters.incr(name, amount)
+
+    def get_counter(self, name: str) -> int:
+        return self.counters.get(name)
+
+    # -- gauges ----------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def get_gauge(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    # -- histograms ------------------------------------------------------------
+
+    def observe(self, name: str, value: float, bounds=None) -> None:
+        """Record one observation into a (created-on-demand) histogram."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(bounds or DEFAULT_LATENCY_BOUNDS)
+                self._histograms[name] = histogram
+            histogram.observe(value)
+
+    def histogram(self, name: str) -> dict | None:
+        """Snapshot of one histogram, or None if never observed."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return histogram.snapshot() if histogram is not None else None
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every instrument, stable-ordered."""
+        counters = self.counters.snapshot()
+        with self._lock:
+            gauges = {name: self._gauges[name] for name in sorted(self._gauges)}
+            histograms = {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def reset(self) -> None:
+        self.counters.reset()
+        with self._lock:
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- Prometheus text exposition ---------------------------------------------
+
+    def prometheus_text(self, prefix: str = "repro", extra_gauges=None) -> str:
+        """Render every instrument in the Prometheus text format.
+
+        ``extra_gauges`` lets the caller mix in gauges computed on demand
+        (storage bytes, open sessions) without registering them.
+        """
+        snap = self.snapshot()
+        lines: list = []
+        for name, value in snap["counters"].items():
+            metric = f"{prefix}_{_sanitize(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        gauges = dict(snap["gauges"])
+        if extra_gauges:
+            gauges.update(extra_gauges)
+        for name in sorted(gauges):
+            metric = f"{prefix}_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_number(gauges[name])}")
+        for name, hist in snap["histograms"].items():
+            metric = f"{prefix}_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} histogram")
+            for bound, cumulative in hist["buckets"]:
+                lines.append(
+                    f'{metric}_bucket{{le="{_number(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+            lines.append(f"{metric}_sum {_number(hist['sum'])}")
+            lines.append(f"{metric}_count {hist['count']}")
+        return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    """Make a free-form instrument name a legal Prometheus metric name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _number(value: float) -> str:
+    """Compact float rendering (integers lose the trailing ``.0``)."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)

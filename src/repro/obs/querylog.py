@@ -1,0 +1,107 @@
+"""Ring-buffer query log plus opt-in slow-query log.
+
+Every statement executed through a :class:`~repro.core.connection.Connection`
+appends one :class:`QueryLogEntry` — sql text, status, row count, wall time,
+and the plan-phase breakdown (parse/bind/optimize/compile/execute) — into a
+bounded deque, so the log can stay always-on without growing without bound.
+``SELECT * FROM sys.queries`` scans this buffer.
+
+When :attr:`~repro.mal.interpreter.ExecutionConfig.slow_query_us` is set,
+entries at or above the threshold are copied into a second ring buffer
+(``slow_entries``) and counted in the ``slow_queries`` engine counter, which
+is the embedded-database analogue of MonetDB's ``querylog_enable(threshold)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["QueryLogEntry", "QueryLog"]
+
+#: Plan phases reported per query, in pipeline order (microseconds each).
+PHASES = ("parse", "bind", "optimize", "compile", "execute")
+
+
+@dataclass
+class QueryLogEntry:
+    """One executed statement, as seen by ``sys.queries``."""
+
+    qid: int
+    session: int
+    sql: str
+    status: str  # "ok" or "error"
+    error: str | None
+    rows: int
+    started: float  # unix epoch seconds
+    total_us: float
+    phases_us: dict = field(default_factory=dict)
+
+
+class QueryLog:
+    """Bounded, thread-safe log of recently executed statements."""
+
+    def __init__(self, size: int = 256, slow_query_us: float | None = None):
+        if size < 1:
+            raise ValueError("query log size must be >= 1")
+        self._lock = threading.Lock()
+        self._entries: deque = deque(maxlen=int(size))
+        self._slow: deque = deque(maxlen=int(size))
+        self._qid = itertools.count(1)
+        self.slow_query_us = slow_query_us
+
+    def record(
+        self,
+        *,
+        session: int,
+        sql: str,
+        status: str,
+        error: str | None,
+        rows: int,
+        started: float,
+        total_us: float,
+        phases_us: dict | None = None,
+    ) -> QueryLogEntry:
+        entry = QueryLogEntry(
+            qid=next(self._qid),
+            session=session,
+            sql=sql,
+            status=status,
+            error=error,
+            rows=int(rows),
+            started=started,
+            total_us=float(total_us),
+            phases_us=dict(phases_us or {}),
+        )
+        slow = (
+            self.slow_query_us is not None
+            and entry.total_us >= self.slow_query_us
+        )
+        with self._lock:
+            self._entries.append(entry)
+            if slow:
+                self._slow.append(entry)
+        entry.is_slow = slow
+        return entry
+
+    def entries(self) -> list:
+        """Oldest-first snapshot of the ring buffer."""
+        with self._lock:
+            return list(self._entries)
+
+    def slow_entries(self) -> list:
+        with self._lock:
+            return list(self._slow)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._slow.clear()
+
+
+def now() -> float:
+    """Wall-clock timestamp for ``QueryLogEntry.started``."""
+    return time.time()

@@ -1,8 +1,15 @@
 """Engine-wide counters (queries, rows moved, wire bytes, txn outcomes).
 
 One :class:`EngineStats` lives on each
-:class:`~repro.core.database.Database`; hot paths bump counters with a
-single locked integer add — cheap enough to stay always-on.
+:class:`~repro.core.database.Database` (as the counter store of its
+:class:`~repro.obs.metrics.MetricsRegistry`); hot paths bump counters with
+a single locked integer add — cheap enough to stay always-on.
+
+Counter registration is dynamic: incrementing a name that was never
+declared creates it on the fly (MonetDB's ``sys.querylog_*`` tables behave
+the same way — new event kinds simply appear).  :meth:`EngineStats.snapshot`
+stays stable-ordered: the predeclared counters come first, in declaration
+order, followed by dynamically registered ones in sorted order.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ _COUNTERS = (
     "txn_commits",
     "txn_aborts",
     "traced_queries",
+    "query_errors",
+    "slow_queries",
 )
 
 
@@ -34,19 +43,25 @@ class EngineStats:
         self._counters = {name: 0 for name in _COUNTERS}
 
     def incr(self, name: str, amount: int = 1) -> None:
-        if name not in self._counters:
-            raise KeyError(f"unknown counter {name!r}")
         with self._lock:
-            self._counters[name] += int(amount)
+            self._counters[name] = self._counters.get(name, 0) + int(amount)
 
     def get(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
 
     def snapshot(self) -> dict:
-        """A point-in-time copy of all counters."""
+        """A point-in-time copy of all counters, stable-ordered.
+
+        Predeclared counters appear first in declaration order; counters
+        registered dynamically follow in sorted name order.
+        """
         with self._lock:
-            return dict(self._counters)
+            extras = sorted(set(self._counters) - set(_COUNTERS))
+            return {
+                name: self._counters[name]
+                for name in (*_COUNTERS, *extras)
+            }
 
     def reset(self) -> None:
         with self._lock:

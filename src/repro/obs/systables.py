@@ -1,0 +1,187 @@
+"""The ``sys`` monitoring schema: virtual tables over live engine state.
+
+MonetDB exposes its own internals as relations — ``sys.storage`` prices
+every column, ``sys.querylog_catalog`` records executed queries — so the
+database is debuggable with the query language itself.  This module builds
+the equivalent set for the embedded engine:
+
+================  ============================================================
+``sys.queries``       ring-buffer query log with plan-phase timings
+``sys.slow_queries``  the slow-query subset (``slow_query_us`` threshold)
+``sys.storage``       per-column memory accounting (data/heap/index bytes)
+``sys.tables``        every relation in the catalog, real and virtual
+``sys.sessions``      open connections with per-session counters
+``sys.metrics``       the flattened metrics registry (counters/gauges/histos)
+================  ============================================================
+
+:func:`register_sys_tables` is called once from ``Database.__init__``; the
+generators close over the database and are re-evaluated on every scan (with
+per-statement caching in the transaction layer).
+"""
+
+from __future__ import annotations
+
+from repro.storage import types as T
+from repro.storage.catalog import ColumnDef, TableSchema
+from repro.storage.virtual import VirtualTable
+
+__all__ = ["register_sys_tables", "storage_rows"]
+
+
+def _schema(name: str, columns) -> TableSchema:
+    return TableSchema(
+        name, [ColumnDef(cname, ctype) for cname, ctype in columns], schema="sys"
+    )
+
+_QUERY_COLUMNS = (
+    ("qid", T.BIGINT),
+    ("session", T.BIGINT),
+    ("sql", T.STRING),
+    ("status", T.STRING),
+    ("error", T.STRING),
+    ("rows", T.BIGINT),
+    ("started", T.DOUBLE),
+    ("total_us", T.DOUBLE),
+    ("parse_us", T.DOUBLE),
+    ("bind_us", T.DOUBLE),
+    ("optimize_us", T.DOUBLE),
+    ("compile_us", T.DOUBLE),
+    ("execute_us", T.DOUBLE),
+)
+
+_STORAGE_COLUMNS = (
+    ("table_name", T.STRING),
+    ("column_name", T.STRING),
+    ("type_name", T.STRING),
+    ("row_count", T.BIGINT),
+    ("data_bytes", T.BIGINT),
+    ("heap_bytes", T.BIGINT),
+    ("index_bytes", T.BIGINT),
+    ("total_bytes", T.BIGINT),
+)
+
+_TABLE_COLUMNS = (
+    ("table_name", T.STRING),
+    ("column_count", T.INTEGER),
+    ("row_count", T.BIGINT),
+    ("is_virtual", T.BOOLEAN),
+)
+
+_SESSION_COLUMNS = (
+    ("session", T.BIGINT),
+    ("client", T.STRING),
+    ("started", T.DOUBLE),
+    ("queries", T.BIGINT),
+    ("rows_returned", T.BIGINT),
+    ("in_txn", T.BOOLEAN),
+    ("last_sql", T.STRING),
+)
+
+_METRIC_COLUMNS = (
+    ("metric", T.STRING),
+    ("kind", T.STRING),
+    ("label", T.STRING),
+    ("value", T.DOUBLE),
+)
+
+
+def _query_rows(entries) -> list:
+    rows = []
+    for e in entries:
+        us = e.phases_us
+        rows.append((
+            e.qid, e.session, e.sql, e.status, e.error, e.rows, e.started,
+            e.total_us, us.get("parse", 0.0), us.get("bind", 0.0),
+            us.get("optimize", 0.0), us.get("compile", 0.0),
+            us.get("execute", 0.0),
+        ))
+    return rows
+
+
+def storage_rows(database) -> list:
+    """One row per (table, column): the memory footprint breakdown.
+
+    Prices the *committed* state: ``data_bytes`` is the packed storage
+    array, ``heap_bytes`` the string heap behind variable-length columns
+    (shared cost model with ``DataFrame.nbytes``), ``index_bytes`` every
+    imprint/hash/order index over the column.
+    """
+    rows = []
+    index_manager = database.index_manager
+    for table in database.catalog.all_tables():
+        version = table.current
+        for colpos, (coldef, column) in enumerate(
+            zip(table.schema.columns, version.columns)
+        ):
+            data_bytes = int(column.data.nbytes)
+            heap_bytes = int(column.heap.nbytes) if column.heap is not None else 0
+            index_bytes = int(index_manager.bytes_for(table.schema.name, colpos))
+            rows.append((
+                table.schema.name.lower(), coldef.name.lower(),
+                coldef.type.name, version.nrows,
+                data_bytes, heap_bytes, index_bytes,
+                data_bytes + heap_bytes + index_bytes,
+            ))
+    return rows
+
+
+def _table_rows(database) -> list:
+    rows = [
+        (t.schema.name.lower(), len(t.schema.columns), t.nrows, False)
+        for t in database.catalog.all_tables()
+    ]
+    for virtual in database.catalog.list_virtual():
+        rows.append((
+            f"sys.{virtual.schema.name.lower()}",
+            len(virtual.schema.columns),
+            None,  # row count would mean materializing every sys table here
+            True,
+        ))
+    return rows
+
+
+def _session_rows(database) -> list:
+    rows = []
+    for connection in database.sessions():
+        rows.append((
+            connection.session_id,
+            connection.client,
+            connection.session_started,
+            connection.session_queries,
+            connection.session_rows,
+            connection.in_transaction,
+            connection.last_sql,
+        ))
+    return rows
+
+
+def _metric_rows(database) -> list:
+    snap = database.metrics.snapshot()
+    rows = [
+        (name, "counter", None, float(value))
+        for name, value in snap["counters"].items()
+    ]
+    for name, value in snap["gauges"].items():
+        rows.append((name, "gauge", None, float(value)))
+    for name, hist in snap["histograms"].items():
+        for label in ("count", "sum", "p50", "p95", "p99"):
+            rows.append((name, "histogram", label, float(hist[label])))
+    return rows
+
+
+def register_sys_tables(database) -> None:
+    """Install the full ``sys`` monitoring schema on one database."""
+    tables = (
+        ("queries", _QUERY_COLUMNS,
+         lambda: _query_rows(database.query_log.entries())),
+        ("slow_queries", _QUERY_COLUMNS,
+         lambda: _query_rows(database.query_log.slow_entries())),
+        ("storage", _STORAGE_COLUMNS, lambda: storage_rows(database)),
+        ("tables", _TABLE_COLUMNS, lambda: _table_rows(database)),
+        ("sessions", _SESSION_COLUMNS, lambda: _session_rows(database)),
+        ("metrics", _METRIC_COLUMNS, lambda: _metric_rows(database)),
+    )
+    for name, columns, generator in tables:
+        database.catalog.register_virtual(
+            VirtualTable(_schema(name, columns), generator)
+        )

@@ -157,6 +157,28 @@ class RemoteConnection:
             raise DatabaseError("statement produced no result")
         return result
 
+    def metrics(self) -> str:
+        """``M``: fetch the server's Prometheus-format metrics exposition."""
+        write_message(self._wfile, b"M", b"")
+        self._wfile.flush()
+        text: str | None = None
+        error: str | None = None
+        while True:
+            mtype, payload = read_message(self._rfile)
+            if mtype is None:
+                raise ProtocolError("server closed the connection")
+            if mtype == b"M":
+                text = payload.decode("utf-8")
+            elif mtype == b"E":
+                error = payload.decode("utf-8")
+            elif mtype == b"Z":
+                break
+            else:
+                raise ProtocolError(f"unexpected message {mtype!r}")
+        if error is not None:
+            raise DatabaseError(f"server error: {error}")
+        return text or ""
+
     @staticmethod
     def _parse_complete(payload: bytes) -> dict:
         """Decode a ``C`` payload: ``<rows>`` optionally ``time_us=<n>``."""

@@ -6,6 +6,9 @@ Message frame: 1 type byte + 4-byte little-endian payload length + payload.
 type  direction             payload
 ====  ====================  =========================================
 ``Q``  client -> server     SQL text (UTF-8)
+``M``  both directions      client: request engine metrics; server:
+                            Prometheus text exposition of the metrics
+                            registry (``Database.metrics_text()``)
 ``A``  client -> server     bulk append: table name (append uses SQL
                             INSERTs by default; ``A`` exists only for
                             the "what if servers had a bulk path"

@@ -142,6 +142,8 @@ class Server:
 
     def _serve_connection(self, rfile, wfile) -> None:
         conn = self._connect_engine()
+        if hasattr(conn, "client"):
+            conn.client = "tcp"  # tag the session for sys.sessions
         config = self.protocol
         try:
             self._send(wfile, b"Z", b"")
@@ -153,6 +155,9 @@ class Server:
                 self._stats_incr("bytes_received", HEADER_BYTES + len(payload))
                 if mtype == b"X":
                     return
+                if mtype == b"M":
+                    self._handle_metrics(wfile)
+                    continue
                 if mtype != b"Q":
                     self._send(
                         wfile, b"E", f"unexpected message {mtype!r}".encode()
@@ -167,6 +172,16 @@ class Server:
             close = getattr(conn, "close", None)
             if close is not None:
                 close()
+
+    def _handle_metrics(self, wfile) -> None:
+        """``M``: Prometheus text exposition of the engine's metrics."""
+        metrics_text = getattr(self._database, "metrics_text", None)
+        if metrics_text is None:  # rowstore engine: no metrics registry
+            self._send(wfile, b"E", b"engine does not expose metrics")
+        else:
+            self._send(wfile, b"M", metrics_text().encode("utf-8"))
+        self._send(wfile, b"Z", b"")
+        wfile.flush()
 
     def _handle_query(self, conn, sql: str, wfile, config: ProtocolConfig) -> None:
         started = time.perf_counter()

@@ -322,6 +322,8 @@ class Parser:
             alias = self._expect_ident()
             return ast.SubqueryRef(select, alias)
         name = self._expect_ident()
+        if self._accept_punct("."):  # qualified reference: schema.table
+            name = f"{name}.{self._expect_ident()}"
         alias = self._optional_alias()
         return ast.BaseTable(name, alias)
 
@@ -639,13 +641,20 @@ class Parser:
         self._expect_punct(")")
         return ast.CreateTable(name, tuple(columns), if_not_exists)
 
+    def _table_name(self) -> str:
+        """A possibly schema-qualified table name (``sys.queries``)."""
+        name = self._expect_ident()
+        if self._accept_punct("."):
+            name = f"{name}.{self._expect_ident()}"
+        return name
+
     def _create_index(self, ordered: bool) -> ast.CreateIndex:
         name = self._expect_ident()
         if not self._accept_keyword("on"):
             raise ParseError(
                 "expected ON in CREATE INDEX", self._current.position
             )
-        table = self._expect_ident()
+        table = self._table_name()
         self._expect_punct("(")
         columns = [self._expect_ident()]
         while self._accept_punct(","):
@@ -660,7 +669,7 @@ class Parser:
             if self._accept_keyword("if"):
                 self._expect_keyword("exists")
                 if_exists = True
-            return ast.DropTable(self._expect_ident(), if_exists)
+            return ast.DropTable(self._table_name(), if_exists)
         if self._accept_keyword("index") or (
             self._current.type == TokenType.IDENT and self._current.value == "index"
         ):
@@ -676,7 +685,7 @@ class Parser:
     def _insert_statement(self) -> ast.InsertStmt:
         self._expect_keyword("insert")
         self._expect_keyword("into")
-        table = self._expect_ident()
+        table = self._table_name()
         columns: list[str] = []
         if self._accept_punct("("):
             columns.append(self._expect_ident())
@@ -706,7 +715,7 @@ class Parser:
     def _delete_statement(self) -> ast.DeleteStmt:
         self._expect_keyword("delete")
         self._expect_keyword("from")
-        table = self._expect_ident()
+        table = self._table_name()
         where = None
         if self._accept_keyword("where"):
             where = self._expression()
@@ -714,7 +723,7 @@ class Parser:
 
     def _update_statement(self) -> ast.UpdateStmt:
         self._expect_keyword("update")
-        table = self._expect_ident()
+        table = self._table_name()
         self._expect_keyword("set")
         assignments = [self._assignment()]
         while self._accept_punct(","):

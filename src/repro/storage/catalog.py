@@ -69,9 +69,12 @@ class Catalog:
     def __init__(self):
         self._lock = threading.RLock()
         self._tables: dict[tuple[str, str], object] = {}
+        self._virtual: dict[tuple[str, str], object] = {}
 
     @staticmethod
     def _key(name: str, schema: str | None) -> tuple[str, str]:
+        if "." in name:  # qualified reference: schema.table
+            schema, _, name = name.partition(".")
         return ((schema or DEFAULT_SCHEMA).lower(), name.lower())
 
     def register(self, table, if_not_exists: bool = False):
@@ -85,18 +88,44 @@ class Catalog:
             self._tables[key] = table
             return table
 
+    def register_virtual(self, table):
+        """Add a :class:`~repro.storage.virtual.VirtualTable` system view.
+
+        Virtual tables resolve only when no real table claims the same name
+        (a user's ``CREATE TABLE queries`` shadows ``sys.queries``), never
+        appear in :meth:`list_tables` (so persistence skips them), and are
+        invisible to :meth:`exists` (so DDL name checks ignore them).
+        """
+        key = self._key(table.schema.name, table.schema.schema)
+        with self._lock:
+            self._virtual[key] = table
+            return table
+
     def get(self, name: str, schema: str | None = None):
-        """Look up a table; raises :class:`~repro.errors.CatalogError`."""
+        """Look up a table; raises :class:`~repro.errors.CatalogError`.
+
+        Real tables win over virtual system views of the same name.
+        """
         key = self._key(name, schema)
         with self._lock:
-            try:
-                return self._tables[key]
-            except KeyError:
-                raise CatalogError(f"no such table: {name!r}") from None
+            table = self._tables.get(key)
+            if table is None:
+                table = self._virtual.get(key)
+            if table is None:
+                raise CatalogError(f"no such table: {name!r}")
+            return table
 
     def exists(self, name: str, schema: str | None = None) -> bool:
+        """Whether a *real* table exists under this name (virtuals ignored)."""
         with self._lock:
             return self._key(name, schema) in self._tables
+
+    def list_virtual(self) -> list:
+        """The registered virtual system views, sorted by name."""
+        with self._lock:
+            return [
+                self._virtual[key] for key in sorted(self._virtual)
+            ]
 
     def drop(self, name: str, schema: str | None = None, if_exists: bool = False):
         """Remove a table from the catalog."""
@@ -113,7 +142,13 @@ class Catalog:
         with self._lock:
             return sorted(name for _, name in self._tables)
 
+    def all_tables(self) -> list:
+        """The real table objects, sorted by (schema, name)."""
+        with self._lock:
+            return [self._tables[key] for key in sorted(self._tables)]
+
     def clear(self) -> None:
         """Drop everything (used by in-process shutdown, paper section 3.4)."""
         with self._lock:
             self._tables.clear()
+            self._virtual.clear()

@@ -1,0 +1,57 @@
+"""Shared memory-cost model for variable-length (Python object) values.
+
+``sys.storage`` and :attr:`repro.frames.frame.DataFrame.nbytes` both need to
+price object arrays; keeping the per-value estimate in one place means the
+two never disagree (and neither hardcodes a magic ``24 * len`` again).
+
+The per-value costs mirror CPython's actual object layouts on a 64-bit
+build: an empty ``str`` is 49 bytes (compact ASCII header) plus one byte per
+character; ``bytes`` is 33 plus one byte per byte.  ``None`` is free — it is
+the shared singleton.  These are estimates of *heap payload*, excluding the
+8-byte pointer already counted by ``ndarray.nbytes`` for object arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["string_value_bytes", "object_array_nbytes", "OBJECT_SAMPLE_LIMIT"]
+
+#: CPython sys.getsizeof("") on 64-bit builds (compact ASCII header).
+_STR_OVERHEAD = 49
+#: CPython sys.getsizeof(b"") on 64-bit builds.
+_BYTES_OVERHEAD = 33
+#: Fallback for values that are neither str/bytes nor None (boxed numbers &c).
+_GENERIC_COST = 32
+
+#: Cap on values inspected when estimating an object array's footprint.
+OBJECT_SAMPLE_LIMIT = 1024
+
+
+def string_value_bytes(value) -> int:
+    """Estimated heap bytes held by one variable-length value."""
+    if value is None:
+        return 0
+    if isinstance(value, str):
+        return _STR_OVERHEAD + len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return _BYTES_OVERHEAD + len(value)
+    return _GENERIC_COST
+
+
+def object_array_nbytes(array: np.ndarray) -> int:
+    """Estimated payload bytes behind an object array's pointers.
+
+    Exact for arrays up to :data:`OBJECT_SAMPLE_LIMIT` elements; beyond
+    that, an evenly strided sample is extrapolated so the estimate stays
+    O(1)-bounded — this sits on the frame memory-limiter hot path.
+    """
+    n = len(array)
+    if n == 0:
+        return 0
+    if n <= OBJECT_SAMPLE_LIMIT:
+        return sum(string_value_bytes(v) for v in array)
+    stride = n // OBJECT_SAMPLE_LIMIT + 1
+    sample = array[::stride]
+    sampled = sum(string_value_bytes(v) for v in sample)
+    return int(sampled * (n / len(sample)))

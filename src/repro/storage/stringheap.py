@@ -21,6 +21,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.storage.memcost import string_value_bytes
+
 __all__ = ["StringHeap", "DEFAULT_DEDUP_THRESHOLD"]
 
 #: Stop duplicate elimination once a heap holds this many distinct values.
@@ -30,7 +32,15 @@ DEFAULT_DEDUP_THRESHOLD = 1 << 16
 class StringHeap:
     """Append-only heap of variable-length values addressed by slot offset."""
 
-    __slots__ = ("_values", "_index", "dedup_threshold", "_cache_version", "_cache")
+    __slots__ = (
+        "_values",
+        "_index",
+        "dedup_threshold",
+        "_cache_version",
+        "_cache",
+        "_nbytes_version",
+        "_nbytes_cache",
+    )
 
     def __init__(self, dedup_threshold: int = DEFAULT_DEDUP_THRESHOLD):
         self._values: list = [None]  # slot 0 = NULL
@@ -38,6 +48,8 @@ class StringHeap:
         self.dedup_threshold = dedup_threshold
         self._cache_version = -1
         self._cache: np.ndarray | None = None
+        self._nbytes_version = -1
+        self._nbytes_cache = 0
 
     def __len__(self) -> int:
         return len(self._values)
@@ -92,6 +104,21 @@ class StringHeap:
     def distinct_count(self) -> int:
         """Number of distinct slots currently in the heap (excluding NULL)."""
         return len(self._values) - 1
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated payload bytes held by the heap's distinct values.
+
+        Exact under the shared :func:`~repro.storage.memcost.string_value_bytes`
+        cost model; cached while the heap is unchanged (heaps are append-only,
+        so the slot count is a valid version stamp).
+        """
+        if self._nbytes_version != len(self._values):
+            self._nbytes_cache = sum(
+                string_value_bytes(v) for v in self._values
+            )
+            self._nbytes_version = len(self._values)
+        return self._nbytes_cache
 
     # -- persistence ----------------------------------------------------------
 

@@ -1,0 +1,74 @@
+"""Virtual tables: catalog entries materialized on demand from engine state.
+
+MonetDB's ``sys.storage`` and ``sys.querylog_*`` relations are not stored
+tables — they are functions rendered as relations, re-evaluated on every
+scan.  A :class:`VirtualTable` reproduces that: it carries a normal
+:class:`~repro.storage.catalog.TableSchema` so binding and planning treat
+it like any other table, and :meth:`materialize` builds a fresh
+:class:`~repro.storage.table.TableVersion` of NumPy-backed columns from a
+row generator each time it is called.
+
+Consistency within a statement is handled one layer up:
+:meth:`repro.txn.transaction.Transaction.snapshot_version` caches the
+materialized version per statement, so several binds of ``sys.queries``
+inside one query see identical columns, while the next statement sees
+fresh state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import CatalogError
+from repro.storage.catalog import TableSchema
+from repro.storage.column import Column
+from repro.storage.table import TableVersion
+
+__all__ = ["VirtualTable"]
+
+
+class VirtualTable:
+    """A read-only table whose contents are generated at scan time.
+
+    Mirrors the read-side interface of :class:`~repro.storage.table.Table`
+    (``schema``, ``name``, ``current``, ``nrows``, ``column_index``); write
+    entry points do not exist and the transaction layer rejects DML/DDL
+    against it via the ``is_virtual`` marker.
+    """
+
+    is_virtual = True
+
+    def __init__(self, schema: TableSchema, generator: Callable[[], Iterable[tuple]]):
+        self.schema = schema
+        self._generator = generator
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def column_index(self, name: str) -> int:
+        return self.schema.column_index(name)
+
+    def materialize(self) -> TableVersion:
+        """Evaluate the generator into a fresh immutable snapshot."""
+        rows = list(self._generator())
+        columns = [
+            Column.from_values(coldef.type, (row[i] for row in rows))
+            for i, coldef in enumerate(self.schema.columns)
+        ]
+        return TableVersion(0, columns)
+
+    @property
+    def current(self) -> TableVersion:
+        """A fresh materialization (uncached — prefer the txn snapshot)."""
+        return self.materialize()
+
+    @property
+    def nrows(self) -> int:
+        return self.materialize().nrows
+
+    def install_version(self, *_args, **_kwargs):
+        raise CatalogError(f"table {self.schema.name!r} is a read-only system view")
+
+    def add_modification_listener(self, _listener) -> None:
+        raise CatalogError(f"table {self.schema.name!r} is a read-only system view")

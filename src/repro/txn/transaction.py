@@ -91,11 +91,15 @@ class Transaction:
         self.id = Transaction._next_id
         Transaction._next_id += 1
         self.active = True
+        #: bumped by the connection per statement; keys the per-statement
+        #: cache of materialized virtual tables (see snapshot_version).
+        self.statement_seq = 0
         self._snapshots: dict[str, TableVersion] = {}
         self._snapshot_tables: dict[str, Table] = {}
         self._deltas: dict[str, TableDelta] = {}
         self._created: dict[str, Table] = {}
         self._dropped: set[str] = set()
+        self._virtual_versions: dict[str, tuple[int, TableVersion]] = {}
 
     # -- state checks ----------------------------------------------------------
 
@@ -113,10 +117,18 @@ class Transaction:
 
     # -- table resolution --------------------------------------------------------
 
+    @staticmethod
+    def _norm(name: str) -> str:
+        """Canonical delta/DDL key: the default ``sys.`` prefix is implied."""
+        key = name.lower()
+        if key.startswith("sys."):
+            key = key[4:]
+        return key
+
     def resolve_table(self, name: str) -> Table:
         """Find a table visible to this transaction (own DDL included)."""
         self._check_active()
-        key = name.lower()
+        key = self._norm(name)
         if key in self._dropped:
             raise CatalogError(f"no such table: {name!r}")
         if key in self._created:
@@ -125,7 +137,19 @@ class Transaction:
         return table
 
     def snapshot_version(self, table: Table) -> TableVersion:
-        """Pin (on first use) and return this txn's snapshot of a table."""
+        """Pin (on first use) and return this txn's snapshot of a table.
+
+        Virtual system views are materialized once per *statement* (not per
+        transaction): every bind within one statement sees identical
+        columns, while the next statement re-reads live engine state.
+        """
+        if getattr(table, "is_virtual", False):
+            key = table.schema.name.lower()
+            cached = self._virtual_versions.get(key)
+            if cached is None or cached[0] != self.statement_seq:
+                cached = (self.statement_seq, table.materialize())
+                self._virtual_versions[key] = cached
+            return cached[1]
         key = table.schema.name.lower()
         if key in self._created:
             return table.current
@@ -145,6 +169,10 @@ class Transaction:
     # -- writes ----------------------------------------------------------------
 
     def delta_for(self, table: Table) -> TableDelta:
+        if getattr(table, "is_virtual", False):
+            raise CatalogError(
+                f"table {table.schema.name!r} is a read-only system view"
+            )
         key = table.schema.name.lower()
         self.snapshot_version(table)
         if key not in self._deltas:
@@ -236,7 +264,7 @@ class Transaction:
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         """Drop a table (buffered until commit for catalog tables)."""
         self._check_active()
-        key = name.lower()
+        key = self._norm(name)
         if key in self._created:
             del self._created[key]
             self._deltas.pop(key, None)

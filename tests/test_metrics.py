@@ -1,0 +1,208 @@
+"""Tests for the metrics registry: histograms, concurrency, Prometheus text.
+
+The registry must not lose updates under concurrent hammering (satellite
+requirement: >= 8 threads, exact totals, monotonic histogram buckets), and
+its text exposition must be parseable Prometheus format — validated here
+with a line grammar rather than eyeballing.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BOUNDS, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_default_bounds_are_exponential(self):
+        assert len(DEFAULT_LATENCY_BOUNDS) == 22
+        assert DEFAULT_LATENCY_BOUNDS[0] == pytest.approx(1e-6)
+        for lo, hi in zip(DEFAULT_LATENCY_BOUNDS, DEFAULT_LATENCY_BOUNDS[1:]):
+            assert hi == pytest.approx(2 * lo)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0, 2.0))
+
+    def test_observe_and_count(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(105.0)
+        assert hist.counts == [1, 1, 1, 1]  # last slot = overflow
+
+    def test_percentiles_interpolate(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            hist.observe(1.5)
+        # every observation in the (1, 2] bucket: percentiles stay inside it
+        assert 1.0 <= hist.percentile(0.5) <= 2.0
+        assert 1.0 <= hist.percentile(0.99) <= 2.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(0.5) == 0.0
+
+    def test_overflow_reports_last_bound(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(50.0)
+        assert hist.percentile(0.99) == 2.0
+
+    def test_snapshot_buckets_cumulative(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.7, 1.5, 3.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert [c for _, c in snap["buckets"]] == [2, 3, 4]
+        assert snap["count"] == 4
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+
+class TestRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.incr("queries", 3)
+        assert registry.get_counter("queries") == 3
+        registry.set_gauge("pool_size", 7)
+        assert registry.get_gauge("pool_size") == 7.0
+        assert registry.get_gauge("missing") == 0.0
+
+    def test_histogram_created_on_demand(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("latency") is None
+        registry.observe("latency", 0.01)
+        snap = registry.histogram("latency")
+        assert snap["count"] == 1
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.incr("queries")
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 0.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["queries"] == 1
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.incr("queries")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["counters"]["queries"] == 0
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestConcurrency:
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def test_no_lost_updates(self):
+        """Hammer counters and a histogram from 8 threads: exact totals."""
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            for i in range(self.PER_THREAD):
+                registry.incr("shared")
+                registry.incr(f"private_{tid}")
+                registry.observe("lat", (i % 20 + 1) * 1e-6)
+                registry.set_gauge(f"gauge_{tid}", i)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert registry.get_counter("shared") == self.THREADS * self.PER_THREAD
+        for tid in range(self.THREADS):
+            assert registry.get_counter(f"private_{tid}") == self.PER_THREAD
+            assert registry.get_gauge(f"gauge_{tid}") == self.PER_THREAD - 1
+        hist = registry.histogram("lat")
+        assert hist["count"] == self.THREADS * self.PER_THREAD
+        # cumulative bucket counts must be monotonic and end at the total
+        cumulative = [c for _, c in hist["buckets"]]
+        assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+        assert cumulative[-1] == hist["count"]  # all values fall in-bounds
+        assert hist["sum"] == pytest.approx(
+            self.THREADS * sum((i % 20 + 1) * 1e-6 for i in range(self.PER_THREAD))
+        )
+
+
+#: Prometheus text grammar: a line is a TYPE comment or a sample.
+_TYPE_RE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$"
+)
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"\})?"  # optional single label
+    r" -?[0-9.e+-]+$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \+?Inf$"
+)
+
+
+def assert_valid_exposition(text: str) -> None:
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").split("\n"):
+        assert _TYPE_RE.match(line) or _SAMPLE_RE.match(line), line
+
+
+class TestPrometheusText:
+    def test_exposition_grammar(self):
+        registry = MetricsRegistry()
+        registry.incr("queries", 5)
+        registry.set_gauge("open sessions!", 2)  # needs sanitizing
+        registry.observe("query_seconds", 0.003)
+        registry.observe("query_seconds", 1.7)
+        text = registry.prometheus_text(prefix="repro")
+        assert_valid_exposition(text)
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_queries_total 5" in text
+        assert "repro_open_sessions_ 2" in text
+        assert 'repro_query_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_query_seconds_count 2" in text
+
+    def test_histogram_buckets_monotonic_in_text(self):
+        registry = MetricsRegistry()
+        for i in range(50):
+            registry.observe("lat", i * 1e-5)
+        text = registry.prometheus_text()
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.split("\n")
+            if line.startswith("repro_lat_bucket")
+        ]
+        assert counts, text
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == 50
+
+    def test_extra_gauges_mixed_in(self):
+        registry = MetricsRegistry()
+        text = registry.prometheus_text(extra_gauges={"storage_bytes": 123})
+        assert "repro_storage_bytes 123" in text
+        assert_valid_exposition(text)
+
+    def test_database_metrics_text(self, db, conn):
+        conn.execute("CREATE TABLE m (v INTEGER)")
+        conn.execute("INSERT INTO m VALUES (1), (2)")
+        conn.query("SELECT v FROM m")
+        text = db.metrics_text()
+        assert_valid_exposition(text)
+        assert "repro_statements_total 3" in text
+        assert "repro_open_sessions 1" in text
+        assert "repro_tables 1" in text
+        assert re.search(r"repro_storage_bytes [1-9]", text)
+        assert "repro_query_seconds_count 3" in text

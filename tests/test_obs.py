@@ -30,10 +30,24 @@ class TestEngineStats:
         stats.reset()
         assert stats.get("rows_returned") == 0
 
-    def test_unknown_counter_rejected(self):
+    def test_dynamic_counter_registration(self):
+        # incr() and get() agree on unknown names: first touch registers
+        # the counter instead of raising (matching get()'s silent zero).
         stats = EngineStats()
-        with pytest.raises(KeyError):
-            stats.incr("bogus")
+        assert stats.get("bogus") == 0
+        stats.incr("bogus")
+        stats.incr("bogus", 2)
+        assert stats.get("bogus") == 3
+        snap = stats.snapshot()
+        assert snap["bogus"] == 3
+        # predeclared counters keep declaration order; dynamic ones follow
+        names = list(snap)
+        assert names.index("queries") < names.index("bogus")
+        stats.incr("aaa_dynamic")
+        names = list(stats.snapshot())
+        assert names.index("bogus") > names.index("aaa_dynamic") > names.index(
+            "slow_queries"
+        )
 
 
 class TestDatabaseStats:
