@@ -33,6 +33,11 @@ __all__ = ["Binder", "bind_statement", "Scope"]
 #: join instead of per-row evaluation (toggle used by tests/ablations).
 ENABLE_SCALAR_DECORRELATION = True
 
+_PARAM_CAST_HINT = (
+    "cannot infer the type of a parameter here; add an explicit CAST, "
+    "e.g. CAST(? AS INTEGER)"
+)
+
 
 def bind_statement(statement: ast.Statement, lookup_schema: Callable):
     """Bind one parsed statement; ``lookup_schema(name) -> TableSchema``."""
@@ -464,6 +469,8 @@ class Binder:
                     raise BindError(f"unknown table in {item.expr.table}.*")
                 continue
             bound = self._bind_expr(item.expr, scope)
+            if bound.type is None:
+                raise BindError(_PARAM_CAST_HINT)
             exprs.append(bound)
             names.append(item.alias or _expression_name(item.expr, len(names)))
         output = [
@@ -516,7 +523,10 @@ class Binder:
         for item in stmt.items:
             if isinstance(item.expr, ast.Star):
                 raise BindError("SELECT * is not valid with GROUP BY")
-            exprs.append(self._fold(bind_post(item.expr)))
+            bound = self._fold(bind_post(item.expr))
+            if bound.type is None:
+                raise BindError(_PARAM_CAST_HINT)
+            exprs.append(bound)
             names.append(item.alias or _expression_name(item.expr, len(names)))
 
         agg_output = [
@@ -545,6 +555,8 @@ class Binder:
         if _contains_aggregate(call.args[0]):
             raise BindError("nested aggregates are not allowed")
         arg = self._bind_expr(call.args[0], scope)
+        if arg.type is None:
+            raise BindError(_PARAM_CAST_HINT)
         if func in ("sum", "avg", "median", "stddev", "var") and (
             not arg.type.is_numeric
         ):
@@ -572,6 +584,8 @@ class Binder:
             return self._make_cast(recurse(expression.operand), expression.type_name)
         if isinstance(expression, ast.Literal):
             return _bind_literal(expression)
+        if isinstance(expression, ast.Parameter):
+            return E.Param(expression.index)
         if isinstance(expression, ast.FunctionCall):
             args = [recurse(a) for a in expression.args]
             return self._make_function(expression.name, args)
@@ -688,6 +702,10 @@ class Binder:
     def _bind_expr_inner(self, expression: ast.Expression, scope: Scope) -> E.BoundExpr:
         if isinstance(expression, ast.Literal):
             return _bind_literal(expression)
+        if isinstance(expression, ast.Parameter):
+            # type is adopted later from the coercion context (comparison
+            # operand, CAST target, arithmetic partner)
+            return E.Param(expression.index)
         if isinstance(expression, ast.IntervalLiteral):
             raise BindError("INTERVAL is only valid in date arithmetic")
         if isinstance(expression, ast.ColumnRef):
@@ -704,6 +722,8 @@ class Binder:
                     self._coerce_predicate(self._bind_expr(expression.operand, scope))
                 )
             operand = self._bind_expr(expression.operand, scope)
+            if operand.type is None:
+                raise BindError(_PARAM_CAST_HINT)
             if not operand.type.is_numeric:
                 raise BindError("unary '-' requires a numeric operand")
             zero = E.Const(
@@ -731,9 +751,10 @@ class Binder:
                 self._bind_expr(expression.operand, scope), expression.type_name
             )
         if isinstance(expression, ast.IsNull):
-            return E.IsNullExpr(
-                self._bind_expr(expression.operand, scope), expression.negated
-            )
+            operand = self._bind_expr(expression.operand, scope)
+            if operand.type is None:
+                raise BindError(_PARAM_CAST_HINT)
+            return E.IsNullExpr(operand, expression.negated)
         if isinstance(expression, ast.Like):
             return self._make_like(
                 expression, lambda node: self._bind_expr(node, scope)
@@ -792,6 +813,8 @@ class Binder:
     def _make_date_shift(
         self, operand: E.BoundExpr, interval: ast.IntervalLiteral, op: str
     ) -> E.BoundExpr:
+        if isinstance(operand, E.Param) and operand.type is None:
+            operand = E.Param(operand.index, T.DATE)
         if operand.type.category != T.TypeCategory.DATE:
             raise BindError("INTERVAL arithmetic requires a DATE operand")
         amount = interval.amount if op == "+" else -interval.amount
@@ -805,6 +828,9 @@ class Binder:
         )
 
     def _make_binary(self, op: str, left: E.BoundExpr, right: E.BoundExpr):
+        left, right = self._adopt_param_types(left, right)
+        if left.type is None or right.type is None:
+            raise BindError(_PARAM_CAST_HINT)
         if op in ("=", "<>", "<", "<=", ">", ">="):
             left, right = self._coerce_pair(left, right)
             return E.Compare(op, left, right)
@@ -910,11 +936,14 @@ class Binder:
             if expression.else_result is not None
             else None
         )
-        result_type = whens[0][1].type
-        for _, result in whens[1:]:
-            result_type = T.common_type(result_type, result.type)
-        if else_result is not None:
-            result_type = T.common_type(result_type, else_result.type)
+        result_types = [r.type for _, r in whens if r.type is not None]
+        if else_result is not None and else_result.type is not None:
+            result_types.append(else_result.type)
+        if not result_types:
+            raise BindError(_PARAM_CAST_HINT)
+        result_type = result_types[0]
+        for rtype in result_types[1:]:
+            result_type = T.common_type(result_type, rtype)
         whens = tuple(
             (cond, self._coerce_to(result, result_type)) for cond, result in whens
         )
@@ -923,6 +952,8 @@ class Binder:
         return E.CaseWhen(whens, else_result, result_type)
 
     def _make_function(self, name: str, args: list) -> E.BoundExpr:
+        if any(a.type is None for a in args):
+            raise BindError(_PARAM_CAST_HINT)
         arg_types = [a.type for a in args]
         result = scalar_result_type(name, arg_types)
         if name in ("sqrt", "ln", "exp", "round", "floor", "ceil", "power"):
@@ -939,8 +970,15 @@ class Binder:
     def _make_like(self, expression: ast.Like, recurse) -> E.BoundExpr:
         operand = recurse(expression.operand)
         pattern = recurse(expression.pattern)
-        if not isinstance(pattern, E.Const) or not isinstance(pattern.value, str):
+        if isinstance(pattern, E.Param):
+            # the matcher is compiled per execution from the bound value
+            pattern = E.Param(pattern.index, T.STRING)
+        elif not isinstance(pattern, E.Const) or not isinstance(pattern.value, str):
             raise BindError("LIKE pattern must be a string constant")
+        else:
+            pattern = pattern.value
+        if isinstance(operand, E.Param) and operand.type is None:
+            operand = E.Param(operand.index, T.STRING)
         if operand.type.category != T.TypeCategory.STRING:
             raise BindError("LIKE requires a string operand")
         escape = "\\"
@@ -956,11 +994,18 @@ class Binder:
                 )
             escape = bound_escape.value
         return E.LikeExpr(
-            operand, pattern.value, expression.negated, escape=escape
+            operand, pattern, expression.negated, escape=escape
         )
 
     def _make_in_list(self, expression: ast.InList, recurse) -> E.BoundExpr:
         operand = recurse(expression.operand)
+        if isinstance(operand, E.Param) and operand.type is None:
+            if not expression.items:
+                raise BindError(_PARAM_CAST_HINT)
+            first = recurse(expression.items[0])
+            if first.type is None:
+                raise BindError(_PARAM_CAST_HINT)
+            operand = E.Param(operand.index, first.type)
         values = []
         for item in expression.items:
             bound = recurse(item)
@@ -974,8 +1019,19 @@ class Binder:
 
     # -- coercion -------------------------------------------------------------------------------
 
+    def _adopt_param_types(self, left: E.BoundExpr, right: E.BoundExpr):
+        """Let an untyped Param adopt the other operand's type."""
+        if isinstance(left, E.Param) and left.type is None and right.type is not None:
+            left = E.Param(left.index, right.type)
+        if isinstance(right, E.Param) and right.type is None and left.type is not None:
+            right = E.Param(right.index, left.type)
+        return left, right
+
     def _coerce_pair(self, left: E.BoundExpr, right: E.BoundExpr):
         """Coerce comparison operands to a common storage domain."""
+        left, right = self._adopt_param_types(left, right)
+        if left.type is None or right.type is None:
+            raise BindError(_PARAM_CAST_HINT)
         lt, rt = left.type, right.type
         if lt == rt:
             return left, right
@@ -1008,6 +1064,17 @@ class Binder:
         return self._coerce_to(left, common), self._coerce_to(right, common)
 
     def _coerce_to(self, operand: E.BoundExpr, target: T.SQLType) -> E.BoundExpr:
+        if isinstance(operand, E.Param):
+            if operand.type is None or operand.type == target:
+                # the execution-time value conversion uses the param's
+                # type, so adopting the target IS the cast
+                return E.Param(operand.index, target)
+            if (
+                operand.type.category == target.category
+                and target.is_variable
+            ):
+                return operand
+            return E.CastExpr(operand, target)
         if operand.type == target:
             return operand
         if (
@@ -1036,6 +1103,8 @@ class Binder:
         return E.CastExpr(operand, target)
 
     def _coerce_predicate(self, expression: E.BoundExpr) -> E.BoundExpr:
+        if expression.type is None:
+            raise BindError(_PARAM_CAST_HINT)
         if expression.type.category != T.TypeCategory.BOOLEAN:
             raise BindError(
                 f"expected a boolean predicate, got {expression.type.name}"

@@ -18,6 +18,7 @@ __all__ = [
     "SlotRef",
     "OuterRef",
     "Const",
+    "Param",
     "Arith",
     "Compare",
     "BoolOp",
@@ -85,6 +86,21 @@ class Const(BoundExpr):
 
 
 @dataclass(frozen=True)
+class Param(BoundExpr):
+    """A prepared-statement parameter placeholder (``?`` / ``$n``).
+
+    ``type`` is inferred during binding from the coercion context the
+    parameter appears in (the other comparison operand, the CAST target,
+    the assigned column); ``None`` means not yet resolved.  The value is
+    supplied at execution time through the :class:`ExecutionContext`, so a
+    compiled plan containing Params is reusable across executions.
+    """
+
+    index: int
+    type: object = None  # T.SQLType once resolved
+
+
+@dataclass(frozen=True)
 class Arith(BoundExpr):
     """Arithmetic (``+ - * / %``) or string concatenation (``||``)."""
 
@@ -146,10 +162,14 @@ class FuncCall(BoundExpr):
 
 @dataclass(frozen=True)
 class LikeExpr(BoundExpr):
-    """LIKE with our own matcher (the paper removed the PCRE dependency)."""
+    """LIKE with our own matcher (the paper removed the PCRE dependency).
+
+    ``pattern`` is usually the literal pattern string; a prepared statement
+    may instead carry a string-typed :class:`Param` resolved per execution.
+    """
 
     operand: BoundExpr
-    pattern: str
+    pattern: "str | BoundExpr"
     negated: bool = False
     type: T.SQLType = T.BOOLEAN
     escape: str = "\\"
@@ -238,6 +258,10 @@ def walk(expression: BoundExpr):
             yield from walk(arg)
     elif isinstance(expression, (LikeExpr, InListExpr, CastExpr)):
         yield from walk(expression.operand)
+        if isinstance(expression, LikeExpr) and isinstance(
+            expression.pattern, BoundExpr
+        ):
+            yield from walk(expression.pattern)
 
 
 def references(expression: BoundExpr) -> set[int]:
@@ -246,9 +270,9 @@ def references(expression: BoundExpr) -> set[int]:
 
 
 def is_const(expression: BoundExpr) -> bool:
-    """True when the expression has no slot or outer references."""
+    """True when the expression has no slot, outer, or parameter references."""
     for node in walk(expression):
-        if isinstance(node, (SlotRef, OuterRef)):
+        if isinstance(node, (SlotRef, OuterRef, Param)):
             return False
         if isinstance(node, (ScalarSubqueryExpr, ExistsSubqueryExpr)):
             return False

@@ -34,7 +34,7 @@ def _is_foldable(expression: E.BoundExpr) -> bool:
     if isinstance(expression, (E.ScalarSubqueryExpr, E.ExistsSubqueryExpr)):
         return False
     for node in E.walk(expression):
-        if isinstance(node, (E.SlotRef, E.OuterRef)):
+        if isinstance(node, (E.SlotRef, E.OuterRef, E.Param)):
             return False
         if isinstance(node, (E.ScalarSubqueryExpr, E.ExistsSubqueryExpr)):
             return False

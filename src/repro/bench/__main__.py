@@ -27,6 +27,12 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="run TPC-H and print the engine metrics summary "
                              "(counters, latency histogram, sys.* views)")
+    parser.add_argument("--repeat", type=int, default=None, metavar="N",
+                        help="run each TPC-H query N times and report cold "
+                             "vs warm (plan-cache) timings")
+    parser.add_argument("--result-cache", action="store_true",
+                        help="with --repeat: also enable the result-set "
+                             "cache tier")
     parser.add_argument("--queries", type=int, nargs="*", default=None,
                         help="TPC-H query numbers for --trace/--metrics "
                              "(default: all)")
@@ -44,7 +50,7 @@ def main(argv=None) -> int:
     parser.add_argument("--systems", nargs="*", default=None)
     args = parser.parse_args(argv)
 
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.repeat is not None:
         if args.queries:
             bad = sorted(set(args.queries) - set(QUERIES))
             if bad:
@@ -60,10 +66,18 @@ def main(argv=None) -> int:
             from repro.bench.metrics_report import metrics_report
 
             print(metrics_report(scale_factor=sf, queries=args.queries))
+        if args.repeat is not None:
+            from repro.bench.cache_bench import repeat_report
+
+            print(repeat_report(
+                scale_factor=sf, queries=args.queries, repeat=args.repeat,
+                result_cache=args.result_cache,
+            ))
         return 0
     if args.experiment is None:
         parser.error(
-            "an experiment is required unless --trace or --metrics is given"
+            "an experiment is required unless --trace, --metrics, or "
+            "--repeat is given"
         )
 
     quick = args.quick

@@ -1,0 +1,119 @@
+"""``python -m repro.bench --repeat N``: cold vs warm query timings.
+
+Loads TPC-H into a fresh in-memory embedded database and runs every query
+``N`` times.  The first execution is *cold* (parse + bind + optimize +
+compile + execute); repeat executions hit the plan cache — and, when
+``--result-cache`` is given, the result-set cache — so the report shows
+directly what the cache tiers buy: the planning pipeline disappears from
+the warm timings.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.workloads.tpch import QUERIES, generate, load, query, schema_statements
+
+__all__ = ["run_repeat", "repeat_report"]
+
+
+def run_repeat(
+    scale_factor: float = 0.01,
+    queries: list | None = None,
+    repeat: int = 3,
+    result_cache: bool = False,
+    seed: int = 42,
+) -> dict:
+    """Timings for ``repeat`` runs per query; returns ``{name: info}``.
+
+    ``info`` has ``cold_ms`` (first run), ``warm_ms`` (best repeat run),
+    ``cold_plan_ms``/``warm_plan_ms`` (parse+bind+optimize+compile share),
+    ``rows``, and ``cache`` (the cache tier the last warm run hit).
+    """
+    from repro.core.database import Database
+
+    if repeat < 2:
+        raise ValueError("--repeat needs at least 2 runs (one cold, one warm)")
+    names = list(queries) if queries else list(QUERIES)
+    database = Database(None, result_cache=result_cache)
+    try:
+        conn = database.connect()
+        for ddl in schema_statements():
+            conn.execute(ddl)
+        load(conn, generate(scale_factor, seed=seed))
+        out = {}
+        for name in names:
+            sql = query(name)
+            timings = []
+            entries = []
+            for _ in range(repeat):
+                started = time.perf_counter()
+                result = conn.execute(sql)
+                timings.append((time.perf_counter() - started) * 1e3)
+                entries.append(database.query_log.entries()[-1])
+            plan_ms = [
+                sum(
+                    entry.phases_us.get(phase, 0.0)
+                    for phase in ("parse", "bind", "optimize", "compile")
+                )
+                / 1e3
+                for entry in entries
+            ]
+            warm_index = min(
+                range(1, repeat), key=lambda i: timings[i]
+            )
+            out[name] = {
+                "cold_ms": timings[0],
+                "warm_ms": timings[warm_index],
+                "cold_plan_ms": plan_ms[0],
+                "warm_plan_ms": plan_ms[warm_index],
+                "rows": result.nrows,
+                "cache": entries[-1].cache,
+            }
+        out["_stats"] = {
+            key: value
+            for key, value in database.stats().items()
+            if "cache" in key
+        }
+        return out
+    finally:
+        database.shutdown()
+
+
+def repeat_report(
+    scale_factor: float = 0.01,
+    queries: list | None = None,
+    repeat: int = 3,
+    result_cache: bool = False,
+    seed: int = 42,
+) -> str:
+    """Human-readable cold/warm comparison table."""
+    results = run_repeat(
+        scale_factor, queries=queries, repeat=repeat,
+        result_cache=result_cache, seed=seed,
+    )
+    stats = results.pop("_stats", {})
+    tier = "plan+result cache" if result_cache else "plan cache"
+    lines = [
+        f"TPC-H cold vs warm, SF={scale_factor}, {repeat} runs per query "
+        f"({tier})",
+        "",
+        f"{'query':>6} {'cold ms':>9} {'warm ms':>9} {'speedup':>8} "
+        f"{'cold plan ms':>13} {'warm plan ms':>13} {'warm cache':>11}",
+    ]
+    for name, info in results.items():
+        speedup = (
+            info["cold_ms"] / info["warm_ms"] if info["warm_ms"] > 0 else 0.0
+        )
+        lines.append(
+            f"{f'Q{name}':>6} {info['cold_ms']:>9.2f} {info['warm_ms']:>9.2f} "
+            f"{speedup:>7.1f}x {info['cold_plan_ms']:>13.2f} "
+            f"{info['warm_plan_ms']:>13.2f} {info['cache'] or 'cold':>11}"
+        )
+    if stats:
+        lines.append("")
+        lines.append(
+            "cache counters: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+        )
+    return "\n".join(lines)

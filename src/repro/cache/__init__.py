@@ -1,0 +1,42 @@
+"""Multi-level query caching (paper section 4: amortizing per-query cost).
+
+Three cooperating levels, all keyed off the parsed statement AST (frozen
+dataclasses hash structurally, so whitespace/comment/case differences in
+the SQL text vanish at parse time):
+
+* :class:`~repro.cache.plan_cache.PlanCache` — bound + optimized +
+  compiled MAL programs, reusable across transactions because compiled
+  plans resolve tables *by name* at execution time.  Entries are
+  validated against the (table identity, committed version) set captured
+  at plan time and evicted LRU under an entry/byte budget.
+* prepared statements (:mod:`repro.cache.prepared`) — ``PREPARE`` /
+  ``EXECUTE`` / ``DEALLOCATE`` at the SQL level and
+  ``Connection.prepare()`` at the Python level; parameter placeholders
+  survive into the compiled plan, so a warm ``EXECUTE`` skips parsing,
+  binding, optimization, and compilation entirely.
+* :class:`~repro.cache.result_cache.ResultCache` — an opt-in cache of
+  materialized result sets for read-only statements, keyed by (statement,
+  parameter values, referenced-table versions) so any committed write to
+  a referenced table makes the stale entry unreachable.
+"""
+
+from repro.cache.keys import (
+    normalize_sql,
+    param_count,
+    referenced_tables,
+    substitute_params,
+)
+from repro.cache.plan_cache import PlanCache, PlanCacheEntry
+from repro.cache.prepared import PreparedStatement
+from repro.cache.result_cache import ResultCache
+
+__all__ = [
+    "PlanCache",
+    "PlanCacheEntry",
+    "PreparedStatement",
+    "ResultCache",
+    "normalize_sql",
+    "param_count",
+    "referenced_tables",
+    "substitute_params",
+]

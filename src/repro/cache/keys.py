@@ -1,0 +1,127 @@
+"""Cache-key utilities: SQL normalization and statement introspection.
+
+The cache key proper is the parsed statement AST — every node is a frozen
+dataclass, so structural equality and hashing come for free and all
+lexical noise (whitespace, comments, keyword case) is already gone.  The
+helpers here extract the *dependency* side of the key (which tables a
+statement touches) and handle prepared-statement parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+
+from repro.sql import ast
+from repro.sql.lexer import Lexer, TokenType
+
+__all__ = [
+    "normalize_sql",
+    "param_count",
+    "referenced_tables",
+    "substitute_params",
+    "walk_ast",
+]
+
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace/comment/case-insensitive canonical form of a statement.
+
+    Used for display keys (``sys.prepared``); the caches themselves key on
+    the parsed AST, which normalizes strictly more than this does.
+    """
+    parts: list[str] = []
+    for token in Lexer(sql).tokens():
+        if token.type == TokenType.EOF:
+            break
+        if token.type == TokenType.PARAM:
+            parts.append("?" if token.value == -1 else f"${token.value + 1}")
+        elif token.type == TokenType.STRING:
+            escaped = str(token.value).replace("'", "''")
+            parts.append(f"'{escaped}'")
+        else:
+            parts.append(str(token.value))
+    return " ".join(parts)
+
+
+def walk_ast(node):
+    """Yield ``node`` and every dataclass node nested inside it, pre-order.
+
+    Generic over the AST: walks all dataclass fields, descending into
+    tuples (the AST's only container type).
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if dataclasses.is_dataclass(current):
+            yield current
+            for field in dataclasses.fields(current):
+                stack.append(getattr(current, field.name))
+        elif isinstance(current, tuple):
+            stack.extend(current)
+
+
+def referenced_tables(statement: ast.Statement) -> frozenset:
+    """Lower-cased names of every table a statement reads or writes."""
+    names: set[str] = set()
+    for node in walk_ast(statement):
+        if isinstance(node, ast.BaseTable):
+            names.add(node.name.lower())
+        elif isinstance(
+            node, (ast.InsertStmt, ast.DeleteStmt, ast.UpdateStmt)
+        ):
+            names.add(node.table.lower())
+        elif isinstance(node, (ast.CreateIndex,)):
+            names.add(node.table.lower())
+    return frozenset(names)
+
+
+def param_count(statement: ast.Statement) -> int:
+    """Number of parameter slots a statement expects (max index + 1)."""
+    highest = -1
+    for node in walk_ast(statement):
+        if isinstance(node, ast.Parameter):
+            highest = max(highest, node.index)
+    return highest + 1
+
+
+def substitute_params(statement: ast.Statement, values) -> ast.Statement:
+    """Rewrite every :class:`ast.Parameter` into a literal of its value.
+
+    Used for parametrized DML, which re-binds per execution (only SELECT
+    plans carry live Param nodes into the compiled program).
+    """
+
+    def rebuild(node):
+        if isinstance(node, ast.Parameter):
+            if node.index >= len(values):
+                from repro.errors import InterfaceError
+
+                raise InterfaceError(
+                    f"missing value for parameter ${node.index + 1} "
+                    f"({len(values)} supplied)"
+                )
+            value = values[node.index]
+            if isinstance(value, datetime.datetime):
+                return ast.Literal(value.isoformat(sep=" "), "timestamp")
+            if isinstance(value, datetime.date):
+                return ast.Literal(value.isoformat(), "date")
+            if isinstance(value, datetime.time):
+                return ast.Literal(value.isoformat(), "time")
+            return ast.Literal(value)
+        if dataclasses.is_dataclass(node) and not isinstance(node, type):
+            changes = {}
+            for field in dataclasses.fields(node):
+                old = getattr(node, field.name)
+                new = rebuild(old)
+                if new is not old:
+                    changes[field.name] = new
+            return dataclasses.replace(node, **changes) if changes else node
+        if isinstance(node, tuple):
+            rebuilt = tuple(rebuild(item) for item in node)
+            if any(a is not b for a, b in zip(rebuilt, node)):
+                return rebuilt
+            return node
+        return node
+
+    return rebuild(statement)

@@ -1,0 +1,161 @@
+"""LRU cache of compiled MAL programs with version-based invalidation.
+
+A compiled plan resolves tables by *name* when it runs, so the program
+itself is transaction-agnostic; what can go stale is the planning input —
+table identity (drop/recreate) and statistics/physical layout (the
+committed version the optimizer saw).  Each entry therefore records, for
+every referenced table, the :class:`~repro.storage.table.Table` object
+and the committed version pinned at plan time, and is served only to
+transactions whose snapshot still matches both.
+
+Invalidation is belt and braces: *lazy* (the dependency check at lookup
+time is authoritative) plus *eager* via table-modification listeners so
+memory is reclaimed and the ``plan_cache_invalidations`` counter reflects
+writer activity promptly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["PlanCache", "PlanCacheEntry", "plan_cost_estimate"]
+
+
+def plan_cost_estimate(program) -> int:
+    """Rough resident-size charge for one compiled program (bytes)."""
+    return 512 + 128 * len(program.instructions)
+
+
+class PlanCacheEntry:
+    """One cached plan: the compiled program plus its planning context."""
+
+    __slots__ = ("program", "deps", "cost")
+
+    def __init__(self, program, deps, cost: int | None = None):
+        self.program = program
+        #: tuple of (normalized name, Table object, committed version id);
+        #: the strong Table reference also guards against ``id()`` reuse
+        #: after a drop/recreate of the same name.
+        self.deps = tuple(deps)
+        self.cost = plan_cost_estimate(program) if cost is None else cost
+
+    def is_valid(self, txn) -> bool:
+        """True when every dependency still resolves to the same table at
+        the same committed version under ``txn``'s snapshot."""
+        for name, table, version in self.deps:
+            try:
+                resolved = txn.resolve_table(name)
+            except Exception:
+                return False
+            if resolved is not table:
+                return False
+            if txn.snapshot_version(table).version != version:
+                return False
+        return True
+
+
+class PlanCache:
+    """Thread-safe LRU plan cache bounded by entries and estimated bytes."""
+
+    def __init__(self, max_entries: int = 128, max_bytes: int = 8 << 20,
+                 metrics=None, prefix: str = "plan_cache"):
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._metrics = metrics
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self.bytes = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0 and self.max_bytes > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _incr(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.incr(f"{self._prefix}_{name}", amount)
+
+    def _publish_gauges(self) -> None:
+        if self._metrics is not None:
+            self._metrics.set_gauge(f"{self._prefix}_entries", len(self._entries))
+            self._metrics.set_gauge(f"{self._prefix}_bytes", self.bytes)
+
+    def lookup(self, key, txn):
+        """Return the valid entry for ``key`` under ``txn``, else None.
+
+        A stale entry (dependency check fails) is removed and counted as
+        an invalidation in addition to the miss.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            self._incr("misses")
+            return None
+        # the validity check touches txn state (snapshot pinning), so it
+        # runs outside the cache lock
+        if not entry.is_valid(txn):
+            with self._lock:
+                if self._entries.get(key) is entry:
+                    del self._entries[key]
+                    self.bytes -= entry.cost
+            self._incr("invalidations")
+            self._incr("misses")
+            self._publish_gauges()
+            return None
+        self._incr("hits")
+        return entry
+
+    def store(self, key, entry: PlanCacheEntry) -> None:
+        if not self.enabled or entry.cost > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.bytes -= old.cost
+            self._entries[key] = entry
+            self.bytes += entry.cost
+            evicted = 0
+            while self._entries and (
+                len(self._entries) > self.max_entries
+                or self.bytes > self.max_bytes
+            ):
+                _, victim = self._entries.popitem(last=False)
+                self.bytes -= victim.cost
+                evicted += 1
+        if evicted:
+            self._incr("evictions", evicted)
+        self._publish_gauges()
+
+    def invalidate_table(self, name: str) -> None:
+        """Eagerly drop every entry depending on table ``name``."""
+        key_name = name.lower()
+        if key_name.startswith("sys."):
+            key_name = key_name[4:]
+        dropped = 0
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if any(dep_name == key_name for dep_name, _, _ in entry.deps)
+            ]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                self.bytes -= entry.cost
+                dropped += 1
+        if dropped:
+            self._incr("invalidations", dropped)
+            self._publish_gauges()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.bytes = 0
+        self._publish_gauges()

@@ -1,0 +1,61 @@
+"""Prepared-statement handles (``Connection.prepare`` / SQL ``PREPARE``).
+
+A prepared statement is deliberately *lazy*: ``PREPARE`` only parses and
+counts parameter slots.  Binding, optimization, and compilation happen on
+first ``EXECUTE`` and land in the database's plan cache, so every
+execution — first or later, from this session or another — goes through
+the same cached-plan path.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["PreparedStatement"]
+
+
+class PreparedStatement:
+    """One named prepared statement owned by a connection."""
+
+    __slots__ = (
+        "connection",
+        "name",
+        "statement",
+        "sql",
+        "nparams",
+        "created",
+        "executions",
+    )
+
+    def __init__(self, connection, name: str, statement, sql: str,
+                 nparams: int):
+        self.connection = connection
+        self.name = name
+        #: the parsed AST — also the plan-cache key on EXECUTE
+        self.statement = statement
+        self.sql = sql
+        self.nparams = nparams
+        self.created = time.time()
+        self.executions = 0
+
+    def execute(self, params=()):
+        """Run with the given parameter values; returns a Result or None."""
+        return self.connection.execute_prepared(self.name, params)
+
+    def deallocate(self) -> None:
+        """Drop this prepared statement from the owning connection."""
+        self.connection.deallocate(self.name)
+
+    close = deallocate
+
+    def __enter__(self) -> "PreparedStatement":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.deallocate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PreparedStatement({self.name!r}, {self.sql!r}, "
+            f"nparams={self.nparams})"
+        )

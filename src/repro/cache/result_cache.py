@@ -1,0 +1,139 @@
+"""Opt-in cache of materialized result sets for read-only statements.
+
+Unlike the plan cache, staleness here is folded into the *key*: the
+referenced-table version set captured under the executing transaction's
+snapshot is part of the lookup key, so a committed write to any
+referenced table simply makes every older entry unreachable (it then
+ages out via LRU, or is dropped eagerly by the table-modification
+listener).  Entries are priced with the shared
+:mod:`repro.storage.memcost` model and bounded by a byte budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.storage.memcost import object_array_nbytes
+
+__all__ = ["ResultCache", "result_cost_estimate"]
+
+
+def result_cost_estimate(result) -> int:
+    """Estimated resident bytes of a materialized result.
+
+    Charges the packed arrays plus each distinct string heap once (result
+    columns can share a heap with the base table; the estimate is then an
+    upper bound on what the cache actually keeps alive).
+    """
+    total = 256
+    seen_heaps: set = set()
+    for column in result.columns:
+        data = column.data
+        total += data.nbytes
+        if data.dtype == object:
+            total += object_array_nbytes(data)
+        heap = column.heap
+        if heap is not None and id(heap) not in seen_heaps:
+            seen_heaps.add(id(heap))
+            total += heap.nbytes
+    return total
+
+
+class ResultCache:
+    """Thread-safe LRU result-set cache bounded by estimated bytes."""
+
+    def __init__(self, max_bytes: int = 32 << 20, metrics=None,
+                 prefix: str = "result_cache"):
+        self.max_bytes = max_bytes
+        self._metrics = metrics
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self.bytes = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _incr(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.incr(f"{self._prefix}_{name}", amount)
+
+    def _publish_gauges(self) -> None:
+        if self._metrics is not None:
+            self._metrics.set_gauge(
+                f"{self._prefix}_entries", len(self._entries)
+            )
+            self._metrics.set_gauge(f"{self._prefix}_bytes", self.bytes)
+
+    def lookup(self, key):
+        """The cached (result, tables) for ``key``, or None.
+
+        ``key`` already encodes the referenced-table versions, so a hit is
+        fresh by construction.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            self._incr("misses")
+            return None
+        self._incr("hits")
+        return entry[0]
+
+    def store(self, key, result, tables) -> None:
+        """Insert one result; ``tables`` are the dependency Table objects
+        (strong references keep dropped-table ids from being reused while
+        the entry lives)."""
+        if not self.enabled:
+            return
+        cost = result_cost_estimate(result)
+        if cost > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.bytes -= old[2]
+            self._entries[key] = (result, tuple(tables), cost)
+            self.bytes += cost
+            evicted = 0
+            while self.bytes > self.max_bytes and self._entries:
+                _, victim = self._entries.popitem(last=False)
+                self.bytes -= victim[2]
+                evicted += 1
+        if evicted:
+            self._incr("evictions", evicted)
+        self._publish_gauges()
+
+    def invalidate_table(self, name: str) -> None:
+        """Eagerly drop entries whose dependency set includes ``name``."""
+        key_name = name.lower()
+        if key_name.startswith("sys."):
+            key_name = key_name[4:]
+        dropped = 0
+        with self._lock:
+            doomed = [
+                key
+                for key, (_, tables, _) in self._entries.items()
+                if any(
+                    t.schema.name.lower() == key_name for t in tables
+                )
+            ]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                self.bytes -= entry[2]
+                dropped += 1
+        if dropped:
+            self._incr("invalidations", dropped)
+            self._publish_gauges()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.bytes = 0
+        self._publish_gauges()

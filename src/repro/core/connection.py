@@ -12,14 +12,24 @@ statement gets its own transaction.  ``monetdb_append`` maps to
 
 from __future__ import annotations
 
+import itertools
 import time
 
 import numpy as np
 
+from repro.algebra import expr as E
 from repro.algebra import nodes as N
-from repro.algebra.binder import bind_statement
+from repro.algebra.binder import Binder, Scope, bind_statement
 from repro.algebra.optimizer import optimize
 from repro.algebra.render import render_plan
+from repro.cache import (
+    PreparedStatement,
+    normalize_sql,
+    param_count,
+    referenced_tables,
+    substitute_params,
+)
+from repro.cache.plan_cache import PlanCacheEntry
 from repro.errors import CatalogError, InterfaceError, TransactionError
 from repro.core.result import Result
 from repro.mal.codegen import compile_select
@@ -27,6 +37,7 @@ from repro.mal.interpreter import ExecutionContext, Interpreter, MaterializedRes
 from repro.mal.vector_eval import eval_pred, eval_value
 from repro.mal.vectors import vec_from_column, vec_to_column
 from repro.obs import QueryTrace
+from repro.sql import ast
 from repro.sql.parser import parse
 from repro.storage import types as T
 from repro.storage.column import Column
@@ -42,6 +53,9 @@ class Connection:
         self._database = database
         self._txn: Transaction | None = None
         self._open = True
+        #: named prepared statements of this session (sys.prepared)
+        self._prepared: dict[str, PreparedStatement] = {}
+        self._prepared_seq = itertools.count(1)
         # -- session identity and counters (surfaced by sys.sessions) --
         self.client = "embedded"
         self.session_started = time.time()
@@ -57,6 +71,7 @@ class Connection:
         if self._txn is not None and self._txn.active:
             self._database.txn_manager.rollback(self._txn)
         self._txn = None
+        self._prepared.clear()
         if self._open:
             self._database.unregister_session(self.session_id)
         self._open = False
@@ -111,15 +126,24 @@ class Connection:
 
     # -- query execution ------------------------------------------------------------------
 
-    def execute(self, sql: str) -> Result | None:
-        """Run SQL (``monetdb_query``); returns the last statement's result."""
+    def execute(self, sql: str, params=None) -> Result | None:
+        """Run SQL (``monetdb_query``); returns the last statement's result.
+
+        ``params`` supplies values for ``?``/``$n`` placeholders; it is
+        only valid with a single statement.
+        """
         self._check_open()
         result: Result | None = None
         parse_start = time.perf_counter_ns()
         statements = parse(sql)
         parse_ns = time.perf_counter_ns() - parse_start
+        if params is not None and len(statements) != 1:
+            raise InterfaceError(
+                "parameter values require exactly one statement"
+            )
         for statement in statements:
-            result = self._execute_statement(statement, sql, parse_ns)
+            result = self._execute_statement(statement, sql, parse_ns,
+                                             params=params)
             parse_ns = 0  # the batch's parse cost is charged to its first statement
         return result
 
@@ -131,10 +155,8 @@ class Connection:
         return result
 
     def _execute_statement(
-        self, statement, sql: str = "", parse_ns: int = 0
+        self, statement, sql: str = "", parse_ns: int = 0, params=None
     ) -> Result | None:
-        from repro.sql import ast
-
         self._stats_incr("statements")
         if isinstance(statement, ast.TransactionStmt):
             action = statement.action
@@ -147,7 +169,44 @@ class Connection:
             return None
         if isinstance(statement, ast.ExplainStmt):
             return self._execute_explain(statement)
+        if isinstance(statement, ast.PrepareStmt):
+            self._do_prepare(statement)
+            return None
+        if isinstance(statement, ast.DeallocateStmt):
+            self.deallocate(statement.name)
+            return None
+        if isinstance(statement, ast.ExecuteStmt):
+            try:
+                values = tuple(
+                    self._eval_execute_arg(a) for a in statement.args
+                )
+                return self._run_prepared_named(
+                    statement.name.lower(), values, sql, parse_ns
+                )
+            except Exception:
+                # execution-path errors have already rolled back (and
+                # cleared an explicit txn); pre-execution errors (unknown
+                # name, arity, non-constant args) abort an explicit txn
+                # here, per the usual error-aborts-transaction rule
+                if self.in_transaction:
+                    self._database.txn_manager.rollback(self._txn)
+                    self._txn = None
+                raise
 
+        if isinstance(statement, (ast.SelectStmt, ast.SetOpStmt)):
+            return self._execute_select_statement(
+                statement, sql, parse_ns, params=params
+            )
+        if params is not None and param_count(statement):
+            # parametrized DML re-binds per execution with the values
+            # substituted as literals (only SELECT plans carry live
+            # Param nodes into the compiled program)
+            statement = substitute_params(statement, tuple(params))
+        return self._execute_generic(statement, sql, parse_ns)
+
+    def _execute_generic(
+        self, statement, sql: str = "", parse_ns: int = 0
+    ) -> Result | None:
         phases = {"parse": parse_ns} if parse_ns else {}
         started_wall = time.time()
         # back-date so total_us covers the parse phase charged to us
@@ -177,8 +236,254 @@ class Connection:
                                 started, phases)
             raise
 
+    # -- cached SELECT path ---------------------------------------------------------
+
+    def _select_cache_deps(self, statement, txn):
+        """(deps, cacheable) for a SELECT under ``txn``.
+
+        ``deps`` is a sorted tuple of (normalized name, Table, pinned
+        committed version).  Statements touching virtual sys.* views or
+        tables created inside the current transaction are not cacheable.
+        """
+        cacheable = True
+        deps = []
+        for name in sorted(referenced_tables(statement)):
+            table = txn.resolve_table(name)
+            if getattr(table, "is_virtual", False):
+                cacheable = False
+                continue
+            key = txn._norm(name)
+            if key in txn._created:
+                cacheable = False
+                continue
+            deps.append((key, table, txn.snapshot_version(table).version))
+        return tuple(deps), cacheable
+
+    def _execute_select_statement(
+        self, statement, sql: str = "", parse_ns: int = 0, params=None
+    ) -> Result:
+        """Run one SELECT through the plan/result caches.
+
+        A warm plan hit skips bind/optimize/compile (those phase timings
+        stay absent, rendering as 0 in ``sys.queries``); a result hit also
+        skips execution and serves the stored materialized result.
+        """
+        database = self._database
+        phases = {"parse": parse_ns} if parse_ns else {}
+        started_wall = time.time()
+        started = time.perf_counter_ns() - parse_ns
+        txn, autocommit = self._statement_txn()
+        cache_status = ""
+        try:
+            deps, cacheable = self._select_cache_deps(statement, txn)
+            values = tuple(params) if params is not None else None
+
+            result_key = None
+            if (
+                cacheable
+                and database.config.result_cache
+                and database.result_cache.enabled
+                and all(
+                    key not in txn._deltas or txn._deltas[key].empty
+                    for key, _, _ in deps
+                )
+            ):
+                # versions are part of the key: a committed write to any
+                # referenced table makes older entries unreachable
+                candidate = (
+                    statement,
+                    values,
+                    tuple((key, id(t), v) for key, t, v in deps),
+                )
+                try:
+                    hash(candidate)
+                    result_key = candidate
+                except TypeError:
+                    result_key = None
+
+            materialized = None
+            if result_key is not None:
+                materialized = database.result_cache.lookup(result_key)
+                if materialized is not None:
+                    cache_status = "result"
+
+            if materialized is None:
+                entry = (
+                    database.plan_cache.lookup(statement, txn)
+                    if cacheable
+                    else None
+                )
+                if entry is not None:
+                    program = entry.program
+                    cache_status = "plan"
+                else:
+                    bind_start = time.perf_counter_ns()
+                    bound = bind_statement(
+                        statement, lambda name: txn.resolve_table(name).schema
+                    )
+                    optimize_start = time.perf_counter_ns()
+                    optimized = optimize(bound, self._nrows_estimator(txn))
+                    compile_start = time.perf_counter_ns()
+                    program = compile_select(optimized)
+                    done = time.perf_counter_ns()
+                    phases["bind"] = optimize_start - bind_start
+                    phases["optimize"] = compile_start - optimize_start
+                    phases["compile"] = done - compile_start
+                    if cacheable:
+                        database.plan_cache.store(
+                            statement, PlanCacheEntry(program, deps)
+                        )
+                ctx = ExecutionContext(
+                    database, txn, database.config, phases=phases,
+                    params=values,
+                )
+                materialized = Interpreter(ctx).run(program)
+                if result_key is not None:
+                    database.result_cache.store(
+                        result_key, materialized, [t for _, t, _ in deps]
+                    )
+
+            self._stats_incr("queries")
+            self._stats_incr("rows_returned", materialized.nrows)
+            result = Result(materialized, self._stats())
+            if autocommit:
+                database.txn_manager.commit(txn)
+            self._log_statement(sql, "ok", None, result, started_wall,
+                                started, phases, cache=cache_status)
+            return result
+        except Exception as exc:
+            database.txn_manager.rollback(txn)
+            if not autocommit:
+                self._txn = None
+            self._stats_incr("query_errors")
+            self._log_statement(sql, "error", str(exc), None, started_wall,
+                                started, phases, cache=cache_status)
+            raise
+
+    # -- prepared statements --------------------------------------------------------
+
+    def prepare(self, sql: str, name: str | None = None) -> PreparedStatement:
+        """Prepare one statement with ``?``/``$n`` placeholders.
+
+        Returns a :class:`~repro.cache.PreparedStatement` handle; pass
+        ``name`` to make it addressable from SQL ``EXECUTE`` too.
+        """
+        self._check_open()
+        statements = parse(sql)
+        if len(statements) != 1:
+            raise InterfaceError("prepare() takes exactly one statement")
+        statement = statements[0]
+        if isinstance(statement, ast.PrepareStmt):
+            if name is not None:
+                statement = ast.PrepareStmt(
+                    name, statement.statement, statement.sql
+                )
+            return self._do_prepare(statement)
+        if isinstance(
+            statement,
+            (ast.ExecuteStmt, ast.DeallocateStmt, ast.TransactionStmt,
+             ast.ExplainStmt),
+        ):
+            raise InterfaceError("cannot prepare this statement kind")
+        if name is None:
+            name = f"ps{next(self._prepared_seq)}"
+        return self._do_prepare(
+            ast.PrepareStmt(name, statement, normalize_sql(sql))
+        )
+
+    def _do_prepare(self, statement: ast.PrepareStmt) -> PreparedStatement:
+        """Register a parsed PREPARE; binding is deferred to first EXECUTE."""
+        key = statement.name.lower()
+        if key in self._prepared:
+            raise InterfaceError(
+                f"prepared statement {key!r} already exists"
+            )
+        prepared = PreparedStatement(
+            self,
+            key,
+            statement.statement,
+            statement.sql or normalize_sql(statement.sql),
+            param_count(statement.statement),
+        )
+        self._prepared[key] = prepared
+        self._stats_incr("prepared_statements")
+        return prepared
+
+    def execute_prepared(self, name: str, params=()) -> Result | None:
+        """Run a prepared statement by name with parameter values."""
+        self._check_open()
+        self._stats_incr("statements")
+        try:
+            return self._run_prepared_named(
+                str(name).lower(), tuple(params), f"EXECUTE {name}", 0
+            )
+        except Exception:
+            if self.in_transaction:
+                self._database.txn_manager.rollback(self._txn)
+                self._txn = None
+            raise
+
+    def deallocate(self, name: str) -> None:
+        """Drop a prepared statement (SQL ``DEALLOCATE``)."""
+        key = str(name).lower()
+        if self._prepared.pop(key, None) is None:
+            raise InterfaceError(
+                f"prepared statement {key!r} does not exist"
+            )
+
+    def prepared_statements(self) -> list:
+        """This session's prepared statements (surfaced by sys.prepared)."""
+        return [self._prepared[key] for key in sorted(self._prepared)]
+
+    def _run_prepared_named(
+        self, name: str, values: tuple, sql: str, parse_ns: int
+    ) -> Result | None:
+        prepared = self._prepared.get(name)
+        if prepared is None:
+            raise InterfaceError(
+                f"prepared statement {name!r} does not exist"
+            )
+        if len(values) != prepared.nparams:
+            raise InterfaceError(
+                f"prepared statement {name!r} takes {prepared.nparams} "
+                f"parameter(s), {len(values)} given"
+            )
+        prepared.executions += 1
+        self._stats_incr("prepared_executions")
+        inner = prepared.statement
+        if isinstance(inner, (ast.SelectStmt, ast.SetOpStmt)):
+            return self._execute_select_statement(
+                inner, sql, parse_ns, params=values
+            )
+        if prepared.nparams:
+            inner = substitute_params(inner, values)
+        return self._execute_generic(inner, sql, parse_ns)
+
+    def _eval_execute_arg(self, expression):
+        """Evaluate one EXECUTE argument to a Python value."""
+
+        def no_tables(name):
+            raise InterfaceError("EXECUTE arguments must be constants")
+
+        try:
+            bound = Binder(no_tables)._bind_expr(expression, Scope())
+        except InterfaceError:
+            raise
+        except Exception as exc:
+            raise InterfaceError(
+                f"EXECUTE arguments must be constants: {exc}"
+            ) from exc
+        if not isinstance(bound, E.Const):
+            raise InterfaceError("EXECUTE arguments must be constants")
+        if bound.value is None:
+            return None
+        if bound.type.category == T.TypeCategory.STRING:
+            return bound.value
+        return bound.type.from_storage(bound.value)
+
     def _log_statement(
-        self, sql, status, error, result, started_wall, started_ns, phases
+        self, sql, status, error, result, started_wall, started_ns, phases,
+        cache: str = "",
     ) -> None:
         """Record one statement in the query log, histogram, and session."""
         total_ns = time.perf_counter_ns() - started_ns
@@ -199,6 +504,7 @@ class Connection:
             started=started_wall,
             total_us=total_ns / 1000.0,
             phases_us={name: ns / 1000.0 for name, ns in phases.items()},
+            cache=cache,
         )
         if entry.is_slow:
             self._stats_incr("slow_queries")
@@ -318,10 +624,15 @@ class Connection:
             if not isinstance(bound, N.BoundSelect):
                 raise InterfaceError("EXPLAIN only supports SELECT")
             optimized = optimize(bound, self._nrows_estimator(txn))
-            return compile_select(optimized).render()
-        finally:
+            rendered = compile_select(optimized).render()
             if autocommit:
                 self._database.txn_manager.rollback(txn)
+            return rendered
+        except Exception:
+            self._database.txn_manager.rollback(txn)
+            if not autocommit:
+                self._txn = None
+            raise
 
     def trace_query(self, sql: str):
         """Execute one SELECT with tracing on; returns ``(Result, QueryTrace)``.
@@ -489,8 +800,12 @@ class Connection:
             self._stats_incr("rows_appended", nrows or 0)
             return nrows or 0
         except Exception:
-            if autocommit:
-                self._database.txn_manager.rollback(txn)
+            # same rule as execute(): a failed statement aborts its
+            # transaction — implicit or explicit — so no transaction
+            # lingers pinning an old snapshot
+            self._database.txn_manager.rollback(txn)
+            if not autocommit:
+                self._txn = None
             raise
 
 

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cache import PlanCache, ResultCache
 from repro.errors import DatabaseLockedError, StartupError
 from repro.index import IndexManager
 from repro.mal.interpreter import ExecutionConfig
@@ -93,6 +94,15 @@ class Database:
         self.config = ExecutionConfig(**config_kwargs)
         self.metrics = MetricsRegistry()
         self._stats = self.metrics.counters  # legacy stats() face
+        self.plan_cache = PlanCache(
+            self.config.plan_cache_entries,
+            self.config.plan_cache_bytes,
+            metrics=self.metrics,
+        )
+        self.result_cache = ResultCache(
+            self.config.result_cache_bytes if self.config.result_cache else 0,
+            metrics=self.metrics,
+        )
         self.query_log = QueryLog(
             size=self.config.query_log_size,
             slow_query_us=self.config.slow_query_us,
@@ -190,9 +200,19 @@ class Database:
         """Catalog registration plus index lifecycle attachment."""
         self.catalog.register(table)
         self.index_manager.attach_table(table)
+        add_listener = getattr(table, "add_modification_listener", None)
+        if add_listener is not None:
+            add_listener(self._on_table_modified)
+
+    def _on_table_modified(self, change_kind: str, table: Table) -> None:
+        """Eagerly drop cached plans/results touching a modified table."""
+        self.plan_cache.invalidate_table(table.schema.name)
+        self.result_cache.invalidate_table(table.schema.name)
 
     def on_table_dropped(self, name: str) -> None:
         self.index_manager.detach_table(name)
+        self.plan_cache.invalidate_table(name)
+        self.result_cache.invalidate_table(name)
 
     def after_commit(self, commit_id: int) -> None:
         """Post-commit maintenance: checkpoint when the WAL grows large."""
@@ -221,6 +241,10 @@ class Database:
                 "open_sessions": len(self._sessions),
                 "tables": len(self.catalog.list_tables()),
                 "storage_bytes": sum(row[7] for row in storage_rows(self)),
+                "plan_cache_entries": len(self.plan_cache),
+                "plan_cache_bytes": self.plan_cache.bytes,
+                "result_cache_entries": len(self.result_cache),
+                "result_cache_bytes": self.result_cache.bytes,
             },
         )
 
@@ -282,6 +306,8 @@ class Database:
         self.index_manager.clear()
         self.catalog.clear()
         self.query_log.clear()
+        self.plan_cache.clear()
+        self.result_cache.clear()
         with self._session_lock:
             self._sessions.clear()
         self._open = False

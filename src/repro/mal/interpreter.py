@@ -38,7 +38,41 @@ from repro.obs.trace import cardinality, instruction_inputs
 from repro.storage import types as T
 from repro.storage.column import Column
 
-__all__ = ["ExecutionConfig", "ExecutionContext", "Interpreter", "MaterializedResult"]
+__all__ = [
+    "ExecutionConfig",
+    "ExecutionContext",
+    "Interpreter",
+    "MaterializedResult",
+    "param_to_storage",
+]
+
+
+def param_to_storage(value, sqltype):
+    """Convert one prepared-statement argument to the storage domain.
+
+    ``sqltype.to_storage`` already accepts the lenient python spellings
+    (ISO strings for DATE, str digits for INTEGER); exact ``Decimal``
+    values are rescaled without a float round-trip so they keep digits
+    beyond 2**53.
+    """
+    if value is None:
+        return None
+    if sqltype is None:
+        raise DatabaseError("parameter has no inferred type")
+    if sqltype.category == T.TypeCategory.STRING:
+        # strings stay python str; heap insertion happens at eval time
+        return value if isinstance(value, str) else str(value)
+    import decimal
+
+    if (
+        sqltype.category == T.TypeCategory.DECIMAL
+        and isinstance(value, decimal.Decimal)
+    ):
+        scaled = (value * 10**sqltype.scale).to_integral_value(
+            rounding=decimal.ROUND_HALF_EVEN
+        )
+        return np.int64(int(scaled))
+    return sqltype.to_storage(value)
 
 
 @dataclass
@@ -57,6 +91,12 @@ class ExecutionConfig:
     #: statements at/above this total wall time (microseconds) are copied
     #: into the slow-query log; None disables slow-query capture
     slow_query_us: float | None = None
+    #: plan cache capacity (entries / estimated bytes); 0 entries disables
+    plan_cache_entries: int = 128
+    plan_cache_bytes: int = 8 << 20
+    #: opt-in result-set cache for read-only statements
+    result_cache: bool = False
+    result_cache_bytes: int = 32 << 20
 
 
 @dataclass
@@ -75,7 +115,7 @@ class ExecutionContext:
     """Shared state of one query execution (txn, config, subquery stack)."""
 
     def __init__(self, database, txn, config: ExecutionConfig, trace=None,
-                 phases=None):
+                 phases=None, params=None):
         self.database = database
         self.txn = txn
         self.config = config
@@ -84,6 +124,9 @@ class ExecutionContext:
         #: optional dict of plan-phase timings (ns) for the query log; the
         #: top-level Interpreter.run adds its "execute" share on exit
         self.phases = phases
+        #: prepared-statement argument values (python domain), or None
+        self.params = params
+        self._param_storage: dict = {}
         self.deadline = (
             time.monotonic() + config.timeout if config.timeout else None
         )
@@ -93,6 +136,26 @@ class ExecutionContext:
     def check_deadline(self) -> None:
         if self.deadline is not None and time.monotonic() > self.deadline:
             raise QueryTimeoutError("query exceeded its execution timeout")
+
+    # -- prepared-statement parameters --------------------------------------------
+
+    def param_value(self, param):
+        """Storage-domain value of one Param node (converted once, cached)."""
+        if self.params is None:
+            raise DatabaseError(
+                "statement has parameters but no values were supplied"
+            )
+        if param.index >= len(self.params):
+            raise DatabaseError(
+                f"missing value for parameter ${param.index + 1} "
+                f"({len(self.params)} supplied)"
+            )
+        key = (param.index, id(param.type))
+        if key not in self._param_storage:
+            self._param_storage[key] = param_to_storage(
+                self.params[param.index], param.type
+            )
+        return self._param_storage[key]
 
     # -- correlation -------------------------------------------------------------
 

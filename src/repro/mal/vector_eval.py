@@ -33,6 +33,8 @@ def evaluate(expression: E.BoundExpr, inputs: list, ctx):
         return V(vtype, value)
     if isinstance(expression, E.Const):
         return V(expression.type, expression.value)
+    if isinstance(expression, E.Param):
+        return V(expression.type, ctx.param_value(expression))
     if isinstance(expression, E.Arith):
         return _eval_arith(expression, inputs, ctx)
     if isinstance(expression, E.Compare):
@@ -61,7 +63,12 @@ def evaluate(expression: E.BoundExpr, inputs: list, ctx):
         return _eval_function(expression, inputs, ctx)
     if isinstance(expression, E.LikeExpr):
         operand = eval_value(expression.operand, inputs, ctx)
-        matcher = compile_like(expression.pattern, escape=expression.escape)
+        pattern = expression.pattern
+        if isinstance(pattern, E.Param):
+            pattern = ctx.param_value(pattern)
+        if not isinstance(pattern, str):
+            raise DatabaseError("LIKE pattern must be a string")
+        matcher = compile_like(pattern, escape=expression.escape)
         truth = _map_string_bool(operand, matcher)
         nulls = operand.null_mask(len(truth))
         result = BoolVec(truth, None if nulls is None else ~nulls)

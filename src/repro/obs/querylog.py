@@ -39,6 +39,8 @@ class QueryLogEntry:
     started: float  # unix epoch seconds
     total_us: float
     phases_us: dict = field(default_factory=dict)
+    #: "" (cold), "plan" (compiled plan reused) or "result" (result served)
+    cache: str = ""
 
 
 class QueryLog:
@@ -64,6 +66,7 @@ class QueryLog:
         started: float,
         total_us: float,
         phases_us: dict | None = None,
+        cache: str = "",
     ) -> QueryLogEntry:
         entry = QueryLogEntry(
             qid=next(self._qid),
@@ -75,6 +78,7 @@ class QueryLog:
             started=started,
             total_us=float(total_us),
             phases_us=dict(phases_us or {}),
+            cache=cache,
         )
         slow = (
             self.slow_query_us is not None

@@ -12,6 +12,7 @@ the equivalent set for the embedded engine:
 ``sys.tables``        every relation in the catalog, real and virtual
 ``sys.sessions``      open connections with per-session counters
 ``sys.metrics``       the flattened metrics registry (counters/gauges/histos)
+``sys.prepared``      live prepared statements across all open sessions
 ================  ============================================================
 
 :func:`register_sys_tables` is called once from ``Database.__init__``; the
@@ -47,6 +48,16 @@ _QUERY_COLUMNS = (
     ("optimize_us", T.DOUBLE),
     ("compile_us", T.DOUBLE),
     ("execute_us", T.DOUBLE),
+    ("cache", T.STRING),
+)
+
+_PREPARED_COLUMNS = (
+    ("session", T.BIGINT),
+    ("name", T.STRING),
+    ("sql", T.STRING),
+    ("nparams", T.INTEGER),
+    ("executions", T.BIGINT),
+    ("created", T.DOUBLE),
 )
 
 _STORAGE_COLUMNS = (
@@ -93,8 +104,27 @@ def _query_rows(entries) -> list:
             e.qid, e.session, e.sql, e.status, e.error, e.rows, e.started,
             e.total_us, us.get("parse", 0.0), us.get("bind", 0.0),
             us.get("optimize", 0.0), us.get("compile", 0.0),
-            us.get("execute", 0.0),
+            us.get("execute", 0.0), getattr(e, "cache", ""),
         ))
+    return rows
+
+
+def _prepared_rows(database) -> list:
+    """One row per live prepared statement, across all open sessions."""
+    rows = []
+    for connection in database.sessions():
+        lister = getattr(connection, "prepared_statements", None)
+        if lister is None:
+            continue
+        for prepared in lister():
+            rows.append((
+                connection.session_id,
+                prepared.name,
+                prepared.sql,
+                prepared.nparams,
+                prepared.executions,
+                prepared.created,
+            ))
     return rows
 
 
@@ -180,6 +210,7 @@ def register_sys_tables(database) -> None:
         ("tables", _TABLE_COLUMNS, lambda: _table_rows(database)),
         ("sessions", _SESSION_COLUMNS, lambda: _session_rows(database)),
         ("metrics", _METRIC_COLUMNS, lambda: _metric_rows(database)),
+        ("prepared", _PREPARED_COLUMNS, lambda: _prepared_rows(database)),
     )
     for name, columns, generator in tables:
         database.catalog.register_virtual(

@@ -19,6 +19,7 @@ from repro.server.protocol import (
     PROTOCOLS,
     ProtocolConfig,
     decode_rows,
+    format_field,
     read_message,
     sql_literal,
     write_message,
@@ -119,6 +120,9 @@ class RemoteConnection:
         """Send one query; parse the streamed row messages."""
         write_message(self._wfile, b"Q", sql.encode("utf-8"))
         self._wfile.flush()
+        return self._read_query_response()
+
+    def _read_query_response(self) -> RemoteResult | None:
         names: list = []
         type_names: list = []
         raw_rows: list = []
@@ -157,6 +161,33 @@ class RemoteConnection:
             raise DatabaseError("statement produced no result")
         return result
 
+    # -- prepared statements ------------------------------------------------------------
+
+    def prepare(self, name: str, sql: str) -> int:
+        """``P``: register ``sql`` server-side; returns its parameter count."""
+        payload = f"{name}\x00{sql}".encode("utf-8")
+        write_message(self._wfile, b"P", payload)
+        self._wfile.flush()
+        self._read_query_response()
+        status = self.last_status or {}
+        return int(status.get("nparams", 0))
+
+    def execute_prepared(self, name: str, params=()) -> RemoteResult | None:
+        """``E``: run a server-side prepared statement with text params."""
+        payload = str(name).encode("utf-8")
+        if params:
+            fields = "\t".join(format_field(v) for v in params)
+            payload += b"\x00" + fields.encode("utf-8")
+        write_message(self._wfile, b"E", payload)
+        self._wfile.flush()
+        return self._read_query_response()
+
+    def deallocate(self, name: str) -> None:
+        """``D``: drop a server-side prepared statement."""
+        write_message(self._wfile, b"D", str(name).encode("utf-8"))
+        self._wfile.flush()
+        self._read_query_response()
+
     def metrics(self) -> str:
         """``M``: fetch the server's Prometheus-format metrics exposition."""
         write_message(self._wfile, b"M", b"")
@@ -186,9 +217,10 @@ class RemoteConnection:
         for part in payload.decode("utf-8").split():
             if part.isdigit():
                 status["rows"] = int(part)
-            elif part.startswith("time_us="):
+            elif "=" in part:
+                key, _, raw = part.partition("=")
                 try:
-                    status["time_us"] = int(part[len("time_us="):])
+                    status[key] = int(raw)
                 except ValueError:
                     pass
         return status

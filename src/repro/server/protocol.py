@@ -13,6 +13,13 @@ type  direction             payload
                             INSERTs by default; ``A`` exists only for
                             the "what if servers had a bulk path"
                             ablation)
+``P``  client -> server     prepare: ``name NUL sql`` — parses the SQL
+                            and registers it under ``name``
+``E``  client -> server     execute prepared: ``name NUL fields`` where
+                            ``fields`` are tab-separated parameter
+                            values in row text form (``\\N`` = NULL);
+                            response is the normal query sequence
+``D``  client -> server     deallocate: prepared statement name
 ``D``  server -> client     row description: ``name:type`` per column
 ``R``  server -> client     one *batch* of rows, text-serialized
 ``C``  server -> client     command complete (+row count)

@@ -15,6 +15,7 @@ from repro.server.protocol import (
     PROTOCOLS,
     ProtocolConfig,
     encode_rows,
+    parse_field,
     read_message,
     write_message,
 )
@@ -158,6 +159,15 @@ class Server:
                 if mtype == b"M":
                     self._handle_metrics(wfile)
                     continue
+                if mtype == b"P":
+                    self._handle_prepare(conn, payload, wfile)
+                    continue
+                if mtype == b"E":
+                    self._handle_execute_prepared(conn, payload, wfile, config)
+                    continue
+                if mtype == b"D":
+                    self._handle_deallocate(conn, payload, wfile)
+                    continue
                 if mtype != b"Q":
                     self._send(
                         wfile, b"E", f"unexpected message {mtype!r}".encode()
@@ -183,15 +193,71 @@ class Server:
         self._send(wfile, b"Z", b"")
         wfile.flush()
 
+    def _send_error(self, wfile, exc) -> None:
+        self._send(wfile, b"E", str(exc).encode("utf-8"))
+        self._send(wfile, b"Z", b"")
+        wfile.flush()
+
+    def _handle_prepare(self, conn, payload: bytes, wfile) -> None:
+        """``P``: register a named prepared statement for this session."""
+        try:
+            name, _, sql = payload.decode("utf-8").partition("\x00")
+            prepare = getattr(conn, "prepare", None)
+            if prepare is None:
+                raise DatabaseError("engine does not support prepared statements")
+            prepared = prepare(sql, name=name)
+        except Exception as exc:
+            self._send_error(wfile, exc)
+            return
+        self._send(wfile, b"C", f"0 nparams={prepared.nparams}".encode("utf-8"))
+        self._send(wfile, b"Z", b"")
+        wfile.flush()
+
+    def _handle_execute_prepared(
+        self, conn, payload: bytes, wfile, config: ProtocolConfig
+    ) -> None:
+        """``E``: run a prepared statement with row-text parameter values."""
+        started = time.perf_counter()
+        try:
+            name, sep, fields = payload.decode("utf-8").partition("\x00")
+            params = (
+                tuple(parse_field(f) for f in fields.split("\t"))
+                if sep and fields
+                else ()
+            )
+            runner = getattr(conn, "execute_prepared", None)
+            if runner is None:
+                raise DatabaseError("engine does not support prepared statements")
+            result = runner(name, params)
+        except Exception as exc:
+            self._send_error(wfile, exc)
+            return
+        self._send_result(result, wfile, config, started)
+
+    def _handle_deallocate(self, conn, payload: bytes, wfile) -> None:
+        """``D``: drop a named prepared statement."""
+        try:
+            deallocate = getattr(conn, "deallocate", None)
+            if deallocate is None:
+                raise DatabaseError("engine does not support prepared statements")
+            deallocate(payload.decode("utf-8"))
+        except Exception as exc:
+            self._send_error(wfile, exc)
+            return
+        self._send(wfile, b"C", b"0")
+        self._send(wfile, b"Z", b"")
+        wfile.flush()
+
     def _handle_query(self, conn, sql: str, wfile, config: ProtocolConfig) -> None:
         started = time.perf_counter()
         try:
             result = conn.execute(sql)
         except Exception as exc:  # errors travel the wire, never kill the server
-            self._send(wfile, b"E", str(exc).encode("utf-8"))
-            self._send(wfile, b"Z", b"")
-            wfile.flush()
+            self._send_error(wfile, exc)
             return
+        self._send_result(result, wfile, config, started)
+
+    def _send_result(self, result, wfile, config: ProtocolConfig, started) -> None:
         if result is None:
             nrows = 0
         else:

@@ -42,6 +42,10 @@ __all__ = [
     "UpdateStmt",
     "TransactionStmt",
     "ExplainStmt",
+    "Parameter",
+    "PrepareStmt",
+    "ExecuteStmt",
+    "DeallocateStmt",
     "Statement",
 ]
 
@@ -73,6 +77,18 @@ class ColumnRef(Expression):
 
     def __str__(self) -> str:
         return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A prepared-statement placeholder: ``?`` (positional) or ``$n``.
+
+    ``index`` is zero-based; positional ``?`` markers are numbered left to
+    right by the parser, ``$n`` spellings map to index ``n - 1`` and may
+    repeat.
+    """
+
+    index: int
 
 
 @dataclass(frozen=True)
@@ -352,6 +368,30 @@ class TransactionStmt(Statement):
     """BEGIN / COMMIT / ROLLBACK."""
 
     action: str
+
+
+@dataclass(frozen=True)
+class PrepareStmt(Statement):
+    """``PREPARE name AS <statement>`` — register a named prepared statement."""
+
+    name: str
+    statement: Statement
+    sql: str = ""  # original statement text, for sys.prepared
+
+
+@dataclass(frozen=True)
+class ExecuteStmt(Statement):
+    """``EXECUTE name [(arg, ...)]`` — run a prepared statement."""
+
+    name: str
+    args: tuple = ()  # of Expression (must fold to constants)
+
+
+@dataclass(frozen=True)
+class DeallocateStmt(Statement):
+    """``DEALLOCATE [PREPARE] name`` — drop a prepared statement."""
+
+    name: str
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCT = "punct"
+    PARAM = "param"  # ? (value -1) or $n (value n-1, zero-based)
     EOF = "eof"
 
 
@@ -33,6 +34,7 @@ KEYWORDS = frozenset(
     begin start transaction commit rollback work
     asc desc nulls first last
     escape explain analyze
+    prepare execute deallocate
     true false
     primary key unique
     union except intersect
@@ -110,6 +112,11 @@ class Lexer:
             return self._lex_string(start)
         if ch == '"':
             return self._lex_quoted_ident(start)
+        if ch == "?":
+            self.pos += 1
+            return Token(TokenType.PARAM, -1, start)
+        if ch == "$":
+            return self._lex_dollar_param(start)
         two = self.text[start : start + 2]
         if two in _TWO_CHAR_OPS:
             self.pos += 2
@@ -133,6 +140,20 @@ class Lexer:
         if lowered in KEYWORDS:
             return Token(TokenType.KEYWORD, lowered, start)
         return Token(TokenType.IDENT, lowered, start)
+
+    def _lex_dollar_param(self, start: int) -> Token:
+        """``$n`` numbered placeholder (1-based in SQL, 0-based in tokens)."""
+        pos = start + 1
+        text = self.text
+        while pos < self.length and text[pos].isdigit():
+            pos += 1
+        if pos == start + 1:
+            raise ParseError("expected a digit after '$'", start)
+        self.pos = pos
+        number = int(text[start + 1 : pos])
+        if number < 1:
+            raise ParseError("parameter numbers start at $1", start)
+        return Token(TokenType.PARAM, number - 1, start)
 
     def _lex_quoted_ident(self, start: int) -> Token:
         end = self.text.find('"', start + 1)

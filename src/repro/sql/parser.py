@@ -38,8 +38,10 @@ class Parser:
     """One-token-lookahead recursive-descent parser."""
 
     def __init__(self, text: str):
+        self._text = text
         self._tokens = Lexer(text).tokens()
         self._pos = 0
+        self._param_seq = 0  # next index handed to a positional '?'
 
     # -- token plumbing ---------------------------------------------------------
 
@@ -147,6 +149,14 @@ class Parser:
             self._advance()
             analyze = self._accept_keyword("analyze")
             return ast.ExplainStmt(self._statement(), analyze=analyze)
+        if word == "prepare":
+            return self._prepare_statement()
+        if word == "execute":
+            return self._execute_statement()
+        if word == "deallocate":
+            self._advance()
+            self._accept_keyword("prepare")
+            return ast.DeallocateStmt(self._expect_ident())
         if word in ("begin", "start"):
             self._advance()
             self._accept_keyword("transaction", "work")
@@ -160,6 +170,35 @@ class Parser:
             self._accept_keyword("transaction", "work")
             return ast.TransactionStmt("rollback")
         raise ParseError(f"unsupported statement {word!r}", token.position)
+
+    # -- prepared statements ----------------------------------------------------------
+
+    def _prepare_statement(self) -> ast.PrepareStmt:
+        """``PREPARE name AS <statement>`` (statement text is captured)."""
+        self._expect_keyword("prepare")
+        name = self._expect_ident()
+        self._expect_keyword("as")
+        start = self._current.position
+        inner = self._statement()
+        if isinstance(inner, (ast.PrepareStmt, ast.ExecuteStmt,
+                              ast.DeallocateStmt, ast.TransactionStmt)):
+            raise ParseError("cannot PREPARE this statement kind", start)
+        end = self._current.position
+        sql = self._text[start:end].strip().rstrip(";").strip()
+        return ast.PrepareStmt(name, inner, sql)
+
+    def _execute_statement(self) -> ast.ExecuteStmt:
+        """``EXECUTE name [(arg, ...)]`` with constant arguments."""
+        self._expect_keyword("execute")
+        name = self._expect_ident()
+        args: list[ast.Expression] = []
+        if self._accept_punct("("):
+            if not self._accept_punct(")"):
+                args.append(self._expression())
+                while self._accept_punct(","):
+                    args.append(self._expression())
+                self._expect_punct(")")
+        return ast.ExecuteStmt(name, tuple(args))
 
     # -- SELECT / set operations -----------------------------------------------------
 
@@ -436,6 +475,14 @@ class Parser:
         if token.type == TokenType.STRING:
             self._advance()
             return ast.Literal(token.value)
+        if token.type == TokenType.PARAM:
+            self._advance()
+            if token.value == -1:  # positional '?': number left to right
+                index = self._param_seq
+                self._param_seq += 1
+            else:
+                index = int(token.value)
+            return ast.Parameter(index)
 
         if token.type == TokenType.KEYWORD:
             return self._keyword_primary(token)

@@ -110,6 +110,28 @@ class TestWALRecovery:
         records = WriteAheadLog.replay(wal_path)
         assert [r["n"] for r in records] == [1]
 
+    def test_torn_tail_at_every_byte_offset(self, tmp_path):
+        """Property: a crash may cut the final record at ANY byte; every
+        earlier record must still replay (torn-tail atomicity)."""
+        wal_path = tmp_path / "wal.log"
+        wal = WriteAheadLog(wal_path)
+        wal.append({"n": 1, "payload": "x" * 37})
+        wal.append({"n": 2, "payload": "y" * 11})
+        prefix_len = wal.size  # records 1+2 fully durable
+        wal.append({"n": 3, "payload": "z" * 53})
+        wal.close()
+        raw = wal_path.read_bytes()
+        assert prefix_len < len(raw)
+        for cut in range(prefix_len, len(raw)):
+            wal_path.write_bytes(raw[:cut])
+            records = WriteAheadLog.replay(wal_path)
+            assert [r["n"] for r in records] == [1, 2], (
+                f"truncation at byte {cut} lost a durable record"
+            )
+        # untouched file still yields all three
+        wal_path.write_bytes(raw)
+        assert [r["n"] for r in WriteAheadLog.replay(wal_path)] == [1, 2, 3]
+
     def test_truncate(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "w.log")
         wal.append({"x": 1})
