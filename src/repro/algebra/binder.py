@@ -23,6 +23,7 @@ from repro.algebra.functions import (
     aggregate_result_type,
     scalar_result_type,
 )
+from repro.copy.options import CopyOptions
 from repro.sql import ast
 from repro.storage import types as T
 from repro.storage.catalog import ColumnDef, TableSchema
@@ -119,7 +120,40 @@ class Binder:
             return self._bind_update(statement)
         if isinstance(statement, ast.TransactionStmt):
             return N.BoundTransaction(statement.action)
+        if isinstance(statement, ast.CopyFromStmt):
+            return self._bind_copy_from(statement)
+        if isinstance(statement, ast.CopyToStmt):
+            return self._bind_copy_to(statement)
+        if isinstance(statement, ast.CreateTableFrom):
+            return N.BoundCopyFrom(
+                None,
+                None,
+                statement.path,
+                CopyOptions.from_stmt(statement),
+                create_name=statement.name.lower(),
+                if_not_exists=statement.if_not_exists,
+            )
         raise BindError(f"cannot bind statement {type(statement).__name__}")
+
+    def _bind_copy_from(self, stmt: ast.CopyFromStmt) -> N.BoundCopyFrom:
+        schema: TableSchema = self._lookup_schema(stmt.table)
+        if stmt.columns:
+            indexes = [schema.column_index(c) for c in stmt.columns]
+        else:
+            indexes = list(range(len(schema.columns)))
+        return N.BoundCopyFrom(
+            schema.name, indexes, stmt.path, CopyOptions.from_stmt(stmt)
+        )
+
+    def _bind_copy_to(self, stmt: ast.CopyToStmt) -> N.BoundCopyTo:
+        options = CopyOptions.from_stmt(stmt)
+        if stmt.select is not None:
+            bound = self.bind_select(stmt.select, outer=None)
+            return N.BoundCopyTo(stmt.path, select=bound, options=options)
+        schema: TableSchema = self._lookup_schema(stmt.table)
+        return N.BoundCopyTo(
+            stmt.path, table_name=schema.name, options=options
+        )
 
     # -- SELECT ---------------------------------------------------------------------
 

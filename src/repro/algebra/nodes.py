@@ -37,6 +37,8 @@ __all__ = [
     "BoundCreateIndex",
     "BoundDropIndex",
     "BoundTransaction",
+    "BoundCopyFrom",
+    "BoundCopyTo",
 ]
 
 
@@ -316,3 +318,30 @@ class BoundDropIndex:
 @dataclass
 class BoundTransaction:
     action: str  # begin | commit | rollback
+
+
+@dataclass
+class BoundCopyFrom:
+    """A COPY INTO bulk load, or CREATE TABLE ... FROM (create + load).
+
+    ``table_name``/``column_indexes`` are ``None`` when the table does not
+    exist yet (``create_name`` set): the executor infers a schema from the
+    file, creates the table, then loads every column.
+    """
+
+    table_name: Optional[str]
+    column_indexes: Optional[list]  # target positions in schema order
+    path: Optional[str]  # None = data arrives out of band (STDIN / wire)
+    options: object  # CopyOptions
+    create_name: Optional[str] = None
+    if_not_exists: bool = False
+
+
+@dataclass
+class BoundCopyTo:
+    """A COPY TO export of a table or query result."""
+
+    path: Optional[str]  # None = return CSV text on the result (STDOUT)
+    table_name: Optional[str] = None
+    select: Optional[BoundSelect] = None
+    options: object = None  # CopyOptions

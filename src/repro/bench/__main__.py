@@ -30,6 +30,11 @@ def main(argv=None) -> int:
     parser.add_argument("--repeat", type=int, default=None, metavar="N",
                         help="run each TPC-H query N times and report cold "
                              "vs warm (plan-cache) timings")
+    parser.add_argument("--ingest", action="store_true",
+                        help="run the bulk COPY ingest/export comparison "
+                             "(repro COPY vs INSERT loop vs sqlite3/pandas)")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="with --ingest: also dump raw numbers as JSON")
     parser.add_argument("--result-cache", action="store_true",
                         help="with --repeat: also enable the result-set "
                              "cache tier")
@@ -49,6 +54,13 @@ def main(argv=None) -> int:
                         help="run socket servers as threads, not processes")
     parser.add_argument("--systems", nargs="*", default=None)
     args = parser.parse_args(argv)
+
+    if args.ingest:
+        from repro.bench.ingest import ingest_report
+
+        sf = args.sf if args.sf is not None else (0.01 if args.quick else 0.1)
+        print(ingest_report(scale_factor=sf, json_path=args.json))
+        return 0
 
     if args.trace or args.metrics or args.repeat is not None:
         if args.queries:

@@ -1,0 +1,266 @@
+"""Bulk ingest/export benchmark: ``python -m repro.bench --ingest``.
+
+Measures loading the TPC-H ``lineitem`` table from CSV (and exporting it
+back) across the available paths:
+
+* ``repro COPY`` — the parallel chunked loader, cold (fresh database) and
+  warm (table already loaded once; measures steady-state reload)
+* ``repro COPY serial`` — same loader, ``max_workers=1`` (the parallelism
+  ablation)
+* ``repro INSERT loop`` — one ``INSERT INTO ... VALUES`` per record on a
+  capped prefix, extrapolated (the paper's argument for why a bulk path
+  must exist)
+* ``repro append`` — the zero-parse columnar ``monetdb_append`` path
+  (upper bound: no CSV parsing at all)
+* ``sqlite3`` — ``executemany`` over the parsed rows plus ``csv`` module
+  export (the embedded row-store baseline)
+* ``pandas`` — ``read_csv``/``to_csv`` if pandas is importable (skipped
+  otherwise; the container image does not ship it)
+"""
+
+from __future__ import annotations
+
+import csv as _csv
+import io
+import json
+import os
+import sqlite3
+import tempfile
+import time
+
+from repro.core.database import Database
+from repro.workloads.tpch import TABLES, generate, schema_statements
+from repro.workloads.tpch.gen import column_type_names
+
+__all__ = ["run_ingest", "render_ingest", "ingest_report"]
+
+_LINEITEM_DDL = dict(zip(TABLES, schema_statements()))["lineitem"]
+#: INSERT-loop rows actually executed; the rate is extrapolated to the file.
+INSERT_CAP = 2000
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def _make_csv(scale_factor: float, seed: int, directory: str) -> tuple:
+    """Generate lineitem and write it to CSV via COPY TO; returns (path, nrows)."""
+    data = generate(scale_factor, seed=seed)["lineitem"]
+    path = os.path.join(directory, f"lineitem_sf{scale_factor}.csv")
+    database = Database(None)
+    try:
+        conn = database.connect()
+        conn.execute(_LINEITEM_DDL)
+        nrows = conn.append("lineitem", data)
+        conn.execute(f"COPY lineitem TO '{path}'")
+    finally:
+        database.shutdown()
+    return path, nrows
+
+
+def _copy_run(path: str, parallel: bool, repeat_in_place: bool = False):
+    """One COPY INTO run; returns (cold_s, warm_s, nrows)."""
+    database = Database(None, max_workers=(os.cpu_count() or 4) if parallel else 1)
+    try:
+        conn = database.connect()
+        conn.execute(_LINEITEM_DDL)
+        cold, result = _timed(
+            lambda: conn.execute(f"COPY INTO lineitem FROM '{path}'")
+        )
+        nrows = result.fetchall()[0][0]
+        conn.execute("DROP TABLE lineitem")
+        conn.execute(_LINEITEM_DDL)
+        warm, _ = _timed(
+            lambda: conn.execute(f"COPY INTO lineitem FROM '{path}'")
+        )
+        return cold, warm, nrows
+    finally:
+        database.shutdown()
+
+
+def _insert_loop_rate(path: str) -> float:
+    """Rows/second of per-record INSERT statements (capped, extrapolated)."""
+    with open(path, newline="") as f:
+        rows = []
+        for row in _csv.reader(f):
+            rows.append(row)
+            if len(rows) >= INSERT_CAP:
+                break
+    types = column_type_names("lineitem")
+    database = Database(None)
+    try:
+        conn = database.connect()
+        conn.execute(_LINEITEM_DDL)
+
+        def quote(value: str, type_name: str) -> str:
+            base = type_name.split("(")[0].upper()
+            if base in ("DATE", "TIME", "TIMESTAMP"):
+                return f"{base} '{value}'"
+            if base in ("VARCHAR", "CHAR", "TEXT", "STRING"):
+                return "'" + value.replace("'", "''") + "'"
+            return value
+
+        statements = [
+            "INSERT INTO lineitem VALUES ("
+            + ", ".join(quote(v, t) for v, t in zip(row, types))
+            + ")"
+            for row in rows
+        ]
+        elapsed, _ = _timed(lambda: [conn.execute(s) for s in statements])
+        return len(rows) / elapsed if elapsed else float("inf")
+    finally:
+        database.shutdown()
+
+
+def _append_run(scale_factor: float, seed: int):
+    """The zero-parse columnar append path (no CSV involved)."""
+    data = generate(scale_factor, seed=seed)["lineitem"]
+    database = Database(None)
+    try:
+        conn = database.connect()
+        conn.execute(_LINEITEM_DDL)
+        elapsed, nrows = _timed(lambda: conn.append("lineitem", data))
+        return elapsed, nrows
+    finally:
+        database.shutdown()
+
+
+def _export_run(path: str, out_path: str):
+    """COPY TO export timing from a loaded repro database."""
+    database = Database(None)
+    try:
+        conn = database.connect()
+        conn.execute(_LINEITEM_DDL)
+        conn.execute(f"COPY INTO lineitem FROM '{path}'")
+        elapsed, _ = _timed(
+            lambda: conn.execute(f"COPY lineitem TO '{out_path}'")
+        )
+        return elapsed
+    finally:
+        database.shutdown()
+
+
+def _sqlite_run(path: str, out_path: str):
+    """sqlite3 ingest (executemany) + csv-module export."""
+    with open(path, newline="") as f:
+        rows = list(_csv.reader(f))
+    ncols = len(rows[0])
+    con = sqlite3.connect(":memory:")
+    try:
+        cols = ", ".join(f"c{i}" for i in range(ncols))
+        con.execute(f"CREATE TABLE lineitem ({cols})")
+        marks = ", ".join("?" * ncols)
+        load, _ = _timed(
+            lambda: con.executemany(
+                f"INSERT INTO lineitem VALUES ({marks})", rows
+            )
+        )
+        con.commit()
+
+        def export():
+            with open(out_path, "w", newline="") as out:
+                writer = _csv.writer(out)
+                writer.writerows(con.execute("SELECT * FROM lineitem"))
+
+        dump, _ = _timed(export)
+        return load, dump
+    finally:
+        con.close()
+
+
+def _pandas_run(path: str, out_path: str):
+    """pandas read_csv/to_csv, or None when pandas is not installed."""
+    try:
+        import pandas as pd  # noqa: F401
+    except ImportError:
+        return None
+    load, frame = _timed(lambda: pd.read_csv(path, header=None))
+    dump, _ = _timed(lambda: frame.to_csv(out_path, index=False, header=False))
+    return load, dump
+
+
+def run_ingest(scale_factor: float = 0.1, seed: int = 42) -> dict:
+    """Run the full ingest/export comparison; returns a results dict."""
+    results: dict = {"scale_factor": scale_factor}
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-") as tmp:
+        path, nrows = _make_csv(scale_factor, seed, tmp)
+        results["rows"] = nrows
+        results["csv_bytes"] = os.path.getsize(path)
+
+        cold, warm, loaded = _copy_run(path, parallel=True)
+        assert loaded == nrows, (loaded, nrows)
+        results["copy_parallel_cold_s"] = cold
+        results["copy_parallel_warm_s"] = warm
+
+        scold, swarm, _ = _copy_run(path, parallel=False)
+        results["copy_serial_cold_s"] = scold
+        results["copy_serial_warm_s"] = swarm
+
+        results["insert_rows_per_s"] = _insert_loop_rate(path)
+        results["insert_extrapolated_s"] = nrows / results["insert_rows_per_s"]
+
+        append_s, _ = _append_run(scale_factor, seed)
+        results["append_s"] = append_s
+
+        results["export_s"] = _export_run(path, os.path.join(tmp, "out.csv"))
+
+        sq_load, sq_dump = _sqlite_run(path, os.path.join(tmp, "sq.csv"))
+        results["sqlite_load_s"] = sq_load
+        results["sqlite_export_s"] = sq_dump
+
+        pandas_times = _pandas_run(path, os.path.join(tmp, "pd.csv"))
+        if pandas_times is not None:
+            results["pandas_load_s"], results["pandas_export_s"] = pandas_times
+    return results
+
+
+def render_ingest(results: dict) -> str:
+    """Human-readable comparison table for one run_ingest() result."""
+    nrows = results["rows"]
+    mib = results["csv_bytes"] / (1 << 20)
+    out = io.StringIO()
+    out.write(
+        f"lineitem ingest/export, SF={results['scale_factor']} "
+        f"({nrows:,} rows, {mib:.1f} MiB CSV)\n\n"
+    )
+    out.write(f"{'path':<28}{'time':>10}{'rows/s':>14}\n")
+    out.write("-" * 52 + "\n")
+
+    def line(label, seconds, extrapolated=False):
+        rate = nrows / seconds if seconds else float("inf")
+        mark = "~" if extrapolated else ""
+        out.write(f"{label:<28}{mark}{seconds:>9.3f}s{rate:>14,.0f}\n")
+
+    line("repro COPY (parallel)", results["copy_parallel_cold_s"])
+    line("repro COPY (parallel, warm)", results["copy_parallel_warm_s"])
+    line("repro COPY (serial)", results["copy_serial_cold_s"])
+    line("repro INSERT loop", results["insert_extrapolated_s"],
+         extrapolated=True)
+    line("repro append (no CSV)", results["append_s"])
+    line("sqlite3 executemany", results["sqlite_load_s"])
+    if "pandas_load_s" in results:
+        line("pandas read_csv", results["pandas_load_s"])
+    out.write("\nexport:\n")
+    line("repro COPY TO", results["export_s"])
+    line("sqlite3 csv writer", results["sqlite_export_s"])
+    if "pandas_export_s" in results:
+        line("pandas to_csv", results["pandas_export_s"])
+    speedup = results["insert_extrapolated_s"] / results["copy_parallel_cold_s"]
+    par = results["copy_serial_cold_s"] / results["copy_parallel_cold_s"]
+    out.write(
+        f"\nCOPY vs INSERT loop: {speedup:,.0f}x faster; "
+        f"parallel vs serial COPY: {par:.2f}x\n"
+    )
+    return out.getvalue()
+
+
+def ingest_report(scale_factor: float = 0.1, seed: int = 42,
+                  json_path: str | None = None) -> str:
+    """Run and render; optionally dump the raw numbers as JSON."""
+    results = run_ingest(scale_factor, seed=seed)
+    if json_path:
+        with open(json_path, "w") as f:
+            json.dump(results, f, indent=2)
+    return render_ingest(results)

@@ -73,6 +73,13 @@ def referenced_tables(statement: ast.Statement) -> frozenset:
             names.add(node.table.lower())
         elif isinstance(node, (ast.CreateIndex,)):
             names.add(node.table.lower())
+        elif isinstance(node, ast.CopyFromStmt):
+            names.add(node.table.lower())
+        elif isinstance(node, ast.CopyToStmt):
+            if node.table is not None:
+                names.add(node.table.lower())
+        elif isinstance(node, ast.CreateTableFrom):
+            names.add(node.name.lower())
     return frozenset(names)
 
 

@@ -1,0 +1,30 @@
+"""Bulk CSV ingestion and export (``COPY INTO`` / ``COPY TO``).
+
+The paper's evaluation (section 4.2) loads TPC-H from CSV files and notes
+that bulk data movement must bypass the tuple-at-a-time INSERT path to be
+competitive.  This package is that path: files are read in chunks cut at
+record boundaries, each chunk is parsed straight into typed NumPy storage
+arrays (vectorized conversion, no per-row Python objects on the hot path),
+chunk parsing is spread over the database's worker pool, and the resulting
+column bundles land through the ordinary transactional append path — so a
+failed COPY rolls back like any other statement and a committed COPY is
+WAL-logged like any other write.
+
+Exports are symmetric: result columns are stringified block-wise with
+vectorized NumPy kernels and quoted only where needed (always for empty
+strings, so NULL and ``''`` survive a round trip).
+"""
+
+from repro.copy.infer import infer_schema
+from repro.copy.options import CopyOptions
+from repro.copy.reader import LoadResult, Reject, load_into
+from repro.copy.writer import export_csv
+
+__all__ = [
+    "CopyOptions",
+    "LoadResult",
+    "Reject",
+    "load_into",
+    "export_csv",
+    "infer_schema",
+]

@@ -1,0 +1,208 @@
+"""Schema inference for ``CREATE TABLE ... FROM 'file.csv'``.
+
+A bounded sample from the head of the file is parsed with the same
+quote-aware splitter the loader uses, a header record is detected (or
+forced via the ``HEADER`` option), and each column votes on the narrowest
+type that accepts every sampled non-NULL value.  All-NULL columns fall
+back to VARCHAR; anything unparseable is VARCHAR.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+
+from repro.copy.options import CopyOptions
+from repro.copy.reader import _split_quoted, open_source
+from repro.errors import CopyError
+from repro.storage.catalog import ColumnDef, TableSchema
+from repro.storage.types import BIGINT, BOOLEAN, DATE, DOUBLE, INTEGER
+from repro.storage.types import STRING, TIME, TIMESTAMP
+from repro.storage.types import SQLType
+
+__all__ = ["infer_schema"]
+
+_IDENT_RE = re.compile(r"[^0-9a-z_]+")
+_INT32 = 1 << 31
+_BOOL_WORDS = frozenset(
+    {"true", "false", "t", "f", "yes", "no", "y", "n"}
+)
+
+
+def infer_schema(
+    name,
+    source,
+    options: CopyOptions,
+    sample_bytes: int = 1 << 20,
+    sample_rows: int = 1024,
+):
+    """Sample the head of ``source`` and derive a table schema.
+
+    Returns ``(TableSchema, header_present)``.
+    """
+    rows = _sample_rows(source, options, sample_bytes, sample_rows)
+    if not rows:
+        raise CopyError("cannot infer schema from an empty file")
+    ncols = len(rows[0])
+    for i, row in enumerate(rows):
+        if len(row) != ncols:
+            raise CopyError(
+                f"cannot infer schema: record {i + 1} has {len(row)} "
+                f"fields, expected {ncols}"
+            )
+    header = options.header
+    if header is None:
+        header = _looks_like_header(rows, options.null_string)
+    names = (
+        _header_names([value for value, _ in rows[0]])
+        if header
+        else [f"col{i}" for i in range(ncols)]
+    )
+    data_rows = rows[1:] if header else rows
+    columns = []
+    for j, colname in enumerate(names):
+        fields = [row[j] for row in data_rows]
+        columns.append(
+            ColumnDef(colname, _vote_type(fields, options.null_string))
+        )
+    return TableSchema(name, tuple(columns)), header
+
+
+def _sample_rows(source, options, sample_bytes, sample_rows):
+    with open_source(source) as stream:
+        head = stream.read(sample_bytes)
+    if isinstance(head, str):
+        head = head.encode("utf-8")
+    text = head.decode("utf-8", errors="replace")
+    sep = options.record_sep
+    if len(head) >= sample_bytes and sep in text:
+        # drop the (likely partial) final record of a truncated sample
+        text = text[: text.rindex(sep)]
+    elif text.endswith(sep):
+        text = text[: -len(sep)]
+    if not text:
+        return []
+    rows = _split_quoted(text, options.delimiter, sep, options.quote)
+    return rows[:sample_rows]
+
+
+def _looks_like_header(rows, null_string):
+    """Heuristic header detection on the first sampled record.
+
+    The first record is a header when every field is a plausible column
+    label: non-empty, unique, and not parseable as any non-string type
+    (a data file whose first record is all-string text is indistinguishable
+    from a header — we side with MonetDB and call it data unless at least
+    one later record differs in type shape).
+    """
+    first = [value for value, _ in rows[0]]
+    if any(not f or f == null_string for f in first):
+        return False
+    lowered = [f.strip().lower() for f in first]
+    if len(set(lowered)) != len(lowered):
+        return False
+    classes = [_classify(f) for f in first]
+    if any(cls in ("int", "double") for cls in classes):
+        return False
+    if not all(re.match(r"^[a-z_][0-9a-z_ .-]*$", f) for f in lowered):
+        return False
+    if len(rows) == 1:
+        return False
+    # a non-varchar first-row field that shares its class with the column's
+    # data is data, not a label ('true' atop a boolean column); a bool-word
+    # label like 'f' or 'n' over differently-typed data is still a header
+    for j, cls in enumerate(classes):
+        if cls == "varchar":
+            continue
+        for row in rows[1:]:
+            value, was_quoted = row[j]
+            if not was_quoted and _classify(value) == cls:
+                return False
+    # at least one data row must have a field the header row lacks in type
+    for row in rows[1:]:
+        for value, was_quoted in row:
+            if not was_quoted and _classify(value) != "varchar":
+                return True
+    return False
+
+
+def _header_names(raw):
+    names = []
+    seen = set()
+    for i, field in enumerate(raw):
+        base = _IDENT_RE.sub("_", field.strip().lower()).strip("_") or f"col{i}"
+        if base[0].isdigit():
+            base = f"c_{base}"
+        candidate = base
+        k = 2
+        while candidate in seen:
+            candidate = f"{base}_{k}"
+            k += 1
+        seen.add(candidate)
+        names.append(candidate)
+    return names
+
+
+def _vote_type(fields, null_string) -> SQLType:
+    """Narrowest type accepting every non-NULL sampled value.
+
+    Only the int -> double widening mixes; any other combination of kinds
+    (or a quoted value) falls back to VARCHAR.
+    """
+    kinds = set()
+    big = False
+    for value, was_quoted in fields:
+        if was_quoted:
+            return STRING
+        if value == null_string:
+            continue
+        kind = _classify(value)
+        if kind == "int" and not -_INT32 < int(value) < _INT32:
+            big = True
+        kinds.add(kind)
+        if len(kinds) > 1 and kinds != {"int", "double"}:
+            return STRING
+    if not kinds:
+        return STRING
+    if kinds == {"int"}:
+        return BIGINT if big else INTEGER
+    if "double" in kinds:
+        return DOUBLE
+    return {
+        "date": DATE,
+        "timestamp": TIMESTAMP,
+        "time": TIME,
+        "bool": BOOLEAN,
+        "varchar": STRING,
+    }[kinds.pop()]
+
+
+def _classify(value: str) -> str:
+    text = value.strip()
+    if not text:
+        return "varchar"
+    try:
+        int(text)
+        return "int"
+    except ValueError:
+        pass
+    try:
+        float(text)
+        return "double"
+    except ValueError:
+        pass
+    try:
+        _dt.date.fromisoformat(text)
+        return "date"
+    except ValueError:
+        pass
+    try:
+        _dt.datetime.fromisoformat(text)
+        return "timestamp"
+    except ValueError:
+        pass
+    if re.match(r"^\d{1,2}:\d{2}(:\d{2})?$", text):
+        return "time"
+    if text.lower() in _BOOL_WORDS:
+        return "bool"
+    return "varchar"

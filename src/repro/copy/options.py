@@ -1,0 +1,39 @@
+"""Shared COPY options, decoupled from AST and executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CopyOptions:
+    """Parsed ``DELIMITERS`` / ``NULL AS`` / ``BEST EFFORT`` / range options.
+
+    ``header`` is tri-state: ``True`` (skip/emit a header record), ``False``
+    (none), or ``None`` (auto-detect; only meaningful for schema inference).
+    ``offset`` skips the first N data records, ``limit`` caps how many are
+    loaded (the ``n RECORDS`` prefix).
+    """
+
+    delimiter: str = ","
+    record_sep: str = "\n"
+    quote: str = '"'
+    null_string: str = ""
+    best_effort: bool = False
+    limit: int | None = None
+    offset: int = 0
+    header: bool | None = False
+
+    @classmethod
+    def from_stmt(cls, stmt) -> "CopyOptions":
+        """Build options from a CopyFromStmt/CopyToStmt/CreateTableFrom."""
+        return cls(
+            delimiter=stmt.delimiter,
+            record_sep=stmt.record_sep,
+            quote=stmt.quote,
+            null_string=stmt.null_string,
+            best_effort=getattr(stmt, "best_effort", False),
+            limit=getattr(stmt, "limit", None),
+            offset=getattr(stmt, "offset", 0),
+            header=getattr(stmt, "header", False),
+        )

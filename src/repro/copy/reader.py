@@ -1,0 +1,683 @@
+"""Chunked, parallel CSV loader into columnar storage.
+
+The file is cut into ~4 MiB chunks at record-separator positions with even
+quote parity, so every chunk is independently parseable.  Chunk parsing —
+one flat C-level split plus per-column strided slices, then bulk NumPy
+``astype`` conversions into the storage domain — runs on the database's
+worker pool; the resulting column bundles are appended to the target table
+in file order through :meth:`~repro.txn.transaction.Transaction.append`,
+which keeps WAL logging and rollback-on-failure identical to every other
+write path.
+
+Malformed input aborts the COPY with the offending record number; under
+``BEST EFFORT`` bad records are instead diverted to the rejects list that
+backs the ``sys.rejects`` system view.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import decimal as _decimal
+import io
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.copy.options import CopyOptions
+from repro.errors import CopyError
+from repro.storage.column import Column
+from repro.storage.stringheap import StringHeap
+from repro.storage.types import SQLType, TypeCategory
+
+__all__ = ["Reject", "LoadResult", "load_into", "parse_chunk", "iter_chunks"]
+
+#: Default chunk size; overridable via ExecutionConfig.copy_chunk_bytes.
+DEFAULT_CHUNK_BYTES = 4 << 20
+
+_TRUE_WORDS = frozenset({"true", "t", "yes", "y"})
+_FALSE_WORDS = frozenset({"false", "f", "no", "n"})
+_TRUE_ARR = np.array(sorted(_TRUE_WORDS))
+_FALSE_ARR = np.array(sorted(_FALSE_WORDS))
+
+#: Stand-in text written over NULL slots before bulk conversion; must parse
+#: cleanly for its category (the slot is overwritten with the sentinel after).
+_PLACEHOLDERS = {
+    TypeCategory.BOOLEAN: "true",
+    TypeCategory.INTEGER: "0",
+    TypeCategory.FLOAT: "0",
+    TypeCategory.DECIMAL: "0",
+    TypeCategory.DATE: "1970-01-01",
+    TypeCategory.TIME: "00:00:00",
+    TypeCategory.TIMESTAMP: "1970-01-01T00:00:00",
+}
+
+
+@dataclass
+class Reject:
+    """One diverted record of a BEST EFFORT load (backs ``sys.rejects``)."""
+
+    record: int  # 1-based record number in the input
+    column: str  # offending column name ('' for record-level errors)
+    error: str
+    line: str  # reconstructed input record
+
+
+@dataclass
+class LoadResult:
+    rows_loaded: int = 0
+    bytes_read: int = 0
+    rejects: list = field(default_factory=list)
+
+
+# -- input chunking -----------------------------------------------------------
+
+
+@contextmanager
+def open_source(source):
+    """Adapt a path / bytes / file-like COPY source to a binary stream."""
+    if isinstance(source, (bytes, bytearray)):
+        yield io.BytesIO(bytes(source))
+        return
+    if isinstance(source, str):
+        try:
+            stream = open(source, "rb")
+        except OSError as exc:
+            raise CopyError(f"cannot open {source!r}: {exc}") from exc
+        try:
+            yield stream
+        finally:
+            stream.close()
+        return
+    if hasattr(source, "read"):
+        yield source
+        return
+    raise CopyError(f"unsupported COPY source {type(source).__name__}")
+
+
+def iter_chunks(stream, options: CopyOptions, chunk_bytes: int):
+    """Yield ``(text, nrecords, nbytes)`` chunks ending at record boundaries.
+
+    Cut points are record separators at even quote parity, so a quoted field
+    containing embedded newlines never straddles two chunks and every chunk
+    starts outside any quote.
+    """
+    sep = options.record_sep.encode("utf-8")
+    quo = options.quote.encode("utf-8") if options.quote else b""
+    carry = b""
+    while True:
+        block = stream.read(chunk_bytes)
+        if not block:
+            break
+        if isinstance(block, str):  # text-mode file-like source
+            block = block.encode("utf-8")
+        data = carry + block
+        cut = _safe_cut(data, sep, quo)
+        if cut < 0:
+            carry = data
+            continue
+        end = cut + len(sep)
+        chunk, carry = data[:end], data[end:]
+        text = _decode(chunk)
+        yield text, _count_records(text, options), len(chunk)
+    if carry:
+        text = _decode(carry)
+        yield text, _count_records(text, options), len(carry)
+
+
+def _decode(chunk: bytes) -> str:
+    try:
+        return chunk.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CopyError(f"input is not valid UTF-8: {exc}") from exc
+
+
+def _safe_cut(data: bytes, sep: bytes, quo: bytes) -> int:
+    """Rightmost record-separator offset at even quote parity, or -1."""
+    if not quo or quo not in data:
+        return data.rfind(sep)
+    best = -1
+    pos = 0
+    parity = 0
+    while True:
+        nq = data.find(quo, pos)
+        end = len(data) if nq < 0 else nq
+        if parity == 0:
+            idx = data.rfind(sep, pos, end)
+            if idx >= 0:
+                best = idx
+        if nq < 0:
+            return best
+        pos = nq + len(quo)
+        parity ^= 1
+
+
+def _count_records(text: str, options: CopyOptions) -> int:
+    """Number of records in a chunk (unquoted separators + final record)."""
+    sep, quo = options.record_sep, options.quote
+    if not text:
+        return 0
+    # the final separator is optional, but an empty line IS a record (a
+    # single-column NULL row exports as one under the default NULL AS '')
+    if text.endswith(sep):
+        text = text[: -len(sep)]
+    if not quo or quo not in text:
+        return text.count(sep) + 1
+    count = 0
+    # segments between quotes alternate outside/inside; doubled quotes toggle
+    # twice, so plain parity stays correct
+    for i, part in enumerate(text.split(quo)):
+        if i % 2 == 0:
+            count += part.count(sep)
+    return count + 1
+
+
+# -- chunk parsing ------------------------------------------------------------
+
+
+def parse_chunk(text, coldefs, options: CopyOptions, skip, take, base_record):
+    """Parse one chunk into typed storage arrays for the target columns.
+
+    ``skip``/``take`` select the record range to keep (header/OFFSET/LIMIT
+    handling); ``base_record`` is the number of records before the first kept
+    one, so reject messages carry absolute record numbers.
+
+    Returns ``(parsed, rejects, kept)`` where ``parsed`` is one
+    ``(data_array, heap_or_None)`` per column in ``coldefs``.
+    """
+    sep, delim, quo = options.record_sep, options.delimiter, options.quote
+    ncols = len(coldefs)
+    if not text or take <= 0:
+        return [_empty_parsed(c.type) for c in coldefs], [], 0
+    # mirror _count_records: strip the optional final separator only after
+    # the emptiness check, so a lone empty line parses as one record
+    if text.endswith(sep):
+        text = text[: -len(sep)]
+
+    rejects: list[Reject] = []
+    if quo and quo in text:
+        cols, quoted, recnos = _split_quoted_chunk(
+            text, options, ncols, skip, take, base_record, rejects
+        )
+    else:
+        cols, recnos = _split_fast_chunk(
+            text, options, ncols, skip, take, base_record, rejects
+        )
+        quoted = None
+    nrows = len(cols[0]) if cols else 0
+    if not options.best_effort and rejects:
+        first = rejects[0]
+        raise CopyError(f"record {first.record}: {first.error}")
+
+    # column conversion: object array -> bulk astype into the storage domain
+    converted = []
+    bad: dict[int, tuple[str, str]] = {}  # row -> (column, error)
+    for j, coldef in enumerate(coldefs):
+        qcol = quoted[j] if quoted is not None else None
+        data, nulls, col_bad = _convert_column(
+            coldef.type, cols[j], qcol, options.null_string
+        )
+        if coldef.not_null and nrows and nulls.any():
+            for i in np.flatnonzero(nulls):
+                col_bad.setdefault(
+                    int(i), f"NULL in NOT NULL column {coldef.name!r}"
+                )
+        for i, msg in col_bad.items():
+            bad.setdefault(i, (coldef.name, msg))
+        converted.append((data, nulls))
+
+    if bad:
+        for i in sorted(bad):
+            colname, msg = bad[i]
+            line = delim.join(str(cols[j][i]) for j in range(ncols))
+            rejects.append(Reject(int(recnos[i]), colname, msg, line))
+        if not options.best_effort:
+            first = min(bad)
+            colname, msg = bad[first]
+            raise CopyError(
+                f"record {recnos[first]}: column {colname!r}: {msg}"
+            )
+        good = np.ones(nrows, dtype=bool)
+        good[np.fromiter(bad, dtype=np.int64, count=len(bad))] = False
+        converted = [(data[good], nulls) for data, nulls in converted]
+        nrows = int(good.sum())
+
+    parsed = []
+    for (data, _), coldef in zip(converted, coldefs):
+        if coldef.type.is_variable:
+            heap = StringHeap()
+            parsed.append((heap.add_many(data), heap))
+        else:
+            parsed.append((data, None))
+    return parsed, rejects, nrows
+
+
+def _empty_parsed(ctype: SQLType):
+    if ctype.is_variable:
+        return np.empty(0, dtype=np.int64), StringHeap()
+    return np.empty(0, dtype=ctype.dtype), None
+
+
+def _split_fast_chunk(text, options, ncols, skip, take, base, rejects):
+    """Quote-free split: one flat split, per-column strided slices."""
+    sep, delim = options.record_sep, options.delimiter
+    lines = text.split(sep)
+    nrows = len(lines)
+    want = ncols - 1
+    # per-record arity must hold exactly: a total-count check would let
+    # offsetting errors (one record short, one long) mis-assign columns
+    if (
+        skip == 0
+        and take >= nrows
+        and all(line.count(delim) == want for line in lines)
+    ):
+        flat = delim.join(lines).split(delim) if want else lines
+        cols = [flat[j::ncols] for j in range(ncols)]
+        recnos = np.arange(base + 1, base + nrows + 1, dtype=np.int64)
+        return cols, recnos
+    # uneven arity somewhere, or a skip/take window: go record by record
+    lines = lines[skip : skip + take]
+    rows, recnos = [], []
+    recno = base
+    for line in lines:
+        recno += 1
+        fields = line.split(delim)
+        if len(fields) != ncols:
+            rejects.append(
+                Reject(
+                    recno,
+                    "",
+                    f"expected {ncols} fields, got {len(fields)}",
+                    line,
+                )
+            )
+            continue
+        rows.append(fields)
+        recnos.append(recno)
+    cols = (
+        [list(c) for c in zip(*rows)]
+        if rows
+        else [[] for _ in range(ncols)]
+    )
+    return cols, np.asarray(recnos, dtype=np.int64)
+
+
+def _split_quoted_chunk(text, options, ncols, skip, take, base, rejects):
+    """Quote-aware split; tracks which fields were quoted.
+
+    A quoted field is never NULL even when it equals the NULL string — this
+    is what makes ``""`` (empty string) distinguishable from an unquoted
+    empty field (NULL under the default ``NULL AS ''``).
+    """
+    all_rows = _split_quoted(
+        text, options.delimiter, options.record_sep, options.quote
+    )
+    window = all_rows[skip : skip + take]
+    rows, recnos = [], []
+    recno = base
+    for row in window:
+        recno += 1
+        if len(row) != ncols:
+            line = options.delimiter.join(value for value, _ in row)
+            rejects.append(
+                Reject(
+                    recno,
+                    "",
+                    f"expected {ncols} fields, got {len(row)}",
+                    line,
+                )
+            )
+            continue
+        rows.append(row)
+        recnos.append(recno)
+    if not rows:
+        return (
+            [[] for _ in range(ncols)],
+            [np.empty(0, dtype=bool) for _ in range(ncols)],
+            np.empty(0, dtype=np.int64),
+        )
+    cols = []
+    quoted = []
+    for j in range(ncols):
+        cols.append([row[j][0] for row in rows])
+        quoted.append(np.fromiter(
+            (row[j][1] for row in rows), dtype=bool, count=len(rows)
+        ))
+    return cols, quoted, np.asarray(recnos, dtype=np.int64)
+
+
+def _split_quoted(text, delim, sep, quo):
+    """Split into rows of ``(value, was_quoted)`` fields, honoring quotes."""
+    rows: list[list] = []
+    fields: list = []
+    pos = 0
+    n = len(text)
+    qlen, dlen, slen = len(quo), len(delim), len(sep)
+    while True:
+        if quo and text.startswith(quo, pos):
+            chunks = []
+            cur = pos + qlen
+            while True:
+                nxt = text.find(quo, cur)
+                if nxt < 0:
+                    raise CopyError("unterminated quoted field")
+                if text.startswith(quo, nxt + qlen):  # doubled quote
+                    chunks.append(text[cur : nxt + qlen])
+                    cur = nxt + 2 * qlen
+                    continue
+                chunks.append(text[cur:nxt])
+                cur = nxt + qlen
+                break
+            fields.append(("".join(chunks), True))
+            pos = cur
+        else:
+            d = text.find(delim, pos)
+            s = text.find(sep, pos)
+            if d < 0:
+                end = n if s < 0 else s
+            elif s < 0:
+                end = d
+            else:
+                end = min(d, s)
+            fields.append((text[pos:end], False))
+            pos = end
+        if pos >= n:
+            rows.append(fields)
+            return rows
+        if text.startswith(delim, pos):
+            pos += dlen
+            continue
+        if text.startswith(sep, pos):
+            rows.append(fields)
+            fields = []
+            pos += slen
+            continue
+        raise CopyError(
+            f"malformed input near offset {pos}: text after closing quote"
+        )
+
+
+# -- conversion ---------------------------------------------------------------
+
+
+def _convert_column(ctype: SQLType, raw, quoted, null_string):
+    """Convert raw field strings into one storage-domain array.
+
+    Returns ``(data, nulls, bad)``; for variable-length types ``data`` is an
+    object array with ``None`` at NULL slots (heap construction happens after
+    BEST EFFORT filtering).  ``bad`` maps row index to an error message.
+    """
+    arr = np.asarray(raw, dtype=object)
+    nulls = arr == null_string
+    if quoted is not None and nulls.any():
+        nulls &= ~quoted
+    if not isinstance(nulls, np.ndarray):  # zero-row edge
+        nulls = np.zeros(len(arr), dtype=bool)
+
+    if ctype.is_variable:
+        values = arr.copy()
+        values[nulls] = None
+        return values, nulls, {}
+
+    work = arr.copy()
+    work[nulls] = _PLACEHOLDERS[ctype.category]
+    try:
+        data, bad_mask = _bulk_parse(ctype, work)
+        bad = {}
+        if bad_mask is not None and bad_mask.any():
+            bad = {
+                int(i): f"cannot convert {arr[i]!r} to {ctype.name}"
+                for i in np.flatnonzero(bad_mask)
+            }
+    except (ValueError, OverflowError, _decimal.InvalidOperation):
+        data, bad = _slow_parse(ctype, work, nulls)
+    if len(data):
+        data[nulls] = ctype.null_value
+    return data, nulls, bad
+
+
+def _bulk_parse(ctype: SQLType, work: np.ndarray):
+    """Vectorized text -> storage conversion for one column.
+
+    Raises ValueError/OverflowError when any value resists bulk conversion;
+    the caller then falls back to the per-value path to locate bad rows.
+    """
+    sa = work.astype("U")
+    cat = ctype.category
+    if cat == TypeCategory.INTEGER:
+        v = sa.astype(np.int64)
+        if ctype.dtype == np.int64:
+            bad = v == np.iinfo(np.int64).min  # collides with NULL sentinel
+        else:
+            info = np.iinfo(ctype.dtype)
+            bad = (v <= info.min) | (v > info.max)
+        return v.astype(ctype.dtype), (bad if bad.any() else None)
+    if cat == TypeCategory.FLOAT:
+        return sa.astype(np.float64).astype(ctype.dtype), None
+    if cat == TypeCategory.DECIMAL:
+        return _bulk_parse_decimal(ctype, sa)
+    if cat == TypeCategory.DATE:
+        v = sa.astype("M8[D]")
+        bad = np.isnat(v)
+        days = v.astype(np.int64)
+        days[bad] = 0
+        return days.astype(ctype.dtype), (bad if bad.any() else None)
+    if cat == TypeCategory.TIMESTAMP:
+        v = sa.astype("M8[us]")
+        bad = np.isnat(v)
+        micros = v.astype(np.int64)
+        micros[bad] = 0
+        return micros.astype(ctype.dtype), (bad if bad.any() else None)
+    if cat == TypeCategory.TIME:
+        p1 = np.char.partition(sa, ":")
+        p2 = np.char.partition(p1[:, 2], ":")
+        h = p1[:, 0].astype(np.int64)
+        m = np.where(p2[:, 0] == "", "0", p2[:, 0]).astype(np.int64)
+        s = np.where(p2[:, 2] == "", "0", p2[:, 2]).astype(np.float64)
+        secs = h * 3600 + m * 60 + s.astype(np.int64)
+        return secs.astype(ctype.dtype), None
+    if cat == TypeCategory.BOOLEAN:
+        low = np.char.lower(sa)
+        truthy = np.isin(low, _TRUE_ARR)
+        falsy = np.isin(low, _FALSE_ARR)
+        bad = ~(truthy | falsy)
+        return (
+            np.where(truthy, 1, 0).astype(ctype.dtype),
+            (bad if bad.any() else None),
+        )
+    raise ValueError(f"no bulk parser for {ctype.name}")
+
+
+def _bulk_parse_decimal(ctype: SQLType, sa: np.ndarray):
+    """Exact DECIMAL parse: split at '.', scale the parts as integers."""
+    neg = np.char.startswith(sa, "-")
+    body = np.char.lstrip(sa, "+-")
+    parts = np.char.partition(body, ".")
+    ip = np.where(parts[:, 0] == "", "0", parts[:, 0])
+    fr = parts[:, 2]
+    ipv = ip.astype(np.int64)
+    scale = ctype.scale
+    if scale:
+        frp = np.char.ljust(fr, scale, "0").astype(f"U{scale}")
+        frv = frp.astype(np.int64)
+        # digits beyond the scale are truncated; validate they were digits
+        tail = np.char.isdigit(fr) | (fr == "")
+        if not tail.all():
+            raise ValueError("non-numeric DECIMAL input")
+        val = ipv * np.int64(10**scale) + frv
+    else:
+        tail = np.char.isdigit(fr) | (fr == "")
+        if not tail.all():
+            raise ValueError("non-numeric DECIMAL input")
+        val = ipv
+    val = np.where(neg, -val, val)
+    bad = None
+    if ctype.precision:
+        bad = np.abs(val) >= np.int64(10**ctype.precision)
+        bad = bad if bad.any() else None
+    return val, bad
+
+
+def _slow_parse(ctype: SQLType, work: np.ndarray, nulls: np.ndarray):
+    """Per-value fallback that pinpoints the rows bulk conversion choked on."""
+    data = np.zeros(len(work), dtype=ctype.dtype)
+    bad: dict[int, str] = {}
+    for i, text in enumerate(work):
+        if nulls[i]:
+            continue
+        try:
+            data[i] = _parse_one(ctype, str(text))
+        except Exception as exc:
+            bad[i] = f"cannot convert {text!r} to {ctype.name}: {exc}"
+    return data, bad
+
+
+def _parse_one(ctype: SQLType, text: str):
+    cat = ctype.category
+    text = text.strip()
+    if cat == TypeCategory.INTEGER:
+        value = int(text)
+        info = np.iinfo(ctype.dtype)
+        if not info.min < value <= info.max:
+            raise ValueError(f"out of range for {ctype.name}")
+        return value
+    if cat == TypeCategory.FLOAT:
+        return float(text)
+    if cat == TypeCategory.DECIMAL:
+        scaled = int(
+            _decimal.Decimal(text)
+            .scaleb(ctype.scale)
+            .to_integral_value(rounding=_decimal.ROUND_DOWN)
+        )
+        if ctype.precision and abs(scaled) >= 10**ctype.precision:
+            raise ValueError(f"out of range for {ctype.name}")
+        return scaled
+    if cat == TypeCategory.DATE:
+        day = _dt.date.fromisoformat(text)
+        return day.toordinal() - _dt.date(1970, 1, 1).toordinal()
+    if cat == TypeCategory.TIME:
+        t = _dt.time.fromisoformat(text)
+        return t.hour * 3600 + t.minute * 60 + t.second
+    if cat == TypeCategory.TIMESTAMP:
+        stamp = _dt.datetime.fromisoformat(text)
+        return (stamp - _dt.datetime(1970, 1, 1)) // _dt.timedelta(
+            microseconds=1
+        )
+    if cat == TypeCategory.BOOLEAN:
+        low = text.lower()
+        if low in _TRUE_WORDS:
+            return 1
+        if low in _FALSE_WORDS:
+            return 0
+        raise ValueError("not a boolean")
+    raise ValueError(f"cannot parse {ctype.name} from text")
+
+
+# -- the loader ---------------------------------------------------------------
+
+
+def load_into(
+    database,
+    txn,
+    table,
+    source,
+    options: CopyOptions,
+    column_indexes=None,
+    chunk_bytes: int | None = None,
+) -> LoadResult:
+    """Load a CSV source into ``table`` under ``txn``.
+
+    Chunks parse in parallel on the database worker pool (bounded in-flight
+    window) and are appended in file order; the transaction machinery gives
+    atomicity, WAL logging, and rollback for free.
+    """
+    schema = table.schema
+    if column_indexes is None:
+        column_indexes = list(range(len(schema.columns)))
+    if (
+        not options.delimiter
+        or not options.record_sep
+        or options.delimiter == options.record_sep
+    ):
+        raise CopyError("field and record delimiters must differ")
+    mentioned = set(column_indexes)
+    for idx, coldef in enumerate(schema.columns):
+        if idx not in mentioned and coldef.not_null:
+            raise CopyError(
+                f"COPY must include NOT NULL column {coldef.name!r}"
+            )
+    target_defs = [schema.columns[i] for i in column_indexes]
+    if chunk_bytes is None:
+        chunk_bytes = getattr(
+            database.config, "copy_chunk_bytes", DEFAULT_CHUNK_BYTES
+        )
+
+    result = LoadResult()
+    skip = options.offset + (1 if options.header else 0)
+    remaining = options.limit
+    workers = getattr(database.config, "max_workers", 1)
+    pool = database.thread_pool if workers > 1 else None
+    max_inflight = max(2, workers * 2)
+    pending: deque = deque()
+
+    def install(parsed, rejects, kept):
+        result.rejects.extend(rejects)
+        if not kept:
+            return
+        by_target = dict(zip(column_indexes, parsed))
+        bundle = []
+        for idx, coldef in enumerate(schema.columns):
+            if idx in by_target:
+                data, heap = by_target[idx]
+                bundle.append(Column(coldef.type, data, heap))
+            else:
+                bundle.append(_null_column(coldef.type, kept))
+        txn.append(table, bundle)
+        result.rows_loaded += kept
+
+    try:
+        consumed = 0
+        with open_source(source) as stream:
+            for text, nrec, nbytes in iter_chunks(stream, options, chunk_bytes):
+                result.bytes_read += nbytes
+                chunk_skip = min(skip, nrec)
+                skip -= chunk_skip
+                avail = nrec - chunk_skip
+                if remaining is None:
+                    chunk_take = avail
+                else:
+                    chunk_take = min(avail, remaining)
+                    remaining -= chunk_take
+                base = consumed + chunk_skip
+                consumed += nrec
+                if chunk_take > 0:
+                    args = (
+                        text, target_defs, options,
+                        chunk_skip, chunk_take, base,
+                    )
+                    if pool is not None:
+                        pending.append(pool.submit(parse_chunk, *args))
+                        if len(pending) >= max_inflight:
+                            install(*pending.popleft().result())
+                    else:
+                        install(*parse_chunk(*args))
+                if remaining == 0:
+                    break
+            while pending:
+                install(*pending.popleft().result())
+    finally:
+        while pending:  # an error left parses in flight; don't leak them
+            future = pending.popleft()
+            if not future.cancel():
+                try:
+                    future.result()
+                except Exception:
+                    pass
+    return result
+
+
+def _null_column(ctype: SQLType, n: int) -> Column:
+    if ctype.is_variable:
+        return Column(ctype, np.zeros(n, dtype=np.int64), StringHeap())
+    return Column(ctype, np.full(n, ctype.null_value, dtype=ctype.dtype))

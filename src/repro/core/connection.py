@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -126,11 +127,13 @@ class Connection:
 
     # -- query execution ------------------------------------------------------------------
 
-    def execute(self, sql: str, params=None) -> Result | None:
+    def execute(self, sql: str, params=None, copy_data=None) -> Result | None:
         """Run SQL (``monetdb_query``); returns the last statement's result.
 
         ``params`` supplies values for ``?``/``$n`` placeholders; it is
-        only valid with a single statement.
+        only valid with a single statement.  ``copy_data`` supplies the
+        input of a ``COPY INTO ... FROM STDIN`` as bytes, text, or a
+        file-like object.
         """
         self._check_open()
         result: Result | None = None
@@ -141,9 +144,12 @@ class Connection:
             raise InterfaceError(
                 "parameter values require exactly one statement"
             )
+        if copy_data is not None and len(statements) != 1:
+            raise InterfaceError("COPY data requires exactly one statement")
         for statement in statements:
             result = self._execute_statement(statement, sql, parse_ns,
-                                             params=params)
+                                             params=params,
+                                             copy_data=copy_data)
             parse_ns = 0  # the batch's parse cost is charged to its first statement
         return result
 
@@ -155,7 +161,8 @@ class Connection:
         return result
 
     def _execute_statement(
-        self, statement, sql: str = "", parse_ns: int = 0, params=None
+        self, statement, sql: str = "", parse_ns: int = 0, params=None,
+        copy_data=None,
     ) -> Result | None:
         self._stats_incr("statements")
         if isinstance(statement, ast.TransactionStmt):
@@ -202,10 +209,11 @@ class Connection:
             # substituted as literals (only SELECT plans carry live
             # Param nodes into the compiled program)
             statement = substitute_params(statement, tuple(params))
-        return self._execute_generic(statement, sql, parse_ns)
+        return self._execute_generic(statement, sql, parse_ns,
+                                     copy_data=copy_data)
 
     def _execute_generic(
-        self, statement, sql: str = "", parse_ns: int = 0
+        self, statement, sql: str = "", parse_ns: int = 0, copy_data=None
     ) -> Result | None:
         phases = {"parse": parse_ns} if parse_ns else {}
         started_wall = time.time()
@@ -218,7 +226,7 @@ class Connection:
                 statement, lambda name: txn.resolve_table(name).schema
             )
             phases["bind"] = time.perf_counter_ns() - bind_start
-            result = self._dispatch(bound, txn, phases)
+            result = self._dispatch(bound, txn, phases, copy_data=copy_data)
             if autocommit:
                 self._database.txn_manager.commit(txn)
             self._log_statement(sql, "ok", None, result, started_wall,
@@ -518,11 +526,15 @@ class Connection:
         if stats is not None:
             stats.incr(name, amount)
 
-    def _dispatch(self, bound, txn, phases=None) -> Result | None:
+    def _dispatch(self, bound, txn, phases=None, copy_data=None) -> Result | None:
         if isinstance(bound, N.BoundSelect):
             return Result(
                 self._run_select(bound, txn, phases=phases), self._stats()
             )
+        if isinstance(bound, N.BoundCopyFrom):
+            return self._run_copy_from(bound, txn, phases, copy_data)
+        if isinstance(bound, N.BoundCopyTo):
+            return self._run_copy_to(bound, txn, phases)
         if isinstance(bound, N.BoundInsert):
             self._run_insert(bound, txn)
             return None
@@ -757,6 +769,142 @@ class Connection:
             manager.create_order_index(bound.name, table, table.current, colpos)
         else:
             manager.hash_for(table, table.current, colpos)
+
+    # -- COPY bulk load / export -------------------------------------------------------------------
+
+    def _run_copy_from(self, bound, txn, phases=None, copy_data=None) -> Result:
+        """Execute COPY INTO ... FROM (or CREATE TABLE ... FROM).
+
+        The load goes through :func:`repro.copy.load_into`, so it lands on
+        the ordinary transactional append path; a failure rolls the whole
+        statement back via the caller's error handling.
+        """
+        from repro.copy import infer_schema, load_into
+
+        database = self._database
+        options = bound.options
+        if isinstance(copy_data, str):
+            copy_data = copy_data.encode("utf-8")
+        source = bound.path if bound.path is not None else copy_data
+        if source is None:
+            raise InterfaceError(
+                "COPY FROM STDIN requires data (execute(..., copy_data=...))"
+            )
+        started = time.perf_counter_ns()
+        target = bound.table_name
+        try:
+            if bound.create_name is not None:
+                schema, header = infer_schema(
+                    bound.create_name, source, options
+                )
+                target = bound.create_name
+                table = txn.create_table(schema, bound.if_not_exists)
+                column_indexes = list(range(len(schema.columns)))
+                options = replace(options, header=header)
+            else:
+                table = txn.resolve_table(bound.table_name)
+                column_indexes = bound.column_indexes
+            load = load_into(
+                database,
+                txn,
+                table,
+                source,
+                options,
+                column_indexes=column_indexes,
+                chunk_bytes=database.config.copy_chunk_bytes,
+            )
+            total_us = (time.perf_counter_ns() - started) / 1000.0
+            if phases is not None:
+                phases["execute"] = time.perf_counter_ns() - started
+            database.metrics.incr("copy_rows_loaded", load.rows_loaded)
+            database.metrics.incr("copy_rows_rejected", len(load.rejects))
+            database.metrics.incr("copy_bytes_read", load.bytes_read)
+            database.copy_rejects = load.rejects
+            database.record_copy(
+                direction="in",
+                table_name=target,
+                source=bound.path or "<stream>",
+                rows=load.rows_loaded,
+                rejected=len(load.rejects),
+                nbytes=load.bytes_read,
+                total_us=total_us,
+                status="ok",
+                error="",
+            )
+            self._stats_incr("rows_appended", load.rows_loaded)
+            column = Column.from_values(T.BIGINT, [load.rows_loaded])
+            return Result(
+                MaterializedResult(["rows_loaded"], [column]), self._stats()
+            )
+        except Exception as exc:
+            database.record_copy(
+                direction="in",
+                table_name=target or "?",
+                source=bound.path or "<stream>",
+                rows=0,
+                rejected=0,
+                nbytes=0,
+                total_us=(time.perf_counter_ns() - started) / 1000.0,
+                status="error",
+                error=str(exc),
+            )
+            raise
+
+    def _run_copy_to(self, bound, txn, phases=None) -> Result:
+        """Execute COPY ... TO: export a table or query result as CSV."""
+        from repro.copy import export_csv
+
+        database = self._database
+        started = time.perf_counter_ns()
+        try:
+            if bound.select is not None:
+                materialized = self._run_select(bound.select, txn,
+                                                phases=phases)
+                names = materialized.names
+                columns = materialized.columns
+            else:
+                table = txn.resolve_table(bound.table_name)
+                view = txn.read_version(table)
+                names = [c.name for c in table.schema.columns]
+                columns = view.columns
+            nrows, nbytes, text = export_csv(
+                names, columns, bound.options, bound.path
+            )
+            total_us = (time.perf_counter_ns() - started) / 1000.0
+            if phases is not None and "execute" not in phases:
+                phases["execute"] = time.perf_counter_ns() - started
+            database.metrics.incr("copy_bytes_written", nbytes)
+            self._stats_incr("rows_exported", nrows)
+            database.record_copy(
+                direction="out",
+                table_name=bound.table_name or "<query>",
+                source=bound.path or "<stdout>",
+                rows=nrows,
+                rejected=0,
+                nbytes=nbytes,
+                total_us=total_us,
+                status="ok",
+                error="",
+            )
+            column = Column.from_values(T.BIGINT, [nrows])
+            result = Result(
+                MaterializedResult(["rows_exported"], [column]), self._stats()
+            )
+            result.copy_text = text
+            return result
+        except Exception as exc:
+            database.record_copy(
+                direction="out",
+                table_name=bound.table_name or "<query>",
+                source=bound.path or "<stdout>",
+                rows=0,
+                rejected=0,
+                nbytes=0,
+                total_us=(time.perf_counter_ns() - started) / 1000.0,
+                status="error",
+                error=str(exc),
+            )
+            raise
 
     # -- bulk append (``monetdb_append``) ----------------------------------------------------------
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
@@ -110,6 +112,11 @@ class Database:
         self._session_lock = threading.Lock()
         self._sessions: dict = {}
         self._session_seq = itertools.count(1)
+        #: ring buffer behind sys.copy_history; rejects of the last COPY
+        #: back sys.rejects (MonetDB keeps them per-load too)
+        self.copy_history: deque = deque(maxlen=256)
+        self.copy_rejects: list = []
+        self._copy_seq = itertools.count(1)
         self.wal: WriteAheadLog | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._open = True
@@ -266,6 +273,14 @@ class Database:
         with self._session_lock:
             return [self._sessions[sid] for sid in sorted(self._sessions)]
 
+    # -- COPY bookkeeping (sys.copy_history / sys.rejects) ------------------------------
+
+    def record_copy(self, **fields) -> None:
+        """Append one finished (or failed) COPY to the history ring."""
+        fields.setdefault("started", time.time())
+        fields["id"] = next(self._copy_seq)
+        self.copy_history.append(fields)
+
     # -- resources ----------------------------------------------------------------------
 
     @property
@@ -308,6 +323,8 @@ class Database:
         self.query_log.clear()
         self.plan_cache.clear()
         self.result_cache.clear()
+        self.copy_history.clear()
+        self.copy_rejects.clear()
         with self._session_lock:
             self._sessions.clear()
         self._open = False

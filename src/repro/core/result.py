@@ -51,6 +51,8 @@ class Result:
         self.type = "table"
         self.id = next(_result_ids)
         self._closed = False
+        #: CSV payload of a ``COPY ... TO STDOUT`` (None otherwise)
+        self.copy_text: str | None = None
 
     def _count_exported(self, nrows: int) -> None:
         if self._stats is not None:

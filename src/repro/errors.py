@@ -21,6 +21,7 @@ __all__ = [
     "TransactionError",
     "ConflictError",
     "ConversionError",
+    "CopyError",
     "InterfaceError",
     "ProtocolError",
     "QueryTimeoutError",
@@ -86,6 +87,10 @@ class ConflictError(TransactionError):
 
 class ConversionError(DatabaseError):
     """A value could not be converted between client and storage types."""
+
+
+class CopyError(DatabaseError):
+    """A COPY bulk load or export failed (bad file, malformed record, ...)."""
 
 
 class InterfaceError(DatabaseError):

@@ -97,6 +97,8 @@ class ExecutionConfig:
     #: opt-in result-set cache for read-only statements
     result_cache: bool = False
     result_cache_bytes: int = 32 << 20
+    #: target chunk size for COPY INTO bulk loads (bytes of input per task)
+    copy_chunk_bytes: int = 4 << 20
 
 
 @dataclass

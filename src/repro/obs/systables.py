@@ -13,6 +13,8 @@ the equivalent set for the embedded engine:
 ``sys.sessions``      open connections with per-session counters
 ``sys.metrics``       the flattened metrics registry (counters/gauges/histos)
 ``sys.prepared``      live prepared statements across all open sessions
+``sys.copy_history``  ring buffer of COPY bulk loads/exports with timings
+``sys.rejects``       rejected records of the last BEST EFFORT COPY
 ================  ============================================================
 
 :func:`register_sys_tables` is called once from ``Database.__init__``; the
@@ -93,6 +95,27 @@ _METRIC_COLUMNS = (
     ("kind", T.STRING),
     ("label", T.STRING),
     ("value", T.DOUBLE),
+)
+
+_COPY_HISTORY_COLUMNS = (
+    ("id", T.BIGINT),
+    ("started", T.DOUBLE),
+    ("direction", T.STRING),
+    ("table_name", T.STRING),
+    ("source", T.STRING),
+    ("rows", T.BIGINT),
+    ("rejected", T.BIGINT),
+    ("nbytes", T.BIGINT),
+    ("total_us", T.DOUBLE),
+    ("status", T.STRING),
+    ("error", T.STRING),
+)
+
+_REJECT_COLUMNS = (
+    ("record", T.BIGINT),
+    ("column_name", T.STRING),
+    ("error", T.STRING),
+    ("input", T.STRING),
 )
 
 
@@ -199,6 +222,25 @@ def _metric_rows(database) -> list:
     return rows
 
 
+def _copy_history_rows(database) -> list:
+    return [
+        (
+            e["id"], e["started"], e["direction"], e["table_name"],
+            e["source"], e["rows"], e["rejected"], e["nbytes"],
+            e["total_us"], e["status"], e["error"],
+        )
+        for e in database.copy_history
+    ]
+
+
+def _reject_rows(database) -> list:
+    """Rejected records of the most recent BEST EFFORT COPY."""
+    return [
+        (r.record, r.column, r.error, r.line)
+        for r in database.copy_rejects
+    ]
+
+
 def register_sys_tables(database) -> None:
     """Install the full ``sys`` monitoring schema on one database."""
     tables = (
@@ -211,6 +253,9 @@ def register_sys_tables(database) -> None:
         ("sessions", _SESSION_COLUMNS, lambda: _session_rows(database)),
         ("metrics", _METRIC_COLUMNS, lambda: _metric_rows(database)),
         ("prepared", _PREPARED_COLUMNS, lambda: _prepared_rows(database)),
+        ("copy_history", _COPY_HISTORY_COLUMNS,
+         lambda: _copy_history_rows(database)),
+        ("rejects", _REJECT_COLUMNS, lambda: _reject_rows(database)),
     )
     for name, columns, generator in tables:
         database.catalog.register_virtual(

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import DatabaseError, ProtocolError
 from repro.server.protocol import (
+    COPY_CHUNK_BYTES,
     PROTOCOLS,
     ProtocolConfig,
     decode_rows,
@@ -38,6 +39,8 @@ class RemoteResult:
         self.rows = rows
         self.nrows = len(rows)
         self.ncols = len(names)
+        #: CSV payload streamed by a ``COPY ... TO STDOUT`` (None otherwise)
+        self.copy_text: str | None = None
 
     def fetchall(self) -> list:
         return self.rows
@@ -122,14 +125,19 @@ class RemoteConnection:
         self._wfile.flush()
         return self._read_query_response()
 
-    def _read_query_response(self) -> RemoteResult | None:
+    def _read_query_response(self, first=None) -> RemoteResult | None:
         names: list = []
         type_names: list = []
         raw_rows: list = []
+        copy_parts: list | None = None
         error: str | None = None
         saw_description = False
         while True:
-            mtype, payload = read_message(self._rfile)
+            if first is not None:
+                mtype, payload = first
+                first = None
+            else:
+                mtype, payload = read_message(self._rfile)
             if mtype is None:
                 raise ProtocolError("server closed the connection")
             if mtype == b"D":
@@ -140,6 +148,15 @@ class RemoteConnection:
                     type_names.append(type_name)
             elif mtype == b"R":
                 raw_rows.extend(decode_rows(payload, self.protocol))
+            elif mtype == b"H":
+                copy_parts = []
+            elif mtype == b"d":
+                (copy_parts if copy_parts is not None else []).append(payload)
+            elif mtype == b"G":
+                # server wants COPY data but none was supplied through
+                # copy_from(); finish the stream empty so it can respond
+                write_message(self._wfile, b"c", b"")
+                self._wfile.flush()
             elif mtype == b"E":
                 error = payload.decode("utf-8")
             elif mtype == b"C":
@@ -153,13 +170,50 @@ class RemoteConnection:
         if not saw_description:
             return None
         rows = [self._type_row(row, type_names) for row in raw_rows]
-        return RemoteResult(names, type_names, rows)
+        result = RemoteResult(names, type_names, rows)
+        if copy_parts is not None:
+            result.copy_text = b"".join(copy_parts).decode("utf-8")
+        return result
 
     def query(self, sql: str) -> RemoteResult:
         result = self.execute(sql)
         if result is None:
             raise DatabaseError("statement produced no result")
         return result
+
+    # -- COPY streaming -----------------------------------------------------------------
+
+    def copy_from(self, sql: str, data) -> int:
+        """Bulk-load via ``COPY ... FROM STDIN``: stream ``data`` to the server.
+
+        ``data`` is the CSV payload as str or bytes.  Returns the number of
+        rows loaded.  This is the fast ingest path the DBI ``dbWriteTable``
+        INSERT loop cannot match: one round trip, server-side parallel parse.
+        """
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        write_message(self._wfile, b"Q", sql.encode("utf-8"))
+        self._wfile.flush()
+        mtype, payload = read_message(self._rfile)
+        if mtype == b"G":
+            for start in range(0, len(data), COPY_CHUNK_BYTES):
+                write_message(
+                    self._wfile, b"d", data[start : start + COPY_CHUNK_BYTES]
+                )
+            write_message(self._wfile, b"c", b"")
+            self._wfile.flush()
+            result = self._read_query_response()
+        else:
+            result = self._read_query_response(first=(mtype, payload))
+        if result is not None and result.rows:
+            return int(result.rows[0][0])
+        return int((self.last_status or {}).get("rows", 0))
+
+    def copy_to(self, sql: str) -> tuple:
+        """``COPY ... TO STDOUT``: returns ``(csv_text, rows_exported)``."""
+        result = self.query(sql)
+        rows = int(result.rows[0][0]) if result.rows else 0
+        return result.copy_text or "", rows
 
     # -- prepared statements ------------------------------------------------------------
 

@@ -25,6 +25,16 @@ type  direction             payload
 ``C``  server -> client     command complete (+row count)
 ``E``  server -> client     error message
 ``Z``  server -> client     ready for query
+``G``  server -> client     copy-in ready: the query was a
+                            ``COPY ... FROM STDIN``; the client now
+                            streams ``d`` frames and finishes with
+                            ``c`` (or aborts with ``f``)
+``H``  server -> client     copy-out start: ``d`` frames with the CSV
+                            payload of a ``COPY ... TO STDOUT`` follow,
+                            then the normal result sequence
+``d``  both directions      one chunk of COPY payload bytes
+``c``  client -> server     copy-in done (all data sent)
+``f``  client -> server     copy-in abort (+reason)
 ====  ====================  =========================================
 
 Rows are serialized like PostgreSQL's COPY text format: fields separated
@@ -46,6 +56,7 @@ __all__ = [
     "ProtocolConfig",
     "PROTOCOLS",
     "HEADER_BYTES",
+    "COPY_CHUNK_BYTES",
     "read_message",
     "write_message",
     "encode_rows",
@@ -63,6 +74,9 @@ HEADER_BYTES = _HEADER.size
 
 #: Upper bound on a single message payload (guards corrupt frames).
 MAX_PAYLOAD = 1 << 28
+
+#: Bytes of COPY payload shipped per ``d`` frame.
+COPY_CHUNK_BYTES = 256 << 10
 
 
 @dataclass(frozen=True)

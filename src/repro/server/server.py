@@ -11,6 +11,7 @@ import time
 
 from repro.errors import DatabaseError, ProtocolError
 from repro.server.protocol import (
+    COPY_CHUNK_BYTES,
     HEADER_BYTES,
     PROTOCOLS,
     ProtocolConfig,
@@ -175,7 +176,9 @@ class Server:
                     self._send(wfile, b"Z", b"")
                     wfile.flush()
                     continue
-                self._handle_query(conn, payload.decode("utf-8"), wfile, config)
+                self._handle_query(
+                    conn, payload.decode("utf-8"), rfile, wfile, config
+                )
         except (ConnectionError, ProtocolError):
             return
         finally:
@@ -248,16 +251,74 @@ class Server:
         self._send(wfile, b"Z", b"")
         wfile.flush()
 
-    def _handle_query(self, conn, sql: str, wfile, config: ProtocolConfig) -> None:
+    def _handle_query(
+        self, conn, sql: str, rfile, wfile, config: ProtocolConfig
+    ) -> None:
         started = time.perf_counter()
         try:
-            result = conn.execute(sql)
+            if self._copy_needs_data(sql):
+                copy_data = self._receive_copy_data(rfile, wfile)
+                if copy_data is None:
+                    raise DatabaseError("COPY aborted by client")
+                result = conn.execute(sql, copy_data=copy_data)
+            else:
+                result = conn.execute(sql)
+        except ProtocolError:
+            raise  # framing is broken; drop the connection
         except Exception as exc:  # errors travel the wire, never kill the server
             self._send_error(wfile, exc)
             return
         self._send_result(result, wfile, config, started)
 
+    def _copy_needs_data(self, sql: str) -> bool:
+        """True for a single ``COPY ... FROM STDIN`` on the columnar engine."""
+        if self.engine_kind != "columnar":
+            return False
+        try:
+            from repro.sql import ast
+            from repro.sql.parser import parse
+
+            statements = parse(sql)
+        except Exception:
+            return False  # let execute() raise the real error
+        return (
+            len(statements) == 1
+            and isinstance(statements[0], ast.CopyFromStmt)
+            and statements[0].path is None
+        )
+
+    def _receive_copy_data(self, rfile, wfile) -> bytes | None:
+        """``G`` handshake: collect streamed ``d`` frames until ``c``/``f``."""
+        self._send(wfile, b"G", b"")
+        wfile.flush()
+        parts = []
+        while True:
+            mtype, payload = read_message(rfile)
+            if mtype is None:
+                raise ProtocolError("client closed the connection during COPY")
+            self._stats_incr("bytes_received", HEADER_BYTES + len(payload))
+            if mtype == b"d":
+                parts.append(payload)
+            elif mtype == b"c":
+                return b"".join(parts)
+            elif mtype == b"f":
+                return None
+            else:
+                raise ProtocolError(
+                    f"unexpected message {mtype!r} during COPY input"
+                )
+
     def _send_result(self, result, wfile, config: ProtocolConfig, started) -> None:
+        copy_text = getattr(result, "copy_text", None)
+        if copy_text is not None:
+            # COPY ... TO STDOUT: stream the CSV payload ahead of the
+            # ordinary result sequence (which carries the export row count)
+            self._send(wfile, b"H", b"")
+            payload = copy_text.encode("utf-8")
+            for start in range(0, len(payload), COPY_CHUNK_BYTES):
+                self._send(
+                    wfile, b"d", payload[start : start + COPY_CHUNK_BYTES]
+                )
         if result is None:
             nrows = 0
         else:

@@ -40,6 +40,9 @@ __all__ = [
     "InsertStmt",
     "DeleteStmt",
     "UpdateStmt",
+    "CopyFromStmt",
+    "CopyToStmt",
+    "CreateTableFrom",
     "TransactionStmt",
     "ExplainStmt",
     "Parameter",
@@ -361,6 +364,66 @@ class UpdateStmt(Statement):
     table: str
     assignments: tuple  # of (column_name, Expression)
     where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class CopyFromStmt(Statement):
+    """``COPY [n RECORDS] [OFFSET n] INTO tbl [(cols)] FROM src [options]``.
+
+    ``path`` is ``None`` for ``FROM STDIN`` (data supplied out of band, e.g.
+    streamed over the wire protocol).  ``limit``/``offset`` count CSV records;
+    unlike MonetDB's 1-based ``OFFSET``, ours skips the first ``offset``
+    records (SQL convention).  ``header`` of ``None`` means "no header" here
+    but "auto-detect" in :class:`CreateTableFrom`.
+    """
+
+    table: str
+    path: Optional[str]
+    columns: tuple = ()  # empty = all columns in schema order
+    delimiter: str = ","
+    record_sep: str = "\n"
+    quote: str = '"'
+    null_string: str = ""
+    best_effort: bool = False
+    limit: Optional[int] = None
+    offset: int = 0
+    header: bool = False
+
+
+@dataclass(frozen=True)
+class CopyToStmt(Statement):
+    """``COPY {tbl | (SELECT ...)} TO dst [options]``.
+
+    Exactly one of ``table``/``select`` is set; ``path`` is ``None`` for
+    ``TO STDOUT`` (the CSV text travels back on the result).
+    """
+
+    path: Optional[str]
+    table: Optional[str] = None
+    select: Optional[Statement] = None
+    delimiter: str = ","
+    record_sep: str = "\n"
+    quote: str = '"'
+    null_string: str = ""
+    header: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableFrom(Statement):
+    """``CREATE TABLE name FROM 'file.csv' [options]`` — infer schema + load.
+
+    ``header`` of ``None`` auto-detects a header record from the file.
+    """
+
+    name: str
+    path: str
+    if_not_exists: bool = False
+    delimiter: str = ","
+    record_sep: str = "\n"
+    quote: str = '"'
+    null_string: str = ""
+    best_effort: bool = False
+    header: Optional[bool] = None
 
 
 @dataclass(frozen=True)

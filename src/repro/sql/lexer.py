@@ -8,7 +8,7 @@ from dataclasses import dataclass
 
 from repro.errors import ParseError
 
-__all__ = ["TokenType", "Token", "Lexer", "KEYWORDS"]
+__all__ = ["TokenType", "Token", "Lexer", "KEYWORDS", "CONTEXTUAL_KEYWORDS"]
 
 
 class TokenType(enum.Enum):
@@ -38,6 +38,16 @@ KEYWORDS = frozenset(
     true false
     primary key unique
     union except intersect
+    """.split()
+)
+
+#: Words with special meaning only in specific positions (COPY grammar).
+#: They are deliberately NOT reserved: the lexer emits them as IDENT tokens
+#: and the parser matches them by value, so e.g. ``CREATE TABLE copy (...)``
+#: and a column named ``records`` keep working.
+CONTEXTUAL_KEYWORDS = frozenset(
+    """
+    copy to records delimiters best effort stdin stdout header
     """.split()
 )
 

@@ -9,6 +9,28 @@ from repro.sql.lexer import Lexer, Token, TokenType
 __all__ = ["Parser", "parse", "parse_one", "parse_expression"]
 
 _COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_DELIMITER_ESCAPES = {"\\n": "\n", "\\t": "\t", "\\r": "\r", "\\\\": "\\"}
+
+
+def _unescape_delimiter(text: str) -> str:
+    """Decode ``\\n``/``\\t``/``\\r``/``\\\\`` in DELIMITERS strings.
+
+    SQL string literals keep backslashes verbatim, but ``DELIMITERS '|','\\n'``
+    obviously means a newline record separator (MonetDB behaves the same way).
+    """
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        pair = text[i : i + 2]
+        if pair in _DELIMITER_ESCAPES:
+            out.append(_DELIMITER_ESCAPES[pair])
+            i += 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
 _INTERVAL_UNITS = {"day", "month", "year"}
 _EXTRACT_UNITS = {"year", "month", "day"}
 
@@ -94,6 +116,21 @@ class Parser:
             return token.value
         return None
 
+    def _accept_word(self, *words: str) -> bool:
+        """Accept a contextual keyword, lexed as a plain identifier."""
+        token = self._current
+        if token.type == TokenType.IDENT and token.value in words:
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            raise ParseError(
+                f"expected {word.upper()!r}, found {self._current.value!r}",
+                self._current.position,
+            )
+
     def _expect_ident(self) -> str:
         token = self._current
         if token.type != TokenType.IDENT:
@@ -128,6 +165,10 @@ class Parser:
 
     def _statement(self) -> ast.Statement:
         token = self._current
+        if token.type == TokenType.IDENT and token.value == "copy":
+            # COPY is a contextual keyword: reserved only in statement-head
+            # position, so tables/columns named "copy" keep working.
+            return self._copy_statement()
         if token.type != TokenType.KEYWORD:
             raise ParseError(
                 f"expected a statement, found {token.value!r}", token.position
@@ -170,6 +211,127 @@ class Parser:
             self._accept_keyword("transaction", "work")
             return ast.TransactionStmt("rollback")
         raise ParseError(f"unsupported statement {word!r}", token.position)
+
+    # -- COPY (bulk ingest / export) ---------------------------------------------------
+
+    def _copy_statement(self) -> ast.Statement:
+        """``COPY [n RECORDS] [OFFSET n] INTO t FROM src [opts]`` and
+        ``COPY {t | (SELECT ...)} TO dst [opts]``."""
+        self._expect_word("copy")
+        limit: int | None = None
+        offset = 0
+        if self._current.type == TokenType.NUMBER:
+            limit = self._int_literal("COPY n RECORDS")
+            self._expect_word("records")
+        if self._accept_keyword("offset"):
+            offset = self._int_literal("COPY OFFSET")
+        if self._accept_keyword("into"):
+            table = self._table_name()
+            columns: list[str] = []
+            if self._accept_punct("("):
+                columns.append(self._expect_ident())
+                while self._accept_punct(","):
+                    columns.append(self._expect_ident())
+                self._expect_punct(")")
+            self._expect_keyword("from")
+            path = self._copy_endpoint("stdin")
+            opts = self._copy_options()
+            return ast.CopyFromStmt(
+                table,
+                path,
+                tuple(columns),
+                delimiter=opts["delimiter"],
+                record_sep=opts["record_sep"],
+                quote=opts["quote"],
+                null_string=opts["null_string"],
+                best_effort=opts["best_effort"],
+                limit=limit,
+                offset=offset,
+                header=opts["header"],
+            )
+        if limit is not None or offset:
+            raise ParseError(
+                "n RECORDS / OFFSET only apply to COPY INTO",
+                self._current.position,
+            )
+        if self._accept_punct("("):
+            select: ast.Statement | None = self._query_statement()
+            self._expect_punct(")")
+            table = None
+        else:
+            select = None
+            table = self._table_name()
+        self._expect_word("to")
+        path = self._copy_endpoint("stdout")
+        opts = self._copy_options()
+        if opts["best_effort"]:
+            raise ParseError(
+                "BEST EFFORT only applies to COPY INTO", self._current.position
+            )
+        return ast.CopyToStmt(
+            path,
+            table,
+            select,
+            delimiter=opts["delimiter"],
+            record_sep=opts["record_sep"],
+            quote=opts["quote"],
+            null_string=opts["null_string"],
+            header=opts["header"],
+        )
+
+    def _copy_endpoint(self, stream_word: str) -> str | None:
+        """A file path string, or STDIN/STDOUT (returned as ``None``)."""
+        token = self._current
+        if token.type == TokenType.STRING:
+            self._advance()
+            return str(token.value)
+        if token.type == TokenType.IDENT and token.value == stream_word:
+            self._advance()
+            return None
+        raise ParseError(
+            f"expected a file path string or {stream_word.upper()}",
+            token.position,
+        )
+
+    def _copy_options(self) -> dict:
+        opts = {
+            "delimiter": ",",
+            "record_sep": "\n",
+            "quote": '"',
+            "null_string": "",
+            "best_effort": False,
+            "header": False,
+        }
+        while True:
+            if self._accept_word("delimiters"):
+                opts["delimiter"] = self._delimiter_string()
+                if self._accept_punct(","):
+                    opts["record_sep"] = self._delimiter_string()
+                    if self._accept_punct(","):
+                        opts["quote"] = self._delimiter_string()
+            elif self._accept_keyword("null"):
+                self._expect_keyword("as")
+                token = self._current
+                if token.type != TokenType.STRING:
+                    raise ParseError(
+                        "NULL AS requires a string literal", token.position
+                    )
+                self._advance()
+                opts["null_string"] = str(token.value)
+            elif self._accept_word("best"):
+                self._expect_word("effort")
+                opts["best_effort"] = True
+            elif self._accept_word("header"):
+                opts["header"] = True
+            else:
+                return opts
+
+    def _delimiter_string(self) -> str:
+        token = self._current
+        if token.type != TokenType.STRING:
+            raise ParseError("expected a delimiter string", token.position)
+        self._advance()
+        return _unescape_delimiter(str(token.value))
 
     # -- prepared statements ----------------------------------------------------------
 
@@ -648,13 +810,36 @@ class Parser:
             f"unsupported CREATE {self._current.value!r}", self._current.position
         )
 
-    def _create_table(self) -> ast.CreateTable:
+    def _create_table(self) -> ast.Statement:
         if_not_exists = False
         if self._accept_keyword("if"):
             self._expect_keyword("not")
             self._expect_keyword("exists")
             if_not_exists = True
         name = self._expect_ident()
+        if self._accept_keyword("from"):
+            # CREATE TABLE name FROM 'file.csv' [options]: infer the schema
+            # from the file contents, then bulk load it.
+            token = self._current
+            if token.type != TokenType.STRING:
+                raise ParseError(
+                    "CREATE TABLE ... FROM requires a file path string",
+                    token.position,
+                )
+            self._advance()
+            opts = self._copy_options()
+            return ast.CreateTableFrom(
+                name,
+                str(token.value),
+                if_not_exists,
+                delimiter=opts["delimiter"],
+                record_sep=opts["record_sep"],
+                quote=opts["quote"],
+                null_string=opts["null_string"],
+                best_effort=opts["best_effort"],
+                # explicit HEADER forces it; otherwise auto-detect from data
+                header=True if opts["header"] else None,
+            )
         self._expect_punct("(")
         columns: list[ast.ColumnSpec] = []
         while True:

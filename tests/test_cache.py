@@ -545,11 +545,18 @@ class TestTxnCleanliness:
             lambda c: c.append("t", {"wrong": [1]}),
             lambda c: c.explain("SELECT nosuch FROM t"),
             lambda c: c.execute("EXECUTE nothing (1)"),
+            lambda c: c.execute("COPY INTO t FROM '/nonexistent/file.csv'"),
+            lambda c: c.execute("COPY INTO t FROM STDIN"),
+            lambda c: c.execute(
+                "COPY INTO t FROM STDIN", copy_data=b"not-an-int\n"
+            ),
+            lambda c: c.execute("COPY missing TO '/tmp/out.csv'"),
         ],
         ids=[
             "bind-error", "parse-error", "missing-table", "bad-insert",
             "batch-second-fails", "append-error", "explain-error",
-            "execute-unknown",
+            "execute-unknown", "copy-missing-file", "copy-no-stream",
+            "copy-bad-record", "copy-to-missing-table",
         ],
     )
     def test_failed_statement_leaves_no_dangling_txn(self, db, failer):
@@ -564,6 +571,25 @@ class TestTxnCleanliness:
         assert not c1.in_transaction
         c2.execute("INSERT INTO t VALUES (2)")  # must not conflict or block
         assert c1.execute("SELECT count(*) FROM t").fetchall() == [(2,)]
+        c1.close()
+        c2.close()
+
+    def test_failed_copy_aborts_explicit_txn(self, db):
+        """A failed COPY inside BEGIN rolls back cleanly: the explicit
+        transaction is cleared, no snapshot stays pinned, and rows loaded
+        before the failure are gone."""
+        c1, c2 = db.connect(), db.connect()
+        c1.execute("CREATE TABLE t (a INTEGER)")
+        c1.execute("INSERT INTO t VALUES (1)")
+        c1.execute("BEGIN")
+        c1.execute("SELECT * FROM t")
+        with pytest.raises(Exception):
+            # first record loads, second is malformed -> whole COPY fails
+            c1.execute("COPY INTO t FROM STDIN", copy_data=b"5\nboom\n")
+        assert not c1.in_transaction
+        c2.execute("INSERT INTO t VALUES (2)")
+        assert c1.execute("SELECT count(*) FROM t").fetchall() == [(2,)]
+        assert c1.execute("SELECT max(a) FROM t").fetchall() == [(2,)]
         c1.close()
         c2.close()
 
