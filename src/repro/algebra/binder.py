@@ -15,7 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.errors import BindError, ParseError
+from repro.errors import BindError, DatabaseError, ParseError
 from repro.algebra import expr as E
 from repro.algebra import nodes as N
 from repro.algebra.functions import (
@@ -207,10 +207,63 @@ class Binder:
             raise BindError(
                 f"set operation arity mismatch: {len(lout)} vs {len(rout)}"
             )
-        for lcol, rcol in zip(lout, rout):
-            T.common_type(lcol.type, rcol.type)  # raises on incompatibility
-        plan = N.SetOp(stmt.op, left.plan, right.plan, stmt.all)
+        common: list[T.SQLType] = []
+        for index, (lcol, rcol) in enumerate(zip(lout, rout)):
+            try:
+                common.append(T.common_type(lcol.type, rcol.type))
+            except DatabaseError:
+                # an untyped NULL column (SELECT NULL defaults to INTEGER)
+                # adopts the other branch's type instead of failing, and a
+                # string literal paired with a DATE column parses as a date
+                # (the same rule _coerce_pair applies to comparisons)
+                if _is_null_output_column(left.plan, index):
+                    common.append(rcol.type)
+                elif _is_null_output_column(right.plan, index):
+                    common.append(lcol.type)
+                elif (
+                    rcol.type.category == T.TypeCategory.DATE
+                    and lcol.type.category == T.TypeCategory.STRING
+                    and _output_const(left.plan, index) is not None
+                ):
+                    common.append(rcol.type)
+                elif (
+                    lcol.type.category == T.TypeCategory.DATE
+                    and rcol.type.category == T.TypeCategory.STRING
+                    and _output_const(right.plan, index) is not None
+                ):
+                    common.append(lcol.type)
+                else:
+                    raise
+        lplan = self._coerce_setop_side(left.plan, common)
+        rplan = self._coerce_setop_side(right.plan, common)
+        plan = N.SetOp(stmt.op, lplan, rplan, stmt.all)
         return N.BoundSelect(plan, left.column_names)
+
+    def _coerce_setop_side(
+        self, plan: N.LogicalNode, common: list
+    ) -> N.LogicalNode:
+        """Project a set-op branch into the per-column common types."""
+        if all(col.type == ctype for col, ctype in zip(plan.output, common)):
+            return plan
+        exprs = []
+        for slot, (col, ctype) in enumerate(zip(plan.output, common)):
+            ref = E.SlotRef(slot, col.type, col.name)
+            if col.type == ctype:
+                exprs.append(ref)
+            elif _is_null_output_column(plan, slot):
+                exprs.append(E.Const(None, ctype))
+            elif (
+                ctype.category == T.TypeCategory.DATE
+                and col.type.category == T.TypeCategory.STRING
+                and (const := _output_const(plan, slot)) is not None
+            ):
+                exprs.append(E.Const(T.DATE.to_storage(const.value), T.DATE))
+            else:
+                exprs.append(self._coerce_to(ref, ctype))
+        output = [
+            N.OutputColumn(col.name, e.type) for col, e in zip(plan.output, exprs)
+        ]
+        return N.Project(plan, exprs, output)
 
     # -- FROM/WHERE core ---------------------------------------------------------------
 
@@ -869,6 +922,11 @@ class Binder:
             left, right = self._coerce_pair(left, right)
             return E.Compare(op, left, right)
         if op == "||":
+            # an untyped NULL literal is a valid (NULL-yielding) operand
+            if isinstance(left, E.Const) and left.is_null:
+                left = E.Const(None, T.STRING)
+            if isinstance(right, E.Const) and right.is_null:
+                right = E.Const(None, T.STRING)
             if (
                 left.type.category != T.TypeCategory.STRING
                 or right.type.category != T.TypeCategory.STRING
@@ -1258,6 +1316,28 @@ class _RenamedPlan(N.LogicalNode):
     @property
     def children(self) -> list:
         return [self.child]
+
+
+def _output_const(plan: N.LogicalNode, index: int) -> E.Const | None:
+    """The constant feeding a plan's output column, if it is one."""
+    while isinstance(plan, (N.Filter, N.Sort, N.Limit, N.Distinct, _RenamedPlan)):
+        plan = plan.children[0]
+    if isinstance(plan, N.Project):
+        expression = plan.exprs[index]
+        if isinstance(expression, E.Const):
+            return expression
+    return None
+
+
+def _is_null_output_column(plan: N.LogicalNode, index: int) -> bool:
+    """True when a plan's output column is a bare NULL constant.
+
+    Such a column carries the binder's default type (INTEGER) rather than
+    one the user wrote, so in a set operation it may adopt the type of the
+    matching column on the other branch.
+    """
+    const = _output_const(plan, index)
+    return const is not None and const.is_null
 
 
 #: decimal digits an integer of the given byte width can hold

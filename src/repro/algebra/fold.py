@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.algebra import expr as E
 from repro.algebra.like import compile_like
-from repro.errors import BindError
+from repro.errors import BindError, ConversionError
 from repro.storage import types as T
 
 __all__ = ["fold_expression", "eval_const"]
@@ -25,7 +25,10 @@ def fold_expression(expression: E.BoundExpr) -> E.BoundExpr:
     if isinstance(folded, E.Const):
         return folded
     if _is_foldable(folded):
-        value = eval_const(folded)
+        # numpy scalar ops otherwise emit RuntimeWarnings (overflow etc.)
+        # to stderr; out-of-range results are raised explicitly below
+        with np.errstate(all="ignore"):
+            value = eval_const(folded)
         return E.Const(value, folded.type)
     return folded
 
@@ -166,6 +169,19 @@ def _trunc_div(left: int, right: int) -> int:
 
 def _scalar_arith(op: str, left, right, rtype: T.SQLType = T.DOUBLE):
     integral = rtype.category in (T.TypeCategory.INTEGER, T.TypeCategory.DECIMAL)
+    if op in ("+", "-", "*") and integral:
+        # exact Python-int arithmetic: numpy would silently wrap into the
+        # NULL-sentinel domain on overflow instead of raising.  The result
+        # stays in the operands' domain: numpy scalars are storage-domain
+        # (scaled DECIMALs), plain ints are value-domain.
+        lv, rv = int(left), int(right)
+        value = {"+": lv + rv, "-": lv - rv, "*": lv * rv}[op]
+        info = np.iinfo(rtype.dtype)
+        if not info.min < value <= info.max:
+            raise ConversionError(f"value {value} out of range for {rtype.name}")
+        if isinstance(left, np.generic) or isinstance(right, np.generic):
+            return rtype.dtype.type(value)
+        return value
     if op == "+":
         return left + right
     if op == "-":

@@ -1,0 +1,33 @@
+"""Differential SQL fuzzer: repro vs a SQLite oracle.
+
+The paper's evaluation uses SQLite as the embedded baseline; this package
+turns that baseline into a standing correctness harness.  A seeded
+generator produces schemas, data, and queries in the common dialect of
+both engines, replays each query against both, and reports any divergence
+as a minimized, replayable ``.sql`` corpus file.
+
+Run it with ``python -m repro.fuzz --seed 5 --budget-seconds 60``.
+"""
+
+from repro.fuzz.compare import (
+    diff_classification,
+    normalize_rows,
+    rows_equivalent,
+)
+from repro.fuzz.grammar import QueryGen
+from repro.fuzz.runner import Fuzzer, classify, execute_pair
+from repro.fuzz.schema import Scenario, gen_tables
+from repro.fuzz.shrink import shrink_scenario
+
+__all__ = [
+    "Fuzzer",
+    "QueryGen",
+    "Scenario",
+    "classify",
+    "diff_classification",
+    "execute_pair",
+    "gen_tables",
+    "normalize_rows",
+    "rows_equivalent",
+    "shrink_scenario",
+]

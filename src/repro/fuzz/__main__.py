@@ -1,0 +1,47 @@
+"""CLI driver: ``python -m repro.fuzz``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz.runner import Fuzzer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential SQL fuzzing of repro against SQLite.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (default 0)")
+    parser.add_argument("--budget-queries", type=int, default=None,
+                        help="stop after this many generated queries")
+    parser.add_argument("--budget-seconds", type=float, default=None,
+                        help="stop after this much wall-clock time")
+    parser.add_argument("--corpus", default="tests/fuzz_corpus",
+                        help="directory for minimized .sql reproducers "
+                             "(default tests/fuzz_corpus)")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="report divergences without delta-debugging")
+    args = parser.parse_args(argv)
+
+    fuzzer = Fuzzer(seed=args.seed, corpus_dir=args.corpus)
+    summary = fuzzer.run(
+        budget_queries=args.budget_queries,
+        budget_seconds=args.budget_seconds,
+        minimize=not args.no_minimize,
+    )
+    print(
+        f"fuzz: seed={summary['seed']} queries={summary['queries']} "
+        f"divergences={summary['divergences']}"
+    )
+    for divergence in fuzzer.divergences:
+        print(f"  [{divergence.classification}] {divergence.sql}")
+        if divergence.detail:
+            print(f"      {divergence.detail}")
+    return 1 if fuzzer.divergences else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

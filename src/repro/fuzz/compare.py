@@ -1,0 +1,106 @@
+"""NULL- and float-tolerant result comparison between repro and SQLite.
+
+Both engines' raw result rows are first normalized into a common value
+domain (dates to ISO strings, bools/ints/floats to floats, NULL to
+``None``).  The default comparison is a *multiset* check — row order is
+an implementation detail unless the query pins it — with float cells
+compared under relative tolerance.  Queries whose ORDER BY covers every
+output column additionally get an order-aware (list prefix) check.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+
+__all__ = ["normalize_rows", "rows_equivalent", "diff_classification"]
+
+#: tolerance for float cells: generous enough for summation-order and
+#: decimal-vs-double representation differences, far tighter than any
+#: genuine wrong answer over the generated data
+_REL_TOL = 1e-7
+_ABS_TOL = 1e-9
+
+
+def _normalize_cell(value):
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return str(value)
+
+
+def normalize_rows(rows: list) -> list:
+    return [tuple(_normalize_cell(cell) for cell in row) for row in rows]
+
+
+def _sort_key(row: tuple):
+    key = []
+    for cell in row:
+        if cell is None:
+            key.append((0, ""))
+        elif isinstance(cell, float):
+            key.append((1, cell))
+        else:
+            key.append((2, cell))
+    return key
+
+
+def _cells_match(a, b) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+    return a == b
+
+
+def _rows_match(a: tuple, b: tuple) -> bool:
+    return len(a) == len(b) and all(
+        _cells_match(x, y) for x, y in zip(a, b)
+    )
+
+
+def rows_equivalent(left: list, right: list, ordered: bool) -> bool:
+    """Equivalence of two normalized result sets.
+
+    ``ordered`` compares positionally (the query pinned a total order);
+    otherwise rows are matched as multisets via a canonical sort.  Floats
+    compare under tolerance, so both sides are sorted the same way first —
+    near-equal floats stay adjacent and pair up.
+    """
+    if len(left) != len(right):
+        return False
+    if not ordered:
+        left = sorted(left, key=_sort_key)
+        right = sorted(right, key=_sort_key)
+    return all(_rows_match(a, b) for a, b in zip(left, right))
+
+
+def diff_classification(left: list, right: list, ordered: bool) -> str:
+    """'ok', 'wrong_nulls' (differs only where one side is NULL), or
+    'wrong_rows'."""
+    if rows_equivalent(left, right, ordered):
+        return "ok"
+    if len(left) == len(right):
+        a = sorted(left, key=_sort_key) if not ordered else left
+        b = sorted(right, key=_sort_key) if not ordered else right
+        only_null_diffs = True
+        for ra, rb in zip(a, b):
+            if len(ra) != len(rb):
+                only_null_diffs = False
+                break
+            for x, y in zip(ra, rb):
+                if not _cells_match(x, y) and x is not None and y is not None:
+                    only_null_diffs = False
+                    break
+            if not only_null_diffs:
+                break
+        if only_null_diffs:
+            return "wrong_nulls"
+    return "wrong_rows"

@@ -1,0 +1,853 @@
+"""Seeded random query generator over the repro/SQLite common dialect.
+
+The grammar only emits constructs with identical semantics in both
+engines (see DESIGN.md "dialect-gap rules" for what is deliberately
+excluded and why).  Queries are built as small AST objects rather than
+strings so the shrinker can delta-debug a failing query structurally:
+every node knows how to ``render()`` itself and how to propose simpler
+replacements of the same type.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.schema import DATE, FLOAT, INT, STR
+
+__all__ = [
+    "Lit",
+    "Col",
+    "Bin",
+    "Func",
+    "Case",
+    "Cast",
+    "Agg",
+    "Cmp",
+    "Between",
+    "InList",
+    "IsNull",
+    "Like",
+    "BoolOp",
+    "Not",
+    "Select",
+    "SetQuery",
+    "FromTable",
+    "FromJoin",
+    "FromSub",
+    "QueryGen",
+    "expr_shrinks",
+    "pred_shrinks",
+]
+
+_DEFAULT_LIT = {
+    INT: ("1", 1),
+    FLOAT: ("0.5", 0),
+    STR: ("'a'", 0),
+    DATE: ("'2020-01-01'", 0),
+}
+
+
+# -- scalar expressions -----------------------------------------------------------
+
+
+class Lit:
+    __slots__ = ("sql", "tag", "bound")
+
+    def __init__(self, sql: str, tag: str, bound: int = 0):
+        self.sql = sql
+        self.tag = tag
+        self.bound = bound
+
+    def render(self) -> str:
+        return self.sql
+
+    def children(self) -> list:
+        return []
+
+
+class Col:
+    __slots__ = ("name", "tag", "bound")
+
+    def __init__(self, name: str, tag: str, bound: int = 0):
+        self.name = name
+        self.tag = tag
+        self.bound = bound
+
+    def render(self) -> str:
+        return self.name
+
+    def children(self) -> list:
+        return []
+
+
+class Bin:
+    __slots__ = ("op", "left", "right", "tag", "bound")
+
+    def __init__(self, op: str, left, right, tag: str, bound: int = 0):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.tag = tag
+        self.bound = bound
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def children(self) -> list:
+        return [self.left, self.right]
+
+
+class Func:
+    __slots__ = ("name", "args", "tag", "bound")
+
+    def __init__(self, name: str, args: list, tag: str, bound: int = 0):
+        self.name = name
+        self.args = args
+        self.tag = tag
+        self.bound = bound
+
+    def render(self) -> str:
+        return f"{self.name}({', '.join(a.render() for a in self.args)})"
+
+    def children(self) -> list:
+        return list(self.args)
+
+
+class Case:
+    __slots__ = ("pred", "then", "els", "tag", "bound")
+
+    def __init__(self, pred, then, els, tag: str, bound: int = 0):
+        self.pred = pred
+        self.then = then
+        self.els = els
+        self.tag = tag
+        self.bound = bound
+
+    def render(self) -> str:
+        return (
+            f"CASE WHEN {self.pred.render()} THEN {self.then.render()}"
+            f" ELSE {self.els.render()} END"
+        )
+
+    def children(self) -> list:
+        return [self.then, self.els]
+
+
+class Cast:
+    __slots__ = ("arg", "decl", "tag", "bound")
+
+    def __init__(self, arg, decl: str, tag: str, bound: int = 0):
+        self.arg = arg
+        self.decl = decl
+        self.tag = tag
+        self.bound = bound
+
+    def render(self) -> str:
+        return f"CAST({self.arg.render()} AS {self.decl})"
+
+    def children(self) -> list:
+        return []
+
+
+class Agg:
+    """An aggregate call; ``arg`` is None for COUNT(*)."""
+
+    __slots__ = ("func", "arg", "distinct", "tag", "bound")
+
+    def __init__(self, func: str, arg, distinct: bool, tag: str, bound: int = 0):
+        self.func = func
+        self.arg = arg
+        self.distinct = distinct
+        self.tag = tag
+        self.bound = bound
+
+    def render(self) -> str:
+        if self.arg is None:
+            return "COUNT(*)"
+        inner = self.arg.render()
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.func}({inner})"
+
+    def children(self) -> list:
+        return []
+
+
+# -- predicates -------------------------------------------------------------------
+
+
+class Cmp:
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.op} {self.right.render()}"
+
+
+class Between:
+    __slots__ = ("expr", "lo", "hi")
+
+    def __init__(self, expr, lo, hi):
+        self.expr = expr
+        self.lo = lo
+        self.hi = hi
+
+    def render(self) -> str:
+        return (
+            f"{self.expr.render()} BETWEEN {self.lo.render()}"
+            f" AND {self.hi.render()}"
+        )
+
+
+class InList:
+    __slots__ = ("expr", "values", "negated")
+
+    def __init__(self, expr, values: list, negated: bool):
+        self.expr = expr
+        self.values = values
+        self.negated = negated
+
+    def render(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        return (
+            f"{self.expr.render()} {op}"
+            f" ({', '.join(v.render() for v in self.values)})"
+        )
+
+
+class IsNull:
+    __slots__ = ("expr", "negated")
+
+    def __init__(self, expr, negated: bool):
+        self.expr = expr
+        self.negated = negated
+
+    def render(self) -> str:
+        return f"{self.expr.render()} IS {'NOT ' if self.negated else ''}NULL"
+
+
+class Like:
+    __slots__ = ("expr", "pattern", "negated")
+
+    def __init__(self, expr, pattern: str, negated: bool):
+        self.expr = expr
+        self.pattern = pattern
+        self.negated = negated
+
+    def render(self) -> str:
+        op = "NOT LIKE" if self.negated else "LIKE"
+        return f"{self.expr.render()} {op} '{self.pattern}'"
+
+
+class BoolOp:
+    __slots__ = ("op", "parts")
+
+    def __init__(self, op: str, parts: list):
+        self.op = op
+        self.parts = parts
+
+    def render(self) -> str:
+        joined = f" {self.op} ".join(f"({p.render()})" for p in self.parts)
+        return joined
+
+
+class Not:
+    __slots__ = ("pred",)
+
+    def __init__(self, pred):
+        self.pred = pred
+
+    def render(self) -> str:
+        return f"NOT ({self.pred.render()})"
+
+
+# -- FROM clauses -----------------------------------------------------------------
+
+
+class FromTable:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def render(self) -> str:
+        return self.name
+
+
+class FromJoin:
+    """Comma join of two tables with an equality predicate on INT keys."""
+
+    __slots__ = ("left", "lalias", "right", "ralias", "pred")
+
+    def __init__(self, left: str, lalias: str, right: str, ralias: str, pred):
+        self.left = left
+        self.lalias = lalias
+        self.right = right
+        self.ralias = ralias
+        self.pred = pred
+
+    def render(self) -> str:
+        return f"{self.left} {self.lalias}, {self.right} {self.ralias}"
+
+
+class FromSub:
+    __slots__ = ("select", "alias")
+
+    def __init__(self, select, alias: str):
+        self.select = select
+        self.alias = alias
+
+    def render(self) -> str:
+        return f"({self.select.render()}) {self.alias}"
+
+
+# -- queries ----------------------------------------------------------------------
+
+
+class Select:
+    """One SELECT block.  ``order`` lists (item_index, desc, nulls_first);
+    ``ordered_all`` means the ORDER BY covers every output column, which
+    lets the comparator check row order (and makes LIMIT deterministic).
+    """
+
+    __slots__ = (
+        "items",
+        "from_",
+        "where",
+        "group",
+        "having",
+        "order",
+        "limit",
+        "offset",
+        "distinct",
+        "aliased",
+    )
+
+    def __init__(self, items, from_, where=None, group=None, having=None,
+                 order=None, limit=None, offset=0, distinct=False,
+                 aliased=False):
+        self.items = items  # list of expression nodes
+        self.from_ = from_  # None | FromTable | FromJoin | FromSub
+        self.where = where
+        self.group = group  # list of item indexes that are group keys
+        self.having = having
+        self.order = order  # list of (item_index, desc, nulls_first)
+        self.limit = limit
+        self.offset = offset
+        self.distinct = distinct
+        self.aliased = aliased  # render items as "expr AS cN"
+
+    @property
+    def ordered_all(self) -> bool:
+        if not self.order:
+            return False
+        return {index for index, _, _ in self.order} == set(
+            range(len(self.items))
+        )
+
+    def render(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        rendered_items = []
+        for i, item in enumerate(self.items):
+            text = item.render()
+            if self.aliased:
+                text += f" AS c{i}"
+            rendered_items.append(text)
+        parts.append(", ".join(rendered_items))
+        where = self.where
+        if self.from_ is not None:
+            parts.append(f"FROM {self.from_.render()}")
+            if isinstance(self.from_, FromJoin):
+                join_pred = self.from_.pred
+                where = (
+                    join_pred if where is None
+                    else BoolOp("AND", [join_pred, where])
+                )
+        if where is not None:
+            parts.append(f"WHERE {where.render()}")
+        if self.group:
+            keys = ", ".join(self.items[i].render() for i in self.group)
+            parts.append(f"GROUP BY {keys}")
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.render()}")
+        if self.order:
+            keys = ", ".join(
+                f"{self.items[i].render()}"
+                f" {'DESC' if desc else 'ASC'}"
+                f" NULLS {'FIRST' if nulls_first else 'LAST'}"
+                for i, desc, nulls_first in self.order
+            )
+            parts.append(f"ORDER BY {keys}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+            if self.offset:
+                parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+    def copy(self) -> "Select":
+        return Select(
+            list(self.items), self.from_, self.where,
+            list(self.group) if self.group else None, self.having,
+            list(self.order) if self.order else None, self.limit,
+            self.offset, self.distinct, self.aliased,
+        )
+
+
+class SetQuery:
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Select, right: Select):
+        self.op = op  # "UNION" | "UNION ALL" | "INTERSECT" | "EXCEPT"
+        self.left = left
+        self.right = right
+
+    @property
+    def ordered_all(self) -> bool:
+        return False
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.op} {self.right.render()}"
+
+
+# -- structural shrinking ---------------------------------------------------------
+
+
+def expr_shrinks(expr) -> list:
+    """Simpler same-typed replacements for one expression node."""
+    out = [c for c in expr.children() if c.tag == expr.tag]
+    if not isinstance(expr, (Lit, Col)):
+        sql, bound = _DEFAULT_LIT[expr.tag]
+        out.append(Lit(sql, expr.tag, bound))
+    return out
+
+
+def pred_shrinks(pred) -> list:
+    """Simpler replacements for one predicate node."""
+    if isinstance(pred, BoolOp):
+        return list(pred.parts)
+    if isinstance(pred, Not):
+        return [pred.pred]
+    out = []
+    if isinstance(pred, Cmp):
+        for side in ("left", "right"):
+            for replacement in expr_shrinks(getattr(pred, side)):
+                clone = Cmp(pred.op, pred.left, pred.right)
+                setattr(clone, side, replacement)
+                out.append(clone)
+    return out
+
+
+# -- the generator ----------------------------------------------------------------
+
+#: int expressions never exceed this magnitude, keeping well inside
+#: int32 — where repro's INTEGER arithmetic would wrap but SQLite's
+#: always-int64 arithmetic would not (a documented dialect gap)
+_INT_CEILING = 1_000_000_000
+
+
+class QueryGen:
+    """Seeded query generator over a fixed set of tables."""
+
+    def __init__(self, rng, tables: list):
+        self.rng = rng
+        self.tables = tables
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _columns(self, table, tag=None, prefix: str = "") -> list:
+        out = []
+        for column in table.columns:
+            if tag is None or column.tag == tag:
+                out.append(
+                    Col(prefix + column.name, column.tag, column.bound)
+                )
+        return out
+
+    def _literal(self, tag: str) -> Lit:
+        rng = self.rng
+        if tag == INT:
+            value = rng.randint(-20, 20)
+            return Lit(str(value), INT, abs(value))
+        if tag == FLOAT:
+            return Lit(f"{rng.randint(-999, 999) / 100.0:.2f}", FLOAT)
+        if tag == STR:
+            n = rng.randint(1, 4)
+            s = "".join(
+                rng.choice("abcdefghij") for _ in range(n)
+            )
+            return Lit(f"'{s}'", STR)
+        if tag == DATE:
+            year = rng.randint(2015, 2024)
+            month = rng.randint(1, 12)
+            day = rng.randint(1, 28)
+            return Lit(f"'{year:04d}-{month:02d}-{day:02d}'", DATE)
+        raise ValueError(tag)
+
+    # -- expressions --------------------------------------------------------------
+
+    def expr(self, tag: str, cols: list, depth: int, exact: bool = False):
+        """Random expression of type ``tag`` over ``cols``.
+
+        ``exact`` restricts FLOAT expressions to plain columns/literals:
+        computed floats are only comparable with tolerance, so they may
+        not feed predicates, DISTINCT, GROUP BY, or set operations.
+        """
+        rng = self.rng
+        candidates = [c for c in cols if c.tag == tag]
+        if depth <= 0 or (tag == FLOAT and exact):
+            if candidates and rng.random() < 0.7:
+                return rng.choice(candidates)
+            return self._literal(tag)
+        roll = rng.random()
+        if tag == INT:
+            return self._int_expr(roll, cols, candidates, depth, exact)
+        if tag == FLOAT:
+            return self._float_expr(roll, cols, candidates, depth)
+        if tag == STR:
+            return self._str_expr(roll, cols, candidates, depth, exact)
+        # DATE: no cross-dialect date arithmetic — columns and literals only
+        if candidates and roll < 0.7:
+            return rng.choice(candidates)
+        return self._literal(DATE)
+
+    def _int_expr(self, roll, cols, candidates, depth, exact):
+        rng = self.rng
+        if roll < 0.30:
+            if candidates and rng.random() < 0.75:
+                return rng.choice(candidates)
+            return self._literal(INT)
+        if roll < 0.62:
+            op = rng.choice(["+", "-", "*", "/", "%"])
+            left = self.expr(INT, cols, depth - 1, exact)
+            if op in ("/", "%"):
+                divisor = rng.randint(2, 9)  # nonzero constant divisor
+                return Bin(op, left, Lit(str(divisor), INT, divisor),
+                           INT, left.bound)
+            right = self.expr(INT, cols, depth - 1, exact)
+            if op == "*":
+                if left.bound * max(right.bound, 1) > _INT_CEILING:
+                    op = "+"
+                else:
+                    return Bin("*", left, right, INT,
+                               left.bound * max(right.bound, 1))
+            bound = left.bound + right.bound
+            if bound > _INT_CEILING:
+                return left
+            return Bin(op, left, right, INT, bound)
+        if roll < 0.72:
+            arg = self.expr(INT, cols, depth - 1, exact)
+            return Func("abs", [arg], INT, arg.bound)
+        if roll < 0.80:
+            arg = self.expr(STR, cols, depth - 1, exact)
+            return Func("length", [arg], INT, 64)
+        if roll < 0.88:
+            pred = self.pred(cols, depth - 1)
+            then = self.expr(INT, cols, depth - 1, exact)
+            els = self.expr(INT, cols, depth - 1, exact)
+            return Case(pred, then, els, INT, max(then.bound, els.bound))
+        if roll < 0.94 and candidates:
+            column = rng.choice(candidates)
+            literal = self._literal(INT)
+            return Func("coalesce", [column, literal], INT,
+                        max(column.bound, literal.bound))
+        # truncating CAST: identical toward-zero semantics in both engines
+        arg = self.expr(FLOAT, cols, 0, exact=True)
+        return Cast(arg, "INTEGER", INT, 10_000)
+
+    def _float_expr(self, roll, cols, candidates, depth):
+        rng = self.rng
+        if roll < 0.35:
+            if candidates and rng.random() < 0.75:
+                return rng.choice(candidates)
+            return self._literal(FLOAT)
+        if roll < 0.75:
+            op = rng.choice(["+", "-", "*"])
+            left = self.expr(FLOAT, cols, depth - 1)
+            right = self.expr(FLOAT, cols, depth - 1)
+            return Bin(op, left, right, FLOAT)
+        if roll < 0.85:
+            name = rng.choice(["abs", "floor", "ceil"])
+            return Func(name, [self.expr(FLOAT, cols, depth - 1)], FLOAT)
+        if roll < 0.93:
+            pred = self.pred(cols, depth - 1)
+            return Case(pred, self.expr(FLOAT, cols, depth - 1),
+                        self.expr(FLOAT, cols, depth - 1), FLOAT)
+        # ints are floats too — but cast, so the enclosing arithmetic
+        # runs in DOUBLE in both engines (not int32 vs int64)
+        return Cast(self.expr(INT, cols, depth - 1), "DOUBLE", FLOAT)
+
+    def _str_expr(self, roll, cols, candidates, depth, exact):
+        rng = self.rng
+        if roll < 0.40:
+            if candidates and rng.random() < 0.75:
+                return rng.choice(candidates)
+            return self._literal(STR)
+        if roll < 0.60:
+            return Bin("||", self.expr(STR, cols, depth - 1, exact),
+                       self.expr(STR, cols, depth - 1, exact), STR)
+        if roll < 0.80:
+            name = rng.choice(["upper", "lower", "trim"])
+            return Func(name, [self.expr(STR, cols, depth - 1, exact)], STR)
+        if roll < 0.92:
+            start = rng.randint(1, 3)
+            count = rng.randint(1, 5)
+            return Func(
+                "substr",
+                [self.expr(STR, cols, depth - 1, exact),
+                 Lit(str(start), INT, start), Lit(str(count), INT, count)],
+                STR,
+            )
+        if candidates:
+            return Func("coalesce", [rng.choice(candidates),
+                                     self._literal(STR)], STR)
+        return self._literal(STR)
+
+    # -- predicates ---------------------------------------------------------------
+
+    def pred(self, cols: list, depth: int):
+        rng = self.rng
+        roll = rng.random()
+        if depth > 0 and roll < 0.22:
+            parts = [self.pred(cols, depth - 1) for _ in range(2)]
+            return BoolOp(rng.choice(["AND", "OR"]), parts)
+        if depth > 0 and roll < 0.30:
+            return Not(self.pred(cols, depth - 1))
+        kind = rng.random()
+        str_cols = [c for c in cols if c.tag == STR]
+        date_cols = [c for c in cols if c.tag == DATE]
+        float_cols = [c for c in cols if c.tag == FLOAT]
+        if kind < 0.40:
+            return self._comparison(cols, depth)
+        if kind < 0.55:
+            expr = self.expr(INT, cols, depth - 1, exact=True)
+            lo = rng.randint(-30, 10)
+            hi = lo + rng.randint(0, 40)
+            return Between(expr, Lit(str(lo), INT, abs(lo)),
+                           Lit(str(hi), INT, abs(hi)))
+        if kind < 0.70:
+            tag = STR if (str_cols and rng.random() < 0.5) else INT
+            expr = (rng.choice(str_cols) if tag == STR
+                    else self.expr(INT, cols, depth - 1, exact=True))
+            values = [self._literal(tag) for _ in range(rng.randint(1, 4))]
+            return InList(expr, values, rng.random() < 0.3)
+        if kind < 0.82 and cols:
+            return IsNull(rng.choice(cols), rng.random() < 0.5)
+        if kind < 0.92 and str_cols:
+            letters = "".join(
+                rng.choice("abcdefghij") for _ in range(rng.randint(0, 2))
+            )
+            pattern = rng.choice([f"{letters}%", f"%{letters}", f"%{letters}%",
+                                  f"{letters}_%"])
+            return Like(rng.choice(str_cols), pattern, rng.random() < 0.3)
+        if date_cols:
+            return Cmp(rng.choice(["<", "<=", ">", ">=", "=", "<>"]),
+                       rng.choice(date_cols), self._literal(DATE))
+        if float_cols:
+            return Cmp(rng.choice(["<", "<=", ">", ">=", "=", "<>"]),
+                       rng.choice(float_cols), self._literal(FLOAT))
+        return self._comparison(cols, depth)
+
+    def _comparison(self, cols, depth):
+        rng = self.rng
+        str_cols = [c for c in cols if c.tag == STR]
+        date_cols = [c for c in cols if c.tag == DATE]
+        float_cols = [c for c in cols if c.tag == FLOAT]
+        op = rng.choice(["=", "<>", "<", "<=", ">", ">="])
+        choice = rng.random()
+        if choice < 0.55:
+            return Cmp(op, self.expr(INT, cols, depth - 1, exact=True),
+                       self.expr(INT, cols, depth - 1, exact=True))
+        if choice < 0.70 and float_cols:
+            # computed floats never reach predicates: plain column vs
+            # literal only (repro's exact DECIMALs vs SQLite's doubles)
+            return Cmp(op, rng.choice(float_cols), self._literal(FLOAT))
+        if choice < 0.85 and str_cols:
+            right = (rng.choice(str_cols) if len(str_cols) > 1
+                     and rng.random() < 0.4 else self._literal(STR))
+            return Cmp(op, rng.choice(str_cols), right)
+        if date_cols:
+            right = (rng.choice(date_cols) if len(date_cols) > 1
+                     and rng.random() < 0.4 else self._literal(DATE))
+            return Cmp(op, rng.choice(date_cols), right)
+        return Cmp(op, self.expr(INT, cols, depth - 1, exact=True),
+                   self.expr(INT, cols, depth - 1, exact=True))
+
+    # -- aggregates ---------------------------------------------------------------
+
+    def agg(self, cols: list):
+        rng = self.rng
+        roll = rng.random()
+        int_cols = [c for c in cols if c.tag == INT]
+        float_cols = [c for c in cols if c.tag == FLOAT]
+        if roll < 0.2 or not cols:
+            return Agg("COUNT", None, False, INT)
+        if roll < 0.35:
+            return Agg("COUNT", rng.choice(cols), rng.random() < 0.4, INT)
+        if roll < 0.55 and int_cols:
+            return Agg(rng.choice(["SUM", "MIN", "MAX"]),
+                       rng.choice(int_cols), False, INT)
+        if roll < 0.70 and (int_cols or float_cols):
+            return Agg("AVG", rng.choice(int_cols + float_cols), False, FLOAT)
+        if roll < 0.85 and float_cols:
+            return Agg(rng.choice(["SUM", "MIN", "MAX"]),
+                       rng.choice(float_cols), False, FLOAT)
+        column = rng.choice(cols)
+        tag = INT if column.tag == INT else column.tag
+        return Agg(rng.choice(["MIN", "MAX"]), column, False, tag)
+
+    def _having(self, cols: list):
+        rng = self.rng
+        int_cols = [c for c in cols if c.tag == INT]
+        agg = (Agg("COUNT", None, False, INT) if not int_cols
+               or rng.random() < 0.5
+               else Agg(rng.choice(["SUM", "MIN", "MAX", "COUNT"]),
+                        rng.choice(int_cols), False, INT))
+        op = rng.choice(["=", "<>", "<", "<=", ">", ">="])
+        value = rng.randint(-5, 8)
+        return Cmp(op, agg, Lit(str(value), INT, abs(value)))
+
+    # -- query shapes -------------------------------------------------------------
+
+    def query(self):
+        roll = self.rng.random()
+        if roll < 0.28:
+            return self._simple_select()
+        if roll < 0.48:
+            return self._group_select()
+        if roll < 0.58:
+            return self._global_agg_select()
+        if roll < 0.72:
+            return self._set_query()
+        if roll < 0.82:
+            return self._subquery_select()
+        if roll < 0.94:
+            return self._join_select()
+        return self._constant_select()
+
+    def _pick_table(self):
+        return self.rng.choice(self.tables)
+
+    def _simple_select(self, table=None):
+        rng = self.rng
+        table = table or self._pick_table()
+        cols = self._columns(table)
+        with_limit = rng.random() < 0.35
+        if with_limit:
+            # deterministic top-k: plain columns, ordered by all of them
+            k = rng.randint(1, min(3, len(cols)))
+            items = rng.sample(cols, k)
+            order = [(i, rng.random() < 0.5, rng.random() < 0.5)
+                     for i in range(len(items))]
+            limit = rng.randint(1, 10)
+            offset = rng.randint(0, 3) if rng.random() < 0.3 else 0
+        else:
+            items = [
+                self.expr(rng.choice([INT, INT, FLOAT, STR, DATE]),
+                          cols, rng.randint(0, 3))
+                for _ in range(rng.randint(1, 4))
+            ]
+            order = None
+            limit, offset = None, 0
+        distinct = (
+            not with_limit
+            and rng.random() < 0.2
+            and all(_exact_item(item) for item in items)
+        )
+        where = self.pred(cols, 2) if rng.random() < 0.6 else None
+        return Select(items, FromTable(table.name), where=where,
+                      order=order, limit=limit, offset=offset,
+                      distinct=distinct)
+
+    def _group_select(self):
+        rng = self.rng
+        table = self._pick_table()
+        cols = self._columns(table)
+        group_cols = [c for c in cols if c.tag in (INT, STR, DATE)]
+        if not group_cols:
+            return self._simple_select(table)
+        keys = rng.sample(group_cols, rng.randint(1, min(2, len(group_cols))))
+        items = list(keys)
+        for _ in range(rng.randint(1, 2)):
+            items.append(self.agg(cols))
+        where = self.pred(cols, 1) if rng.random() < 0.5 else None
+        having = self._having(cols) if rng.random() < 0.5 else None
+        return Select(items, FromTable(table.name), where=where,
+                      group=list(range(len(keys))), having=having)
+
+    def _global_agg_select(self):
+        rng = self.rng
+        table = self._pick_table()
+        cols = self._columns(table)
+        items = [self.agg(cols) for _ in range(rng.randint(1, 3))]
+        where = self.pred(cols, 2) if rng.random() < 0.5 else None
+        return Select(items, FromTable(table.name), where=where)
+
+    def _branch(self, tags):
+        rng = self.rng
+        table = self._pick_table()
+        cols = self._columns(table)
+        items = [self.expr(tag, cols, rng.randint(0, 2), exact=True)
+                 for tag in tags]
+        where = self.pred(cols, 1) if rng.random() < 0.5 else None
+        return Select(items, FromTable(table.name), where=where)
+
+    def _set_query(self):
+        rng = self.rng
+        tags = [rng.choice([INT, INT, FLOAT, STR, DATE])
+                for _ in range(rng.randint(1, 3))]
+        op = rng.choice(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"])
+        return SetQuery(op, self._branch(tags), self._branch(tags))
+
+    def _subquery_select(self):
+        rng = self.rng
+        table = self._pick_table()
+        cols = self._columns(table)
+        inner_items = []
+        for _ in range(rng.randint(1, 3)):
+            tag = rng.choice([INT, INT, FLOAT, STR, DATE])
+            inner_items.append(
+                self.expr(tag, cols, rng.randint(0, 2), exact=True)
+            )
+        inner_where = self.pred(cols, 1) if rng.random() < 0.5 else None
+        inner = Select(inner_items, FromTable(table.name),
+                       where=inner_where, aliased=True)
+        derived = [Col(f"s.c{i}", item.tag, getattr(item, "bound", 0))
+                   for i, item in enumerate(inner_items)]
+        items = [self.expr(rng.choice([c.tag for c in derived]),
+                           derived, rng.randint(0, 2))
+                 for _ in range(rng.randint(1, 3))]
+        where = self.pred(derived, 1) if rng.random() < 0.5 else None
+        return Select(items, FromSub(inner, "s"), where=where)
+
+    def _join_select(self):
+        rng = self.rng
+        if len(self.tables) < 2:
+            return self._simple_select()
+        left, right = rng.sample(self.tables, 2)
+        lcols = self._columns(left, prefix="x.")
+        rcols = self._columns(right, prefix="y.")
+        lints = [c for c in lcols if c.tag == INT]
+        rints = [c for c in rcols if c.tag == INT]
+        if not lints or not rints:
+            return self._simple_select()
+        pred = Cmp("=", rng.choice(lints), rng.choice(rints))
+        cols = lcols + rcols
+        items = [rng.choice(cols) for _ in range(rng.randint(1, 3))]
+        where = self.pred(cols, 1) if rng.random() < 0.4 else None
+        return Select(items, FromJoin(left.name, "x", right.name, "y", pred),
+                      where=where)
+
+    def _constant_select(self):
+        rng = self.rng
+        items = [self.expr(rng.choice([INT, FLOAT, STR]), [], 2)
+                 for _ in range(rng.randint(1, 3))]
+        return Select(items, None)
+
+
+def _exact_item(item) -> bool:
+    """True when the item is safe to deduplicate across dialects."""
+    return item.tag != FLOAT or isinstance(item, (Col, Lit))

@@ -1,0 +1,223 @@
+"""Differential execution harness: repro vs the SQLite oracle.
+
+Each scenario builds identical tables in a fresh repro database and a
+fresh in-memory SQLite connection from the *same* SQL text, then replays
+generated queries against both.  Outcomes are classified as:
+
+* ``ok`` — same rows (tolerant compare), or both engines rejected the
+  query with a proper error;
+* ``wrong_rows`` / ``wrong_nulls`` — result sets differ;
+* ``error_vs_result`` — one engine answered, the other errored;
+* ``internal_error`` — repro raised anything that is not a
+  ``repro.errors.DatabaseError`` (an engine crash by definition).
+
+Every divergence is delta-minimized and written to the corpus directory
+as a self-contained, replayable ``.sql`` file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+import time
+
+import repro
+from repro.errors import DatabaseError
+from repro.fuzz import shrink as shrink_mod
+from repro.fuzz.compare import diff_classification, normalize_rows
+from repro.fuzz.grammar import QueryGen
+from repro.fuzz.schema import Scenario, gen_tables
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "Outcome",
+    "Divergence",
+    "Fuzzer",
+    "execute_pair",
+    "classify",
+    "run_repro",
+]
+
+
+class Outcome:
+    """One engine's answer to one query."""
+
+    __slots__ = ("status", "rows", "error")
+
+    def __init__(self, status: str, rows=None, error: str = ""):
+        self.status = status  # "rows" | "error" | "internal"
+        self.rows = rows
+        self.error = error
+
+
+class Divergence:
+    """A classified, minimized failure."""
+
+    __slots__ = ("classification", "sql", "scenario", "detail")
+
+    def __init__(self, classification, sql, scenario, detail):
+        self.classification = classification
+        self.sql = sql
+        self.scenario = scenario
+        self.detail = detail
+
+
+def _run_repro(statements: list, query_sql: str) -> Outcome:
+    database = repro.Database()
+    try:
+        connection = database.connect()
+        for statement in statements:
+            connection.execute(statement)
+        rows = connection.execute(query_sql).fetchall()
+        return Outcome("rows", rows=list(rows))
+    except DatabaseError as exc:
+        return Outcome("error", error=f"{type(exc).__name__}: {exc}")
+    except Exception as exc:  # noqa: BLE001 — the whole point of fuzzing
+        return Outcome("internal", error=f"{type(exc).__name__}: {exc}")
+    finally:
+        database.shutdown()
+
+
+#: public name for corpus replay, where only the repro side runs
+run_repro = _run_repro
+
+
+def _run_sqlite(statements: list, query_sql: str) -> Outcome:
+    connection = sqlite3.connect(":memory:")
+    try:
+        # match repro's case-sensitive LIKE
+        connection.execute("PRAGMA case_sensitive_like=ON")
+        for statement in statements:
+            connection.execute(statement)
+        rows = connection.execute(query_sql).fetchall()
+        return Outcome("rows", rows=list(rows))
+    except sqlite3.Error as exc:
+        return Outcome("error", error=f"{type(exc).__name__}: {exc}")
+    finally:
+        connection.close()
+
+
+def execute_pair(statements: list, query_sql: str):
+    """Run one query against both engines."""
+    return _run_repro(statements, query_sql), _run_sqlite(statements, query_sql)
+
+
+def classify(ours: Outcome, oracle: Outcome, ordered: bool):
+    """(classification, human detail) for a pair of outcomes."""
+    if ours.status == "internal":
+        return "internal_error", ours.error
+    if ours.status == "error" and oracle.status == "error":
+        return "ok", ""  # both engines reject the query: agreement
+    if ours.status != oracle.status:
+        detail = (
+            f"repro: {ours.error or f'{len(ours.rows)} rows'} / "
+            f"sqlite: {oracle.error or f'{len(oracle.rows)} rows'}"
+        )
+        return "error_vs_result", detail
+    left = normalize_rows(ours.rows)
+    right = normalize_rows(oracle.rows)
+    verdict = diff_classification(left, right, ordered)
+    if verdict == "ok":
+        return "ok", ""
+    return verdict, f"repro: {left[:5]!r}... / sqlite: {right[:5]!r}..."
+
+
+def run_scenario_query(scenario: Scenario, query=None):
+    """Classify one scenario/query pair end to end."""
+    query = query if query is not None else scenario.query
+    statements = scenario.setup_statements()
+    sql = query.render()
+    ours, oracle = execute_pair(statements, sql)
+    return classify(ours, oracle, query.ordered_all)
+
+
+class Fuzzer:
+    """The fuzz campaign driver."""
+
+    def __init__(self, seed: int = 0, corpus_dir=None, metrics=None,
+                 queries_per_scenario: int = 20):
+        import random
+
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.corpus_dir = corpus_dir
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queries_per_scenario = queries_per_scenario
+        self.divergences: list = []
+
+    def run(self, budget_queries=None, budget_seconds=None,
+            minimize: bool = True) -> dict:
+        """Fuzz until a budget is exhausted; returns a summary dict."""
+        if budget_queries is None and budget_seconds is None:
+            budget_queries = 100
+        deadline = (
+            time.monotonic() + budget_seconds
+            if budget_seconds is not None else None
+        )
+        executed = 0
+        while True:
+            if budget_queries is not None and executed >= budget_queries:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            tables = gen_tables(self.rng)
+            generator = QueryGen(self.rng, tables)
+            for _ in range(self.queries_per_scenario):
+                if budget_queries is not None and executed >= budget_queries:
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                query = generator.query()
+                scenario = Scenario(tables, query)
+                classification, detail = run_scenario_query(scenario)
+                executed += 1
+                self.metrics.incr("fuzz_queries")
+                if classification != "ok":
+                    self.metrics.incr("fuzz_divergences")
+                    self._report(scenario, classification, detail, minimize)
+        return {
+            "seed": self.seed,
+            "queries": executed,
+            "divergences": len(self.divergences),
+            "classifications": sorted(
+                {d.classification for d in self.divergences}
+            ),
+        }
+
+    def _report(self, scenario, classification, detail, minimize) -> None:
+        if minimize:
+            scenario = shrink_mod.shrink_scenario(
+                scenario, classification, run_scenario_query
+            )
+            # re-derive the detail for the minimized case
+            classification, detail = run_scenario_query(scenario)
+        sql = scenario.query.render()
+        divergence = Divergence(classification, sql, scenario, detail)
+        self.divergences.append(divergence)
+        if self.corpus_dir is not None:
+            self._write_corpus(divergence)
+
+    def _write_corpus(self, divergence: Divergence) -> None:
+        import os
+
+        os.makedirs(self.corpus_dir, exist_ok=True)
+        digest = hashlib.sha1(divergence.sql.encode()).hexdigest()[:10]
+        name = f"div_{divergence.classification}_{digest}.sql"
+        path = os.path.join(self.corpus_dir, name)
+        mode = (
+            "ordered" if divergence.scenario.query.ordered_all else "multiset"
+        )
+        lines = [
+            "-- repro.fuzz minimized reproducer",
+            f"-- classification: {divergence.classification}",
+            f"-- compare: {mode}",
+            f"-- seed: {self.seed}",
+            f"-- detail: {divergence.detail}" if divergence.detail else None,
+        ]
+        for statement in divergence.scenario.setup_statements():
+            lines.append(statement + ";")
+        lines.append(divergence.sql + ";")
+        with open(path, "w") as handle:
+            handle.write(
+                "\n".join(line for line in lines if line is not None) + "\n"
+            )

@@ -1,0 +1,166 @@
+"""Random schema + data generation for differential fuzzing.
+
+Tables are created from the same DDL text in both engines: repro parses
+the declared types exactly, while SQLite maps them onto its affinities
+(INTEGER/BIGINT -> INTEGER, DOUBLE -> REAL, DECIMAL -> NUMERIC,
+VARCHAR -> TEXT, DATE -> NUMERIC holding ISO-8601 text).  Data values are
+deliberately tame — small integer magnitudes, short lowercase strings,
+few-digit decimals — so that every divergence the harness reports is an
+engine bug, not an arithmetic-range or collation artifact (see the
+dialect-gap rules in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import datetime
+import string
+
+__all__ = [
+    "INT",
+    "FLOAT",
+    "STR",
+    "DATE",
+    "ColumnInfo",
+    "TableInfo",
+    "Scenario",
+    "gen_tables",
+    "gen_rows",
+    "render_literal",
+]
+
+# type tags used throughout the fuzzer (SQL declared types map onto these)
+INT = "int"
+FLOAT = "float"
+STR = "str"
+DATE = "date"
+
+#: declared SQL type per (tag, variant): the same text works in both engines
+_DECLS = {
+    (INT, 0): "INTEGER",
+    (INT, 1): "BIGINT",
+    (FLOAT, 0): "DOUBLE",
+    (FLOAT, 1): "DECIMAL(8,2)",
+    (STR, 0): "VARCHAR(16)",
+    (DATE, 0): "DATE",
+}
+
+_EPOCH = datetime.date(2015, 1, 1)
+
+
+class ColumnInfo:
+    """One generated column: SQL name, declared type, fuzz type tag."""
+
+    __slots__ = ("name", "decl", "tag", "bound")
+
+    def __init__(self, name: str, decl: str, tag: str, bound: int):
+        self.name = name
+        self.decl = decl
+        self.tag = tag
+        #: magnitude bound of stored values (INT columns only) — the
+        #: expression generator uses it to keep arithmetic off the
+        #: int32/int64 overflow cliffs where the engines diverge
+        self.bound = bound
+
+
+class TableInfo:
+    """One generated table plus its rows (Python-value tuples)."""
+
+    __slots__ = ("name", "columns", "rows")
+
+    def __init__(self, name: str, columns: list, rows: list):
+        self.name = name
+        self.columns = columns
+        self.rows = rows
+
+    def ddl(self) -> str:
+        cols = ", ".join(f"{c.name} {c.decl}" for c in self.columns)
+        return f"CREATE TABLE {self.name} ({cols})"
+
+    def insert_sql(self) -> str | None:
+        if not self.rows:
+            return None
+        tuples = ", ".join(
+            "(" + ", ".join(
+                render_literal(v, c.tag) for v, c in zip(row, self.columns)
+            ) + ")"
+            for row in self.rows
+        )
+        return f"INSERT INTO {self.name} VALUES {tuples}"
+
+
+class Scenario:
+    """A full replayable fuzz case: tables + data + one query."""
+
+    __slots__ = ("tables", "query")
+
+    def __init__(self, tables: list, query):
+        self.tables = tables
+        self.query = query
+
+    def setup_statements(self) -> list:
+        statements = []
+        for table in self.tables:
+            statements.append(table.ddl())
+            insert = table.insert_sql()
+            if insert is not None:
+                statements.append(insert)
+        return statements
+
+
+def render_literal(value, tag: str) -> str:
+    """SQL literal text valid in both dialects."""
+    if value is None:
+        return "NULL"
+    if tag == INT:
+        return str(int(value))
+    if tag == FLOAT:
+        return f"{value:.4f}".rstrip("0").rstrip(".") if value % 1 else str(int(value))
+    if tag in (STR, DATE):
+        return f"'{value}'"
+    raise ValueError(f"unknown tag {tag!r}")
+
+
+def _random_value(rng, column: ColumnInfo):
+    if rng.random() < 0.18:
+        return None
+    if column.tag == INT:
+        return rng.randint(-column.bound, column.bound)
+    if column.tag == FLOAT:
+        # two fractional digits: exactly representable after parsing in
+        # both engines' storage (scaled int64 / IEEE double)
+        return rng.randint(-9999, 9999) / 100.0
+    if column.tag == STR:
+        n = rng.randint(1, 7)
+        return "".join(rng.choice(string.ascii_lowercase) for _ in range(n))
+    if column.tag == DATE:
+        return (_EPOCH + datetime.timedelta(days=rng.randint(0, 3650))).isoformat()
+    raise ValueError(f"unknown tag {column.tag!r}")
+
+
+def gen_rows(rng, columns: list) -> list:
+    """Rows for one table; occasionally none, to cover empty-input paths."""
+    if rng.random() < 0.10:
+        return []
+    nrows = rng.randint(1, 42)
+    return [
+        tuple(_random_value(rng, column) for column in columns)
+        for _ in range(nrows)
+    ]
+
+
+def gen_tables(rng) -> list:
+    """2-3 tables of 2-6 columns each, with data."""
+    tables = []
+    tags = list(_DECLS)
+    for t in range(rng.randint(2, 3)):
+        columns = []
+        ncols = rng.randint(2, 6)
+        # always lead with an INTEGER column so joins/set ops have keys
+        chosen = [(INT, 0)] + [rng.choice(tags) for _ in range(ncols - 1)]
+        for i, (tag, variant) in enumerate(chosen):
+            bound = (50 if variant == 0 else 1_000_000) if tag == INT else 0
+            columns.append(
+                ColumnInfo(f"c{i}", _DECLS[(tag, variant)], tag, bound)
+            )
+        tables.append(TableInfo(f"t{t}", columns, gen_rows(rng, columns)))
+    return tables

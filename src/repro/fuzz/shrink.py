@@ -1,0 +1,163 @@
+"""Delta-debugging minimizer for failing fuzz scenarios.
+
+Repeatedly proposes structurally smaller variants of a failing scenario
+(fewer rows, fewer tables/columns, simpler query clauses, simpler
+expressions) and keeps any variant that still reproduces the *same*
+divergence classification.  Runs to a fixpoint under a hard budget of
+re-executions, so minimization stays time-bounded even for scenarios
+that shrink slowly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fuzz import grammar as G
+from repro.fuzz.schema import Scenario, TableInfo
+
+__all__ = ["shrink_scenario", "query_shrinks"]
+
+#: hard cap on re-executions per minimization, keeping the fuzz loop fast
+_MAX_CHECKS = 250
+
+
+def shrink_scenario(scenario: Scenario, classification: str, run) -> Scenario:
+    """Smallest variant of ``scenario`` with the same classification.
+
+    ``run(scenario)`` must return ``(classification, detail)``.
+    """
+    budget = [_MAX_CHECKS]
+
+    def still_fails(candidate: Scenario) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            got, _ = run(candidate)
+        except Exception:  # noqa: BLE001 — a broken candidate is just "no"
+            return False
+        return got == classification
+
+    current = scenario
+    progress = True
+    while progress and budget[0] > 0:
+        progress = False
+        for candidate in _candidates(current):
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def _candidates(scenario: Scenario):
+    """Propose simpler scenario variants, most aggressive first."""
+    sql = scenario.query.render()
+    # 1. drop tables the query never mentions
+    used = [
+        t for t in scenario.tables
+        if re.search(rf"\b{re.escape(t.name)}\b", sql)
+    ]
+    if len(used) < len(scenario.tables):
+        yield Scenario(used, scenario.query)
+    # 2. halve / trim table data
+    for index, table in enumerate(scenario.tables):
+        n = len(table.rows)
+        if n == 0:
+            continue
+        slices = [table.rows[: n // 2], table.rows[n // 2:]]
+        if n <= 8:
+            slices.extend(
+                table.rows[:i] + table.rows[i + 1:] for i in range(n)
+            )
+        for rows in slices:
+            if len(rows) == n:
+                continue
+            replacement = TableInfo(table.name, table.columns, rows)
+            tables = list(scenario.tables)
+            tables[index] = replacement
+            yield Scenario(tables, scenario.query)
+    # 3. drop columns the query never mentions
+    for index, table in enumerate(scenario.tables):
+        if len(table.columns) <= 1:
+            continue
+        for ci, column in enumerate(table.columns):
+            if re.search(rf"\b{re.escape(column.name)}\b", sql):
+                continue
+            columns = table.columns[:ci] + table.columns[ci + 1:]
+            rows = [row[:ci] + row[ci + 1:] for row in table.rows]
+            tables = list(scenario.tables)
+            tables[index] = TableInfo(table.name, columns, rows)
+            yield Scenario(tables, scenario.query)
+            break  # one column at a time; re-proposed next round
+    # 4. simplify the query itself
+    for query in query_shrinks(scenario.query):
+        yield Scenario(scenario.tables, query)
+
+
+def query_shrinks(query):
+    """Structurally simpler variants of a query, most aggressive first."""
+    if isinstance(query, G.SetQuery):
+        yield query.left
+        yield query.right
+        for variant in query_shrinks(query.left):
+            yield G.SetQuery(query.op, variant, query.right)
+        for variant in query_shrinks(query.right):
+            yield G.SetQuery(query.op, query.left, variant)
+        return
+    if not isinstance(query, G.Select):
+        return
+    # replace a FROM-subquery by the subquery itself
+    if isinstance(query.from_, G.FromSub):
+        yield query.from_.select
+    # drop whole clauses
+    if query.having is not None:
+        yield _with(query, having=None)
+    if query.where is not None:
+        yield _with(query, where=None)
+    if query.order:
+        yield _with(query, order=None, limit=None, offset=0)
+    if query.limit is not None:
+        yield _with(query, limit=None, offset=0)
+    if query.distinct:
+        yield _with(query, distinct=False)
+    # drop one select item (keeping group keys consistent)
+    if len(query.items) > 1:
+        for i in range(len(query.items) - 1, -1, -1):
+            if query.group and i in query.group and len(query.group) == 1:
+                continue  # cannot drop the only group key
+            items = query.items[:i] + query.items[i + 1:]
+            group = None
+            if query.group:
+                group = [g - (g > i) for g in query.group if g != i]
+            order = None
+            if query.order:
+                order = [
+                    (p - (p > i), d, nf)
+                    for p, d, nf in query.order if p != i
+                ]
+            variant = query.copy()
+            variant.items = items
+            variant.group = group
+            variant.order = order
+            yield variant
+    # simplify the WHERE predicate
+    if query.where is not None:
+        for predicate in G.pred_shrinks(query.where):
+            yield _with(query, where=predicate)
+    # simplify individual item expressions (skip aggregates / group keys)
+    for i, item in enumerate(query.items):
+        if isinstance(item, G.Agg) or (query.group and i in query.group):
+            continue
+        for replacement in G.expr_shrinks(item):
+            variant = query.copy()
+            variant.items = list(query.items)
+            variant.items[i] = replacement
+            yield variant
+
+
+def _with(query, **overrides):
+    variant = query.copy()
+    for key, value in overrides.items():
+        setattr(variant, key, value)
+    return variant

@@ -120,7 +120,10 @@ class CodeGen:
         if isinstance(node, N.SetOp):
             return self._compile_setop(node)
         if type(node).__name__ == "_DualScan":
-            return []
+            # one-row anchor column: it carries the relation's cardinality
+            # through Filters (SELECT ... WHERE false must yield 0 rows)
+            # even though the dual relation exposes no SQL-visible columns.
+            return [self._emit("dual")]
         if type(node).__name__ == "_RenamedPlan":
             return self._compile_node(node.child)
         raise DatabaseError(f"cannot compile node {type(node).__name__}")

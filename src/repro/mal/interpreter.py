@@ -368,7 +368,10 @@ class Interpreter:
             inputs,
         )
         n = ExecutionContext._input_length(inputs)
-        if isinstance(result, V) and result.is_scalar and n > 1:
+        if isinstance(result, V) and result.is_scalar and n != 1:
+            # broadcast constants to the input cardinality — including the
+            # empty input (n == 0), where a lingering scalar would later
+            # materialize as a phantom single row
             column = vec_to_column(result, n)
             return vec_from_column(column)
         return result
@@ -393,6 +396,11 @@ class Interpreter:
         var, ids_var = instr.args
         vec: V = self._get(var)
         ids = self._get(ids_var)
+        if vec.is_scalar and len(ids) != 1:
+            # a scalar stands for a broadcast column: selecting k rows
+            # from it yields k copies, not the scalar itself (which would
+            # resurrect a phantom row when k == 0)
+            return vec_from_column(vec_to_column(vec, len(ids)))
         return vec.take(ids)
 
     def _op_head(self, instr):
@@ -406,10 +414,24 @@ class Interpreter:
         lvar, rvar, ctype = instr.args
         left: V = self._get(lvar)
         right: V = self._get(rvar)
+        # a scalar side is a single-row constant select (e.g. SELECT NULL):
+        # materialize it so np.concatenate sees 1-d arrays in ctype's domain
+        if left.is_scalar:
+            left = vec_from_column(vec_to_column(V(ctype, left.data, left.heap), 1))
+        if right.is_scalar:
+            right = vec_from_column(vec_to_column(V(ctype, right.data, right.heap), 1))
         if ctype.is_variable:
             data = np.concatenate([left.objects(), right.objects()])
             return V(ctype, data)
-        return V(ctype, np.concatenate([left.data, right.data]))
+        return V(
+            ctype,
+            np.concatenate(
+                [
+                    left.data.astype(ctype.dtype, copy=False),
+                    right.data.astype(ctype.dtype, copy=False),
+                ]
+            ),
+        )
 
     # -- joins -----------------------------------------------------------------------------
 
@@ -594,19 +616,23 @@ class Interpreter:
 
     def _op_sort(self, instr):
         key_vars, descending, nulls_first = instr.args
-        keys = [self._materialized(self._get(v)) for v in key_vars]
+        keys = self._materialize_group([self._get(v) for v in key_vars])
         return ops.sort_rows(keys, list(descending), list(nulls_first))
 
     def _op_distinct(self, instr):
         vars_ = instr.args[0]
-        vecs = [self._materialized(self._get(v)) for v in vars_]
+        vecs = self._materialize_group([self._get(v) for v in vars_])
         return ops.distinct_rows(vecs)
 
     def _op_setop_ids(self, instr):
         op, all_flag, left_vars, right_vars = instr.args
-        left = [self._materialized(self._get(v)) for v in left_vars]
-        right = [self._materialized(self._get(v)) for v in right_vars]
-        member_rows = ops.semijoin_rows(left, right, anti=(op == "except"))
+        # each side broadcasts its own scalars to its OWN cardinality; the
+        # two branches of a set operation routinely differ in row count
+        left = self._materialize_group([self._get(v) for v in left_vars])
+        right = self._materialize_group([self._get(v) for v in right_vars])
+        member_rows = ops.semijoin_rows(
+            left, right, anti=(op == "except"), null_equal=True
+        )
         if all_flag:
             return member_rows
         # set semantics: keep the first occurrence of each distinct row
@@ -615,13 +641,20 @@ class Interpreter:
         firsts = ops.distinct_rows(left)
         return np.array([r for r in firsts if keep[r]], dtype=np.int64)
 
-    def _materialized(self, vec: V) -> V:
-        """Broadcast scalar vectors to full columns for bulk kernels."""
-        if not vec.is_scalar:
-            return vec
-        n = self._current_length()
-        column = vec_to_column(vec, n)
-        return vec_from_column(column)
+    def _materialize_group(self, vecs: list) -> list:
+        """Broadcast scalars to the group's shared cardinality.
+
+        The length comes from the group's own non-scalar members — never
+        from unrelated interpreter state, which may belong to a different
+        relation (e.g. the other branch of a set operation).
+        """
+        n = next((len(v.data) for v in vecs if not v.is_scalar), None)
+        if n is None:
+            n = self._current_length()
+        return [
+            v if not v.is_scalar else vec_from_column(vec_to_column(v, n))
+            for v in vecs
+        ]
 
     def _current_length(self) -> int:
         for value in reversed(list(self._values.values())):

@@ -45,7 +45,11 @@ def key_codes(vec: V) -> np.ndarray:
         objects = vec.objects()
         keys = np.asarray([s if s is not None else "" for s in objects])
         _, inverse = np.unique(keys, return_inverse=True)
-        return inverse.astype(np.int64)
+        codes = inverse.astype(np.int64) + 1
+        nulls = np.asarray([s is None for s in objects], dtype=bool)
+        if nulls.any():
+            codes[nulls] = 0  # NULL is its own group, distinct from ''
+        return codes
     data = vec.data
     if data.dtype.kind == "f":
         # NaN (NULL) values: unify them into one code
@@ -233,10 +237,12 @@ def _string_minmax(func: str, arg: V, gids, ngroups):
 # -- joins -----------------------------------------------------------------------------------
 
 
-def _shared_codes(left_vecs: list, right_vecs: list):
+def _shared_codes(left_vecs: list, right_vecs: list, null_equal: bool = False):
     """Factorize both sides' composite keys into one shared code space.
 
-    NULL keys receive code -1 and never match.
+    NULL keys receive code -1 and never match — unless ``null_equal``,
+    where NULL keeps its per-column code and equals NULL (the grouping
+    semantics set operations and DISTINCT use).
     """
     left_parts = []
     right_parts = []
@@ -261,6 +267,14 @@ def _shared_codes(left_vecs: list, right_vecs: list):
                 ]
             )
             _, inverse = np.unique(both, return_inverse=True)
+            inverse = inverse.astype(np.int64) + 1
+            null_cat = np.concatenate(
+                [
+                    lnull if lnull is not None else np.zeros(nl, dtype=bool),
+                    rnull if rnull is not None else np.zeros(nr, dtype=bool),
+                ]
+            )
+            inverse[null_cat] = 0  # NULL is its own key, distinct from ''
         else:
             ldata = lv.data.astype(np.float64, copy=False)
             rdata = rv.data.astype(np.float64, copy=False)
@@ -270,6 +284,8 @@ def _shared_codes(left_vecs: list, right_vecs: list):
         left_parts.append(inverse[:nl].astype(np.int64))
         right_parts.append(inverse[nl:].astype(np.int64))
     left_codes, right_codes = combine_joint(left_parts, right_parts)
+    if null_equal:
+        return left_codes, right_codes
     left_codes = left_codes.copy()
     right_codes = right_codes.copy()
     left_codes[left_null] = -1
@@ -316,11 +332,23 @@ def join_pairs(left_vecs: list, right_vecs: list):
     return lidx, ridx
 
 
-def semijoin_rows(left_vecs: list, right_vecs: list, anti: bool = False) -> np.ndarray:
-    """Left row ids with (or without, for anti) a match on the right."""
-    left_codes, right_codes = _shared_codes(left_vecs, right_vecs)
-    member = np.isin(left_codes, right_codes[right_codes >= 0])
-    member &= left_codes >= 0
+def semijoin_rows(
+    left_vecs: list,
+    right_vecs: list,
+    anti: bool = False,
+    null_equal: bool = False,
+) -> np.ndarray:
+    """Left row ids with (or without, for anti) a match on the right.
+
+    ``null_equal`` switches from join semantics (NULL matches nothing) to
+    the grouping semantics of INTERSECT/EXCEPT, where NULL equals NULL.
+    """
+    left_codes, right_codes = _shared_codes(left_vecs, right_vecs, null_equal)
+    if null_equal:
+        member = np.isin(left_codes, right_codes)
+    else:
+        member = np.isin(left_codes, right_codes[right_codes >= 0])
+        member &= left_codes >= 0
     if anti:
         member = ~member
     return np.flatnonzero(member).astype(np.int64)

@@ -499,8 +499,12 @@ def _numeric_function(name: str, args: list, rtype) -> V:
             raise DatabaseError(name)
     if rtype.category == T.TypeCategory.FLOAT:
         return V(rtype, out)
+    if rtype.category == T.TypeCategory.DECIMAL:
+        # the math ran in the value domain; rescale into decimal storage
+        out = np.rint(out * 10**rtype.scale)
     if isinstance(out, np.ndarray):
-        result = out.astype(rtype.dtype)
+        with np.errstate(invalid="ignore"):
+            result = out.astype(rtype.dtype)
         result[np.isnan(out)] = rtype.null_value
         return V(rtype, result)
     return V(rtype, None if np.isnan(out) else rtype.dtype.type(out))
@@ -675,7 +679,10 @@ def _cast_vec(vec: V, target: T.SQLType, n: int) -> V:
             safe = np.where(np.isnan(data), 0, data)
             out = safe.astype(target.dtype)
         elif cat_s == T.TypeCategory.DECIMAL:
-            out = (data // 10**source.scale).astype(target.dtype)
+            # truncate toward zero (SQL CAST), not floor: -66.87 -> -66
+            scaled = data.astype(np.int64)
+            quotient = np.abs(scaled) // 10**source.scale
+            out = (np.sign(scaled) * quotient).astype(target.dtype)
         else:
             out = data.astype(target.dtype)
         if nulls is not None and nulls.any():

@@ -129,7 +129,9 @@ def vec_to_column(vec: V, n: int) -> Column:
             return Column(vec.type, np.full(n, offset, dtype=np.int64), heap)
         if data is None:
             storage = vec.type.null_value
-        elif isinstance(data, np.generic):
+        elif isinstance(data, (np.generic, np.ndarray)):
+            # numpy scalars (including 0-d arrays from kernel reductions)
+            # are already in the storage domain
             storage = data
         else:
             storage = vec.type.to_storage(data)

@@ -1,0 +1,5 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: error_vs_result
+-- compare: multiset
+-- bug: 'a' || NULL raised BindError instead of returning NULL
+SELECT 'a' || NULL;

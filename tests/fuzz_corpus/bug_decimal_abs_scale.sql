@@ -1,0 +1,8 @@
+-- repro.fuzz reproducer (hand-minimized, seed 5)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: abs() on a DECIMAL computed in the value domain but stored the
+-- result unscaled, shrinking it by 10^scale
+CREATE TABLE t0 (c1 DECIMAL(8,2));
+INSERT INTO t0 VALUES (-22.08), (40.23);
+SELECT abs(c1) FROM t0;

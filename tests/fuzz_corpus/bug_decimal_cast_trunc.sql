@@ -1,0 +1,7 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: CAST(DECIMAL AS INTEGER) floor-divided, so -66.87 became -67
+CREATE TABLE t0 (d DECIMAL(8,2));
+INSERT INTO t0 VALUES (-66.87), (66.87);
+SELECT CAST(d AS INTEGER) FROM t0;

@@ -1,0 +1,8 @@
+-- repro.fuzz reproducer (hand-minimized, seed 5)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: a 0-d numpy scalar (already storage-domain) was re-scaled when
+-- materialized, inflating DECIMAL results by 10^scale
+CREATE TABLE t0 (d DECIMAL(8,2));
+INSERT INTO t0 VALUES (1.00);
+SELECT s.c2 * -6.24 FROM (SELECT 3.83 AS c2 FROM t0) s;

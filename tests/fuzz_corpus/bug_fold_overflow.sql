@@ -1,0 +1,6 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- expect-error: ConversionError
+-- bug: constant folding wrapped BIGINT overflow to a negative value;
+-- SQLite promotes to REAL here, so this entry replays repro-only
+SELECT 9223372036854775807 + 1;

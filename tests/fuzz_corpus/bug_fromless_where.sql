@@ -1,0 +1,5 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: a FROM-less SELECT silently dropped its WHERE clause
+SELECT COUNT(*), SUM(x) FROM (SELECT 1 AS x WHERE 1 = 0) t;

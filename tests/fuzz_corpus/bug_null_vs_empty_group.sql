@@ -1,0 +1,8 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: grouping keys conflated NULL with the empty string, merging
+-- their groups in DISTINCT / GROUP BY / set operations
+CREATE TABLE t0 (x VARCHAR(5));
+INSERT INTO t0 VALUES (''), (NULL), (''), ('a');
+SELECT x, COUNT(*) FROM t0 GROUP BY x;

@@ -1,0 +1,8 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: INTERSECT/EXCEPT treated NULL keys as never-equal (join
+-- semantics) and dropped NULL rows that the oracle keeps
+CREATE TABLE t0 (c5 VARCHAR(10));
+INSERT INTO t0 VALUES (NULL), ('ab');
+SELECT c5 FROM t0 EXCEPT SELECT 'df';

@@ -1,0 +1,10 @@
+-- repro.fuzz reproducer (minimized, seed 2)
+-- classification: internal_error
+-- compare: multiset
+-- bug: a set-op branch's constant column was broadcast to the OTHER
+-- branch's row count, crashing the shared-code kernel
+CREATE TABLE t0 (c0 INTEGER, c1 INTEGER);
+INSERT INTO t0 VALUES (NULL, NULL);
+CREATE TABLE t1 (c0 INTEGER, c1 DOUBLE);
+INSERT INTO t1 VALUES (12, 6.39), (43, 67.74);
+SELECT c1, c1, '2020-06-26' FROM t0 INTERSECT SELECT c0, -20, '2020-11-06' FROM t1;

@@ -1,0 +1,8 @@
+-- repro.fuzz reproducer (minimized, seed 1)
+-- classification: error_vs_result
+-- compare: multiset
+-- bug: a string literal paired with a DATE column in a set operation
+-- raised TypeMismatchError instead of parsing as a date
+CREATE TABLE t2 (c3 DATE);
+INSERT INTO t2 VALUES ('2020-01-05');
+SELECT '2019-09-18' UNION SELECT c3 FROM t2;

@@ -1,0 +1,5 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: error_vs_result
+-- compare: multiset
+-- bug: an untyped NULL branch of a set operation crashed the binder
+SELECT NULL UNION ALL SELECT 1;

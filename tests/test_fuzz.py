@@ -1,0 +1,206 @@
+"""Unit tests for the differential fuzzer's own machinery.
+
+The fuzzer guards the engine, so its pieces need their own pins: the
+generator must be deterministic per seed, the comparator must tolerate
+representation noise without masking real bugs, the shrinker must
+preserve the failure it is minimizing, and the driver must count work
+into the metrics registry.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fuzz.compare import (
+    diff_classification,
+    normalize_rows,
+    rows_equivalent,
+)
+from repro.fuzz.grammar import QueryGen
+from repro.fuzz.runner import Fuzzer, Outcome, classify
+from repro.fuzz.schema import Scenario, gen_tables
+from repro.fuzz.shrink import shrink_scenario
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestDeterminism:
+    def test_same_seed_same_schema_and_queries(self):
+        def sample(seed):
+            rng = random.Random(seed)
+            tables = gen_tables(rng)
+            generator = QueryGen(rng, tables)
+            ddl = [t.ddl() for t in tables]
+            sql = [generator.query().render() for _ in range(25)]
+            return ddl, sql
+
+        assert sample(7) == sample(7)
+
+    def test_different_seeds_differ(self):
+        rng_a, rng_b = random.Random(1), random.Random(2)
+        gen_a = QueryGen(rng_a, gen_tables(rng_a))
+        gen_b = QueryGen(rng_b, gen_tables(rng_b))
+        a = [gen_a.query().render() for _ in range(10)]
+        b = [gen_b.query().render() for _ in range(10)]
+        assert a != b
+
+    def test_queries_are_renderable_sql(self):
+        rng = random.Random(11)
+        generator = QueryGen(rng, gen_tables(rng))
+        for _ in range(50):
+            sql = generator.query().render()
+            assert sql.startswith("SELECT") or sql.startswith("(")
+
+
+class TestComparator:
+    def test_normalization(self):
+        import datetime
+
+        rows = normalize_rows([(1, True, datetime.date(2020, 1, 2), None)])
+        assert rows == [(1.0, 1.0, "2020-01-02", None)]
+
+    def test_multiset_ignores_order(self):
+        left = [(1.0, "a"), (2.0, "b")]
+        right = [(2.0, "b"), (1.0, "a")]
+        assert rows_equivalent(left, right, ordered=False)
+        assert not rows_equivalent(left, right, ordered=True)
+
+    def test_float_tolerance(self):
+        assert rows_equivalent([(0.1 + 0.2,)], [(0.3,)], ordered=False)
+        assert not rows_equivalent([(0.3001,)], [(0.3,)], ordered=False)
+
+    def test_null_never_matches_value(self):
+        assert not rows_equivalent([(None,)], [(0.0,)], ordered=False)
+
+    def test_wrong_nulls_classification(self):
+        left = [(1.0, None)]
+        right = [(1.0, 2.0)]
+        assert diff_classification(left, right, ordered=False) == "wrong_nulls"
+        assert (
+            diff_classification([(1.0, 3.0)], right, ordered=False)
+            == "wrong_rows"
+        )
+
+    def test_cardinality_mismatch_is_wrong_rows(self):
+        assert (
+            diff_classification([(1.0,)], [(1.0,), (1.0,)], ordered=False)
+            == "wrong_rows"
+        )
+
+
+class TestClassify:
+    def test_both_errors_agree(self):
+        ours = Outcome("error", error="BindError: nope")
+        oracle = Outcome("error", error="OperationalError: nope")
+        assert classify(ours, oracle, ordered=False) == ("ok", "")
+
+    def test_internal_error_always_reported(self):
+        ours = Outcome("internal", error="ValueError: boom")
+        oracle = Outcome("error", error="OperationalError: nope")
+        classification, detail = classify(ours, oracle, ordered=False)
+        assert classification == "internal_error"
+        assert "ValueError" in detail
+
+    def test_error_vs_result(self):
+        ours = Outcome("error", error="BindError: nope")
+        oracle = Outcome("rows", rows=[(1,)])
+        classification, _ = classify(ours, oracle, ordered=False)
+        assert classification == "error_vs_result"
+
+    def test_matching_rows_ok(self):
+        ours = Outcome("rows", rows=[(1,), (2,)])
+        oracle = Outcome("rows", rows=[(2,), (1,)])
+        assert classify(ours, oracle, ordered=False) == ("ok", "")
+
+
+class TestShrinker:
+    def test_preserves_failure_and_reduces(self):
+        rng = random.Random(3)
+        tables = gen_tables(rng)
+        generator = QueryGen(rng, tables)
+        scenario = Scenario(tables, generator.query())
+
+        # a synthetic failure: "any query whose SQL mentions a SELECT"
+        # never stops reproducing, so the shrinker can cut freely
+        def run(candidate, query=None):
+            sql = (query or candidate.query).render()
+            return ("wrong_rows", "") if "SELECT" in sql else ("ok", "")
+
+        shrunk = shrink_scenario(scenario, "wrong_rows", run)
+        assert run(shrunk)[0] == "wrong_rows"
+        assert len(shrunk.query.render()) <= len(scenario.query.render())
+        assert sum(len(t.rows) for t in shrunk.tables) <= sum(
+            len(t.rows) for t in scenario.tables
+        )
+
+    def test_no_shrink_when_failure_is_specific(self):
+        rng = random.Random(4)
+        tables = gen_tables(rng)
+        generator = QueryGen(rng, tables)
+        scenario = Scenario(tables, generator.query())
+        marker = scenario.query.render()
+
+        # the failure reproduces ONLY on the exact original query text
+        def run(candidate, query=None):
+            sql = (query or candidate.query).render()
+            return ("wrong_rows", "") if sql == marker else ("ok", "")
+
+        shrunk = shrink_scenario(scenario, "wrong_rows", run)
+        assert shrunk.query.render() == marker
+
+
+class TestFuzzerDriver:
+    def test_mini_campaign_counts_metrics(self, tmp_path):
+        metrics = MetricsRegistry()
+        fuzzer = Fuzzer(seed=5, corpus_dir=str(tmp_path), metrics=metrics)
+        summary = fuzzer.run(budget_queries=8)
+        assert summary["queries"] == 8
+        assert metrics.get_counter("fuzz_queries") == 8
+        assert metrics.get_counter("fuzz_divergences") == summary["divergences"]
+        # seed 5's first 8 queries are known-clean (the acceptance seed)
+        assert summary["divergences"] == 0
+
+    def test_time_budget_halts(self):
+        fuzzer = Fuzzer(seed=9)
+        summary = fuzzer.run(budget_seconds=0.0)
+        assert summary["queries"] == 0
+
+    def test_divergence_writes_corpus_file(self, tmp_path, monkeypatch):
+        from repro.fuzz import runner as runner_mod
+
+        fuzzer = Fuzzer(seed=6, corpus_dir=str(tmp_path))
+
+        # force every comparison to diverge: the corpus writer and the
+        # counters must fire even when the engines actually agree
+        monkeypatch.setattr(
+            runner_mod,
+            "run_scenario_query",
+            lambda scenario, query=None: ("wrong_rows", "stub"),
+        )
+        summary = fuzzer.run(budget_queries=1, minimize=False)
+        assert summary["divergences"] == 1
+        files = list(tmp_path.glob("div_wrong_rows_*.sql"))
+        assert len(files) == 1
+        text = files[0].read_text()
+        assert "-- classification: wrong_rows" in text
+        assert text.rstrip().endswith(";")
+
+
+class TestCLI:
+    def test_main_exits_zero_on_clean_run(self, tmp_path, capsys):
+        from repro.fuzz.__main__ import main
+
+        code = main(
+            [
+                "--seed",
+                "5",
+                "--budget-queries",
+                "5",
+                "--corpus",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzz: seed=5 queries=5 divergences=0" in out

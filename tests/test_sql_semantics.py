@@ -151,3 +151,167 @@ class TestLikeEscape:
         conn.execute("CREATE TABLE lm (s VARCHAR(5))")
         with pytest.raises(BindError, match="single-character"):
             conn.query("SELECT s FROM lm WHERE s LIKE 'a%' ESCAPE 'xy'")
+
+
+class TestFromlessWhere:
+    """A FROM-less SELECT must still honor its WHERE clause."""
+
+    def test_false_predicate_yields_no_row(self, conn):
+        assert conn.query("SELECT 1 WHERE 1 = 0").fetchall() == []
+
+    def test_true_predicate_yields_one_row(self, conn):
+        assert conn.query("SELECT 1 WHERE 1 = 1").fetchall() == [(1,)]
+
+    def test_aggregate_over_empty_fromless_subquery(self, conn):
+        rows = conn.query(
+            "SELECT COUNT(*), SUM(x) FROM (SELECT 1 AS x WHERE 1 = 0) t"
+        ).fetchall()
+        assert rows == [(0, None)]
+
+
+class TestSetOpNulls:
+    """Untyped NULLs and NULL keys inside set operations."""
+
+    def test_untyped_null_union_all(self, conn):
+        rows = conn.query("SELECT NULL UNION ALL SELECT 1").fetchall()
+        assert rows == [(None,), (1,)]
+
+    def test_null_equals_null_in_intersect(self, conn):
+        assert conn.query("SELECT NULL INTERSECT SELECT NULL").fetchall() == [
+            (None,)
+        ]
+
+    def test_null_equals_null_in_except(self, conn):
+        assert conn.query("SELECT NULL EXCEPT SELECT NULL").fetchall() == []
+
+    def test_null_kept_by_except_when_absent_on_right(self, conn):
+        conn.execute("CREATE TABLE sn (s VARCHAR(5))")
+        conn.execute("INSERT INTO sn VALUES (NULL), ('df')")
+        rows = conn.query("SELECT s FROM sn EXCEPT SELECT 'df'").fetchall()
+        assert rows == [(None,)]
+
+    def test_branches_of_different_cardinality_with_constants(self, conn):
+        # the left branch's constant column must broadcast to the LEFT
+        # side's row count, not whatever relation was computed last
+        conn.execute("CREATE TABLE sc1 (c0 INTEGER, c1 INTEGER)")
+        conn.execute("INSERT INTO sc1 VALUES (NULL, NULL)")
+        conn.execute("CREATE TABLE sc2 (c0 INTEGER, c1 DOUBLE)")
+        conn.execute("INSERT INTO sc2 VALUES (12, 6.39), (43, 67.74)")
+        rows = conn.query(
+            "SELECT c1, c1, 'x' FROM sc1 INTERSECT SELECT c0, -20, 'y' FROM sc2"
+        ).fetchall()
+        assert rows == []
+        rows = conn.query(
+            "SELECT c0, 'x' FROM sc2 EXCEPT SELECT c0, 'x' FROM sc1"
+        ).fetchall()
+        assert sorted(rows) == [(12, "x"), (43, "x")]
+
+    def test_string_literal_adopts_date_in_union(self, conn):
+        import datetime
+
+        conn.execute("CREATE TABLE sd (d DATE)")
+        conn.execute("INSERT INTO sd VALUES ('2020-01-05')")
+        rows = conn.query(
+            "SELECT '2019-09-18' UNION SELECT d FROM sd"
+        ).fetchall()
+        assert sorted(rows) == [
+            (datetime.date(2019, 9, 18),),
+            (datetime.date(2020, 1, 5),),
+        ]
+
+
+class TestNullConcat:
+    """String concatenation with NULL operands yields NULL."""
+
+    def test_literal_concat_null(self, conn):
+        assert conn.query("SELECT 'a' || NULL").scalar() is None
+        assert conn.query("SELECT NULL || 'a'").scalar() is None
+
+    def test_column_concat_null(self, conn):
+        conn.execute("CREATE TABLE nc (s VARCHAR(5))")
+        conn.execute("INSERT INTO nc VALUES ('x'), (NULL)")
+        rows = conn.query("SELECT s || '!' FROM nc").fetchall()
+        assert rows == [("x!",), (None,)]
+
+
+class TestConstantFoldOverflow:
+    """Folded BIGINT arithmetic must raise instead of silently wrapping."""
+
+    def test_bigint_add_overflow_raises(self, conn):
+        from repro.errors import ConversionError
+
+        with pytest.raises(ConversionError, match="out of range"):
+            conn.query("SELECT 9223372036854775807 + 1")
+
+    def test_bigint_subtract_overflow_raises(self, conn):
+        from repro.errors import ConversionError
+
+        with pytest.raises(ConversionError, match="out of range"):
+            conn.query("SELECT -9223372036854775807 - 2")
+
+    def test_in_range_fold_unaffected(self, conn):
+        assert conn.query("SELECT 9223372036854775806 + 1").scalar() == (
+            9223372036854775807
+        )
+
+
+class TestNullVsEmptyString:
+    """NULL and '' are distinct grouping keys, as in every SQL engine."""
+
+    @pytest.fixture
+    def strings(self, conn):
+        conn.execute("CREATE TABLE es (x VARCHAR(5))")
+        conn.execute("INSERT INTO es VALUES (''), (NULL), (''), ('a')")
+        return conn
+
+    def test_distinct(self, strings):
+        rows = strings.query("SELECT DISTINCT x FROM es").fetchall()
+        assert sorted(rows, key=repr) == [("",), ("a",), (None,)]
+
+    def test_group_by_counts(self, strings):
+        rows = strings.query(
+            "SELECT x, COUNT(*) FROM es GROUP BY x"
+        ).fetchall()
+        assert sorted(rows, key=repr) == [("", 2), ("a", 1), (None, 1)]
+
+    def test_except_keeps_both(self, strings):
+        rows = strings.query("SELECT x FROM es EXCEPT SELECT 'a'").fetchall()
+        assert sorted(rows, key=repr) == [("",), (None,)]
+
+
+class TestDecimalScale:
+    """DECIMAL results must stay in the declared scale everywhere."""
+
+    def test_cast_to_integer_truncates_toward_zero(self, conn):
+        assert conn.query("SELECT CAST(-66.87 AS INTEGER)").scalar() == -66
+        assert conn.query("SELECT CAST(66.87 AS INTEGER)").scalar() == 66
+
+    def test_cast_column_to_integer_truncates_toward_zero(self, conn):
+        conn.execute("CREATE TABLE dc (d DECIMAL(8,2))")
+        conn.execute("INSERT INTO dc VALUES (-66.87), (66.87)")
+        rows = conn.query("SELECT CAST(d AS INTEGER) FROM dc").fetchall()
+        assert rows == [(-66,), (66,)]
+
+    def test_abs_of_decimal_column(self, conn):
+        conn.execute("CREATE TABLE da (d DECIMAL(8,2))")
+        conn.execute("INSERT INTO da VALUES (-22.08), (40.23)")
+        rows = conn.query("SELECT abs(d) FROM da").fetchall()
+        assert rows == [(22.08,), (40.23,)]
+
+    def test_abs_of_decimal_expression(self, conn):
+        conn.execute("CREATE TABLE dx (d DECIMAL(8,2))")
+        conn.execute("INSERT INTO dx VALUES (40.23)")
+        value = conn.query(
+            "SELECT abs((d * d) * (8.05 + d)) FROM dx"
+        ).scalar()
+        assert value == pytest.approx(78138.906012)
+
+    def test_subquery_constant_times_literal(self, conn):
+        # a broadcast DECIMAL constant flowing through a derived table
+        # must not be re-scaled when the scalar result materializes
+        conn.execute("CREATE TABLE ds (d DECIMAL(8,2))")
+        conn.execute("INSERT INTO ds VALUES (1.00)")
+        value = conn.query(
+            "SELECT s.c2 * -6.24 FROM (SELECT 3.83 AS c2 FROM ds) s"
+        ).scalar()
+        assert value == pytest.approx(-23.8992)
