@@ -1,0 +1,135 @@
+"""Ablation: the fused TopN operator vs full sort + slice.
+
+``ORDER BY ... LIMIT k`` plans fuse Sort+Limit into a TopN node whose
+kernel partitions on the primary key (O(n)) and fully sorts only the
+candidate window.  This benchmark measures both plans over SF 0.1
+lineitem for k in {1, 10, 100}.
+
+Run under pytest-benchmark like the other ablations, or standalone for
+the CI smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_topn.py --json out.json
+
+The standalone mode asserts that the fused plan wins for every k, so a
+regression that quietly un-fuses (or de-optimizes) TopN fails the job.
+"""
+
+import argparse
+import json
+import statistics
+import time
+
+import pytest
+
+SCALE_FACTOR = 0.1
+KS = (1, 10, 100)
+QUERY = (
+    "SELECT l_orderkey, l_extendedprice FROM lineitem"
+    " ORDER BY l_extendedprice DESC, l_orderkey LIMIT {k}"
+)
+
+
+def _open_connection():
+    from repro.core.database import Database
+    from repro.workloads.tpch import generate, load
+
+    database = Database(None)
+    connection = database.connect()
+    load(connection, generate(SCALE_FACTOR, seed=42))
+    return database, connection
+
+
+def _run(database, connection, k: int, fused: bool):
+    from repro.algebra import strategies
+
+    # The plan cache is keyed on SQL text, so a cached plan would ignore
+    # the fusion toggle entirely — clear it to force a fresh optimize().
+    database.plan_cache.clear()
+    strategies.ENABLE_TOPN_FUSION = fused
+    try:
+        return connection.query(QUERY.format(k=k)).fetchall()
+    finally:
+        strategies.ENABLE_TOPN_FUSION = True
+
+
+# -- pytest-benchmark entry points --------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def topn_conn():
+    database, connection = _open_connection()
+    yield database, connection
+    database.shutdown()
+
+
+@pytest.mark.parametrize("k", KS)
+def test_topn_fused(benchmark, topn_conn, k):
+    database, connection = topn_conn
+    benchmark(lambda: _run(database, connection, k, fused=True))
+
+
+@pytest.mark.parametrize("k", KS)
+def test_full_sort(benchmark, topn_conn, k):
+    database, connection = topn_conn
+    benchmark(lambda: _run(database, connection, k, fused=False))
+
+
+# -- standalone JSON mode (CI smoke job) --------------------------------------------
+
+
+def _time(database, connection, k: int, fused: bool, runs: int) -> float:
+    _run(database, connection, k, fused)  # warm up (first touch materializes columns)
+    times = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        _run(database, connection, k, fused)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", help="write results to this file")
+    parser.add_argument("--runs", type=int, default=5)
+    args = parser.parse_args()
+
+    database, connection = _open_connection()
+    try:
+        results = []
+        for k in KS:
+            fused_rows = _run(database, connection, k, fused=True)
+            sort_rows = _run(database, connection, k, fused=False)
+            assert fused_rows == sort_rows, f"k={k}: plans disagree"
+            fused = _time(database, connection, k, fused=True, runs=args.runs)
+            full = _time(database, connection, k, fused=False, runs=args.runs)
+            results.append({
+                "k": k,
+                "rows": len(fused_rows),
+                "topn_s": round(fused, 6),
+                "full_sort_s": round(full, 6),
+                "speedup": round(full / fused, 2) if fused > 0 else None,
+            })
+            print(
+                f"k={k:>4}  topn={fused * 1e3:8.2f} ms"
+                f"  full_sort={full * 1e3:8.2f} ms"
+                f"  speedup={full / fused:5.2f}x"
+            )
+    finally:
+        database.shutdown()
+
+    payload = {"scale_factor": SCALE_FACTOR, "query": QUERY, "results": results}
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    slower = [r for r in results if r["speedup"] is not None and r["speedup"] < 1.0]
+    if slower:
+        print(f"FAIL: top-N slower than full sort for k in "
+              f"{[r['k'] for r in slower]}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -236,8 +236,52 @@ class Binder:
                     raise
         lplan = self._coerce_setop_side(left.plan, common)
         rplan = self._coerce_setop_side(right.plan, common)
-        plan = N.SetOp(stmt.op, lplan, rplan, stmt.all)
-        return N.BoundSelect(plan, left.column_names)
+        plan: N.LogicalNode = N.SetOp(stmt.op, lplan, rplan, stmt.all)
+        # trailing ORDER BY resolves against the first branch's output
+        # column names (SQL standard / MonetDB behavior)
+        names = left.column_names
+        if stmt.order_by:
+            plan = N.Sort(
+                plan, self._bind_setop_order(stmt.order_by, plan, names)
+            )
+        if stmt.limit is not None or stmt.offset is not None:
+            plan = N.Limit(plan, stmt.limit, stmt.offset or 0)
+        return N.BoundSelect(plan, names)
+
+    def _bind_setop_order(
+        self, order_by, plan: N.LogicalNode, names: list
+    ) -> list:
+        """Sort keys over a set-op result: name, ordinal, or expression."""
+        keys: list[N.SortKey] = []
+        for order in order_by:
+            oexpr = order.expr
+            slot = None
+            if isinstance(oexpr, ast.Literal) and isinstance(oexpr.value, int):
+                if not 1 <= oexpr.value <= len(names):
+                    raise BindError(
+                        f"ORDER BY position {oexpr.value} out of range"
+                    )
+                slot = oexpr.value - 1
+            elif (
+                isinstance(oexpr, ast.ColumnRef)
+                and oexpr.table is None
+                and oexpr.name.lower() in names
+            ):
+                slot = names.index(oexpr.name.lower())
+            if slot is not None:
+                keys.append(
+                    N.SortKey(
+                        E.SlotRef(slot, plan.output[slot].type),
+                        order.descending,
+                        order.nulls_first,
+                    )
+                )
+                continue
+            out_scope = Scope()
+            out_scope.add_relation(None, plan.output)
+            bound = self._bind_expr_in_output(oexpr, out_scope, names)
+            keys.append(N.SortKey(bound, order.descending, order.nulls_first))
+        return keys
 
     def _coerce_setop_side(
         self, plan: N.LogicalNode, common: list
@@ -483,18 +527,26 @@ class Binder:
         ``extra_pairs`` carries (outer_bound_expr, inner_select_item) join
         pairs from IN-subqueries.
         """
-        sub_scope = Scope(outer=scope)
-        sub_relations: list[N.LogicalNode] = []
-        for table_ref in subquery.from_tables:
-            sub_relations.append(self._bind_table_ref(table_ref, sub_scope))
         if subquery.group_by or any(
             _contains_aggregate(item.expr) for item in subquery.items
         ):
             # aggregated EXISTS subquery: fall back to per-row evaluation
-            bound = self.bind_select(subquery, outer=scope)
-            return N.Filter(
-                core, E.ExistsSubqueryExpr(bound, negated=anti, correlated=True)
-            )
+            return self._exists_fallback(subquery, anti, core, scope, extra_pairs)
+        if subquery.limit is not None or subquery.offset is not None:
+            # LIMIT/OFFSET selects rows *before* the membership test:
+            # rebuilding the subquery from its conjuncts would drop it,
+            # so bind the block whole and evaluate against its result.
+            return self._exists_fallback(subquery, anti, core, scope, extra_pairs)
+        if anti and extra_pairs:
+            # NOT IN needs three-valued NULL logic that the plain anti
+            # semi-join cannot express; the fallback routes it through a
+            # null-aware join (uncorrelated) or per-row evaluation.
+            return self._exists_fallback(subquery, anti, core, scope, extra_pairs)
+
+        sub_scope = Scope(outer=scope)
+        sub_relations: list[N.LogicalNode] = []
+        for table_ref in subquery.from_tables:
+            sub_relations.append(self._bind_table_ref(table_ref, sub_scope))
 
         conjuncts = (
             _split_conjuncts(subquery.where) if subquery.where is not None else []
@@ -528,10 +580,7 @@ class Binder:
             inner_keys.append(self._coerce_to(inner_expr, common))
 
         if not decorrelated or not outer_keys:
-            bound = self.bind_select(subquery, outer=scope)
-            return N.Filter(
-                core, E.ExistsSubqueryExpr(bound, negated=anti, correlated=True)
-            )
+            return self._exists_fallback(subquery, anti, core, scope, extra_pairs)
 
         right = N.MultiJoin(sub_relations, inner_filters)
         # outer keys reference the outer scope's slots directly (they were
@@ -540,6 +589,86 @@ class Binder:
         for left_key, right_key in zip(outer_keys, inner_keys):
             common = T.common_type(left_key.type, right_key.type)
         return N.SemiJoin(core, right, outer_keys, inner_keys, anti=anti)
+
+    def _exists_fallback(
+        self,
+        subquery: ast.SelectStmt,
+        anti: bool,
+        core: N.LogicalNode,
+        scope: Scope,
+        extra_pairs: list,
+    ) -> N.LogicalNode:
+        """Evaluate an EXISTS / IN subquery against its whole bound plan.
+
+        Preserves any LIMIT/OFFSET and the IN operand comparison that
+        conjunct-level decorrelation cannot carry: an uncorrelated IN
+        becomes a bulk semi-join against the materialized subquery rows;
+        a correlated one tests membership per outer row, with the operand
+        equality pushed into the subquery plan as a filter over its output.
+        """
+        bound = self.bind_select(subquery, outer=scope)
+        if extra_pairs:
+            operand = extra_pairs[0][0]
+            item_col = bound.plan.output[0]
+            common = T.common_type(operand.type, item_col.type)
+            left = self._coerce_to(operand, common)
+            right = self._coerce_to(
+                E.SlotRef(0, item_col.type, item_col.name), common
+            )
+            if (
+                not _plan_has_outer_refs(bound.plan)
+                and not _has_outer_refs(left)
+                and E.references(left)
+            ):
+                # a slot-free (constant) operand has no cardinality anchor
+                # for the bulk join; it takes the EXISTS route below
+                return N.SemiJoin(
+                    core, bound.plan, [left], [right],
+                    anti=anti, null_aware=True,
+                )
+            outer_left = _slot_to_outer(left)
+            if anti:
+                # NOT IN under three-valued logic:  TRUE iff the subquery
+                # is empty, or (operand non-NULL, no NULL item, no match).
+                # Spelled with two EXISTS tests:
+                #   NOT EXISTS(sub WHERE item = x OR item IS NULL
+                #              OR x IS NULL)  OR  NOT EXISTS(sub)
+                unknown_or_match = E.BoolOp("or", (
+                    E.Compare("=", outer_left, right),
+                    E.IsNullExpr(right),
+                    E.IsNullExpr(outer_left),
+                ))
+                inner = N.BoundSelect(
+                    N.Filter(bound.plan, unknown_or_match), bound.column_names
+                )
+                rebound = self.bind_select(subquery, outer=scope)
+                empty = E.ExistsSubqueryExpr(
+                    rebound, negated=True,
+                    correlated=_plan_has_outer_refs(rebound.plan),
+                )
+                return N.Filter(core, E.BoolOp("or", (
+                    E.ExistsSubqueryExpr(
+                        inner, negated=True,
+                        correlated=_plan_has_outer_refs(inner.plan),
+                    ),
+                    empty,
+                )))
+            membership = E.Compare("=", outer_left, right)
+            inner = N.BoundSelect(
+                N.Filter(bound.plan, membership), bound.column_names
+            )
+            return N.Filter(
+                core,
+                E.ExistsSubqueryExpr(
+                    inner, negated=False,
+                    correlated=_plan_has_outer_refs(inner.plan),
+                ),
+            )
+        correlated = _plan_has_outer_refs(bound.plan)
+        return N.Filter(
+            core,
+            E.ExistsSubqueryExpr(bound, negated=anti, correlated=correlated),
+        )
 
     # -- projections / aggregation -----------------------------------------------------------
 
@@ -1053,6 +1182,10 @@ class Binder:
                 self._coerce_to(a, T.DOUBLE) if a.type != T.DOUBLE else a
                 for a in args[:1]
             ] + args[1:]
+        if name in ("least", "greatest"):
+            # arguments meet in their common comparison type, like the two
+            # sides of a comparison operator
+            args = [self._coerce_to(a, result) for a in args]
         return E.FuncCall(name, tuple(args), result)
 
     def _make_cast(self, operand: E.BoundExpr, type_name: str) -> E.BoundExpr:
@@ -1547,6 +1680,29 @@ def _outer_to_slot(expression: E.BoundExpr) -> E.BoundExpr:
         )
     if isinstance(expression, E.CastExpr):
         return E.CastExpr(_outer_to_slot(expression.operand), expression.type)
+    return expression
+
+
+def _slot_to_outer(expression: E.BoundExpr) -> E.BoundExpr:
+    """Rewrite SlotRefs to OuterRefs (an outer expression moves inside a
+    subquery plan, where the enclosing row arrives as the outer frame)."""
+    if isinstance(expression, E.SlotRef):
+        return E.OuterRef(expression.index, expression.type, expression.name)
+    if isinstance(expression, E.Arith):
+        return E.Arith(
+            expression.op,
+            _slot_to_outer(expression.left),
+            _slot_to_outer(expression.right),
+            expression.type,
+        )
+    if isinstance(expression, E.FuncCall):
+        return E.FuncCall(
+            expression.name,
+            tuple(_slot_to_outer(a) for a in expression.args),
+            expression.type,
+        )
+    if isinstance(expression, E.CastExpr):
+        return E.CastExpr(_slot_to_outer(expression.operand), expression.type)
     return expression
 
 

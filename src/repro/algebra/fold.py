@@ -279,10 +279,17 @@ def _scalar_function(name: str, args: list):
     if name == "length":
         return len(str(args[0]))
     if name in ("substring", "substr"):
-        start = int(args[1]) - 1
+        # SQL-standard clamping: the [start, start+count) window on 1-based
+        # positions intersected with the string (see vector_eval kernel)
+        start = int(args[1])
+        begin = max(start, 1) - 1
         if len(args) > 2:
-            return str(args[0])[start : start + int(args[2])]
-        return str(args[0])[start:]
+            end = max(start + int(args[2]), 1) - 1
+            return str(args[0])[begin:max(end, begin)]
+        return str(args[0])[begin:]
+    if name in ("least", "greatest"):
+        pick = min if name == "least" else max
+        return pick(args)
     if name == "concat":
         return "".join(str(a) for a in args)
     if name == "coalesce":

@@ -39,9 +39,9 @@ def scalar_result_type(name: str, arg_types: list) -> T.SQLType:
         return T.INTEGER
     if name in _STRING_FUNCS:
         return T.STRING
-    if name == "coalesce":
+    if name in ("coalesce", "least", "greatest"):
         if not arg_types:
-            raise BindError("coalesce() requires arguments")
+            raise BindError(f"{name}() requires arguments")
         result = arg_types[0]
         for other in arg_types[1:]:
             result = T.common_type(result, other)

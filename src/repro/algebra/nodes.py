@@ -24,6 +24,7 @@ __all__ = [
     "Aggregate",
     "Sort",
     "SortKey",
+    "TopN",
     "Limit",
     "Distinct",
     "SetOp",
@@ -132,7 +133,13 @@ class Join(LogicalNode):
 
 @dataclass
 class SemiJoin(LogicalNode):
-    """Semi (EXISTS) or anti (NOT EXISTS) join; output = left side only."""
+    """Semi (EXISTS) or anti (NOT EXISTS) join; output = left side only.
+
+    ``null_aware`` marks a join born from an IN-subquery, where the anti
+    form must follow NOT IN's three-valued logic instead of anti-join
+    semantics: an empty right side keeps every left row, a NULL on the
+    right keeps none, and left NULL keys are dropped.
+    """
 
     left: LogicalNode
     right: LogicalNode
@@ -140,6 +147,7 @@ class SemiJoin(LogicalNode):
     right_keys: list
     anti: bool = False
     residual: Optional[BoundExpr] = None  # over [left.output + right.output]
+    null_aware: bool = False
 
     @property
     def output(self) -> list:
@@ -177,6 +185,26 @@ class SortKey:
 class Sort(LogicalNode):
     child: LogicalNode
     keys: list  # of SortKey
+
+    @property
+    def output(self) -> list:
+        return self.child.output
+
+    @property
+    def children(self) -> list:
+        return [self.child]
+
+
+@dataclass
+class TopN(LogicalNode):
+    """Fused ``ORDER BY ... LIMIT k``: select-then-sort instead of sorting
+    the world.  Produced by the strategy pipeline from Limit(Sort(...));
+    executes as a partition + tail-sort kernel bounded by k rows."""
+
+    child: LogicalNode
+    keys: list  # of SortKey
+    limit: int
+    offset: int = 0
 
     @property
     def output(self) -> list:

@@ -21,6 +21,7 @@ from typing import Callable
 
 from repro.algebra import expr as E
 from repro.algebra import nodes as N
+from repro.algebra.strategies import PUSHDOWN_PIPELINE, apply_strategies
 from repro.errors import BindError
 
 __all__ = ["optimize", "estimate_rows"]
@@ -29,9 +30,22 @@ __all__ = ["optimize", "estimate_rows"]
 def optimize(
     bound: N.BoundSelect, row_count: Callable[[str], int]
 ) -> N.BoundSelect:
-    """Run all optimization passes over a bound SELECT."""
+    """Run all optimization passes over a bound SELECT.
+
+    The cost-based strategy pipeline (predicate/limit pushdown, top-N
+    fusion, join-order refinement) runs first, over the bound algebra;
+    the MultiJoin ordering and column pruning passes follow.
+    """
+    bound = apply_strategies(bound, row_count)
     plan = _rewrite_multijoins(bound.plan, row_count)
-    plan, _ = _prune(plan, set(range(len(plan.output))))
+    # a second pushdown-only pass catches shapes the join rewrite just
+    # created (e.g. Filter-over-Project from a single-relation MultiJoin)
+    # without re-refining the join order it chose
+    bound = apply_strategies(
+        N.BoundSelect(plan, bound.column_names), row_count,
+        pipeline=PUSHDOWN_PIPELINE,
+    )
+    plan, _ = _prune(bound.plan, set(range(len(bound.plan.output))))
     return N.BoundSelect(plan, bound.column_names)
 
 
@@ -311,6 +325,8 @@ def estimate_rows(node: N.LogicalNode, row_count) -> float:
         return max(1.0, estimate_rows(node.child, row_count) * 0.1)
     if isinstance(node, N.Limit) and node.limit is not None:
         return float(node.limit)
+    if isinstance(node, N.TopN):
+        return float(node.limit)
     children = getattr(node, "children", [])
     if children:
         return estimate_rows(children[0], row_count)
@@ -447,7 +463,7 @@ def _prune(node: N.LogicalNode, needed: set):
         ]
         return node, {i: i for i in range(len(node.output))}
 
-    if isinstance(node, N.Sort):
+    if isinstance(node, (N.Sort, N.TopN)):
         child_needed = set(needed)
         for key in node.keys:
             child_needed |= E.references(key.expr)
@@ -567,7 +583,7 @@ def _remap_plan_outer(plan: N.LogicalNode, mapping: dict) -> None:
                 )
                 for a in node.aggregates
             ]
-        if getattr(node, "keys", None) and isinstance(node, N.Sort):
+        if getattr(node, "keys", None) and isinstance(node, (N.Sort, N.TopN)):
             node.keys = [
                 N.SortKey(E.remap_outer(k.expr, mapping), k.descending, k.nulls_first)
                 for k in node.keys

@@ -59,6 +59,12 @@ def _describe(node: N.LogicalNode) -> str:
             f"{k.expr}{' desc' if k.descending else ''}" for k in node.keys
         )
         return f"Sort [{_clip(keys)}]"
+    if isinstance(node, N.TopN):
+        keys = ", ".join(
+            f"{k.expr}{' desc' if k.descending else ''}" for k in node.keys
+        )
+        offset = f" offset {node.offset}" if node.offset else ""
+        return f"TopN k={node.limit}{offset} [{_clip(keys)}]"
     if isinstance(node, N.Limit):
         return f"Limit {node.limit} offset {node.offset}"
     if isinstance(node, N.Distinct):

@@ -1,0 +1,457 @@
+"""Cost-based rewrite strategies over bound logical plans.
+
+The pipeline runs after binding and before the MultiJoin passes of
+:func:`repro.algebra.optimizer.optimize` (ROADMAP item 3: an
+Opteryx-style strategy pipeline).  Each strategy is an independent class
+implementing one rewrite over the bound algebra; the driver loops the
+pipeline to a fixpoint so rewrites can enable one another (a Limit pushed
+below a Project exposes the Limit(Sort(...)) shape TopN fusion wants):
+
+1. :class:`PredicatePushdown` — Filter nodes move below Projects and
+   Sorts (substituting projected expressions into the predicate) and into
+   the matching side of explicitly-joined trees; this reaches inside
+   derived tables, which bind as Project wrappers.
+2. :class:`LimitPushdown` — Limit moves below Projects and into the
+   branches of UNION ALL (each branch can contribute at most
+   ``offset + limit`` rows).
+3. :class:`TopNRecognition` — ``Limit(Sort(...))`` fuses into a
+   :class:`~repro.algebra.nodes.TopN` node, executed by a bounded
+   partition + tail-sort kernel instead of sorting the world.
+4. :class:`JoinOrderRefinement` — MultiJoin inputs reorder by estimated
+   cardinality (``estimate_rows`` × predicate selectivity over live row
+   counts), and explicit inner equi-joins swap sides so the smaller input
+   is the one that gets sorted/indexed.
+
+Strategies recurse into subquery plans (scalar / EXISTS expressions), so
+a ``LIMIT k`` inside ``IN (SELECT ... ORDER BY ... LIMIT k)`` fuses too.
+All rewrites are deterministic functions of the bound plan, so cached
+plans (keyed on the statement AST) pick them up transparently.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expr as E
+from repro.algebra import nodes as N
+
+__all__ = ["apply_strategies", "PIPELINE", "PUSHDOWN_PIPELINE"]
+
+#: Upper bound on pipeline fixpoint iterations (each pass is cheap; real
+#: plans converge in one or two).
+_MAX_PASSES = 5
+
+#: ablation switch for benchmarks: False keeps ORDER BY + LIMIT as a full
+#: Sort followed by a Limit instead of fusing them into TopN
+ENABLE_TOPN_FUSION = True
+
+
+class Strategy:
+    """One rewrite over the plan tree, applied bottom-up."""
+
+    name = "strategy"
+
+    def apply(self, plan: N.LogicalNode, row_count):
+        self._changed = False
+        plan = self._visit(plan, row_count)
+        return plan, self._changed
+
+    def _visit(self, node: N.LogicalNode, row_count) -> N.LogicalNode:
+        for attr in ("child", "left", "right"):
+            child = getattr(node, attr, None)
+            if isinstance(child, N.LogicalNode):
+                setattr(node, attr, self._visit(child, row_count))
+        if isinstance(node, N.MultiJoin):
+            node.relations = [self._visit(r, row_count) for r in node.relations]
+        return self.rewrite(node, row_count)
+
+    def rewrite(self, node: N.LogicalNode, row_count) -> N.LogicalNode:
+        return node
+
+
+def _split_conjuncts(predicate: E.BoundExpr) -> list:
+    if isinstance(predicate, E.BoolOp) and predicate.op == "and":
+        parts: list = []
+        for arg in predicate.args:
+            parts.extend(_split_conjuncts(arg))
+        return parts
+    return [predicate]
+
+
+def _combine_conjuncts(conjuncts: list) -> E.BoundExpr:
+    return (
+        conjuncts[0]
+        if len(conjuncts) == 1
+        else E.BoolOp("and", tuple(conjuncts))
+    )
+
+
+def _has_subquery(expression: E.BoundExpr) -> bool:
+    return any(
+        isinstance(node, (E.ScalarSubqueryExpr, E.ExistsSubqueryExpr))
+        for node in E.walk(expression)
+    )
+
+
+def _substitute_slots(expression: E.BoundExpr, exprs: list) -> E.BoundExpr:
+    """Replace SlotRef(i) with ``exprs[i]`` throughout an expression."""
+    if isinstance(expression, E.SlotRef):
+        return exprs[expression.index]
+    if isinstance(expression, E.Arith):
+        return E.Arith(
+            expression.op,
+            _substitute_slots(expression.left, exprs),
+            _substitute_slots(expression.right, exprs),
+            expression.type,
+        )
+    if isinstance(expression, E.Compare):
+        return E.Compare(
+            expression.op,
+            _substitute_slots(expression.left, exprs),
+            _substitute_slots(expression.right, exprs),
+        )
+    if isinstance(expression, E.BoolOp):
+        return E.BoolOp(
+            expression.op,
+            tuple(_substitute_slots(a, exprs) for a in expression.args),
+        )
+    if isinstance(expression, E.NotExpr):
+        return E.NotExpr(_substitute_slots(expression.operand, exprs))
+    if isinstance(expression, E.IsNullExpr):
+        return E.IsNullExpr(
+            _substitute_slots(expression.operand, exprs), expression.negated
+        )
+    if isinstance(expression, E.CaseWhen):
+        whens = tuple(
+            (_substitute_slots(c, exprs), _substitute_slots(r, exprs))
+            for c, r in expression.whens
+        )
+        else_result = (
+            _substitute_slots(expression.else_result, exprs)
+            if expression.else_result is not None
+            else None
+        )
+        return E.CaseWhen(whens, else_result, expression.type)
+    if isinstance(expression, E.FuncCall):
+        return E.FuncCall(
+            expression.name,
+            tuple(_substitute_slots(a, exprs) for a in expression.args),
+            expression.type,
+        )
+    if isinstance(expression, E.LikeExpr):
+        return E.LikeExpr(
+            _substitute_slots(expression.operand, exprs),
+            expression.pattern,
+            expression.negated,
+            expression.type,
+            expression.escape,
+        )
+    if isinstance(expression, E.InListExpr):
+        return E.InListExpr(
+            _substitute_slots(expression.operand, exprs),
+            expression.values,
+            expression.negated,
+            expression.type,
+        )
+    if isinstance(expression, E.CastExpr):
+        return E.CastExpr(
+            _substitute_slots(expression.operand, exprs), expression.type
+        )
+    return expression
+
+
+class PredicatePushdown(Strategy):
+    """Move Filters toward the scans they select from.
+
+    Fires on Filter(Project), Filter(Sort), and Filter(Join); the Project
+    case substitutes the projected expressions into the predicate, which
+    is how predicates enter derived tables.  Filters never cross Limit,
+    TopN, Aggregate, or set operations (that would change results).
+    """
+
+    name = "predicate-pushdown"
+
+    def rewrite(self, node, row_count):
+        if not isinstance(node, N.Filter):
+            return node
+        child = node.child
+        if isinstance(child, N.Project):
+            refs = E.references(node.predicate)
+            if _has_subquery(node.predicate) or any(
+                _has_subquery(child.exprs[i]) for i in refs
+            ):
+                return node
+            pushed = _substitute_slots(node.predicate, child.exprs)
+            self._changed = True
+            return N.Project(
+                N.Filter(child.child, pushed), child.exprs, child.output
+            )
+        if isinstance(child, N.Sort):
+            # filtering before sorting touches fewer rows; stable order of
+            # the surviving rows is unchanged
+            self._changed = True
+            return N.Sort(N.Filter(child.child, node.predicate), child.keys)
+        if isinstance(child, N.Join) and child.kind in ("inner", "left", "cross"):
+            return self._push_into_join(node, child)
+        return node
+
+    def _push_into_join(self, node: N.Filter, join: N.Join) -> N.LogicalNode:
+        left_width = len(join.left.output)
+        left_parts: list = []
+        right_parts: list = []
+        kept: list = []
+        for conjunct in _split_conjuncts(node.predicate):
+            refs = E.references(conjunct)
+            if _has_subquery(conjunct) or not refs:
+                kept.append(conjunct)
+            elif max(refs) < left_width:
+                left_parts.append(conjunct)
+            elif min(refs) >= left_width and join.kind != "left":
+                # WHERE over the preserved side of a LEFT JOIN filters the
+                # NULL-extended rows; only inner/cross joins may push right
+                right_parts.append(
+                    E.remap_slots(
+                        conjunct, {s: s - left_width for s in refs}
+                    )
+                )
+            else:
+                kept.append(conjunct)
+        if not left_parts and not right_parts:
+            return node
+        self._changed = True
+        if left_parts:
+            join.left = N.Filter(join.left, _combine_conjuncts(left_parts))
+        if right_parts:
+            join.right = N.Filter(join.right, _combine_conjuncts(right_parts))
+        if kept:
+            return N.Filter(join, _combine_conjuncts(kept))
+        return join
+
+
+class LimitPushdown(Strategy):
+    """Move Limit below row-preserving operators.
+
+    Limit(Project) swaps (a projection is 1:1 per row, so slicing first
+    evaluates the expressions over fewer rows); Limit over UNION ALL
+    bounds each branch at ``offset + limit`` rows before concatenation.
+    """
+
+    name = "limit-pushdown"
+
+    def rewrite(self, node, row_count):
+        if not isinstance(node, N.Limit):
+            return node
+        child = node.child
+        if isinstance(child, N.Project):
+            self._changed = True
+            return N.Project(
+                N.Limit(child.child, node.limit, node.offset),
+                child.exprs,
+                child.output,
+            )
+        if (
+            node.limit is not None
+            and isinstance(child, N.SetOp)
+            and child.op == "union"
+            and child.all
+        ):
+            need = node.limit + node.offset
+            changed = False
+            for attr in ("left", "right"):
+                branch = getattr(child, attr)
+                if not (
+                    isinstance(branch, N.Limit)
+                    and branch.limit is not None
+                    and branch.limit + branch.offset <= need
+                ):
+                    setattr(child, attr, N.Limit(branch, need, 0))
+                    changed = True
+            self._changed = self._changed or changed
+            return node
+        return node
+
+
+class TopNRecognition(Strategy):
+    """Fuse ``Limit(Sort(...))`` into a TopN node.
+
+    The fused operator partitions on the primary sort key (O(n)) and
+    fully sorts only the ~k candidate rows; an OFFSET folds into the
+    selection window.  Plans with OFFSET but no LIMIT stay as Sort+Limit
+    (there is no bound to exploit).
+    """
+
+    name = "topn-recognition"
+
+    def rewrite(self, node, row_count):
+        if (
+            ENABLE_TOPN_FUSION
+            and isinstance(node, N.Limit)
+            and node.limit is not None
+            and isinstance(node.child, N.Sort)
+        ):
+            self._changed = True
+            return N.TopN(
+                node.child.child, node.child.keys, node.limit, node.offset
+            )
+        return node
+
+
+class JoinOrderRefinement(Strategy):
+    """Cardinality-driven input reordering ahead of the greedy join pass.
+
+    MultiJoin relation lists reorder ascending by estimated rows (each
+    relation's base estimate scaled by the selectivity of the predicates
+    that touch only it), so the greedy ordering in ``_order_multijoin``
+    seeds from — and breaks ties toward — the smallest inputs.  Explicit
+    inner equi-joins swap sides when the right input is estimated larger
+    than the left: the execution tactics (sort-merge, hash/order index
+    probes) organize the *right* side, so the smaller input belongs
+    there.  Both rewrites restore the original column order with an
+    identity-shaped Project so parent slots stay valid.
+    """
+
+    name = "join-order-refinement"
+
+    def rewrite(self, node, row_count):
+        from repro.algebra.optimizer import _selectivity, estimate_rows
+
+        if isinstance(node, N.MultiJoin) and len(node.relations) > 1:
+            return self._reorder_multijoin(
+                node, row_count, estimate_rows, _selectivity
+            )
+        if (
+            isinstance(node, N.Join)
+            and node.kind == "inner"
+            and node.left_keys
+        ):
+            left_rows = estimate_rows(node.left, row_count)
+            right_rows = estimate_rows(node.right, row_count)
+            if right_rows > left_rows * 2.0:
+                return self._swap_join(node)
+        return node
+
+    def _reorder_multijoin(
+        self, node: N.MultiJoin, row_count, estimate_rows, selectivity
+    ) -> N.LogicalNode:
+        offsets: list[int] = []
+        total = 0
+        for relation in node.relations:
+            offsets.append(total)
+            total += len(relation.output)
+
+        def owner(slot: int) -> int:
+            for index in range(len(node.relations) - 1, -1, -1):
+                if slot >= offsets[index]:
+                    return index
+            raise IndexError(slot)
+
+        estimates = [estimate_rows(r, row_count) for r in node.relations]
+        for predicate in node.predicates:
+            owners = {owner(s) for s in E.references(predicate)}
+            if len(owners) == 1:
+                index = owners.pop()
+                estimates[index] = max(
+                    1.0, estimates[index] * selectivity(predicate)
+                )
+        order = sorted(range(len(node.relations)), key=lambda i: estimates[i])
+        if order == list(range(len(node.relations))):
+            return node
+
+        new_offsets: dict[int, int] = {}
+        position = 0
+        for index in order:
+            new_offsets[index] = position
+            position += len(node.relations[index].output)
+        mapping = {}
+        for index, relation in enumerate(node.relations):
+            for slot in range(len(relation.output)):
+                mapping[offsets[index] + slot] = new_offsets[index] + slot
+        reordered = N.MultiJoin(
+            [node.relations[i] for i in order],
+            [E.remap_slots(p, mapping) for p in node.predicates],
+        )
+        exprs = []
+        output = []
+        for global_slot in range(total):
+            column = node.output[global_slot]
+            exprs.append(
+                E.SlotRef(mapping[global_slot], column.type, column.name)
+            )
+            output.append(column)
+        self._changed = True
+        return N.Project(reordered, exprs, output)
+
+    def _swap_join(self, node: N.Join) -> N.LogicalNode:
+        left_width = len(node.left.output)
+        right_width = len(node.right.output)
+        residual = node.residual
+        if residual is not None:
+            mapping = {}
+            for slot in E.references(residual):
+                if slot < left_width:
+                    mapping[slot] = slot + right_width
+                else:
+                    mapping[slot] = slot - left_width
+            residual = E.remap_slots(residual, mapping)
+        swapped = N.Join(
+            node.right,
+            node.left,
+            node.kind,
+            node.right_keys,
+            node.left_keys,
+            residual,
+        )
+        exprs = []
+        output = []
+        for slot, column in enumerate(node.output):
+            new_slot = slot + right_width if slot < left_width else (
+                slot - left_width
+            )
+            exprs.append(E.SlotRef(new_slot, column.type, column.name))
+            output.append(column)
+        self._changed = True
+        return N.Project(swapped, exprs, output)
+
+
+#: The pipeline, in rewrite order.  Predicates move first (they shrink
+#: the cardinalities every later estimate reads), limits second (exposing
+#: Limit(Sort(...)) shapes), fusion third, join refinement last.
+PIPELINE = [
+    PredicatePushdown(),
+    LimitPushdown(),
+    TopNRecognition(),
+    JoinOrderRefinement(),
+]
+
+#: pipeline for plans whose joins were already cost-ordered by the greedy
+#: MultiJoin pass — re-refining them would fight its left-deep convention
+PUSHDOWN_PIPELINE = PIPELINE[:-1]
+
+
+def apply_strategies(
+    bound: N.BoundSelect, row_count, pipeline=None
+) -> N.BoundSelect:
+    """Run the strategy pipeline over a bound plan (and its subqueries)."""
+    strategies = PIPELINE if pipeline is None else pipeline
+    plan = bound.plan
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for strategy in strategies:
+            plan, did = strategy.apply(plan, row_count)
+            changed = changed or did
+        if not changed:
+            break
+    _apply_to_subplans(plan, row_count, strategies)
+    bound.plan = plan
+    return bound
+
+
+def _apply_to_subplans(plan: N.LogicalNode, row_count, strategies) -> None:
+    """Recurse into subquery plans hiding inside expressions."""
+    from repro.algebra.optimizer import _iter_subquery_exprs, _plan_expr_attrs
+
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        for _, _, expression in _plan_expr_attrs(node):
+            for sub in _iter_subquery_exprs(expression):
+                apply_strategies(sub.plan, row_count, strategies)
+        stack.extend(getattr(node, "children", []) or [])

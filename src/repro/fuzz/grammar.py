@@ -23,6 +23,7 @@ __all__ = [
     "Cmp",
     "Between",
     "InList",
+    "InSubquery",
     "IsNull",
     "Like",
     "BoolOp",
@@ -217,6 +218,26 @@ class InList:
         )
 
 
+class InSubquery:
+    """``expr [NOT] IN (SELECT item FROM ...)`` membership predicate.
+
+    The inner select may carry ORDER BY + LIMIT; the generator always
+    orders by the selected item itself, so the *value set* of the first
+    k rows is deterministic even when rows tie on the sort key.
+    """
+
+    __slots__ = ("expr", "select", "negated")
+
+    def __init__(self, expr, select, negated: bool):
+        self.expr = expr
+        self.select = select
+        self.negated = negated
+
+    def render(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        return f"{self.expr.render()} {op} ({self.select.render()})"
+
+
 class IsNull:
     __slots__ = ("expr", "negated")
 
@@ -398,19 +419,53 @@ class Select:
 
 
 class SetQuery:
-    __slots__ = ("op", "left", "right")
+    """Set operation, optionally with a statement-level ORDER BY/LIMIT.
 
-    def __init__(self, op: str, left: Select, right: Select):
+    ``order`` lists (ordinal_index, desc, nulls_first) over the combined
+    output columns and renders as 1-based ordinals — the only spelling
+    both dialects resolve identically against set-op output.
+    """
+
+    __slots__ = ("op", "left", "right", "order", "limit", "offset")
+
+    def __init__(self, op: str, left: Select, right: Select,
+                 order=None, limit=None, offset: int = 0):
         self.op = op  # "UNION" | "UNION ALL" | "INTERSECT" | "EXCEPT"
         self.left = left
         self.right = right
+        self.order = order  # list of (ordinal_index, desc, nulls_first)
+        self.limit = limit
+        self.offset = offset
 
     @property
     def ordered_all(self) -> bool:
-        return False
+        if not self.order:
+            return False
+        return {index for index, _, _ in self.order} == set(
+            range(len(self.left.items))
+        )
 
     def render(self) -> str:
-        return f"{self.left.render()} {self.op} {self.right.render()}"
+        parts = [f"{self.left.render()} {self.op} {self.right.render()}"]
+        if self.order:
+            keys = ", ".join(
+                f"{index + 1} {'DESC' if desc else 'ASC'}"
+                f" NULLS {'FIRST' if nulls_first else 'LAST'}"
+                for index, desc, nulls_first in self.order
+            )
+            parts.append(f"ORDER BY {keys}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+            if self.offset:
+                parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+    def copy(self) -> "SetQuery":
+        return SetQuery(
+            self.op, self.left, self.right,
+            list(self.order) if self.order else None,
+            self.limit, self.offset,
+        )
 
 
 # -- structural shrinking ---------------------------------------------------------
@@ -438,6 +493,18 @@ def pred_shrinks(pred) -> list:
                 clone = Cmp(pred.op, pred.left, pred.right)
                 setattr(clone, side, replacement)
                 out.append(clone)
+    if isinstance(pred, InSubquery):
+        inner = pred.select
+        if inner.where is not None:
+            variant = inner.copy()
+            variant.where = None
+            out.append(InSubquery(pred.expr, variant, pred.negated))
+        if inner.limit is not None:
+            variant = inner.copy()
+            variant.order, variant.limit, variant.offset = None, None, 0
+            out.append(InSubquery(pred.expr, variant, pred.negated))
+        for replacement in expr_shrinks(pred.expr):
+            out.append(InSubquery(replacement, pred.select, pred.negated))
     return out
 
 
@@ -608,12 +675,17 @@ class QueryGen:
 
     # -- predicates ---------------------------------------------------------------
 
-    def pred(self, cols: list, depth: int):
+    def pred(self, cols: list, depth: int, where: bool = False):
+        """Random predicate; ``where`` marks a top-level WHERE conjunct
+        position, the only place the engine accepts IN-subqueries (they
+        stay legal under AND but not under OR/NOT or inside CASE)."""
         rng = self.rng
         roll = rng.random()
         if depth > 0 and roll < 0.22:
-            parts = [self.pred(cols, depth - 1) for _ in range(2)]
-            return BoolOp(rng.choice(["AND", "OR"]), parts)
+            op = rng.choice(["AND", "OR"])
+            parts = [self.pred(cols, depth - 1, where and op == "AND")
+                     for _ in range(2)]
+            return BoolOp(op, parts)
         if depth > 0 and roll < 0.30:
             return Not(self.pred(cols, depth - 1))
         kind = rng.random()
@@ -629,6 +701,8 @@ class QueryGen:
             return Between(expr, Lit(str(lo), INT, abs(lo)),
                            Lit(str(hi), INT, abs(hi)))
         if kind < 0.70:
+            if where and self.tables and rng.random() < 0.35:
+                return self._in_subquery(cols)
             tag = STR if (str_cols and rng.random() < 0.5) else INT
             expr = (rng.choice(str_cols) if tag == STR
                     else self.expr(INT, cols, depth - 1, exact=True))
@@ -650,6 +724,42 @@ class QueryGen:
             return Cmp(rng.choice(["<", "<=", ">", ">=", "=", "<>"]),
                        rng.choice(float_cols), self._literal(FLOAT))
         return self._comparison(cols, depth)
+
+    def _in_subquery(self, cols):
+        """``expr [NOT] IN (SELECT col FROM t [ORDER BY col LIMIT k])``."""
+        rng = self.rng
+        table = self._pick_table()
+        inner_cols = self._columns(table)
+        str_inner = [c for c in inner_cols if c.tag == STR]
+        int_inner = [c for c in inner_cols if c.tag == INT]
+        tag = STR if (str_inner and rng.random() < 0.3) else INT
+        candidates = str_inner if tag == STR else int_inner
+        if not candidates:
+            tag, candidates = INT, int_inner
+        if not candidates:  # table with no usable column: plain IN-list
+            expr = self.expr(INT, cols, 1, exact=True)
+            values = [self._literal(INT) for _ in range(rng.randint(1, 3))]
+            return InList(expr, values, rng.random() < 0.3)
+        item = rng.choice(candidates)
+        where = self.pred(inner_cols, 1, where=True) if rng.random() < 0.4 else None
+        order, limit, offset = None, None, 0
+        if rng.random() < 0.55:
+            # ordered by the selected item itself: first-k value set is
+            # deterministic even with ties on the key
+            order = [(0, rng.random() < 0.5, rng.random() < 0.5)]
+            limit = rng.randint(1, 6)
+            if rng.random() < 0.3:
+                offset = rng.randint(0, 2)
+        inner = Select([item], FromTable(table.name), where=where,
+                       order=order, limit=limit, offset=offset)
+        outer_candidates = [c for c in cols if c.tag == tag]
+        if outer_candidates and rng.random() < 0.7:
+            operand = rng.choice(outer_candidates)
+        elif tag == INT:
+            operand = self.expr(INT, cols, 1, exact=True)
+        else:
+            operand = self._literal(STR)
+        return InSubquery(operand, inner, rng.random() < 0.3)
 
     def _comparison(self, cols, depth):
         rng = self.rng
@@ -757,7 +867,7 @@ class QueryGen:
             and rng.random() < 0.2
             and all(_exact_item(item) for item in items)
         )
-        where = self.pred(cols, 2) if rng.random() < 0.6 else None
+        where = self.pred(cols, 2, where=True) if rng.random() < 0.6 else None
         return Select(items, FromTable(table.name), where=where,
                       order=order, limit=limit, offset=offset,
                       distinct=distinct)
@@ -773,7 +883,7 @@ class QueryGen:
         items = list(keys)
         for _ in range(rng.randint(1, 2)):
             items.append(self.agg(cols))
-        where = self.pred(cols, 1) if rng.random() < 0.5 else None
+        where = self.pred(cols, 1, where=True) if rng.random() < 0.5 else None
         having = self._having(cols) if rng.random() < 0.5 else None
         return Select(items, FromTable(table.name), where=where,
                       group=list(range(len(keys))), having=having)
@@ -783,7 +893,7 @@ class QueryGen:
         table = self._pick_table()
         cols = self._columns(table)
         items = [self.agg(cols) for _ in range(rng.randint(1, 3))]
-        where = self.pred(cols, 2) if rng.random() < 0.5 else None
+        where = self.pred(cols, 2, where=True) if rng.random() < 0.5 else None
         return Select(items, FromTable(table.name), where=where)
 
     def _branch(self, tags):
@@ -792,7 +902,7 @@ class QueryGen:
         cols = self._columns(table)
         items = [self.expr(tag, cols, rng.randint(0, 2), exact=True)
                  for tag in tags]
-        where = self.pred(cols, 1) if rng.random() < 0.5 else None
+        where = self.pred(cols, 1, where=True) if rng.random() < 0.5 else None
         return Select(items, FromTable(table.name), where=where)
 
     def _set_query(self):
@@ -800,7 +910,18 @@ class QueryGen:
         tags = [rng.choice([INT, INT, FLOAT, STR, DATE])
                 for _ in range(rng.randint(1, 3))]
         op = rng.choice(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"])
-        return SetQuery(op, self._branch(tags), self._branch(tags))
+        query = SetQuery(op, self._branch(tags), self._branch(tags))
+        if rng.random() < 0.45:
+            # ORDER BY every output ordinal: row order becomes checkable
+            # and any LIMIT is deterministic (boundary ties are identical
+            # rows, so the first-k multiset is unique)
+            query.order = [(i, rng.random() < 0.5, rng.random() < 0.5)
+                           for i in range(len(tags))]
+            if rng.random() < 0.6:
+                query.limit = rng.randint(1, 8)
+                if rng.random() < 0.3:
+                    query.offset = rng.randint(0, 3)
+        return query
 
     def _subquery_select(self):
         rng = self.rng
@@ -812,15 +933,26 @@ class QueryGen:
             inner_items.append(
                 self.expr(tag, cols, rng.randint(0, 2), exact=True)
             )
-        inner_where = self.pred(cols, 1) if rng.random() < 0.5 else None
+        inner_where = self.pred(cols, 1, where=True) if rng.random() < 0.5 else None
+        inner_order, inner_limit, inner_offset = None, None, 0
+        if rng.random() < 0.4:
+            # derived table with a deterministic top-k: ordered by every
+            # item, so the surviving row multiset is unique
+            inner_order = [(i, rng.random() < 0.5, rng.random() < 0.5)
+                           for i in range(len(inner_items))]
+            inner_limit = rng.randint(1, 8)
+            if rng.random() < 0.3:
+                inner_offset = rng.randint(0, 3)
         inner = Select(inner_items, FromTable(table.name),
-                       where=inner_where, aliased=True)
+                       where=inner_where, order=inner_order,
+                       limit=inner_limit, offset=inner_offset,
+                       aliased=True)
         derived = [Col(f"s.c{i}", item.tag, getattr(item, "bound", 0))
                    for i, item in enumerate(inner_items)]
         items = [self.expr(rng.choice([c.tag for c in derived]),
                            derived, rng.randint(0, 2))
                  for _ in range(rng.randint(1, 3))]
-        where = self.pred(derived, 1) if rng.random() < 0.5 else None
+        where = self.pred(derived, 1, where=True) if rng.random() < 0.5 else None
         return Select(items, FromSub(inner, "s"), where=where)
 
     def _join_select(self):
@@ -837,7 +969,7 @@ class QueryGen:
         pred = Cmp("=", rng.choice(lints), rng.choice(rints))
         cols = lcols + rcols
         items = [rng.choice(cols) for _ in range(rng.randint(1, 3))]
-        where = self.pred(cols, 1) if rng.random() < 0.4 else None
+        where = self.pred(cols, 1, where=True) if rng.random() < 0.4 else None
         return Select(items, FromJoin(left.name, "x", right.name, "y", pred),
                       where=where)
 

@@ -100,16 +100,32 @@ def query_shrinks(query):
     if isinstance(query, G.SetQuery):
         yield query.left
         yield query.right
-        for variant in query_shrinks(query.left):
-            yield G.SetQuery(query.op, variant, query.right)
-        for variant in query_shrinks(query.right):
-            yield G.SetQuery(query.op, query.left, variant)
+        if query.limit is not None:
+            variant = query.copy()
+            variant.limit, variant.offset = None, 0
+            yield variant
+        if query.order:
+            variant = query.copy()
+            variant.order, variant.limit, variant.offset = None, None, 0
+            yield variant
+        for replacement in query_shrinks(query.left):
+            variant = query.copy()
+            variant.left = replacement
+            yield variant
+        for replacement in query_shrinks(query.right):
+            variant = query.copy()
+            variant.right = replacement
+            yield variant
         return
     if not isinstance(query, G.Select):
         return
-    # replace a FROM-subquery by the subquery itself
+    # replace a FROM-subquery by the subquery itself, or simplify it
     if isinstance(query.from_, G.FromSub):
         yield query.from_.select
+        for replacement in query_shrinks(query.from_.select):
+            variant = query.copy()
+            variant.from_ = G.FromSub(replacement, query.from_.alias)
+            yield variant
     # drop whole clauses
     if query.having is not None:
         yield _with(query, having=None)

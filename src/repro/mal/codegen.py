@@ -35,6 +35,7 @@ _PURE_OPS = frozenset(
         "gb_reps",
         "agg",
         "sort",
+        "topn",
         "head",
         "distinct",
         "concat",
@@ -108,6 +109,8 @@ class CodeGen:
             return self._compile_aggregate(node)
         if isinstance(node, N.Sort):
             return self._compile_sort(node)
+        if isinstance(node, N.TopN):
+            return self._compile_topn(node)
         if isinstance(node, N.Limit):
             child = self._compile_node(node.child)
             start = node.offset
@@ -181,7 +184,9 @@ class CodeGen:
         right = self._compile_node(node.right)
         left_keys = tuple(self._expr_var(k, left) for k in node.left_keys)
         right_keys = tuple(self._expr_var(k, right) for k in node.right_keys)
-        ids = self._emit("semijoin", left_keys, right_keys, node.anti)
+        ids = self._emit(
+            "semijoin", left_keys, right_keys, node.anti, node.null_aware
+        )
         return [self._emit("take", var, ids, parallelizable=True) for var in left]
 
     def _compile_aggregate(self, node: N.Aggregate) -> list:
@@ -213,6 +218,16 @@ class CodeGen:
         descending = tuple(k.descending for k in node.keys)
         nulls_first = tuple(k.nulls_first for k in node.keys)
         ids = self._emit("sort", keys, descending, nulls_first)
+        return [self._emit("take", var, ids, parallelizable=True) for var in child]
+
+    def _compile_topn(self, node: N.TopN) -> list:
+        child = self._compile_node(node.child)
+        keys = tuple(self._expr_var(k.expr, child) for k in node.keys)
+        descending = tuple(k.descending for k in node.keys)
+        nulls_first = tuple(k.nulls_first for k in node.keys)
+        ids = self._emit(
+            "topn", keys, descending, nulls_first, node.limit, node.offset
+        )
         return [self._emit("take", var, ids, parallelizable=True) for var in child]
 
     def _compile_setop(self, node: N.SetOp) -> list:

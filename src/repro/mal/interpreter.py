@@ -514,7 +514,7 @@ class Interpreter:
         return self._get(instr.args[0])[1]
 
     def _op_semijoin(self, instr):
-        left_vars, right_vars, anti = instr.args
+        left_vars, right_vars, anti, null_aware = instr.args
         left = [self._get(v) for v in left_vars]
         right = [self._get(v) for v in right_vars]
         if (
@@ -522,6 +522,9 @@ class Interpreter:
             and len(right_vars) == 1
             and not left[0].type.is_variable
             and not left[0].is_scalar
+            # NOT IN semantics depend on right-side NULLs/emptiness the
+            # membership index cannot see
+            and not (anti and null_aware)
         ):
             prov = self._prov.get(right_vars[0])
             if prov is not None:
@@ -538,7 +541,7 @@ class Interpreter:
                         member = ~member
                     return np.flatnonzero(member).astype(np.int64)
         self._tactic = "sort_merge"
-        return ops.semijoin_rows(left, right, anti)
+        return ops.semijoin_rows(left, right, anti, null_aware=null_aware)
 
     # -- grouping ---------------------------------------------------------------------------
 
@@ -618,6 +621,13 @@ class Interpreter:
         key_vars, descending, nulls_first = instr.args
         keys = self._materialize_group([self._get(v) for v in key_vars])
         return ops.sort_rows(keys, list(descending), list(nulls_first))
+
+    def _op_topn(self, instr):
+        key_vars, descending, nulls_first, limit, offset = instr.args
+        keys = self._materialize_group([self._get(v) for v in key_vars])
+        return ops.topn_rows(
+            keys, list(descending), list(nulls_first), limit, offset
+        )
 
     def _op_distinct(self, instr):
         vars_ = instr.args[0]

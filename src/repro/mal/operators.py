@@ -21,6 +21,7 @@ __all__ = [
     "join_pairs",
     "semijoin_rows",
     "sort_rows",
+    "topn_rows",
     "distinct_rows",
 ]
 
@@ -337,13 +338,25 @@ def semijoin_rows(
     right_vecs: list,
     anti: bool = False,
     null_equal: bool = False,
+    null_aware: bool = False,
 ) -> np.ndarray:
     """Left row ids with (or without, for anti) a match on the right.
 
     ``null_equal`` switches from join semantics (NULL matches nothing) to
     the grouping semantics of INTERSECT/EXCEPT, where NULL equals NULL.
+    ``null_aware`` with ``anti`` applies NOT IN's three-valued logic:
+    an empty right side keeps every left row, any NULL on the right
+    keeps none, and NULL left keys are dropped.
     """
     left_codes, right_codes = _shared_codes(left_vecs, right_vecs, null_equal)
+    if anti and null_aware:
+        n = len(left_codes)
+        if len(right_codes) == 0:
+            return np.arange(n, dtype=np.int64)
+        if np.any(right_codes < 0):
+            return np.empty(0, dtype=np.int64)
+        member = np.isin(left_codes, right_codes) | (left_codes < 0)
+        return np.flatnonzero(~member).astype(np.int64)
     if null_equal:
         member = np.isin(left_codes, right_codes)
     else:
@@ -372,6 +385,46 @@ def sort_rows(key_vecs: list, descending: list, nulls_first: list) -> np.ndarray
         sort_keys.append(codes)
     # np.lexsort sorts by the LAST key first
     return np.lexsort(sort_keys[::-1]).astype(np.int64)
+
+
+def topn_rows(
+    key_vecs: list,
+    descending: list,
+    nulls_first: list,
+    limit: int,
+    offset: int = 0,
+) -> np.ndarray:
+    """Row order of the first ``offset + limit`` rows under the sort keys.
+
+    Fused top-N: an O(n) partition on the primary key narrows the input to
+    the candidate rows that can appear in the window, and only those are
+    fully sorted — instead of sorting the world and slicing.  Candidates
+    keep their original row order, so ties resolve exactly as the stable
+    full sort would and swapping this in for Sort+Limit is invisible.
+    """
+    n = len(key_vecs[0].data)
+    k = min(offset + limit, n)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    sort_keys = []
+    for vec, desc, nf in zip(key_vecs, descending, nulls_first):
+        codes = _sortable_codes(vec, n, nf, desc)
+        if desc:
+            codes = -codes
+        sort_keys.append(codes)
+    primary = sort_keys[0]
+    if k < n:
+        # kth-smallest primary code; every row that can make the window has
+        # a code <= pivot (ties at the pivot stay in, the tail sort and the
+        # final slice settle them)
+        pivot = np.partition(primary, k - 1)[k - 1]
+        candidates = np.flatnonzero(primary <= pivot)
+        sub_keys = [codes[candidates] for codes in sort_keys]
+    else:
+        candidates = np.arange(n, dtype=np.int64)
+        sub_keys = sort_keys
+    order = np.lexsort(sub_keys[::-1])
+    return candidates[order[:k]][offset:].astype(np.int64)
 
 
 def _sortable_codes(vec: V, n: int, nulls_first, descending: bool) -> np.ndarray:

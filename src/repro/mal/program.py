@@ -28,7 +28,7 @@ class Instruction:
     parallelizable: bool = False
 
     #: argument positions holding literal ints (not variable references)
-    _LITERAL_INT_ARGS = {"bind": {1}, "head": {1, 2}}
+    _LITERAL_INT_ARGS = {"bind": {1}, "head": {1, 2}, "topn": {3, 4}}
 
     def render(self) -> str:
         """Human-readable MAL-ish spelling (used by EXPLAIN and tests)."""

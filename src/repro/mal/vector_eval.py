@@ -462,6 +462,9 @@ def _eval_function(expression: E.FuncCall, inputs: list, ctx) -> V:
     if name == "coalesce":
         return _coalesce(args, rtype, inputs)
 
+    if name in ("least", "greatest"):
+        return _least_greatest(name, args, rtype, inputs)
+
     if name == "mod":
         a = _to_float(args[0], _numeric_array(args[0]))
         b = _to_float(args[1], _numeric_array(args[1]))
@@ -522,12 +525,19 @@ def _string_function(name: str, args: list, rtype) -> V:
         func = {"upper": str.upper, "lower": str.lower, "trim": str.strip}[name]
         return V(rtype, _map_strings(vec, func))
     if name in ("substring", "substr"):
-        start = int(args[1].data) - 1
+        # SQL-standard clamping: the window [start, start+count) on 1-based
+        # positions is intersected with the string, so a zero or negative
+        # start yields the head characters instead of a wrapped Python slice.
+        start = int(args[1].data)
+        begin = max(start, 1) - 1
         if len(args) > 2:
             count = int(args[2].data)
-            func = lambda s: s[start : start + count]  # noqa: E731
+            end = max(start + count, 1) - 1
+            if end < begin:
+                end = begin
+            func = lambda s: s[begin:end]  # noqa: E731
         else:
-            func = lambda s: s[start:]  # noqa: E731
+            func = lambda s: s[begin:]  # noqa: E731
         return V(rtype, _map_strings(vec, func))
     if name == "concat":
         result = args[0]
@@ -592,6 +602,40 @@ def _coalesce(args: list, rtype, inputs: list) -> V:
         take = ~filled & present
         out[take] = values[take]
         filled |= take
+    return V(rtype, out)
+
+
+def _least_greatest(name: str, args: list, rtype, inputs: list) -> V:
+    """NULL-propagating n-ary min/max over comparison-coerced arguments."""
+    n = broadcast_length(*args, *inputs)
+    if rtype.is_variable:
+        pick = min if name == "least" else max
+        combine = np.frompyfunc(
+            lambda x, y: None if x is None or y is None else pick(x, y), 2, 1
+        )
+        out = None
+        for arg in args:
+            values = arg.objects()
+            values = np.repeat(values, n) if len(values) == 1 else values
+            out = values.copy() if out is None else combine(out, values)
+        return V(rtype, np.asarray(out, dtype=object))
+    fn = np.minimum if name == "least" else np.maximum
+    out = None
+    nulls = np.zeros(n, dtype=bool)
+    for arg in args:
+        values = _value_array(arg, rtype, n)
+        mask = arg.null_mask(n)
+        if mask is not None:
+            if len(mask) != n:  # scalar argument broadcast
+                mask = np.full(n, bool(mask[0]))
+            nulls |= mask
+        out = values.copy() if out is None else fn(out, values)
+    # a NULL in any argument wins the whole row (sentinels from the value
+    # arrays may have polluted the running min/max; this overwrites them)
+    if nulls.any():
+        out[nulls] = np.nan if rtype.category == T.TypeCategory.FLOAT else (
+            rtype.null_value
+        )
     return V(rtype, out)
 
 

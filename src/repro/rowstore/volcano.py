@@ -85,6 +85,9 @@ def open_plan(node: N.LogicalNode, ctx: VolcanoContext):
         return _aggregate(node, ctx)
     if isinstance(node, N.Sort):
         return _sort(node, ctx)
+    if isinstance(node, N.TopN):
+        rows = _sort(N.Sort(node.child, node.keys), ctx)
+        return itertools.islice(rows, node.offset, node.offset + node.limit)
     if isinstance(node, N.Limit):
         child = open_plan(node.child, ctx)
         stop = None if node.limit is None else node.offset + node.limit
@@ -154,15 +157,29 @@ def _join(node: N.Join, ctx: VolcanoContext):
 
 def _semijoin(node: N.SemiJoin, ctx: VolcanoContext):
     keys = set()
+    right_count = 0
+    right_has_null = False
     for right_row in open_plan(node.right, ctx):
         ctx.check()
+        right_count += 1
         key = tuple(eval_row(k, right_row, ctx) for k in node.right_keys)
-        if not any(v is None for v in key):
+        if any(v is None for v in key):
+            right_has_null = True
+        else:
             keys.add(key)
     for left_row in open_plan(node.left, ctx):
         ctx.check()
         key = tuple(eval_row(k, left_row, ctx) for k in node.left_keys)
-        matched = not any(v is None for v in key) and key in keys
+        key_null = any(v is None for v in key)
+        matched = not key_null and key in keys
+        if node.anti and node.null_aware:
+            # NOT IN three-valued logic: empty right keeps everything,
+            # a NULL anywhere keeps nothing, else keep the non-matches
+            if right_count == 0 or not (
+                right_has_null or key_null or matched
+            ):
+                yield left_row
+            continue
         if matched != node.anti:
             yield left_row
 

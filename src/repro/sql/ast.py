@@ -304,6 +304,7 @@ class SetOpStmt(Statement):
     all: bool = False
     order_by: tuple = ()
     limit: Optional[int] = None
+    offset: Optional[int] = None
 
 
 @dataclass(frozen=True)

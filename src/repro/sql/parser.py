@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.errors import ParseError
 from repro.sql import ast
 from repro.sql.lexer import Lexer, Token, TokenType
@@ -365,8 +367,13 @@ class Parser:
     # -- SELECT / set operations -----------------------------------------------------
 
     def _query_statement(self) -> ast.Statement:
-        """A query possibly combined with UNION/EXCEPT/INTERSECT."""
-        left: ast.Statement = self._select_block()
+        """A query possibly combined with UNION/EXCEPT/INTERSECT.
+
+        Branch blocks are parsed without trailing ORDER BY/LIMIT/OFFSET:
+        those clauses bind to the whole set-op result (SQL standard), not
+        to the last branch.
+        """
+        left: ast.Statement = self._select_block(parse_trailing=False)
         while self._current.type == TokenType.KEYWORD and self._current.value in (
             "union",
             "except",
@@ -374,17 +381,27 @@ class Parser:
         ):
             op = str(self._advance().value)
             all_flag = self._accept_keyword("all")
-            right = self._select_block()
+            right = self._select_block(parse_trailing=False)
             left = ast.SetOpStmt(op, left, right, all=all_flag)
+        order_by, limit, offset = self._trailing_order_limit()
         if isinstance(left, ast.SetOpStmt):
-            order_by, limit, _ = self._trailing_order_limit()
-            if order_by or limit is not None:
+            if order_by or limit is not None or offset is not None:
                 left = ast.SetOpStmt(
-                    left.op, left.left, left.right, left.all, tuple(order_by), limit
+                    left.op,
+                    left.left,
+                    left.right,
+                    left.all,
+                    tuple(order_by),
+                    limit,
+                    offset,
                 )
+        elif order_by or limit is not None or offset is not None:
+            left = dataclasses.replace(
+                left, order_by=tuple(order_by), limit=limit, offset=offset
+            )
         return left
 
-    def _select_block(self) -> ast.SelectStmt:
+    def _select_block(self, parse_trailing: bool = True) -> ast.SelectStmt:
         self._expect_keyword("select")
         distinct = False
         if self._accept_keyword("distinct"):
@@ -411,7 +428,10 @@ class Parser:
                 group_by.append(self._expression())
         if self._accept_keyword("having"):
             having = self._expression()
-        order_by, limit, offset = self._trailing_order_limit()
+        if parse_trailing:
+            order_by, limit, offset = self._trailing_order_limit()
+        else:
+            order_by, limit, offset = [], None, None
         return ast.SelectStmt(
             items=tuple(items),
             from_tables=tuple(from_tables),

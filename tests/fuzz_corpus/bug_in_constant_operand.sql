@@ -1,0 +1,11 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: internal_error
+-- compare: multiset
+-- bug: a constant IN-subquery operand compiled to a scalar semi-join
+-- key with no cardinality anchor, crashing the kernel with a shape
+-- mismatch; slot-free operands now take the single-shot EXISTS route
+CREATE TABLE t0 (c1 VARCHAR(10));
+INSERT INTO t0 VALUES ('hhib'), ('x'), (NULL), ('y');
+CREATE TABLE t2 (c2 INTEGER, c4 VARCHAR(5));
+INSERT INTO t2 VALUES (1, 'a'), (-1, 'b'), (2, 'c');
+SELECT c4 FROM t2 WHERE 'hhib' IN (SELECT c1 FROM t0);

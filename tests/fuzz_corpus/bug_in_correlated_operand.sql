@@ -1,0 +1,11 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: a correlated IN-subquery that fell back to per-row EXISTS
+-- evaluation dropped the IN operand comparison entirely, turning
+-- a IN (SELECT b FROM u WHERE u.x < t.a) into a bare EXISTS test
+CREATE TABLE t0 (a INTEGER);
+INSERT INTO t0 VALUES (1), (2), (3);
+CREATE TABLE t1 (b INTEGER, x INTEGER);
+INSERT INTO t1 VALUES (1, 0), (9, 1);
+SELECT a FROM t0 WHERE a IN (SELECT b FROM t1 WHERE t1.x < t0.a);

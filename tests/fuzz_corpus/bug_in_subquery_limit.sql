@@ -1,0 +1,9 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: IN-subquery decorrelation rebuilt the subquery from its WHERE
+-- conjuncts, silently dropping an ORDER BY ... LIMIT inside it, so the
+-- membership test ran against the full table instead of the top-k rows
+CREATE TABLE t0 (a INTEGER);
+INSERT INTO t0 VALUES (1), (2), (3), (4);
+SELECT a FROM t0 WHERE a IN (SELECT a FROM t0 ORDER BY a ASC NULLS LAST LIMIT 2);

@@ -1,0 +1,11 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: NOT IN (subquery) used anti-join semantics (NULL matches
+-- nothing, so NULL keys always survived); three-valued logic makes the
+-- predicate UNKNOWN when the operand is NULL or the subquery has NULLs
+CREATE TABLE t0 (a INTEGER);
+INSERT INTO t0 VALUES (1), (2), (NULL);
+CREATE TABLE t1 (b INTEGER);
+INSERT INTO t1 VALUES (2), (NULL);
+SELECT a FROM t0 WHERE a NOT IN (SELECT b FROM t1);

@@ -1,0 +1,11 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: ordered
+-- bug: the parser attached a trailing ORDER BY/LIMIT to the right-most
+-- SELECT branch of a set operation instead of the whole statement, so
+-- UNION ... ORDER BY a LIMIT 2 sorted nothing and returned every row
+CREATE TABLE t0 (a INTEGER);
+INSERT INTO t0 VALUES (3), (1), (4);
+CREATE TABLE t1 (a INTEGER);
+INSERT INTO t1 VALUES (2), (5);
+SELECT a FROM t0 UNION SELECT a FROM t1 ORDER BY 1 ASC NULLS LAST LIMIT 2;

@@ -1,0 +1,9 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: error_vs_result
+-- compare: ordered
+-- bug: ORDER BY on a set operation raised BindError because the sort
+-- keys were resolved against an empty scope instead of the first
+-- branch's output column names
+CREATE TABLE t0 (a INTEGER);
+INSERT INTO t0 VALUES (2), (1), (3), (1);
+SELECT a FROM t0 EXCEPT SELECT 1 ORDER BY a DESC NULLS FIRST;

@@ -1,0 +1,11 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: substr with a zero start returned '' instead of clamping the
+-- window to the string start (substr('hello', 0, 3) = 'he').  Negative
+-- starts clamp the same way per the SQL standard but are a dialect gap
+-- (SQLite counts them from the string end), so only the zero-start
+-- case is differentially checkable here.
+CREATE TABLE t0 (s VARCHAR(10));
+INSERT INTO t0 VALUES ('hello'), ('ab');
+SELECT substr(s, 0, 3), substr(s, 2, 2) FROM t0;

@@ -1,0 +1,362 @@
+"""Regression tests for dropped ORDER BY/LIMIT on set ops & subqueries,
+the fused TopN operator, and the strategy rewrite pipeline.
+
+Each TestBug* class pins one bug from the differential fuzzer (the
+minimized reproducers live in ``tests/fuzz_corpus/``); the remaining
+classes cover the cost-based rewrite pipeline that landed with the
+fixes: TopN fusion, limit/predicate pushdown, and their EXPLAIN shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra import nodes as N
+from repro.algebra.binder import bind_statement
+from repro.algebra.optimizer import optimize
+from repro.algebra.strategies import apply_strategies
+from repro.sql.parser import parse
+
+
+def rows(conn, sql):
+    return conn.query(sql).fetchall()
+
+
+@pytest.fixture
+def numbers(conn):
+    conn.execute("CREATE TABLE t (a INTEGER, b VARCHAR(8))")
+    conn.execute(
+        "INSERT INTO t VALUES (3, 'c'), (1, 'a'), (4, 'd'), (1, 'b'), (5, 'e')"
+    )
+    return conn
+
+
+class TestSetOpOrderByLimit:
+    """Bug 1: trailing ORDER BY/LIMIT bound to the right branch, not the
+    whole set operation."""
+
+    def test_union_order_limit(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (3), (1), (4)")
+        conn.execute("CREATE TABLE t1 (a INTEGER)")
+        conn.execute("INSERT INTO t1 VALUES (2), (5)")
+        assert rows(
+            conn, "SELECT a FROM t0 UNION SELECT a FROM t1 ORDER BY a LIMIT 2"
+        ) == [(1,), (2,)]
+
+    def test_union_all_order_limit_offset(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (3), (1)")
+        conn.execute("CREATE TABLE t1 (a INTEGER)")
+        conn.execute("INSERT INTO t1 VALUES (2), (1)")
+        assert rows(
+            conn,
+            "SELECT a FROM t0 UNION ALL SELECT a FROM t1"
+            " ORDER BY a LIMIT 2 OFFSET 1",
+        ) == [(1,), (2,)]
+
+    def test_order_by_ordinal_desc(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (1), (2), (3)")
+        assert rows(
+            conn, "SELECT a FROM t0 INTERSECT SELECT a FROM t0 ORDER BY 1 DESC"
+        ) == [(3,), (2,), (1,)]
+
+    def test_limit_without_order(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (1), (2)")
+        got = rows(conn, "SELECT a FROM t0 UNION ALL SELECT a FROM t0 LIMIT 3")
+        assert len(got) == 3
+
+
+class TestSetOpOrderByNames:
+    """Bug 2: set-op ORDER BY raised BindError for named sort keys."""
+
+    def test_except_order_by_name(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (2), (1), (3), (5), (4)")
+        assert rows(
+            conn, "SELECT a FROM t0 EXCEPT SELECT 1 ORDER BY a"
+        ) == [(2,), (3,), (4,), (5,)]
+
+    def test_order_by_left_branch_alias(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (2), (1)")
+        assert rows(
+            conn,
+            "SELECT a AS k FROM t0 UNION SELECT 9 ORDER BY k DESC",
+        ) == [(9,), (2,), (1,)]
+
+
+class TestInSubqueryLimit:
+    """Bug 3: LIMIT/OFFSET inside IN/EXISTS/derived-table subqueries was
+    silently dropped by conjunct-level decorrelation."""
+
+    def test_in_with_limit(self, numbers):
+        assert rows(
+            numbers,
+            "SELECT a FROM t WHERE a IN"
+            " (SELECT a FROM t ORDER BY a LIMIT 2) ORDER BY a",
+        ) == [(1,), (1,)]
+
+    def test_not_in_with_limit(self, numbers):
+        assert rows(
+            numbers,
+            "SELECT a FROM t WHERE a NOT IN"
+            " (SELECT a FROM t ORDER BY a LIMIT 2) ORDER BY a",
+        ) == [(3,), (4,), (5,)]
+
+    def test_in_with_limit_offset(self, numbers):
+        assert rows(
+            numbers,
+            "SELECT a FROM t WHERE a IN"
+            " (SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 2) ORDER BY a",
+        ) == [(3,), (4,)]
+
+    def test_exists_with_limit_zero(self, numbers):
+        assert rows(
+            numbers,
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM t LIMIT 0)",
+        ) == []
+
+    def test_derived_table_limit(self, numbers):
+        assert rows(
+            numbers,
+            "SELECT s.a FROM (SELECT a FROM t ORDER BY a DESC LIMIT 2) s"
+            " ORDER BY s.a",
+        ) == [(4,), (5,)]
+
+    def test_correlated_in_keeps_operand(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (1), (2), (3)")
+        conn.execute("CREATE TABLE t1 (b INTEGER, x INTEGER)")
+        conn.execute("INSERT INTO t1 VALUES (1, 0), (9, 1)")
+        assert rows(
+            conn,
+            "SELECT a FROM t0 WHERE a IN"
+            " (SELECT b FROM t1 WHERE t1.x < t0.a)",
+        ) == [(1,)]
+
+
+class TestNotInNullSemantics:
+    """NOT IN must follow three-valued logic, not anti-join semantics."""
+
+    @pytest.fixture
+    def nulls(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (1), (2), (NULL)")
+        conn.execute("CREATE TABLE t1 (b INTEGER)")
+        conn.execute("INSERT INTO t1 VALUES (2), (NULL)")
+        conn.execute("CREATE TABLE empty_t (c INTEGER)")
+        return conn
+
+    def test_null_on_right_keeps_nothing(self, nulls):
+        assert rows(
+            nulls, "SELECT a FROM t0 WHERE a NOT IN (SELECT b FROM t1)"
+        ) == []
+
+    def test_null_operand_is_unknown(self, nulls):
+        assert rows(
+            nulls,
+            "SELECT a FROM t0 WHERE a NOT IN"
+            " (SELECT b FROM t1 WHERE b IS NOT NULL)",
+        ) == [(1,)]
+
+    def test_empty_subquery_keeps_everything(self, nulls):
+        got = rows(
+            nulls, "SELECT a FROM t0 WHERE a NOT IN (SELECT c FROM empty_t)"
+        )
+        assert sorted(got, key=repr) == [(1,), (2,), (None,)]
+
+    def test_positive_in_unchanged(self, nulls):
+        assert rows(
+            nulls, "SELECT a FROM t0 WHERE a IN (SELECT b FROM t1)"
+        ) == [(2,)]
+
+    def test_correlated_not_in(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER, x INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (1, 1), (2, 1), (NULL, 2)")
+        conn.execute("CREATE TABLE t1 (b INTEGER, y INTEGER)")
+        conn.execute("INSERT INTO t1 VALUES (2, 1), (NULL, 2)")
+        assert rows(
+            conn,
+            "SELECT a FROM t0 WHERE a NOT IN"
+            " (SELECT b FROM t1 WHERE t1.y = t0.x)",
+        ) == [(1,)]
+
+    def test_constant_operand(self, nulls):
+        assert rows(
+            nulls, "SELECT a FROM t0 WHERE 7 NOT IN (SELECT b FROM t1)"
+        ) == []
+        got = rows(
+            nulls,
+            "SELECT a FROM t0 WHERE 7 NOT IN"
+            " (SELECT b FROM t1 WHERE b IS NOT NULL)",
+        )
+        assert sorted(got, key=repr) == [(1,), (2,), (None,)]
+
+
+class TestStringFunctions:
+    """Bug 4: substring start clamping, plus least()/greatest()."""
+
+    def test_substring_clamps_zero_start(self, conn):
+        assert rows(conn, "SELECT substring('hello', 0, 3)") == [("he",)]
+
+    def test_substring_clamps_negative_start(self, conn):
+        assert rows(conn, "SELECT substring('hello', -1, 3)") == [("h",)]
+
+    def test_substring_on_column(self, numbers):
+        assert rows(
+            numbers,
+            "SELECT substring(b, 0, 2) FROM t WHERE a = 5",
+        ) == [("e",)]
+
+    def test_least_greatest(self, conn):
+        assert rows(conn, "SELECT least(3, 1, 2), greatest(3, 1, 2)") == [
+            (1, 3)
+        ]
+
+    def test_least_greatest_null_propagates(self, conn):
+        assert rows(conn, "SELECT least(1, NULL), greatest(NULL, 2)") == [
+            (None, None)
+        ]
+
+    def test_least_greatest_mixed_types(self, conn):
+        assert rows(conn, "SELECT least(2, 1.5), greatest(2, 1.5)") == [
+            (1.5, 2.0)
+        ]
+
+    def test_least_greatest_vectorized(self, numbers):
+        assert rows(
+            numbers,
+            "SELECT least(a, 2), greatest(a, 2) FROM t ORDER BY a, b",
+        ) == [(1, 2), (1, 2), (2, 3), (2, 4), (2, 5)]
+
+
+class TestTopNOperator:
+    """The fused TopN node: plan shape and result parity with full sort."""
+
+    def _plan(self, conn, sql, nrows=1000):
+        statement = parse(sql)[0]
+        txn = conn._database.txn_manager.begin()
+        try:
+            bound = bind_statement(
+                statement, lambda name: txn.resolve_table(name).schema
+            )
+            return optimize(bound, lambda name: nrows)
+        finally:
+            conn._database.txn_manager.rollback(txn)
+
+    def test_order_limit_fuses_to_topn(self, numbers):
+        plan = self._plan(numbers, "SELECT a FROM t ORDER BY a LIMIT 3")
+        kinds = [type(n).__name__ for n in _walk(plan.plan)]
+        assert "TopN" in kinds
+        assert "Sort" not in kinds
+        assert "Limit" not in kinds
+
+    def test_order_without_limit_stays_sort(self, numbers):
+        plan = self._plan(numbers, "SELECT a FROM t ORDER BY a")
+        kinds = [type(n).__name__ for n in _walk(plan.plan)]
+        assert "Sort" in kinds
+        assert "TopN" not in kinds
+
+    def test_explain_shows_topn(self, numbers):
+        lines = [
+            r[0]
+            for r in rows(numbers, "EXPLAIN SELECT a FROM t ORDER BY a LIMIT 3")
+        ]
+        assert any("TopN k=3" in line for line in lines)
+        assert any(line.startswith("X_") and "topn(" in line for line in lines)
+
+    def test_topn_matches_full_sort(self, numbers):
+        top = rows(numbers, "SELECT a, b FROM t ORDER BY a, b DESC LIMIT 3")
+        full = rows(numbers, "SELECT a, b FROM t ORDER BY a, b DESC")
+        assert top == full[:3]
+
+    def test_topn_with_offset(self, numbers):
+        got = rows(numbers, "SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 2")
+        assert got == [(3,), (4,)]
+
+    def test_topn_nulls(self, conn):
+        conn.execute("CREATE TABLE t0 (a INTEGER)")
+        conn.execute("INSERT INTO t0 VALUES (2), (NULL), (1), (NULL), (3)")
+        assert rows(
+            conn, "SELECT a FROM t0 ORDER BY a NULLS FIRST LIMIT 3"
+        ) == [(None,), (None,), (1,)]
+        assert rows(
+            conn, "SELECT a FROM t0 ORDER BY a DESC NULLS LAST LIMIT 3"
+        ) == [(3,), (2,), (1,)]
+
+    def test_topn_limit_larger_than_input(self, numbers):
+        assert len(rows(numbers, "SELECT a FROM t ORDER BY a LIMIT 99")) == 5
+
+    def test_topn_kernel_ties_match_stable_sort(self):
+        from repro.mal import operators as ops
+        from repro.mal.vectors import V
+        from repro.storage import types as T
+
+        values = np.array([3, 1, 3, 1, 2, 1, 2], dtype=np.int32)
+        vec = V(T.INTEGER, values)
+        full = ops.sort_rows([vec], [False], [True])
+        for k in (1, 3, 5, 7, 10):
+            top = ops.topn_rows([vec], [False], [True], k)
+            np.testing.assert_array_equal(top, full[:k])
+
+
+class TestStrategyPipeline:
+    """Direct checks on the cost-based rewrite strategies."""
+
+    def _bound(self, conn, sql):
+        statement = parse(sql)[0]
+        txn = conn._database.txn_manager.begin()
+        try:
+            return bind_statement(
+                statement, lambda name: txn.resolve_table(name).schema
+            )
+        finally:
+            conn._database.txn_manager.rollback(txn)
+
+    def test_limit_pushes_into_union_all_branches(self, numbers):
+        bound = self._bound(
+            numbers,
+            "SELECT a FROM t UNION ALL SELECT a FROM t LIMIT 2",
+        )
+        bound = apply_strategies(bound, lambda name: 1000)
+        limit = bound.plan
+        assert isinstance(limit, N.Limit)
+        setop = limit.child
+        assert isinstance(setop, N.SetOp)
+        assert isinstance(setop.left, N.Limit) and setop.left.limit == 2
+        assert isinstance(setop.right, N.Limit) and setop.right.limit == 2
+
+    def test_predicate_pushes_below_project(self, numbers):
+        statement = parse(
+            "SELECT * FROM (SELECT a, b FROM t) s WHERE s.a > 2"
+        )[0]
+        txn = numbers._database.txn_manager.begin()
+        try:
+            bound = bind_statement(
+                statement, lambda name: txn.resolve_table(name).schema
+            )
+        finally:
+            numbers._database.txn_manager.rollback(txn)
+        optimized = optimize(bound, lambda name: 1000)
+        node = optimized.plan
+        while isinstance(node, N.Project):
+            node = node.child
+        assert isinstance(node, N.Filter)
+        assert isinstance(node.child, N.Scan)
+
+    def test_strategies_preserve_results(self, numbers):
+        sql = (
+            "SELECT a, b FROM (SELECT a, b FROM t WHERE a < 5) s"
+            " WHERE s.a > 0 ORDER BY a, b LIMIT 3"
+        )
+        assert rows(numbers, sql) == [(1, "a"), (1, "b"), (3, "c")]
+
+
+def _walk(node):
+    yield node
+    for child in node.children:
+        yield from _walk(child)
