@@ -30,15 +30,19 @@ def plan_cost_estimate(program) -> int:
 class PlanCacheEntry:
     """One cached plan: the compiled program plus its planning context."""
 
-    __slots__ = ("program", "deps", "cost")
+    __slots__ = ("program", "deps", "cost", "rows_estimate")
 
-    def __init__(self, program, deps, cost: int | None = None):
+    def __init__(self, program, deps, cost: int | None = None,
+                 rows_estimate: int | None = None):
         self.program = program
         #: tuple of (normalized name, Table object, committed version id);
         #: the strong Table reference also guards against ``id()`` reuse
         #: after a drop/recreate of the same name.
         self.deps = tuple(deps)
         self.cost = plan_cost_estimate(program) if cost is None else cost
+        #: optimizer output-cardinality estimate at plan time; plan-cache
+        #: hits reuse it so sys.active_queries can still show progress
+        self.rows_estimate = rows_estimate
 
     def is_valid(self, txn) -> bool:
         """True when every dependency still resolves to the same table at

@@ -19,6 +19,8 @@ from __future__ import annotations
 import datetime as _dt
 import decimal as _decimal
 import io
+import threading
+import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -585,12 +587,15 @@ def load_into(
     options: CopyOptions,
     column_indexes=None,
     chunk_bytes: int | None = None,
+    spans=None,
 ) -> LoadResult:
     """Load a CSV source into ``table`` under ``txn``.
 
     Chunks parse in parallel on the database worker pool (bounded in-flight
     window) and are appended in file order; the transaction machinery gives
-    atomicity, WAL logging, and rollback for free.
+    atomicity, WAL logging, and rollback for free.  ``spans`` (a deep
+    :class:`~repro.obs.spans.StatementSpans` handle) records one chunk span
+    per parsed chunk, tagged with the worker thread that parsed it.
     """
     schema = table.schema
     if column_indexes is None:
@@ -620,6 +625,22 @@ def load_into(
     pool = database.thread_pool if workers > 1 else None
     max_inflight = max(2, workers * 2)
     pending: deque = deque()
+
+    run_parse = parse_chunk
+    if spans is not None:
+        # capture the parent once: workers finish after the coordinator has
+        # moved on, so chunk spans must not depend on the live stack
+        chunk_parent = spans.current()
+
+        def run_parse(*args):
+            t0 = time.perf_counter_ns()
+            parsed, rejects, kept = parse_chunk(*args)
+            spans.record(
+                "copy.chunk", "chunk", t0, time.perf_counter_ns(),
+                parent=chunk_parent, rows=kept, bytes=len(args[0]),
+                worker=threading.current_thread().name,
+            )
+            return parsed, rejects, kept
 
     def install(parsed, rejects, kept):
         result.rejects.extend(rejects)
@@ -657,11 +678,11 @@ def load_into(
                         chunk_skip, chunk_take, base,
                     )
                     if pool is not None:
-                        pending.append(pool.submit(parse_chunk, *args))
+                        pending.append(pool.submit(run_parse, *args))
                         if len(pending) >= max_inflight:
                             install(*pending.popleft().result())
                     else:
-                        install(*parse_chunk(*args))
+                        install(*run_parse(*args))
                 if remaining == 0:
                     break
             while pending:

@@ -21,7 +21,7 @@ import numpy as np
 from repro.algebra import expr as E
 from repro.algebra import nodes as N
 from repro.algebra.binder import Binder, Scope, bind_statement
-from repro.algebra.optimizer import optimize
+from repro.algebra.optimizer import estimate_rows, optimize
 from repro.algebra.render import render_plan
 from repro.cache import (
     PreparedStatement,
@@ -38,6 +38,7 @@ from repro.mal.interpreter import ExecutionContext, Interpreter, MaterializedRes
 from repro.mal.vector_eval import eval_pred, eval_value
 from repro.mal.vectors import vec_from_column, vec_to_column
 from repro.obs import QueryTrace
+from repro.obs.spans import Span, new_span_id, new_trace_id, render_tree
 from repro.sql import ast
 from repro.sql.parser import parse
 from repro.storage import types as T
@@ -64,6 +65,11 @@ class Connection:
         self.session_rows = 0
         self.last_sql: str | None = None
         self.session_id = database.register_session(self)
+        # -- span identity: every statement of this session shares one
+        # trace, rooted in a session span recorded at close() --
+        self._session_trace_id = new_trace_id()
+        self._session_span_id = new_span_id()
+        self._session_start_ns = time.perf_counter_ns()
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -75,6 +81,18 @@ class Connection:
         self._prepared.clear()
         if self._open:
             self._database.unregister_session(self.session_id)
+            tracer = getattr(self._database, "span_tracer", None)
+            if tracer is not None and tracer.enabled:
+                tracer.record_span(Span(
+                    self._session_trace_id, self._session_span_id, None,
+                    f"session:{self.client}", "session", self.session_id,
+                    self._session_start_ns,
+                    end_ns=time.perf_counter_ns(),
+                    attrs={
+                        "queries": self.session_queries,
+                        "rows": self.session_rows,
+                    },
+                ))
         self._open = False
 
     def __enter__(self) -> "Connection":
@@ -175,7 +193,7 @@ class Connection:
                 self.rollback()
             return None
         if isinstance(statement, ast.ExplainStmt):
-            return self._execute_explain(statement)
+            return self._execute_explain(statement, sql, parse_ns)
         if isinstance(statement, ast.PrepareStmt):
             self._do_prepare(statement)
             return None
@@ -219,18 +237,27 @@ class Connection:
         started_wall = time.time()
         # back-date so total_us covers the parse phase charged to us
         started = time.perf_counter_ns() - parse_ns
+        spans = self._begin_spans(sql, parse_ns)
         txn, autocommit = self._statement_txn()
         try:
             bind_start = time.perf_counter_ns()
             bound = bind_statement(
                 statement, lambda name: txn.resolve_table(name).schema
             )
-            phases["bind"] = time.perf_counter_ns() - bind_start
-            result = self._dispatch(bound, txn, phases, copy_data=copy_data)
+            bind_done = time.perf_counter_ns()
+            phases["bind"] = bind_done - bind_start
+            if spans is not None:
+                spans.record("bind", "phase", bind_start, bind_done)
+            result = self._dispatch(bound, txn, phases, copy_data=copy_data,
+                                    spans=spans)
             if autocommit:
                 self._database.txn_manager.commit(txn)
             self._log_statement(sql, "ok", None, result, started_wall,
                                 started, phases)
+            if spans is not None:
+                spans.finish(
+                    "ok", rows=result.nrows if result is not None else 0
+                )
             return result
         except Exception as exc:
             if autocommit:
@@ -242,6 +269,8 @@ class Connection:
             self._stats_incr("query_errors")
             self._log_statement(sql, "error", str(exc), None, started_wall,
                                 started, phases)
+            if spans is not None:
+                spans.finish("error", error=str(exc))
             raise
 
     # -- cached SELECT path ---------------------------------------------------------
@@ -280,6 +309,7 @@ class Connection:
         phases = {"parse": parse_ns} if parse_ns else {}
         started_wall = time.time()
         started = time.perf_counter_ns() - parse_ns
+        spans = self._begin_spans(sql, parse_ns)
         txn, autocommit = self._statement_txn()
         cache_status = ""
         try:
@@ -324,6 +354,8 @@ class Connection:
                 if entry is not None:
                     program = entry.program
                     cache_status = "plan"
+                    if spans is not None:
+                        spans.rows_estimate = entry.rows_estimate
                 else:
                     bind_start = time.perf_counter_ns()
                     bound = bind_statement(
@@ -337,13 +369,26 @@ class Connection:
                     phases["bind"] = optimize_start - bind_start
                     phases["optimize"] = compile_start - optimize_start
                     phases["compile"] = done - compile_start
+                    rows_estimate = int(estimate_rows(
+                        optimized.plan, self._nrows_estimator(txn)
+                    ))
+                    if spans is not None:
+                        spans.record("bind", "phase", bind_start,
+                                     optimize_start)
+                        spans.record("optimize", "phase", optimize_start,
+                                     compile_start)
+                        spans.record("compile", "phase", compile_start, done)
+                        spans.rows_estimate = rows_estimate
                     if cacheable:
                         database.plan_cache.store(
-                            statement, PlanCacheEntry(program, deps)
+                            statement,
+                            PlanCacheEntry(
+                                program, deps, rows_estimate=rows_estimate
+                            ),
                         )
                 ctx = ExecutionContext(
                     database, txn, database.config, phases=phases,
-                    params=values,
+                    params=values, spans=spans,
                 )
                 materialized = Interpreter(ctx).run(program)
                 if result_key is not None:
@@ -358,6 +403,9 @@ class Connection:
                 database.txn_manager.commit(txn)
             self._log_statement(sql, "ok", None, result, started_wall,
                                 started, phases, cache=cache_status)
+            if spans is not None:
+                spans.finish("ok", rows=materialized.nrows,
+                             cache=cache_status)
             return result
         except Exception as exc:
             database.txn_manager.rollback(txn)
@@ -366,6 +414,8 @@ class Connection:
             self._stats_incr("query_errors")
             self._log_statement(sql, "error", str(exc), None, started_wall,
                                 started, phases, cache=cache_status)
+            if spans is not None:
+                spans.finish("error", error=str(exc), cache=cache_status)
             raise
 
     # -- prepared statements --------------------------------------------------------
@@ -489,6 +539,25 @@ class Connection:
             return bound.value
         return bound.type.from_storage(bound.value)
 
+    def _begin_spans(self, sql: str, parse_ns: int, force: bool = False):
+        """Open a statement span handle, or None when tracing is off.
+
+        Statements share the session's trace id (one connection = one
+        trace) unless a wire context propagated from a client overrides
+        it inside the tracer.
+        """
+        tracer = getattr(self._database, "span_tracer", None)
+        if tracer is None:
+            return None
+        return tracer.statement(
+            session=self.session_id,
+            sql=sql,
+            parse_ns=parse_ns,
+            trace_id=self._session_trace_id,
+            parent_id=self._session_span_id,
+            force=force,
+        )
+
     def _log_statement(
         self, sql, status, error, result, started_wall, started_ns, phases,
         cache: str = "",
@@ -526,15 +595,18 @@ class Connection:
         if stats is not None:
             stats.incr(name, amount)
 
-    def _dispatch(self, bound, txn, phases=None, copy_data=None) -> Result | None:
+    def _dispatch(self, bound, txn, phases=None, copy_data=None,
+                  spans=None) -> Result | None:
         if isinstance(bound, N.BoundSelect):
             return Result(
-                self._run_select(bound, txn, phases=phases), self._stats()
+                self._run_select(bound, txn, phases=phases, spans=spans),
+                self._stats(),
             )
         if isinstance(bound, N.BoundCopyFrom):
-            return self._run_copy_from(bound, txn, phases, copy_data)
+            return self._run_copy_from(bound, txn, phases, copy_data,
+                                       spans=spans)
         if isinstance(bound, N.BoundCopyTo):
-            return self._run_copy_to(bound, txn, phases)
+            return self._run_copy_to(bound, txn, phases, spans=spans)
         if isinstance(bound, N.BoundInsert):
             self._run_insert(bound, txn)
             return None
@@ -558,20 +630,28 @@ class Connection:
             return None
         raise InterfaceError(f"cannot execute {type(bound).__name__}")
 
-    def _run_select(self, bound: N.BoundSelect, txn, trace=None, phases=None):
+    def _run_select(self, bound: N.BoundSelect, txn, trace=None, phases=None,
+                    spans=None):
         optimize_start = time.perf_counter_ns()
         optimized = optimize(bound, self._nrows_estimator(txn))
         compile_start = time.perf_counter_ns()
         program = compile_select(optimized)
+        done = time.perf_counter_ns()
         if phases is not None:
-            done = time.perf_counter_ns()
             phases["optimize"] = (
                 phases.get("optimize", 0) + compile_start - optimize_start
             )
             phases["compile"] = phases.get("compile", 0) + done - compile_start
+        if spans is not None:
+            spans.record("optimize", "phase", optimize_start, compile_start)
+            spans.record("compile", "phase", compile_start, done)
+            if spans.rows_estimate is None:
+                spans.rows_estimate = int(
+                    estimate_rows(optimized.plan, self._nrows_estimator(txn))
+                )
         ctx = ExecutionContext(
             self._database, txn, self._database.config, trace=trace,
-            phases=phases,
+            phases=phases, spans=spans,
         )
         result = Interpreter(ctx).run(program)
         self._stats_incr("queries")
@@ -586,33 +666,81 @@ class Connection:
 
     # -- EXPLAIN [ANALYZE] ------------------------------------------------------------
 
-    def _execute_explain(self, statement) -> Result:
-        """Run ``EXPLAIN [ANALYZE] <select>``; one-column text result."""
+    def _execute_explain(self, statement, sql: str = "",
+                         parse_ns: int = 0) -> Result:
+        """Run ``EXPLAIN [ANALYZE] <select>``; one-column text result.
+
+        ``EXPLAIN ANALYZE`` always records a full span tree (forced deep
+        tracing, even when ``trace_spans`` is off) and renders it with
+        per-span total and self time; the spans enter the tracer's ring
+        buffer only when tracing is enabled.
+        """
         inner = statement.statement
+        spans = (
+            self._begin_spans(sql, parse_ns, force=True)
+            if statement.analyze else None
+        )
         txn, autocommit = self._statement_txn()
         try:
+            bind_start = time.perf_counter_ns()
             bound = bind_statement(
                 inner, lambda name: txn.resolve_table(name).schema
             )
+            bind_done = time.perf_counter_ns()
             if not isinstance(bound, N.BoundSelect):
                 raise InterfaceError("EXPLAIN only supports SELECT statements")
+            if spans is not None:
+                spans.record("bind", "phase", bind_start, bind_done)
+            optimize_start = time.perf_counter_ns()
             optimized = optimize(bound, self._nrows_estimator(txn))
+            compile_start = time.perf_counter_ns()
             program = compile_select(optimized)
+            compile_done = time.perf_counter_ns()
             if statement.analyze:
-                trace = QueryTrace()
-                ctx = ExecutionContext(
-                    self._database, txn, self._database.config, trace=trace
-                )
-                Interpreter(ctx).run(program)
+                if spans is not None:
+                    spans.record("optimize", "phase",
+                                 optimize_start, compile_start)
+                    spans.record("compile", "phase",
+                                 compile_start, compile_done)
+                    spans.rows_estimate = int(estimate_rows(
+                        optimized.plan, self._nrows_estimator(txn)
+                    ))
+                    ctx = ExecutionContext(
+                        self._database, txn, self._database.config,
+                        phases={}, spans=spans,
+                    )
+                    materialized = Interpreter(ctx).run(program)
+                    spans.finish("ok", rows=materialized.nrows)
+                    tracer = self._database.span_tracer
+                    dicts = [
+                        s.to_dict(tracer.epoch_of) for s in spans.spans
+                    ]
+                    lines = render_tree(dicts).split("\n")
+                    lines.append("")
+                    lines.append(
+                        f"total: {dicts[0]['duration_us']:.1f} us, "
+                        f"{len(program.instructions)} instructions, "
+                        f"{materialized.nrows} result rows"
+                    )
+                else:
+                    # no tracer on this database: flat instruction trace
+                    trace = QueryTrace()
+                    ctx = ExecutionContext(
+                        self._database, txn, self._database.config,
+                        trace=trace,
+                    )
+                    Interpreter(ctx).run(program)
+                    lines = trace.render().split("\n")
                 self._stats_incr("traced_queries")
-                lines = trace.render().split("\n")
             else:
                 lines = render_plan(optimized.plan).split("\n")
                 lines.append("")
                 lines.extend(program.render().split("\n"))
             if autocommit:
                 self._database.txn_manager.commit(txn)
-        except Exception:
+        except Exception as exc:
+            if spans is not None:
+                spans.finish("error", error=str(exc))
             self._database.txn_manager.rollback(txn)
             if not autocommit:
                 self._txn = None
@@ -772,7 +900,8 @@ class Connection:
 
     # -- COPY bulk load / export -------------------------------------------------------------------
 
-    def _run_copy_from(self, bound, txn, phases=None, copy_data=None) -> Result:
+    def _run_copy_from(self, bound, txn, phases=None, copy_data=None,
+                       spans=None) -> Result:
         """Execute COPY INTO ... FROM (or CREATE TABLE ... FROM).
 
         The load goes through :func:`repro.copy.load_into`, so it lands on
@@ -804,15 +933,27 @@ class Connection:
             else:
                 table = txn.resolve_table(bound.table_name)
                 column_indexes = bound.column_indexes
-            load = load_into(
-                database,
-                txn,
-                table,
-                source,
-                options,
-                column_indexes=column_indexes,
-                chunk_bytes=database.config.copy_chunk_bytes,
+            exec_span = (
+                spans.begin("execute", "phase") if spans is not None else None
             )
+            try:
+                load = load_into(
+                    database,
+                    txn,
+                    table,
+                    source,
+                    options,
+                    column_indexes=column_indexes,
+                    chunk_bytes=database.config.copy_chunk_bytes,
+                    spans=spans if spans is not None and spans.deep else None,
+                )
+            except BaseException:
+                if exec_span is not None:
+                    spans.end(exec_span, status="error")
+                raise
+            if exec_span is not None:
+                spans.end(exec_span, rows_out=load.rows_loaded,
+                          bytes=load.bytes_read)
             total_us = (time.perf_counter_ns() - started) / 1000.0
             if phases is not None:
                 phases["execute"] = time.perf_counter_ns() - started
@@ -850,7 +991,7 @@ class Connection:
             )
             raise
 
-    def _run_copy_to(self, bound, txn, phases=None) -> Result:
+    def _run_copy_to(self, bound, txn, phases=None, spans=None) -> Result:
         """Execute COPY ... TO: export a table or query result as CSV."""
         from repro.copy import export_csv
 
@@ -859,7 +1000,7 @@ class Connection:
         try:
             if bound.select is not None:
                 materialized = self._run_select(bound.select, txn,
-                                                phases=phases)
+                                                phases=phases, spans=spans)
                 names = materialized.names
                 columns = materialized.columns
             else:

@@ -28,7 +28,7 @@ from repro.cache import PlanCache, ResultCache
 from repro.errors import DatabaseLockedError, StartupError
 from repro.index import IndexManager
 from repro.mal.interpreter import ExecutionConfig
-from repro.obs import MetricsRegistry, QueryLog
+from repro.obs import MetricsRegistry, QueryLog, SpanTracer
 from repro.obs.systables import register_sys_tables, storage_rows
 from repro.storage.catalog import Catalog, ColumnDef, TableSchema
 from repro.storage.column import Column
@@ -108,6 +108,13 @@ class Database:
         self.query_log = QueryLog(
             size=self.config.query_log_size,
             slow_query_us=self.config.slow_query_us,
+        )
+        self.span_tracer = SpanTracer(
+            enabled=self.config.trace_spans,
+            sample_rate=self.config.span_sample_rate,
+            slow_us=self.config.span_slow_us,
+            buffer_size=self.config.span_buffer_size,
+            metrics=self.metrics,
         )
         self._session_lock = threading.Lock()
         self._sessions: dict = {}
@@ -255,6 +262,23 @@ class Database:
             },
         )
 
+    def export_trace(self, fmt: str = "chrome", trace_id: str | None = None,
+                     path: str | None = None):
+        """Retained spans as a Chrome ``trace_event`` or OTLP-shaped dict.
+
+        ``fmt`` is ``"chrome"`` (loadable in ``chrome://tracing`` / Perfetto)
+        or ``"otlp"``; ``trace_id`` filters to one trace; ``path`` also
+        writes the JSON document to a file.  Returns the document dict.
+        """
+        from repro.obs.export import export_spans
+
+        document = export_spans(self.span_tracer.export_dicts(trace_id), fmt)
+        if path is not None:
+            import json
+
+            Path(path).write_text(json.dumps(document, indent=2))
+        return document
+
     # -- sessions (sys.sessions) --------------------------------------------------------
 
     def register_session(self, connection) -> int:
@@ -321,6 +345,7 @@ class Database:
         self.index_manager.clear()
         self.catalog.clear()
         self.query_log.clear()
+        self.span_tracer.clear()
         self.plan_cache.clear()
         self.result_cache.clear()
         self.copy_history.clear()

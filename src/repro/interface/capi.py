@@ -31,6 +31,7 @@ __all__ = [
     "monetdb_append",
     "monetdb_result_fetch",
     "monetdb_cleanup_result",
+    "monetdb_export_trace",
 ]
 
 
@@ -79,3 +80,15 @@ def monetdb_result_fetch(result: Result, column: int, level: str = "high"):
 
 def monetdb_cleanup_result(result: Result) -> None:
     result.close()
+
+
+def monetdb_export_trace(
+    database: Database, fmt: str = "chrome",
+    trace_id: str | None = None, path: str | None = None,
+) -> dict:
+    """Export retained spans as Chrome ``trace_event`` or OTLP JSON.
+
+    ``fmt="chrome"`` documents load directly in ``chrome://tracing`` /
+    Perfetto; ``path`` additionally writes the document to a file.
+    """
+    return database.export_trace(fmt=fmt, trace_id=trace_id, path=path)

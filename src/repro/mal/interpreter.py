@@ -21,6 +21,7 @@ when they exceed the chunking threshold — the "mitosis" of paper Figure 2.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -34,7 +35,7 @@ from repro.mal.codegen import compile_select
 from repro.mal.program import MALProgram
 from repro.mal.vector_eval import eval_pred, eval_value
 from repro.mal.vectors import BoolVec, V, vec_from_column, vec_to_column
-from repro.obs.trace import cardinality, instruction_inputs
+from repro.obs.trace import cardinality, instruction_inputs, value_nbytes
 from repro.storage import types as T
 from repro.storage.column import Column
 
@@ -99,6 +100,16 @@ class ExecutionConfig:
     result_cache_bytes: int = 32 << 20
     #: target chunk size for COPY INTO bulk loads (bytes of input per task)
     copy_chunk_bytes: int = 4 << 20
+    #: hierarchical span tracing (sys.trace_events / export_trace); off by
+    #: default — the disabled path is one attribute check per statement
+    trace_spans: bool = False
+    #: head-based sampling probability for deep (per-instruction) spans
+    span_sample_rate: float = 1.0
+    #: statements at/above this wall time (us) are retained even when the
+    #: sampler skipped them (always-on slow-query capture); None disables
+    span_slow_us: float | None = None
+    #: ring-buffer capacity of the span store (spans, not statements)
+    span_buffer_size: int = 4096
 
 
 @dataclass
@@ -117,7 +128,7 @@ class ExecutionContext:
     """Shared state of one query execution (txn, config, subquery stack)."""
 
     def __init__(self, database, txn, config: ExecutionConfig, trace=None,
-                 phases=None, params=None):
+                 phases=None, params=None, spans=None):
         self.database = database
         self.txn = txn
         self.config = config
@@ -126,6 +137,9 @@ class ExecutionContext:
         #: optional dict of plan-phase timings (ns) for the query log; the
         #: top-level Interpreter.run adds its "execute" share on exit
         self.phases = phases
+        #: optional repro.obs.spans.StatementSpans; instruction/chunk spans
+        #: are recorded only when the handle sampled deep
+        self.spans = spans
         #: prepared-statement argument values (python domain), or None
         self.params = params
         self._param_storage: dict = {}
@@ -282,11 +296,22 @@ class Interpreter:
         if phases is None:
             return self._run_program(program)
         # pop the dict for the duration of the run so nested subplan
-        # interpreters (which share this ctx) fold into one "execute" figure
+        # interpreters (which share this ctx) fold into one "execute"
+        # figure — the same top-level guard keeps the execute-phase span
+        # singular per statement
         self.ctx.phases = None
+        spans = self.ctx.spans
+        exec_span = spans.begin("execute", "phase") if spans is not None else None
         started = time.perf_counter_ns()
         try:
-            return self._run_program(program)
+            result = self._run_program(program)
+            if exec_span is not None:
+                spans.end(exec_span, rows_out=result.nrows)
+            return result
+        except BaseException:
+            if exec_span is not None:
+                spans.end(exec_span, status="error")
+            raise
         finally:
             phases["execute"] = (
                 phases.get("execute", 0) + time.perf_counter_ns() - started
@@ -294,8 +319,9 @@ class Interpreter:
             self.ctx.phases = phases
 
     def _run_program(self, program: MALProgram) -> MaterializedResult:
-        if self.ctx.trace is not None:
-            return self._run_traced(program, self.ctx.trace)
+        spans = self.ctx.spans
+        if self.ctx.trace is not None or (spans is not None and spans.deep):
+            return self._run_instrumented(program, self.ctx.trace, spans)
         for instruction in program.instructions:
             self.ctx.check_deadline()
             handler = getattr(self, f"_op_{instruction.op}", None)
@@ -306,10 +332,12 @@ class Interpreter:
             raise DatabaseError("program produced no result")
         return self._result
 
-    def _run_traced(self, program: MALProgram, trace) -> MaterializedResult:
-        """Same execution as :meth:`run`, recording one profile per
-        instruction.  A separate loop keeps the untraced hot path free of
-        per-instruction bookkeeping."""
+    def _run_instrumented(self, program: MALProgram, trace,
+                          spans) -> MaterializedResult:
+        """Same execution as :meth:`run`, recording one profile and/or one
+        instruction span per executed instruction.  A separate loop keeps
+        the untraced hot path free of per-instruction bookkeeping."""
+        deep = spans is not None and spans.deep
         started = time.perf_counter_ns()
         for index, instruction in enumerate(program.instructions):
             self.ctx.check_deadline()
@@ -320,6 +348,9 @@ class Interpreter:
             for var in instruction_inputs(instruction):
                 rows_in = max(rows_in, cardinality(self._values.get(var)))
             self._tactic = None
+            span = (
+                spans.begin(instruction.op, "instruction") if deep else None
+            )
             t0 = time.perf_counter_ns()
             value = handler(instruction)
             elapsed = time.perf_counter_ns() - t0
@@ -328,13 +359,26 @@ class Interpreter:
                 rows_out = self._result.nrows
             else:
                 rows_out = cardinality(value)
-            trace.record(
-                index, instruction, rows_in, rows_out, self._tactic, elapsed
-            )
+            if span is not None:
+                spans.end(
+                    span,
+                    rows_in=rows_in,
+                    rows_out=rows_out,
+                    bytes=value_nbytes(value),
+                    tactic=self._tactic,
+                    detail=instruction.render(),
+                )
+                spans.add_rows(rows_out)
+            if trace is not None:
+                trace.record(
+                    index, instruction, rows_in, rows_out, self._tactic,
+                    elapsed,
+                )
         if self._result is None:
             raise DatabaseError("program produced no result")
-        trace.total_ns += time.perf_counter_ns() - started
-        trace.result_rows = self._result.nrows
+        if trace is not None:
+            trace.total_ns += time.perf_counter_ns() - started
+            trace.result_rows = self._result.nrows
         return self._result
 
     def _get(self, var: int):
@@ -714,6 +758,23 @@ class Interpreter:
                 for vec in inputs
             ]
             return kernel(chunk_inputs)
+
+        spans = self.ctx.spans
+        if spans is not None and spans.deep:
+            # the open instruction span is this thread's stack top; chunk
+            # spans recorded from workers hang off it explicitly
+            parent = spans.current()
+            plain_chunk = run_chunk
+
+            def run_chunk(bound):
+                t0 = time.perf_counter_ns()
+                out = plain_chunk(bound)
+                spans.record(
+                    "chunk", "chunk", t0, time.perf_counter_ns(),
+                    parent=parent, rows=bound[1] - bound[0],
+                    worker=threading.current_thread().name,
+                )
+                return out
 
         pool = self.ctx.database.thread_pool
         self._tactic = f"chunked:{len(bounds)}"

@@ -18,12 +18,14 @@ Tracing is strictly opt-in: the interpreter's hot loop checks a single
 
 from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS, Histogram, MetricsRegistry
 from repro.obs.querylog import QueryLog, QueryLogEntry
+from repro.obs.spans import Span, SpanTracer, StatementSpans, render_tree
 from repro.obs.stats import EngineStats
 from repro.obs.trace import (
     InstructionProfile,
     QueryTrace,
     cardinality,
     instruction_inputs,
+    value_nbytes,
 )
 
 __all__ = [
@@ -35,6 +37,11 @@ __all__ = [
     "QueryLog",
     "QueryLogEntry",
     "QueryTrace",
+    "Span",
+    "SpanTracer",
+    "StatementSpans",
     "cardinality",
     "instruction_inputs",
+    "render_tree",
+    "value_nbytes",
 ]

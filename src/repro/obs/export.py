@@ -1,0 +1,160 @@
+"""Trace exports: Chrome ``trace_event`` JSON and OTLP-shaped JSON.
+
+Two portable serializations of the span buffer:
+
+* :func:`to_chrome` emits the Chrome Trace Event format (``"X"`` complete
+  events) — load the file in ``chrome://tracing`` or Perfetto to see the
+  statement/phase/instruction/chunk hierarchy on a timeline, one track per
+  session;
+* :func:`to_otlp` emits the OpenTelemetry OTLP/JSON resource-spans shape
+  so traces can be shipped to any OTLP-compatible collector without a
+  client library.
+
+``python -m repro.obs.export --sql "SELECT ..."`` runs a statement with
+tracing forced on and writes either format — the quickest way from a slow
+query to a flame graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["to_chrome", "to_otlp", "export_spans", "main"]
+
+
+def to_chrome(spans: list) -> dict:
+    """Span dicts (:meth:`~repro.obs.spans.Span.to_dict`) -> Chrome JSON."""
+    events = []
+    for span in spans:
+        args = {
+            k: v for k, v in span.get("attrs", {}).items() if v is not None
+        }
+        args["trace_id"] = span["trace_id"]
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        if span.get("status", "ok") != "ok":
+            args["status"] = span["status"]
+        events.append({
+            "name": span["name"],
+            "cat": span["kind"],
+            "ph": "X",
+            "ts": span["start_us"],
+            "dur": span["duration_us"],
+            "pid": 1,
+            "tid": int(span.get("session") or 0),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _otlp_value(value):
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def to_otlp(spans: list, service_name: str = "repro") -> dict:
+    """Span dicts -> OTLP/JSON ``resourceSpans`` payload."""
+    otlp_spans = []
+    for span in spans:
+        start_ns = int(span["start_us"] * 1000.0)
+        end_ns = start_ns + int(span["duration_us"] * 1000.0)
+        attributes = [
+            {"key": "span.kind", "value": {"stringValue": span["kind"]}},
+            {"key": "session", "value": {"intValue": str(span.get("session") or 0)}},
+        ]
+        for key, value in span.get("attrs", {}).items():
+            if value is None:
+                continue
+            attributes.append({"key": key, "value": _otlp_value(value)})
+        otlp_spans.append({
+            "traceId": span["trace_id"],
+            "spanId": span["span_id"],
+            "parentSpanId": span.get("parent_id") or "",
+            "name": span["name"],
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": str(start_ns),
+            "endTimeUnixNano": str(end_ns),
+            "attributes": attributes,
+            "status": {
+                "code": 2 if span.get("status", "ok") != "ok" else 1
+            },
+        })
+    return {
+        "resourceSpans": [{
+            "resource": {
+                "attributes": [{
+                    "key": "service.name",
+                    "value": {"stringValue": service_name},
+                }],
+            },
+            "scopeSpans": [{
+                "scope": {"name": "repro.obs.spans"},
+                "spans": otlp_spans,
+            }],
+        }],
+    }
+
+
+def export_spans(spans: list, fmt: str = "chrome") -> dict:
+    """Dispatch on format name (``chrome`` | ``otlp``)."""
+    if fmt == "chrome":
+        return to_chrome(spans)
+    if fmt == "otlp":
+        return to_otlp(spans)
+    raise ValueError(f"unknown trace export format {fmt!r}")
+
+
+def main(argv=None) -> int:
+    """Run one statement with tracing forced on and export its trace."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Execute SQL with span tracing and export the trace.",
+    )
+    parser.add_argument("--sql", required=True, help="statement to trace")
+    parser.add_argument(
+        "--directory", default=None,
+        help="database directory (default: fresh in-memory database)",
+    )
+    parser.add_argument(
+        "--setup", default=None,
+        help="semicolon-separated SQL run untraced before --sql",
+    )
+    parser.add_argument(
+        "--format", choices=("chrome", "otlp"), default="chrome"
+    )
+    parser.add_argument(
+        "--out", default=None, help="output path (default: stdout)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.database import Database
+
+    database = Database(args.directory, trace_spans=True)
+    try:
+        conn = database.connect()
+        if args.setup:
+            conn.execute(args.setup)
+        conn.execute(args.sql)
+        conn.close()
+        payload = database.export_trace(fmt=args.format)
+    finally:
+        database.shutdown()
+    text = json.dumps(payload, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as out:
+            out.write(text)
+    else:
+        sys.stdout.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -181,23 +181,28 @@ class MetricsRegistry:
         """
         snap = self.snapshot()
         lines: list = []
+        seen: dict = {}
         for name, value in snap["counters"].items():
-            metric = f"{prefix}_{_sanitize(name)}_total"
+            base = _sanitize(name)
+            if not base.endswith("_total"):
+                base = f"{base}_total"
+            metric = _unique_metric(seen, f"{prefix}_{base}", name)
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {value}")
         gauges = dict(snap["gauges"])
         if extra_gauges:
             gauges.update(extra_gauges)
         for name in sorted(gauges):
-            metric = f"{prefix}_{_sanitize(name)}"
+            metric = _unique_metric(seen, f"{prefix}_{_sanitize(name)}", name)
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {_number(gauges[name])}")
         for name, hist in snap["histograms"].items():
-            metric = f"{prefix}_{_sanitize(name)}"
+            metric = _unique_metric(seen, f"{prefix}_{_sanitize(name)}", name)
             lines.append(f"# TYPE {metric} histogram")
             for bound, cumulative in hist["buckets"]:
                 lines.append(
-                    f'{metric}_bucket{{le="{_number(bound)}"}} {cumulative}'
+                    f'{metric}_bucket{{le="{_escape_label(_number(bound))}"}}'
+                    f" {cumulative}"
                 )
             lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
             lines.append(f"{metric}_sum {_number(hist['sum'])}")
@@ -211,6 +216,34 @@ def _sanitize(name: str) -> str:
     if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
         cleaned = f"_{cleaned}"
     return cleaned
+
+
+def _escape_label(value) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unique_metric(seen: dict, metric: str, original: str) -> str:
+    """Disambiguate sanitize collisions: two *different* raw instrument
+    names must not share one rendered family (duplicate ``# TYPE`` lines
+    make strict scrapers reject the whole exposition)."""
+    holder = seen.get(metric)
+    if holder is None:
+        seen[metric] = original
+        return metric
+    if holder == original:
+        return metric
+    suffix = 2
+    while f"{metric}_{suffix}" in seen:
+        suffix += 1
+    unique = f"{metric}_{suffix}"
+    seen[unique] = original
+    return unique
 
 
 def _number(value: float) -> str:

@@ -41,6 +41,9 @@ class QueryLogEntry:
     phases_us: dict = field(default_factory=dict)
     #: "" (cold), "plan" (compiled plan reused) or "result" (result served)
     cache: str = ""
+    #: set before the entry is published to the ring, so concurrent
+    #: readers never observe a half-initialized entry
+    is_slow: bool = False
 
 
 class QueryLog:
@@ -68,8 +71,12 @@ class QueryLog:
         phases_us: dict | None = None,
         cache: str = "",
     ) -> QueryLogEntry:
+        slow = (
+            self.slow_query_us is not None
+            and float(total_us) >= self.slow_query_us
+        )
         entry = QueryLogEntry(
-            qid=next(self._qid),
+            qid=0,  # assigned under the lock so ids are gap-free and ordered
             session=session,
             sql=sql,
             status=status,
@@ -79,16 +86,15 @@ class QueryLog:
             total_us=float(total_us),
             phases_us=dict(phases_us or {}),
             cache=cache,
-        )
-        slow = (
-            self.slow_query_us is not None
-            and entry.total_us >= self.slow_query_us
+            is_slow=slow,
         )
         with self._lock:
+            # qid allocation inside the lock: entries in the ring are then
+            # strictly qid-ordered even under concurrent sessions
+            entry.qid = next(self._qid)
             self._entries.append(entry)
             if slow:
                 self._slow.append(entry)
-        entry.is_slow = slow
         return entry
 
     def entries(self) -> list:

@@ -15,6 +15,8 @@ the equivalent set for the embedded engine:
 ``sys.prepared``      live prepared statements across all open sessions
 ``sys.copy_history``  ring buffer of COPY bulk loads/exports with timings
 ``sys.rejects``       rejected records of the last BEST EFFORT COPY
+``sys.trace_events``  retained spans from the hierarchical span tracer
+``sys.active_queries``  in-flight statements with live progress estimates
 ================  ============================================================
 
 :func:`register_sys_tables` is called once from ``Database.__init__``; the
@@ -116,6 +118,35 @@ _REJECT_COLUMNS = (
     ("column_name", T.STRING),
     ("error", T.STRING),
     ("input", T.STRING),
+)
+
+_TRACE_EVENT_COLUMNS = (
+    ("trace_id", T.STRING),
+    ("span_id", T.STRING),
+    ("parent_id", T.STRING),
+    ("session", T.BIGINT),
+    ("kind", T.STRING),
+    ("name", T.STRING),
+    ("started", T.DOUBLE),
+    ("duration_us", T.DOUBLE),
+    ("rows_in", T.BIGINT),
+    ("rows_out", T.BIGINT),
+    ("bytes", T.BIGINT),
+    ("rss_delta", T.BIGINT),
+    ("tactic", T.STRING),
+    ("status", T.STRING),
+)
+
+_ACTIVE_QUERY_COLUMNS = (
+    ("session", T.BIGINT),
+    ("trace_id", T.STRING),
+    ("sql", T.STRING),
+    ("phase", T.STRING),
+    ("started", T.DOUBLE),
+    ("elapsed_us", T.DOUBLE),
+    ("rows_processed", T.BIGINT),
+    ("rows_estimated", T.BIGINT),
+    ("progress", T.DOUBLE),
 )
 
 
@@ -241,6 +272,36 @@ def _reject_rows(database) -> list:
     ]
 
 
+def _trace_event_rows(database) -> list:
+    """One row per retained span, oldest first."""
+    tracer = database.span_tracer
+    rows = []
+    for span in tracer.events():
+        attrs = span.attrs
+        rows.append((
+            span.trace_id, span.span_id, span.parent_id, span.session,
+            span.kind, span.name, tracer.epoch_of(span.start_ns),
+            span.duration_us,
+            attrs.get("rows_in"),
+            attrs.get("rows_out", attrs.get("rows")),
+            attrs.get("bytes"), attrs.get("rss_delta"),
+            attrs.get("tactic"), span.status,
+        ))
+    return rows
+
+
+def _active_query_rows(database) -> list:
+    """In-flight statements; progress = rows processed / optimizer estimate.
+
+    The scanning statement itself shows up here when tracing is on — the
+    live-progress analogue of seeing your own SELECT in ``pg_stat_activity``.
+    """
+    return [
+        handle.active_row()
+        for handle in database.span_tracer.active_statements()
+    ]
+
+
 def register_sys_tables(database) -> None:
     """Install the full ``sys`` monitoring schema on one database."""
     tables = (
@@ -256,6 +317,10 @@ def register_sys_tables(database) -> None:
         ("copy_history", _COPY_HISTORY_COLUMNS,
          lambda: _copy_history_rows(database)),
         ("rejects", _REJECT_COLUMNS, lambda: _reject_rows(database)),
+        ("trace_events", _TRACE_EVENT_COLUMNS,
+         lambda: _trace_event_rows(database)),
+        ("active_queries", _ACTIVE_QUERY_COLUMNS,
+         lambda: _active_query_rows(database)),
     )
     for name, columns, generator in tables:
         database.catalog.register_virtual(

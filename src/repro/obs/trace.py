@@ -17,6 +17,7 @@ __all__ = [
     "QueryTrace",
     "cardinality",
     "instruction_inputs",
+    "value_nbytes",
 ]
 
 
@@ -136,6 +137,37 @@ def cardinality(value) -> int:
             return int(value[2])
         if len(value) == 2:  # join pair: (lidx, ridx)
             return len(value[0])
+    return 0
+
+
+def value_nbytes(value) -> int:
+    """Approximate bytes touched producing one interpreter value.
+
+    Sums the backing array sizes of the shapes the interpreter passes
+    around (vectors, predicates, id arrays, join pairs, groupby triples);
+    string heap bytes are not counted — this prices array traffic, the
+    quantity the span tracer reports as ``bytes``.
+    """
+    if value is None:
+        return 0
+    data = getattr(value, "data", None)  # V duck type
+    if data is not None and hasattr(data, "nbytes"):
+        return int(data.nbytes)
+    truth = getattr(value, "truth", None)  # BoolVec
+    if truth is not None:
+        total = int(truth.nbytes)
+        valid = getattr(value, "valid", None)
+        if valid is not None:
+            total += int(valid.nbytes)
+        return total
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, tuple):
+        return sum(
+            int(part.nbytes)
+            for part in value
+            if isinstance(part, np.ndarray)
+        )
     return 0
 
 

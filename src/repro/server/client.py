@@ -10,11 +10,14 @@ measure.
 from __future__ import annotations
 
 import datetime as _dt
+import json
 import socket
+import time
 
 import numpy as np
 
 from repro.errors import DatabaseError, ProtocolError
+from repro.obs.spans import make_traceparent, new_span_id, new_trace_id
 from repro.server.protocol import (
     COPY_CHUNK_BYTES,
     PROTOCOLS,
@@ -241,6 +244,63 @@ class RemoteConnection:
         write_message(self._wfile, b"D", str(name).encode("utf-8"))
         self._wfile.flush()
         self._read_query_response()
+
+    # -- distributed tracing ------------------------------------------------------------
+
+    def set_trace_context(self, traceparent: str | None) -> None:
+        """``T``: install (or clear, with None) the server trace context."""
+        write_message(self._wfile, b"T", (traceparent or "").encode("utf-8"))
+        self._wfile.flush()
+        self._read_query_response()
+
+    def fetch_trace(self, trace_id: str) -> list:
+        """``t``: the span dicts the server retained for one trace id."""
+        write_message(self._wfile, b"t", trace_id.encode("utf-8"))
+        self._wfile.flush()
+        spans: list = []
+        error: str | None = None
+        while True:
+            mtype, payload = read_message(self._rfile)
+            if mtype is None:
+                raise ProtocolError("server closed the connection")
+            if mtype == b"t":
+                spans = json.loads(payload.decode("utf-8"))
+            elif mtype == b"E":
+                error = payload.decode("utf-8")
+            elif mtype == b"Z":
+                break
+            else:
+                raise ProtocolError(f"unexpected message {mtype!r}")
+        if error is not None:
+            raise DatabaseError(f"server error: {error}")
+        return spans
+
+    def trace_query(self, sql: str) -> tuple:
+        """Run one query under a client trace; returns ``(result, spans)``.
+
+        The client sends its ``traceparent`` ahead of the query, so the
+        server's statement spans nest under a client root span covering
+        the whole round trip.  ``spans`` is the merged list of span dicts
+        (client root first) — one tree under one trace id; render it with
+        :func:`repro.obs.spans.render_tree`.
+        """
+        trace_id = new_trace_id()
+        root_id = new_span_id()
+        self.set_trace_context(make_traceparent(trace_id, root_id))
+        started_epoch = time.time()
+        t0 = time.perf_counter_ns()
+        try:
+            result = self.execute(sql)
+        finally:
+            elapsed_us = (time.perf_counter_ns() - t0) / 1000.0
+            self.set_trace_context(None)
+        root = {
+            "trace_id": trace_id, "span_id": root_id, "parent_id": None,
+            "name": "client.query", "kind": "wire", "session": 0,
+            "start_us": started_epoch * 1e6, "duration_us": elapsed_us,
+            "status": "ok", "attrs": {"sql": sql},
+        }
+        return result, [root] + self.fetch_trace(trace_id)
 
     def metrics(self) -> str:
         """``M``: fetch the server's Prometheus-format metrics exposition."""

@@ -35,6 +35,17 @@ type  direction             payload
 ``d``  both directions      one chunk of COPY payload bytes
 ``c``  client -> server     copy-in done (all data sent)
 ``f``  client -> server     copy-in abort (+reason)
+``T``  client -> server     set trace context: a W3C-style
+                            ``traceparent`` (``00-<trace>-<span>-01``);
+                            subsequent statements record server-side
+                            spans nested under the client's span.  An
+                            empty payload clears the context.  Ack is
+                            ``C`` + ``Z``.
+``t``  client -> server     fetch spans: payload is a trace id; the
+                            server answers with a ``t`` frame holding a
+                            JSON array of span dicts for that trace,
+                            then ``Z``
+``t``  server -> client     span dicts (JSON) for a requested trace id
 ====  ====================  =========================================
 
 Rows are serialized like PostgreSQL's COPY text format: fields separated

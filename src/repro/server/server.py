@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import subprocess
@@ -10,6 +11,7 @@ import threading
 import time
 
 from repro.errors import DatabaseError, ProtocolError
+from repro.obs.spans import Span, new_span_id, parse_traceparent
 from repro.server.protocol import (
     COPY_CHUNK_BYTES,
     HEADER_BYTES,
@@ -147,6 +149,7 @@ class Server:
         if hasattr(conn, "client"):
             conn.client = "tcp"  # tag the session for sys.sessions
         config = self.protocol
+        trace_ctx = None  # (trace_id, parent span id) set by a 'T' frame
         try:
             self._send(wfile, b"Z", b"")
             wfile.flush()
@@ -169,6 +172,12 @@ class Server:
                 if mtype == b"D":
                     self._handle_deallocate(conn, payload, wfile)
                     continue
+                if mtype == b"T":
+                    trace_ctx = self._handle_trace_context(payload, wfile)
+                    continue
+                if mtype == b"t":
+                    self._handle_trace_fetch(payload, wfile)
+                    continue
                 if mtype != b"Q":
                     self._send(
                         wfile, b"E", f"unexpected message {mtype!r}".encode()
@@ -177,7 +186,8 @@ class Server:
                     wfile.flush()
                     continue
                 self._handle_query(
-                    conn, payload.decode("utf-8"), rfile, wfile, config
+                    conn, payload.decode("utf-8"), rfile, wfile, config,
+                    trace_ctx=trace_ctx,
                 )
         except (ConnectionError, ProtocolError):
             return
@@ -251,10 +261,56 @@ class Server:
         self._send(wfile, b"Z", b"")
         wfile.flush()
 
+    def _handle_trace_context(self, payload: bytes, wfile):
+        """``T``: install (or clear) the client's trace context.
+
+        Returns the new per-connection context; spans of subsequent
+        statements nest under the client's span via the tracer's wire
+        context, so client and server sides merge into one trace.
+        """
+        context = None
+        if payload:
+            context = parse_traceparent(payload.decode("utf-8", "replace"))
+            if context is None:
+                self._send(wfile, b"E", b"malformed traceparent")
+                self._send(wfile, b"Z", b"")
+                wfile.flush()
+                return None
+        self._send(wfile, b"C", b"0")
+        self._send(wfile, b"Z", b"")
+        wfile.flush()
+        return context
+
+    def _handle_trace_fetch(self, payload: bytes, wfile) -> None:
+        """``t``: ship the retained spans of one trace id as JSON."""
+        tracer = getattr(self._database, "span_tracer", None)
+        if tracer is None:
+            self._send(wfile, b"E", b"engine does not record spans")
+        else:
+            trace_id = payload.decode("utf-8", "replace").strip()
+            spans = tracer.export_dicts(trace_id) if trace_id else []
+            self._send(wfile, b"t", json.dumps(spans).encode("utf-8"))
+        self._send(wfile, b"Z", b"")
+        wfile.flush()
+
     def _handle_query(
-        self, conn, sql: str, rfile, wfile, config: ProtocolConfig
+        self, conn, sql: str, rfile, wfile, config: ProtocolConfig,
+        trace_ctx=None,
     ) -> None:
         started = time.perf_counter()
+        tracer = getattr(self._database, "span_tracer", None)
+        wire_span = None
+        token = None
+        if trace_ctx is not None and tracer is not None:
+            trace_id, client_parent = trace_ctx
+            wire_span = Span(
+                trace_id, new_span_id(), client_parent, "server.query",
+                "wire", getattr(conn, "session_id", 0),
+                time.perf_counter_ns(), attrs={"sql": sql},
+            )
+            # statements executed on this thread now nest under the
+            # client's span instead of opening their own trace
+            token = tracer.set_wire_context(trace_id, wire_span.span_id)
         try:
             if self._copy_needs_data(sql):
                 copy_data = self._receive_copy_data(rfile, wfile)
@@ -266,9 +322,29 @@ class Server:
         except ProtocolError:
             raise  # framing is broken; drop the connection
         except Exception as exc:  # errors travel the wire, never kill the server
+            if wire_span is not None:
+                wire_span.end_ns = time.perf_counter_ns()
+                wire_span.status = "error"
+                tracer.record_span(wire_span)
             self._send_error(wfile, exc)
             return
+        finally:
+            if token is not None:
+                tracer.reset_wire_context(token)
+        if wire_span is None:
+            self._send_result(result, wfile, config, started)
+            return
+        serialize_start = time.perf_counter_ns()
         self._send_result(result, wfile, config, started)
+        serialize_end = time.perf_counter_ns()
+        tracer.record_span(Span(
+            wire_span.trace_id, new_span_id(), wire_span.span_id,
+            "serialize", "phase", wire_span.session, serialize_start,
+            end_ns=serialize_end,
+            attrs={"rows": result.nrows if result is not None else 0},
+        ))
+        wire_span.end_ns = serialize_end
+        tracer.record_span(wire_span)
 
     def _copy_needs_data(self, sql: str) -> bool:
         """True for a single ``COPY ... FROM STDIN`` on the columnar engine."""

@@ -14,6 +14,7 @@ import threading
 import pytest
 
 from repro.obs import DEFAULT_LATENCY_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.metrics import _escape_label
 
 
 class TestHistogram:
@@ -206,3 +207,60 @@ class TestPrometheusText:
         assert "repro_tables 1" in text
         assert re.search(r"repro_storage_bytes [1-9]", text)
         assert "repro_query_seconds_count 3" in text
+
+
+class TestExpositionStrictness:
+    """Strict-scraper contracts: unique TYPE lines, escaped label values,
+    and no double ``_total`` suffixes."""
+
+    def test_type_lines_are_unique(self):
+        registry = MetricsRegistry()
+        # "cache hits" and "cache.hits" both sanitize to cache_hits
+        registry.incr("cache hits", 3)
+        registry.incr("cache.hits", 4)
+        registry.set_gauge("buffer size", 1)
+        registry.set_gauge("buffer/size", 2)
+        text = registry.prometheus_text()
+        assert_valid_exposition(text)
+        families = [
+            line.split(" ")[2]
+            for line in text.split("\n")
+            if line.startswith("# TYPE")
+        ]
+        assert len(families) == len(set(families)), families
+        # both collided instruments still appear, disambiguated
+        assert "repro_cache_hits_total 3" in text
+        assert "repro_cache_hits_total_2 4" in text
+        assert "repro_buffer_size 1" in text
+        assert "repro_buffer_size_2 2" in text
+
+    def test_same_instrument_not_duplicated(self):
+        registry = MetricsRegistry()
+        registry.incr("queries", 1)
+        registry.incr("queries", 1)
+        text = registry.prometheus_text()
+        assert text.count("# TYPE repro_queries_total counter") == 1
+        assert "repro_queries_total 2" in text
+
+    def test_no_double_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.incr("rows_total", 9)
+        text = registry.prometheus_text()
+        assert "repro_rows_total 9" in text
+        assert "rows_total_total" not in text
+
+    def test_label_values_escaped(self):
+        assert _escape_label('say "hi"') == 'say \\"hi\\"'
+        assert _escape_label("back\\slash") == "back\\\\slash"
+        assert _escape_label("two\nlines") == "two\\nlines"
+        # escaping composes: backslashes first, then quotes/newlines
+        assert _escape_label('\\"\n') == '\\\\\\"\\n'
+
+    def test_histogram_bucket_bounds_stay_parseable(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.5, bounds=(0.25, 1.0))
+        text = registry.prometheus_text()
+        assert_valid_exposition(text)
+        assert 'repro_lat_bucket{le="0.25"} 0' in text
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
