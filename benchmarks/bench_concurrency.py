@@ -1,0 +1,268 @@
+"""Concurrency sweep for the asyncio server front end.
+
+Drives the :class:`repro.server.aio.AsyncServer` with 1/10/100 (or up to
+1000) concurrent client connections running a mixed workload — prepared
+point reads interleaved with analytical aggregations — and reports
+p50/p95/p99 client-observed latency per sweep point.  Latencies are
+published through a :class:`repro.obs.metrics.MetricsRegistry` histogram
+(the engine's own latency instrument), so the numbers here are exactly
+what a scraped deployment would report.
+
+A second section measures the binary columnar result format against the
+text protocol on a wide transfer (default 1,000,000 rows x 8 columns —
+the paper's "serialization tax" scenario, sections 1-2) and fails the
+run when binary does not beat text by ``--min-binary-speedup``.
+
+Standalone (CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_concurrency.py \
+        --clients 1,10,50 --rows 250000 --json out.json
+"""
+
+import argparse
+import json
+import threading
+import time
+
+ANALYTICAL_EVERY = 5  # every 5th statement is an aggregation
+POINT_TABLE_ROWS = 100_000
+FACT_TABLE_ROWS = 200_000
+
+
+def _start_server(max_sessions: int, workers: int):
+    from repro.server import AsyncServer
+
+    server = AsyncServer(
+        engine="columnar",
+        protocol="monetdb",  # block the text protocol fairly (100 rows/msg)
+        directory=None,
+        max_sessions=max_sessions,
+        max_queue_depth=max(256, max_sessions),
+        workers=workers,
+    ).start()
+    return server
+
+
+def _load_tables(server, wide_rows: int) -> None:
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    connection = server.database.connect()
+    connection.execute("CREATE TABLE points (a BIGINT, b DOUBLE)")
+    connection.append(
+        "points",
+        {
+            "a": np.arange(POINT_TABLE_ROWS, dtype=np.int64),
+            "b": rng.normal(size=POINT_TABLE_ROWS),
+        },
+    )
+    connection.execute("CREATE TABLE facts (k BIGINT, v DOUBLE)")
+    connection.append(
+        "facts",
+        {
+            "k": rng.integers(0, 100, FACT_TABLE_ROWS),
+            "v": rng.uniform(0, 1000, FACT_TABLE_ROWS),
+        },
+    )
+    connection.execute(
+        "CREATE TABLE wide (c0 BIGINT, c1 BIGINT, c2 BIGINT, c3 BIGINT, "
+        "c4 DOUBLE, c5 DOUBLE, c6 DOUBLE, c7 DOUBLE)"
+    )
+    connection.append(
+        "wide",
+        {
+            **{
+                f"c{i}": rng.integers(0, 10**9, wide_rows)
+                for i in range(4)
+            },
+            **{
+                f"c{i}": rng.normal(size=wide_rows) for i in range(4, 8)
+            },
+        },
+    )
+    connection.close()
+
+
+# -- mixed-workload sweep ---------------------------------------------------------------
+
+
+def _client_worker(port, statements, registry, hist_name, errors, seed):
+    from repro.server import RemoteConnection
+
+    try:
+        with RemoteConnection(
+            "127.0.0.1", port, "monetdb", binary=True, timeout=120.0
+        ) as client:
+            client.prepare("pt", "SELECT b FROM points WHERE a = ?")
+            for i in range(statements):
+                start = time.perf_counter()
+                if i % ANALYTICAL_EVERY == ANALYTICAL_EVERY - 1:
+                    client.query(
+                        "SELECT k, count(*), sum(v) FROM facts "
+                        "GROUP BY k ORDER BY k"
+                    ).fetchall()
+                else:
+                    key = (seed * 7919 + i * 104729) % POINT_TABLE_ROWS
+                    client.execute_prepared("pt", (key,)).fetchall()
+                registry.observe(hist_name, time.perf_counter() - start)
+    except Exception as exc:
+        errors.append(f"client {seed}: {exc!r}")
+
+
+def run_sweep(server, clients: int, statements: int, registry) -> dict:
+    hist_name = f"bench_latency_c{clients}"
+    errors: list = []
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(server.port, statements, registry, hist_name, errors, n),
+        )
+        for n in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    hist = registry.histogram(hist_name) or {
+        "count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+    }
+    server_stats = server.database.stats()
+    queue_wait = server.database.metrics.histogram("server_queue_wait_us")
+    return {
+        "clients": clients,
+        "statements_per_client": statements,
+        "completed": hist["count"],
+        "errors": len(errors),
+        "error_samples": errors[:3],
+        "wall_s": round(wall, 3),
+        "throughput_stmt_s": round(hist["count"] / wall, 1) if wall else None,
+        "p50_ms": round(hist["p50"] * 1e3, 3),
+        "p95_ms": round(hist["p95"] * 1e3, 3),
+        "p99_ms": round(hist["p99"] * 1e3, 3),
+        "shed_statements": server_stats.get("server_shed_statements", 0),
+        "server_queue_wait_p99_us": (
+            round(queue_wait["p99"], 1) if queue_wait else None
+        ),
+    }
+
+
+# -- binary vs text wide transfer -------------------------------------------------------
+
+
+def _time_transfer(port, binary: bool, rows: int) -> float:
+    from repro.server import RemoteConnection
+
+    with RemoteConnection(
+        "127.0.0.1", port, "monetdb", binary=binary, timeout=600.0
+    ) as client:
+        start = time.perf_counter()
+        result = client.query("SELECT * FROM wide")
+        columns = result.to_columns()
+        elapsed = time.perf_counter() - start
+        assert len(columns) == 8
+        assert len(columns["c0"]) == rows
+        assert client.binary is binary
+        return elapsed
+
+
+def run_transfer(server, rows: int) -> dict:
+    text_s = _time_transfer(server.port, binary=False, rows=rows)
+    binary_s = _time_transfer(server.port, binary=True, rows=rows)
+    return {
+        "rows": rows,
+        "columns": 8,
+        "text_s": round(text_s, 3),
+        "binary_s": round(binary_s, 3),
+        "speedup": round(text_s / binary_s, 2) if binary_s else None,
+    }
+
+
+# -- entry point ------------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--clients", default="1,10,100",
+        help="comma-separated sweep points (e.g. 1,10,100,1000)",
+    )
+    parser.add_argument(
+        "--statements", type=int, default=50,
+        help="statements per client per sweep point",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=1_000_000,
+        help="rows in the wide binary-vs-text transfer table",
+    )
+    parser.add_argument(
+        "--min-binary-speedup", type=float, default=1.0,
+        help="fail unless binary beats text by at least this factor",
+    )
+    parser.add_argument("--max-sessions", type=int, default=1024)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--json", help="write results to this file")
+    args = parser.parse_args()
+
+    from repro.obs.metrics import MetricsRegistry
+
+    sweep_points = [int(c) for c in args.clients.split(",") if c]
+    registry = MetricsRegistry()
+    server = _start_server(args.max_sessions, args.workers)
+    try:
+        _load_tables(server, args.rows)
+        sweeps = []
+        for clients in sweep_points:
+            result = run_sweep(server, clients, args.statements, registry)
+            sweeps.append(result)
+            print(
+                f"clients={clients:>5}  p50={result['p50_ms']:8.2f} ms"
+                f"  p95={result['p95_ms']:8.2f} ms"
+                f"  p99={result['p99_ms']:8.2f} ms"
+                f"  {result['throughput_stmt_s']:>9} stmt/s"
+                f"  errors={result['errors']}"
+            )
+        transfer = run_transfer(server, args.rows)
+        print(
+            f"wide transfer {args.rows}x8: text={transfer['text_s']:.2f} s"
+            f"  binary={transfer['binary_s']:.2f} s"
+            f"  speedup={transfer['speedup']:.2f}x"
+        )
+    finally:
+        server.stop()
+
+    payload = {
+        "workload": {
+            "statements_per_client": args.statements,
+            "analytical_every": ANALYTICAL_EVERY,
+            "point_rows": POINT_TABLE_ROWS,
+            "fact_rows": FACT_TABLE_ROWS,
+        },
+        "sweeps": sweeps,
+        "transfer": transfer,
+    }
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    failed = False
+    for result in sweeps:
+        if result["errors"]:
+            print(f"FAIL: {result['errors']} client errors at "
+                  f"{result['clients']} clients: {result['error_samples']}")
+            failed = True
+    if transfer["speedup"] is None or (
+        transfer["speedup"] < args.min_binary_speedup
+    ):
+        print(
+            f"FAIL: binary speedup {transfer['speedup']}x below the "
+            f"{args.min_binary_speedup}x floor"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -135,6 +135,18 @@ class MetricsRegistry:
         with self._lock:
             return self._gauges.get(name, 0.0)
 
+    def incr_gauge(self, name: str, delta: float = 1.0) -> float:
+        """Atomically adjust a gauge by ``delta``; returns the new value.
+
+        Level-style instruments (open sessions, queue depth) are updated
+        concurrently from many threads/tasks — read-modify-write through
+        ``set_gauge``/``get_gauge`` would race.
+        """
+        with self._lock:
+            value = self._gauges.get(name, 0.0) + float(delta)
+            self._gauges[name] = value
+            return value
+
     # -- histograms ------------------------------------------------------------
 
     def observe(self, name: str, value: float, bounds=None) -> None:

@@ -15,12 +15,14 @@ message), rows per INSERT statement, and per-field length prefixing.
 
 from repro.server.protocol import PROTOCOLS, ProtocolConfig
 from repro.server.server import Server, spawn_server_process
+from repro.server.aio import AsyncServer
 from repro.server.client import RemoteConnection
 
 __all__ = [
     "PROTOCOLS",
     "ProtocolConfig",
     "Server",
+    "AsyncServer",
     "RemoteConnection",
     "spawn_server_process",
 ]

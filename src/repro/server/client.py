@@ -1,10 +1,17 @@
 """DBI-style client for the socket servers (dbWriteTable / dbReadTable).
 
-This is the analytical tool's side of Figure 1(a): results arrive
-row-by-row as text and must be parsed and pivoted into columnar native
-arrays; bulk loads degenerate into generated INSERT statements with one
-round trip per statement — the two costs the paper's Figures 5 and 6
-measure.
+This is the analytical tool's side of Figure 1(a): by default results
+arrive row-by-row as text and must be parsed and pivoted into columnar
+native arrays; bulk loads degenerate into generated INSERT statements
+with one round trip per statement — the two costs the paper's Figures 5
+and 6 measure.
+
+``binary=True`` negotiates the binary columnar result format (``N``
+handshake, ``B`` frames): the server ships length-prefixed typed column
+blocks straight from its NumPy buffers and the client decodes them
+*zero-pivot* into native arrays — no per-row parsing, no row-to-column
+transpose.  Servers that predate the handshake answer with an error
+frame and the client silently falls back to text.
 """
 
 from __future__ import annotations
@@ -18,8 +25,10 @@ import numpy as np
 
 from repro.errors import DatabaseError, ProtocolError
 from repro.obs.spans import make_traceparent, new_span_id, new_trace_id
+from repro.server.binary import concat_columns, decode_block
 from repro.server.protocol import (
     COPY_CHUNK_BYTES,
+    MAX_PAYLOAD,
     PROTOCOLS,
     ProtocolConfig,
     decode_rows,
@@ -32,38 +41,78 @@ from repro.storage.types import days_to_date
 
 __all__ = ["RemoteConnection", "RemoteResult"]
 
+#: Default per-read timeout (seconds): a stalled server surfaces as a
+#: clean error instead of blocking the client forever mid-frame.
+DEFAULT_READ_TIMEOUT = 30.0
+
+#: Default TCP connect timeout (seconds).
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: Distinguishes "no per-call override" from an explicit ``timeout=None``
+#: (which means "no limit for this call").
+_UNSET = object()
+
 
 class RemoteResult:
-    """A fetched result: names, declared types, typed row tuples."""
+    """A fetched result: names, declared types, and the data.
 
-    def __init__(self, names: list, type_names: list, rows: list):
+    Text-protocol results hold typed row tuples; binary-protocol results
+    hold decoded columns and materialize rows only on demand — the
+    columnar access path never builds a single Python row.
+    """
+
+    def __init__(self, names: list, type_names: list, rows: list = None,
+                 columns: list = None):
         self.names = names
         self.type_names = type_names
-        self.rows = rows
-        self.nrows = len(rows)
+        self._rows = rows
+        self._columns = columns  # list of binary.DecodedColumn, or None
+        if rows is not None:
+            self.nrows = len(rows)
+        elif columns:
+            self.nrows = columns[0].nrows
+        else:
+            self.nrows = 0
         self.ncols = len(names)
         #: CSV payload streamed by a ``COPY ... TO STDOUT`` (None otherwise)
         self.copy_text: str | None = None
 
+    @property
+    def rows(self) -> list:
+        return self.fetchall()
+
     def fetchall(self) -> list:
-        return self.rows
+        if self._rows is None:
+            if not self._columns:
+                self._rows = []
+            else:
+                self._rows = list(
+                    zip(*(col.to_pylist() for col in self._columns))
+                )
+        return self._rows
 
     def scalar(self):
         if self.nrows != 1 or self.ncols != 1:
             raise DatabaseError(f"scalar() on {self.nrows}x{self.ncols} result")
-        return self.rows[0][0]
+        return self.fetchall()[0][0]
 
     def to_columns(self) -> dict:
-        """Pivot row-major fetch results into native columnar arrays.
+        """Native columnar arrays, one per result column.
 
-        This client-side row-to-column conversion is precisely the cost an
-        embedded zero-copy interface avoids.
+        Binary-protocol results decode straight from the wire blocks —
+        the row-to-column pivot (and its cost) only exists on the text
+        path, which is precisely the paper's serialization argument.
         """
+        if self._columns is not None:
+            return {
+                name: col.to_array()
+                for name, col in zip(self.names, self._columns)
+            }
         out: dict = {}
         for index, (name, type_name) in enumerate(
             zip(self.names, self.type_names)
         ):
-            values = [row[index] for row in self.rows]
+            values = [row[index] for row in self.fetchall()]
             base = type_name.split("(")[0].upper()
             if base in ("INTEGER", "INT", "BIGINT", "SMALLINT", "TINYINT",
                         "HUGEINT"):
@@ -84,20 +133,48 @@ class RemoteResult:
 
 
 class RemoteConnection:
-    """Client connection over the wire protocol."""
+    """Client connection over the wire protocol.
 
-    def __init__(self, host: str, port: int, protocol: str | ProtocolConfig = "pg"):
+    ``timeout`` bounds every socket read (None = block forever, the old
+    behavior); ``connect_timeout`` bounds the TCP handshake.  Individual
+    ``execute``/``query`` calls accept a one-shot ``timeout`` override
+    for statements known to run long.  ``binary=True`` requests the
+    binary columnar result format, falling back to text against servers
+    that do not speak it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        protocol: str | ProtocolConfig = "pg",
+        *,
+        binary: bool = False,
+        timeout: float | None = DEFAULT_READ_TIMEOUT,
+        connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
+        max_payload: int = MAX_PAYLOAD,
+    ):
         self.protocol = (
             protocol if isinstance(protocol, ProtocolConfig) else PROTOCOLS[protocol]
         )
-        self._sock = socket.create_connection((host, port))
+        self._timeout = timeout
+        self._max_payload = max_payload
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._sock.settimeout(timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
         #: Stats from the last command-complete message: row count and
         #: server-side execution time (None until the first query).
         self.last_status: dict | None = None
+        #: Capabilities the server accepted during the ``N`` handshake.
+        self.capabilities: dict = {}
+        self.binary = False
         self._await_ready()
+        if binary:
+            self._negotiate({"binary": "1"})
 
     def close(self) -> None:
         try:
@@ -115,23 +192,85 @@ class RemoteConnection:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    def _read_message(self):
+        """One frame, with socket timeouts surfaced as protocol errors.
+
+        After a timeout the stream position is undefined (a frame may be
+        half-read), so the connection must be closed — queries cannot
+        simply be retried on it.
+        """
+        try:
+            return read_message(self._rfile, self._max_payload)
+        except TimeoutError as exc:  # socket.timeout is an alias since 3.10
+            raise ProtocolError(
+                f"read timed out after {self._sock.gettimeout()}s "
+                "(connection no longer usable)"
+            ) from exc
+
     def _await_ready(self) -> None:
-        mtype, payload = read_message(self._rfile)
+        mtype, payload = self._read_message()
+        if mtype == b"E":
+            # admission control: the server shed this connection cleanly
+            raise DatabaseError(
+                f"server rejected connection: {payload.decode('utf-8')}"
+            )
         if mtype != b"Z":
             raise ProtocolError(f"expected ready message, got {mtype!r}")
 
+    def _negotiate(self, requested: dict) -> None:
+        """``N`` handshake; tolerates servers that predate the frame."""
+        tokens = " ".join(f"{k}={v}" for k, v in requested.items())
+        write_message(self._wfile, b"N", tokens.encode("utf-8"))
+        self._wfile.flush()
+        accepted: dict = {}
+        while True:
+            mtype, payload = self._read_message()
+            if mtype is None:
+                raise ProtocolError("server closed the connection")
+            if mtype == b"N":
+                for token in payload.decode("utf-8").split():
+                    key, _, value = token.partition("=")
+                    accepted[key] = value
+            elif mtype == b"E":
+                accepted = {}  # old server: no optional capabilities
+            elif mtype == b"Z":
+                break
+        self.capabilities = accepted
+        self.binary = accepted.get("binary") == "1"
+
+    class _timeout_override:
+        """Temporarily swap the socket timeout for one call."""
+
+        def __init__(self, conn, timeout):
+            self._conn = conn
+            self._timeout = timeout
+
+        def __enter__(self):
+            if self._timeout is not _UNSET:
+                self._conn._sock.settimeout(self._timeout)
+
+        def __exit__(self, exc_type, exc, tb):
+            if self._timeout is not _UNSET:
+                self._conn._sock.settimeout(self._conn._timeout)
+
     # -- query path -----------------------------------------------------------------
 
-    def execute(self, sql: str) -> RemoteResult | None:
-        """Send one query; parse the streamed row messages."""
-        write_message(self._wfile, b"Q", sql.encode("utf-8"))
-        self._wfile.flush()
-        return self._read_query_response()
+    def execute(self, sql: str, *, timeout=_UNSET) -> RemoteResult | None:
+        """Send one query; parse the streamed result messages.
+
+        ``timeout`` (seconds, or None for no limit) overrides the
+        connection read timeout for this call only.
+        """
+        with self._timeout_override(self, timeout):
+            write_message(self._wfile, b"Q", sql.encode("utf-8"))
+            self._wfile.flush()
+            return self._read_query_response()
 
     def _read_query_response(self, first=None) -> RemoteResult | None:
         names: list = []
         type_names: list = []
         raw_rows: list = []
+        blocks: list = []
         copy_parts: list | None = None
         error: str | None = None
         saw_description = False
@@ -140,7 +279,7 @@ class RemoteConnection:
                 mtype, payload = first
                 first = None
             else:
-                mtype, payload = read_message(self._rfile)
+                mtype, payload = self._read_message()
             if mtype is None:
                 raise ProtocolError("server closed the connection")
             if mtype == b"D":
@@ -151,6 +290,8 @@ class RemoteConnection:
                     type_names.append(type_name)
             elif mtype == b"R":
                 raw_rows.extend(decode_rows(payload, self.protocol))
+            elif mtype == b"B":
+                blocks.append(decode_block(payload))
             elif mtype == b"H":
                 copy_parts = []
             elif mtype == b"d":
@@ -172,14 +313,19 @@ class RemoteConnection:
             raise DatabaseError(f"server error: {error}")
         if not saw_description:
             return None
-        rows = [self._type_row(row, type_names) for row in raw_rows]
-        result = RemoteResult(names, type_names, rows)
+        if blocks:
+            result = RemoteResult(
+                names, type_names, columns=concat_columns(blocks)
+            )
+        else:
+            rows = [self._type_row(row, type_names) for row in raw_rows]
+            result = RemoteResult(names, type_names, rows)
         if copy_parts is not None:
             result.copy_text = b"".join(copy_parts).decode("utf-8")
         return result
 
-    def query(self, sql: str) -> RemoteResult:
-        result = self.execute(sql)
+    def query(self, sql: str, *, timeout=_UNSET) -> RemoteResult:
+        result = self.execute(sql, timeout=timeout)
         if result is None:
             raise DatabaseError("statement produced no result")
         return result
@@ -197,7 +343,7 @@ class RemoteConnection:
             data = data.encode("utf-8")
         write_message(self._wfile, b"Q", sql.encode("utf-8"))
         self._wfile.flush()
-        mtype, payload = read_message(self._rfile)
+        mtype, payload = self._read_message()
         if mtype == b"G":
             for start in range(0, len(data), COPY_CHUNK_BYTES):
                 write_message(
@@ -208,14 +354,14 @@ class RemoteConnection:
             result = self._read_query_response()
         else:
             result = self._read_query_response(first=(mtype, payload))
-        if result is not None and result.rows:
-            return int(result.rows[0][0])
+        if result is not None and result.nrows:
+            return int(result.fetchall()[0][0])
         return int((self.last_status or {}).get("rows", 0))
 
     def copy_to(self, sql: str) -> tuple:
         """``COPY ... TO STDOUT``: returns ``(csv_text, rows_exported)``."""
         result = self.query(sql)
-        rows = int(result.rows[0][0]) if result.rows else 0
+        rows = int(result.fetchall()[0][0]) if result.nrows else 0
         return result.copy_text or "", rows
 
     # -- prepared statements ------------------------------------------------------------
@@ -260,7 +406,7 @@ class RemoteConnection:
         spans: list = []
         error: str | None = None
         while True:
-            mtype, payload = read_message(self._rfile)
+            mtype, payload = self._read_message()
             if mtype is None:
                 raise ProtocolError("server closed the connection")
             if mtype == b"t":
@@ -309,7 +455,7 @@ class RemoteConnection:
         text: str | None = None
         error: str | None = None
         while True:
-            mtype, payload = read_message(self._rfile)
+            mtype, payload = self._read_message()
             if mtype is None:
                 raise ProtocolError("server closed the connection")
             if mtype == b"M":

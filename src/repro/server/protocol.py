@@ -46,6 +46,21 @@ type  direction             payload
                             JSON array of span dicts for that trace,
                             then ``Z``
 ``t``  server -> client     span dicts (JSON) for a requested trace id
+``N``  client -> server     capability negotiation: space-separated
+                            ``key=value`` tokens (currently
+                            ``binary=1``); servers answer with an ``N``
+                            frame listing the capabilities they accept,
+                            then ``Z``.  Servers predating this frame
+                            answer ``E`` + ``Z``, which clients treat
+                            as "no optional capabilities" — old and new
+                            peers interoperate in text mode
+``N``  server -> client     accepted capabilities (same token format)
+``B``  server -> client     one batch of result rows in the *binary
+                            columnar* format (length-prefixed typed
+                            column blocks with NULL validity bitmaps,
+                            see :mod:`repro.server.binary`); replaces
+                            ``R`` frames when ``binary=1`` was
+                            negotiated
 ====  ====================  =========================================
 
 Rows are serialized like PostgreSQL's COPY text format: fields separated
@@ -68,7 +83,9 @@ __all__ = [
     "PROTOCOLS",
     "HEADER_BYTES",
     "COPY_CHUNK_BYTES",
+    "MAX_PAYLOAD",
     "read_message",
+    "read_message_async",
     "write_message",
     "encode_rows",
     "decode_rows",
@@ -118,19 +135,82 @@ def write_message(stream, mtype: bytes, payload: bytes) -> None:
     stream.write(payload)
 
 
-def read_message(stream):
-    """Read one framed message; returns (type, payload) or (None, b"") on EOF."""
-    header = stream.read(_HEADER.size)
+def _read_exact(stream, n: int, *, eof_ok: bool = False) -> bytes:
+    """Read exactly ``n`` bytes, looping over short reads.
+
+    Raw sockets (and file wrappers over timed-out sockets) may return
+    fewer bytes than requested without being at EOF; a single ``read``
+    call would then misparse the frame.  A torn read — EOF in the middle
+    of a frame — raises :class:`ProtocolError` instead of returning a
+    short buffer for ``struct`` to crash on.  ``eof_ok`` permits a clean
+    EOF at a frame boundary (empty return).
+    """
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                return b""
+            raise ProtocolError(
+                f"torn frame: connection closed with {remaining} of "
+                f"{n} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+
+
+def read_message(stream, max_payload: int = MAX_PAYLOAD):
+    """Read one framed message; returns (type, payload) or (None, b"") on EOF.
+
+    ``max_payload`` caps the advertised payload length *before* any
+    allocation happens; a frame over the cap raises
+    :class:`ProtocolError` rather than blindly allocating an
+    attacker-controlled buffer.  Short/torn reads also surface as
+    :class:`ProtocolError` (never hangs on a partial ``struct`` or
+    returns garbage).
+    """
+    header = _read_exact(stream, _HEADER.size, eof_ok=True)
     if not header:
         return None, b""
-    if len(header) < _HEADER.size:
-        raise ProtocolError("truncated message header")
     mtype, length = _HEADER.unpack(header)
-    if length > MAX_PAYLOAD:
-        raise ProtocolError(f"oversized message ({length} bytes)")
-    payload = stream.read(length)
-    if len(payload) < length:
-        raise ProtocolError("truncated message payload")
+    if length > max_payload:
+        raise ProtocolError(
+            f"oversized message ({length} bytes > cap {max_payload})"
+        )
+    payload = _read_exact(stream, length) if length else b""
+    return mtype, payload
+
+
+async def read_message_async(reader, max_payload: int = MAX_PAYLOAD):
+    """Asyncio flavor of :func:`read_message` over a ``StreamReader``."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None, b""
+        raise ProtocolError(
+            f"torn frame: connection closed after {len(exc.partial)} "
+            f"header bytes"
+        ) from exc
+    mtype, length = _HEADER.unpack(header)
+    if length > max_payload:
+        raise ProtocolError(
+            f"oversized message ({length} bytes > cap {max_payload})"
+        )
+    if not length:
+        return mtype, b""
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"torn frame: connection closed with "
+            f"{length - len(exc.partial)} of {length} payload bytes "
+            f"outstanding"
+        ) from exc
     return mtype, payload
 
 

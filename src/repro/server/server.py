@@ -1,8 +1,13 @@
-"""TCP server hosting either engine behind the wire protocol."""
+"""TCP server hosting either engine behind the wire protocol.
+
+This is the classic thread-per-connection front end — the paper's
+comparison-system shape.  The asyncio front end with admission control
+lives in :mod:`repro.server.aio`; both share the protocol logic of
+:mod:`repro.server.session`.
+"""
 
 from __future__ import annotations
 
-import json
 import socket
 import socketserver
 import subprocess
@@ -11,17 +16,15 @@ import threading
 import time
 
 from repro.errors import DatabaseError, ProtocolError
-from repro.obs.spans import Span, new_span_id, parse_traceparent
 from repro.server.protocol import (
-    COPY_CHUNK_BYTES,
     HEADER_BYTES,
+    MAX_PAYLOAD,
     PROTOCOLS,
     ProtocolConfig,
-    encode_rows,
-    parse_field,
     read_message,
     write_message,
 )
+from repro.server.session import CLOSE, Session, open_engine
 
 __all__ = ["Server", "spawn_server_process"]
 
@@ -35,6 +38,11 @@ class Server:
     server creates its own engine instance directly — a server process is
     its own deployment, so the embedded single-instance guard does not
     apply to it.
+
+    ``allow_binary`` gates the negotiated binary columnar result format;
+    disabling it makes the server behave like one predating the ``N``
+    handshake (clients fall back to text).  ``max_payload`` caps inbound
+    frame sizes.
     """
 
     def __init__(
@@ -45,6 +53,8 @@ class Server:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float | None = None,
+        allow_binary: bool = True,
+        max_payload: int = MAX_PAYLOAD,
     ):
         self.engine_kind = engine
         self.protocol = (
@@ -54,6 +64,8 @@ class Server:
         self.host = host
         self._requested_port = port
         self._timeout = timeout
+        self.allow_binary = allow_binary
+        self.max_payload = max_payload
         self._tcp: socketserver.ThreadingTCPServer | None = None
         self._thread: threading.Thread | None = None
         self._database = None
@@ -61,20 +73,9 @@ class Server:
     # -- engine plumbing -----------------------------------------------------------
 
     def _open_engine(self):
-        if self.engine_kind == "columnar":
-            from repro.core.database import Database
-
-            self._database = Database(self.directory, timeout=self._timeout)
-            return
-        if self.engine_kind == "rowstore":
-            from repro.rowstore import RowDatabase
-
-            path = None
-            if self.directory is not None:
-                path = f"{self.directory}/rowstore.db"
-            self._database = RowDatabase(path, timeout=self._timeout)
-            return
-        raise DatabaseError(f"unknown server engine {self.engine_kind!r}")
+        self._database = open_engine(
+            self.engine_kind, self.directory, self._timeout
+        )
 
     def _connect_engine(self):
         return self._database.connect()
@@ -145,223 +146,51 @@ class Server:
     # -- per-connection protocol loop --------------------------------------------------
 
     def _serve_connection(self, rfile, wfile) -> None:
-        conn = self._connect_engine()
-        if hasattr(conn, "client"):
-            conn.client = "tcp"  # tag the session for sys.sessions
-        config = self.protocol
-        trace_ctx = None  # (trace_id, parent span id) set by a 'T' frame
+        session = Session(
+            self._database,
+            self._connect_engine(),
+            self.protocol,
+            engine_kind=self.engine_kind,
+            allow_binary=self.allow_binary,
+        )
         try:
             self._send(wfile, b"Z", b"")
             wfile.flush()
             while True:
-                mtype, payload = read_message(rfile)
+                mtype, payload = read_message(rfile, self.max_payload)
                 if mtype is None:
                     return
                 self._stats_incr("bytes_received", HEADER_BYTES + len(payload))
-                if mtype == b"X":
-                    return
-                if mtype == b"M":
-                    self._handle_metrics(wfile)
-                    continue
-                if mtype == b"P":
-                    self._handle_prepare(conn, payload, wfile)
-                    continue
-                if mtype == b"E":
-                    self._handle_execute_prepared(conn, payload, wfile, config)
-                    continue
-                if mtype == b"D":
-                    self._handle_deallocate(conn, payload, wfile)
-                    continue
-                if mtype == b"T":
-                    trace_ctx = self._handle_trace_context(payload, wfile)
-                    continue
-                if mtype == b"t":
-                    self._handle_trace_fetch(payload, wfile)
-                    continue
-                if mtype != b"Q":
-                    self._send(
-                        wfile, b"E", f"unexpected message {mtype!r}".encode()
-                    )
-                    self._send(wfile, b"Z", b"")
-                    wfile.flush()
-                    continue
-                self._handle_query(
-                    conn, payload.decode("utf-8"), rfile, wfile, config,
-                    trace_ctx=trace_ctx,
+                copy_data = None
+                copy_aborted = False
+                if mtype == b"Q" and session.needs_copy_data(payload):
+                    copy_data = self._receive_copy_data(rfile, wfile)
+                    if copy_data is None:
+                        copy_aborted = True
+                frames = session.handle(
+                    mtype,
+                    payload,
+                    copy_data=copy_data,
+                    copy_aborted=copy_aborted,
                 )
-        except (ConnectionError, ProtocolError):
-            return
-        finally:
-            close = getattr(conn, "close", None)
-            if close is not None:
-                close()
-
-    def _handle_metrics(self, wfile) -> None:
-        """``M``: Prometheus text exposition of the engine's metrics."""
-        metrics_text = getattr(self._database, "metrics_text", None)
-        if metrics_text is None:  # rowstore engine: no metrics registry
-            self._send(wfile, b"E", b"engine does not expose metrics")
-        else:
-            self._send(wfile, b"M", metrics_text().encode("utf-8"))
-        self._send(wfile, b"Z", b"")
-        wfile.flush()
-
-    def _send_error(self, wfile, exc) -> None:
-        self._send(wfile, b"E", str(exc).encode("utf-8"))
-        self._send(wfile, b"Z", b"")
-        wfile.flush()
-
-    def _handle_prepare(self, conn, payload: bytes, wfile) -> None:
-        """``P``: register a named prepared statement for this session."""
-        try:
-            name, _, sql = payload.decode("utf-8").partition("\x00")
-            prepare = getattr(conn, "prepare", None)
-            if prepare is None:
-                raise DatabaseError("engine does not support prepared statements")
-            prepared = prepare(sql, name=name)
-        except Exception as exc:
-            self._send_error(wfile, exc)
-            return
-        self._send(wfile, b"C", f"0 nparams={prepared.nparams}".encode("utf-8"))
-        self._send(wfile, b"Z", b"")
-        wfile.flush()
-
-    def _handle_execute_prepared(
-        self, conn, payload: bytes, wfile, config: ProtocolConfig
-    ) -> None:
-        """``E``: run a prepared statement with row-text parameter values."""
-        started = time.perf_counter()
-        try:
-            name, sep, fields = payload.decode("utf-8").partition("\x00")
-            params = (
-                tuple(parse_field(f) for f in fields.split("\t"))
-                if sep and fields
-                else ()
-            )
-            runner = getattr(conn, "execute_prepared", None)
-            if runner is None:
-                raise DatabaseError("engine does not support prepared statements")
-            result = runner(name, params)
-        except Exception as exc:
-            self._send_error(wfile, exc)
-            return
-        self._send_result(result, wfile, config, started)
-
-    def _handle_deallocate(self, conn, payload: bytes, wfile) -> None:
-        """``D``: drop a named prepared statement."""
-        try:
-            deallocate = getattr(conn, "deallocate", None)
-            if deallocate is None:
-                raise DatabaseError("engine does not support prepared statements")
-            deallocate(payload.decode("utf-8"))
-        except Exception as exc:
-            self._send_error(wfile, exc)
-            return
-        self._send(wfile, b"C", b"0")
-        self._send(wfile, b"Z", b"")
-        wfile.flush()
-
-    def _handle_trace_context(self, payload: bytes, wfile):
-        """``T``: install (or clear) the client's trace context.
-
-        Returns the new per-connection context; spans of subsequent
-        statements nest under the client's span via the tracer's wire
-        context, so client and server sides merge into one trace.
-        """
-        context = None
-        if payload:
-            context = parse_traceparent(payload.decode("utf-8", "replace"))
-            if context is None:
-                self._send(wfile, b"E", b"malformed traceparent")
-                self._send(wfile, b"Z", b"")
+                if frames is CLOSE:
+                    return
+                for ftype, fpayload in frames:
+                    self._send(wfile, ftype, fpayload)
                 wfile.flush()
-                return None
-        self._send(wfile, b"C", b"0")
-        self._send(wfile, b"Z", b"")
-        wfile.flush()
-        return context
-
-    def _handle_trace_fetch(self, payload: bytes, wfile) -> None:
-        """``t``: ship the retained spans of one trace id as JSON."""
-        tracer = getattr(self._database, "span_tracer", None)
-        if tracer is None:
-            self._send(wfile, b"E", b"engine does not record spans")
-        else:
-            trace_id = payload.decode("utf-8", "replace").strip()
-            spans = tracer.export_dicts(trace_id) if trace_id else []
-            self._send(wfile, b"t", json.dumps(spans).encode("utf-8"))
-        self._send(wfile, b"Z", b"")
-        wfile.flush()
-
-    def _handle_query(
-        self, conn, sql: str, rfile, wfile, config: ProtocolConfig,
-        trace_ctx=None,
-    ) -> None:
-        started = time.perf_counter()
-        tracer = getattr(self._database, "span_tracer", None)
-        wire_span = None
-        token = None
-        if trace_ctx is not None and tracer is not None:
-            trace_id, client_parent = trace_ctx
-            wire_span = Span(
-                trace_id, new_span_id(), client_parent, "server.query",
-                "wire", getattr(conn, "session_id", 0),
-                time.perf_counter_ns(), attrs={"sql": sql},
-            )
-            # statements executed on this thread now nest under the
-            # client's span instead of opening their own trace
-            token = tracer.set_wire_context(trace_id, wire_span.span_id)
-        try:
-            if self._copy_needs_data(sql):
-                copy_data = self._receive_copy_data(rfile, wfile)
-                if copy_data is None:
-                    raise DatabaseError("COPY aborted by client")
-                result = conn.execute(sql, copy_data=copy_data)
-            else:
-                result = conn.execute(sql)
-        except ProtocolError:
-            raise  # framing is broken; drop the connection
-        except Exception as exc:  # errors travel the wire, never kill the server
-            if wire_span is not None:
-                wire_span.end_ns = time.perf_counter_ns()
-                wire_span.status = "error"
-                tracer.record_span(wire_span)
-            self._send_error(wfile, exc)
+        except ProtocolError as exc:
+            # a broken frame is unrecoverable for the stream, but tell the
+            # peer why before hanging up (torn writes here are harmless)
+            try:
+                self._send(wfile, b"E", str(exc).encode("utf-8"))
+                wfile.flush()
+            except (OSError, ValueError):
+                pass
+            return
+        except ConnectionError:
             return
         finally:
-            if token is not None:
-                tracer.reset_wire_context(token)
-        if wire_span is None:
-            self._send_result(result, wfile, config, started)
-            return
-        serialize_start = time.perf_counter_ns()
-        self._send_result(result, wfile, config, started)
-        serialize_end = time.perf_counter_ns()
-        tracer.record_span(Span(
-            wire_span.trace_id, new_span_id(), wire_span.span_id,
-            "serialize", "phase", wire_span.session, serialize_start,
-            end_ns=serialize_end,
-            attrs={"rows": result.nrows if result is not None else 0},
-        ))
-        wire_span.end_ns = serialize_end
-        tracer.record_span(wire_span)
-
-    def _copy_needs_data(self, sql: str) -> bool:
-        """True for a single ``COPY ... FROM STDIN`` on the columnar engine."""
-        if self.engine_kind != "columnar":
-            return False
-        try:
-            from repro.sql import ast
-            from repro.sql.parser import parse
-
-            statements = parse(sql)
-        except Exception:
-            return False  # let execute() raise the real error
-        return (
-            len(statements) == 1
-            and isinstance(statements[0], ast.CopyFromStmt)
-            and statements[0].path is None
-        )
+            session.close()
 
     def _receive_copy_data(self, rfile, wfile) -> bytes | None:
         """``G`` handshake: collect streamed ``d`` frames until ``c``/``f``."""
@@ -369,7 +198,7 @@ class Server:
         wfile.flush()
         parts = []
         while True:
-            mtype, payload = read_message(rfile)
+            mtype, payload = read_message(rfile, self.max_payload)
             if mtype is None:
                 raise ProtocolError("client closed the connection during COPY")
             self._stats_incr("bytes_received", HEADER_BYTES + len(payload))
@@ -384,43 +213,6 @@ class Server:
                     f"unexpected message {mtype!r} during COPY input"
                 )
 
-    def _send_result(self, result, wfile, config: ProtocolConfig, started) -> None:
-        copy_text = getattr(result, "copy_text", None)
-        if copy_text is not None:
-            # COPY ... TO STDOUT: stream the CSV payload ahead of the
-            # ordinary result sequence (which carries the export row count)
-            self._send(wfile, b"H", b"")
-            payload = copy_text.encode("utf-8")
-            for start in range(0, len(payload), COPY_CHUNK_BYTES):
-                self._send(
-                    wfile, b"d", payload[start : start + COPY_CHUNK_BYTES]
-                )
-        if result is None:
-            nrows = 0
-        else:
-            names = result.names
-            types = [
-                result._materialized.columns[i].type.name
-                for i in range(result.ncols)
-            ]
-            description = "\t".join(
-                f"{name}:{type_}" for name, type_ in zip(names, types)
-            )
-            self._send(wfile, b"D", description.encode("utf-8"))
-            rows = result.fetchall()
-            batch = config.rows_per_message
-            for start in range(0, len(rows), batch):
-                self._send(
-                    wfile, b"R", encode_rows(rows[start : start + batch], config)
-                )
-            nrows = len(rows)
-        elapsed_us = int((time.perf_counter() - started) * 1e6)
-        # "C" payload: row count plus server-side execution time, so clients
-        # can surface per-query stats without a second round trip.
-        self._send(wfile, b"C", f"{nrows} time_us={elapsed_us}".encode("utf-8"))
-        self._send(wfile, b"Z", b"")
-        wfile.flush()
-
 
 def spawn_server_process(
     engine: str = "columnar",
@@ -428,11 +220,13 @@ def spawn_server_process(
     directory: str | None = None,
     timeout: float | None = None,
     startup_wait: float = 15.0,
+    use_async: bool = False,
 ):
     """Start a server in a separate Python process; returns (process, port).
 
     The separate process gives the socket configurations their own memory
     space and interpreter, as in the paper's client/server measurements.
+    ``use_async`` spawns the asyncio front end instead of the threaded one.
     """
     args = [
         sys.executable,
@@ -445,6 +239,8 @@ def spawn_server_process(
         "--port",
         "0",
     ]
+    if use_async:
+        args.append("--async")
     if directory:
         args += ["--directory", directory]
     if timeout:
