@@ -733,9 +733,13 @@ class Connection:
                     lines = trace.render().split("\n")
                 self._stats_incr("traced_queries")
             else:
+                from repro.exec.fragments import render_fragments
+
                 lines = render_plan(optimized.plan).split("\n")
                 lines.append("")
                 lines.extend(program.render().split("\n"))
+                lines.append("")
+                lines.extend(render_fragments(program))
             if autocommit:
                 self._database.txn_manager.commit(txn)
         except Exception as exc:

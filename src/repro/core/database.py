@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.cache import PlanCache, ResultCache
 from repro.errors import DatabaseLockedError, StartupError
+from repro.exec.stats import ExecStats
 from repro.index import IndexManager
 from repro.mal.interpreter import ExecutionConfig
 from repro.obs import MetricsRegistry, QueryLog, SpanTracer
@@ -116,7 +117,9 @@ class Database:
             buffer_size=self.config.span_buffer_size,
             metrics=self.metrics,
         )
+        self.exec_stats = ExecStats(self.metrics)
         self._session_lock = threading.Lock()
+        self._shutdown_lock = threading.Lock()
         self._sessions: dict = {}
         self._session_seq = itertools.count(1)
         #: ring buffer behind sys.copy_history; rejects of the last COPY
@@ -333,15 +336,26 @@ class Database:
         state must be reset so the process can start a fresh database.
         """
         global _active
-        if not self._open:
-            return
-        if self.directory is not None:
-            self.checkpoint()
-            if self.wal is not None:
-                self.wal.close()
-        if self._pool is not None:
-            self._pool.shutdown(wait=False)
-            self._pool = None
+        with self._shutdown_lock:
+            if not self._open:
+                return  # concurrent caller already tore everything down
+            # refuse new work first, then drain the pool: in-flight chunk
+            # and morsel tasks may still be reading table versions that the
+            # teardown below frees — shutdown(wait=False) raced them
+            self._open = False
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+            if self.directory is not None:
+                self.checkpoint()
+                if self.wal is not None:
+                    self.wal.close()
+            self._teardown()
+        with _instance_lock:
+            if _active is self:
+                _active = None
+
+    def _teardown(self) -> None:
         self.index_manager.clear()
         self.catalog.clear()
         self.query_log.clear()
@@ -352,7 +366,3 @@ class Database:
         self.copy_rejects.clear()
         with self._session_lock:
             self._sessions.clear()
-        self._open = False
-        with _instance_lock:
-            if _active is self:
-                _active = None

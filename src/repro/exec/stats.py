@@ -1,0 +1,85 @@
+"""Live morsel-executor counters behind ``sys.exec_stats``.
+
+One :class:`ExecStats` instance lives on each :class:`~repro.core.database.
+Database`; the executor updates it from the coordinator and worker
+threads, and the ``sys.exec_stats`` virtual table snapshots it per query.
+All mutation happens under one lock — the update frequency is bounded by
+the morsel rate (morsels are tens of thousands of rows), so contention is
+negligible next to kernel work.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["ExecStats"]
+
+
+class ExecStats:
+    """Cumulative and live counters of the morsel executor."""
+
+    def __init__(self, metrics=None):
+        self._lock = threading.Lock()
+        self._metrics = metrics
+        self.fragments_started = 0
+        self.fragments_completed = 0
+        self.morsels_dispatched = 0
+        self.morsels_completed = 0
+        self.rows_processed = 0
+        self.busy_ns = 0
+        self.wall_ns = 0
+        #: morsels queued but not yet finished, across in-flight fragments
+        self.queue_depth = 0
+        #: workers of the most recent fragment
+        self.last_workers = 0
+        #: busy/wall utilization of the most recent fragment
+        self.last_utilization = 0.0
+
+    def fragment_started(self, morsels: int, workers: int) -> None:
+        with self._lock:
+            self.fragments_started += 1
+            self.morsels_dispatched += morsels
+            self.queue_depth += morsels
+            self.last_workers = workers
+        if self._metrics is not None:
+            self._metrics.incr("exec_fragments")
+            self._metrics.incr("exec_morsels", morsels)
+            self._metrics.set_gauge("exec_queue_depth", self.queue_depth)
+
+    def morsel_completed(self, rows: int) -> None:
+        with self._lock:
+            self.morsels_completed += 1
+            self.rows_processed += rows
+            self.queue_depth = max(0, self.queue_depth - 1)
+
+    def fragment_finished(
+        self, busy_ns: int, wall_ns: int, workers: int, aborted_morsels: int = 0
+    ) -> None:
+        with self._lock:
+            self.fragments_completed += 1
+            self.busy_ns += busy_ns
+            self.wall_ns += wall_ns
+            self.queue_depth = max(0, self.queue_depth - aborted_morsels)
+            denom = wall_ns * max(1, workers)
+            self.last_utilization = busy_ns / denom if denom > 0 else 0.0
+        if self._metrics is not None:
+            self._metrics.set_gauge(
+                "exec_worker_utilization", self.last_utilization
+            )
+            self._metrics.set_gauge("exec_queue_depth", self.queue_depth)
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time copy for ``sys.exec_stats``."""
+        with self._lock:
+            return {
+                "fragments_started": self.fragments_started,
+                "fragments_completed": self.fragments_completed,
+                "morsels_dispatched": self.morsels_dispatched,
+                "morsels_completed": self.morsels_completed,
+                "rows_processed": self.rows_processed,
+                "queue_depth": self.queue_depth,
+                "busy_ms": self.busy_ns / 1e6,
+                "wall_ms": self.wall_ns / 1e6,
+                "last_workers": self.last_workers,
+                "last_utilization": self.last_utilization,
+            }

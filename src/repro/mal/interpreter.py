@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.algebra import expr as E
 from repro.errors import DatabaseError, QueryTimeoutError
+from repro.exec.morsels import morsel_bounds, pack_values
 from repro.mal import operators as ops
 from repro.mal.codegen import compile_select
 from repro.mal.program import MALProgram
@@ -83,6 +84,11 @@ class ExecutionConfig:
     parallel: bool = False
     max_workers: int = 4
     min_parallel_rows: int = 1 << 16
+    #: target rows per morsel for both parallel execution paths
+    morsel_rows: int = 1 << 16
+    #: "morsel" runs whole pipeline fragments per morsel (repro.exec);
+    #: "chunked" restricts parallelism to the legacy per-instruction tactic
+    executor: str = "morsel"
     use_imprints: bool = True
     use_hash_index: bool = True
     use_order_index: bool = True
@@ -320,9 +326,12 @@ class Interpreter:
 
     def _run_program(self, program: MALProgram) -> MaterializedResult:
         spans = self.ctx.spans
+        skip = self._maybe_morsel(program)
         if self.ctx.trace is not None or (spans is not None and spans.deep):
-            return self._run_instrumented(program, self.ctx.trace, spans)
+            return self._run_instrumented(program, self.ctx.trace, spans, skip)
         for instruction in program.instructions:
+            if skip is not None and instruction.var in skip:
+                continue
             self.ctx.check_deadline()
             handler = getattr(self, f"_op_{instruction.op}", None)
             if handler is None:
@@ -332,14 +341,35 @@ class Interpreter:
             raise DatabaseError("program produced no result")
         return self._result
 
+    def _maybe_morsel(self, program: MALProgram):
+        """Delegate the program's pipeline fragment to the morsel executor.
+
+        Returns the set of vars the executor already produced (the loops
+        skip those instructions), or None to run everything sequentially.
+        A flat instruction trace (EXPLAIN ANALYZE) disables delegation so
+        the per-instruction profile reflects what actually ran.
+        """
+        config = self.ctx.config
+        if (
+            not config.parallel
+            or config.executor != "morsel"
+            or self.ctx.trace is not None
+        ):
+            return None
+        from repro.exec.executor import try_morsel_execute
+
+        return try_morsel_execute(self, program)
+
     def _run_instrumented(self, program: MALProgram, trace,
-                          spans) -> MaterializedResult:
+                          spans, skip=None) -> MaterializedResult:
         """Same execution as :meth:`run`, recording one profile and/or one
         instruction span per executed instruction.  A separate loop keeps
         the untraced hot path free of per-instruction bookkeeping."""
         deep = spans is not None and spans.deep
         started = time.perf_counter_ns()
         for index, instruction in enumerate(program.instructions):
+            if skip is not None and instruction.var in skip:
+                continue
             self.ctx.check_deadline()
             handler = getattr(self, f"_op_{instruction.op}", None)
             if handler is None:
@@ -744,8 +774,7 @@ class Interpreter:
         ):
             return kernel(inputs)
         workers = max(1, config.max_workers)
-        chunk = max(config.min_parallel_rows // 2, -(-n // workers))
-        bounds = [(s, min(s + chunk, n)) for s in range(0, n, chunk)]
+        bounds = morsel_bounds(n, config.morsel_rows, workers)
         if len(bounds) <= 1:
             return kernel(inputs)
 
@@ -779,7 +808,7 @@ class Interpreter:
         pool = self.ctx.database.thread_pool
         self._tactic = f"chunked:{len(bounds)}"
         results = list(pool.map(run_chunk, bounds))
-        return _pack_chunks(results, n)
+        return pack_values(results)
 
     # -- index-accelerated selection -------------------------------------------------------------------
 
@@ -905,25 +934,3 @@ def _simple_range(conjunct):
     return None
 
 
-def _pack_chunks(results: list, n: int):
-    """Concatenate chunked kernel outputs (the "pack" of paper Figure 2)."""
-    first = results[0]
-    if isinstance(first, BoolVec):
-        truth = np.concatenate([r.truth for r in results])
-        if any(r.valid is not None for r in results):
-            valid = np.concatenate(
-                [
-                    r.valid
-                    if r.valid is not None
-                    else np.ones(len(r.truth), dtype=bool)
-                    for r in results
-                ]
-            )
-            return BoolVec(truth, valid)
-        return BoolVec(truth)
-    if isinstance(first, V):
-        if first.is_scalar:
-            return first
-        datas = [r.data for r in results]
-        return V(first.type, np.concatenate(datas), first.heap)
-    return np.concatenate(results)

@@ -133,12 +133,18 @@ def aggregate(func: str, arg: V | None, gids, ngroups: int, distinct: bool = Fal
     floats = _as_float(arg, data, nulls)
 
     if func == "sum":
-        sums = np.bincount(gids[present], weights=floats[present], minlength=ngroups)
         counts = np.bincount(gids[present], minlength=ngroups)
-        if arg.type.category == T.TypeCategory.INTEGER:
+        if arg.type.category in (T.TypeCategory.INTEGER, T.TypeCategory.DECIMAL):
+            # exact integer accumulation in the storage domain; decimals
+            # descale once at the end, so the result is independent of the
+            # summation order (sequential and morsel-partial paths agree
+            # bit for bit)
             out = np.zeros(ngroups, dtype=np.int64)
             np.add.at(out, gids[present], data[present].astype(np.int64))
+            if arg.type.category == T.TypeCategory.DECIMAL:
+                return out.astype(np.float64) / 10**arg.type.scale, counts == 0
             return out, counts == 0
+        sums = np.bincount(gids[present], weights=floats[present], minlength=ngroups)
         return sums, counts == 0
     if func == "avg":
         sums = np.bincount(gids[present], weights=floats[present], minlength=ngroups)

@@ -17,6 +17,8 @@ the equivalent set for the embedded engine:
 ``sys.rejects``       rejected records of the last BEST EFFORT COPY
 ``sys.trace_events``  retained spans from the hierarchical span tracer
 ``sys.active_queries``  in-flight statements with live progress estimates
+``sys.exec_stats``    live morsel-executor counters (fragments, morsels,
+                      queue depth, worker utilization)
 ================  ============================================================
 
 :func:`register_sys_tables` is called once from ``Database.__init__``; the
@@ -135,6 +137,19 @@ _TRACE_EVENT_COLUMNS = (
     ("rss_delta", T.BIGINT),
     ("tactic", T.STRING),
     ("status", T.STRING),
+)
+
+_EXEC_STAT_COLUMNS = (
+    ("fragments_started", T.BIGINT),
+    ("fragments_completed", T.BIGINT),
+    ("morsels_dispatched", T.BIGINT),
+    ("morsels_completed", T.BIGINT),
+    ("rows_processed", T.BIGINT),
+    ("queue_depth", T.BIGINT),
+    ("busy_ms", T.DOUBLE),
+    ("wall_ms", T.DOUBLE),
+    ("last_workers", T.BIGINT),
+    ("last_utilization", T.DOUBLE),
 )
 
 _ACTIVE_QUERY_COLUMNS = (
@@ -290,6 +305,12 @@ def _trace_event_rows(database) -> list:
     return rows
 
 
+def _exec_stat_rows(database) -> list:
+    """One row: the live morsel-executor counters (see repro.exec.stats)."""
+    snap = database.exec_stats.snapshot()
+    return [tuple(snap[name] for name, _ in _EXEC_STAT_COLUMNS)]
+
+
 def _active_query_rows(database) -> list:
     """In-flight statements; progress = rows processed / optimizer estimate.
 
@@ -321,6 +342,8 @@ def register_sys_tables(database) -> None:
          lambda: _trace_event_rows(database)),
         ("active_queries", _ACTIVE_QUERY_COLUMNS,
          lambda: _active_query_rows(database)),
+        ("exec_stats", _EXEC_STAT_COLUMNS,
+         lambda: _exec_stat_rows(database)),
     )
     for name, columns, generator in tables:
         database.catalog.register_virtual(

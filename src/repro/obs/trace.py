@@ -190,7 +190,7 @@ def instruction_inputs(instruction) -> tuple:
         return tuple(args[0]) + tuple(args[1]) + anchors
     if op == "semijoin":
         return tuple(args[0]) + tuple(args[1])
-    if op in ("groupby", "sort", "distinct", "result"):
+    if op in ("groupby", "sort", "topn", "distinct", "result"):
         return tuple(args[0])
     if op == "agg":
         # (func, arg_var, gids_var, group_var, distinct, anchor_var, rtype)
