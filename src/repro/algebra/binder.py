@@ -87,10 +87,35 @@ class Scope:
 
 
 class Binder:
-    """Stateless binder over a schema-lookup callable."""
+    """Binder over a schema-lookup callable.
+
+    ``_cte_frames`` is the stack of WITH-clause environments: one frame
+    per enclosing statement carrying CTEs, innermost last.  Each entry
+    snapshots the environment visible to that CTE's own body (earlier
+    CTEs of the same clause plus enclosing frames), giving non-recursive
+    semantics with proper shadowing.
+    """
 
     def __init__(self, lookup_schema: Callable):
         self._lookup_schema = lookup_schema
+        self._cte_frames: list[dict] = []
+
+    def _push_ctes(self, ctes: tuple) -> bool:
+        if not ctes:
+            return False
+        frame: dict = {}
+        for cte in ctes:
+            if cte.name in frame:
+                raise BindError(f"duplicate CTE name {cte.name!r}")
+            frame[cte.name] = (cte, dict(frame), list(self._cte_frames))
+        self._cte_frames.append(frame)
+        return True
+
+    def _resolve_cte(self, name: str):
+        for frame in reversed(self._cte_frames):
+            if name in frame:
+                return frame[name]
+        return None
 
     # -- statement dispatch ------------------------------------------------------
 
@@ -161,6 +186,16 @@ class Binder:
         self, stmt: ast.SelectStmt, outer: Scope | None
     ) -> N.BoundSelect:
         """Bind a full query block into a plan with a Project on top."""
+        pushed = self._push_ctes(stmt.ctes)
+        try:
+            return self._bind_select_block(stmt, outer)
+        finally:
+            if pushed:
+                self._cte_frames.pop()
+
+    def _bind_select_block(
+        self, stmt: ast.SelectStmt, outer: Scope | None
+    ) -> N.BoundSelect:
         core, scope = self._bind_core(stmt, outer)
 
         has_aggregates = bool(stmt.group_by) or any(
@@ -192,6 +227,14 @@ class Binder:
         return N.BoundSelect(plan, names)
 
     def _bind_setop(self, stmt: ast.SetOpStmt) -> N.BoundSelect:
+        pushed = self._push_ctes(stmt.ctes)
+        try:
+            return self._bind_setop_inner(stmt)
+        finally:
+            if pushed:
+                self._cte_frames.pop()
+
+    def _bind_setop_inner(self, stmt: ast.SetOpStmt) -> N.BoundSelect:
         left = (
             self._bind_setop(stmt.left)
             if isinstance(stmt.left, ast.SetOpStmt)
@@ -256,12 +299,13 @@ class Binder:
         for order in order_by:
             oexpr = order.expr
             slot = None
-            if isinstance(oexpr, ast.Literal) and isinstance(oexpr.value, int):
-                if not 1 <= oexpr.value <= len(names):
+            ordinal = _order_ordinal(oexpr)
+            if ordinal is not None:
+                if not 1 <= ordinal <= len(names):
                     raise BindError(
-                        f"ORDER BY position {oexpr.value} out of range"
+                        f"ORDER BY position {ordinal} out of range"
                     )
-                slot = oexpr.value - 1
+                slot = ordinal - 1
             elif (
                 isinstance(oexpr, ast.ColumnRef)
                 and oexpr.table is None
@@ -340,6 +384,10 @@ class Binder:
 
     def _bind_table_ref(self, ref: ast.TableRef, scope: Scope) -> N.LogicalNode:
         if isinstance(ref, ast.BaseTable):
+            if "." not in ref.name:
+                entry = self._resolve_cte(ref.name.lower())
+                if entry is not None:
+                    return self._bind_cte_use(entry, ref, scope)
             schema: TableSchema = self._lookup_schema(ref.name)
             output = [N.OutputColumn(c.name.lower(), c.type) for c in schema.columns]
             # a qualified name (sys.queries) is addressable by its last
@@ -348,7 +396,10 @@ class Binder:
             scope.add_relation(alias, output)
             return N.Scan(schema.name, list(range(len(output))), output)
         if isinstance(ref, ast.SubqueryRef):
-            bound = self.bind_select(ref.select, outer=scope.outer)
+            if isinstance(ref.select, ast.SetOpStmt):
+                bound = self._bind_setop(ref.select)
+            else:
+                bound = self.bind_select(ref.select, outer=scope.outer)
             output = [
                 N.OutputColumn(name.lower(), col.type)
                 for name, col in zip(bound.column_names, bound.plan.output)
@@ -360,6 +411,40 @@ class Binder:
         if isinstance(ref, ast.JoinRef):
             return self._bind_join_ref(ref, scope)
         raise BindError(f"unsupported FROM item {type(ref).__name__}")
+
+    def _bind_cte_use(self, entry, ref: ast.BaseTable, scope: Scope):
+        """Expand one use of a CTE as a named derived table.
+
+        The body binds in the environment captured at its definition
+        (earlier CTEs of the same WITH clause plus enclosing clauses),
+        which both shadows catalog tables and forbids self/forward
+        references.  Every use re-binds the body — the plan cache above
+        us dedupes repeated statements, not repeated CTE references.
+        """
+        cte, partial_frame, lower_frames = entry
+        saved = self._cte_frames
+        self._cte_frames = list(lower_frames) + [partial_frame]
+        try:
+            if isinstance(cte.statement, ast.SetOpStmt):
+                bound = self._bind_setop(cte.statement)
+            else:
+                bound = self.bind_select(cte.statement, outer=None)
+        finally:
+            self._cte_frames = saved
+        names = list(cte.columns) if cte.columns else bound.column_names
+        if len(names) != len(bound.plan.output):
+            raise BindError(
+                f"CTE {cte.name!r} declares {len(names)} columns but its "
+                f"query produces {len(bound.plan.output)}"
+            )
+        output = [
+            N.OutputColumn(name.lower(), col.type)
+            for name, col in zip(names, bound.plan.output)
+        ]
+        plan = bound.plan
+        plan = _RenamedPlan(plan, output) if output != plan.output else plan
+        scope.add_relation((ref.alias or cte.name).lower(), output)
+        return plan
 
     def _bind_join_ref(self, ref: ast.JoinRef, scope: Scope) -> N.LogicalNode:
         base = len(scope)
@@ -673,6 +758,12 @@ class Binder:
     # -- projections / aggregation -----------------------------------------------------------
 
     def _bind_plain_projection(self, stmt, core, scope):
+        window_calls: list[ast.FunctionCall] = []
+        for item in stmt.items:
+            if not isinstance(item.expr, ast.Star):
+                _collect_windows(item.expr, window_calls)
+        if window_calls:
+            return self._bind_window_projection(stmt, core, scope, window_calls)
         exprs: list[E.BoundExpr] = []
         names: list[str] = []
         for item in stmt.items:
@@ -693,6 +784,145 @@ class Binder:
             N.OutputColumn(name.lower(), e.type) for name, e in zip(names, exprs)
         ]
         return N.Project(core, exprs, output), [n.lower() for n in names]
+
+    # -- window functions --------------------------------------------------------------------
+
+    _RANKING_FUNCS = frozenset(["row_number", "rank", "dense_rank"])
+    _WINDOW_AGG_FUNCS = frozenset(["sum", "avg", "count", "min", "max"])
+
+    def _bind_window_projection(self, stmt, core, scope, window_calls):
+        """Projection over one or more Window nodes.
+
+        Distinct OVER specifications each get their own Window node,
+        stacked above the core; every Window passes its child's columns
+        through at the same slots and appends one column per function,
+        so core-slot expressions stay valid at any height.
+        """
+        by_spec: dict = {}
+        for call in window_calls:
+            by_spec.setdefault(call.over, []).append(call)
+
+        plan: N.LogicalNode = core
+        slot_of: dict = {}
+        next_slot = len(core.output)
+        for spec, spec_calls in by_spec.items():
+            partition_exprs = [
+                self._bind_expr(p, scope) for p in spec.partition_by
+            ]
+            order_keys = [
+                N.SortKey(
+                    self._bind_expr(o.expr, scope), o.descending, o.nulls_first
+                )
+                for o in spec.order_by
+            ]
+            frame = _normalize_window_frame(spec)
+            funcs: list[N.WindowFunc] = []
+            for call in spec_calls:
+                funcs.append(self._bind_window_func(call, scope, frame))
+            output = list(plan.output) + [
+                N.OutputColumn(f"w{next_slot + i}", f.type)
+                for i, f in enumerate(funcs)
+            ]
+            plan = N.Window(
+                plan, partition_exprs, order_keys, frame, funcs, output
+            )
+            for call, func in zip(spec_calls, funcs):
+                slot_of[call] = E.SlotRef(next_slot, func.type)
+                next_slot += 1
+
+        def bind_item(node: ast.Expression) -> E.BoundExpr:
+            if isinstance(node, ast.FunctionCall) and node.over is not None:
+                return slot_of[node]
+            if isinstance(
+                node,
+                (ast.ColumnRef, ast.ScalarSubquery, ast.Exists, ast.InSubquery),
+            ):
+                return self._bind_expr_inner(node, scope)
+            return self._rebind_composite(node, bind_item)
+
+        exprs: list[E.BoundExpr] = []
+        names: list[str] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                for slot, (alias, cname, ctype) in enumerate(scope.entries):
+                    if item.expr.table is None or alias == item.expr.table.lower():
+                        exprs.append(E.SlotRef(slot, ctype, cname))
+                        names.append(cname)
+                continue
+            bound = self._fold(bind_item(item.expr))
+            if bound.type is None:
+                raise BindError(_PARAM_CAST_HINT)
+            exprs.append(bound)
+            names.append(item.alias or _expression_name(item.expr, len(names)))
+        output = [
+            N.OutputColumn(name.lower(), e.type) for name, e in zip(names, exprs)
+        ]
+        return N.Project(plan, exprs, output), [n.lower() for n in names]
+
+    def _bind_window_func(
+        self, call: ast.FunctionCall, scope: Scope, frame
+    ) -> N.WindowFunc:
+        func = call.name
+        if func in self._RANKING_FUNCS:
+            if call.args:
+                raise BindError(f"{func}() takes no arguments")
+            if call.distinct:
+                raise BindError(f"DISTINCT is not valid in {func}()")
+            if call.filter_where is not None:
+                raise BindError(
+                    "FILTER is only valid on aggregate window functions"
+                )
+            return N.WindowFunc(func, None, T.BIGINT)
+        if func not in self._WINDOW_AGG_FUNCS:
+            raise BindError(f"{func}() is not a supported window function")
+        if call.distinct:
+            raise BindError(
+                "DISTINCT aggregates are not supported as window functions"
+            )
+        star = bool(call.args) and isinstance(call.args[0], ast.Star)
+        if func == "count" and (not call.args or star):
+            func, arg = "count_star", None
+        else:
+            if len(call.args) != 1 or star:
+                raise BindError(f"{func}() takes exactly one argument")
+            if _contains_aggregate(call.args[0]) or _contains_window(
+                call.args[0]
+            ):
+                raise BindError(
+                    f"nested aggregates or windows in {func}() OVER"
+                )
+            arg = self._bind_expr(call.args[0], scope)
+            if arg.type is None:
+                raise BindError(_PARAM_CAST_HINT)
+            if func in ("sum", "avg") and not arg.type.is_numeric:
+                raise BindError(f"{func}() requires a numeric argument")
+        if call.filter_where is not None:
+            # FILTER desugars into a NULL-masking CASE: NULLs never
+            # contribute to sum/avg/min/max/count, so the masked column
+            # aggregates identically to the filtered row set
+            pred = self._coerce_predicate(
+                self._bind_expr(call.filter_where, scope)
+            )
+            if func == "count_star":
+                func = "count"
+                arg = E.CaseWhen(
+                    ((pred, E.Const(1, T.INTEGER)),), None, T.INTEGER
+                )
+            else:
+                arg = E.CaseWhen(((pred, arg),), None, arg.type)
+        if func in ("min", "max") and frame is not None:
+            unit, start, end = frame
+            if start != ("unbounded_preceding",) or end != ("current_row",):
+                raise BindError(
+                    f"{func}() OVER supports only whole-partition or "
+                    "UNBOUNDED PRECEDING .. CURRENT ROW frames"
+                )
+        rtype = (
+            T.BIGINT
+            if func in ("count", "count_star")
+            else aggregate_result_type(func, arg.type)
+        )
+        return N.WindowFunc(func, arg, rtype)
 
     def _bind_aggregate_query(self, stmt, core, scope):
         aliases = {
@@ -716,6 +946,14 @@ class Binder:
             for index, g_ast in enumerate(group_asts):
                 if expression == g_ast:
                     return E.SlotRef(index, group_exprs[index].type)
+            if (
+                isinstance(expression, ast.FunctionCall)
+                and expression.over is not None
+            ):
+                raise BindError(
+                    "window functions cannot be combined with GROUP BY or "
+                    "aggregates; use a CTE or derived table"
+                )
             if isinstance(expression, ast.FunctionCall) and (
                 expression.name in AGGREGATE_FUNCS
             ):
@@ -762,10 +1000,17 @@ class Binder:
 
     def _bind_aggregate(self, call: ast.FunctionCall, scope: Scope) -> E.AggSpec:
         func = call.name
+        filter_pred = None
+        if call.filter_where is not None:
+            if _contains_aggregate(call.filter_where):
+                raise BindError("aggregates are not allowed in FILTER")
+            filter_pred = self._coerce_predicate(
+                self._bind_expr(call.filter_where, scope)
+            )
         if func == "count" and (
             not call.args or isinstance(call.args[0], ast.Star)
         ):
-            return E.AggSpec("count_star", None, T.BIGINT)
+            return E.AggSpec("count_star", None, T.BIGINT, False, filter_pred)
         if len(call.args) != 1:
             raise BindError(f"{func}() takes exactly one argument")
         if _contains_aggregate(call.args[0]):
@@ -777,7 +1022,13 @@ class Binder:
             not arg.type.is_numeric
         ):
             raise BindError(f"{func}() requires a numeric argument")
-        return E.AggSpec(func, arg, aggregate_result_type(func, arg.type), call.distinct)
+        return E.AggSpec(
+            func,
+            arg,
+            aggregate_result_type(func, arg.type),
+            call.distinct,
+            filter_pred,
+        )
 
     def _rebind_composite(self, expression: ast.Expression, recurse) -> E.BoundExpr:
         """Bind a composite AST node whose children are bound via ``recurse``."""
@@ -803,12 +1054,30 @@ class Binder:
         if isinstance(expression, ast.Parameter):
             return E.Param(expression.index)
         if isinstance(expression, ast.FunctionCall):
+            if expression.over is not None:
+                raise BindError(
+                    "window functions are only allowed in the select list"
+                )
+            if expression.filter_where is not None:
+                raise BindError(
+                    "FILTER is only valid on aggregate function calls"
+                )
             args = [recurse(a) for a in expression.args]
             return self._make_function(expression.name, args)
         if isinstance(expression, ast.ExtractExpr):
             return self._make_function(expression.unit, [recurse(expression.operand)])
         if isinstance(expression, ast.IsNull):
             return E.IsNullExpr(recurse(expression.operand), expression.negated)
+        if isinstance(expression, ast.IsDistinctFrom):
+            return self._make_is_distinct(
+                recurse(expression.left),
+                recurse(expression.right),
+                expression.negated,
+            )
+        if isinstance(expression, (ast.Exists, ast.InSubquery, ast.ScalarSubquery)):
+            # post-aggregation contexts only admit uncorrelated subqueries:
+            # bind against an empty scope so stray column refs fail cleanly
+            return self._bind_expr_inner(expression, Scope())
         if isinstance(expression, ast.Between):
             operand = recurse(expression.operand)
             low = self._make_binary(">=", operand, recurse(expression.low))
@@ -836,10 +1105,11 @@ class Binder:
         for order in stmt.order_by:
             slot = None
             oexpr = order.expr
-            if isinstance(oexpr, ast.Literal) and isinstance(oexpr.value, int):
-                if not 1 <= oexpr.value <= len(names):
-                    raise BindError(f"ORDER BY position {oexpr.value} out of range")
-                slot = oexpr.value - 1
+            ordinal = _order_ordinal(oexpr)
+            if ordinal is not None:
+                if not 1 <= ordinal <= len(names):
+                    raise BindError(f"ORDER BY position {ordinal} out of range")
+                slot = ordinal - 1
             elif isinstance(oexpr, ast.ColumnRef) and oexpr.table is None:
                 lowered = oexpr.name.lower()
                 if lowered in names:
@@ -875,10 +1145,11 @@ class Binder:
         for order in stmt.order_by:
             oexpr = order.expr
             slot = None
-            if isinstance(oexpr, ast.Literal) and isinstance(oexpr.value, int):
-                if not 1 <= oexpr.value <= len(names):
-                    raise BindError(f"ORDER BY position {oexpr.value} out of range")
-                slot = oexpr.value - 1
+            ordinal = _order_ordinal(oexpr)
+            if ordinal is not None:
+                if not 1 <= ordinal <= len(names):
+                    raise BindError(f"ORDER BY position {ordinal} out of range")
+                slot = ordinal - 1
             elif (
                 isinstance(oexpr, ast.ColumnRef)
                 and oexpr.table is None
@@ -948,9 +1219,17 @@ class Binder:
             )
             return self._make_binary("-", zero, operand)
         if isinstance(expression, ast.FunctionCall):
+            if expression.over is not None:
+                raise BindError(
+                    "window functions are only allowed in the select list"
+                )
             if expression.name in AGGREGATE_FUNCS:
                 raise BindError(
                     f"aggregate {expression.name}() not allowed in this context"
+                )
+            if expression.filter_where is not None:
+                raise BindError(
+                    "FILTER is only valid on aggregate function calls"
                 )
             args = [self._bind_expr(a, scope) for a in expression.args]
             return self._make_function(expression.name, args)
@@ -995,10 +1274,19 @@ class Binder:
             return E.ScalarSubqueryExpr(
                 bound, bound.plan.output[0].type, correlated
             )
-        if isinstance(expression, (ast.Exists, ast.InSubquery)):
-            raise BindError(
-                "EXISTS/IN-subquery only supported as a top-level WHERE conjunct"
+        if isinstance(expression, ast.IsDistinctFrom):
+            left = self._bind_expr(expression.left, scope)
+            right = self._bind_expr(expression.right, scope)
+            return self._make_is_distinct(left, right, expression.negated)
+        if isinstance(expression, ast.Exists):
+            bound = self.bind_select(expression.subquery, outer=scope)
+            return E.ExistsSubqueryExpr(
+                bound,
+                negated=expression.negated,
+                correlated=_plan_has_outer_refs(bound.plan),
             )
+        if isinstance(expression, ast.InSubquery):
+            return self._bind_in_subquery_expr(expression, scope)
         if isinstance(expression, ast.Star):
             raise BindError("'*' is only valid in the select list or COUNT(*)")
         raise BindError(f"cannot bind expression {type(expression).__name__}")
@@ -1175,6 +1463,17 @@ class Binder:
     def _make_function(self, name: str, args: list) -> E.BoundExpr:
         if any(a.type is None for a in args):
             raise BindError(_PARAM_CAST_HINT)
+        if name == "nullif":
+            # NULLIF(a, b) == CASE WHEN a = b THEN NULL ELSE a END; an
+            # UNKNOWN comparison (either side NULL) falls through to ``a``
+            if len(args) != 2:
+                raise BindError("nullif() takes exactly two arguments")
+            left, right = self._coerce_pair(args[0], args[1])
+            return E.CaseWhen(
+                ((E.Compare("=", left, right), E.Const(None, left.type)),),
+                left,
+                left.type,
+            )
         arg_types = [a.type for a in args]
         result = scalar_result_type(name, arg_types)
         if name in ("sqrt", "ln", "exp", "round", "floor", "ceil", "power"):
@@ -1221,6 +1520,97 @@ class Binder:
         return E.LikeExpr(
             operand, pattern, expression.negated, escape=escape
         )
+
+    def _make_is_distinct(
+        self, left: E.BoundExpr, right: E.BoundExpr, negated: bool
+    ) -> E.BoundExpr:
+        """Desugar ``IS [NOT] DISTINCT FROM`` into null-safe Kleene logic.
+
+        The disjunction is always definite (TRUE or FALSE, never UNKNOWN):
+        each branch pins down the NULL-ness of both operands.
+        """
+        left, right = self._coerce_pair(left, right)
+        if left.type is None or right.type is None:
+            raise BindError(_PARAM_CAST_HINT)
+        distinct = E.BoolOp(
+            "or",
+            (
+                E.BoolOp(
+                    "and",
+                    (
+                        E.Compare("<>", left, right),
+                        E.IsNullExpr(left, negated=True),
+                        E.IsNullExpr(right, negated=True),
+                    ),
+                ),
+                E.BoolOp(
+                    "and",
+                    (E.IsNullExpr(left), E.IsNullExpr(right, negated=True)),
+                ),
+                E.BoolOp(
+                    "and",
+                    (E.IsNullExpr(left, negated=True), E.IsNullExpr(right)),
+                ),
+            ),
+        )
+        return E.NotExpr(distinct) if negated else distinct
+
+    def _bind_in_subquery_expr(
+        self, expression: ast.InSubquery, scope: Scope
+    ) -> E.BoundExpr:
+        """``x [NOT] IN (SELECT ...)`` as a *value* (three-valued).
+
+        Unlike the WHERE-conjunct path (where UNKNOWN filters like FALSE),
+        an IN used as an expression must yield NULL when no row matches
+        but the operand or some item is NULL.  Spelled as a CASE over
+        three EXISTS tests; each gets its own fresh binding of the
+        subquery (the plans are structurally identical, so the shared
+        slot-0 comparison applies to all of them).
+        """
+        operand = self._bind_expr(expression.operand, scope)
+        if operand.type is None:
+            raise BindError(_PARAM_CAST_HINT)
+        _single_select_item(expression.subquery)
+        bound = self.bind_select(expression.subquery, outer=scope)
+        item_col = bound.plan.output[0]
+        common = T.common_type(operand.type, item_col.type)
+        left = self._coerce_to(operand, common)
+        right = self._coerce_to(
+            E.SlotRef(0, item_col.type, item_col.name), common
+        )
+        outer_left = _slot_to_outer(left)
+
+        def exists_where(predicate):
+            rebound = self.bind_select(expression.subquery, outer=scope)
+            plan = (
+                rebound.plan
+                if predicate is None
+                else N.Filter(rebound.plan, predicate)
+            )
+            inner = N.BoundSelect(plan, rebound.column_names)
+            return E.ExistsSubqueryExpr(
+                inner, negated=False, correlated=_plan_has_outer_refs(plan)
+            )
+
+        match = exists_where(E.Compare("=", outer_left, right))
+        null_item = exists_where(E.IsNullExpr(right))
+        nonempty = exists_where(None)
+        unknown = E.BoolOp(
+            "or",
+            (
+                E.BoolOp("and", (E.IsNullExpr(left), nonempty)),
+                null_item,
+            ),
+        )
+        result = E.CaseWhen(
+            (
+                (match, E.Const(np.int8(1), T.BOOLEAN)),
+                (unknown, E.Const(None, T.BOOLEAN)),
+            ),
+            E.Const(np.int8(0), T.BOOLEAN),
+            T.BOOLEAN,
+        )
+        return E.NotExpr(result) if expression.negated else result
 
     def _make_in_list(self, expression: ast.InList, recurse) -> E.BoundExpr:
         operand = recurse(expression.operand)
@@ -1285,6 +1675,12 @@ class Binder:
             left, E.Const
         ):
             return E.Const(T.DATE.to_storage(left.value), T.DATE), right
+        # a string *expression* against a DATE parses as a date at runtime
+        # (MonetDB's implicit cast; ISO dates also order the same as text)
+        if lc == T.TypeCategory.DATE and rc == T.TypeCategory.STRING:
+            return left, E.CastExpr(right, T.DATE)
+        if rc == T.TypeCategory.DATE and lc == T.TypeCategory.STRING:
+            return E.CastExpr(left, T.DATE), right
         common = T.common_type(lt, rt)
         return self._coerce_to(left, common), self._coerce_to(right, common)
 
@@ -1451,6 +1847,24 @@ class _RenamedPlan(N.LogicalNode):
         return [self.child]
 
 
+def _order_ordinal(oexpr: ast.Expression) -> int | None:
+    """ORDER BY <signed integer literal> is a 1-based output ordinal.
+
+    Leading unary +/- folds into the literal before the decision, so
+    ``ORDER BY -2`` is position -2 (always out of range), never a
+    constant sort key — matching SQLite and PostgreSQL.
+    """
+    sign = 1
+    while isinstance(oexpr, ast.UnaryOp) and oexpr.op in ("-", "+"):
+        if oexpr.op == "-":
+            sign = -sign
+        oexpr = oexpr.operand
+    value = getattr(oexpr, "value", None)
+    if isinstance(oexpr, ast.Literal) and type(value) is int:
+        return sign * value
+    return None
+
+
 def _output_const(plan: N.LogicalNode, index: int) -> E.Const | None:
     """The constant feeding a plan's output column, if it is one."""
     while isinstance(plan, (N.Filter, N.Sort, N.Limit, N.Distinct, _RenamedPlan)):
@@ -1531,8 +1945,89 @@ def _split_bound_conjuncts(expression: E.BoundExpr) -> list:
     return [expression]
 
 
+def _normalize_window_frame(spec: ast.WindowSpec):
+    """Normalize an OVER spec's frame to ``(unit, start, end)`` or ``None``.
+
+    ``None`` means whole-partition evaluation (no ORDER BY, or a frame
+    spanning the entire partition).  The default frame with ORDER BY is
+    ``RANGE UNBOUNDED PRECEDING .. CURRENT ROW`` (current row plus peers).
+    """
+    up, cr, uf = (
+        ("unbounded_preceding",),
+        ("current_row",),
+        ("unbounded_following",),
+    )
+    frame = spec.frame
+    if frame is None:
+        return ("range", up, cr) if spec.order_by else None
+    start, end = frame.start, frame.end
+    rank = {
+        "unbounded_preceding": 0,
+        "preceding": 1,
+        "current_row": 2,
+        "following": 3,
+        "unbounded_following": 4,
+    }
+    if start == uf or end == up or rank[start[0]] > rank[end[0]]:
+        raise BindError("window frame start may not come after its end")
+    if start == up and end == uf:
+        return None  # whole partition regardless of unit
+    if frame.unit == "range":
+        if start == up and end == cr:
+            return ("range", up, cr) if spec.order_by else None
+        raise BindError(
+            "RANGE frames support only UNBOUNDED PRECEDING .. CURRENT ROW"
+        )
+    if not spec.order_by and (start, end) == (up, cr):
+        return None  # every row is its own frame end; order is unspecified
+    return ("rows", start, end)
+
+
+def _collect_windows(expression: ast.Expression, out: list) -> None:
+    """Gather distinct window-function calls (no descent into subqueries)."""
+    if isinstance(expression, ast.FunctionCall):
+        if expression.over is not None:
+            if expression not in out:
+                out.append(expression)
+            return
+        for arg in expression.args:
+            _collect_windows(arg, out)
+        return
+    if isinstance(expression, ast.BinaryOp):
+        _collect_windows(expression.left, out)
+        _collect_windows(expression.right, out)
+    elif isinstance(expression, ast.UnaryOp):
+        _collect_windows(expression.operand, out)
+    elif isinstance(expression, ast.CaseExpr):
+        if expression.operand is not None:
+            _collect_windows(expression.operand, out)
+        for cond, result in expression.whens:
+            _collect_windows(cond, out)
+            _collect_windows(result, out)
+        if expression.else_result is not None:
+            _collect_windows(expression.else_result, out)
+    elif isinstance(expression, (ast.Cast, ast.ExtractExpr, ast.IsNull, ast.Like)):
+        _collect_windows(expression.operand, out)
+    elif isinstance(expression, ast.InList):
+        _collect_windows(expression.operand, out)
+    elif isinstance(expression, ast.Between):
+        for part in (expression.operand, expression.low, expression.high):
+            _collect_windows(part, out)
+    elif isinstance(expression, ast.IsDistinctFrom):
+        _collect_windows(expression.left, out)
+        _collect_windows(expression.right, out)
+
+
+def _contains_window(expression: ast.Expression) -> bool:
+    found: list = []
+    _collect_windows(expression, found)
+    return bool(found)
+
+
 def _contains_aggregate(expression: ast.Expression) -> bool:
     if isinstance(expression, ast.FunctionCall):
+        if expression.over is not None:
+            return False  # a window call is not a plain aggregate
         if expression.name in AGGREGATE_FUNCS:
             return True
         return any(_contains_aggregate(a) for a in expression.args)
@@ -1563,6 +2058,10 @@ def _contains_aggregate(expression: ast.Expression) -> bool:
         )
     if isinstance(expression, ast.InList):
         return _contains_aggregate(expression.operand)
+    if isinstance(expression, ast.IsDistinctFrom):
+        return _contains_aggregate(expression.left) or _contains_aggregate(
+            expression.right
+        )
     return False
 
 
@@ -1590,6 +2089,16 @@ def _contains_subquery(expression: ast.Expression) -> bool:
                 return True
         if expression.else_result is not None:
             return _contains_subquery(expression.else_result)
+        return False
+    if isinstance(expression, ast.IsDistinctFrom):
+        return _contains_subquery(expression.left) or _contains_subquery(
+            expression.right
+        )
+    if isinstance(expression, ast.FunctionCall):
+        return any(_contains_subquery(a) for a in expression.args) or (
+            expression.filter_where is not None
+            and _contains_subquery(expression.filter_where)
+        )
     return False
 
 
@@ -1615,16 +2124,29 @@ def _plan_has_outer_refs(plan) -> bool:
             candidate = getattr(node, attr, None)
             if candidate is not None and _has_outer_refs(candidate):
                 return True
-        for attr in ("exprs", "group_exprs", "left_keys", "right_keys", "predicates"):
+        for attr in (
+            "exprs",
+            "group_exprs",
+            "left_keys",
+            "right_keys",
+            "predicates",
+            "partition_exprs",
+        ):
             for candidate in getattr(node, attr, []) or []:
                 if _has_outer_refs(candidate):
                     return True
         for agg in getattr(node, "aggregates", []) or []:
             if agg.arg is not None and _has_outer_refs(agg.arg):
                 return True
-        for key in getattr(node, "keys", []) or []:
-            if _has_outer_refs(key.expr):
+            if agg.filter is not None and _has_outer_refs(agg.filter):
                 return True
+        for func in getattr(node, "funcs", []) or []:
+            if func.arg is not None and _has_outer_refs(func.arg):
+                return True
+        for key_attr in ("keys", "order_keys"):
+            for key in getattr(node, key_attr, []) or []:
+                if _has_outer_refs(key.expr):
+                    return True
         stack.extend(getattr(node, "children", []) or [])
     return False
 
@@ -1663,47 +2185,23 @@ def _correlation_equality(conjunct: E.BoundExpr):
 
 def _outer_to_slot(expression: E.BoundExpr) -> E.BoundExpr:
     """Rewrite OuterRefs to SlotRefs (keys move to the outer plan's side)."""
-    if isinstance(expression, E.OuterRef):
-        return E.SlotRef(expression.index, expression.type, expression.name)
-    if isinstance(expression, E.Arith):
-        return E.Arith(
-            expression.op,
-            _outer_to_slot(expression.left),
-            _outer_to_slot(expression.right),
-            expression.type,
-        )
-    if isinstance(expression, E.FuncCall):
-        return E.FuncCall(
-            expression.name,
-            tuple(_outer_to_slot(a) for a in expression.args),
-            expression.type,
-        )
-    if isinstance(expression, E.CastExpr):
-        return E.CastExpr(_outer_to_slot(expression.operand), expression.type)
-    return expression
+    def leaf(node):
+        if isinstance(node, E.OuterRef):
+            return E.SlotRef(node.index, node.type, node.name)
+        return None
+
+    return E.transform(expression, leaf)
 
 
 def _slot_to_outer(expression: E.BoundExpr) -> E.BoundExpr:
     """Rewrite SlotRefs to OuterRefs (an outer expression moves inside a
     subquery plan, where the enclosing row arrives as the outer frame)."""
-    if isinstance(expression, E.SlotRef):
-        return E.OuterRef(expression.index, expression.type, expression.name)
-    if isinstance(expression, E.Arith):
-        return E.Arith(
-            expression.op,
-            _slot_to_outer(expression.left),
-            _slot_to_outer(expression.right),
-            expression.type,
-        )
-    if isinstance(expression, E.FuncCall):
-        return E.FuncCall(
-            expression.name,
-            tuple(_slot_to_outer(a) for a in expression.args),
-            expression.type,
-        )
-    if isinstance(expression, E.CastExpr):
-        return E.CastExpr(_slot_to_outer(expression.operand), expression.type)
-    return expression
+    def leaf(node):
+        if isinstance(node, E.SlotRef):
+            return E.OuterRef(node.index, node.type, node.name)
+        return None
+
+    return E.transform(expression, leaf)
 
 
 def _extract_equi_keys(conjuncts: list, left_width: int):

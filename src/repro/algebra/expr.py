@@ -222,13 +222,16 @@ class AggSpec:
 
     ``func`` in sum/avg/count/count_star/min/max/median; ``arg`` is the
     bound input expression (None for ``count(*)``), ``distinct`` covers
-    COUNT(DISTINCT x), ``type`` is the result type.
+    COUNT(DISTINCT x), ``type`` is the result type.  ``filter`` is the
+    bound predicate of ``FILTER (WHERE ...)`` — rows where it is not
+    true are excluded from this aggregate only.
     """
 
     func: str
     arg: Optional[BoundExpr]
     type: T.SQLType
     distinct: bool = False
+    filter: Optional[BoundExpr] = None
 
 
 # -- tree utilities --------------------------------------------------------------
@@ -289,13 +292,16 @@ def remap_outer(expression: BoundExpr, mapping: dict[int, int]) -> BoundExpr:
     return _remap(expression, OuterRef, mapping)
 
 
-def _remap(expression: BoundExpr, ref_class, mapping: dict[int, int]) -> BoundExpr:
+def transform(expression: BoundExpr, leaf) -> BoundExpr:
+    """Structurally rebuild an expression, replacing leaves via ``leaf``.
+
+    ``leaf(node)`` returns a replacement expression or ``None`` to keep
+    descending through composite nodes.  Subquery plans are left alone.
+    """
     def rewrite(node: BoundExpr) -> BoundExpr:
-        if isinstance(node, ref_class):
-            target = mapping.get(node.index, node.index)
-            if target == node.index:
-                return node
-            return ref_class(target, node.type, node.name)
+        replaced = leaf(node)
+        if replaced is not None:
+            return replaced
         if isinstance(node, Arith):
             return Arith(node.op, rewrite(node.left), rewrite(node.right), node.type)
         if isinstance(node, Compare):
@@ -329,3 +335,15 @@ def _remap(expression: BoundExpr, ref_class, mapping: dict[int, int]) -> BoundEx
         return node
 
     return rewrite(expression)
+
+
+def _remap(expression: BoundExpr, ref_class, mapping: dict[int, int]) -> BoundExpr:
+    def leaf(node: BoundExpr):
+        if isinstance(node, ref_class):
+            target = mapping.get(node.index, node.index)
+            if target != node.index:
+                return ref_class(target, node.type, node.name)
+            return node
+        return None
+
+    return transform(expression, leaf)

@@ -22,6 +22,8 @@ __all__ = [
     "Join",
     "SemiJoin",
     "Aggregate",
+    "Window",
+    "WindowFunc",
     "Sort",
     "SortKey",
     "TopN",
@@ -165,6 +167,43 @@ class Aggregate(LogicalNode):
     child: LogicalNode
     group_exprs: list
     aggregates: list  # of AggSpec
+    output: list
+
+    @property
+    def children(self) -> list:
+        return [self.child]
+
+
+@dataclass(frozen=True)
+class WindowFunc:
+    """One window function computed by a Window node.
+
+    ``func`` in row_number/rank/dense_rank (ranking, ``arg`` is None) or
+    sum/avg/count/count_star/min/max (aggregate-OVER).
+    """
+
+    func: str
+    arg: Optional[BoundExpr]
+    type: SQLType
+
+
+@dataclass
+class Window(LogicalNode):
+    """Window computation over one shared OVER specification.
+
+    Child columns pass through unchanged at their original slots; one
+    column per entry of ``funcs`` is appended.  ``frame`` is the
+    normalized ``(unit, start, end)`` tuple (bounds as in
+    :class:`repro.sql.ast.WindowFrame`) or ``None`` for whole-partition
+    evaluation.  Evaluated as vectorized sort-then-segment kernels; a
+    query with several distinct OVER specs stacks one Window per spec.
+    """
+
+    child: LogicalNode
+    partition_exprs: list  # of BoundExpr over the child's output
+    order_keys: list  # of SortKey over the child's output
+    frame: Optional[tuple]
+    funcs: list  # of WindowFunc
     output: list
 
     @property

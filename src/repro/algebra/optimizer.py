@@ -54,7 +54,12 @@ def optimize(
 
 def _rewrite_multijoins(node: N.LogicalNode, row_count) -> N.LogicalNode:
     """Bottom-up replacement of MultiJoin nodes by ordered join trees."""
-    # recurse into children first
+    # rewrite subquery plans hiding inside any expression the node holds
+    # (filter/join predicates, projections, keys, aggregate args) — a
+    # MultiJoin's own conjunct list included
+    for _, _, expression in _plan_expr_attrs(node):
+        _rewrite_subquery_plans(expression, row_count)
+    # recurse into children
     if isinstance(node, N.MultiJoin):
         relations = [_rewrite_multijoins(r, row_count) for r in node.relations]
         return _order_multijoin(relations, list(node.predicates), row_count)
@@ -64,14 +69,6 @@ def _rewrite_multijoins(node: N.LogicalNode, row_count) -> N.LogicalNode:
             setattr(node, attr, _rewrite_multijoins(child, row_count))
     if isinstance(node, N.BoundSelect):  # pragma: no cover - defensive
         node.plan = _rewrite_multijoins(node.plan, row_count)
-    # rewrite subquery plans hiding inside predicates
-    for attr in ("predicate",):
-        predicate = getattr(node, attr, None)
-        if predicate is not None:
-            _rewrite_subquery_plans(predicate, row_count)
-    if isinstance(node, N.Project):
-        for item in node.exprs:
-            _rewrite_subquery_plans(item, row_count)
     return node
 
 
@@ -426,6 +423,9 @@ def _prune(node: N.LogicalNode, needed: set):
             combined[old + left_width] = new + new_left_width
         if node.residual is not None:
             node.residual = E.remap_slots(node.residual, combined)
+            # correlated subqueries in an ON residual see the join's
+            # combined row as their outer frame: remap their OuterRefs too
+            _remap_subquery_outer(node.residual, combined)
         return node, {old: combined[old] for old in needed}
 
     if isinstance(node, N.SemiJoin):
@@ -449,6 +449,8 @@ def _prune(node: N.LogicalNode, needed: set):
         for agg in node.aggregates:
             if agg.arg is not None:
                 child_needed |= E.references(agg.arg)
+            if agg.filter is not None:
+                child_needed |= E.references(agg.filter)
         child, mapping = _prune(node.child, child_needed)
         node.child = child
         node.group_exprs = [E.remap_slots(g, mapping) for g in node.group_exprs]
@@ -458,6 +460,7 @@ def _prune(node: N.LogicalNode, needed: set):
                 E.remap_slots(a.arg, mapping) if a.arg is not None else None,
                 a.type,
                 a.distinct,
+                E.remap_slots(a.filter, mapping) if a.filter is not None else None,
             )
             for a in node.aggregates
         ]
@@ -531,7 +534,14 @@ def _plan_expr_attrs(node: N.LogicalNode):
     residual = getattr(node, "residual", None)
     if residual is not None:
         yield node, "residual", residual
-    for attr in ("exprs", "group_exprs", "left_keys", "right_keys", "predicates"):
+    for attr in (
+        "exprs",
+        "group_exprs",
+        "left_keys",
+        "right_keys",
+        "predicates",
+        "partition_exprs",
+    ):
         seq = getattr(node, attr, None)
         if seq:
             for index, expression in enumerate(seq):
@@ -539,8 +549,14 @@ def _plan_expr_attrs(node: N.LogicalNode):
     for agg in getattr(node, "aggregates", []) or []:
         if agg.arg is not None:
             yield None, None, agg.arg
-    for key in getattr(node, "keys", []) or []:
-        yield None, None, key.expr
+        if agg.filter is not None:
+            yield None, None, agg.filter
+    for func in getattr(node, "funcs", []) or []:
+        if func.arg is not None:
+            yield None, None, func.arg
+    for key_attr in ("keys", "order_keys"):
+        for key in getattr(node, key_attr, []) or []:
+            yield None, None, key.expr
 
 
 def _plan_outer_refs(plan: N.LogicalNode) -> set:
@@ -568,7 +584,14 @@ def _remap_plan_outer(plan: N.LogicalNode, mapping: dict) -> None:
         residual = getattr(node, "residual", None)
         if residual is not None:
             node.residual = E.remap_outer(residual, mapping)
-        for attr in ("exprs", "group_exprs", "left_keys", "right_keys", "predicates"):
+        for attr in (
+            "exprs",
+            "group_exprs",
+            "left_keys",
+            "right_keys",
+            "predicates",
+            "partition_exprs",
+        ):
             seq = getattr(node, attr, None)
             if seq:
                 for index, expression in enumerate(seq):
@@ -580,8 +603,24 @@ def _remap_plan_outer(plan: N.LogicalNode, mapping: dict) -> None:
                     E.remap_outer(a.arg, mapping) if a.arg is not None else None,
                     a.type,
                     a.distinct,
+                    E.remap_outer(a.filter, mapping)
+                    if a.filter is not None
+                    else None,
                 )
                 for a in node.aggregates
+            ]
+        if getattr(node, "funcs", None) and isinstance(node, N.Window):
+            node.funcs = [
+                N.WindowFunc(
+                    f.func,
+                    E.remap_outer(f.arg, mapping) if f.arg is not None else None,
+                    f.type,
+                )
+                for f in node.funcs
+            ]
+            node.order_keys = [
+                N.SortKey(E.remap_outer(k.expr, mapping), k.descending, k.nulls_first)
+                for k in node.order_keys
             ]
         if getattr(node, "keys", None) and isinstance(node, (N.Sort, N.TopN)):
             node.keys = [

@@ -50,10 +50,29 @@ def _describe(node: N.LogicalNode) -> str:
         groups = ", ".join(str(g) for g in node.group_exprs)
         aggs = ", ".join(
             f"{a.func}({a.arg if a.arg is not None else '*'})"
+            + (f" filter [{a.filter}]" if a.filter is not None else "")
             for a in node.aggregates
         )
         by = f" by [{_clip(groups)}]" if node.group_exprs else ""
         return f"Aggregate [{_clip(aggs)}]{by}"
+    if isinstance(node, N.Window):
+        funcs = ", ".join(
+            f"{f.func}({f.arg if f.arg is not None else ''})" for f in node.funcs
+        )
+        parts = ", ".join(str(p) for p in node.partition_exprs)
+        order = ", ".join(
+            f"{k.expr}{' desc' if k.descending else ''}" for k in node.order_keys
+        )
+        clauses = []
+        if parts:
+            clauses.append(f"partition by [{parts}]")
+        if order:
+            clauses.append(f"order by [{order}]")
+        if node.frame is not None:
+            unit, start, end = node.frame
+            clauses.append(f"{unit} {_frame_bound(start)} .. {_frame_bound(end)}")
+        suffix = f" {' '.join(clauses)}" if clauses else ""
+        return f"Window [{_clip(funcs)}]{_clip(suffix, 160)}"
     if isinstance(node, N.Sort):
         keys = ", ".join(
             f"{k.expr}{' desc' if k.descending else ''}" for k in node.keys
@@ -74,6 +93,13 @@ def _describe(node: N.LogicalNode) -> str:
     if isinstance(node, N.MultiJoin):
         return f"MultiJoin over {len(node.relations)} relations"
     return type(node).__name__.lstrip("_")
+
+
+def _frame_bound(bound: tuple) -> str:
+    kind = bound[0]
+    if kind in ("preceding", "following"):
+        return f"{bound[1]} {kind}"
+    return kind.replace("_", " ")
 
 
 def _clip(text: str, limit: int = 120) -> str:

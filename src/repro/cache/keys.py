@@ -62,25 +62,52 @@ def walk_ast(node):
 
 
 def referenced_tables(statement: ast.Statement) -> frozenset:
-    """Lower-cased names of every table a statement reads or writes."""
+    """Lower-cased names of every table a statement reads or writes.
+
+    CTE names are scoping constructs, not catalog objects: a WITH clause
+    shadows its names for the rest of the statement (each CTE body sees
+    only the CTEs declared before it), so they never leak into the
+    dependency set the plan cache validates against the catalog.
+    """
     names: set[str] = set()
-    for node in walk_ast(statement):
-        if isinstance(node, ast.BaseTable):
-            names.add(node.name.lower())
-        elif isinstance(
-            node, (ast.InsertStmt, ast.DeleteStmt, ast.UpdateStmt)
-        ):
-            names.add(node.table.lower())
-        elif isinstance(node, (ast.CreateIndex,)):
-            names.add(node.table.lower())
-        elif isinstance(node, ast.CopyFromStmt):
-            names.add(node.table.lower())
-        elif isinstance(node, ast.CopyToStmt):
-            if node.table is not None:
-                names.add(node.table.lower())
-        elif isinstance(node, ast.CreateTableFrom):
-            names.add(node.name.lower())
+    _collect_tables(statement, frozenset(), names)
     return frozenset(names)
+
+
+def _collect_tables(node, shadow: frozenset, names: set) -> None:
+    if isinstance(node, (ast.SelectStmt, ast.SetOpStmt)):
+        visible = set(shadow)
+        for cte in node.ctes:
+            _collect_tables(cte.statement, frozenset(visible), names)
+            visible.add(cte.name.lower())
+        shadow = frozenset(visible)
+        for field in dataclasses.fields(node):
+            if field.name == "ctes":
+                continue
+            _collect_tables(getattr(node, field.name), shadow, names)
+        return
+    if isinstance(node, ast.BaseTable):
+        lowered = node.name.lower()
+        if "." in lowered or lowered not in shadow:
+            names.add(lowered)
+        return
+    if isinstance(node, (ast.InsertStmt, ast.DeleteStmt, ast.UpdateStmt)):
+        names.add(node.table.lower())
+    elif isinstance(node, (ast.CreateIndex,)):
+        names.add(node.table.lower())
+    elif isinstance(node, ast.CopyFromStmt):
+        names.add(node.table.lower())
+    elif isinstance(node, ast.CopyToStmt):
+        if node.table is not None:
+            names.add(node.table.lower())
+    elif isinstance(node, ast.CreateTableFrom):
+        names.add(node.name.lower())
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        for field in dataclasses.fields(node):
+            _collect_tables(getattr(node, field.name), shadow, names)
+    elif isinstance(node, tuple):
+        for item in node:
+            _collect_tables(item, shadow, names)
 
 
 def param_count(statement: ast.Statement) -> int:

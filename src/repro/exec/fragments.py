@@ -275,6 +275,8 @@ def _detect_cluster(program, fragment_vars, prelude_vars, consumers):
             and all(
                 agg.args[0] in SUPPORTED_PARTIAL_FUNCS
                 and not agg.args[4]  # DISTINCT is not decomposable
+                # FILTER predicates see whole-relation rows, not morsels
+                and (len(agg.args) <= 7 or agg.args[7] is None)
                 and (agg.args[1] is None or agg.args[1] in arg_ok)
                 and agg.args[2] == gb_ids.var
                 for agg in aggs
@@ -307,6 +309,7 @@ def _detect_cluster(program, fragment_vars, prelude_vars, consumers):
         and instr.args[3] is None
         and instr.args[0] in SUPPORTED_PARTIAL_FUNCS
         and not instr.args[4]
+        and (len(instr.args) <= 7 or instr.args[7] is None)
         and (instr.args[1] is None or instr.args[1] in arg_ok)
         # the anchor fixes the broadcast cardinality; it must be a
         # fragment vector (non-scalar by construction) or absent with a

@@ -44,7 +44,16 @@ def _sort_key(row: tuple):
         if cell is None:
             key.append((0, ""))
         elif isinstance(cell, float):
-            key.append((1, cell))
+            # round to 6 significant digits so floats equal under the
+            # comparison tolerance sort as *ties* on both sides — later
+            # columns then break the tie identically, keeping the
+            # multiset pairing stable (exact keys would interleave
+            # -0.5700000000000003 and -0.5699999999999998 differently
+            # from two exact -0.57s)
+            if math.isnan(cell):
+                key.append((1, (1, 0.0)))
+            else:
+                key.append((1, (0, float(f"{cell:.6g}"))))
         else:
             key.append((2, cell))
     return key

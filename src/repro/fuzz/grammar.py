@@ -20,16 +20,20 @@ __all__ = [
     "Case",
     "Cast",
     "Agg",
+    "WinCall",
     "Cmp",
     "Between",
     "InList",
     "InSubquery",
     "IsNull",
+    "IsDistinct",
     "Like",
     "BoolOp",
     "Not",
+    "Exists",
     "Select",
     "SetQuery",
+    "WithQuery",
     "FromTable",
     "FromJoin",
     "FromSub",
@@ -149,24 +153,85 @@ class Cast:
 
 
 class Agg:
-    """An aggregate call; ``arg`` is None for COUNT(*)."""
+    """An aggregate call; ``arg`` is None for COUNT(*).
 
-    __slots__ = ("func", "arg", "distinct", "tag", "bound")
+    ``filter`` is an optional subquery-free predicate rendered as a
+    standard ``FILTER (WHERE ...)`` clause.
+    """
 
-    def __init__(self, func: str, arg, distinct: bool, tag: str, bound: int = 0):
+    __slots__ = ("func", "arg", "distinct", "tag", "bound", "filter")
+
+    def __init__(self, func: str, arg, distinct: bool, tag: str,
+                 bound: int = 0, filter=None):
         self.func = func
         self.arg = arg
         self.distinct = distinct
         self.tag = tag
         self.bound = bound
+        self.filter = filter
 
     def render(self) -> str:
         if self.arg is None:
-            return "COUNT(*)"
-        inner = self.arg.render()
-        if self.distinct:
-            inner = f"DISTINCT {inner}"
-        return f"{self.func}({inner})"
+            base = "COUNT(*)"
+        else:
+            inner = self.arg.render()
+            if self.distinct:
+                inner = f"DISTINCT {inner}"
+            base = f"{self.func}({inner})"
+        if self.filter is not None:
+            base += f" FILTER (WHERE {self.filter.render()})"
+        return base
+
+    def children(self) -> list:
+        return []
+
+
+class WinCall:
+    """A window-function call: ``func(arg) OVER (...)`` select item.
+
+    ``order`` lists ``(col, desc, nulls_first)`` and always renders the
+    NULLS placement explicitly (the engines' bare defaults differ).
+    ``frame`` is pre-rendered frame SQL (``ROWS BETWEEN ...``) or None.
+    The generator only emits deterministic combinations: ranking and
+    ROWS frames come with a total order over every table column, while
+    RANGE-framed running aggregates are tie-stable by construction.
+    """
+
+    __slots__ = ("func", "arg", "partition", "order", "frame", "tag", "bound")
+
+    def __init__(self, func: str, arg, partition: list, order: list,
+                 frame, tag: str, bound: int = 0):
+        self.func = func
+        self.arg = arg
+        self.partition = partition
+        self.order = order
+        self.frame = frame
+        self.tag = tag
+        self.bound = bound
+
+    def render(self) -> str:
+        if self.arg is None:
+            call = "COUNT(*)" if self.func == "COUNT" else f"{self.func}()"
+        else:
+            call = f"{self.func}({self.arg.render()})"
+        clauses = []
+        if self.partition:
+            clauses.append(
+                "PARTITION BY "
+                + ", ".join(c.render() for c in self.partition)
+            )
+        if self.order:
+            clauses.append(
+                "ORDER BY "
+                + ", ".join(
+                    f"{c.render()} {'DESC' if desc else 'ASC'}"
+                    f" NULLS {'FIRST' if nulls_first else 'LAST'}"
+                    for c, desc, nulls_first in self.order
+                )
+            )
+        if self.frame is not None:
+            clauses.append(self.frame)
+        return f"{call} OVER ({' '.join(clauses)})"
 
     def children(self) -> list:
         return []
@@ -236,6 +301,43 @@ class InSubquery:
     def render(self) -> str:
         op = "NOT IN" if self.negated else "IN"
         return f"{self.expr.render()} {op} ({self.select.render()})"
+
+
+class IsDistinct:
+    """``a IS [NOT] DISTINCT FROM b`` — NULL-safe comparison, never NULL."""
+
+    __slots__ = ("left", "right", "negated")
+
+    def __init__(self, left, right, negated: bool):
+        self.left = left
+        self.right = right
+        self.negated = negated
+
+    def render(self) -> str:
+        op = "IS NOT DISTINCT FROM" if self.negated else "IS DISTINCT FROM"
+        return f"{self.left.render()} {op} {self.right.render()}"
+
+
+class Exists:
+    """``[NOT] EXISTS (SELECT ...)``, uncorrelated.
+
+    Doubles as a select item (both dialects yield a 0/1-ish value the
+    comparator normalizes), so it carries an expression ``tag``.
+    """
+
+    __slots__ = ("select", "negated", "tag", "bound")
+
+    def __init__(self, select, negated: bool):
+        self.select = select
+        self.negated = negated
+        self.tag = INT
+        self.bound = 1
+
+    def render(self) -> str:
+        return f"{'NOT ' if self.negated else ''}EXISTS ({self.select.render()})"
+
+    def children(self) -> list:
+        return []
 
 
 class IsNull:
@@ -311,6 +413,26 @@ class FromJoin:
 
     def render(self) -> str:
         return f"{self.left} {self.lalias}, {self.right} {self.ralias}"
+
+
+class FromOuterJoin:
+    """Explicit ``LEFT``/``INNER`` JOIN with its predicate in the ON clause."""
+
+    __slots__ = ("left", "lalias", "right", "ralias", "pred", "kind")
+
+    def __init__(self, left, lalias, right, ralias, pred, kind="LEFT"):
+        self.left = left
+        self.lalias = lalias
+        self.right = right
+        self.ralias = ralias
+        self.pred = pred
+        self.kind = kind
+
+    def render(self) -> str:
+        return (
+            f"{self.left} {self.lalias} {self.kind} JOIN "
+            f"{self.right} {self.ralias} ON {self.pred.render()}"
+        )
 
 
 class FromSub:
@@ -468,6 +590,31 @@ class SetQuery:
         )
 
 
+class WithQuery:
+    """``WITH name AS (cte) body`` — one non-recursive CTE.
+
+    The CTE select is aliased (columns ``c0..``), the body references it
+    as a plain table; comparison semantics follow the body.
+    """
+
+    __slots__ = ("name", "cte", "body")
+
+    def __init__(self, name: str, cte: Select, body: Select):
+        self.name = name
+        self.cte = cte
+        self.body = body
+
+    @property
+    def ordered_all(self) -> bool:
+        return self.body.ordered_all
+
+    def render(self) -> str:
+        return f"WITH {self.name} AS ({self.cte.render()}) {self.body.render()}"
+
+    def copy(self) -> "WithQuery":
+        return WithQuery(self.name, self.cte, self.body)
+
+
 # -- structural shrinking ---------------------------------------------------------
 
 
@@ -505,6 +652,18 @@ def pred_shrinks(pred) -> list:
             out.append(InSubquery(pred.expr, variant, pred.negated))
         for replacement in expr_shrinks(pred.expr):
             out.append(InSubquery(replacement, pred.select, pred.negated))
+    if isinstance(pred, IsDistinct):
+        for side in ("left", "right"):
+            for replacement in expr_shrinks(getattr(pred, side)):
+                clone = IsDistinct(pred.left, pred.right, pred.negated)
+                setattr(clone, side, replacement)
+                out.append(clone)
+    if isinstance(pred, Exists):
+        inner = pred.select
+        if inner.where is not None:
+            variant = inner.copy()
+            variant.where = None
+            out.append(Exists(variant, pred.negated))
     return out
 
 
@@ -616,11 +775,14 @@ class QueryGen:
             then = self.expr(INT, cols, depth - 1, exact)
             els = self.expr(INT, cols, depth - 1, exact)
             return Case(pred, then, els, INT, max(then.bound, els.bound))
-        if roll < 0.94 and candidates:
+        if roll < 0.92 and candidates:
             column = rng.choice(candidates)
             literal = self._literal(INT)
             return Func("coalesce", [column, literal], INT,
                         max(column.bound, literal.bound))
+        if roll < 0.96:
+            arg = self.expr(INT, cols, depth - 1, exact)
+            return Func("NULLIF", [arg, self._literal(INT)], INT, arg.bound)
         # truncating CAST: identical toward-zero semantics in both engines
         arg = self.expr(FLOAT, cols, 0, exact=True)
         return Cast(arg, "INTEGER", INT, 10_000)
@@ -676,9 +838,10 @@ class QueryGen:
     # -- predicates ---------------------------------------------------------------
 
     def pred(self, cols: list, depth: int, where: bool = False):
-        """Random predicate; ``where`` marks a top-level WHERE conjunct
-        position, the only place the engine accepts IN-subqueries (they
-        stay legal under AND but not under OR/NOT or inside CASE)."""
+        """Random predicate; ``where`` marks a WHERE position, where
+        subquery predicates are most frequent — the engine also accepts
+        them under OR/NOT and inside CASE, so they appear (more rarely)
+        in every predicate position."""
         rng = self.rng
         roll = rng.random()
         if depth > 0 and roll < 0.22:
@@ -692,7 +855,21 @@ class QueryGen:
         str_cols = [c for c in cols if c.tag == STR]
         date_cols = [c for c in cols if c.tag == DATE]
         float_cols = [c for c in cols if c.tag == FLOAT]
-        if kind < 0.40:
+        if kind < 0.34:
+            return self._comparison(cols, depth)
+        if kind < 0.42:
+            pool = [c for c in cols if c.tag in (INT, STR)]
+            if pool:
+                column = rng.choice(pool)
+                peers = [c for c in pool if c.tag == column.tag]
+                pick = rng.random()
+                if pick < 0.15:
+                    right = Lit("NULL", column.tag)
+                elif pick < 0.45 and len(peers) > 1:
+                    right = rng.choice(peers)
+                else:
+                    right = self._literal(column.tag)
+                return IsDistinct(column, right, rng.random() < 0.5)
             return self._comparison(cols, depth)
         if kind < 0.55:
             expr = self.expr(INT, cols, depth - 1, exact=True)
@@ -701,7 +878,10 @@ class QueryGen:
             return Between(expr, Lit(str(lo), INT, abs(lo)),
                            Lit(str(hi), INT, abs(hi)))
         if kind < 0.70:
-            if where and self.tables and rng.random() < 0.35:
+            if ((where or rng.random() < 0.3) and self.tables
+                    and rng.random() < 0.40):
+                if rng.random() < 0.35:
+                    return self._exists(cols)
                 return self._in_subquery(cols)
             tag = STR if (str_cols and rng.random() < 0.5) else INT
             expr = (rng.choice(str_cols) if tag == STR
@@ -761,6 +941,17 @@ class QueryGen:
             operand = self._literal(STR)
         return InSubquery(operand, inner, rng.random() < 0.3)
 
+    def _exists(self, cols):
+        """``[NOT] EXISTS (SELECT col FROM t [WHERE ...])``, uncorrelated."""
+        rng = self.rng
+        table = self._pick_table()
+        inner_cols = self._columns(table)
+        item = rng.choice(inner_cols) if inner_cols else Lit("1", INT, 1)
+        where = (self.pred(inner_cols, 1, where=True)
+                 if inner_cols and rng.random() < 0.6 else None)
+        inner = Select([item], FromTable(table.name), where=where)
+        return Exists(inner, rng.random() < 0.4)
+
     def _comparison(self, cols, depth):
         rng = self.rng
         str_cols = [c for c in cols if c.tag == STR]
@@ -789,6 +980,13 @@ class QueryGen:
     # -- aggregates ---------------------------------------------------------------
 
     def agg(self, cols: list):
+        call = self._agg_call(cols)
+        if (call.filter is None and not call.distinct and cols
+                and self.rng.random() < 0.25):
+            call.filter = self._filter_pred(cols)
+        return call
+
+    def _agg_call(self, cols: list):
         rng = self.rng
         roll = rng.random()
         int_cols = [c for c in cols if c.tag == INT]
@@ -809,6 +1007,13 @@ class QueryGen:
         tag = INT if column.tag == INT else column.tag
         return Agg(rng.choice(["MIN", "MAX"]), column, False, tag)
 
+    def _filter_pred(self, cols: list):
+        """Subquery-free predicate for a FILTER (WHERE ...) clause."""
+        rng = self.rng
+        if rng.random() < 0.3:
+            return IsNull(rng.choice(cols), rng.random() < 0.5)
+        return self._comparison(cols, 1)
+
     def _having(self, cols: list):
         rng = self.rng
         int_cols = [c for c in cols if c.tag == INT]
@@ -824,18 +1029,24 @@ class QueryGen:
 
     def query(self):
         roll = self.rng.random()
-        if roll < 0.28:
+        if roll < 0.20:
             return self._simple_select()
-        if roll < 0.48:
+        if roll < 0.36:
             return self._group_select()
-        if roll < 0.58:
+        if roll < 0.44:
             return self._global_agg_select()
-        if roll < 0.72:
+        if roll < 0.54:
             return self._set_query()
-        if roll < 0.82:
+        if roll < 0.62:
             return self._subquery_select()
-        if roll < 0.94:
+        if roll < 0.70:
             return self._join_select()
+        if roll < 0.82:
+            return self._window_select()
+        if roll < 0.90:
+            return self._cte_select()
+        if roll < 0.96:
+            return self._setop_sub_select()
         return self._constant_select()
 
     def _pick_table(self):
@@ -860,6 +1071,8 @@ class QueryGen:
                           cols, rng.randint(0, 3))
                 for _ in range(rng.randint(1, 4))
             ]
+            if self.tables and rng.random() < 0.12:
+                items.append(self._exists(cols))
             order = None
             limit, offset = None, 0
         distinct = (
@@ -970,8 +1183,157 @@ class QueryGen:
         cols = lcols + rcols
         items = [rng.choice(cols) for _ in range(rng.randint(1, 3))]
         where = self.pred(cols, 1, where=True) if rng.random() < 0.4 else None
+        roll = rng.random()
+        if roll < 0.30:
+            # explicit LEFT JOIN, sometimes with a residual ON conjunct
+            # over the null-extended side
+            if rcols and rng.random() < 0.4:
+                pred = BoolOp("AND", [pred, self.pred(rcols, 1, where=True)])
+            return Select(
+                items,
+                FromOuterJoin(left.name, "x", right.name, "y", pred, "LEFT"),
+                where=where,
+            )
+        if roll < 0.45:
+            return Select(
+                items,
+                FromOuterJoin(left.name, "x", right.name, "y", pred, "INNER"),
+                where=where,
+            )
         return Select(items, FromJoin(left.name, "x", right.name, "y", pred),
                       where=where)
+
+    def _window_select(self):
+        """Plain columns plus 1-2 window calls, multiset-compared.
+
+        Every emitted combination is deterministic: ROW_NUMBER and ROWS
+        frames order by *every* table column (ties are then fully
+        identical, hence interchangeable, rows), RANK/DENSE_RANK and
+        RANGE-default running aggregates are functions of the order-key
+        values themselves, and whole-partition aggregates are functions
+        of the partition key.  Window aggregate arguments stay INT —
+        float accumulation order is unobservable but not bit-identical.
+        """
+        rng = self.rng
+        table = self._pick_table()
+        cols = self._columns(table)
+        key_cols = [c for c in cols if c.tag in (INT, STR, DATE)]
+        int_cols = [c for c in cols if c.tag == INT]
+        if not key_cols:
+            return self._simple_select(table)
+        partition = rng.sample(
+            key_cols, rng.randint(0, min(2, len(key_cols)))
+        )
+
+        def some_order():
+            pool = rng.sample(
+                key_cols, rng.randint(1, min(2, len(key_cols)))
+            )
+            return [(c, rng.random() < 0.5, rng.random() < 0.5)
+                    for c in pool]
+
+        total_order = [(c, rng.random() < 0.5, rng.random() < 0.5)
+                       for c in cols]
+        shape = rng.random()
+        if shape < 0.35 or not int_cols:
+            func = rng.choice(["RANK", "DENSE_RANK", "ROW_NUMBER"])
+            order = total_order if func == "ROW_NUMBER" else some_order()
+            call = WinCall(func, None, partition, order, None, INT, 100)
+        elif shape < 0.60:
+            # running aggregate over the default RANGE frame
+            call = WinCall(rng.choice(["SUM", "COUNT", "MIN", "MAX"]),
+                           rng.choice(int_cols), partition, some_order(),
+                           None, INT, _INT_CEILING)
+        elif shape < 0.80:
+            # explicit ROWS frame; the engine caps MIN/MAX at cumulative
+            # frames, so bounded frames stick to SUM/COUNT
+            frame = rng.choice([
+                "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW",
+                "ROWS BETWEEN 2 PRECEDING AND CURRENT ROW",
+                "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW",
+                "ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING",
+                "ROWS BETWEEN CURRENT ROW AND UNBOUNDED FOLLOWING",
+            ])
+            call = WinCall(rng.choice(["SUM", "COUNT"]),
+                           rng.choice(int_cols), partition, total_order,
+                           frame, INT, _INT_CEILING)
+        else:
+            # whole partition (possibly OVER () over the whole table)
+            if rng.random() < 0.8:
+                func = rng.choice(["SUM", "COUNT", "MIN", "MAX", "AVG"])
+                tag = FLOAT if func == "AVG" else INT
+                call = WinCall(func, rng.choice(int_cols), partition, [],
+                               None, tag, _INT_CEILING)
+            else:
+                call = WinCall("COUNT", None, partition, [], None, INT, 42)
+        items = rng.sample(cols, rng.randint(1, min(2, len(cols))))
+        items.append(call)
+        if rng.random() < 0.3:
+            # a second call over the same window exercises spec sharing
+            items.append(WinCall("COUNT", None, call.partition, call.order,
+                                 call.frame, INT, 42))
+        where = (self.pred(cols, 1, where=True)
+                 if rng.random() < 0.4 else None)
+        return Select(items, FromTable(table.name), where=where)
+
+    def _cte_select(self):
+        """``WITH w AS (SELECT ... FROM t) SELECT ... FROM w``."""
+        rng = self.rng
+        table = self._pick_table()
+        cols = self._columns(table)
+        inner_items = []
+        for _ in range(rng.randint(1, 3)):
+            tag = rng.choice([INT, INT, FLOAT, STR, DATE])
+            inner_items.append(
+                self.expr(tag, cols, rng.randint(0, 2), exact=True)
+            )
+        inner_where = (self.pred(cols, 1, where=True)
+                       if rng.random() < 0.5 else None)
+        inner = Select(inner_items, FromTable(table.name),
+                       where=inner_where, aliased=True)
+        derived = [Col(f"w.c{i}", item.tag, getattr(item, "bound", 0))
+                   for i, item in enumerate(inner_items)]
+        keys = [c for c in derived if c.tag in (INT, STR, DATE)]
+        if keys and rng.random() < 0.35:
+            # grouped body: the CTE feeds an aggregation
+            body = Select([rng.choice(keys), self.agg(derived)],
+                          FromTable("w"), group=[0])
+            return WithQuery("w", inner, body)
+        items = [self.expr(rng.choice([c.tag for c in derived]),
+                           derived, rng.randint(0, 2))
+                 for _ in range(rng.randint(1, 3))]
+        where = (self.pred(derived, 1, where=True)
+                 if rng.random() < 0.5 else None)
+        return WithQuery("w", inner, Select(items, FromTable("w"),
+                                            where=where))
+
+    def _setop_sub_select(self):
+        """A set operation used as a derived table."""
+        rng = self.rng
+        tags = [rng.choice([INT, INT, FLOAT, STR, DATE])
+                for _ in range(rng.randint(1, 2))]
+        op = rng.choice(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"])
+        left = self._branch(tags)
+        left.aliased = True  # both dialects name set-op output after it
+        right = self._branch(tags)
+        inner = SetQuery(op, left, right)
+        if rng.random() < 0.35:
+            inner.order = [(i, rng.random() < 0.5, rng.random() < 0.5)
+                           for i in range(len(tags))]
+            if rng.random() < 0.6:
+                inner.limit = rng.randint(1, 8)
+        derived = [
+            Col(f"s.c{i}", tag,
+                max(getattr(left.items[i], "bound", 0),
+                    getattr(right.items[i], "bound", 0)))
+            for i, tag in enumerate(tags)
+        ]
+        items = [self.expr(rng.choice([c.tag for c in derived]),
+                           derived, rng.randint(0, 2))
+                 for _ in range(rng.randint(1, 2))]
+        where = (self.pred(derived, 1, where=True)
+                 if rng.random() < 0.4 else None)
+        return Select(items, FromSub(inner, "s"), where=where)
 
     def _constant_select(self):
         rng = self.rng

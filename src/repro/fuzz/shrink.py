@@ -97,6 +97,25 @@ def _candidates(scenario: Scenario):
 
 def query_shrinks(query):
     """Structurally simpler variants of a query, most aggressive first."""
+    if isinstance(query, G.WithQuery):
+        # inline the CTE as a derived table — same semantics, one less
+        # construct — and shrink each half in place
+        if (
+            isinstance(query.body, G.Select)
+            and isinstance(query.body.from_, G.FromTable)
+            and query.body.from_.name == query.name
+        ):
+            inlined = query.body.copy()
+            inlined.from_ = G.FromSub(query.cte, query.name)
+            yield inlined
+        yield query.cte
+        for replacement in query_shrinks(query.body):
+            if isinstance(replacement, G.Select):
+                yield G.WithQuery(query.name, query.cte, replacement)
+        for replacement in query_shrinks(query.cte):
+            if isinstance(replacement, G.Select):
+                yield G.WithQuery(query.name, replacement, query.body)
+        return
     if isinstance(query, G.SetQuery):
         yield query.left
         yield query.right
@@ -161,6 +180,14 @@ def query_shrinks(query):
     if query.where is not None:
         for predicate in G.pred_shrinks(query.where):
             yield _with(query, where=predicate)
+    # drop FILTER clauses from aggregate items
+    for i, item in enumerate(query.items):
+        if isinstance(item, G.Agg) and item.filter is not None:
+            variant = query.copy()
+            variant.items = list(query.items)
+            variant.items[i] = G.Agg(item.func, item.arg, item.distinct,
+                                     item.tag, item.bound)
+            yield variant
     # simplify individual item expressions (skip aggregates / group keys)
     for i, item in enumerate(query.items):
         if isinstance(item, G.Agg) or (query.group and i in query.group):

@@ -29,11 +29,16 @@ _PURE_OPS = frozenset(
         "join",
         "pair_left",
         "pair_right",
+        "pair_filter",
+        "left_pad",
+        "take_pad",
         "semijoin",
         "groupby",
         "gb_ids",
         "gb_reps",
         "agg",
+        "winctx",
+        "winfunc",
         "sort",
         "topn",
         "head",
@@ -107,6 +112,8 @@ class CodeGen:
             return self._compile_semijoin(node)
         if isinstance(node, N.Aggregate):
             return self._compile_aggregate(node)
+        if isinstance(node, N.Window):
+            return self._compile_window(node)
         if isinstance(node, N.Sort):
             return self._compile_sort(node)
         if isinstance(node, N.TopN):
@@ -164,6 +171,8 @@ class CodeGen:
         right_keys = tuple(self._expr_var(k, right) for k in node.right_keys)
         anchors = (left[0] if left else None, right[0] if right else None)
         pair = self._emit("join", left_keys, right_keys, node.kind, anchors)
+        if node.kind == "left":
+            return self._compile_left_join(node, pair, left, right, anchors)
         lidx = self._emit("pair_left", pair)
         ridx = self._emit("pair_right", pair)
         out = [self._emit("take", var, lidx, parallelizable=True) for var in left]
@@ -177,6 +186,45 @@ class CodeGen:
             )
             ids = self._emit("ids", predicate)
             out = [self._emit("take", var, ids, parallelizable=True) for var in out]
+        return out
+
+    def _compile_left_join(
+        self, node: N.Join, pair, left: list, right: list, anchors
+    ) -> list:
+        """NULL-extending take sequence for LEFT OUTER JOIN.
+
+        The residual ON condition filters the matched pairs *before*
+        padding — a pair failing it makes its left row unmatched, it does
+        not delete the row — so the pair list itself is filtered and the
+        padding appended afterwards.
+        """
+        if node.residual is not None:
+            lidx = self._emit("pair_left", pair)
+            ridx = self._emit("pair_right", pair)
+            probe = [
+                self._emit("take", var, lidx, parallelizable=True)
+                for var in left
+            ]
+            probe += [
+                self._emit("take", var, ridx, parallelizable=True)
+                for var in right
+            ]
+            predicate = self._emit(
+                "pred",
+                node.residual,
+                tuple(probe),
+                parallelizable=not expr_has_subquery(node.residual),
+            )
+            ids = self._emit("ids", predicate)
+            pair = self._emit("pair_filter", pair, ids)
+        padded = self._emit("left_pad", pair, anchors[0])
+        lidx = self._emit("pair_left", padded)
+        ridx = self._emit("pair_right", padded)
+        out = [self._emit("take", var, lidx, parallelizable=True) for var in left]
+        out += [
+            self._emit("take_pad", var, ridx, parallelizable=True)
+            for var in right
+        ]
         return out
 
     def _compile_semijoin(self, node: N.SemiJoin) -> list:
@@ -205,9 +253,45 @@ class CodeGen:
                 self._expr_var(agg.arg, child) if agg.arg is not None else None
             )
             anchor = child[0] if child else None
+            keep = None
+            if agg.filter is not None:
+                keep = self._emit(
+                    "pred",
+                    agg.filter,
+                    tuple(child),
+                    parallelizable=not expr_has_subquery(agg.filter),
+                )
             out.append(
                 self._emit(
-                    "agg", agg.func, arg, gids, group, agg.distinct, anchor, agg.type
+                    "agg",
+                    agg.func,
+                    arg,
+                    gids,
+                    group,
+                    agg.distinct,
+                    anchor,
+                    agg.type,
+                    keep,
+                )
+            )
+        return out
+
+    def _compile_window(self, node: N.Window) -> list:
+        child = self._compile_node(node.child)
+        part = tuple(self._expr_var(p, child) for p in node.partition_exprs)
+        order = tuple(self._expr_var(k.expr, child) for k in node.order_keys)
+        descending = tuple(k.descending for k in node.order_keys)
+        nulls_first = tuple(k.nulls_first for k in node.order_keys)
+        anchor = child[0] if child else None
+        wctx = self._emit("winctx", part, order, descending, nulls_first, anchor)
+        out = list(child)
+        for func in node.funcs:
+            arg = (
+                self._expr_var(func.arg, child) if func.arg is not None else None
+            )
+            out.append(
+                self._emit(
+                    "winfunc", func.func, arg, wctx, node.frame, func.type, anchor
                 )
             )
         return out

@@ -441,11 +441,15 @@ class Interpreter:
             lambda chunk_inputs: eval_value(expression, chunk_inputs, self.ctx),
             inputs,
         )
-        n = ExecutionContext._input_length(inputs)
-        if isinstance(result, V) and result.is_scalar and n != 1:
-            # broadcast constants to the input cardinality — including the
-            # empty input (n == 0), where a lingering scalar would later
-            # materialize as a phantom single row
+        has_vector_input = any(
+            isinstance(v, V) and not v.is_scalar for v in inputs
+        )
+        if isinstance(result, V) and result.is_scalar and has_vector_input:
+            # broadcast constants to the input cardinality — including
+            # n == 1 and the empty input: a lingering scalar carries no
+            # cardinality, so a later consumer (set op, result) would
+            # guess it from unrelated state
+            n = ExecutionContext._input_length(inputs)
             column = vec_to_column(result, n)
             return vec_from_column(column)
         return result
@@ -456,11 +460,23 @@ class Interpreter:
         accelerated = self._try_index_select(expression, input_vars, inputs)
         if accelerated is not None:
             return accelerated
-        return self._run_maybe_chunked(
+        result = self._run_maybe_chunked(
             instr,
             lambda chunk_inputs: eval_pred(expression, chunk_inputs, self.ctx),
             inputs,
         )
+        n = ExecutionContext._input_length(inputs)
+        if isinstance(result, BoolVec) and len(result) == 1 and n != 1:
+            # a constant predicate evaluates to one cell; broadcast it to
+            # the child cardinality (n == 0 included) so the selection it
+            # feeds keeps, or drops, every row instead of exactly one
+            truth = np.full(n, bool(result.truth[0]))
+            valid = (
+                None if result.valid is None
+                else np.full(n, bool(result.valid[0]))
+            )
+            return BoolVec(truth, valid)
+        return result
 
     def _op_ids(self, instr):
         predicate: BoolVec = self._get(instr.args[0])
@@ -587,10 +603,72 @@ class Interpreter:
     def _op_pair_right(self, instr):
         return self._get(instr.args[0])[1]
 
+    def _op_pair_filter(self, instr):
+        pair_var, ids_var = instr.args
+        lidx, ridx = self._get(pair_var)
+        ids = self._get(ids_var)
+        return lidx[ids], ridx[ids]
+
+    def _op_left_pad(self, instr):
+        """Append each unmatched left row once, with -1 as its right id.
+
+        The -1 sentinel turns into NULLs when the right side's columns go
+        through ``take_pad`` — the NULL-extension of a LEFT OUTER JOIN.
+        """
+        pair_var, anchor_var = instr.args
+        lidx, ridx = self._get(pair_var)
+        anchor = self._get(anchor_var) if anchor_var is not None else None
+        nl = (
+            ExecutionContext._input_length([anchor])
+            if anchor is not None
+            else 1
+        )
+        matched = np.zeros(nl, dtype=bool)
+        matched[lidx] = True
+        missing = np.flatnonzero(~matched).astype(np.int64)
+        if len(missing) == 0:
+            return lidx, ridx
+        return (
+            np.concatenate([lidx, missing]),
+            np.concatenate(
+                [ridx, np.full(len(missing), -1, dtype=np.int64)]
+            ),
+        )
+
+    def _op_take_pad(self, instr):
+        """``take`` that yields NULL wherever the id is the -1 pad marker."""
+        var, ids_var = instr.args
+        vec: V = self._get(var)
+        ids = self._get(ids_var)
+        pad = ids < 0
+        if vec.is_scalar:
+            width = int(ids.max()) + 1 if len(ids) and ids.max() >= 0 else 1
+            vec = vec_from_column(vec_to_column(vec, width))
+        if not pad.any():
+            return vec.take(ids)
+        if len(vec.data) == 0:
+            # every id is a pad marker: an all-NULL column
+            if vec.type.is_variable and vec.heap is None:
+                return V(vec.type, np.full(len(ids), None, dtype=object))
+            return V(
+                vec.type,
+                np.full(len(ids), vec.type.null_value, dtype=vec.type.dtype),
+                vec.heap,
+            )
+        safe = np.where(pad, 0, ids)
+        data = vec.data[safe].copy()
+        if vec.type.is_variable and vec.heap is None:
+            data[pad] = None
+        else:
+            data[pad] = vec.type.null_value
+        return V(vec.type, data, vec.heap)
+
     def _op_semijoin(self, instr):
         left_vars, right_vars, anti, null_aware = instr.args
         left = [self._get(v) for v in left_vars]
         right = [self._get(v) for v in right_vars]
+        left = self._materialize_scalars(left)
+        right = self._materialize_scalars(right)
         if (
             self.ctx.config.use_hash_index
             and len(right_vars) == 1
@@ -619,9 +697,26 @@ class Interpreter:
 
     # -- grouping ---------------------------------------------------------------------------
 
+    def _materialize_scalars(self, vecs: list) -> list:
+        """Broadcast constant vectors to the relation's cardinality.
+
+        Bulk kernels (group-by, semijoin codes) index by row position, so
+        a scalar key (e.g. a projected literal) must become a full column
+        before entering them.
+        """
+        if not any(v.is_scalar for v in vecs):
+            return vecs
+        n = next((len(v.data) for v in vecs if not v.is_scalar), None)
+        if n is None:
+            n = self._current_length()
+        return [
+            v if not v.is_scalar else vec_from_column(vec_to_column(v, n))
+            for v in vecs
+        ]
+
     def _op_groupby(self, instr):
         key_vars = instr.args[0]
-        keys = [self._get(v) for v in key_vars]
+        keys = self._materialize_scalars([self._get(v) for v in key_vars])
         if self.ctx.config.use_hash_index and len(key_vars) == 1:
             prov = self._prov.get(key_vars[0])
             if prov is not None:
@@ -645,21 +740,43 @@ class Interpreter:
         return self._get(instr.args[0])[1]
 
     def _op_agg(self, instr):
-        func, arg_var, gids_var, group_var, distinct, anchor_var, rtype = instr.args
+        func, arg_var, gids_var, group_var, distinct, anchor_var, rtype = (
+            instr.args[:7]
+        )
+        keep_var = instr.args[7] if len(instr.args) > 7 else None
         arg = self._get(arg_var) if arg_var is not None else None
+        keep = None
+        if keep_var is not None:
+            # FILTER (WHERE ...): rows where the predicate is not definitely
+            # true are excluded from this aggregate only
+            keep = self._get(keep_var).definite()
         if group_var is not None:
             gids = self._get(gids_var)
             ngroups = self._get(group_var)[2]
+            if arg is not None and arg.is_scalar:
+                # constant argument: materialize at the grouped cardinality
+                # (heap-encoding variable types along the way)
+                arg = vec_from_column(vec_to_column(arg, len(gids)))
+            if keep is not None:
+                sel = np.flatnonzero(keep)
+                if arg is not None:
+                    arg = V(arg.type, arg.data[sel], arg.heap)
+                gids = gids[sel]
         else:
             gids = None
             ngroups = 1
             if arg is None:
-                anchor = self._get(anchor_var) if anchor_var is not None else None
-                n = (
-                    len(anchor.data)
-                    if anchor is not None and not anchor.is_scalar
-                    else (0 if anchor is None else 1)
-                )
+                if keep is not None:
+                    n = int(keep.sum())
+                else:
+                    anchor = (
+                        self._get(anchor_var) if anchor_var is not None else None
+                    )
+                    n = (
+                        len(anchor.data)
+                        if anchor is not None and not anchor.is_scalar
+                        else (0 if anchor is None else 1)
+                    )
                 return V(
                     T.BIGINT, np.array([n], dtype=np.int64)
                 )  # count(*) without groups
@@ -670,8 +787,43 @@ class Interpreter:
                     if anchor is not None and not anchor.is_scalar
                     else 1
                 )
-                arg = V(arg.type, np.repeat(np.asarray([arg.data]), n), arg.heap)
+                if keep is not None:
+                    n = len(keep)
+                arg = vec_from_column(vec_to_column(arg, n))
+            if keep is not None:
+                arg = V(arg.type, arg.data[np.flatnonzero(keep)], arg.heap)
         values, null_mask = ops.aggregate(func, arg, gids, ngroups, distinct)
+        return self._wrap_agg(values, null_mask, rtype)
+
+    # -- window functions --------------------------------------------------------------------
+
+    def _op_winctx(self, instr):
+        part_vars, order_vars, descending, nulls_first, anchor_var = instr.args
+        vecs = [self._get(v) for v in tuple(part_vars) + tuple(order_vars)]
+        anchor = self._get(anchor_var) if anchor_var is not None else None
+        n = next((len(v.data) for v in vecs if not v.is_scalar), None)
+        if n is None:
+            if anchor is not None:
+                n = len(anchor.data) if not anchor.is_scalar else 1
+            else:
+                n = self._current_length()
+        vecs = [
+            v if not v.is_scalar else vec_from_column(vec_to_column(v, n))
+            for v in vecs
+        ]
+        part = vecs[: len(part_vars)]
+        order = vecs[len(part_vars) :]
+        return ops.window_context(
+            part, order, list(descending), list(nulls_first), n
+        )
+
+    def _op_winfunc(self, instr):
+        func, arg_var, wctx_var, frame, rtype, anchor_var = instr.args
+        wctx = self._get(wctx_var)
+        arg = self._get(arg_var) if arg_var is not None else None
+        if arg is not None and arg.is_scalar:
+            arg = vec_from_column(vec_to_column(arg, wctx.n))
+        values, null_mask = ops.window_apply(func, arg, wctx, frame)
         return self._wrap_agg(values, null_mask, rtype)
 
     @staticmethod

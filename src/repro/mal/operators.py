@@ -23,6 +23,9 @@ __all__ = [
     "sort_rows",
     "topn_rows",
     "distinct_rows",
+    "WindowContext",
+    "window_context",
+    "window_apply",
 ]
 
 
@@ -449,6 +452,299 @@ def _sortable_codes(vec: V, n: int, nulls_first, descending: bool) -> np.ndarray
         codes = codes.copy()
         codes[nulls] = extreme
     return codes
+
+
+# -- window functions ---------------------------------------------------------------------------
+
+
+class WindowContext:
+    """Shared sorted-order context for one OVER specification.
+
+    Built once per distinct OVER spec and reused by every window function
+    over it.  All positional arrays live in *sorted* order (partition keys
+    primary, then ORDER BY keys, stable on input row order); ``order``
+    maps sorted position -> original row and ``inverse`` maps back, so a
+    kernel computes in sorted space and scatters its result to the
+    original row order at the end.
+
+    Deliberately a ``__slots__`` object rather than a tuple: tracing
+    inspects instruction results by shape, and a bare tuple would be
+    mistaken for a group-by triple.
+    """
+
+    __slots__ = (
+        "n",
+        "order",
+        "inverse",
+        "part_ids",
+        "part_start_pos",
+        "part_end_pos",
+        "peer_start_pos",
+        "peer_end_pos",
+        "nparts",
+    )
+
+    def __init__(
+        self,
+        n,
+        order,
+        inverse,
+        part_ids,
+        part_start_pos,
+        part_end_pos,
+        peer_start_pos,
+        peer_end_pos,
+        nparts,
+    ):
+        self.n = n
+        self.order = order
+        self.inverse = inverse
+        self.part_ids = part_ids
+        self.part_start_pos = part_start_pos
+        self.part_end_pos = part_end_pos
+        self.peer_start_pos = peer_start_pos
+        self.peer_end_pos = peer_end_pos
+        self.nparts = nparts
+
+
+def window_context(
+    part_vecs: list,
+    order_vecs: list,
+    descending: list,
+    nulls_first: list,
+    n: int,
+) -> WindowContext:
+    """Sort once per OVER spec; derive partition and peer-group extents."""
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return WindowContext(0, empty, empty, empty, empty, empty, empty, empty, 0)
+
+    part_codes = (
+        combine_codes([key_codes(vec) for vec in part_vecs])
+        if part_vecs
+        else np.zeros(n, dtype=np.int64)
+    )
+    order_codes = []
+    for vec, desc, nf in zip(order_vecs, descending, nulls_first):
+        codes = _sortable_codes(vec, n, nf, desc)
+        if desc:
+            codes = -codes
+        order_codes.append(codes)
+    # np.lexsort sorts by the LAST key first: partition is primary, then
+    # the ORDER BY keys in sequence; stability preserves input row order
+    order = np.lexsort(tuple(order_codes[::-1]) + (part_codes,)).astype(np.int64)
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.arange(n, dtype=np.int64)
+
+    part_sorted = part_codes[order]
+    part_new = np.empty(n, dtype=bool)
+    part_new[0] = True
+    part_new[1:] = part_sorted[1:] != part_sorted[:-1]
+
+    peer_new = part_new.copy()
+    for codes in order_codes:
+        codes_sorted = codes[order]
+        peer_new[1:] |= codes_sorted[1:] != codes_sorted[:-1]
+
+    starts = np.flatnonzero(part_new)
+    counts = np.diff(np.append(starts, n))
+    part_ids = np.repeat(np.arange(len(starts), dtype=np.int64), counts)
+    part_start_pos = np.repeat(starts, counts).astype(np.int64)
+    part_end_pos = np.repeat(starts + counts - 1, counts).astype(np.int64)
+
+    pstarts = np.flatnonzero(peer_new)
+    pcounts = np.diff(np.append(pstarts, n))
+    peer_start_pos = np.repeat(pstarts, pcounts).astype(np.int64)
+    peer_end_pos = np.repeat(pstarts + pcounts - 1, pcounts).astype(np.int64)
+
+    return WindowContext(
+        n,
+        order,
+        inverse,
+        part_ids,
+        part_start_pos,
+        part_end_pos,
+        peer_start_pos,
+        peer_end_pos,
+        len(starts),
+    )
+
+
+def window_apply(func: str, arg: V | None, ctx: WindowContext, frame):
+    """Evaluate one window function; returns (values, null_mask) in the
+    ORIGINAL row order (``aggregate``'s return convention).
+
+    ``frame`` is the normalized ``(unit, start, end)`` tuple or None for
+    whole-partition evaluation.
+    """
+    n = ctx.n
+    if n == 0:
+        return np.empty(0, dtype=np.int64), None
+
+    if arg is not None and not isinstance(arg.data, np.ndarray):
+        # broadcast a scalar argument (same convention as ``aggregate``)
+        if arg.type.is_variable:
+            data = np.full(n, 0, dtype=np.int64)
+        else:
+            fill = arg.type.null_value if arg.data is None else arg.data
+            data = np.full(n, fill, dtype=arg.type.dtype)
+        arg = V(arg.type, data, arg.heap)
+
+    idx = np.arange(n, dtype=np.int64)
+
+    if func in ("row_number", "rank", "dense_rank"):
+        if func == "row_number":
+            out = idx - ctx.part_start_pos + 1
+        elif func == "rank":
+            out = ctx.peer_start_pos - ctx.part_start_pos + 1
+        else:
+            is_peer_start = idx == ctx.peer_start_pos
+            peer_cum = np.cumsum(is_peer_start)
+            out = peer_cum - peer_cum[ctx.part_start_pos] + 1
+        return out[ctx.inverse].astype(np.int64), None
+
+    if frame is None:
+        # whole-partition aggregate, broadcast back over the rows
+        sorted_arg = (
+            V(arg.type, arg.data[ctx.order], arg.heap) if arg is not None else None
+        )
+        values, null_mask = aggregate(func, sorted_arg, ctx.part_ids, ctx.nparts)
+        out = values[ctx.part_ids][ctx.inverse]
+        mask = null_mask[ctx.part_ids][ctx.inverse] if null_mask is not None else None
+        return out, mask
+
+    lo, hi, valid = _frame_extents(ctx, frame, idx)
+
+    if func == "count_star":
+        cnt = np.where(valid, hi - lo + 1, 0).astype(np.int64)
+        return cnt[ctx.inverse], None
+
+    if arg is None:
+        raise DatabaseError(f"window aggregate {func} requires an argument")
+
+    data_s = arg.data[ctx.order]
+    sorted_arg = V(arg.type, data_s, arg.heap)
+    nulls_s = sorted_arg.null_mask(n)
+    present = ~nulls_s if nulls_s is not None else np.ones(n, dtype=bool)
+
+    lo_c = np.clip(lo, 0, n)
+    hi1 = np.clip(hi + 1, 0, n)
+    pcum = np.concatenate([[0], np.cumsum(present)])
+    cnt = np.where(valid, pcum[hi1] - pcum[lo_c], 0).astype(np.int64)
+
+    if func == "count":
+        return cnt[ctx.inverse], None
+
+    if func in ("sum", "avg"):
+        if func == "sum" and arg.type.category in (
+            T.TypeCategory.INTEGER,
+            T.TypeCategory.DECIMAL,
+        ):
+            # exact int64 prefix sums in the storage domain (mirrors the
+            # grouped kernel: decimals descale once at the end)
+            ints = np.where(present, data_s.astype(np.int64), 0)
+            prefix = np.concatenate([[0], np.cumsum(ints)])
+            sums = np.where(valid, prefix[hi1] - prefix[lo_c], 0)
+            if arg.type.category == T.TypeCategory.DECIMAL:
+                out = sums.astype(np.float64) / 10**arg.type.scale
+            else:
+                out = sums
+            return out[ctx.inverse], (cnt == 0)[ctx.inverse]
+        floats = _as_float(sorted_arg, data_s, nulls_s)
+        fvals = np.where(present, floats, 0.0)
+        prefix = np.concatenate([[0.0], np.cumsum(fvals)])
+        sums = np.where(valid, prefix[hi1] - prefix[lo_c], 0.0)
+        if func == "avg":
+            with np.errstate(invalid="ignore", divide="ignore"):
+                sums = sums / cnt
+        return sums[ctx.inverse], (cnt == 0)[ctx.inverse]
+
+    if func in ("min", "max"):
+        # the binder only admits UNBOUNDED PRECEDING .. CURRENT ROW here,
+        # so a running (cumulative) extreme sampled at the frame end works
+        return _window_running_extreme(
+            func, sorted_arg, data_s, present, ctx, hi, cnt
+        )
+
+    raise DatabaseError(f"unknown window function {func!r}")
+
+
+def _frame_extents(ctx: WindowContext, frame, idx):
+    """Per-sorted-row frame [lo, hi] (inclusive) plus a non-empty mask."""
+    unit, start, end = frame
+
+    def bound_pos(bound, default):
+        kind = bound[0]
+        if kind == "unbounded_preceding":
+            return ctx.part_start_pos
+        if kind == "unbounded_following":
+            return ctx.part_end_pos
+        if kind == "current_row":
+            return default
+        offset = int(bound[1])
+        return idx - offset if kind == "preceding" else idx + offset
+
+    if unit == "range":
+        # only UNBOUNDED PRECEDING .. CURRENT ROW survives binding: the
+        # frame of a row extends to the end of its peer group
+        lo = ctx.part_start_pos
+        hi = ctx.peer_end_pos
+    else:
+        lo = np.maximum(bound_pos(start, idx), ctx.part_start_pos)
+        hi = np.minimum(bound_pos(end, idx), ctx.part_end_pos)
+    valid = lo <= hi
+    return lo, hi, valid
+
+
+def _window_running_extreme(func, sorted_arg, data_s, present, ctx, hi, cnt):
+    """Cumulative per-partition min/max sampled at each row's frame end."""
+    n = ctx.n
+    if sorted_arg.type.is_variable:
+        objects = sorted_arg.objects()
+        running: list = [None] * n
+        best = None
+        for pos in range(n):
+            if pos == ctx.part_start_pos[pos]:
+                best = None
+            value = objects[pos]
+            if value is not None and (
+                best is None
+                or (func == "min" and value < best)
+                or (func == "max" and value > best)
+            ):
+                best = value
+            running[pos] = best
+        out = np.array(running, dtype=object)[hi]
+        mask = np.array([value is None for value in out])
+        return out[ctx.inverse], mask[ctx.inverse]
+
+    floats = _as_float(sorted_arg, data_s, None)
+    pad = np.inf if func == "min" else -np.inf
+    floats = np.where(present, floats, pad)
+    finite = floats[np.isfinite(floats)]
+    span = float(finite.max() - finite.min()) if finite.size else 0.0
+    big = span + 1.0
+    # segmented cumulative extreme via the offset trick: shift each
+    # partition into its own disjoint value band (bands decrease for min,
+    # increase for max) so earlier partitions can never win inside later
+    # ones; all-NULL prefixes yield a garbage finite value that ``cnt``
+    # masks to NULL anyway
+    if func == "min":
+        shifted = floats - ctx.part_ids * big
+        run = np.minimum.accumulate(shifted) + ctx.part_ids * big
+    else:
+        shifted = floats + ctx.part_ids * big
+        run = np.maximum.accumulate(shifted) - ctx.part_ids * big
+    out = run[hi]
+    empty = cnt == 0
+    if sorted_arg.type.category == T.TypeCategory.FLOAT:
+        return out[ctx.inverse], empty[ctx.inverse]
+    if sorted_arg.type.category == T.TypeCategory.DECIMAL:
+        raw = np.round(out * 10**sorted_arg.type.scale)
+    else:
+        raw = out
+    raw = np.where(empty, 0, raw).astype(sorted_arg.type.dtype)
+    return raw[ctx.inverse], empty[ctx.inverse]
 
 
 def distinct_rows(vecs: list) -> np.ndarray:

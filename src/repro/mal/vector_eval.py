@@ -645,6 +645,7 @@ def _least_greatest(name: str, args: list, rtype, inputs: list) -> V:
 def _eval_in_list(expression: E.InListExpr, inputs: list, ctx) -> BoolVec:
     operand = eval_value(expression.operand, inputs, ctx)
     n = broadcast_length(operand, *inputs)
+    has_null = any(v is None for v in expression.values)
     if operand.type.is_variable:
         wanted = frozenset(v for v in expression.values if v is not None)
         truth = _map_string_bool(operand, lambda s: s is not None and s in wanted)
@@ -654,14 +655,23 @@ def _eval_in_list(expression: E.InListExpr, inputs: list, ctx) -> BoolVec:
             if operand.data is None:
                 return BoolVec(np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
             hit = operand.data in expression.values
-            return BoolVec(np.full(n, hit))
+            # a miss against a list containing NULL is UNKNOWN, not FALSE
+            valid = (
+                None if hit or not has_null else np.zeros(n, dtype=bool)
+            )
+            result = BoolVec(np.full(n, hit), valid)
+            return result.negate() if expression.negated else result
         values = np.asarray(
             [v for v in expression.values if v is not None],
             dtype=operand.type.dtype,
         )
         truth = np.isin(operand.data, values)
         nulls = operand.null_mask(n)
-    result = BoolVec(truth, None if nulls is None else ~nulls)
+    valid = None if nulls is None else ~nulls
+    if has_null:
+        # three-valued IN: any miss could match the NULL list element
+        valid = truth if valid is None else (valid & truth)
+    result = BoolVec(truth, valid)
     return result.negate() if expression.negated else result
 
 

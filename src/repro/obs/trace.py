@@ -137,6 +137,9 @@ def cardinality(value) -> int:
             return int(value[2])
         if len(value) == 2:  # join pair: (lidx, ridx)
             return len(value[0])
+    n = getattr(value, "n", None)  # WindowContext
+    if n is not None:
+        return int(n)
     return 0
 
 
@@ -193,9 +196,22 @@ def instruction_inputs(instruction) -> tuple:
     if op in ("groupby", "sort", "topn", "distinct", "result"):
         return tuple(args[0])
     if op == "agg":
-        # (func, arg_var, gids_var, group_var, distinct, anchor_var, rtype)
+        # (func, arg_var, gids_var, group_var, distinct, anchor_var, rtype,
+        #  filter_var)
+        keep = args[7] if len(args) > 7 else None
         return tuple(
-            v for v in (args[1], args[2], args[3], args[5]) if v is not None
+            v
+            for v in (args[1], args[2], args[3], args[5], keep)
+            if v is not None
+        )
+    if op == "winctx":
+        # (part_vars, order_vars, descending, nulls_first, anchor_var)
+        anchor = (args[4],) if args[4] is not None else ()
+        return tuple(args[0]) + tuple(args[1]) + anchor
+    if op == "winfunc":
+        # (func, arg_var, wctx_var, frame, rtype, anchor_var)
+        return tuple(
+            v for v in (args[1], args[2], args[5]) if v is not None
         )
     if op == "setop_ids":
         return tuple(args[2]) + tuple(args[3])

@@ -127,14 +127,21 @@ def _project(node: N.Project, ctx: VolcanoContext):
 
 
 def _join(node: N.Join, ctx: VolcanoContext):
+    # a LEFT JOIN keeps unmatched left rows, padded with NULLs; the ON
+    # residual decides matching only — it never deletes a left row
+    pad = (None,) * len(node.right.output) if node.kind == "left" else None
     if node.kind == "cross" or not node.left_keys:
         right_rows = list(open_plan(node.right, ctx))
         for left_row in open_plan(node.left, ctx):
+            matched = False
             for right_row in right_rows:
                 ctx.check()
                 combined = left_row + right_row
                 if node.residual is None or eval_row(node.residual, combined, ctx):
+                    matched = True
                     yield combined
+            if pad is not None and not matched:
+                yield left_row + pad
         return
     # tuple-at-a-time hash join: dict build on the right side
     build: dict = {}
@@ -147,12 +154,15 @@ def _join(node: N.Join, ctx: VolcanoContext):
     for left_row in open_plan(node.left, ctx):
         ctx.check()
         key = tuple(eval_row(k, left_row, ctx) for k in node.left_keys)
-        if any(v is None for v in key):
-            continue
-        for right_row in build.get(key, ()):
-            combined = left_row + right_row
-            if node.residual is None or eval_row(node.residual, combined, ctx):
-                yield combined
+        matched = False
+        if not any(v is None for v in key):
+            for right_row in build.get(key, ()):
+                combined = left_row + right_row
+                if node.residual is None or eval_row(node.residual, combined, ctx):
+                    matched = True
+                    yield combined
+        if pad is not None and not matched:
+            yield left_row + pad
 
 
 def _semijoin(node: N.SemiJoin, ctx: VolcanoContext):
@@ -221,6 +231,9 @@ def _arg_number(spec: E.AggSpec, value):
 
 
 def _accumulate(spec: E.AggSpec, acc, row: tuple, ctx) -> None:
+    if spec.filter is not None and not eval_row(spec.filter, row, ctx):
+        # FILTER (WHERE ...): NULL counts as not-true, like WHERE
+        return
     if spec.func == "count_star":
         acc[0] += 1
         return

@@ -13,6 +13,9 @@ __all__ = [
     "BinaryOp",
     "UnaryOp",
     "FunctionCall",
+    "WindowSpec",
+    "WindowFrame",
+    "IsDistinctFrom",
     "CaseExpr",
     "Cast",
     "IsNull",
@@ -30,6 +33,7 @@ __all__ = [
     "BaseTable",
     "JoinRef",
     "SubqueryRef",
+    "CommonTableExpr",
     "SelectStmt",
     "SetOpStmt",
     "CreateTable",
@@ -119,12 +123,49 @@ class UnaryOp(Expression):
 
 
 @dataclass(frozen=True)
+class WindowFrame:
+    """``ROWS|RANGE [BETWEEN] bound [AND bound]`` of an OVER clause.
+
+    Bounds are tuples: ``("unbounded_preceding",)``, ``("preceding", n)``,
+    ``("current_row",)``, ``("following", n)``, ``("unbounded_following",)``.
+    """
+
+    unit: str  # "rows" | "range"
+    start: tuple
+    end: tuple
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """The ``OVER (...)`` clause of a window function call."""
+
+    partition_by: tuple = ()  # of Expression
+    order_by: tuple = ()  # of OrderItem
+    frame: Optional[WindowFrame] = None
+
+
+@dataclass(frozen=True)
 class FunctionCall(Expression):
-    """Function or aggregate invocation. ``distinct`` covers COUNT(DISTINCT x)."""
+    """Function or aggregate invocation. ``distinct`` covers COUNT(DISTINCT x).
+
+    ``filter_where`` holds the predicate of ``FILTER (WHERE ...)`` on an
+    aggregate; ``over`` the :class:`WindowSpec` of a window function call.
+    """
 
     name: str
     args: tuple
     distinct: bool = False
+    filter_where: Optional[Expression] = None
+    over: Optional[WindowSpec] = None
+
+
+@dataclass(frozen=True)
+class IsDistinctFrom(Expression):
+    """``a IS [NOT] DISTINCT FROM b`` — null-safe (in)equality."""
+
+    left: Expression
+    right: Expression
+    negated: bool = False
 
 
 @dataclass(frozen=True)
@@ -267,10 +308,19 @@ class JoinRef(TableRef):
 
 @dataclass(frozen=True)
 class SubqueryRef(TableRef):
-    """Derived table ``(SELECT ...) alias``."""
+    """Derived table ``(SELECT ...) alias`` — also a set operation."""
 
-    select: "SelectStmt"
+    select: Union["SelectStmt", "SetOpStmt"]
     alias: str
+
+
+@dataclass(frozen=True)
+class CommonTableExpr:
+    """One ``name [(columns)] AS (query)`` entry of a WITH clause."""
+
+    name: str
+    columns: tuple  # of str; empty = inherit the query's column names
+    statement: Union["SelectStmt", "SetOpStmt"]
 
 
 class Statement:
@@ -292,6 +342,7 @@ class SelectStmt(Statement):
     limit: Optional[int] = None
     offset: Optional[int] = None
     distinct: bool = False
+    ctes: tuple = ()  # of CommonTableExpr (non-recursive WITH)
 
 
 @dataclass(frozen=True)
@@ -305,6 +356,7 @@ class SetOpStmt(Statement):
     order_by: tuple = ()
     limit: Optional[int] = None
     offset: Optional[int] = None
+    ctes: tuple = ()  # of CommonTableExpr (non-recursive WITH)
 
 
 @dataclass(frozen=True)

@@ -171,6 +171,10 @@ class Parser:
             # COPY is a contextual keyword: reserved only in statement-head
             # position, so tables/columns named "copy" keep working.
             return self._copy_statement()
+        if token.type == TokenType.IDENT and token.value == "with":
+            # WITH is likewise contextual: only a statement (or derived
+            # table) head can start a CTE list.
+            return self._query_statement()
         if token.type != TokenType.KEYWORD:
             raise ParseError(
                 f"expected a statement, found {token.value!r}", token.position
@@ -371,8 +375,10 @@ class Parser:
 
         Branch blocks are parsed without trailing ORDER BY/LIMIT/OFFSET:
         those clauses bind to the whole set-op result (SQL standard), not
-        to the last branch.
+        to the last branch.  A leading ``WITH`` clause attaches its CTEs
+        to the whole statement.
         """
+        ctes = self._with_clause()
         left: ast.Statement = self._select_block(parse_trailing=False)
         while self._current.type == TokenType.KEYWORD and self._current.value in (
             "union",
@@ -399,7 +405,34 @@ class Parser:
             left = dataclasses.replace(
                 left, order_by=tuple(order_by), limit=limit, offset=offset
             )
+        if ctes:
+            left = dataclasses.replace(left, ctes=ctes)
         return left
+
+    def _with_clause(self) -> tuple:
+        """``WITH name [(cols)] AS (query), ...`` — non-recursive CTEs."""
+        if not self._accept_word("with"):
+            return ()
+        if self._accept_word("recursive"):
+            raise ParseError(
+                "recursive CTEs are not supported", self._current.position
+            )
+        ctes: list[ast.CommonTableExpr] = []
+        while True:
+            name = self._expect_ident().lower()
+            columns: list[str] = []
+            if self._accept_punct("("):
+                columns.append(self._expect_ident())
+                while self._accept_punct(","):
+                    columns.append(self._expect_ident())
+                self._expect_punct(")")
+            self._expect_keyword("as")
+            self._expect_punct("(")
+            body = self._query_statement()
+            self._expect_punct(")")
+            ctes.append(ast.CommonTableExpr(name, tuple(columns), body))
+            if not self._accept_punct(","):
+                return tuple(ctes)
 
     def _select_block(self, parse_trailing: bool = True) -> ast.SelectStmt:
         self._expect_keyword("select")
@@ -537,8 +570,6 @@ class Parser:
         if self._accept_punct("("):
             select = self._query_statement()
             self._expect_punct(")")
-            if not isinstance(select, ast.SelectStmt):
-                raise ParseError("set operations not supported as derived tables")
             self._accept_keyword("as")
             alias = self._expect_ident()
             return ast.SubqueryRef(select, alias)
@@ -584,8 +615,13 @@ class Parser:
             if token.value == "is":
                 self._advance()
                 negated = self._accept_keyword("not")
-                self._expect_keyword("null")
-                left = ast.IsNull(left, negated)
+                if self._accept_keyword("distinct"):
+                    self._expect_keyword("from")
+                    right = self._additive()
+                    left = ast.IsDistinctFrom(left, right, negated)
+                else:
+                    self._expect_keyword("null")
+                    left = ast.IsNull(left, negated)
                 continue
             negated = False
             if token.value == "not" and self._peek().type == TokenType.KEYWORD:
@@ -786,16 +822,99 @@ class Parser:
                     while self._accept_punct(","):
                         args.append(self._expression())
             self._expect_punct(")")
-            return ast.FunctionCall(name, tuple(args), distinct)
+            filter_where = None
+            if self._contextual_clause("filter"):
+                self._expect_punct("(")
+                self._expect_keyword("where")
+                filter_where = self._expression()
+                self._expect_punct(")")
+            over = None
+            if self._contextual_clause("over"):
+                over = self._over_spec()
+            return ast.FunctionCall(
+                name, tuple(args), distinct, filter_where, over
+            )
         # qualified column or table.*
         if self._current.type == TokenType.PUNCT and self._current.value == ".":
-            self._advance()
-            if self._current.type == TokenType.OPERATOR and self._current.value == "*":
-                self._advance()
-                return ast.Star(table=name)
-            column = self._expect_ident()
-            return ast.ColumnRef(column, table=name)
+            return self._qualified_ident(name)
         return ast.ColumnRef(name)
+
+    def _contextual_clause(self, word: str) -> bool:
+        """Accept contextual ``FILTER``/``OVER`` only when ``(`` follows.
+
+        Bare ``count(*) filter`` must keep meaning a column alias named
+        ``filter`` — the paren lookahead disambiguates.
+        """
+        if (
+            self._current.type == TokenType.IDENT
+            and self._current.value == word
+            and self._peek().type == TokenType.PUNCT
+            and self._peek().value == "("
+        ):
+            self._advance()
+            return True
+        return False
+
+    def _over_spec(self) -> ast.WindowSpec:
+        """``( [PARTITION BY ...] [ORDER BY ...] [frame] )``."""
+        self._expect_punct("(")
+        partition: list[ast.Expression] = []
+        if self._accept_word("partition"):
+            self._expect_keyword("by")
+            partition.append(self._expression())
+            while self._accept_punct(","):
+                partition.append(self._expression())
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._order_item())
+            while self._accept_punct(","):
+                order_by.append(self._order_item())
+        frame = None
+        if self._current.type == TokenType.IDENT and self._current.value in (
+            "rows",
+            "range",
+        ):
+            frame = self._frame_spec()
+        self._expect_punct(")")
+        return ast.WindowSpec(tuple(partition), tuple(order_by), frame)
+
+    def _frame_spec(self) -> ast.WindowFrame:
+        unit = "rows" if self._accept_word("rows") else "range"
+        if unit == "range":
+            self._expect_word("range")
+        if self._accept_keyword("between"):
+            start = self._frame_bound()
+            self._expect_keyword("and")
+            end = self._frame_bound()
+        else:
+            start = self._frame_bound()
+            end = ("current_row",)
+        return ast.WindowFrame(unit, start, end)
+
+    def _frame_bound(self) -> tuple:
+        if self._accept_word("unbounded"):
+            if self._accept_word("preceding"):
+                return ("unbounded_preceding",)
+            self._expect_word("following")
+            return ("unbounded_following",)
+        if self._accept_word("current"):
+            self._expect_word("row")
+            return ("current_row",)
+        n = self._int_literal("window frame bound")
+        if self._accept_word("preceding"):
+            return ("preceding", n)
+        self._expect_word("following")
+        return ("following", n)
+
+    def _qualified_ident(self, name: str) -> ast.Expression:
+        """``table.column`` or ``table.*`` after the leading ``.``."""
+        self._advance()
+        if self._current.type == TokenType.OPERATOR and self._current.value == "*":
+            self._advance()
+            return ast.Star(table=name)
+        column = self._expect_ident()
+        return ast.ColumnRef(column, table=name)
 
     def _type_name(self) -> str:
         """Parse a type spelling for CAST/DDL, e.g. ``decimal(15, 2)``."""

@@ -1,0 +1,12 @@
+-- repro.fuzz reproducer (minimized, seed 5)
+-- classification: internal_error
+-- compare: multiset
+-- bug: rewriting x IN (SELECT ...) as a value moved the operand inside
+-- the subquery plan, but the slot-to-outer-ref conversion skipped
+-- CASE/comparison/boolean nodes, leaving outer columns as dangling
+-- slot references that crashed (or mis-bound) the subquery
+CREATE TABLE t0 (c0 INTEGER, c1 DATE);
+CREATE TABLE t1 (c0 INTEGER, c1 BIGINT);
+INSERT INTO t0 VALUES (5, NULL);
+INSERT INTO t1 VALUES (5, 9), (NULL, 3), (2, 1);
+SELECT '2019-12-17' FROM t1 WHERE (CASE WHEN c0 IS NOT NULL THEN c1 ELSE -6 END NOT IN (SELECT c0 FROM t0)) OR (c0 <= c1);

@@ -1,0 +1,9 @@
+-- repro.fuzz reproducer (minimized, seed 1)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: same scalar-cardinality confusion as bug_const_branch_setop,
+-- empty-right flavor — the constant left branch was broadcast to the
+-- filtered-empty right branch's zero rows, losing the result entirely
+CREATE TABLE t0 (c0 INTEGER, c1 INTEGER);
+INSERT INTO t0 VALUES (0, -38);
+SELECT 'ihe' AS c0 FROM t0 EXCEPT SELECT 'jj' FROM t0 WHERE c1 = 18;

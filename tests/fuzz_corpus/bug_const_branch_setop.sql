@@ -1,0 +1,12 @@
+-- repro.fuzz reproducer (minimized, seed 3)
+-- classification: wrong_rows
+-- compare: ordered
+-- bug: a set-op branch projecting only constants over a one-row
+-- relation kept scalar vectors (the map kernel skipped broadcasting at
+-- n == 1), so the set operation guessed the branch's cardinality from
+-- the other branch — duplicating or dropping rows
+CREATE TABLE t0 (c0 INTEGER, c1 DATE);
+INSERT INTO t0 VALUES (9, '2015-10-20'), (-20, '2018-01-27');
+CREATE TABLE t2 (c0 INTEGER, c1 VARCHAR(16));
+INSERT INTO t2 VALUES (-28, 'oikw');
+SELECT '2022-02-13' AS c0, 6 AS c1 FROM t2 EXCEPT SELECT '2019-03-21', 8 FROM t0 ORDER BY 1 ASC NULLS FIRST, 2 DESC NULLS LAST;

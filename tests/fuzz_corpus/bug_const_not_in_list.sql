@@ -1,0 +1,8 @@
+-- repro.fuzz reproducer (minimized, seed 5)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: the scalar fast path of IN-list evaluation returned before
+-- applying NOT, so a constant NOT IN (...) behaved like IN (...)
+CREATE TABLE t0 (c0 INTEGER);
+INSERT INTO t0 VALUES (1), (2);
+SELECT c0 FROM t0 WHERE 9 NOT IN (11, -19);

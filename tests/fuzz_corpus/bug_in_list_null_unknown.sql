@@ -1,0 +1,8 @@
+-- repro.fuzz reproducer (hand-minimized)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: x IN (..., NULL) returned FALSE on a miss instead of UNKNOWN,
+-- so NOT IN over a NULL-bearing list kept rows it must drop
+CREATE TABLE t0 (c0 INTEGER);
+INSERT INTO t0 VALUES (45), (NULL), (1);
+SELECT c0 FROM t0 WHERE c0 NOT IN (1, NULL);

@@ -1,0 +1,11 @@
+-- repro.fuzz reproducer (minimized, battery cross-check)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: the join kernel ignored the join kind entirely — LEFT JOIN
+-- produced inner-join pairs, dropping every unmatched left row instead
+-- of NULL-extending it (both the MAL path and the rowstore volcano path)
+CREATE TABLE t0 (c0 INTEGER, c1 VARCHAR(16));
+INSERT INTO t0 VALUES (1, 'a'), (2, 'b'), (3, NULL), (4, 'd'), (NULL, 'n');
+CREATE TABLE t1 (c0 INTEGER, c1 VARCHAR(16));
+INSERT INTO t1 VALUES (2, 'x'), (4, 'y'), (4, 'z'), (NULL, 'q');
+SELECT x.c0, y.c1 FROM t0 x LEFT JOIN t1 y ON x.c0 = y.c0;

@@ -1,0 +1,12 @@
+-- repro.fuzz reproducer (minimized, seed 13)
+-- classification: internal_error
+-- compare: multiset
+-- bug: column pruning remapped the slots of a join's ON residual but
+-- not the OuterRefs inside its correlated subquery plans; after pruning
+-- an unused column the subquery indexed past the outer frame
+-- (IndexError: list index out of range)
+CREATE TABLE t0 (c0 INTEGER);
+INSERT INTO t0 VALUES (-45);
+CREATE TABLE t1 (c0 INTEGER, c1 DOUBLE, c2 INTEGER, c3 VARCHAR(16));
+INSERT INTO t1 VALUES (-45, -46.83, -3, 'bkdyeq');
+SELECT y.c3 FROM t0 x LEFT JOIN t1 y ON (x.c0 = y.c0) AND ((y.c2 < -9) AND (CASE WHEN y.c3 NOT LIKE '%da' THEN 8 ELSE y.c0 END IN (SELECT c0 FROM t1 ORDER BY c0 ASC NULLS FIRST LIMIT 3)));

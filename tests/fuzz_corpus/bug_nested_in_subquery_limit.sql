@@ -1,0 +1,12 @@
+-- repro.fuzz reproducer (minimized, seed 11)
+-- classification: error_vs_result
+-- compare: multiset
+-- bug: the MultiJoin-lowering pass never looked inside a MultiJoin's
+-- own conjunct list for subquery plans, so an IN whose subquery itself
+-- contains IN (... ORDER BY ... LIMIT) shipped an unlowered MultiJoin
+-- to the compiler ("cannot compile node MultiJoin")
+CREATE TABLE t0 (c0 INTEGER);
+CREATE TABLE t1 (c0 INTEGER);
+INSERT INTO t0 VALUES (1);
+INSERT INTO t1 VALUES (1), (2);
+SELECT c0 FROM t1 WHERE c0 IN (SELECT c0 FROM t0 WHERE c0 IN (SELECT c0 FROM t1 ORDER BY c0 ASC NULLS FIRST LIMIT 2));

@@ -1,0 +1,10 @@
+-- repro.fuzz reproducer (minimized, seed 5)
+-- classification: error_vs_result
+-- compare: multiset
+-- expect-error: BindError
+-- bug: ORDER BY -18 sorted by the constant expression; an ORDER BY term
+-- that is a signed integer literal is a 1-based output ordinal (SQLite,
+-- PostgreSQL), so a negative one must fail with out-of-range
+CREATE TABLE t0 (c0 INTEGER);
+INSERT INTO t0 VALUES (1), (2);
+SELECT -18 AS c0 FROM t0 ORDER BY -18 ASC NULLS FIRST;

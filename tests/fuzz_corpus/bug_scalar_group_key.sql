@@ -1,0 +1,9 @@
+-- repro.fuzz reproducer (minimized, seed 5)
+-- classification: internal_error
+-- compare: multiset
+-- bug: grouping by a constant column of a one-row derived table handed
+-- a scalar vector to the group-by kernel, which crashed computing key
+-- codes; aggregates over constant VARCHAR args lost their heap encoding
+CREATE TABLE t0 (c0 INTEGER);
+INSERT INTO t0 VALUES (30);
+SELECT s.c1, MAX(s.c1), COUNT(*) FROM (SELECT 7 AS c0, 'abc' AS c1 FROM t0) s GROUP BY s.c1;

@@ -1,0 +1,9 @@
+-- repro.fuzz reproducer (minimized, seed 5)
+-- classification: wrong_rows
+-- compare: multiset
+-- bug: a predicate over a constant derived-table column evaluated to a
+-- length-1 mask, so the filter kept one phantom row instead of applying
+-- the constant truth value to every row of the relation
+CREATE TABLE t0 (c0 INTEGER);
+INSERT INTO t0 VALUES (1), (2);
+SELECT s.c0 FROM (SELECT 'f' AS c0 FROM t0) s WHERE s.c0 LIKE '%';

@@ -1,0 +1,9 @@
+-- repro.fuzz reproducer (minimized, seed 5)
+-- classification: internal_error
+-- compare: multiset
+-- bug: a constant string operand of IN (SELECT ...) reached the
+-- semijoin kernel as a scalar vector; the shared-code factorization
+-- took len('fb') as the row count and crashed on a boolean mismatch
+CREATE TABLE t1 (c0 INTEGER, c2 VARCHAR(16));
+INSERT INTO t1 VALUES (30, 't');
+SELECT s.c0 FROM (SELECT -6 AS c0 FROM t1) s WHERE 'fb' IN (SELECT c2 FROM t1);

@@ -1,0 +1,11 @@
+-- repro.fuzz reproducer (minimized, seed 5)
+-- classification: error_vs_result
+-- compare: multiset
+-- bug: comparing a VARCHAR column against a DATE column raised a type
+-- mismatch; the string side now parses as a date at runtime (MonetDB's
+-- implicit cast — ISO dates also order the same as their text form)
+CREATE TABLE t0 (c0 INTEGER, c1 DATE, c2 DATE);
+CREATE TABLE t1 (c0 INTEGER, c1 DOUBLE, c2 BIGINT);
+INSERT INTO t0 VALUES (1, '2015-01-01', '2015-03-12');
+INSERT INTO t1 VALUES (1, 2.0, 3);
+SELECT '2017-10-24' FROM (SELECT '2015-03-12' AS c0, '2016-06-19' AS c1 FROM t1 EXCEPT SELECT c2, '2020-06-23' FROM t0) s WHERE s.c1 < s.c0;
